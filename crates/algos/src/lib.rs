@@ -1,0 +1,200 @@
+//! # cf-algos — the five concurrent data types studied by CheckFence
+//!
+//! Mini-C implementations (closely following the published pseudocode,
+//! with the memory-ordering fences the paper derived in §4.2–4.3) of the
+//! algorithms in the paper's Table 1:
+//!
+//! | mnemonic   | algorithm | module |
+//! |------------|-----------|--------|
+//! | `ms2`      | Michael & Scott two-lock queue | [`ms2`] |
+//! | `msn`      | Michael & Scott nonblocking queue (paper Fig. 9) | [`msn`] |
+//! | `lazylist` | Heller et al. lazy list-based set | [`lazylist`] |
+//! | `harris`   | Harris nonblocking list-based set | [`harris`] |
+//! | `snark`    | Detlefs et al. DCAS-based deque | [`snark`] |
+//!
+//! Two extensions beyond Table 1 (the paper's §6 lists "more data type
+//! implementations from the literature" as future work):
+//!
+//! | mnemonic   | algorithm | module |
+//! |------------|-----------|--------|
+//! | `treiber`  | Treiber lock-free stack | [`treiber`] |
+//! | `lamport`  | Lamport SPSC ring buffer (no atomics at all) | [`lamport`] |
+//!
+//! Each module provides *fenced* and *unfenced* builds (the published
+//! algorithms carry no fences; the fenced versions add the placements the
+//! paper reports), and where the paper found algorithmic bugs, a *buggy*
+//! variant reproducing them (`lazylist` misses the `marked`
+//! initialization; `snark` admits a double pop).
+//!
+//! The crate also ships the Fig. 8 test catalog plus stack/SPSC
+//! extensions ([`tests`]), pure-Rust reference models for fast
+//! specification mining ([`refmodel`]), and fence-manipulation
+//! utilities for necessity analysis ([`fences`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use cf_algos::{msn, tests};
+//! use checkfence::Checker;
+//! use cf_memmodel::Mode;
+//!
+//! let harness = msn::harness(cf_algos::Variant::Fenced);
+//! let t0 = tests::by_name("T0").expect("catalog test");
+//! let checker = Checker::new(&harness, &t0).with_memory_model(Mode::Relaxed);
+//! let spec = checker.mine_spec_reference().expect("mines").spec;
+//! assert!(checker.check_inclusion(&spec).expect("runs").outcome.passed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fences;
+pub mod harris;
+pub mod lazylist;
+pub mod ms2;
+pub mod msn;
+pub mod refmodel;
+pub mod lamport;
+pub mod snark;
+pub mod tests;
+pub mod treiber;
+
+use checkfence::{Harness, OpSig};
+
+/// Fence configuration of an implementation build.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// With the memory-ordering fences the paper derived (§4.2).
+    Fenced,
+    /// As published: no fences beyond those inside lock primitives.
+    Unfenced,
+}
+
+/// The five studied implementations (paper Table 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Algo {
+    /// Two-lock queue.
+    Ms2,
+    /// Nonblocking queue.
+    Msn,
+    /// Lazy list-based set.
+    Lazylist,
+    /// Nonblocking set.
+    Harris,
+    /// DCAS deque.
+    Snark,
+}
+
+impl Algo {
+    /// All five, in Table 1 order.
+    pub fn all() -> [Algo; 5] {
+        [Algo::Ms2, Algo::Msn, Algo::Lazylist, Algo::Harris, Algo::Snark]
+    }
+
+    /// The paper's mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Ms2 => "ms2",
+            Algo::Msn => "msn",
+            Algo::Lazylist => "lazylist",
+            Algo::Harris => "harris",
+            Algo::Snark => "snark",
+        }
+    }
+
+    /// Builds the harness for a variant (the correct algorithm; buggy
+    /// variants are exposed by the individual modules).
+    pub fn harness(self, variant: Variant) -> Harness {
+        match self {
+            Algo::Ms2 => ms2::harness(variant),
+            Algo::Msn => msn::harness(variant),
+            Algo::Lazylist => lazylist::harness(match variant {
+                Variant::Fenced => lazylist::Build::Fixed,
+                Variant::Unfenced => lazylist::Build::Unfenced,
+            }),
+            Algo::Harris => harris::harness(variant),
+            Algo::Snark => snark::harness(snark::Build::Fixed, variant),
+        }
+    }
+
+    /// Which kind of data type this is (selects tests and models).
+    pub fn shape(self) -> Shape {
+        match self {
+            Algo::Ms2 | Algo::Msn => Shape::Queue,
+            Algo::Lazylist | Algo::Harris => Shape::Set,
+            Algo::Snark => Shape::Deque,
+        }
+    }
+}
+
+/// The abstract data type shape.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Shape {
+    /// FIFO queue: enqueue / dequeue.
+    Queue,
+    /// Set over keys {0,1}: add / contains / remove.
+    Set,
+    /// Double-ended queue: push/pop left/right.
+    Deque,
+    /// LIFO stack: push / pop (the `treiber` extension beyond the
+    /// paper's Table 1).
+    Stack,
+    /// Single-producer single-consumer bounded queue of capacity 1 (the
+    /// `lamport` extension): enqueue returns `false` when full, dequeue
+    /// returns 0 when empty.
+    Spsc,
+}
+
+pub(crate) fn queue_ops() -> Vec<OpSig> {
+    vec![
+        OpSig { key: 'e', proc_name: "enqueue_op".into(), num_args: 1, has_ret: false },
+        OpSig { key: 'd', proc_name: "dequeue_op".into(), num_args: 0, has_ret: true },
+    ]
+}
+
+pub(crate) fn set_ops() -> Vec<OpSig> {
+    vec![
+        OpSig { key: 'a', proc_name: "add_op".into(), num_args: 1, has_ret: true },
+        OpSig { key: 'c', proc_name: "contains_op".into(), num_args: 1, has_ret: true },
+        OpSig { key: 'r', proc_name: "remove_op".into(), num_args: 1, has_ret: true },
+    ]
+}
+
+pub(crate) fn spsc_ops() -> Vec<OpSig> {
+    vec![
+        OpSig { key: 'e', proc_name: "enqueue_op".into(), num_args: 1, has_ret: true },
+        OpSig { key: 'd', proc_name: "dequeue_op".into(), num_args: 0, has_ret: true },
+    ]
+}
+
+pub(crate) fn stack_ops() -> Vec<OpSig> {
+    vec![
+        OpSig { key: 'u', proc_name: "push_op".into(), num_args: 1, has_ret: false },
+        OpSig { key: 'o', proc_name: "pop_op".into(), num_args: 0, has_ret: true },
+    ]
+}
+
+pub(crate) fn deque_ops() -> Vec<OpSig> {
+    vec![
+        OpSig { key: 'l', proc_name: "push_left_op".into(), num_args: 1, has_ret: false },
+        OpSig { key: 'r', proc_name: "push_right_op".into(), num_args: 1, has_ret: false },
+        OpSig { key: 'L', proc_name: "pop_left_op".into(), num_args: 0, has_ret: true },
+        OpSig { key: 'R', proc_name: "pop_right_op".into(), num_args: 0, has_ret: true },
+    ]
+}
+
+pub(crate) fn compile_harness(
+    name: &str,
+    source: &str,
+    init_proc: &str,
+    ops: Vec<OpSig>,
+) -> Harness {
+    let program = cf_minic::compile(source)
+        .unwrap_or_else(|e| panic!("bundled {name} source must compile: {e}"));
+    Harness {
+        name: name.into(),
+        program,
+        init_proc: Some(init_proc.into()),
+        ops,
+    }
+}

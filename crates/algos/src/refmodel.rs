@@ -1,0 +1,290 @@
+//! Pure-Rust reference models of the three data type shapes.
+//!
+//! The paper's Fig. 11a shows that observation sets can be enumerated
+//! much faster from "a small, fast reference implementation" (the
+//! `refset` series). These models are that implementation: trivially
+//! correct sequential data types whose serial interleavings define the
+//! specification, independent of the mini-C implementation under test.
+
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
+use cf_lsl::Value;
+use checkfence::{ObsSet, TestSpec};
+
+use crate::Shape;
+
+/// Sequential state of one reference data type.
+#[derive(Clone, Debug, Default)]
+enum State {
+    #[default]
+    Empty,
+    Queue(VecDeque<i64>),
+    Set([bool; 2]),
+    Deque(VecDeque<i64>),
+    Stack(Vec<i64>),
+    Spsc(VecDeque<i64>),
+}
+
+/// Applies one operation; returns the observed return value (if the
+/// operation has one) using the same encoding as the mini-C wrappers
+/// (pops/dequeues: 0 = empty, value + 1 otherwise; set ops: 0/1).
+fn apply(state: &mut State, key: char, arg: i64) -> Option<i64> {
+    match state {
+        State::Queue(q) => match key {
+            'e' => {
+                q.push_back(arg);
+                None
+            }
+            'd' => Some(q.pop_front().map_or(0, |v| v + 1)),
+            _ => panic!("unknown queue op `{key}`"),
+        },
+        State::Set(present) => {
+            let k = usize::try_from(arg).expect("keys are 0 or 1");
+            match key {
+                'a' => {
+                    let added = !present[k];
+                    present[k] = true;
+                    Some(i64::from(added))
+                }
+                'c' => Some(i64::from(present[k])),
+                'r' => {
+                    let removed = present[k];
+                    present[k] = false;
+                    Some(i64::from(removed))
+                }
+                _ => panic!("unknown set op `{key}`"),
+            }
+        }
+        State::Deque(d) => match key {
+            'l' => {
+                d.push_front(arg);
+                None
+            }
+            'r' => {
+                d.push_back(arg);
+                None
+            }
+            'L' => Some(d.pop_front().map_or(0, |v| v + 1)),
+            'R' => Some(d.pop_back().map_or(0, |v| v + 1)),
+            _ => panic!("unknown deque op `{key}`"),
+        },
+        State::Spsc(q) => match key {
+            'e' => {
+                if q.len() >= 1 {
+                    Some(0) // full (capacity 1)
+                } else {
+                    q.push_back(arg);
+                    Some(1)
+                }
+            }
+            'd' => Some(q.pop_front().map_or(0, |v| v + 1)),
+            _ => panic!("unknown spsc op `{key}`"),
+        },
+        State::Stack(st) => match key {
+            'u' => {
+                st.push(arg);
+                None
+            }
+            'o' => Some(st.pop().map_or(0, |v| v + 1)),
+            _ => panic!("unknown stack op `{key}`"),
+        },
+        State::Empty => unreachable!("state initialized before use"),
+    }
+}
+
+fn fresh(shape: Shape) -> State {
+    match shape {
+        Shape::Queue => State::Queue(VecDeque::new()),
+        Shape::Set => State::Set([false, false]),
+        Shape::Deque => State::Deque(VecDeque::new()),
+        Shape::Stack => State::Stack(Vec::new()),
+        Shape::Spsc => State::Spsc(VecDeque::new()),
+    }
+}
+
+fn op_has_ret(shape: Shape, key: char) -> bool {
+    match shape {
+        Shape::Queue => key == 'd',
+        Shape::Set => true,
+        Shape::Deque => key == 'L' || key == 'R',
+        Shape::Stack => key == 'o',
+        Shape::Spsc => true,
+    }
+}
+
+fn op_has_arg(shape: Shape, key: char) -> bool {
+    match shape {
+        Shape::Queue => key == 'e',
+        Shape::Set => true,
+        Shape::Deque => key == 'l' || key == 'r',
+        Shape::Stack => key == 'u',
+        Shape::Spsc => key == 'e',
+    }
+}
+
+/// Enumerates the observation set of `test` against the reference model
+/// of `shape` — all interleavings of whole operations crossed with all
+/// {0,1} argument assignments.
+///
+/// # Panics
+///
+/// Panics on operation keys that do not belong to the shape, or if the
+/// test has more than 20 nondeterministic arguments.
+pub fn mine(shape: Shape, test: &TestSpec) -> ObsSet {
+    let arg_count: usize = test
+        .all_ops()
+        .filter(|o| op_has_arg(shape, o.key))
+        .count();
+    assert!(arg_count <= 20, "too many arguments to enumerate");
+
+    // Enumerate interleavings as sequences of thread picks.
+    let sizes: Vec<usize> = test.threads.iter().map(Vec::len).collect();
+    let mut schedules = Vec::new();
+    fn rec(sizes: &[usize], progress: &mut Vec<usize>, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if sizes.iter().zip(progress.iter()).all(|(s, p)| p >= s) {
+            out.push(cur.clone());
+            return;
+        }
+        for t in 0..sizes.len() {
+            if progress[t] < sizes[t] {
+                progress[t] += 1;
+                cur.push(t);
+                rec(sizes, progress, cur, out);
+                cur.pop();
+                progress[t] -= 1;
+            }
+        }
+    }
+    rec(&sizes, &mut vec![0; sizes.len()], &mut Vec::new(), &mut schedules);
+
+    let mut vectors = BTreeSet::new();
+    for bits in 0u32..(1 << arg_count) {
+        for schedule in &schedules {
+            let mut state = fresh(shape);
+            let mut next_arg = 0usize;
+            let take = |bits: u32, next_arg: &mut usize| {
+                let v = i64::from(bits >> *next_arg & 1);
+                *next_arg += 1;
+                v
+            };
+            let mut obs: Vec<Value> = Vec::new();
+            // Init ops run first, observed in order.
+            for op in &test.init {
+                let arg = if op_has_arg(shape, op.key) {
+                    let v = take(bits, &mut next_arg);
+                    obs.push(Value::Int(v));
+                    v
+                } else {
+                    0
+                };
+                if let Some(r) = apply(&mut state, op.key, arg) {
+                    if op_has_ret(shape, op.key) {
+                        obs.push(Value::Int(r));
+                    }
+                }
+            }
+            // Thread ops run per schedule; observations grouped by thread.
+            let mut per_thread: Vec<Vec<Value>> = vec![Vec::new(); sizes.len()];
+            let mut progress = vec![0usize; sizes.len()];
+            for &t in schedule {
+                let op = &test.threads[t][progress[t]];
+                progress[t] += 1;
+                let arg = if op_has_arg(shape, op.key) {
+                    let v = take(bits, &mut next_arg);
+                    per_thread[t].push(Value::Int(v));
+                    v
+                } else {
+                    0
+                };
+                let ret = apply(&mut state, op.key, arg);
+                if op_has_ret(shape, op.key) {
+                    per_thread[t].push(Value::Int(ret.expect("op has return")));
+                }
+            }
+            for t in per_thread {
+                obs.extend(t);
+            }
+            vectors.insert(obs);
+        }
+    }
+    ObsSet { vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use checkfence::TestSpec;
+
+    #[test]
+    fn queue_t0_observations() {
+        let t = TestSpec::parse("T0", "( e | d )").expect("parses");
+        let spec = mine(Shape::Queue, &t);
+        // obs = (enq arg, deq ret): deq sees empty (0) or arg+1.
+        let expect: BTreeSet<Vec<Value>> = [
+            vec![Value::Int(0), Value::Int(0)],
+            vec![Value::Int(0), Value::Int(1)],
+            vec![Value::Int(1), Value::Int(0)],
+            vec![Value::Int(1), Value::Int(2)],
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(spec.vectors, expect);
+    }
+
+    #[test]
+    fn set_sac_observations() {
+        let t = TestSpec::parse("Sac", "( a | c )").expect("parses");
+        let spec = mine(Shape::Set, &t);
+        // obs = (add key, add ret=1, contains key, contains ret).
+        // contains(k) sees the added key only if keys match and add ran
+        // first.
+        assert!(spec
+            .vectors
+            .contains(&vec![Value::Int(1), Value::Int(1), Value::Int(1), Value::Int(1)]));
+        assert!(spec
+            .vectors
+            .contains(&vec![Value::Int(1), Value::Int(1), Value::Int(1), Value::Int(0)]));
+        assert!(spec
+            .vectors
+            .contains(&vec![Value::Int(1), Value::Int(1), Value::Int(0), Value::Int(0)]));
+        assert!(!spec
+            .vectors
+            .contains(&vec![Value::Int(1), Value::Int(1), Value::Int(0), Value::Int(1)]));
+    }
+
+    #[test]
+    fn deque_order_matters() {
+        let t = TestSpec::parse("Dx", "rr ( R | L )").expect("parses");
+        let spec = mine(Shape::Deque, &t);
+        // push 0 then 1 rightward; pops from both ends never return the
+        // same element twice.
+        for obs in &spec.vectors {
+            let (r, l) = (&obs[2], &obs[3]);
+            if let (Value::Int(a), Value::Int(b)) = (r, l) {
+                if *a != 0 && *b != 0 {
+                    // both non-empty: they took different ends
+                    let args = (&obs[0], &obs[1]);
+                    let (Value::Int(x), Value::Int(y)) = args else {
+                        panic!()
+                    };
+                    assert_eq!(*a, y + 1, "pop right sees last push");
+                    assert_eq!(*b, x + 1, "pop left sees first push");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queue_model_agrees_with_interpreter_mining() {
+        // The Rust model and the interpreter-run msn implementation must
+        // produce identical specifications.
+        let h = crate::msn::harness(crate::Variant::Fenced);
+        for (name, text) in &crate::tests::QUEUE_TESTS[..3] {
+            let t = TestSpec::parse(name, text).expect("parses");
+            let model = mine(Shape::Queue, &t);
+            let interp = checkfence::mine_reference(&h, &t).expect("mines").spec;
+            assert_eq!(model, interp, "spec mismatch on {name}");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Verification results for the Lamport SPSC ring-buffer extension.
+//!
+//! The interesting property of this algorithm is *which* fences repair
+//! it: with no atomic operations, every ordering obligation falls on
+//! plain loads and stores, and the consumer's "read the slot before
+//! releasing it" obligation needs a **load-store** fence — a kind none
+//! of the paper's five algorithms required (§4.2).
+
+use cf_algos::{lamport, refmodel, tests, Shape, Variant};
+use checkfence::{CheckOutcome, Checker, Harness};
+use cf_memmodel::Mode;
+
+fn outcome(h: &Harness, test_name: &str, mode: Mode) -> CheckOutcome {
+    let t = tests::by_name(test_name).expect("catalog test");
+    let c = Checker::new(h, &t).with_memory_model(mode);
+    let spec = c.mine_spec_reference().expect("mines").spec;
+    c.check_inclusion(&spec).expect("checks").outcome
+}
+
+#[test]
+fn fenced_passes_l0_and_lpc2_on_relaxed() {
+    let h = lamport::harness(Variant::Fenced);
+    assert!(outcome(&h, "L0", Mode::Relaxed).passed());
+    assert!(outcome(&h, "Lpc2", Mode::Relaxed).passed());
+}
+
+#[test]
+fn fenced_passes_the_wrap_around_test_on_relaxed() {
+    // Lpc3 drives the ring through its wrap-around: slot 0 is reused by
+    // the third enqueue, which is what exercises the producer's
+    // entry load-load fence (same-address head-load coherence).
+    let h = lamport::harness(Variant::Fenced);
+    assert!(outcome(&h, "Lpc3", Mode::Relaxed).passed());
+}
+
+#[test]
+fn without_load_store_fences_the_wrap_around_breaks() {
+    // ss+ll only: on Relaxed, load→store reordering still lets the
+    // consumer release a slot (head bump) before it finished reading
+    // it, and the producer's wrap-around reuse then overwrites the
+    // value — Lpc3 catches it; the non-wrapping tests do not.
+    let h = lamport::harness_with_kinds(true, true, false);
+    assert!(outcome(&h, "Lpc2", Mode::Relaxed).passed());
+    assert!(!outcome(&h, "Lpc3", Mode::Relaxed).passed());
+    // TSO and PSO preserve load→store order, so the same build is fine
+    // there even with the wrap-around.
+    assert!(outcome(&h, "Lpc3", Mode::Tso).passed());
+    assert!(outcome(&h, "Lpc3", Mode::Pso).passed());
+}
+
+#[test]
+fn every_fence_is_necessary_for_the_spsc_tests() {
+    // The 5-fence placement (2 load-load, 1 store-store, 2 load-store)
+    // is 1-minimal for {L0, Lpc2, Lpc3} on Relaxed.
+    let fenced = lamport::harness(Variant::Fenced);
+    let tests: Vec<_> = ["L0", "Lpc2", "Lpc3"]
+        .iter()
+        .map(|n| tests::by_name(n).expect("catalog"))
+        .collect();
+    let verdicts = cf_algos::fences::necessity(&fenced, &tests, Mode::Relaxed)
+        .expect("analysis runs");
+    assert_eq!(verdicts.len(), 5);
+    for v in &verdicts {
+        assert!(
+            v.broken_by.is_some(),
+            "removing {} should break one of the SPSC tests",
+            v.site
+        );
+    }
+}
+
+#[test]
+fn unfenced_passes_on_sc_and_tso() {
+    // TSO preserves store-store, load-load and load-store order — every
+    // ordering this algorithm relies on. Only the (irrelevant here)
+    // store-load order is relaxed, so the published algorithm is
+    // TSO-correct with no fences, like the paper's five (§4.2).
+    let h = lamport::harness(Variant::Unfenced);
+    assert!(outcome(&h, "L0", Mode::Sc).passed());
+    assert!(outcome(&h, "Lpc2", Mode::Sc).passed());
+    assert!(outcome(&h, "L0", Mode::Tso).passed());
+    assert!(outcome(&h, "Lpc2", Mode::Tso).passed());
+}
+
+#[test]
+fn unfenced_fails_on_pso_and_relaxed() {
+    // The producer's slot store reorders past its tail bump: the
+    // consumer dequeues an undefined slot ("incomplete initialization",
+    // the §4.3 pattern, with an array slot instead of a node field).
+    let h = lamport::harness(Variant::Unfenced);
+    assert!(!outcome(&h, "L0", Mode::Pso).passed());
+    assert!(!outcome(&h, "L0", Mode::Relaxed).passed());
+}
+
+#[test]
+fn store_store_alone_repairs_pso_but_not_relaxed() {
+    let h = lamport::harness_with_kinds(false, true, false);
+    assert!(outcome(&h, "L0", Mode::Pso).passed());
+    assert!(outcome(&h, "Lpc3", Mode::Pso).passed());
+    assert!(
+        !outcome(&h, "L0", Mode::Relaxed).passed(),
+        "the consumer's index/data load pair still reorders"
+    );
+}
+
+#[test]
+fn sat_mining_agrees_with_the_bounded_queue_reference() {
+    let h = lamport::harness(Variant::Fenced);
+    for name in ["L0", "Li1", "Lpc2"] {
+        let t = tests::by_name(name).expect("catalog");
+        let sat = Checker::new(&h, &t).mine_spec().expect("sat mining").spec;
+        let reference = refmodel::mine(Shape::Spsc, &t);
+        assert_eq!(
+            sat.vectors, reference.vectors,
+            "{name}: SAT mining and the capacity-1 reference disagree"
+        );
+    }
+}
+
+#[test]
+fn full_rejection_is_an_observable_behaviour() {
+    // Capacity 1: the spec itself contains "enqueue returned full"
+    // vectors — check one is mined for Lpc2 (two producers' enqueues
+    // back to back must overflow without an intervening dequeue).
+    let t = tests::by_name("Lpc2").expect("catalog");
+    let spec = refmodel::mine(Shape::Spsc, &t);
+    let has_full = spec
+        .vectors
+        .iter()
+        .any(|v| v.iter().any(|x| *x == cf_lsl::Value::Int(0)));
+    assert!(has_full, "some serial execution reports a full queue");
+}

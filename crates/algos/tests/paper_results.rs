@@ -1,0 +1,132 @@
+//! The qualitative results of paper §4, as an executable test suite:
+//! which implementations pass on which memory model, which bugs are
+//! found, and that the fence placements are sufficient.
+//!
+//! These use the pairwise (paper-faithful) order encoding and small
+//! catalog tests, mirroring how "all memory model-related bugs were
+//! found on such small testcases" (§4).
+
+use cf_algos::{harris, lazylist, ms2, msn, snark, tests, Variant};
+use checkfence::{CheckError, CheckOutcome, Checker, FailureKind, Harness};
+use cf_memmodel::Mode;
+
+fn outcome(h: &Harness, test_name: &str, mode: Mode) -> CheckOutcome {
+    let t = tests::by_name(test_name).expect("catalog test");
+    let c = Checker::new(h, &t).with_memory_model(mode);
+    let spec = c.mine_spec_reference().expect("mines").spec;
+    c.check_inclusion(&spec).expect("checks").outcome
+}
+
+// ---------------------------------------------------------------- msn
+
+#[test]
+fn msn_fenced_passes_t0_on_relaxed() {
+    let h = msn::harness(Variant::Fenced);
+    assert!(outcome(&h, "T0", Mode::Relaxed).passed());
+}
+
+#[test]
+fn msn_unfenced_passes_on_sc_but_fails_on_relaxed() {
+    let h = msn::harness(Variant::Unfenced);
+    assert!(outcome(&h, "T0", Mode::Sc).passed(), "the algorithm is correct under SC");
+    match outcome(&h, "T0", Mode::Relaxed) {
+        CheckOutcome::Fail(cx) => {
+            assert_eq!(cx.kind, FailureKind::InconsistentObservation, "{cx}");
+        }
+        CheckOutcome::Pass => panic!("unfenced msn must fail on Relaxed (§4.2)"),
+    }
+}
+
+// ---------------------------------------------------------------- ms2
+
+#[test]
+fn ms2_fenced_passes_t0_on_relaxed() {
+    let h = ms2::harness(Variant::Fenced);
+    assert!(outcome(&h, "T0", Mode::Relaxed).passed());
+}
+
+#[test]
+fn ms2_unfenced_passes_on_sc_but_fails_on_relaxed() {
+    // The classic "incomplete initialization" failure (§4.3): node
+    // fields published after the link becomes visible.
+    let h = ms2::harness(Variant::Unfenced);
+    assert!(outcome(&h, "T0", Mode::Sc).passed());
+    assert!(!outcome(&h, "T0", Mode::Relaxed).passed());
+}
+
+// ------------------------------------------------------------ lazylist
+
+#[test]
+fn lazylist_buggy_marked_init_found_serially_on_sac() {
+    // The paper's §4.1 finding: the published pseudocode fails to
+    // initialize `marked`; CheckFence detects the undefined read during
+    // specification mining of the `Sac` test.
+    let h = lazylist::harness(lazylist::Build::Buggy);
+    let t = tests::by_name("Sac").expect("catalog");
+    let c = Checker::new(&h, &t);
+    match c.mine_spec_reference() {
+        Err(CheckError::SerialBug(cx)) => {
+            assert!(
+                cx.errors.iter().any(|e| e.contains("undefined")),
+                "expected an undefined-value error, got {:?}",
+                cx.errors
+            );
+        }
+        other => panic!("expected the marked-field bug, got {other:?}"),
+    }
+}
+
+#[test]
+fn lazylist_fixed_passes_sac_on_relaxed() {
+    let h = lazylist::harness(lazylist::Build::Fixed);
+    assert!(outcome(&h, "Sac", Mode::Relaxed).passed());
+}
+
+#[test]
+fn lazylist_unfenced_fails_on_relaxed() {
+    let h = lazylist::harness(lazylist::Build::Unfenced);
+    assert!(outcome(&h, "Sac", Mode::Sc).passed());
+    assert!(!outcome(&h, "Sac", Mode::Relaxed).passed());
+}
+
+// -------------------------------------------------------------- harris
+
+#[test]
+fn harris_fenced_passes_sac_on_relaxed() {
+    let h = harris::harness(Variant::Fenced);
+    assert!(outcome(&h, "Sac", Mode::Relaxed).passed());
+}
+
+#[test]
+fn harris_unfenced_fails_on_relaxed() {
+    let h = harris::harness(Variant::Unfenced);
+    assert!(outcome(&h, "Sac", Mode::Sc).passed());
+    assert!(!outcome(&h, "Sac", Mode::Relaxed).passed());
+}
+
+// --------------------------------------------------------------- snark
+
+#[test]
+fn snark_fixed_passes_d0_on_sc() {
+    let h = snark::harness(snark::Build::Fixed, Variant::Fenced);
+    assert!(outcome(&h, "D0", Mode::Sc).passed());
+}
+
+#[test]
+fn snark_original_double_pop_found_on_da() {
+    // The seeded double-pop bug (same class as the published snark bug,
+    // §4.1) is a logic error: it already shows under SC.
+    let h = snark::harness(snark::Build::Original, Variant::Fenced);
+    match outcome(&h, "Da", Mode::Sc) {
+        CheckOutcome::Fail(cx) => {
+            assert_eq!(cx.kind, FailureKind::InconsistentObservation, "{cx}");
+        }
+        CheckOutcome::Pass => panic!("original snark must double-pop on Da"),
+    }
+}
+
+#[test]
+fn snark_fixed_passes_da_on_sc() {
+    let h = snark::harness(snark::Build::Fixed, Variant::Fenced);
+    assert!(outcome(&h, "Da", Mode::Sc).passed());
+}

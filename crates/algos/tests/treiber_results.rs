@@ -1,0 +1,121 @@
+//! Verification results for the Treiber stack extension: the same
+//! qualitative battery the paper runs on its five algorithms (§4),
+//! plus commit-point method agreement.
+
+use cf_algos::{refmodel, tests, treiber, Shape, Variant};
+use checkfence::commit::AbstractType;
+use checkfence::{CheckOutcome, Checker, Harness};
+use cf_memmodel::Mode;
+
+fn outcome(h: &Harness, test_name: &str, mode: Mode) -> CheckOutcome {
+    let t = tests::by_name(test_name).expect("catalog test");
+    let c = Checker::new(h, &t).with_memory_model(mode);
+    let spec = c.mine_spec_reference().expect("mines").spec;
+    c.check_inclusion(&spec).expect("checks").outcome
+}
+
+#[test]
+fn fenced_passes_u0_and_ui2_on_relaxed() {
+    let h = treiber::harness(Variant::Fenced);
+    assert!(outcome(&h, "U0", Mode::Relaxed).passed());
+    assert!(outcome(&h, "Ui2", Mode::Relaxed).passed());
+}
+
+#[test]
+fn unfenced_passes_on_sc_and_tso_but_fails_on_pso_and_relaxed() {
+    let h = treiber::harness(Variant::Unfenced);
+    assert!(outcome(&h, "U0", Mode::Sc).passed(), "correct under SC");
+    assert!(outcome(&h, "U0", Mode::Tso).passed(), "both fence kinds automatic on TSO");
+    assert!(!outcome(&h, "U0", Mode::Pso).passed(), "store-store fence needed on PSO");
+    assert!(!outcome(&h, "U0", Mode::Relaxed).passed(), "both fences needed on Relaxed");
+}
+
+#[test]
+fn store_store_only_passes_on_pso_but_not_relaxed() {
+    let h = treiber::harness_with_kinds(false, true);
+    assert!(outcome(&h, "U0", Mode::Pso).passed());
+    assert!(!outcome(&h, "U0", Mode::Relaxed).passed(), "dependent loads still speculate");
+}
+
+#[test]
+fn each_fence_is_necessary_on_relaxed() {
+    // Deleting either of the two fences individually breaks U0 — via
+    // the library-level §4.2 necessity analysis.
+    let fenced = treiber::harness(Variant::Fenced);
+    let u0 = tests::by_name("U0").expect("catalog");
+    let verdicts =
+        cf_algos::fences::necessity(&fenced, &[u0], Mode::Relaxed).expect("analysis runs");
+    assert_eq!(verdicts.len(), 2);
+    for v in &verdicts {
+        assert_eq!(
+            v.broken_by.as_deref(),
+            Some("U0"),
+            "removing {} must break U0 on Relaxed",
+            v.site
+        );
+    }
+}
+
+#[test]
+fn sat_mining_agrees_with_reference_model() {
+    let h = treiber::harness(Variant::Fenced);
+    for name in ["U0", "Ui2", "Upc2"] {
+        let t = tests::by_name(name).expect("catalog");
+        let c = Checker::new(&h, &t);
+        let sat = c.mine_spec().expect("sat mining").spec;
+        let reference = refmodel::mine(Shape::Stack, &t);
+        assert_eq!(
+            sat.vectors, reference.vectors,
+            "{name}: SAT mining and the LIFO reference model disagree"
+        );
+    }
+}
+
+#[test]
+fn commit_method_agrees_on_stack_tests() {
+    let h = treiber::harness(Variant::Fenced);
+    for (name, mode) in [("U0", Mode::Sc), ("Ui2", Mode::Sc), ("U0", Mode::Relaxed)] {
+        let t = tests::by_name(name).expect("catalog");
+        let c = Checker::new(&h, &t).with_memory_model(mode);
+        let r = c.check_commit_method(AbstractType::Stack).expect("runs");
+        assert!(
+            r.outcome.passed(),
+            "commit method must pass {name} on {}",
+            mode.name()
+        );
+    }
+}
+
+#[test]
+fn commit_method_distinguishes_lifo_from_fifo() {
+    // A queue is not a stack: with two inserts before the removes, the
+    // stack machine rejects msn's FIFO answers...
+    let q = cf_algos::msn::harness(Variant::Fenced);
+    let t = tests::by_name("Tpc2").expect("catalog");
+    let c = Checker::new(&q, &t).with_memory_model(Mode::Sc);
+    let r = c.check_commit_method(AbstractType::Stack).expect("runs");
+    assert!(!r.outcome.passed(), "FIFO answers must violate the LIFO machine");
+
+    // ...and symmetrically the queue machine rejects Treiber's LIFO
+    // answers.
+    let s = treiber::harness(Variant::Fenced);
+    let t = tests::by_name("Upc2").expect("catalog");
+    let c = Checker::new(&s, &t).with_memory_model(Mode::Sc);
+    let r = c.check_commit_method(AbstractType::Queue).expect("runs");
+    assert!(!r.outcome.passed(), "LIFO answers must violate the FIFO machine");
+}
+
+#[test]
+fn unfenced_counterexample_mentions_a_relaxed_failure() {
+    let h = treiber::harness(Variant::Unfenced);
+    match outcome(&h, "U0", Mode::Relaxed) {
+        CheckOutcome::Fail(cx) => {
+            let text = format!("{cx}");
+            assert!(
+                !text.is_empty() && text.contains("pop") || text.contains("push"),
+                "trace should mention the operations: {text}"
+            );
+        }
+        CheckOutcome::Pass => panic!("unfenced treiber must fail on Relaxed"),
+    }
+}

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks for the substrates: the CDCL solver, the
+//! concrete interpreter (serial mining) and the CNF encoder.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cf_algos::{msn, tests, Variant};
+use checkfence::{analyze, execute, Encoding, LoopBounds, OrderEncoding};
+use cf_memmodel::Mode;
+use cf_sat::{Lit, SolveResult, Solver};
+
+/// Pigeonhole PHP(n+1, n): a classic UNSAT family for CDCL stress.
+fn pigeonhole(n: i64) -> Solver {
+    let mut s = Solver::new();
+    let v = |p: i64, h: i64| Lit::from_dimacs((p - 1) * n + h);
+    for p in 1..=n + 1 {
+        let clause: Vec<Lit> = (1..=n).map(|h| v(p, h)).collect();
+        while s.num_vars() < (n * (n + 1)) as usize {
+            s.new_var();
+        }
+        s.add_clause(clause);
+    }
+    for h in 1..=n {
+        for p1 in 1..=n + 1 {
+            for p2 in (p1 + 1)..=n + 1 {
+                s.add_clause([!v(p1, h), !v(p2, h)]);
+            }
+        }
+    }
+    s
+}
+
+fn bench_solver(c: &mut Criterion) {
+    c.bench_function("sat/pigeonhole-7", |b| {
+        b.iter(|| {
+            let mut s = pigeonhole(7);
+            assert_eq!(s.solve(), SolveResult::Unsat);
+        })
+    });
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let h = msn::harness(Variant::Fenced);
+    let t = tests::by_name("T0").expect("catalog");
+    c.bench_function("mine/reference-msn-T0", |b| {
+        b.iter(|| {
+            let spec = checkfence::mine_reference(&h, &t).expect("mines").spec;
+            assert_eq!(spec.len(), 4);
+        })
+    });
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let h = msn::harness(Variant::Fenced);
+    let t = tests::by_name("T0").expect("catalog");
+    let sx = execute(&h, &t, &LoopBounds::new(), 2).expect("executes");
+    let range = analyze(&sx, true);
+    c.bench_function("encode/msn-T0-pairwise", |b| {
+        b.iter(|| {
+            let enc = Encoding::build(&sx, &range, Mode::Relaxed, OrderEncoding::Pairwise);
+            assert!(enc.cnf.num_vars() > 0);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_solver, bench_mining, bench_encoding
+}
+criterion_main!(benches);

@@ -1,0 +1,616 @@
+//! The CheckFence verification pipeline.
+//!
+//! A [`Checker`] binds an implementation ([`Harness`]) to a symbolic test
+//! ([`TestSpec`]) and offers the two phases of the paper's method:
+//!
+//! 1. **Specification mining** (§3.2): enumerate the observation set of
+//!    all serial executions, either with the SAT encoding under the
+//!    Seriality "memory model" ([`Checker::mine_spec`]) or by explicit
+//!    interleaving of the concrete interpreter
+//!    ([`Checker::mine_spec_reference`], the paper's fast "refset" path).
+//! 2. **Inclusion check** (§3.2): solve for an execution on the chosen
+//!    memory model whose observation lies outside the specification (or
+//!    which raises a runtime error), and decode a counterexample trace.
+//!
+//! Both phases run inside the lazy loop-unrolling procedure of §3.3.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use cf_lsl::Value;
+use cf_memmodel::{AccessKind, Mode};
+use cf_sat::{Lit, SolveResult};
+
+use crate::encode::{Encoding, OrderEncoding};
+use crate::range::analyze;
+use crate::symexec::{execute, LoopBounds, SymExec, SymExecError, UnrollStats};
+use crate::test_spec::{Harness, TestSpec};
+
+/// Configuration of a verification run.
+#[derive(Clone, Debug)]
+pub struct CheckConfig {
+    /// Memory model for the inclusion check (mining always uses
+    /// Seriality).
+    pub memory_model: Mode,
+    /// Memory-order encoding.
+    pub order_encoding: OrderEncoding,
+    /// Whether the range analysis runs (Fig. 11c ablation).
+    pub range_analysis: bool,
+    /// Maximum lazy-unrolling refinements before giving up.
+    pub max_bound_rounds: u32,
+    /// Optional SAT conflict budget per solve call.
+    pub conflict_budget: Option<u64>,
+    /// Unrolling bound for `spin`-marked retry loops (their exit is
+    /// assumed within this many iterations; see the spin-loop reduction).
+    pub spin_bound: u32,
+    /// Feature toggles of the underlying SAT solver (for the solver
+    /// ablation bench; the default enables everything).
+    pub solver_config: cf_sat::SolverConfig,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            memory_model: Mode::Relaxed,
+            order_encoding: OrderEncoding::Pairwise,
+            range_analysis: true,
+            max_bound_rounds: 8,
+            conflict_budget: None,
+            spin_bound: 3,
+            solver_config: cf_sat::SolverConfig::default(),
+        }
+    }
+}
+
+/// The observation set `S` (paper §2.2): the specification mined from
+/// serial executions.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ObsSet {
+    /// Each vector lists argument/return values in canonical operation
+    /// order.
+    pub vectors: BTreeSet<Vec<Value>>,
+}
+
+impl ObsSet {
+    /// Number of distinct observations.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// `true` if no observation was mined.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, obs: &[Value]) -> bool {
+        self.vectors.contains(obs)
+    }
+}
+
+/// One step of a counterexample trace, in memory order.
+#[derive(Clone, Debug)]
+pub struct TraceStep {
+    /// Thread (0 = initialization).
+    pub thread: usize,
+    /// Operation index.
+    pub op: usize,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Resolved address.
+    pub addr: Value,
+    /// Human-readable location name.
+    pub location: String,
+    /// The value loaded or stored.
+    pub value: Value,
+    /// Source provenance.
+    pub label: String,
+}
+
+/// Why the check failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailureKind {
+    /// The observation is not produced by any serial execution.
+    InconsistentObservation,
+    /// A runtime error (assertion, undefined value, bad address).
+    RuntimeError,
+    /// The failure was found during serial specification mining — the
+    /// algorithm is broken even without memory-model relaxations.
+    SerialError,
+}
+
+/// A decoded counterexample execution (paper Fig. 1 "counterexample
+/// trace").
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// What kind of failure this is.
+    pub kind: FailureKind,
+    /// The observation vector of the failing execution.
+    pub obs: Vec<Value>,
+    /// Triggered error descriptions (empty for pure consistency
+    /// violations).
+    pub errors: Vec<String>,
+    /// Executed memory accesses in memory order.
+    pub steps: Vec<TraceStep>,
+    /// The memory model under which the execution exists.
+    pub model: Mode,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "counterexample on {} ({})",
+            self.model.name(),
+            match self.kind {
+                FailureKind::InconsistentObservation => "observation not serializable",
+                FailureKind::RuntimeError => "runtime error",
+                FailureKind::SerialError => "serial execution error",
+            }
+        )?;
+        writeln!(f, "  observation: {}", format_obs(&self.obs))?;
+        for e in &self.errors {
+            writeln!(f, "  error: {e}")?;
+        }
+        writeln!(f, "  memory order:")?;
+        for s in &self.steps {
+            writeln!(
+                f,
+                "    [t{} op{}] {} {} = {}  ({})",
+                s.thread,
+                s.op,
+                match s.kind {
+                    AccessKind::Load => "load ",
+                    AccessKind::Store => "store",
+                },
+                s.location,
+                s.value,
+                s.label
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn format_obs(obs: &[Value]) -> String {
+    let parts: Vec<String> = obs.iter().map(ToString::to_string).collect();
+    format!("({})", parts.join(", "))
+}
+
+/// Outcome of an inclusion check.
+#[derive(Clone, Debug)]
+pub enum CheckOutcome {
+    /// Every execution's observation is serializable: the implementation
+    /// satisfies the specification on this model.
+    Pass,
+    /// A counterexample exists.
+    Fail(Box<Counterexample>),
+}
+
+impl CheckOutcome {
+    /// `true` on pass.
+    pub fn passed(&self) -> bool {
+        matches!(self, CheckOutcome::Pass)
+    }
+}
+
+/// Statistics of one phase (mining or inclusion), the raw material of
+/// Fig. 10 and Fig. 11.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseStats {
+    /// Unrolled-code size.
+    pub unrolled: UnrollStats,
+    /// Time spent building CNF.
+    pub encode_time: Duration,
+    /// Time spent inside the SAT solver.
+    pub solve_time: Duration,
+    /// End-to-end time of the phase.
+    pub total_time: Duration,
+    /// SAT variables of the final encoding.
+    pub sat_vars: usize,
+    /// Clauses of the final encoding.
+    pub sat_clauses: u64,
+    /// Solver iterations (mining: one per observation).
+    pub iterations: u32,
+    /// Lazy-unrolling rounds used.
+    pub bound_rounds: u32,
+}
+
+/// Result of specification mining.
+#[derive(Clone, Debug)]
+pub struct MiningResult {
+    /// The mined observation set.
+    pub spec: ObsSet,
+    /// Statistics.
+    pub stats: PhaseStats,
+}
+
+/// Result of an inclusion check.
+#[derive(Clone, Debug)]
+pub struct InclusionResult {
+    /// Pass/fail.
+    pub outcome: CheckOutcome,
+    /// Statistics.
+    pub stats: PhaseStats,
+}
+
+/// Errors of the checking infrastructure itself.
+#[derive(Clone, Debug)]
+pub enum CheckError {
+    /// Symbolic execution failed structurally.
+    SymExec(SymExecError),
+    /// Loop bounds kept growing past the configured limit.
+    BoundsDiverged {
+        /// The loops that would not converge.
+        keys: Vec<String>,
+    },
+    /// The SAT solver exhausted its conflict budget.
+    SolverBudget,
+    /// A serial execution raised a runtime error: the implementation is
+    /// broken sequentially, so mining cannot produce a specification.
+    SerialBug(Box<Counterexample>),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::SymExec(e) => write!(f, "{e}"),
+            CheckError::BoundsDiverged { keys } => {
+                write!(f, "loop bounds diverged for {keys:?}")
+            }
+            CheckError::SolverBudget => write!(f, "SAT conflict budget exhausted"),
+            CheckError::SerialBug(c) => write!(f, "serial bug found:\n{c}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<SymExecError> for CheckError {
+    fn from(e: SymExecError) -> Self {
+        CheckError::SymExec(e)
+    }
+}
+
+/// Whether a payload result depends on the loop bounds being sufficient.
+enum Round<T> {
+    /// Valid regardless of loop bounds (a within-bounds counterexample).
+    Final(T),
+    /// Valid only if no execution exceeds the bounds (a pass / a spec).
+    Bounded(T),
+}
+
+/// A configured verification session for one implementation and one test.
+pub struct Checker<'h> {
+    harness: &'h Harness,
+    test: &'h TestSpec,
+    /// The configuration (freely adjustable between calls).
+    pub config: CheckConfig,
+}
+
+impl<'h> Checker<'h> {
+    pub(crate) fn harness_ref(&self) -> &'h Harness {
+        self.harness
+    }
+
+    pub(crate) fn test_ref(&self) -> &'h TestSpec {
+        self.test
+    }
+
+    /// Creates a checker with default configuration.
+    pub fn new(harness: &'h Harness, test: &'h TestSpec) -> Self {
+        Checker {
+            harness,
+            test,
+            config: CheckConfig::default(),
+        }
+    }
+
+    /// Sets the memory model for inclusion checks.
+    pub fn with_memory_model(mut self, model: Mode) -> Self {
+        self.config.memory_model = model;
+        self
+    }
+
+    /// Sets the memory-order encoding.
+    pub fn with_order_encoding(mut self, enc: OrderEncoding) -> Self {
+        self.config.order_encoding = enc;
+        self
+    }
+
+    /// Enables or disables the range analysis.
+    pub fn with_range_analysis(mut self, on: bool) -> Self {
+        self.config.range_analysis = on;
+        self
+    }
+
+    /// Builds the encoding for a mode with lazily refined loop bounds
+    /// (§3.3). `payload` runs restricted to within-bounds executions and
+    /// reports whether its result is *final* (a counterexample: "the loop
+    /// bounds are irrelevant in that case") or *bound-sensitive* (a pass
+    /// or a mined specification, valid only if the bounds cover all
+    /// executions). For bound-sensitive results the checker then solves
+    /// specifically for executions exceeding the bounds and, if any
+    /// exist, increments the affected loop bounds and repeats.
+    fn with_bounds<T>(
+        &self,
+        mode: Mode,
+        stats: &mut PhaseStats,
+        mut payload: impl FnMut(
+            &SymExec,
+            &mut Encoding,
+            &[Lit],
+            &mut PhaseStats,
+        ) -> Result<Round<T>, CheckError>,
+    ) -> Result<T, CheckError> {
+        let mut bounds = LoopBounds::new();
+        for round in 0..self.config.max_bound_rounds {
+            stats.bound_rounds = round + 1;
+            let sx = execute(self.harness, self.test, &bounds, self.config.spin_bound)?;
+            let t0 = Instant::now();
+            let range = analyze(&sx, self.config.range_analysis);
+            let mut enc = Encoding::build(&sx, &range, mode, self.config.order_encoding);
+            stats.encode_time += t0.elapsed();
+            stats.unrolled = sx.stats;
+            stats.sat_vars = enc.cnf.num_vars();
+            stats.sat_clauses = enc.cnf.num_clauses();
+            enc.cnf.solver.set_conflict_budget(self.config.conflict_budget);
+            enc.cnf.solver.set_config(self.config.solver_config);
+
+            // Prepare the bound-overflow query before the payload runs
+            // (the payload may add blocking clauses that must not mask
+            // overflowing executions).
+            let overflow_act = if enc.exceeded.is_empty() {
+                None
+            } else {
+                let act = enc.cnf.fresh();
+                let mut clause = vec![!act];
+                clause.extend(enc.exceeded.iter().map(|(_, l)| *l));
+                enc.cnf.clause(clause);
+                Some(act)
+            };
+            // Check for overflow first so the payload's incremental
+            // clauses cannot hide exceeded executions; a *failing*
+            // payload result is still returned below even when bounds
+            // are insufficient (failures are within-bounds witnesses).
+            let overflow = match overflow_act {
+                None => false,
+                Some(act) => {
+                    let t = Instant::now();
+                    let r = enc.cnf.solver.solve_with(&[act]);
+                    stats.solve_time += t.elapsed();
+                    match r {
+                        SolveResult::Sat => {
+                            for key in enc.exceeded_keys() {
+                                *bounds.entry(key).or_insert(1) += 1;
+                            }
+                            true
+                        }
+                        SolveResult::Unsat => {
+                            enc.cnf.assert_lit(!act);
+                            false
+                        }
+                        SolveResult::Unknown => return Err(CheckError::SolverBudget),
+                    }
+                }
+            };
+            let assumptions: Vec<Lit> = enc.exceeded.iter().map(|(_, l)| !*l).collect();
+            match payload(&sx, &mut enc, &assumptions, stats)? {
+                Round::Final(t) => return Ok(t),
+                Round::Bounded(t) => {
+                    if !overflow {
+                        return Ok(t);
+                    }
+                    // Bounds insufficient: grow and retry.
+                }
+            }
+        }
+        Err(CheckError::BoundsDiverged {
+            keys: bounds.keys().cloned().collect(),
+        })
+    }
+
+    /// Mines the observation set with the SAT encoding under Seriality
+    /// (paper §3.2 "Specification mining").
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::SerialBug`] if a serial execution raises a runtime
+    /// error (this is itself a verification result — e.g. the lazy-list
+    /// initialization bug); infrastructure errors otherwise.
+    pub fn mine_spec(&self) -> Result<MiningResult, CheckError> {
+        let t0 = Instant::now();
+        let mut stats = PhaseStats::default();
+        let spec = self.with_bounds(Mode::Serial, &mut stats, |sx, enc, assumptions, stats| {
+            // First: any serial execution with an error is a sequential bug.
+            let mut with_err = assumptions.to_vec();
+            with_err.push(enc.error_lit);
+            let t = Instant::now();
+            let r = enc.cnf.solver.solve_with(&with_err);
+            stats.solve_time += t.elapsed();
+            match r {
+                SolveResult::Sat => {
+                    let cx = decode_counterexample(
+                        sx,
+                        enc,
+                        FailureKind::SerialError,
+                        Mode::Serial,
+                    );
+                    return Err(CheckError::SerialBug(Box::new(cx)));
+                }
+                SolveResult::Unknown => return Err(CheckError::SolverBudget),
+                SolveResult::Unsat => {}
+            }
+            // Enumerate observations of error-free serial executions.
+            let mut clean = assumptions.to_vec();
+            clean.push(!enc.error_lit);
+            let mut vectors = BTreeSet::new();
+            loop {
+                let t = Instant::now();
+                let r = enc.cnf.solver.solve_with(&clean);
+                stats.solve_time += t.elapsed();
+                match r {
+                    SolveResult::Sat => {
+                        stats.iterations += 1;
+                        let obs = enc.decode_obs();
+                        // Block this observation.
+                        let mut block: Vec<Lit> = Vec::with_capacity(obs.len());
+                        for (i, v) in obs.iter().enumerate() {
+                            let e = enc.obs[i].clone();
+                            let eq = enc.enc_eq_const(&e, v);
+                            block.push(!eq);
+                        }
+                        enc.cnf.clause(block);
+                        vectors.insert(obs);
+                    }
+                    SolveResult::Unsat => break,
+                    SolveResult::Unknown => return Err(CheckError::SolverBudget),
+                }
+            }
+            Ok(Round::Bounded(ObsSet { vectors }))
+        })?;
+        stats.total_time = t0.elapsed();
+        Ok(MiningResult { spec, stats })
+    }
+
+    /// Enumerates the observations of **all** executions under the given
+    /// memory model (not just serial ones) by iterated solving with
+    /// blocking clauses. Error executions are excluded.
+    ///
+    /// This is primarily a validation device: on litmus-sized programs
+    /// the result must agree with explicit-state enumeration of the
+    /// axioms (`cf-memmodel`), which property tests verify.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure errors only.
+    pub fn enumerate_observations(&self, mode: Mode) -> Result<ObsSet, CheckError> {
+        let mut stats = PhaseStats::default();
+        self.with_bounds(mode, &mut stats, |_sx, enc, assumptions, stats| {
+            let mut clean = assumptions.to_vec();
+            clean.push(!enc.error_lit);
+            let mut vectors = BTreeSet::new();
+            loop {
+                let t = Instant::now();
+                let r = enc.cnf.solver.solve_with(&clean);
+                stats.solve_time += t.elapsed();
+                match r {
+                    SolveResult::Sat => {
+                        let obs = enc.decode_obs();
+                        let mut block: Vec<Lit> = Vec::with_capacity(obs.len());
+                        for (i, v) in obs.iter().enumerate() {
+                            let e = enc.obs[i].clone();
+                            let eq = enc.enc_eq_const(&e, v);
+                            block.push(!eq);
+                        }
+                        enc.cnf.clause(block);
+                        vectors.insert(obs);
+                    }
+                    SolveResult::Unsat => break,
+                    SolveResult::Unknown => return Err(CheckError::SolverBudget),
+                }
+            }
+            Ok(Round::Bounded(ObsSet { vectors }))
+        })
+    }
+
+    /// Checks that every execution on the configured memory model
+    /// produces an observation in `spec` and raises no runtime error.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure errors only; verification failures are reported as
+    /// [`CheckOutcome::Fail`].
+    pub fn check_inclusion(&self, spec: &ObsSet) -> Result<InclusionResult, CheckError> {
+        let t0 = Instant::now();
+        let mut stats = PhaseStats::default();
+        let model = self.config.memory_model;
+        let outcome =
+            self.with_bounds(model, &mut stats, |sx, enc, assumptions, stats| {
+                // bad := error ∨ (obs ∉ S)
+                let mut no_match = enc.cnf.tt();
+                for o in &spec.vectors {
+                    let mut all_eq = enc.cnf.tt();
+                    for (i, v) in o.iter().enumerate() {
+                        let e = enc.obs[i].clone();
+                        let eq = enc.enc_eq_const(&e, v);
+                        all_eq = enc.cnf.and(all_eq, eq);
+                    }
+                    no_match = enc.cnf.and(no_match, !all_eq);
+                }
+                let bad = enc.cnf.or(enc.error_lit, no_match);
+                let mut a = assumptions.to_vec();
+                a.push(bad);
+                let t = Instant::now();
+                let r = enc.cnf.solver.solve_with(&a);
+                stats.solve_time += t.elapsed();
+                match r {
+                    SolveResult::Unsat => Ok(Round::Bounded(CheckOutcome::Pass)),
+                    SolveResult::Unknown => Err(CheckError::SolverBudget),
+                    SolveResult::Sat => {
+                        let kind = if enc.cnf.lit_value(enc.error_lit) {
+                            FailureKind::RuntimeError
+                        } else {
+                            FailureKind::InconsistentObservation
+                        };
+                        let cx = decode_counterexample(sx, enc, kind, model);
+                        Ok(Round::Final(CheckOutcome::Fail(Box::new(cx))))
+                    }
+                }
+            })?;
+        stats.total_time = t0.elapsed();
+        Ok(InclusionResult { outcome, stats })
+    }
+
+    /// Convenience: mine the specification with the reference
+    /// interpreter, then run the inclusion check.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mining and inclusion errors; a sequential bug surfaces
+    /// as [`CheckError::SerialBug`].
+    pub fn check(&self) -> Result<InclusionResult, CheckError> {
+        let mining = self.mine_spec_reference()?;
+        self.check_inclusion(&mining.spec)
+    }
+}
+
+/// Decodes the current model into a counterexample.
+pub(crate) fn decode_counterexample(
+    sx: &SymExec,
+    enc: &mut Encoding,
+    kind: FailureKind,
+    model: Mode,
+) -> Counterexample {
+    let obs = enc.decode_obs();
+    let errors = enc.triggered_errors();
+    let order = enc.memory_order();
+    let steps = order
+        .into_iter()
+        .map(|i| {
+            let e = &sx.events[i];
+            let addr = enc.decode(&enc.addrs[i]);
+            let location = match &addr {
+                Value::Ptr(p) => sx.space.location_name(&sx.types, p),
+                other => format!("<{other}>"),
+            };
+            TraceStep {
+                thread: e.thread,
+                op: e.op,
+                kind: e.kind,
+                addr,
+                location,
+                value: enc.decode(&enc.values[i]),
+                label: e.label.clone(),
+            }
+        })
+        .collect();
+    Counterexample {
+        kind,
+        obs,
+        errors,
+        steps,
+        model,
+    }
+}

@@ -1,0 +1,435 @@
+//! CNF construction: Tseitin gates and bitvector circuits.
+//!
+//! The encoder lowers the term DAG and the memory-model axioms through
+//! this builder into the clause database of the [`cf_sat::Solver`]. Gates
+//! are cached structurally, constants fold away, and bitvectors are
+//! little-endian `Vec<Lit>`s.
+
+use std::collections::HashMap;
+
+use cf_sat::{Lit, Solver};
+
+/// A CNF builder wrapping an incremental SAT solver.
+#[derive(Debug)]
+pub struct CnfBuilder {
+    /// The underlying solver (exposed for solving and model queries).
+    pub solver: Solver,
+    true_lit: Lit,
+    and_cache: HashMap<(Lit, Lit), Lit>,
+    xor_cache: HashMap<(Lit, Lit), Lit>,
+    clauses: u64,
+}
+
+impl Default for CnfBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CnfBuilder {
+    /// Creates a builder with a constant-true variable reserved.
+    pub fn new() -> Self {
+        let mut solver = Solver::new();
+        let t = solver.new_var().positive();
+        solver.add_clause([t]);
+        CnfBuilder {
+            solver,
+            true_lit: t,
+            and_cache: HashMap::new(),
+            xor_cache: HashMap::new(),
+            clauses: 0,
+        }
+    }
+
+    /// The constant-true literal.
+    pub fn tt(&self) -> Lit {
+        self.true_lit
+    }
+
+    /// The constant-false literal.
+    pub fn ff(&self) -> Lit {
+        !self.true_lit
+    }
+
+    /// A constant literal.
+    pub fn constant(&self, b: bool) -> Lit {
+        if b {
+            self.tt()
+        } else {
+            self.ff()
+        }
+    }
+
+    /// A fresh variable literal.
+    pub fn fresh(&mut self) -> Lit {
+        self.solver.new_var().positive()
+    }
+
+    /// Number of SAT variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.solver.num_vars()
+    }
+
+    /// Number of clauses emitted through this builder.
+    pub fn num_clauses(&self) -> u64 {
+        self.clauses
+    }
+
+    /// Asserts a clause.
+    pub fn clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        self.clauses += 1;
+        self.solver.add_clause(lits);
+    }
+
+    /// Asserts a single literal.
+    pub fn assert_lit(&mut self, l: Lit) {
+        self.clause([l]);
+    }
+
+    // --------------------------------------------------------------- gates
+
+    /// `a ∧ b` (cached, constant-folded).
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == self.ff() || b == self.ff() || a == !b {
+            return self.ff();
+        }
+        if a == self.tt() || a == b {
+            return b;
+        }
+        if b == self.tt() {
+            return a;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if let Some(&l) = self.and_cache.get(&key) {
+            return l;
+        }
+        let c = self.fresh();
+        self.clause([!c, a]);
+        self.clause([!c, b]);
+        self.clause([!a, !b, c]);
+        self.and_cache.insert(key, c);
+        c
+    }
+
+    /// `a ∨ b`.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// `a ⊕ b` (cached, constant-folded).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == self.ff() {
+            return b;
+        }
+        if b == self.ff() {
+            return a;
+        }
+        if a == self.tt() {
+            return !b;
+        }
+        if b == self.tt() {
+            return !a;
+        }
+        if a == b {
+            return self.ff();
+        }
+        if a == !b {
+            return self.tt();
+        }
+        // Canonical key on positive forms; sign folded into result.
+        let (ka, fa) = (Lit::from_index(a.index() & !1), !a.sign());
+        let (kb, fb) = (Lit::from_index(b.index() & !1), !b.sign());
+        let flip = fa ^ fb;
+        let key = if ka < kb { (ka, kb) } else { (kb, ka) };
+        let base = if let Some(&l) = self.xor_cache.get(&key) {
+            l
+        } else {
+            let c = self.fresh();
+            self.clause([!c, ka, kb]);
+            self.clause([!c, !ka, !kb]);
+            self.clause([c, !ka, kb]);
+            self.clause([c, ka, !kb]);
+            self.xor_cache.insert(key, c);
+            c
+        };
+        if flip {
+            !base
+        } else {
+            base
+        }
+    }
+
+    /// `a ↔ b`.
+    pub fn iff(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor(a, b)
+    }
+
+    /// `if c then a else b`.
+    pub fn ite(&mut self, c: Lit, a: Lit, b: Lit) -> Lit {
+        if c == self.tt() {
+            return a;
+        }
+        if c == self.ff() {
+            return b;
+        }
+        if a == b {
+            return a;
+        }
+        let x = self.and(c, a);
+        let y = self.and(!c, b);
+        self.or(x, y)
+    }
+
+    /// Conjunction of many literals.
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        let mut acc = self.tt();
+        for &l in lits {
+            acc = self.and(acc, l);
+        }
+        acc
+    }
+
+    /// Disjunction of many literals.
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        let mut acc = self.ff();
+        for &l in lits {
+            acc = self.or(acc, l);
+        }
+        acc
+    }
+
+    // ---------------------------------------------------------- bitvectors
+
+    /// A constant bitvector (little-endian, two's complement).
+    pub fn bv_const(&mut self, value: i64, width: usize) -> Vec<Lit> {
+        (0..width)
+            .map(|i| self.constant(value >> i & 1 == 1))
+            .collect()
+    }
+
+    /// A fresh bitvector.
+    pub fn bv_fresh(&mut self, width: usize) -> Vec<Lit> {
+        (0..width).map(|_| self.fresh()).collect()
+    }
+
+    /// Bitwise equality.
+    pub fn bv_eq(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        assert_eq!(a.len(), b.len(), "width mismatch");
+        let mut acc = self.tt();
+        for (&x, &y) in a.iter().zip(b) {
+            let e = self.iff(x, y);
+            acc = self.and(acc, e);
+        }
+        acc
+    }
+
+    /// Bitwise mux.
+    pub fn bv_ite(&mut self, c: Lit, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        assert_eq!(a.len(), b.len(), "width mismatch");
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.ite(c, x, y))
+            .collect()
+    }
+
+    /// Two's complement addition (wrapping).
+    pub fn bv_add(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        assert_eq!(a.len(), b.len(), "width mismatch");
+        let mut out = Vec::with_capacity(a.len());
+        let mut carry = self.ff();
+        for (&x, &y) in a.iter().zip(b) {
+            let xy = self.xor(x, y);
+            out.push(self.xor(xy, carry));
+            let c1 = self.and(x, y);
+            let c2 = self.and(xy, carry);
+            carry = self.or(c1, c2);
+        }
+        out
+    }
+
+    /// Two's complement negation.
+    pub fn bv_neg(&mut self, a: &[Lit]) -> Vec<Lit> {
+        let inverted: Vec<Lit> = a.iter().map(|&l| !l).collect();
+        let one = self.bv_const(1, a.len());
+        self.bv_add(&inverted, &one)
+    }
+
+    /// Two's complement subtraction (wrapping).
+    pub fn bv_sub(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let nb = self.bv_neg(b);
+        self.bv_add(a, &nb)
+    }
+
+    /// Multiplication (wrapping, shift-and-add).
+    pub fn bv_mul(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        assert_eq!(a.len(), b.len(), "width mismatch");
+        let w = a.len();
+        let mut acc = self.bv_const(0, w);
+        for i in 0..w {
+            // partial = (a << i) masked by b[i]
+            let mut partial = vec![self.ff(); w];
+            for j in 0..w - i {
+                partial[i + j] = self.and(a[j], b[i]);
+            }
+            acc = self.bv_add(&acc, &partial);
+        }
+        acc
+    }
+
+    /// Unsigned less-than.
+    pub fn bv_ult(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        assert_eq!(a.len(), b.len(), "width mismatch");
+        let mut lt = self.ff();
+        for (&x, &y) in a.iter().zip(b) {
+            // From LSB to MSB: higher bits dominate.
+            let xlty = self.and(!x, y);
+            let eq = self.iff(x, y);
+            let keep = self.and(eq, lt);
+            lt = self.or(xlty, keep);
+        }
+        lt
+    }
+
+    /// Signed less-than (two's complement).
+    pub fn bv_slt(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        assert!(!a.is_empty());
+        let mut af = a.to_vec();
+        let mut bf = b.to_vec();
+        // Flip sign bits and compare unsigned.
+        let n = af.len();
+        af[n - 1] = !af[n - 1];
+        bf[n - 1] = !bf[n - 1];
+        self.bv_ult(&af, &bf)
+    }
+
+    /// Decodes a bitvector from the model (two's complement).
+    pub fn bv_value(&self, bits: &[Lit]) -> i64 {
+        let mut out: i64 = 0;
+        for (i, &l) in bits.iter().enumerate() {
+            if self.lit_value(l) {
+                if i == bits.len() - 1 {
+                    out -= 1 << i;
+                } else {
+                    out |= 1 << i;
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a bitvector as an unsigned value.
+    pub fn bv_value_unsigned(&self, bits: &[Lit]) -> u64 {
+        let mut out: u64 = 0;
+        for (i, &l) in bits.iter().enumerate() {
+            if self.lit_value(l) {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+
+    /// The model value of a literal (unassigned variables read as false).
+    pub fn lit_value(&self, l: Lit) -> bool {
+        self.solver.lit_value_model(l).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_sat::SolveResult;
+
+    fn check_sat(b: &mut CnfBuilder) {
+        assert_eq!(b.solver.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn gate_folding() {
+        let mut b = CnfBuilder::new();
+        let x = b.fresh();
+        assert_eq!(b.and(b.tt(), x), x);
+        assert_eq!(b.and(b.ff(), x), b.ff());
+        assert_eq!(b.or(b.ff(), x), x);
+        assert_eq!(b.xor(b.ff(), x), x);
+        assert_eq!(b.xor(b.tt(), x), !x);
+        assert_eq!(b.and(x, !x), b.ff());
+        assert_eq!(b.xor(x, x), b.ff());
+    }
+
+    #[test]
+    fn gate_cache_shares() {
+        let mut b = CnfBuilder::new();
+        let x = b.fresh();
+        let y = b.fresh();
+        assert_eq!(b.and(x, y), b.and(y, x));
+        assert_eq!(b.xor(x, y), b.xor(y, x));
+        assert_eq!(b.xor(!x, y), !b.xor(x, y), "xor sign folding");
+    }
+
+    #[test]
+    fn adder_is_correct() {
+        // Exhaustive 4-bit addition check via the solver.
+        for x in -8i64..8 {
+            for y in -8i64..8 {
+                let mut b = CnfBuilder::new();
+                let bx = b.bv_const(x, 4);
+                let by = b.bv_const(y, 4);
+                let sum = b.bv_add(&bx, &by);
+                check_sat(&mut b);
+                let expected = (x + y) & 0xF;
+                let got = b.bv_value_unsigned(&sum) as i64;
+                assert_eq!(got, expected, "{x} + {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_and_mul() {
+        for x in 0i64..8 {
+            for y in 0i64..8 {
+                let mut b = CnfBuilder::new();
+                let bx = b.bv_const(x, 6);
+                let by = b.bv_const(y, 6);
+                let d = b.bv_sub(&bx, &by);
+                let m = b.bv_mul(&bx, &by);
+                check_sat(&mut b);
+                let wrap6 = |v: i64| ((v + 32).rem_euclid(64)) - 32;
+                assert_eq!(b.bv_value(&d), wrap6(x - y), "{x} - {y}");
+                assert_eq!(b.bv_value(&m), wrap6(x * y), "{x} * {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparators() {
+        for x in -4i64..4 {
+            for y in -4i64..4 {
+                let mut b = CnfBuilder::new();
+                let bx = b.bv_const(x, 3);
+                let by = b.bv_const(y, 3);
+                let slt = b.bv_slt(&bx, &by);
+                let ult = b.bv_ult(&bx, &by);
+                check_sat(&mut b);
+                assert_eq!(b.lit_value(slt), x < y, "slt {x} {y}");
+                let ux = (x as u64) & 7;
+                let uy = (y as u64) & 7;
+                assert_eq!(b.lit_value(ult), ux < uy, "ult {ux} {uy}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_for_inputs() {
+        // x + y == 5 with x, y fresh 4-bit: solver must find a model.
+        let mut b = CnfBuilder::new();
+        let x = b.bv_fresh(4);
+        let y = b.bv_fresh(4);
+        let sum = b.bv_add(&x, &y);
+        let five = b.bv_const(5, 4);
+        let eq = b.bv_eq(&sum, &five);
+        b.assert_lit(eq);
+        check_sat(&mut b);
+        let got = (b.bv_value_unsigned(&x) + b.bv_value_unsigned(&y)) & 0xF;
+        assert_eq!(got, 5);
+    }
+}

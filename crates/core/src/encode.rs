@@ -1,0 +1,945 @@
+//! Encoding concurrent executions as propositional formulae (§3.2.1).
+//!
+//! The encoding has two halves, exactly as in the paper:
+//!
+//! * **Thread-local formulae Δ** — the term DAG of the symbolic execution
+//!   is lowered to circuits: every LSL value becomes a tagged record
+//!   (undefined / integer / pointer) whose widths come from the range
+//!   analysis; every load result and test argument is a vector of fresh
+//!   SAT variables.
+//! * **Memory-model formula Θ** — the axioms of §2.3.2. The total memory
+//!   order `<M` is encoded either *pairwise* (variables `Mxy` with
+//!   explicit transitivity clauses, the paper's encoding) or via
+//!   per-event *timestamps* (an equivalent encoding without the cubic
+//!   transitivity blow-up, provided as an ablation). Visibility uses the
+//!   auxiliary `Init`/`Flows` variables described in the paper.
+
+use std::collections::HashMap;
+
+use cf_sat::Lit;
+use cf_lsl::{PrimOp, Value};
+use cf_memmodel::{fence_orders, AccessKind, Mode};
+
+use crate::cnf::CnfBuilder;
+use crate::range::{init_value, RangeInfo, ValueSet};
+use crate::symexec::{ErrorKind, SymExec};
+use crate::term::{BTerm, BTermId, VTerm, VTermId};
+
+/// How the total memory order is encoded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OrderEncoding {
+    /// Boolean variables `Mxy` per event pair plus explicit transitivity
+    /// clauses — the paper's encoding (quadratic variables, cubic
+    /// clauses).
+    #[default]
+    Pairwise,
+    /// A `⌈log n⌉`-bit clock per event; `x <M y` is a comparator circuit
+    /// and totality is pairwise distinctness. Equivalent, avoids the
+    /// cubic transitivity clauses.
+    Timestamp,
+}
+
+impl OrderEncoding {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OrderEncoding::Pairwise => "pairwise",
+            OrderEncoding::Timestamp => "timestamp",
+        }
+    }
+}
+
+/// An encoded LSL value: tag bits plus integer and pointer payloads.
+#[derive(Clone, Debug)]
+pub struct EncVal {
+    /// Tag: the value is an integer.
+    pub t_int: Lit,
+    /// Tag: the value is a pointer (mutually exclusive with `t_int`; both
+    /// false means undefined).
+    pub t_ptr: Lit,
+    /// Two's complement integer payload.
+    pub int: Vec<Lit>,
+    /// Pointer path length (unsigned).
+    pub len: Vec<Lit>,
+    /// Pointer path elements (`path[i]` meaningful when `i < len`).
+    pub path: Vec<Vec<Lit>>,
+}
+
+/// The full encoding of one test under one memory model.
+pub struct Encoding {
+    /// The CNF builder / solver.
+    pub cnf: CnfBuilder,
+    /// Memory model.
+    pub mode: Mode,
+    /// Order encoding used.
+    pub order_encoding: OrderEncoding,
+    /// Per-event guard literals.
+    pub guards: Vec<Lit>,
+    /// Per-event address encodings.
+    pub addrs: Vec<EncVal>,
+    /// Per-event value encodings.
+    pub values: Vec<EncVal>,
+    /// All scalar locations of the address space.
+    pub locations: Vec<Vec<u32>>,
+    /// Per-event location selectors (`sel[e][i]` ⇔ event e targets
+    /// `locations[i]`); absent entries are statically impossible.
+    pub sel: Vec<HashMap<usize, Lit>>,
+    /// Observation component encodings (parallel to `sx.obs`).
+    pub obs: Vec<EncVal>,
+    /// `(lit, kind, label)` per potential error.
+    pub errors: Vec<(Lit, ErrorKind, String)>,
+    /// Disjunction of all error literals.
+    pub error_lit: Lit,
+    /// Loop-bound-exceeded flags `(loop key, lit)`.
+    pub exceeded: Vec<(String, Lit)>,
+    /// Integer width used.
+    pub int_width: usize,
+
+    order: OrderVars,
+    vcache: HashMap<VTermId, EncVal>,
+    bcache: HashMap<BTermId, Lit>,
+    addr_eq_cache: HashMap<(VTermId, VTermId), Lit>,
+    widths: Widths,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Widths {
+    int: usize,
+    depth: usize,
+    elem: usize,
+    len: usize,
+}
+
+enum OrderVars {
+    Pairwise(HashMap<(u32, u32), Lit>),
+    Timestamp(Vec<Vec<Lit>>),
+}
+
+impl Encoding {
+    /// Builds the encoding of `sx` under `mode`.
+    pub fn build(
+        sx: &SymExec,
+        range: &RangeInfo,
+        mode: Mode,
+        order_encoding: OrderEncoding,
+    ) -> Encoding {
+        let widths = Widths {
+            int: range.int_width.max(2),
+            depth: range.max_depth.max(1),
+            elem: range.elem_width.max(1),
+            len: bits_for(range.max_depth.max(1) as u64 + 1),
+        };
+        let mut enc = Encoding {
+            cnf: CnfBuilder::new(),
+            mode,
+            order_encoding,
+            guards: Vec::new(),
+            addrs: Vec::new(),
+            values: Vec::new(),
+            locations: sx.space.all_scalar_locations(&sx.types),
+            sel: Vec::new(),
+            obs: Vec::new(),
+            errors: Vec::new(),
+            error_lit: Lit::from_index(0),
+            exceeded: Vec::new(),
+            int_width: range.int_width.max(2),
+            order: OrderVars::Pairwise(HashMap::new()),
+            vcache: HashMap::new(),
+            bcache: HashMap::new(),
+            addr_eq_cache: HashMap::new(),
+            widths,
+        };
+        enc.encode_all(sx, range);
+        enc
+    }
+
+    fn encode_all(&mut self, sx: &SymExec, range: &RangeInfo) {
+        // --- per-event encodings
+        for e in &sx.events {
+            let g = self.encode_b(sx, e.guard);
+            let a = self.encode_v(sx, e.addr);
+            let v = self.encode_v(sx, e.value);
+            self.guards.push(g);
+            self.addrs.push(a);
+            self.values.push(v);
+        }
+
+        // --- location selectors + address validity
+        for (i, e) in sx.events.iter().enumerate() {
+            let addr_set = range.set(e.addr);
+            let mut sels = HashMap::new();
+            let locations = self.locations.clone();
+            for (li, loc) in locations.iter().enumerate() {
+                if !addr_set.may_be_ptr_to(loc) {
+                    continue;
+                }
+                let lit = self.sel_lit(i, loc);
+                sels.insert(li, lit);
+            }
+            let all: Vec<Lit> = sels.values().copied().collect();
+            let valid = self.cnf.or_many(&all);
+            // Skip the error when the range analysis proves validity.
+            let statically_valid = match addr_set {
+                ValueSet::Top => false,
+                ValueSet::Finite(vals) => vals.iter().all(|v| match v {
+                    Value::Ptr(p) => self.locations.iter().any(|l| l == p),
+                    _ => false,
+                }),
+            };
+            if !statically_valid {
+                let g = self.guards[i];
+                let bad = self.cnf.and(g, !valid);
+                self.errors
+                    .push((bad, ErrorKind::BadAddress, e.label.clone()));
+            }
+            self.sel.push(sels);
+        }
+
+        // --- memory order variables
+        let n = sx.events.len();
+        match self.order_encoding {
+            OrderEncoding::Pairwise => {
+                let mut m = HashMap::new();
+                for x in 0..n as u32 {
+                    for y in x + 1..n as u32 {
+                        m.insert((x, y), self.cnf.fresh());
+                    }
+                }
+                // Transitivity: two clauses per unordered triple.
+                for i in 0..n as u32 {
+                    for j in i + 1..n as u32 {
+                        for k in j + 1..n as u32 {
+                            let ij = m[&(i, j)];
+                            let jk = m[&(j, k)];
+                            let ik = m[&(i, k)];
+                            self.cnf.clause([!ij, !jk, ik]);
+                            self.cnf.clause([ij, jk, !ik]);
+                        }
+                    }
+                }
+                self.order = OrderVars::Pairwise(m);
+            }
+            OrderEncoding::Timestamp => {
+                let k = bits_for(n.max(2) as u64 - 1).max(1);
+                let ts: Vec<Vec<Lit>> = (0..n).map(|_| self.cnf.bv_fresh(k)).collect();
+                self.order = OrderVars::Timestamp(ts);
+                // Totality: timestamps pairwise distinct.
+                for x in 0..n {
+                    for y in x + 1..n {
+                        let xy = self.before(x, y);
+                        let yx = self.before(y, x);
+                        self.cnf.clause([xy, yx]);
+                    }
+                }
+            }
+        }
+
+        // --- axiom 1: program order, fences, atomic blocks
+        self.encode_program_order(sx, range);
+        // --- seriality: operations are atomic
+        if self.mode == Mode::Serial {
+            self.encode_operation_atomicity(sx);
+        }
+        // --- initialization happens before all thread events
+        self.encode_init_order(sx);
+        // --- axioms 2 & 3: load visibility and values
+        self.encode_value_flow(sx, range);
+
+        // --- assumptions
+        let assumes = sx.assumes.clone();
+        for a in assumes {
+            let l = self.encode_b(sx, a);
+            self.cnf.assert_lit(l);
+        }
+        // --- error conditions from symbolic execution
+        for e in &sx.errors.clone() {
+            let l = self.encode_b(sx, e.cond);
+            if l != self.cnf.ff() {
+                self.errors.push((l, e.kind, e.label.clone()));
+            }
+        }
+        let all_err: Vec<Lit> = self.errors.iter().map(|(l, _, _)| *l).collect();
+        self.error_lit = self.cnf.or_many(&all_err);
+
+        // --- loop-bound flags
+        for (key, cond) in &sx.exceeded.clone() {
+            let l = self.encode_b(sx, *cond);
+            self.exceeded.push((key.clone(), l));
+        }
+
+        // --- observation vector
+        for entry in &sx.obs.clone() {
+            let e = self.encode_v(sx, entry.term);
+            self.obs.push(e);
+        }
+    }
+
+    // ----------------------------------------------------------- ordering
+
+    /// The literal for `x <M y` (event indices).
+    pub fn before(&mut self, x: usize, y: usize) -> Lit {
+        match &self.order {
+            OrderVars::Pairwise(m) => {
+                if x < y {
+                    m[&(x as u32, y as u32)]
+                } else {
+                    !m[&(y as u32, x as u32)]
+                }
+            }
+            OrderVars::Timestamp(ts) => {
+                let a = ts[x].clone();
+                let b = ts[y].clone();
+                self.cnf.bv_ult(&a, &b)
+            }
+        }
+    }
+
+    fn imply(&mut self, premises: &[Lit], conclusion: Lit) {
+        let mut clause: Vec<Lit> = premises.iter().map(|&p| !p).collect();
+        clause.push(conclusion);
+        clause.retain(|&l| l != self.cnf.ff());
+        if clause.iter().any(|&l| l == self.cnf.tt()) {
+            return;
+        }
+        self.cnf.clause(clause);
+    }
+
+    fn encode_program_order(&mut self, sx: &SymExec, range: &RangeInfo) {
+        let n = sx.events.len();
+        for x in 0..n {
+            for y in 0..n {
+                let (ex, ey) = (&sx.events[x], &sx.events[y]);
+                if ex.thread != ey.thread || ex.po >= ey.po {
+                    continue;
+                }
+                let gx = self.guards[x];
+                let gy = self.guards[y];
+                if self.mode.po_edge_required(ex.kind, ey.kind, false) {
+                    // Required regardless of address (all pairs on
+                    // SC/Serial, all but store→load on TSO, ...).
+                    let b = self.before(x, y);
+                    self.imply(&[gx, gy], b);
+                    if matches!(self.mode, Mode::Sc | Mode::Serial) {
+                        continue; // fences/groups subsumed
+                    }
+                } else if self.mode.po_edge_required(ex.kind, ey.kind, true)
+                    && may_alias(range, ex.addr, ey.addr)
+                {
+                    // Required only when the addresses coincide (the
+                    // same-address store edge of the Relaxed axiom 1).
+                    let ae = self.addr_eq(sx, ex.addr, ey.addr);
+                    let b = self.before(x, y);
+                    self.imply(&[gx, gy, ae], b);
+                }
+                // Fence edges.
+                for f in &sx.fences {
+                    if f.thread == ex.thread
+                        && f.po > ex.po
+                        && f.po < ey.po
+                        && fence_orders(f.kind, ex.kind, ey.kind)
+                    {
+                        let gf = self.encode_b(sx, f.guard);
+                        let b = self.before(x, y);
+                        self.imply(&[gx, gy, gf], b);
+                    }
+                }
+                // Atomic blocks: internal program order.
+                if ex.group.is_some() && ex.group == ey.group {
+                    let b = self.before(x, y);
+                    self.imply(&[gx, gy], b);
+                }
+            }
+        }
+        // Atomic block contiguity (all modes).
+        let mut groups: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (i, e) in sx.events.iter().enumerate() {
+            if let Some(g) = e.group {
+                groups.entry(g).or_default().push(i);
+            }
+        }
+        for members in groups.values() {
+            self.encode_group_contiguity(sx, members);
+        }
+    }
+
+    fn encode_operation_atomicity(&mut self, sx: &SymExec) {
+        let mut ops: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, e) in sx.events.iter().enumerate() {
+            ops.entry(e.op).or_default().push(i);
+        }
+        for members in ops.values() {
+            self.encode_group_contiguity(sx, members);
+        }
+    }
+
+    /// No external event may fall between two members of the group.
+    fn encode_group_contiguity(&mut self, sx: &SymExec, members: &[usize]) {
+        if members.len() < 2 {
+            return;
+        }
+        for z in 0..sx.events.len() {
+            if members.contains(&z) {
+                continue;
+            }
+            let gz = self.guards[z];
+            for (ai, &a) in members.iter().enumerate() {
+                for &b in &members[ai + 1..] {
+                    let ga = self.guards[a];
+                    let gb = self.guards[b];
+                    let za = self.before(z, a);
+                    let bz = self.before(b, z);
+                    let mut clause = vec![!gz, !ga, !gb, za, bz];
+                    clause.retain(|&l| l != self.cnf.ff());
+                    if clause.iter().any(|&l| l == self.cnf.tt()) {
+                        continue;
+                    }
+                    self.cnf.clause(clause);
+                }
+            }
+        }
+    }
+
+    fn encode_init_order(&mut self, sx: &SymExec) {
+        for x in 0..sx.events.len() {
+            if sx.events[x].thread != 0 {
+                continue;
+            }
+            for y in 0..sx.events.len() {
+                if sx.events[y].thread == 0 {
+                    continue;
+                }
+                let gx = self.guards[x];
+                let gy = self.guards[y];
+                let b = self.before(x, y);
+                self.imply(&[gx, gy], b);
+            }
+        }
+    }
+
+    // --------------------------------------------------------- value flow
+
+    fn encode_value_flow(&mut self, sx: &SymExec, range: &RangeInfo) {
+        let n = sx.events.len();
+        for l in 0..n {
+            if sx.events[l].kind != AccessKind::Load {
+                continue;
+            }
+            // Candidate stores.
+            let mut cands: Vec<usize> = Vec::new();
+            for s in 0..n {
+                let es = &sx.events[s];
+                let el = &sx.events[l];
+                if es.kind != AccessKind::Store {
+                    continue;
+                }
+                // A same-thread store after the load in program order can
+                // never be visible (see module docs): same-address implies
+                // l <M s by axiom 1, different address implies ¬addr_eq.
+                if es.thread == el.thread && es.po > el.po {
+                    continue;
+                }
+                if may_alias(range, es.addr, el.addr) {
+                    cands.push(s);
+                }
+            }
+            // Visibility literals.
+            let mut vis: Vec<Lit> = Vec::with_capacity(cands.len());
+            for &s in &cands {
+                let es = &sx.events[s];
+                let el = &sx.events[l];
+                let gs = self.guards[s];
+                let ae = self.addr_eq(sx, es.addr, el.addr);
+                let forwarding = self.mode.allows_forwarding()
+                    && es.thread == el.thread
+                    && es.po < el.po;
+                let ord = if forwarding {
+                    self.cnf.tt()
+                } else {
+                    self.before(s, l)
+                };
+                let v1 = self.cnf.and(gs, ae);
+                vis.push(self.cnf.and(v1, ord));
+            }
+            // Init(l): no store visible.
+            let mut init_lit = self.cnf.tt();
+            for &v in &vis {
+                init_lit = self.cnf.and(init_lit, !v);
+            }
+            // Flows(s, l): s is the <M-maximal visible store.
+            let gl = self.guards[l];
+            for (i, &s) in cands.iter().enumerate() {
+                let mut flows = vis[i];
+                for (j, &s2) in cands.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let later = self.before(s, s2);
+                    let shadowed = self.cnf.and(vis[j], later);
+                    flows = self.cnf.and(flows, !shadowed);
+                }
+                // g_l ∧ Flows(s,l) → v_l = v_s
+                let eq = self.enc_eq(&self.values[l].clone(), &self.values[s].clone());
+                self.imply(&[gl, flows], eq);
+            }
+            // g_l ∧ Init(l) ∧ sel(l, loc) → v_l = i(loc)
+            let sels = self.sel[l].clone();
+            for (li, sel_lit) in sels {
+                let loc = self.locations[li].clone();
+                let iv = init_value(sx, &loc);
+                let eq = self.enc_eq_const(&self.values[l].clone(), &iv);
+                self.imply(&[gl, init_lit, sel_lit], eq);
+            }
+        }
+    }
+
+    // ------------------------------------------------------ term encoding
+
+    /// Encodes a boolean term to a literal (public entry point for the
+    /// commit-point method, which needs commit-candidate guards).
+    pub fn encode_guard(&mut self, sx: &SymExec, id: BTermId) -> Lit {
+        self.encode_b(sx, id)
+    }
+
+    fn encode_b(&mut self, sx: &SymExec, id: BTermId) -> Lit {
+        if let Some(&l) = self.bcache.get(&id) {
+            return l;
+        }
+        let lit = match sx.arena.bt(id).clone() {
+            BTerm::Const(b) => self.cnf.constant(b),
+            BTerm::Truthy(v) => {
+                let e = self.encode_v(sx, v);
+                self.truthy(&e)
+            }
+            BTerm::IsUndef(v) => {
+                let e = self.encode_v(sx, v);
+                let defined = self.cnf.or(e.t_int, e.t_ptr);
+                !defined
+            }
+            BTerm::Not(a) => {
+                let l = self.encode_b(sx, a);
+                !l
+            }
+            BTerm::And(a, b) => {
+                let la = self.encode_b(sx, a);
+                let lb = self.encode_b(sx, b);
+                self.cnf.and(la, lb)
+            }
+            BTerm::Or(a, b) => {
+                let la = self.encode_b(sx, a);
+                let lb = self.encode_b(sx, b);
+                self.cnf.or(la, lb)
+            }
+        };
+        self.bcache.insert(id, lit);
+        lit
+    }
+
+    fn encode_v(&mut self, sx: &SymExec, id: VTermId) -> EncVal {
+        if let Some(e) = self.vcache.get(&id) {
+            return e.clone();
+        }
+        let enc = match sx.arena.vt(id).clone() {
+            VTerm::Const(v) => self.enc_const(&v),
+            VTerm::Arg(_) => {
+                // One fresh bit: the argument is 0 or 1.
+                let b = self.cnf.fresh();
+                let mut int = vec![b];
+                int.resize(self.widths.int, self.cnf.ff());
+                EncVal {
+                    t_int: self.cnf.tt(),
+                    t_ptr: self.cnf.ff(),
+                    int,
+                    len: self.zero_len(),
+                    path: self.zero_path(),
+                }
+            }
+            VTerm::LoadResult(_) => {
+                let t_int = self.cnf.fresh();
+                let t_ptr = self.cnf.fresh();
+                self.cnf.clause([!t_int, !t_ptr]);
+                EncVal {
+                    t_int,
+                    t_ptr,
+                    int: self.cnf.bv_fresh(self.widths.int),
+                    len: self.cnf.bv_fresh(self.widths.len),
+                    path: (0..self.widths.depth)
+                        .map(|_| self.cnf.bv_fresh(self.widths.elem))
+                        .collect(),
+                }
+            }
+            VTerm::Prim(op, args) => {
+                let encs: Vec<EncVal> = args.iter().map(|&a| self.encode_v(sx, a)).collect();
+                self.enc_prim(op, &encs)
+            }
+            VTerm::Mux(c, a, b) => {
+                let lc = self.encode_b(sx, c);
+                let ea = self.encode_v(sx, a);
+                let eb = self.encode_v(sx, b);
+                self.enc_mux(lc, &ea, &eb)
+            }
+        };
+        self.vcache.insert(id, enc.clone());
+        enc
+    }
+
+    fn zero_len(&mut self) -> Vec<Lit> {
+        vec![self.cnf.ff(); self.widths.len]
+    }
+
+    fn zero_path(&mut self) -> Vec<Vec<Lit>> {
+        vec![vec![self.cnf.ff(); self.widths.elem]; self.widths.depth]
+    }
+
+    fn enc_const(&mut self, v: &Value) -> EncVal {
+        match v {
+            Value::Undefined => EncVal {
+                t_int: self.cnf.ff(),
+                t_ptr: self.cnf.ff(),
+                int: vec![self.cnf.ff(); self.widths.int],
+                len: self.zero_len(),
+                path: self.zero_path(),
+            },
+            Value::Int(n) => EncVal {
+                t_int: self.cnf.tt(),
+                t_ptr: self.cnf.ff(),
+                int: self.cnf.bv_const(*n, self.widths.int),
+                len: self.zero_len(),
+                path: self.zero_path(),
+            },
+            Value::Ptr(p) => {
+                let len = self.cnf.bv_const(p.len() as i64, self.widths.len);
+                let mut path = self.zero_path();
+                for (i, &e) in p.iter().enumerate() {
+                    if i < self.widths.depth {
+                        path[i] = self.cnf.bv_const(e as i64, self.widths.elem);
+                    }
+                }
+                EncVal {
+                    t_int: self.cnf.ff(),
+                    t_ptr: self.cnf.tt(),
+                    int: vec![self.cnf.ff(); self.widths.int],
+                    len,
+                    path,
+                }
+            }
+        }
+    }
+
+    fn bool_result(&mut self, defined: Lit, bit: Lit) -> EncVal {
+        let mut int = vec![bit];
+        int.resize(self.widths.int, self.cnf.ff());
+        EncVal {
+            t_int: defined,
+            t_ptr: self.cnf.ff(),
+            int,
+            len: self.zero_len(),
+            path: self.zero_path(),
+        }
+    }
+
+    fn truthy(&mut self, e: &EncVal) -> Lit {
+        let zero = vec![self.cnf.ff(); e.int.len()];
+        let is_zero = self.cnf.bv_eq(&e.int, &zero);
+        let nonzero_int = self.cnf.and(e.t_int, !is_zero);
+        self.cnf.or(nonzero_int, e.t_ptr)
+    }
+
+    fn defined(&mut self, e: &EncVal) -> Lit {
+        self.cnf.or(e.t_int, e.t_ptr)
+    }
+
+    fn enc_prim(&mut self, op: PrimOp, a: &[EncVal]) -> EncVal {
+        match op {
+            PrimOp::Add | PrimOp::Sub | PrimOp::Mul => {
+                let both = self.cnf.and(a[0].t_int, a[1].t_int);
+                let int = match op {
+                    PrimOp::Add => self.cnf.bv_add(&a[0].int, &a[1].int),
+                    PrimOp::Sub => self.cnf.bv_sub(&a[0].int, &a[1].int),
+                    _ => self.cnf.bv_mul(&a[0].int, &a[1].int),
+                };
+                EncVal {
+                    t_int: both,
+                    t_ptr: self.cnf.ff(),
+                    int,
+                    len: self.zero_len(),
+                    path: self.zero_path(),
+                }
+            }
+            PrimOp::Eq | PrimOp::Ne => {
+                let d0 = self.defined(&a[0]);
+                let d1 = self.defined(&a[1]);
+                let defined = self.cnf.and(d0, d1);
+                let both_int = self.cnf.and(a[0].t_int, a[1].t_int);
+                let int_eq = self.cnf.bv_eq(&a[0].int, &a[1].int);
+                let both_ptr = self.cnf.and(a[0].t_ptr, a[1].t_ptr);
+                let ptr_eq = self.raw_ptr_eq(&a[0], &a[1]);
+                let ieq = self.cnf.and(both_int, int_eq);
+                let peq = self.cnf.and(both_ptr, ptr_eq);
+                let eq = self.cnf.or(ieq, peq);
+                let bit = if op == PrimOp::Eq { eq } else { !eq };
+                self.bool_result(defined, bit)
+            }
+            PrimOp::Lt | PrimOp::Le | PrimOp::Gt | PrimOp::Ge => {
+                let both = self.cnf.and(a[0].t_int, a[1].t_int);
+                let bit = match op {
+                    PrimOp::Lt => self.cnf.bv_slt(&a[0].int, &a[1].int),
+                    PrimOp::Ge => !self.cnf.bv_slt(&a[0].int, &a[1].int),
+                    PrimOp::Gt => self.cnf.bv_slt(&a[1].int, &a[0].int),
+                    _ => !self.cnf.bv_slt(&a[1].int, &a[0].int),
+                };
+                self.bool_result(both, bit)
+            }
+            PrimOp::Not => {
+                let d = self.defined(&a[0]);
+                let t = self.truthy(&a[0]);
+                self.bool_result(d, !t)
+            }
+            PrimOp::And | PrimOp::Or => {
+                let d0 = self.defined(&a[0]);
+                let d1 = self.defined(&a[1]);
+                let defined = self.cnf.and(d0, d1);
+                let t0 = self.truthy(&a[0]);
+                let t1 = self.truthy(&a[1]);
+                let bit = if op == PrimOp::And {
+                    self.cnf.and(t0, t1)
+                } else {
+                    self.cnf.or(t0, t1)
+                };
+                self.bool_result(defined, bit)
+            }
+            PrimOp::Field(k) => {
+                let kbits = self.cnf.bv_const(i64::from(k), self.widths.elem);
+                self.enc_extend(&a[0], &kbits, self.cnf.tt())
+            }
+            PrimOp::Index => {
+                // Dynamic offset: low bits of the integer operand.
+                let mut kbits: Vec<Lit> = a[1]
+                    .int
+                    .iter()
+                    .copied()
+                    .take(self.widths.elem)
+                    .collect();
+                kbits.resize(self.widths.elem, self.cnf.ff());
+                self.enc_extend(&a[0], &kbits, a[1].t_int)
+            }
+            PrimOp::Ite => {
+                let dc = self.defined(&a[0]);
+                let tc = self.truthy(&a[0]);
+                let merged = self.enc_mux(tc, &a[1], &a[2]);
+                // Undefined condition poisons the result.
+                EncVal {
+                    t_int: self.cnf.and(dc, merged.t_int),
+                    t_ptr: self.cnf.and(dc, merged.t_ptr),
+                    ..merged
+                }
+            }
+            PrimOp::Id => a[0].clone(),
+        }
+    }
+
+    /// Appends a path element to a pointer.
+    fn enc_extend(&mut self, p: &EncVal, elem: &[Lit], extra_ok: Lit) -> EncVal {
+        let max_len = self.cnf.bv_const(self.widths.depth as i64, self.widths.len);
+        let has_room = self.cnf.bv_ult(&p.len, &max_len);
+        let pt = self.cnf.and(p.t_ptr, has_room);
+        let ok = self.cnf.and(pt, extra_ok);
+        let one = self.cnf.bv_const(1, self.widths.len);
+        let new_len = self.cnf.bv_add(&p.len, &one);
+        let mut new_path = Vec::with_capacity(self.widths.depth);
+        for i in 0..self.widths.depth {
+            let at_i = {
+                let iconst = self.cnf.bv_const(i as i64, self.widths.len);
+                self.cnf.bv_eq(&p.len, &iconst)
+            };
+            new_path.push(self.cnf.bv_ite(at_i, elem, &p.path[i]));
+        }
+        EncVal {
+            t_int: self.cnf.ff(),
+            t_ptr: ok,
+            int: vec![self.cnf.ff(); self.widths.int],
+            len: new_len,
+            path: new_path,
+        }
+    }
+
+    fn enc_mux(&mut self, c: Lit, a: &EncVal, b: &EncVal) -> EncVal {
+        EncVal {
+            t_int: self.cnf.ite(c, a.t_int, b.t_int),
+            t_ptr: self.cnf.ite(c, a.t_ptr, b.t_ptr),
+            int: self.cnf.bv_ite(c, &a.int, &b.int),
+            len: self.cnf.bv_ite(c, &a.len, &b.len),
+            path: a
+                .path
+                .iter()
+                .zip(&b.path)
+                .map(|(x, y)| self.cnf.bv_ite(c, x, y))
+                .collect(),
+        }
+    }
+
+    /// Structural pointer equality ignoring tags.
+    fn raw_ptr_eq(&mut self, a: &EncVal, b: &EncVal) -> Lit {
+        let len_eq = self.cnf.bv_eq(&a.len, &b.len);
+        let mut acc = len_eq;
+        for i in 0..self.widths.depth {
+            let iconst = self.cnf.bv_const(i as i64, self.widths.len);
+            let active = self.cnf.bv_ult(&iconst, &a.len);
+            let eq = self.cnf.bv_eq(&a.path[i], &b.path[i]);
+            let ok = self.cnf.or(!active, eq);
+            acc = self.cnf.and(acc, ok);
+        }
+        acc
+    }
+
+    /// Full program-value equality.
+    fn enc_eq(&mut self, a: &EncVal, b: &EncVal) -> Lit {
+        let ti = self.cnf.iff(a.t_int, b.t_int);
+        let tp = self.cnf.iff(a.t_ptr, b.t_ptr);
+        let int_eq = self.cnf.bv_eq(&a.int, &b.int);
+        let ptr_eq = self.raw_ptr_eq(a, b);
+        let ci = self.cnf.or(!a.t_int, int_eq);
+        let cp = self.cnf.or(!a.t_ptr, ptr_eq);
+        self.cnf.and_many(&[ti, tp, ci, cp])
+    }
+
+    /// Equality with a constant value.
+    pub fn enc_eq_const(&mut self, a: &EncVal, v: &Value) -> Lit {
+        let c = self.enc_const(v);
+        self.enc_eq(a, &c)
+    }
+
+    /// Address equality literal between two address terms (cached, range
+    /// pruned).
+    fn addr_eq(&mut self, sx: &SymExec, a: VTermId, b: VTermId) -> Lit {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&l) = self.addr_eq_cache.get(&key) {
+            return l;
+        }
+        let ea = self.encode_v(sx, key.0);
+        let eb = self.encode_v(sx, key.1);
+        let both_ptr = self.cnf.and(ea.t_ptr, eb.t_ptr);
+        let raw = self.raw_ptr_eq(&ea, &eb);
+        let lit = self.cnf.and(both_ptr, raw);
+        self.addr_eq_cache.insert(key, lit);
+        lit
+    }
+
+    /// The selector `event targets location`.
+    fn sel_lit(&mut self, event: usize, loc: &[u32]) -> Lit {
+        let a = self.addrs[event].clone();
+        let len_c = self.cnf.bv_const(loc.len() as i64, self.widths.len);
+        let len_eq = self.cnf.bv_eq(&a.len, &len_c);
+        let mut acc = self.cnf.and(a.t_ptr, len_eq);
+        for (i, &e) in loc.iter().enumerate() {
+            if i >= self.widths.depth {
+                return self.cnf.ff();
+            }
+            let ec = self.cnf.bv_const(i64::from(e), self.widths.elem);
+            let eq = self.cnf.bv_eq(&a.path[i], &ec);
+            acc = self.cnf.and(acc, eq);
+        }
+        acc
+    }
+
+    // ----------------------------------------------------------- decoding
+
+    /// Decodes an encoded value from the current model.
+    pub fn decode(&self, e: &EncVal) -> Value {
+        if self.cnf.lit_value(e.t_int) {
+            Value::Int(self.cnf.bv_value(&e.int))
+        } else if self.cnf.lit_value(e.t_ptr) {
+            let len = self.cnf.bv_value_unsigned(&e.len) as usize;
+            let path: Vec<u32> = (0..len.min(self.widths.depth))
+                .map(|i| self.cnf.bv_value_unsigned(&e.path[i]) as u32)
+                .collect();
+            if path.is_empty() {
+                Value::Undefined
+            } else {
+                Value::Ptr(path)
+            }
+        } else {
+            Value::Undefined
+        }
+    }
+
+    /// Decodes the observation vector from the current model.
+    pub fn decode_obs(&self) -> Vec<Value> {
+        self.obs.iter().map(|e| self.decode(e)).collect()
+    }
+
+    /// Was the event executed in the current model?
+    pub fn event_executed(&self, event: usize) -> bool {
+        self.cnf.lit_value(self.guards[event])
+    }
+
+    /// The executed events sorted by the memory order of the current
+    /// model.
+    pub fn memory_order(&mut self) -> Vec<usize> {
+        let n = self.guards.len();
+        let mut executed: Vec<usize> = (0..n).filter(|&e| self.event_executed(e)).collect();
+        match &self.order {
+            OrderVars::Pairwise(m) => {
+                let m = m.clone();
+                executed.sort_by(|&a, &b| {
+                    if a == b {
+                        return std::cmp::Ordering::Equal;
+                    }
+                    let lit = if a < b {
+                        m[&(a as u32, b as u32)]
+                    } else {
+                        !m[&(b as u32, a as u32)]
+                    };
+                    if self.cnf.lit_value(lit) {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Greater
+                    }
+                });
+            }
+            OrderVars::Timestamp(ts) => {
+                let keys: Vec<u64> = ts.iter().map(|t| self.cnf.bv_value_unsigned(t)).collect();
+                executed.sort_by_key(|&e| keys[e]);
+            }
+        }
+        executed
+    }
+
+    /// Error messages triggered in the current model.
+    pub fn triggered_errors(&self) -> Vec<String> {
+        self.errors
+            .iter()
+            .filter(|(l, _, _)| self.cnf.lit_value(*l))
+            .map(|(_, k, label)| format!("{}: {label}", k.name()))
+            .collect()
+    }
+
+    /// Loop keys whose bounds were exceeded in the current model.
+    pub fn exceeded_keys(&self) -> Vec<String> {
+        self.exceeded
+            .iter()
+            .filter(|(_, l)| self.cnf.lit_value(*l))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+}
+
+/// May the two address terms alias (share a pointer value)?
+fn may_alias(range: &RangeInfo, a: VTermId, b: VTermId) -> bool {
+    match (range.set(a), range.set(b)) {
+        (ValueSet::Top, _) | (_, ValueSet::Top) => true,
+        (ValueSet::Finite(sa), ValueSet::Finite(sb)) => {
+            let (small, large) = if sa.len() <= sb.len() {
+                (sa, sb)
+            } else {
+                (sb, sa)
+            };
+            small
+                .iter()
+                .any(|v| v.is_ptr() && large.contains(v))
+        }
+    }
+}
+
+fn bits_for(n: u64) -> usize {
+    (64 - n.leading_zeros() as usize).max(1)
+}

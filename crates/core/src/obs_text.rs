@@ -1,0 +1,248 @@
+//! A stable textual format for observation sets.
+//!
+//! The paper notes (§4.4) that "observation sets need not be recomputed
+//! after each change to the implementation" — the specification depends
+//! only on the test and the data type's serial semantics. This module
+//! gives [`ObsSet`] a plain-text serialization so mined specifications
+//! can be cached on disk and reused across checker runs (the CLI's
+//! `--spec-cache`).
+//!
+//! Format: a header line `checkfence-obs-set v1`, then one observation
+//! per line, values separated by single spaces. Values render as
+//! `undef`, a decimal integer, or a dotted pointer path in brackets
+//! (`[2.0.1]`). Lines starting with `#` are comments.
+//!
+//! ```
+//! use checkfence::ObsSet;
+//! use cf_lsl::Value;
+//!
+//! let mut set = ObsSet::default();
+//! set.vectors.insert(vec![Value::Int(1), Value::Undefined]);
+//! let text = set.to_text();
+//! assert_eq!(ObsSet::from_text(&text).unwrap(), set);
+//! ```
+
+use std::fmt;
+
+use cf_lsl::Value;
+
+use crate::checker::ObsSet;
+
+/// A parse failure in [`ObsSet::from_text`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseObsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "observation set, line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseObsError {}
+
+const HEADER: &str = "checkfence-obs-set v1";
+
+fn render_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Undefined => out.push_str("undef"),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Ptr(path) => {
+            out.push('[');
+            for (i, p) in path.iter().enumerate() {
+                if i > 0 {
+                    out.push('.');
+                }
+                out.push_str(&p.to_string());
+            }
+            out.push(']');
+        }
+    }
+}
+
+fn parse_value(tok: &str, line: usize) -> Result<Value, ParseObsError> {
+    if tok == "undef" {
+        return Ok(Value::Undefined);
+    }
+    if let Some(inner) = tok.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+        let mut path = Vec::new();
+        for part in inner.split('.') {
+            let n = part.parse::<u32>().map_err(|_| ParseObsError {
+                line,
+                message: format!("bad pointer component `{part}` in `{tok}`"),
+            })?;
+            path.push(n);
+        }
+        if path.is_empty() {
+            return Err(ParseObsError {
+                line,
+                message: format!("empty pointer `{tok}`"),
+            });
+        }
+        return Ok(Value::Ptr(path));
+    }
+    tok.parse::<i64>().map(Value::Int).map_err(|_| ParseObsError {
+        line,
+        message: format!("unrecognized value `{tok}`"),
+    })
+}
+
+impl ObsSet {
+    /// Serializes the set (deterministically — vectors are kept in a
+    /// sorted set).
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        for vec in &self.vectors {
+            let mut line = String::new();
+            for (i, v) in vec.iter().enumerate() {
+                if i > 0 {
+                    line.push(' ');
+                }
+                render_value(v, &mut line);
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the format produced by [`ObsSet::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// [`ParseObsError`] on a missing/unknown header, malformed value,
+    /// or inconsistent observation arity.
+    pub fn from_text(text: &str) -> Result<ObsSet, ParseObsError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, first)) if first.trim() == HEADER => {}
+            Some((_, first)) => {
+                return Err(ParseObsError {
+                    line: 1,
+                    message: format!("expected header `{HEADER}`, found `{first}`"),
+                })
+            }
+            None => {
+                return Err(ParseObsError {
+                    line: 1,
+                    message: "empty input".into(),
+                })
+            }
+        }
+        let mut set = ObsSet::default();
+        let mut arity: Option<usize> = None;
+        for (idx, line) in lines {
+            let line_no = idx + 1;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut vec = Vec::new();
+            for tok in line.split_ascii_whitespace() {
+                vec.push(parse_value(tok, line_no)?);
+            }
+            if let Some(a) = arity {
+                if vec.len() != a {
+                    return Err(ParseObsError {
+                        line: line_no,
+                        message: format!("expected {a} values, found {}", vec.len()),
+                    });
+                }
+            } else {
+                arity = Some(vec.len());
+            }
+            set.vectors.insert(vec);
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> ObsSet {
+        let mut set = ObsSet::default();
+        set.vectors.insert(vec![Value::Int(0), Value::Int(2)]);
+        set.vectors.insert(vec![Value::Int(-3), Value::Undefined]);
+        set.vectors
+            .insert(vec![Value::Ptr(vec![2, 0, 1]), Value::Int(7)]);
+        set
+    }
+
+    #[test]
+    fn round_trip() {
+        let set = sample();
+        assert_eq!(ObsSet::from_text(&set.to_text()).unwrap(), set);
+    }
+
+    #[test]
+    fn empty_set_round_trips() {
+        let set = ObsSet::default();
+        assert_eq!(ObsSet::from_text(&set.to_text()).unwrap(), set);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = format!("{HEADER}\n# a comment\n\n1 2\n");
+        let set = ObsSet::from_text(&text).unwrap();
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(&[Value::Int(1), Value::Int(2)]));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = ObsSet::from_text("nonsense\n1 2\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("header"));
+    }
+
+    #[test]
+    fn rejects_ragged_arity() {
+        let text = format!("{HEADER}\n1 2\n1\n");
+        let err = ObsSet::from_text(&text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("expected 2 values"));
+    }
+
+    #[test]
+    fn rejects_garbage_values() {
+        let text = format!("{HEADER}\n1 two\n");
+        let err = ObsSet::from_text(&text).unwrap_err();
+        assert!(err.message.contains("unrecognized value"));
+        let text = format!("{HEADER}\n[]\n");
+        assert!(ObsSet::from_text(&text).is_err());
+        let text = format!("{HEADER}\n[1.x]\n");
+        assert!(ObsSet::from_text(&text).is_err());
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Undefined),
+            any::<i64>().prop_map(Value::Int),
+            proptest::collection::vec(any::<u32>(), 1..5).prop_map(Value::Ptr),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn round_trips_arbitrary_sets(
+            vecs in proptest::collection::vec(
+                proptest::collection::vec(arb_value(), 3),
+                0..20,
+            )
+        ) {
+            let mut set = ObsSet::default();
+            for v in vecs {
+                set.vectors.insert(v);
+            }
+            prop_assert_eq!(ObsSet::from_text(&set.to_text()).unwrap(), set);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Primitive operations (`r = f(r...)` in the abstract syntax of Fig. 4)
+//! and their concrete evaluation.
+
+use crate::value::Value;
+
+/// A primitive operation applied to register operands.
+///
+/// Logical operators operate on already-evaluated operands; the mini-C
+/// front-end compiles short-circuit `&&`/`||` into control flow, so `And` /
+/// `Or` only appear where both sides are pure.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PrimOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Program equality (pointers compare structurally, int vs. pointer is
+    /// false; see [`Value::program_eq`]).
+    Eq,
+    /// Negated program equality.
+    Ne,
+    /// Integer less-than.
+    Lt,
+    /// Integer less-or-equal.
+    Le,
+    /// Integer greater-than.
+    Gt,
+    /// Integer greater-or-equal.
+    Ge,
+    /// Logical negation of a truthy value.
+    Not,
+    /// Logical conjunction of truthy values (non-short-circuit).
+    And,
+    /// Logical disjunction of truthy values (non-short-circuit).
+    Or,
+    /// `Field(k)`: narrow a pointer by appending constant offset `k`
+    /// (struct field selection, paper Fig. 5).
+    Field(u32),
+    /// Append a dynamic offset (array indexing): `index(ptr, int)`.
+    Index,
+    /// Ternary select: `ite(cond, a, b)`.
+    Ite,
+    /// Identity (register copy); introduced by the front-end for
+    /// assignments to locals.
+    Id,
+}
+
+impl PrimOp {
+    /// Number of operands the operation consumes.
+    pub fn arity(self) -> usize {
+        match self {
+            PrimOp::Not | PrimOp::Field(_) | PrimOp::Id => 1,
+            PrimOp::Ite => 3,
+            _ => 2,
+        }
+    }
+
+    /// A short mnemonic for pretty-printing.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrimOp::Add => "add",
+            PrimOp::Sub => "sub",
+            PrimOp::Mul => "mul",
+            PrimOp::Eq => "eq",
+            PrimOp::Ne => "ne",
+            PrimOp::Lt => "lt",
+            PrimOp::Le => "le",
+            PrimOp::Gt => "gt",
+            PrimOp::Ge => "ge",
+            PrimOp::Not => "not",
+            PrimOp::And => "and",
+            PrimOp::Or => "or",
+            PrimOp::Field(_) => "field",
+            PrimOp::Index => "index",
+            PrimOp::Ite => "ite",
+            PrimOp::Id => "id",
+        }
+    }
+
+    /// Concretely evaluates the operation.
+    ///
+    /// Returns `None` when the operation is a runtime type error (using an
+    /// undefined value, comparing pointers with `<`, indexing an integer,
+    /// ...), which the interpreter and the encoder report as a bug — the
+    /// paper's "runtime types help to automatically detect bugs".
+    pub fn eval(self, args: &[Value]) -> Option<Value> {
+        debug_assert_eq!(args.len(), self.arity());
+        let int = |v: &Value| v.as_int();
+        match self {
+            PrimOp::Add => Some(Value::Int(int(&args[0])?.wrapping_add(int(&args[1])?))),
+            PrimOp::Sub => Some(Value::Int(int(&args[0])?.wrapping_sub(int(&args[1])?))),
+            PrimOp::Mul => Some(Value::Int(int(&args[0])?.wrapping_mul(int(&args[1])?))),
+            PrimOp::Eq => args[0].program_eq(&args[1]).map(Value::bool),
+            PrimOp::Ne => args[0].program_eq(&args[1]).map(|b| Value::bool(!b)),
+            PrimOp::Lt => Some(Value::bool(int(&args[0])? < int(&args[1])?)),
+            PrimOp::Le => Some(Value::bool(int(&args[0])? <= int(&args[1])?)),
+            PrimOp::Gt => Some(Value::bool(int(&args[0])? > int(&args[1])?)),
+            PrimOp::Ge => Some(Value::bool(int(&args[0])? >= int(&args[1])?)),
+            PrimOp::Not => args[0].truthy().map(|b| Value::bool(!b)),
+            PrimOp::And => Some(Value::bool(args[0].truthy()? && args[1].truthy()?)),
+            PrimOp::Or => Some(Value::bool(args[0].truthy()? || args[1].truthy()?)),
+            PrimOp::Field(k) => match &args[0] {
+                Value::Ptr(p) => {
+                    let mut p = p.clone();
+                    p.push(k);
+                    Some(Value::Ptr(p))
+                }
+                _ => None,
+            },
+            PrimOp::Index => match (&args[0], int(&args[1])) {
+                (Value::Ptr(p), Some(i)) if i >= 0 => {
+                    let mut p = p.clone();
+                    p.push(i as u32);
+                    Some(Value::Ptr(p))
+                }
+                _ => None,
+            },
+            PrimOp::Ite => {
+                let c = args[0].truthy()?;
+                Some(if c { args[1].clone() } else { args[2].clone() })
+            }
+            PrimOp::Id => Some(args[0].clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(
+            PrimOp::Add.eval(&[Value::Int(2), Value::Int(3)]),
+            Some(Value::Int(5))
+        );
+        assert_eq!(
+            PrimOp::Sub.eval(&[Value::Int(2), Value::Int(3)]),
+            Some(Value::Int(-1))
+        );
+        assert_eq!(
+            PrimOp::Mul.eval(&[Value::Int(4), Value::Int(3)]),
+            Some(Value::Int(12))
+        );
+    }
+
+    #[test]
+    fn undefined_operand_is_error() {
+        assert_eq!(PrimOp::Add.eval(&[Value::Undefined, Value::Int(1)]), None);
+        assert_eq!(PrimOp::Not.eval(&[Value::Undefined]), None);
+        assert_eq!(
+            PrimOp::Eq.eval(&[Value::Undefined, Value::Int(1)]),
+            None,
+            "comparing undefined is an error"
+        );
+    }
+
+    #[test]
+    fn pointer_ops() {
+        let p = Value::ptr(vec![3]);
+        assert_eq!(PrimOp::Field(2).eval(&[p.clone()]), Some(Value::ptr(vec![3, 2])));
+        assert_eq!(
+            PrimOp::Index.eval(&[p.clone(), Value::Int(1)]),
+            Some(Value::ptr(vec![3, 1]))
+        );
+        assert_eq!(PrimOp::Index.eval(&[p.clone(), Value::Int(-1)]), None);
+        assert_eq!(PrimOp::Field(0).eval(&[Value::Int(0)]), None, "field of null");
+        assert_eq!(
+            PrimOp::Lt.eval(&[p.clone(), p]),
+            None,
+            "pointers are not ordered"
+        );
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(
+            PrimOp::Lt.eval(&[Value::Int(1), Value::Int(2)]),
+            Some(Value::bool(true))
+        );
+        assert_eq!(
+            PrimOp::Ge.eval(&[Value::Int(1), Value::Int(2)]),
+            Some(Value::bool(false))
+        );
+        assert_eq!(
+            PrimOp::And.eval(&[Value::Int(1), Value::Int(0)]),
+            Some(Value::bool(false))
+        );
+        assert_eq!(
+            PrimOp::Or.eval(&[Value::Int(0), Value::ptr(vec![1])]),
+            Some(Value::bool(true))
+        );
+        assert_eq!(PrimOp::Not.eval(&[Value::Int(0)]), Some(Value::bool(true)));
+    }
+
+    #[test]
+    fn ite_selects() {
+        assert_eq!(
+            PrimOp::Ite.eval(&[Value::Int(1), Value::Int(10), Value::Int(20)]),
+            Some(Value::Int(10))
+        );
+        assert_eq!(
+            PrimOp::Ite.eval(&[Value::Int(0), Value::Int(10), Value::Int(20)]),
+            Some(Value::Int(20))
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Whole-program structure: procedures, globals and types.
+
+use std::collections::HashMap;
+
+use crate::layout::{MemType, TypeTable};
+use crate::stmt::{ProcId, Reg, Stmt};
+
+/// A named global variable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GlobalDef {
+    /// Source name.
+    pub name: String,
+    /// Shape of the global region.
+    pub ty: MemType,
+}
+
+/// One procedure: parameters, an optional return register and a
+/// structured statement body.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Procedure {
+    /// Source name.
+    pub name: String,
+    /// Parameter registers (filled by the caller at entry).
+    pub params: Vec<Reg>,
+    /// Register holding the return value when the body exits, if any.
+    pub ret: Option<Reg>,
+    /// Total number of registers used in the body.
+    pub num_regs: u32,
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+impl Procedure {
+    /// Counts statements recursively (for reporting; loops counted once).
+    pub fn num_stmts(&self) -> usize {
+        fn walk(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Atomic(body) => 1 + walk(body),
+                    Stmt::Block { body, .. } => 1 + walk(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        walk(&self.body)
+    }
+}
+
+/// A complete LSL program: type definitions, globals and procedures.
+///
+/// # Examples
+///
+/// Programs are normally produced by the mini-C front-end or the
+/// [`crate::ProcBuilder`]; see those for construction examples.
+#[derive(Clone, Default, PartialEq, Debug)]
+pub struct Program {
+    /// Struct definitions.
+    pub types: TypeTable,
+    /// Global variables; global `i` occupies base address `i`.
+    pub globals: Vec<GlobalDef>,
+    /// All procedures.
+    pub procedures: Vec<Procedure>,
+    by_name: HashMap<String, ProcId>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a procedure and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate procedure names.
+    pub fn add_procedure(&mut self, proc: Procedure) -> ProcId {
+        assert!(
+            !self.by_name.contains_key(&proc.name),
+            "duplicate procedure `{}`",
+            proc.name
+        );
+        let id = ProcId(self.procedures.len() as u32);
+        self.by_name.insert(proc.name.clone(), id);
+        self.procedures.push(proc);
+        id
+    }
+
+    /// Replaces an existing procedure body (used by fence-variant tooling).
+    pub fn replace_procedure(&mut self, id: ProcId, proc: Procedure) {
+        self.by_name.remove(&self.procedures[id.index()].name);
+        self.by_name.insert(proc.name.clone(), id);
+        self.procedures[id.index()] = proc;
+    }
+
+    /// Adds a global variable; returns its base address.
+    pub fn add_global(&mut self, name: impl Into<String>, ty: MemType) -> u32 {
+        self.globals.push(GlobalDef {
+            name: name.into(),
+            ty,
+        });
+        (self.globals.len() - 1) as u32
+    }
+
+    /// Looks up a procedure by name.
+    pub fn proc_id(&self, name: &str) -> Option<ProcId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The procedure behind an id.
+    pub fn procedure(&self, id: ProcId) -> &Procedure {
+        &self.procedures[id.index()]
+    }
+
+    /// The base address of a named global, if declared.
+    pub fn global_base(&self, name: &str) -> Option<u32> {
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// Total statement count across procedures.
+    pub fn num_stmts(&self) -> usize {
+        self.procedures.iter().map(Procedure::num_stmts).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::MemType;
+
+    #[test]
+    fn lookup_by_name() {
+        let mut p = Program::new();
+        let id = p.add_procedure(Procedure {
+            name: "f".into(),
+            params: vec![],
+            ret: None,
+            num_regs: 0,
+            body: vec![],
+        });
+        assert_eq!(p.proc_id("f"), Some(id));
+        assert_eq!(p.proc_id("g"), None);
+        assert_eq!(p.procedure(id).name, "f");
+    }
+
+    #[test]
+    fn globals_get_sequential_bases() {
+        let mut p = Program::new();
+        assert_eq!(p.add_global("a", MemType::Scalar), 0);
+        assert_eq!(p.add_global("b", MemType::Scalar), 1);
+        assert_eq!(p.global_base("b"), Some(1));
+        assert_eq!(p.global_base("c"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate procedure")]
+    fn duplicate_procedure_panics() {
+        let mut p = Program::new();
+        let f = Procedure {
+            name: "f".into(),
+            params: vec![],
+            ret: None,
+            num_regs: 0,
+            body: vec![],
+        };
+        p.add_procedure(f.clone());
+        p.add_procedure(f);
+    }
+}

@@ -1,0 +1,253 @@
+//! The statement forms of the load-store language (paper Fig. 4).
+
+use crate::layout::StructId;
+use crate::prim::PrimOp;
+use crate::value::Value;
+use std::fmt;
+
+/// A virtual register, local to one procedure.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    /// Zero-based register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifies a procedure within a [`crate::Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// Zero-based procedure index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A label identifying a [`Stmt::Block`], unique within a procedure.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BlockTag(pub u32);
+
+impl fmt::Display for BlockTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The four memory ordering fence kinds of the SPARC RMO model, as used by
+/// the paper (§3.1, "Fences"). An X-Y fence orders all preceding accesses
+/// of kind X before all succeeding accesses of kind Y.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FenceKind {
+    /// Orders preceding loads before succeeding loads.
+    LoadLoad,
+    /// Orders preceding loads before succeeding stores.
+    LoadStore,
+    /// Orders preceding stores before succeeding loads.
+    StoreLoad,
+    /// Orders preceding stores before succeeding stores.
+    StoreStore,
+}
+
+impl FenceKind {
+    /// The spelling used in source code, e.g. `"store-store"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FenceKind::LoadLoad => "load-load",
+            FenceKind::LoadStore => "load-store",
+            FenceKind::StoreLoad => "store-load",
+            FenceKind::StoreStore => "store-store",
+        }
+    }
+
+    /// Parses the source spelling.
+    pub fn parse(s: &str) -> Option<FenceKind> {
+        match s {
+            "load-load" => Some(FenceKind::LoadLoad),
+            "load-store" => Some(FenceKind::LoadStore),
+            "store-load" => Some(FenceKind::StoreLoad),
+            "store-store" => Some(FenceKind::StoreStore),
+            _ => None,
+        }
+    }
+
+    /// `(orders_loads_before, orders_loads_after)`: whether the fence
+    /// constrains loads on the before side and on the after side
+    /// (`false` means it constrains stores on that side).
+    pub fn sides(self) -> (bool, bool) {
+        match self {
+            FenceKind::LoadLoad => (true, true),
+            FenceKind::LoadStore => (true, false),
+            FenceKind::StoreLoad => (false, true),
+            FenceKind::StoreStore => (false, false),
+        }
+    }
+
+    /// All four fence kinds.
+    pub fn all() -> [FenceKind; 4] {
+        [
+            FenceKind::LoadLoad,
+            FenceKind::LoadStore,
+            FenceKind::StoreLoad,
+            FenceKind::StoreStore,
+        ]
+    }
+}
+
+impl fmt::Display for FenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One LSL statement (paper Fig. 4, extended with allocation).
+///
+/// Control flow is structured: a labeled [`Stmt::Block`] can be exited by
+/// [`Stmt::Break`] or restarted by [`Stmt::Continue`]; loops are blocks
+/// containing a `Continue` to their own tag. This shape is what makes the
+/// minimalistic lazy loop unrolling of §3.3 possible.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `r = v`
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// The constant.
+        value: Value,
+    },
+    /// `r = f(r...)`
+    Prim {
+        /// Destination register.
+        dst: Reg,
+        /// The operation.
+        op: PrimOp,
+        /// Operand registers (length = `op.arity()`).
+        args: Vec<Reg>,
+    },
+    /// `*r_addr = r_val`
+    Store {
+        /// Register holding the target address.
+        addr: Reg,
+        /// Register holding the stored value.
+        value: Reg,
+    },
+    /// `r = *r_addr`
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the source address.
+        addr: Reg,
+    },
+    /// `fence X-Y`
+    Fence(FenceKind),
+    /// `atomic { s... }` — executed without interleaving, in program order.
+    Atomic(Vec<Stmt>),
+    /// `r = p(r...)` — procedure call (inlined before encoding).
+    Call {
+        /// Register receiving the return value, if the callee returns one.
+        dst: Option<Reg>,
+        /// The callee.
+        proc: ProcId,
+        /// Argument registers.
+        args: Vec<Reg>,
+    },
+    /// `t : { s... }` — labeled block.
+    Block {
+        /// The label.
+        tag: BlockTag,
+        /// `true` if a `Continue` to this tag makes it a loop.
+        is_loop: bool,
+        /// Marks a side-effect-free spin loop eligible for the paper's
+        /// spin reduction (single iteration + assume exit).
+        spin: bool,
+        /// Block body.
+        body: Vec<Stmt>,
+    },
+    /// `if (r) break t` — leave block `t` when `r` is truthy.
+    Break {
+        /// The condition register.
+        cond: Reg,
+        /// Block to leave.
+        tag: BlockTag,
+    },
+    /// `if (r) continue t` — restart block `t` when `r` is truthy.
+    Continue {
+        /// The condition register.
+        cond: Reg,
+        /// Block to restart.
+        tag: BlockTag,
+    },
+    /// `assert(r)` — an error if `r` is falsy.
+    Assert {
+        /// The asserted register.
+        cond: Reg,
+    },
+    /// `assume(r)` — restricts attention to executions where `r` is truthy.
+    Assume {
+        /// The assumed register.
+        cond: Reg,
+    },
+    /// `r = alloc S` — fresh heap object of struct type `S`
+    /// (models the paper's `new_node()`; each dynamic allocation receives
+    /// a distinct base address).
+    Alloc {
+        /// Destination register (receives the pointer).
+        dst: Reg,
+        /// The allocated struct type.
+        ty: StructId,
+    },
+    /// `commit(r)` — a no-op marker declaring that the enclosing operation
+    /// commits at the last preceding memory access when `r` is truthy.
+    /// Used only by the commit-point verification method (the Fig. 12
+    /// baseline); ignored by the observation-set method.
+    CommitIf {
+        /// Condition under which this is the operation's commit point.
+        cond: Reg,
+    },
+}
+
+impl Stmt {
+    /// `true` for statements that directly read or write shared memory.
+    pub fn is_memory_access(&self) -> bool {
+        matches!(self, Stmt::Load { .. } | Stmt::Store { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fence_roundtrip() {
+        for k in FenceKind::all() {
+            assert_eq!(FenceKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(FenceKind::parse("flush"), None);
+    }
+
+    #[test]
+    fn fence_sides() {
+        assert_eq!(FenceKind::LoadStore.sides(), (true, false));
+        assert_eq!(FenceKind::StoreLoad.sides(), (false, true));
+    }
+
+    #[test]
+    fn memory_access_predicate() {
+        let l = Stmt::Load {
+            dst: Reg(0),
+            addr: Reg(1),
+        };
+        let f = Stmt::Fence(FenceKind::LoadLoad);
+        assert!(l.is_memory_access());
+        assert!(!f.is_memory_access());
+    }
+}

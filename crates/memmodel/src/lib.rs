@@ -1,0 +1,41 @@
+//! # cf-memmodel — axiomatic memory models
+//!
+//! The axiomatic formulations of §2.3.2 of the CheckFence paper:
+//! sequential consistency, the paper's `Relaxed` model (load/store
+//! reordering, store buffering with forwarding, same-address load-load
+//! reordering) and *Seriality* (operation-atomic interleavings, the
+//! specification semantics) — plus, as a reproduction extension, the
+//! §2.3.3 architecture chain **TSO** and **PSO**, which sit strictly
+//! between SC and Relaxed (every model's traces are a subset of the
+//! next weaker one's).
+//!
+//! The crate provides:
+//!
+//! * [`Mode`] and the pure ordering rules ([`Mode::po_edge_required`],
+//!   [`fence_orders`]) shared with the SAT encoder in `checkfence`;
+//! * an explicit-state checker ([`ConcreteTrace::allowed`]) that decides
+//!   whether an annotated trace satisfies the axioms by brute force —
+//!   the oracle used to validate both the encoder and counterexamples;
+//! * a litmus-test catalog ([`litmus`]) including the paper's Fig. 2.
+//!
+//! ## Example
+//!
+//! ```
+//! use cf_memmodel::{litmus, Mode};
+//!
+//! let sb = litmus::store_buffering();
+//! // Both threads reading stale values needs store buffering:
+//! assert!(!sb.allows(Mode::Sc, &[0, 0]));
+//! assert!(sb.allows(Mode::Relaxed, &[0, 0]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explicit;
+mod rules;
+
+pub mod litmus;
+
+pub use explicit::{ConcreteTrace, Litmus, LitmusOp, TraceItem};
+pub use rules::{fence_orders, AccessKind, Mode};

@@ -1,0 +1,415 @@
+//! A catalog of classic litmus tests, including the paper's Fig. 2.
+//!
+//! Each test documents the *distinguishing outcome* — the register vector
+//! whose allowance separates memory models.
+
+use cf_lsl::FenceKind;
+
+use crate::explicit::{Litmus, LitmusOp};
+
+use LitmusOp::{Fence, Load, Store};
+
+/// Store buffering (Dekker): both threads store then load the other
+/// location. Outcome `[0, 0]` requires store-load reordering.
+pub fn store_buffering() -> Litmus {
+    Litmus {
+        name: "SB",
+        threads: vec![
+            vec![Store { addr: 0, value: 1 }, Load { addr: 1, reg: 0 }],
+            vec![Store { addr: 1, value: 1 }, Load { addr: 0, reg: 1 }],
+        ],
+        num_regs: 2,
+    }
+}
+
+/// Store buffering with store-load fences: `[0, 0]` forbidden again.
+pub fn store_buffering_fenced() -> Litmus {
+    Litmus {
+        name: "SB+fences",
+        threads: vec![
+            vec![
+                Store { addr: 0, value: 1 },
+                Fence(FenceKind::StoreLoad),
+                Load { addr: 1, reg: 0 },
+            ],
+            vec![
+                Store { addr: 1, value: 1 },
+                Fence(FenceKind::StoreLoad),
+                Load { addr: 0, reg: 1 },
+            ],
+        ],
+        num_regs: 2,
+    }
+}
+
+/// Message passing: writer stores data then flag; reader loads flag then
+/// data. Outcome `[1, 0]` (flag seen, stale data) requires reordering.
+pub fn message_passing() -> Litmus {
+    Litmus {
+        name: "MP",
+        threads: vec![
+            vec![Store { addr: 0, value: 1 }, Store { addr: 1, value: 1 }],
+            vec![Load { addr: 1, reg: 0 }, Load { addr: 0, reg: 1 }],
+        ],
+        num_regs: 2,
+    }
+}
+
+/// Message passing with a store-store fence (writer) and load-load fence
+/// (reader): `[1, 0]` forbidden — this is the paper's "incomplete
+/// initialization" fix pattern (§4.3).
+pub fn message_passing_fenced() -> Litmus {
+    Litmus {
+        name: "MP+fences",
+        threads: vec![
+            vec![
+                Store { addr: 0, value: 1 },
+                Fence(FenceKind::StoreStore),
+                Store { addr: 1, value: 1 },
+            ],
+            vec![
+                Load { addr: 1, reg: 0 },
+                Fence(FenceKind::LoadLoad),
+                Load { addr: 0, reg: 1 },
+            ],
+        ],
+        num_regs: 2,
+    }
+}
+
+/// Message passing with only the writer-side store-store fence. On PSO
+/// this restores order (PSO never reorders loads), on Relaxed the
+/// reader's loads still reorder so `[1, 0]` stays allowed.
+pub fn message_passing_ss_fence_only() -> Litmus {
+    Litmus {
+        name: "MP+ss-fence",
+        threads: vec![
+            vec![
+                Store { addr: 0, value: 1 },
+                Fence(FenceKind::StoreStore),
+                Store { addr: 1, value: 1 },
+            ],
+            vec![Load { addr: 1, reg: 0 }, Load { addr: 0, reg: 1 }],
+        ],
+        num_regs: 2,
+    }
+}
+
+/// Load buffering: both threads load then store the other location.
+/// Outcome `[1, 1]` requires load-store reordering.
+pub fn load_buffering() -> Litmus {
+    Litmus {
+        name: "LB",
+        threads: vec![
+            vec![Load { addr: 1, reg: 0 }, Store { addr: 0, value: 1 }],
+            vec![Load { addr: 0, reg: 1 }, Store { addr: 1, value: 1 }],
+        ],
+        num_regs: 2,
+    }
+}
+
+/// Load buffering with load-store fences: `[1, 1]` forbidden.
+pub fn load_buffering_fenced() -> Litmus {
+    Litmus {
+        name: "LB+fences",
+        threads: vec![
+            vec![
+                Load { addr: 1, reg: 0 },
+                Fence(FenceKind::LoadStore),
+                Store { addr: 0, value: 1 },
+            ],
+            vec![
+                Load { addr: 0, reg: 1 },
+                Fence(FenceKind::LoadStore),
+                Store { addr: 1, value: 1 },
+            ],
+        ],
+        num_regs: 2,
+    }
+}
+
+/// Same-address load-load reordering (the paper's relaxation 4): one
+/// writer, one reader issuing two loads of the same location. Outcome
+/// `[1, 0]` (new then old) requires reordering the two loads.
+pub fn coherence_read_read() -> Litmus {
+    Litmus {
+        name: "CoRR",
+        threads: vec![
+            vec![Store { addr: 0, value: 1 }],
+            vec![Load { addr: 0, reg: 0 }, Load { addr: 0, reg: 1 }],
+        ],
+        num_regs: 2,
+    }
+}
+
+/// CoRR with a load-load fence: `[1, 0]` forbidden.
+pub fn coherence_read_read_fenced() -> Litmus {
+    Litmus {
+        name: "CoRR+fence",
+        threads: vec![
+            vec![Store { addr: 0, value: 1 }],
+            vec![
+                Load { addr: 0, reg: 0 },
+                Fence(FenceKind::LoadLoad),
+                Load { addr: 0, reg: 1 },
+            ],
+        ],
+        num_regs: 2,
+    }
+}
+
+/// The paper's Fig. 2: independent reads of independent writes with
+/// load-load fences. Outcome `[1, 0, 1, 0]` is **not** allowed on Relaxed
+/// (stores are globally ordered) although weaker architectures (PPC,
+/// IA-32, IA-64) permit it.
+pub fn iriw_fenced() -> Litmus {
+    Litmus {
+        name: "IRIW+fences (Fig. 2)",
+        threads: vec![
+            vec![Store { addr: 0, value: 1 }],
+            vec![Store { addr: 1, value: 1 }],
+            vec![
+                Load { addr: 0, reg: 0 },
+                Fence(FenceKind::LoadLoad),
+                Load { addr: 1, reg: 1 },
+            ],
+            vec![
+                Load { addr: 1, reg: 2 },
+                Fence(FenceKind::LoadLoad),
+                Load { addr: 0, reg: 3 },
+            ],
+        ],
+        num_regs: 4,
+    }
+}
+
+/// IRIW without fences: the loads may reorder, so `[1, 0, 1, 0]` is
+/// allowed on Relaxed.
+pub fn iriw_unfenced() -> Litmus {
+    Litmus {
+        name: "IRIW",
+        threads: vec![
+            vec![Store { addr: 0, value: 1 }],
+            vec![Store { addr: 1, value: 1 }],
+            vec![Load { addr: 0, reg: 0 }, Load { addr: 1, reg: 1 }],
+            vec![Load { addr: 1, reg: 2 }, Load { addr: 0, reg: 3 }],
+        ],
+        num_regs: 4,
+    }
+}
+
+/// Store-to-load forwarding: a thread reads its own buffered store before
+/// it is globally visible. `[1, 0]` — own store seen, other thread has
+/// not — is allowed on Relaxed even though the two threads' observations
+/// would be inconsistent under SC... (here the SC check needs the second
+/// thread; see the unit tests).
+pub fn store_forwarding() -> Litmus {
+    Litmus {
+        name: "SF",
+        threads: vec![
+            vec![
+                Store { addr: 0, value: 1 },
+                Load { addr: 0, reg: 0 },
+                Load { addr: 1, reg: 1 },
+            ],
+            vec![
+                Store { addr: 1, value: 1 },
+                Load { addr: 1, reg: 2 },
+                Load { addr: 0, reg: 3 },
+            ],
+        ],
+        num_regs: 4,
+    }
+}
+
+/// Store buffering with a fence on only one side: the relaxed outcome
+/// stays allowed — repairs must cover *both* reordering sites, a
+/// common real-world fencing mistake.
+pub fn store_buffering_half_fenced() -> Litmus {
+    Litmus {
+        name: "SB+one-fence",
+        threads: vec![
+            vec![
+                Store { addr: 0, value: 1 },
+                Fence(FenceKind::StoreLoad),
+                Load { addr: 1, reg: 0 },
+            ],
+            vec![Store { addr: 1, value: 1 }, Load { addr: 0, reg: 1 }],
+        ],
+        num_regs: 2,
+    }
+}
+
+/// All catalog entries.
+pub fn all() -> Vec<Litmus> {
+    vec![
+        store_buffering(),
+        store_buffering_fenced(),
+        message_passing(),
+        message_passing_fenced(),
+        message_passing_ss_fence_only(),
+        load_buffering(),
+        load_buffering_fenced(),
+        coherence_read_read(),
+        coherence_read_read_fenced(),
+        iriw_fenced(),
+        iriw_unfenced(),
+        store_forwarding(),
+        store_buffering_half_fenced(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Mode;
+
+    #[test]
+    fn sb_distinguishes_models() {
+        let t = store_buffering();
+        assert!(!t.allows(Mode::Sc, &[0, 0]), "SC forbids both-stale");
+        assert!(t.allows(Mode::Relaxed, &[0, 0]), "Relaxed allows store buffering");
+        assert!(t.allows(Mode::Sc, &[1, 1]));
+        let f = store_buffering_fenced();
+        assert!(!f.allows(Mode::Relaxed, &[0, 0]), "store-load fences restore SC");
+    }
+
+    #[test]
+    fn mp_needs_two_fences() {
+        let t = message_passing();
+        assert!(!t.allows(Mode::Sc, &[1, 0]));
+        assert!(t.allows(Mode::Relaxed, &[1, 0]));
+        let f = message_passing_fenced();
+        assert!(!f.allows(Mode::Relaxed, &[1, 0]));
+        assert!(f.allows(Mode::Relaxed, &[1, 1]));
+        assert!(f.allows(Mode::Relaxed, &[0, 0]));
+        assert!(f.allows(Mode::Relaxed, &[0, 1]), "data may be early");
+    }
+
+    #[test]
+    fn lb_distinguishes_models() {
+        let t = load_buffering();
+        assert!(!t.allows(Mode::Sc, &[1, 1]));
+        assert!(t.allows(Mode::Relaxed, &[1, 1]));
+        assert!(!load_buffering_fenced().allows(Mode::Relaxed, &[1, 1]));
+    }
+
+    #[test]
+    fn same_address_loads_reorder_on_relaxed() {
+        let t = coherence_read_read();
+        assert!(!t.allows(Mode::Sc, &[1, 0]));
+        assert!(
+            t.allows(Mode::Relaxed, &[1, 0]),
+            "relaxation 4: same-address load-load reordering"
+        );
+        assert!(!coherence_read_read_fenced().allows(Mode::Relaxed, &[1, 0]));
+    }
+
+    #[test]
+    fn fig2_iriw_is_forbidden_on_relaxed() {
+        // The paper's Fig. 2: Relaxed globally orders stores, so the two
+        // reader threads cannot disagree on the store order.
+        let t = iriw_fenced();
+        assert!(!t.allows(Mode::Relaxed, &[1, 0, 1, 0]));
+        assert!(!t.allows(Mode::Sc, &[1, 0, 1, 0]));
+        // Without fences the loads reorder and the outcome is allowed.
+        assert!(iriw_unfenced().allows(Mode::Relaxed, &[1, 0, 1, 0]));
+    }
+
+    #[test]
+    fn forwarding_lets_threads_read_own_stores_early() {
+        // Both threads see their own store but not the other's: the
+        // classic TSO outcome, forbidden under SC.
+        let t = store_forwarding();
+        assert!(t.allows(Mode::Relaxed, &[1, 0, 1, 0]));
+        assert!(!t.allows(Mode::Sc, &[1, 0, 1, 0]));
+    }
+
+    #[test]
+    fn relaxed_is_weaker_than_sc_everywhere() {
+        // Every SC outcome is also a Relaxed outcome (Relaxed is weaker).
+        for t in all() {
+            let sc = t.allowed_outcomes(Mode::Sc);
+            let rx = t.allowed_outcomes(Mode::Relaxed);
+            assert!(
+                sc.is_subset(&rx),
+                "{}: SC ⊄ Relaxed — SC={sc:?} RX={rx:?}",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn half_fenced_sb_is_still_broken() {
+        let t = store_buffering_half_fenced();
+        assert!(t.allows(Mode::Tso, &[0, 0]), "one fence does not repair SB");
+        assert!(t.allows(Mode::Relaxed, &[0, 0]));
+        assert!(!t.allows(Mode::Sc, &[0, 0]));
+    }
+
+    #[test]
+    fn tso_relaxes_exactly_store_load() {
+        // SB is the TSO-defining behaviour...
+        assert!(store_buffering().allows(Mode::Tso, &[0, 0]));
+        // ...and forwarding lets each thread see its own store early.
+        assert!(store_forwarding().allows(Mode::Tso, &[1, 0, 1, 0]));
+        // Everything else stays ordered on TSO.
+        assert!(!message_passing().allows(Mode::Tso, &[1, 0]));
+        assert!(!load_buffering().allows(Mode::Tso, &[1, 1]));
+        assert!(!coherence_read_read().allows(Mode::Tso, &[1, 0]));
+        assert!(!iriw_unfenced().allows(Mode::Tso, &[1, 0, 1, 0]));
+        // A store-load fence removes the one TSO relaxation.
+        assert!(!store_buffering_fenced().allows(Mode::Tso, &[0, 0]));
+    }
+
+    #[test]
+    fn pso_additionally_relaxes_store_store() {
+        // PSO = TSO + store-store reordering: MP breaks...
+        assert!(message_passing().allows(Mode::Pso, &[1, 0]));
+        assert!(store_buffering().allows(Mode::Pso, &[0, 0]));
+        // ...but loads are still in order.
+        assert!(!load_buffering().allows(Mode::Pso, &[1, 1]));
+        assert!(!coherence_read_read().allows(Mode::Pso, &[1, 0]));
+        assert!(!iriw_unfenced().allows(Mode::Pso, &[1, 0, 1, 0]));
+        // A single writer-side store-store fence repairs MP on PSO
+        // (the paper's §4.2 observation that load-load fences are
+        // automatic on some architectures), but not on Relaxed, where
+        // the reader's loads also need a fence.
+        let ss = message_passing_ss_fence_only();
+        assert!(!ss.allows(Mode::Pso, &[1, 0]));
+        assert!(ss.allows(Mode::Relaxed, &[1, 0]));
+    }
+
+    #[test]
+    fn fig2_iriw_is_forbidden_on_all_our_models() {
+        // Relaxed globally orders stores, and TSO/PSO are stronger, so
+        // no model in this reproduction admits the Fig. 2 trace.
+        for mode in Mode::hardware() {
+            assert!(
+                !iriw_fenced().allows(mode, &[1, 0, 1, 0]),
+                "{} must forbid Fig. 2",
+                mode.name()
+            );
+        }
+    }
+
+    #[test]
+    fn model_lattice_on_catalog() {
+        // Serial ⊆ SC ⊆ TSO ⊆ PSO ⊆ Relaxed on every catalog entry.
+        let modes = Mode::all();
+        for pair in modes.windows(2) {
+            assert!(pair[1].at_most_as_strong_as(pair[0]) || pair[0] == Mode::Serial);
+            for t in all() {
+                let stronger = t.allowed_outcomes(pair[0]);
+                let weaker = t.allowed_outcomes(pair[1]);
+                assert!(
+                    stronger.is_subset(&weaker),
+                    "{}: {} ⊄ {}",
+                    t.name,
+                    pair[0].name(),
+                    pair[1].name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The pure ordering rules of the paper's memory model axioms (§2.3.2).
+//!
+//! These tiny functions are the single source of truth shared by the
+//! explicit-state checker in this crate and the SAT encoder in
+//! `checkfence`: which program-order pairs the memory order must respect,
+//! and whether store-to-load forwarding is visible.
+
+use cf_lsl::FenceKind;
+
+/// Memory access kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A load.
+    Load,
+    /// A store.
+    Store,
+}
+
+/// The memory model under which executions are interpreted.
+///
+/// `Serial` is the paper's formalization of serial executions as a memory
+/// model (§2.3.2 "Seriality"): sequential consistency plus atomicity of
+/// whole operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Mode {
+    /// Operations appear atomic and the execution is sequentially
+    /// consistent — the specification semantics.
+    Serial,
+    /// Classic sequential consistency (Lamport).
+    Sc,
+    /// Total store order (Sun SPARC TSO, §2.3.3): only the store→load
+    /// order is relaxed — stores are buffered locally and forwarded to
+    /// the issuing processor's own later loads. Loads stay in order,
+    /// stores stay in order.
+    Tso,
+    /// Partial store order (Sun SPARC PSO, §2.3.3): TSO plus relaxation
+    /// of store→store order to *different* addresses. Loads still stay
+    /// in order.
+    Pso,
+    /// The paper's `Relaxed` model: load/store reordering, store
+    /// buffering with forwarding, same-address load-load reordering and
+    /// dependence-free speculation.
+    Relaxed,
+}
+
+impl Mode {
+    /// All modes, strongest first (each allows a superset of the traces
+    /// of its predecessor — see [`Mode::at_most_as_strong_as`]).
+    pub fn all() -> [Mode; 5] {
+        [Mode::Serial, Mode::Sc, Mode::Tso, Mode::Pso, Mode::Relaxed]
+    }
+
+    /// The hardware-level models (everything except the `Serial`
+    /// specification semantics), strongest first.
+    pub fn hardware() -> [Mode; 4] {
+        [Mode::Sc, Mode::Tso, Mode::Pso, Mode::Relaxed]
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Serial => "serial",
+            Mode::Sc => "sc",
+            Mode::Tso => "tso",
+            Mode::Pso => "pso",
+            Mode::Relaxed => "relaxed",
+        }
+    }
+
+    /// Does this mode interleave operations atomically?
+    pub fn operations_atomic(self) -> bool {
+        self == Mode::Serial
+    }
+
+    /// May a load read a program-order-earlier store that has not yet
+    /// performed globally (store-buffer forwarding, §2.3.2 Relaxed
+    /// visibility `S(l)`)?
+    ///
+    /// TSO and PSO buffer stores exactly like Relaxed does; the
+    /// difference between the three is only which program-order edges
+    /// the memory order must respect ([`Mode::po_edge_required`]).
+    pub fn allows_forwarding(self) -> bool {
+        matches!(self, Mode::Tso | Mode::Pso | Mode::Relaxed)
+    }
+
+    /// Must `x <M y` hold for `x` before `y` in program order (same
+    /// thread), ignoring fences and atomic blocks?
+    ///
+    /// * SC / Serial: always (axiom 1 of the SC formalization).
+    /// * TSO: always, except store→load (store buffering). The
+    ///   same-address store→load case needs no edge either: visibility
+    ///   maximality (axiom 3) already forces the load to return the
+    ///   buffered store (or something newer), which is the TSO
+    ///   forwarding semantics.
+    /// * PSO: like TSO, plus store→store to *different* addresses is
+    ///   relaxed (per-address FIFO write buffers).
+    /// * Relaxed: only when both target the same address **and** `y` is a
+    ///   store (axiom 1 of the Relaxed formalization) — this is what
+    ///   permits load-load same-address reordering (relaxation 4) and
+    ///   store-load reordering (store buffering, relaxations 2-3).
+    pub fn po_edge_required(self, x: AccessKind, y: AccessKind, same_addr: bool) -> bool {
+        match self {
+            Mode::Serial | Mode::Sc => true,
+            Mode::Tso => !(x == AccessKind::Store && y == AccessKind::Load),
+            Mode::Pso => match (x, y) {
+                (AccessKind::Load, _) => true,
+                (AccessKind::Store, AccessKind::Store) => same_addr,
+                (AccessKind::Store, AccessKind::Load) => false,
+            },
+            Mode::Relaxed => same_addr && y == AccessKind::Store,
+        }
+    }
+
+    /// `true` if this model is at most as strong as `other`: every
+    /// program-order edge `other` relaxes, `self` relaxes too, and every
+    /// forwarding behaviour `other` exhibits, `self` exhibits too. In the
+    /// paper's §2.3.3 terminology `other` is *stronger than* `self`, so
+    /// every trace allowed by `other` is allowed by `self`.
+    pub fn at_most_as_strong_as(self, other: Mode) -> bool {
+        let weaker_edges = [AccessKind::Load, AccessKind::Store].iter().all(|&x| {
+            [AccessKind::Load, AccessKind::Store].iter().all(|&y| {
+                [false, true].iter().all(|&same| {
+                    !self.po_edge_required(x, y, same) || other.po_edge_required(x, y, same)
+                })
+            })
+        });
+        let weaker_ops = !self.operations_atomic() || other.operations_atomic();
+        let more_forwarding = !other.allows_forwarding() || self.allows_forwarding();
+        weaker_edges && weaker_ops && more_forwarding
+    }
+}
+
+/// Does an `X-Y` fence order a preceding access of kind `x` before a
+/// succeeding access of kind `y`?
+///
+/// An `X-Y` fence guarantees that all accesses of type X before the fence
+/// are ordered before all accesses of type Y after it (paper §3.1).
+pub fn fence_orders(kind: FenceKind, x: AccessKind, y: AccessKind) -> bool {
+    let (before_loads, after_loads) = kind.sides();
+    let x_matches = (x == AccessKind::Load) == before_loads;
+    let y_matches = (y == AccessKind::Load) == after_loads;
+    x_matches && y_matches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sc_orders_everything() {
+        for x in [AccessKind::Load, AccessKind::Store] {
+            for y in [AccessKind::Load, AccessKind::Store] {
+                for same in [false, true] {
+                    assert!(Mode::Sc.po_edge_required(x, y, same));
+                    assert!(Mode::Serial.po_edge_required(x, y, same));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_only_orders_same_address_stores() {
+        use AccessKind::*;
+        // Different addresses: never ordered.
+        assert!(!Mode::Relaxed.po_edge_required(Store, Store, false));
+        assert!(!Mode::Relaxed.po_edge_required(Load, Load, false));
+        // Same address: ordered only when the later access is a store.
+        assert!(Mode::Relaxed.po_edge_required(Store, Store, true));
+        assert!(Mode::Relaxed.po_edge_required(Load, Store, true));
+        // Same-address load-load reordering (relaxation 4) is allowed.
+        assert!(!Mode::Relaxed.po_edge_required(Load, Load, true));
+        // Store buffering (relaxation 2): store then load unordered.
+        assert!(!Mode::Relaxed.po_edge_required(Store, Load, true));
+    }
+
+    #[test]
+    fn fence_kind_matrix() {
+        use AccessKind::*;
+        assert!(fence_orders(FenceKind::LoadLoad, Load, Load));
+        assert!(!fence_orders(FenceKind::LoadLoad, Store, Load));
+        assert!(!fence_orders(FenceKind::LoadLoad, Load, Store));
+        assert!(fence_orders(FenceKind::StoreStore, Store, Store));
+        assert!(fence_orders(FenceKind::StoreLoad, Store, Load));
+        assert!(fence_orders(FenceKind::LoadStore, Load, Store));
+        assert!(!fence_orders(FenceKind::LoadStore, Store, Store));
+    }
+
+    #[test]
+    fn forwarding_only_on_relaxed() {
+        assert!(Mode::Relaxed.allows_forwarding());
+        assert!(!Mode::Sc.allows_forwarding());
+        assert!(!Mode::Serial.allows_forwarding());
+    }
+}

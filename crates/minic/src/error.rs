@@ -1,0 +1,34 @@
+//! Front-end error type.
+
+use std::fmt;
+
+/// A compilation error with a 1-based source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MinicError {
+    /// 1-based line of the offending construct (0 when unknown).
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl MinicError {
+    /// Creates an error at a source line.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        MinicError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for MinicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for MinicError {}

@@ -1,0 +1,275 @@
+//! Hand-written lexer for mini-C.
+
+use crate::error::MinicError;
+use crate::token::{Spanned, Token};
+
+/// Tokenizes mini-C source.
+///
+/// # Errors
+///
+/// Returns [`MinicError`] on unterminated strings, malformed numbers or
+/// unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, MinicError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line = 1usize;
+
+    macro_rules! push {
+        ($t:expr) => {
+            tokens.push(Spanned { token: $t, line })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                match chars.peek() {
+                    Some('/') => {
+                        // line comment
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                break;
+                            }
+                        }
+                    }
+                    Some('*') => {
+                        chars.next();
+                        let mut prev = '\0';
+                        let mut closed = false;
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                            }
+                            if prev == '*' && c == '/' {
+                                closed = true;
+                                break;
+                            }
+                            prev = c;
+                        }
+                        if !closed {
+                            return Err(MinicError::new(line, "unterminated block comment"));
+                        }
+                    }
+                    _ => {
+                        return Err(MinicError::new(line, "division is not supported"));
+                    }
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    if c == '"' {
+                        closed = true;
+                        break;
+                    }
+                    if c == '\n' {
+                        line += 1;
+                    }
+                    s.push(c);
+                }
+                if !closed {
+                    return Err(MinicError::new(line, "unterminated string literal"));
+                }
+                push!(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                // Accept 0x hex and plain decimal; suffixes like `u` are C
+                // noise we strip.
+                let trimmed = s.trim_end_matches(['u', 'U', 'l', 'L']);
+                let value = if let Some(hex) = trimmed.strip_prefix("0x") {
+                    i64::from_str_radix(hex, 16)
+                } else {
+                    trimmed.parse::<i64>()
+                };
+                match value {
+                    Ok(n) => push!(Token::Num(n)),
+                    Err(_) => {
+                        return Err(MinicError::new(line, format!("bad number `{s}`")));
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                push!(Token::Ident(s));
+            }
+            _ => {
+                chars.next();
+                let two = |chars: &mut std::iter::Peekable<std::str::Chars>, next: char| {
+                    if chars.peek() == Some(&next) {
+                        chars.next();
+                        true
+                    } else {
+                        false
+                    }
+                };
+                let t = match c {
+                    '(' => Token::LParen,
+                    ')' => Token::RParen,
+                    '{' => Token::LBrace,
+                    '}' => Token::RBrace,
+                    '[' => Token::LBracket,
+                    ']' => Token::RBracket,
+                    ';' => Token::Semi,
+                    ',' => Token::Comma,
+                    '*' => Token::Star,
+                    '+' => Token::Plus,
+                    '.' => Token::Dot,
+                    '?' => Token::Question,
+                    ':' => Token::Colon,
+                    '&' => {
+                        if two(&mut chars, '&') {
+                            Token::AmpAmp
+                        } else {
+                            Token::Amp
+                        }
+                    }
+                    '|' => {
+                        if two(&mut chars, '|') {
+                            Token::PipePipe
+                        } else {
+                            Token::Pipe
+                        }
+                    }
+                    '!' => {
+                        if two(&mut chars, '=') {
+                            Token::Ne
+                        } else {
+                            Token::Bang
+                        }
+                    }
+                    '=' => {
+                        if two(&mut chars, '=') {
+                            Token::Eq
+                        } else {
+                            Token::Assign
+                        }
+                    }
+                    '<' => {
+                        if two(&mut chars, '=') {
+                            Token::Le
+                        } else {
+                            Token::Lt
+                        }
+                    }
+                    '>' => {
+                        if two(&mut chars, '=') {
+                            Token::Ge
+                        } else {
+                            Token::Gt
+                        }
+                    }
+                    '-' => {
+                        if two(&mut chars, '>') {
+                            Token::Arrow
+                        } else {
+                            Token::Minus
+                        }
+                    }
+                    other => {
+                        return Err(MinicError::new(line, format!("unexpected character `{other}`")));
+                    }
+                };
+                push!(t);
+            }
+        }
+    }
+    tokens.push(Spanned {
+        token: Token::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("x->next == 0 && !y"),
+            vec![
+                Token::Ident("x".into()),
+                Token::Arrow,
+                Token::Ident("next".into()),
+                Token::Eq,
+                Token::Num(0),
+                Token::AmpAmp,
+                Token::Bang,
+                Token::Ident("y".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings() {
+        assert_eq!(
+            toks("fence(\"store-store\"); // ordering\n/* block\n comment */ x"),
+            vec![
+                Token::Ident("fence".into()),
+                Token::LParen,
+                Token::Str("store-store".into()),
+                Token::RParen,
+                Token::Semi,
+                Token::Ident("x".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("0x10 42u"), vec![Token::Num(16), Token::Num(42), Token::Eof]);
+    }
+
+    #[test]
+    fn line_numbers() {
+        let spanned = lex("a\nb\n  c").expect("lexes");
+        let lines: Vec<usize> = spanned.iter().map(|s| s.line).collect();
+        assert_eq!(lines, vec![1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a / b").is_err());
+        assert!(lex("#include").is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! # cf-minic — the mini-C front-end
+//!
+//! CheckFence accepts implementation code "written as C code" (paper §3.1)
+//! and compiles it to the load-store language (LSL) via CIL. This crate is
+//! the reproduction's stand-in for that pipeline: a self-contained compiler
+//! for the C subset the five studied algorithms need —
+//!
+//! * `typedef`, `struct`, `enum`, globals, functions, pointers, arrays;
+//! * `if`/`else`, `while`, `do`-`while`, `break`, `continue`, `return`;
+//! * short-circuit `&&`/`||` (compiled to control flow), casts,
+//!   pointer/field/array access;
+//! * the verification special forms: `atomic { ... }` blocks,
+//!   `fence("load-load" | "load-store" | "store-load" | "store-store")`,
+//!   `assert(e)`, `assume(e)`, `malloc(type)` (the paper's `new_node()`),
+//!   `free(p)`/`delete_node(p)` (no-ops in bounded tests),
+//!   `do { ... } spinwhile (c);` (the paper's side-effect-free spin-loop
+//!   reduction) and `commit(e)` (commit-point annotations for the
+//!   CAV 2006 baseline method).
+//!
+//! ## Example
+//!
+//! ```
+//! use cf_minic::compile;
+//! use cf_lsl::{Machine, Value};
+//!
+//! let program = compile(r#"
+//!     int x;
+//!     void set(int v) { x = v; }
+//!     int get() { return x; }
+//! "#).expect("compiles");
+//!
+//! let set = program.proc_id("set").unwrap();
+//! let get = program.proc_id("get").unwrap();
+//! let mut m = Machine::new(&program);
+//! m.call(set, &[Value::Int(5)]).unwrap();
+//! assert_eq!(m.call(get, &[]).unwrap(), Some(Value::Int(5)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod error;
+mod lexer;
+mod lower;
+mod parser;
+mod token;
+
+pub use error::MinicError;
+pub use lower::{lower, CELL_STRUCT};
+pub use parser::{parse, Ast};
+
+use cf_lsl::Program;
+
+/// Compiles mini-C source text into an LSL [`Program`].
+///
+/// # Errors
+///
+/// Returns [`MinicError`] with a source line for lexical, syntactic and
+/// lowering problems.
+pub fn compile(source: &str) -> Result<Program, MinicError> {
+    let ast = parse(source)?;
+    lower(&ast)
+}

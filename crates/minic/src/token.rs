@@ -1,0 +1,117 @@
+//! Tokens of the mini-C language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// Integer literal.
+    Num(i64),
+    /// String literal (only used for fence kinds).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `|`
+    Pipe,
+    /// `||`
+    PipePipe,
+    /// `!`
+    Bang,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `->`
+    Arrow,
+    /// `.`
+    Dot,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "`{s}`"),
+            Token::Num(n) => write!(f, "`{n}`"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::LParen => write!(f, "`(`"),
+            Token::RParen => write!(f, "`)`"),
+            Token::LBrace => write!(f, "`{{`"),
+            Token::RBrace => write!(f, "`}}`"),
+            Token::LBracket => write!(f, "`[`"),
+            Token::RBracket => write!(f, "`]`"),
+            Token::Semi => write!(f, "`;`"),
+            Token::Comma => write!(f, "`,`"),
+            Token::Star => write!(f, "`*`"),
+            Token::Amp => write!(f, "`&`"),
+            Token::AmpAmp => write!(f, "`&&`"),
+            Token::Pipe => write!(f, "`|`"),
+            Token::PipePipe => write!(f, "`||`"),
+            Token::Bang => write!(f, "`!`"),
+            Token::Assign => write!(f, "`=`"),
+            Token::Eq => write!(f, "`==`"),
+            Token::Ne => write!(f, "`!=`"),
+            Token::Lt => write!(f, "`<`"),
+            Token::Le => write!(f, "`<=`"),
+            Token::Gt => write!(f, "`>`"),
+            Token::Ge => write!(f, "`>=`"),
+            Token::Plus => write!(f, "`+`"),
+            Token::Minus => write!(f, "`-`"),
+            Token::Arrow => write!(f, "`->`"),
+            Token::Dot => write!(f, "`.`"),
+            Token::Question => write!(f, "`?`"),
+            Token::Colon => write!(f, "`:`"),
+            Token::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source line (1-based).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}

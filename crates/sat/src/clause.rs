@@ -1,0 +1,147 @@
+//! Clause storage: a slab of clauses addressed by [`ClauseRef`].
+
+use crate::types::Lit;
+
+/// A handle to a clause in the [`ClauseDb`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ClauseRef(pub(crate) u32);
+
+impl ClauseRef {
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single clause plus its bookkeeping metadata.
+#[derive(Debug, Clone)]
+pub(crate) struct Clause {
+    pub lits: Vec<Lit>,
+    /// Learnt clauses may be deleted during database reduction.
+    pub learnt: bool,
+    /// Literal-block distance at learning time (glucose heuristic).
+    pub lbd: u32,
+    /// Bump-and-decay activity for reduction ordering.
+    pub activity: f64,
+    /// Tombstone: slot is free for reuse.
+    pub deleted: bool,
+}
+
+/// Slab of clauses with a free list so [`ClauseRef`]s stay stable.
+#[derive(Debug, Default)]
+pub(crate) struct ClauseDb {
+    clauses: Vec<Clause>,
+    free: Vec<u32>,
+    /// Number of live learnt clauses.
+    pub num_learnt: usize,
+    /// Number of live problem (original) clauses.
+    pub num_original: usize,
+}
+
+impl ClauseDb {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn alloc(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "unit/empty clauses are not stored");
+        if learnt {
+            self.num_learnt += 1;
+        } else {
+            self.num_original += 1;
+        }
+        let clause = Clause {
+            lits,
+            learnt,
+            lbd,
+            activity: 0.0,
+            deleted: false,
+        };
+        if let Some(slot) = self.free.pop() {
+            self.clauses[slot as usize] = clause;
+            ClauseRef(slot)
+        } else {
+            self.clauses.push(clause);
+            ClauseRef((self.clauses.len() - 1) as u32)
+        }
+    }
+
+    pub fn free(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref.index()];
+        debug_assert!(!c.deleted);
+        if c.learnt {
+            self.num_learnt -= 1;
+        } else {
+            self.num_original -= 1;
+        }
+        c.deleted = true;
+        c.lits = Vec::new();
+        self.free.push(cref.0);
+    }
+
+    #[inline]
+    pub fn get(&self, cref: ClauseRef) -> &Clause {
+        &self.clauses[cref.index()]
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, cref: ClauseRef) -> &mut Clause {
+        &mut self.clauses[cref.index()]
+    }
+
+    /// Iterates over the refs of all live learnt clauses.
+    pub fn learnt_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.deleted)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+
+    /// Iterates over the refs of all live clauses.
+    #[allow(dead_code)] // kept for debugging / future simplification passes
+    pub fn all_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.deleted)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn lits(n: &[i64]) -> Vec<Lit> {
+        n.iter().map(|&x| Lit::from_dimacs(x)).collect()
+    }
+
+    #[test]
+    fn alloc_free_reuse() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(lits(&[1, 2]), false, 0);
+        let b = db.alloc(lits(&[1, -2, 3]), true, 2);
+        assert_eq!(db.num_original, 1);
+        assert_eq!(db.num_learnt, 1);
+        assert_eq!(db.get(a).lits.len(), 2);
+        db.free(b);
+        assert_eq!(db.num_learnt, 0);
+        let c = db.alloc(lits(&[4, 5]), true, 1);
+        assert_eq!(c, b, "freed slot is reused");
+        assert_eq!(db.get(c).lits, lits(&[4, 5]));
+    }
+
+    #[test]
+    fn iterators_skip_deleted() {
+        let mut db = ClauseDb::new();
+        let _a = db.alloc(lits(&[1, 2]), false, 0);
+        let b = db.alloc(lits(&[3, 4]), true, 2);
+        let _c = db.alloc(lits(&[5, 6]), true, 2);
+        db.free(b);
+        assert_eq!(db.learnt_refs().count(), 1);
+        assert_eq!(db.all_refs().count(), 2);
+        let _ = Var::from_index(0); // silence unused import in some cfgs
+    }
+}

@@ -1,0 +1,157 @@
+//! DIMACS CNF reading and writing, for debugging and golden tests.
+
+use std::fmt::Write as _;
+
+use crate::solver::Solver;
+use crate::types::Lit;
+
+/// A parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// Explanation of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// A CNF formula in clausal form.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables (may exceed the largest used index).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Parses DIMACS text. The `p cnf` header is optional; comment lines
+    /// start with `c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDimacsError`] on malformed literals or headers.
+    pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
+        let mut cnf = Cnf::default();
+        let mut current: Vec<Lit> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                let mut parts = rest.split_whitespace();
+                if parts.next() != Some("cnf") {
+                    return Err(ParseDimacsError {
+                        line: lineno + 1,
+                        message: "expected `p cnf <vars> <clauses>`".into(),
+                    });
+                }
+                let vars = parts.next().and_then(|s| s.parse::<usize>().ok());
+                match vars {
+                    Some(v) => cnf.num_vars = cnf.num_vars.max(v),
+                    None => {
+                        return Err(ParseDimacsError {
+                            line: lineno + 1,
+                            message: "bad variable count".into(),
+                        })
+                    }
+                }
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                let code: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                    line: lineno + 1,
+                    message: format!("bad literal `{tok}`"),
+                })?;
+                if code == 0 {
+                    cnf.clauses.push(std::mem::take(&mut current));
+                } else {
+                    let l = Lit::from_dimacs(code);
+                    cnf.num_vars = cnf.num_vars.max(l.var().index() + 1);
+                    current.push(l);
+                }
+            }
+        }
+        if !current.is_empty() {
+            cnf.clauses.push(current);
+        }
+        Ok(cnf)
+    }
+
+    /// Renders the formula as DIMACS text.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for c in &self.clauses {
+            for l in c {
+                let _ = write!(out, "{} ", l.to_dimacs());
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+
+    /// Loads the formula into a fresh solver.
+    pub fn to_solver(&self) -> Solver {
+        let mut s = Solver::new();
+        while s.num_vars() < self.num_vars {
+            s.new_var();
+        }
+        for c in &self.clauses {
+            s.add_clause(c.iter().copied());
+        }
+        s
+    }
+
+    /// Evaluates the formula under a total assignment
+    /// (`assignment[i]` is the value of variable `i`).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| assignment.get(l.var().index()).copied().unwrap_or(false) == l.sign())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn parse_and_solve() {
+        let cnf = Cnf::parse("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n").expect("parses");
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        let mut s = cnf.to_solver();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cnf = Cnf::parse("1 2 0 -1 0").expect("parses");
+        let again = Cnf::parse(&cnf.to_dimacs()).expect("parses");
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Cnf::parse("1 x 0").is_err());
+        assert!(Cnf::parse("p dnf 1 1").is_err());
+    }
+
+    #[test]
+    fn eval_checks_all_clauses() {
+        let cnf = Cnf::parse("1 2 0 -1 0").expect("parses");
+        assert!(cnf.eval(&[false, true]));
+        assert!(!cnf.eval(&[true, true]));
+    }
+}

@@ -1,0 +1,159 @@
+//! An indexed max-heap over variables ordered by VSIDS activity.
+
+use crate::types::Var;
+
+/// Max-heap keyed by an external activity array, with `O(log n)` updates
+/// addressed by variable index (the MiniSat `VarOrder` structure).
+#[derive(Debug, Default)]
+pub(crate) struct VarHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// Position of each variable in `heap`, or `NONE`.
+    pos: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl VarHeap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn grow_to(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, NONE);
+        }
+    }
+
+    #[inline]
+    pub fn contains(&self, v: Var) -> bool {
+        self.pos[v.index()] != NONE
+    }
+
+    #[inline]
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.heap.push(v.0);
+        let i = self.heap.len() - 1;
+        self.pos[v.index()] = i as u32;
+        self.sift_up(i, activity);
+    }
+
+    /// Restores heap order for `v` after its activity increased.
+    pub fn update(&mut self, v: Var, activity: &[f64]) {
+        let p = self.pos[v.index()];
+        if p != NONE {
+            self.sift_up(p as usize, activity);
+        }
+    }
+
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top as usize] = NONE;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(Var(top))
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        let x = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) >> 1;
+            let p = self.heap[parent];
+            if activity[x as usize] <= activity[p as usize] {
+                break;
+            }
+            self.heap[i] = p;
+            self.pos[p as usize] = i as u32;
+            i = parent;
+        }
+        self.heap[i] = x;
+        self.pos[x as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        let x = self.heap[i];
+        let n = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let child = if r < n
+                && activity[self.heap[r] as usize] > activity[self.heap[l] as usize]
+            {
+                r
+            } else {
+                l
+            };
+            let c = self.heap[child];
+            if activity[c as usize] <= activity[x as usize] {
+                break;
+            }
+            self.heap[i] = c;
+            self.pos[c as usize] = i as u32;
+            i = child;
+        }
+        self.heap[i] = x;
+        self.pos[x as usize] = i as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.grow_to(4);
+        for i in 0..4 {
+            h.insert(Var::from_index(i), &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max(&activity))
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn update_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        h.grow_to(3);
+        for i in 0..3 {
+            h.insert(Var::from_index(i), &activity);
+        }
+        activity[0] = 10.0;
+        h.update(Var::from_index(0), &activity);
+        assert_eq!(h.pop_max(&activity), Some(Var::from_index(0)));
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = vec![1.0];
+        let mut h = VarHeap::new();
+        h.grow_to(1);
+        h.insert(Var::from_index(0), &activity);
+        h.insert(Var::from_index(0), &activity);
+        assert_eq!(h.pop_max(&activity), Some(Var::from_index(0)));
+        assert_eq!(h.pop_max(&activity), None);
+    }
+}

@@ -1,0 +1,891 @@
+//! The CDCL search engine.
+//!
+//! A conflict-driven clause-learning solver in the MiniSat lineage:
+//! two-watched-literal propagation, first-UIP conflict analysis with basic
+//! clause minimization, exponential VSIDS decision ordering, phase saving,
+//! Luby restarts and LBD-guided learnt-clause database reduction. The solver
+//! is *incremental*: clauses may be added between [`Solver::solve`] calls and
+//! solving under assumptions is supported, which is exactly what the
+//! CheckFence specification-mining loop requires (Section 3.2 of the paper).
+
+use crate::clause::{ClauseDb, ClauseRef};
+use crate::heap::VarHeap;
+use crate::stats::Stats;
+use crate::types::{LBool, Lit, Var};
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; query it with [`Solver::value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before an answer was found.
+    Unknown,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    /// A second literal of the clause; if it is already true the clause is
+    /// satisfied and the watch list walk can skip loading the clause.
+    blocker: Lit,
+}
+
+/// Feature toggles for ablation studies (everything on by default).
+///
+/// The toggles never affect soundness — only search dynamics — which the
+/// property tests verify by running every configuration against a
+/// brute-force oracle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SolverConfig {
+    /// Luby-sequence restarts. Off: a single uninterrupted search.
+    pub restarts: bool,
+    /// Phase saving (re-decide variables with their last polarity).
+    /// Off: always decide `false` first.
+    pub phase_saving: bool,
+    /// EVSIDS decision ordering (bump + decay). Off: activities stay
+    /// flat and decisions follow the static variable order.
+    pub vsids: bool,
+    /// Learnt-clause database reduction. Off: keep every learnt clause.
+    pub db_reduction: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            restarts: true,
+            phase_saving: true,
+            vsids: true,
+            db_reduction: true,
+        }
+    }
+}
+
+/// An incremental CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use cf_sat::{Solver, SolveResult};
+/// let mut s = Solver::new();
+/// let a = s.new_var().positive();
+/// let b = s.new_var().positive();
+/// s.add_clause([a, b]);
+/// s.add_clause([!a]);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// assert_eq!(s.value(b.var()), Some(true));
+/// s.add_clause([!b]);
+/// assert_eq!(s.solve(), SolveResult::Unsat);
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    db: ClauseDb,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarHeap,
+    saved_phase: Vec<bool>,
+
+    cla_inc: f64,
+
+    /// Formula already proven unsatisfiable at level 0.
+    unsat: bool,
+
+    // scratch buffer for conflict analysis
+    seen: Vec<bool>,
+
+    max_learnts: f64,
+    stats: Stats,
+    conflict_budget: Option<u64>,
+    config: SolverConfig,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLA_DECAY: f64 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+
+impl Solver {
+    /// Creates an empty solver with no variables and no clauses.
+    pub fn new() -> Self {
+        Solver {
+            db: ClauseDb::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order: VarHeap::new(),
+            saved_phase: Vec::new(),
+            cla_inc: 1.0,
+            unsat: false,
+            seen: Vec::new(),
+            max_learnts: 0.0,
+            stats: Stats::default(),
+            conflict_budget: None,
+            config: SolverConfig::default(),
+        }
+    }
+
+    /// Creates an empty solver with the given feature toggles.
+    pub fn with_config(config: SolverConfig) -> Self {
+        let mut s = Self::new();
+        s.config = config;
+        s
+    }
+
+    /// The active feature toggles.
+    pub fn config(&self) -> SolverConfig {
+        self.config
+    }
+
+    /// Replaces the feature toggles (takes effect on the next solve).
+    pub fn set_config(&mut self, config: SolverConfig) {
+        self.config = config;
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.saved_phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow_to(self.assigns.len());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of live problem clauses (units and empty clauses are absorbed
+    /// into the assignment and the unsat flag and are not counted).
+    pub fn num_clauses(&self) -> usize {
+        self.db.num_original
+    }
+
+    /// Number of live learnt clauses.
+    pub fn num_learnts(&self) -> usize {
+        self.db.num_learnt
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Limits the next `solve` calls to roughly `conflicts` conflicts;
+    /// `None` removes the limit. When the budget is exhausted `solve`
+    /// returns [`SolveResult::Unknown`].
+    pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
+        self.conflict_budget = conflicts;
+    }
+
+    /// `true` if the clause set has been proven unsatisfiable at level 0
+    /// (no `solve` call can succeed anymore).
+    pub fn is_known_unsat(&self) -> bool {
+        self.unsat
+    }
+
+    /// Adds a clause. Returns `false` if the formula is now known to be
+    /// unsatisfiable (the empty clause was derived), `true` otherwise.
+    ///
+    /// May be called between `solve` calls; the solver backtracks to
+    /// decision level 0 first.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> bool {
+        if self.unsat {
+            return false;
+        }
+        self.cancel_until(0);
+        let mut c: Vec<Lit> = lits.into_iter().collect();
+        c.sort_unstable();
+        c.dedup();
+        // Detect tautologies and strip literals false at level 0.
+        let mut simplified = Vec::with_capacity(c.len());
+        let mut prev: Option<Lit> = None;
+        for &l in &c {
+            if let Some(p) = prev {
+                if p == !l {
+                    return true; // tautology: x ∨ ¬x
+                }
+            }
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop
+                LBool::Undef => simplified.push(l),
+            }
+            prev = Some(l);
+        }
+        match simplified.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], None);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                let cref = self.db.alloc(simplified, false, 0);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    /// Solves the current formula.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under the given assumptions. The assumptions behave like
+    /// temporary unit clauses for this call only.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if self.unsat {
+            return SolveResult::Unsat;
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SolveResult::Unsat;
+        }
+        self.max_learnts = (self.db.num_original as f64 / 3.0).max(4000.0);
+        let budget_start = self.stats.conflicts;
+        let mut restart_round = 0u32;
+        loop {
+            let conflict_limit = if self.config.restarts {
+                100 * luby(2.0, restart_round) as u64
+            } else {
+                u64::MAX
+            };
+            match self.search(conflict_limit, assumptions, budget_start) {
+                Some(r) => return r,
+                None => restart_round += 1, // restart
+            }
+        }
+    }
+
+    /// The model value of `v` after a successful solve.
+    ///
+    /// Returns `None` for variables that were never assigned (such
+    /// variables are unconstrained; either value satisfies the formula).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        self.assigns[v.index()].to_option()
+    }
+
+    /// The model value of a literal after a successful solve.
+    pub fn lit_value_model(&self, l: Lit) -> Option<bool> {
+        self.value(l.var()).map(|b| b == l.sign())
+    }
+
+    // ---------------------------------------------------------------- search
+
+    /// Runs CDCL until a result, a restart (`None`) or budget exhaustion.
+    fn search(
+        &mut self,
+        conflict_limit: u64,
+        assumptions: &[Lit],
+        budget_start: u64,
+    ) -> Option<SolveResult> {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                // Conflict.
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return Some(SolveResult::Unsat);
+                }
+                let (learnt, bt_level, lbd) = self.analyze(confl);
+                self.cancel_until(bt_level);
+                self.record_learnt(learnt, lbd);
+                self.decay_activities();
+                if let Some(b) = self.conflict_budget {
+                    if self.stats.conflicts - budget_start >= b {
+                        self.cancel_until(0);
+                        return Some(SolveResult::Unknown);
+                    }
+                }
+            } else {
+                if conflicts_here >= conflict_limit {
+                    // Restart.
+                    self.cancel_until(0);
+                    return None;
+                }
+                if self.config.db_reduction && self.db.num_learnt as f64 >= self.max_learnts {
+                    self.reduce_db();
+                }
+                // Place assumptions first, then decide.
+                let mut next: Option<Lit> = None;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // Already satisfied: open an empty level for it.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            // Assumption contradicted.
+                            self.cancel_until(0);
+                            return Some(SolveResult::Unsat);
+                        }
+                        LBool::Undef => {
+                            next = Some(a);
+                            break;
+                        }
+                    }
+                }
+                let decision = match next {
+                    Some(l) => Some(l),
+                    None => self.pick_branch_lit(),
+                };
+                match decision {
+                    None => return Some(SolveResult::Sat),
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        self.assigns[l.var().index()].xor_sign(l.sign())
+    }
+
+    fn pick_branch_lit(&mut self) -> Option<Lit> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assigns[v.index()].is_undef() {
+                let phase = self.config.phase_saving && self.saved_phase[v.index()];
+                return Some(v.lit(phase));
+            }
+        }
+        None
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, from: Option<ClauseRef>) {
+        debug_assert!(self.lit_value(l).is_undef());
+        let v = l.var();
+        self.assigns[v.index()] = LBool::from_bool(l.sign());
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = from;
+        self.trail.push(l);
+        self.stats.propagations += 1;
+    }
+
+    fn cancel_until(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let bound = self.trail_lim[target as usize];
+        while self.trail.len() > bound {
+            let l = self.trail.pop().expect("trail non-empty");
+            let v = l.var();
+            self.saved_phase[v.index()] = l.sign();
+            self.assigns[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail_lim.truncate(target as usize);
+        self.qhead = self.trail.len().min(self.qhead.min(self.trail.len()));
+        self.qhead = bound.min(self.trail.len());
+    }
+
+    // ----------------------------------------------------------- propagation
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let c = self.db.get(cref);
+        debug_assert!(c.lits.len() >= 2);
+        let l0 = c.lits[0];
+        let l1 = c.lits[1];
+        self.watches[(!l0).index()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).index()].push(Watcher { cref, blocker: l0 });
+    }
+
+    fn detach(&mut self, cref: ClauseRef) {
+        let c = self.db.get(cref);
+        let l0 = c.lits[0];
+        let l1 = c.lits[1];
+        self.watches[(!l0).index()].retain(|w| w.cref != cref);
+        self.watches[(!l1).index()].retain(|w| w.cref != cref);
+    }
+
+    /// Unit propagation; returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            // Process clauses watching ¬p (stored under index p).
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut i = 0;
+            let mut j = 0;
+            let mut conflict = None;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.lit_value(w.blocker).is_true() {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                // Normalize: put the false literal (¬p) at position 1.
+                let false_lit = !p;
+                {
+                    let c = self.db.get_mut(cref);
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.db.get(cref).lits[0];
+                let new_watcher = Watcher {
+                    cref,
+                    blocker: first,
+                };
+                if first != w.blocker && self.lit_value(first).is_true() {
+                    ws[j] = new_watcher;
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.db.get(cref).lits.len();
+                for k in 2..len {
+                    let lk = self.db.get(cref).lits[k];
+                    if !self.lit_value(lk).is_false() {
+                        let c = self.db.get_mut(cref);
+                        c.lits.swap(1, k);
+                        self.watches[(!lk).index()].push(new_watcher);
+                        continue 'watchers;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                ws[j] = new_watcher;
+                j += 1;
+                if self.lit_value(first).is_false() {
+                    // Conflict: copy the remaining watchers back and stop.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    conflict = Some(cref);
+                } else {
+                    self.unchecked_enqueue(first, Some(cref));
+                }
+            }
+            ws.truncate(j);
+            debug_assert!(self.watches[p.index()].is_empty());
+            self.watches[p.index()] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    // -------------------------------------------------------------- analysis
+
+    /// First-UIP conflict analysis. Returns (learnt clause with the
+    /// asserting literal first, backtrack level, LBD).
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 = asserting literal
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = confl;
+
+        loop {
+            self.bump_clause(confl);
+            let lits: Vec<Lit> = self.db.get(confl).lits.clone();
+            let skip = usize::from(p.is_some());
+            for &q in lits.iter().skip(skip) {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal to resolve on.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found").var();
+            self.seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p.expect("found");
+                break;
+            }
+            confl = self.reason[pv.index()].expect("non-decision has a reason");
+        }
+
+        // Basic (one-step self-subsumption) minimization.
+        let kept: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| !self.lit_redundant(l))
+            .collect();
+        let mut minimized = Vec::with_capacity(kept.len() + 1);
+        minimized.push(learnt[0]);
+        minimized.extend(kept);
+
+        // Compute backtrack level: max level among non-asserting literals,
+        // and move that literal to slot 1 (it becomes the second watch).
+        let bt_level = if minimized.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().index()]
+                    > self.level[minimized[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            self.level[minimized[1].var().index()]
+        };
+
+        // LBD = number of distinct decision levels in the clause.
+        let mut levels: Vec<u32> = minimized
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        let lbd = levels.len() as u32;
+
+        // Clear `seen` for the literals we kept (dropped ones cleared here too).
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+
+        (minimized, bt_level, lbd)
+    }
+
+    /// One-step redundancy: `l` is redundant if it was implied by a clause
+    /// whose other literals are all already in the learnt clause (seen) or
+    /// fixed at level 0.
+    fn lit_redundant(&self, l: Lit) -> bool {
+        let v = l.var();
+        match self.reason[v.index()] {
+            None => false,
+            Some(r) => self.db.get(r).lits.iter().all(|&q| {
+                q.var() == v || self.seen[q.var().index()] || self.level[q.var().index()] == 0
+            }),
+        }
+    }
+
+    fn record_learnt(&mut self, learnt: Vec<Lit>, lbd: u32) {
+        self.stats.learnt_literals += learnt.len() as u64;
+        if learnt.len() == 1 {
+            self.unchecked_enqueue(learnt[0], None);
+        } else {
+            let first = learnt[0];
+            let cref = self.db.alloc(learnt, true, lbd);
+            self.bump_clause(cref);
+            self.attach(cref);
+            self.unchecked_enqueue(first, Some(cref));
+        }
+    }
+
+    // ------------------------------------------------------------ activities
+
+    fn bump_var(&mut self, v: Var) {
+        if !self.config.vsids {
+            return;
+        }
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let c = self.db.get_mut(cref);
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > RESCALE_LIMIT {
+            let inc = &mut self.cla_inc;
+            *inc *= 1e-100;
+            for r in self.db.learnt_refs().collect::<Vec<_>>() {
+                self.db.get_mut(r).activity *= 1e-100;
+            }
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= VAR_DECAY;
+        self.cla_inc /= CLA_DECAY;
+    }
+
+    // -------------------------------------------------------------- reduceDB
+
+    /// Removes roughly half of the learnt clauses, preferring high-LBD,
+    /// low-activity ones. Binary and LBD ≤ 2 clauses and clauses that are
+    /// the reason of a current assignment are kept.
+    fn reduce_db(&mut self) {
+        self.stats.reductions += 1;
+        let mut learnts: Vec<ClauseRef> = self.db.learnt_refs().collect();
+        learnts.sort_by(|&a, &b| {
+            let ca = self.db.get(a);
+            let cb = self.db.get(b);
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let target = learnts.len() / 2;
+        let mut removed = 0;
+        for cref in learnts {
+            if removed >= target {
+                break;
+            }
+            let c = self.db.get(cref);
+            if c.lits.len() <= 2 || c.lbd <= 2 || self.is_locked(cref) {
+                continue;
+            }
+            self.detach(cref);
+            self.db.free(cref);
+            removed += 1;
+        }
+        self.max_learnts *= 1.3;
+    }
+
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let first = self.db.get(cref).lits[0];
+        self.reason[first.var().index()] == Some(cref) && self.lit_value(first).is_true()
+    }
+}
+
+/// The Luby restart sequence (1,1,2,1,1,2,4,...) scaled by `y`.
+fn luby(y: f64, mut x: u32) -> f64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < (x as u64) + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x as u64 {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size as u32;
+    }
+    y.powi(seq as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut Solver, n: i64) -> Lit {
+        while s.num_vars() < n.unsigned_abs() as usize {
+            s.new_var();
+        }
+        Lit::from_dimacs(n)
+    }
+
+    fn clause(s: &mut Solver, ns: &[i64]) -> bool {
+        let lits: Vec<Lit> = ns.iter().map(|&n| lit(s, n)).collect();
+        s.add_clause(lits)
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        clause(&mut s, &[1, 2]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        clause(&mut s, &[1]);
+        assert!(!clause(&mut s, &[-1]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn tautology_is_ignored() {
+        let mut s = Solver::new();
+        clause(&mut s, &[1, -1]);
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        clause(&mut s, &[1]);
+        clause(&mut s, &[-1, 2]);
+        clause(&mut s, &[-2, 3]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Var::from_index(2)), Some(true));
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_unsat() {
+        // Two pigeons, one hole.
+        let mut s = Solver::new();
+        clause(&mut s, &[1]); // pigeon 1 in hole 1
+        clause(&mut s, &[2]); // pigeon 2 in hole 1
+        clause(&mut s, &[-1, -2]); // not both
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_unsat() {
+        // PHP(4,3): pigeons p in 1..=4, holes h in 1..=3,
+        // var(p,h) = (p-1)*3 + h.
+        let mut s = Solver::new();
+        let v = |p: i64, h: i64| (p - 1) * 3 + h;
+        for p in 1..=4 {
+            clause(&mut s, &[v(p, 1), v(p, 2), v(p, 3)]);
+        }
+        for h in 1..=3 {
+            for p1 in 1..=4 {
+                for p2 in (p1 + 1)..=4 {
+                    clause(&mut s, &[-v(p1, h), -v(p2, h)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn incremental_blocking() {
+        // Enumerate all 4 models of a 2-variable free formula by blocking.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([a.positive(), a.negative()]); // tautology: ignored
+        let mut count = 0;
+        loop {
+            match s.solve() {
+                SolveResult::Sat => {
+                    count += 1;
+                    let block = [
+                        a.lit(!s.value(a).unwrap_or(false)),
+                        b.lit(!s.value(b).unwrap_or(false)),
+                    ];
+                    s.add_clause(block);
+                }
+                SolveResult::Unsat => break,
+                SolveResult::Unknown => panic!("no budget set"),
+            }
+            assert!(count <= 4);
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn assumptions() {
+        let mut s = Solver::new();
+        clause(&mut s, &[1, 2]);
+        let l1 = Lit::from_dimacs(1);
+        let l2 = Lit::from_dimacs(2);
+        assert_eq!(s.solve_with(&[!l1]), SolveResult::Sat);
+        assert_eq!(s.value(l2.var()), Some(true));
+        assert_eq!(s.solve_with(&[!l1, !l2]), SolveResult::Unsat);
+        // Assumptions do not persist.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn conflicting_assumptions() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        s.add_clause([a]);
+        assert_eq!(s.solve_with(&[!a]), SolveResult::Unsat);
+        assert_eq!(s.solve_with(&[a]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_unknown() {
+        // A moderately hard instance with a 1-conflict budget.
+        let mut s = Solver::new();
+        let v = |p: i64, h: i64| (p - 1) * 4 + h;
+        for p in 1..=5 {
+            clause(&mut s, &[v(p, 1), v(p, 2), v(p, 3), v(p, 4)]);
+        }
+        for h in 1..=4 {
+            for p1 in 1..=5 {
+                for p2 in (p1 + 1)..=5 {
+                    clause(&mut s, &[-v(p1, h), -v(p2, h)]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let seq: Vec<f64> = (0..7).map(|i| luby(2.0, i)).collect();
+        assert_eq!(seq, vec![1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Cumulative solver statistics.
+
+use std::fmt;
+
+/// Counters accumulated across all `solve` calls of a [`crate::Solver`].
+///
+/// # Examples
+///
+/// ```
+/// use cf_sat::Solver;
+/// let mut s = Solver::new();
+/// let a = s.new_var().positive();
+/// s.add_clause([a]);
+/// s.solve();
+/// assert!(s.stats().propagations >= 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals enqueued on the trail.
+    pub propagations: u64,
+    /// Total literals in learnt clauses (before deletion).
+    pub learnt_literals: u64,
+    /// Number of learnt-database reductions.
+    pub reductions: u64,
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conflicts: {}, decisions: {}, propagations: {}, reductions: {}",
+            self.conflicts, self.decisions, self.propagations, self.reductions
+        )
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests: the CDCL solver agrees with brute-force enumeration on
+//! random small formulas, and models it returns actually satisfy the input.
+
+use cf_sat::dimacs::Cnf;
+use cf_sat::{Lit, SolveResult, Var};
+use proptest::prelude::*;
+
+/// Brute-force satisfiability over `n` variables.
+fn brute_force_sat(cnf: &Cnf) -> bool {
+    let n = cnf.num_vars;
+    assert!(n <= 16, "brute force limited to 16 vars");
+    (0u32..(1 << n)).any(|bits| {
+        let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        cnf.eval(&assignment)
+    })
+}
+
+fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    let clause = proptest::collection::vec((0..max_vars, any::<bool>()), 1..=4);
+    proptest::collection::vec(clause, 0..=max_clauses).prop_map(move |raw| {
+        let clauses: Vec<Vec<Lit>> = raw
+            .into_iter()
+            .map(|c| {
+                c.into_iter()
+                    .map(|(v, sign)| Lit::new(Var::from_index(v), sign))
+                    .collect()
+            })
+            .collect();
+        Cnf {
+            num_vars: max_vars,
+            clauses,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn solver_matches_brute_force(cnf in arb_cnf(8, 24)) {
+        let mut s = cnf.to_solver();
+        let expected = brute_force_sat(&cnf);
+        match s.solve() {
+            SolveResult::Sat => {
+                prop_assert!(expected, "solver said SAT but formula is UNSAT");
+                // The model must satisfy the formula (unassigned vars are free).
+                let model: Vec<bool> = (0..cnf.num_vars)
+                    .map(|i| s.value(Var::from_index(i)).unwrap_or(false))
+                    .collect();
+                prop_assert!(cnf.eval(&model), "returned model does not satisfy formula");
+            }
+            SolveResult::Unsat => prop_assert!(!expected, "solver said UNSAT but formula is SAT"),
+            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    #[test]
+    fn model_enumeration_is_complete(cnf in arb_cnf(5, 12)) {
+        // Count models by blocking; must equal brute-force count.
+        let n = cnf.num_vars;
+        let expected = (0u32..(1 << n)).filter(|bits| {
+            let a: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            cnf.eval(&a)
+        }).count();
+
+        let mut s = cnf.to_solver();
+        let mut found = 0usize;
+        while s.solve() == SolveResult::Sat {
+            found += 1;
+            prop_assert!(found <= expected, "enumerated more models than exist");
+            let block: Vec<Lit> = (0..n)
+                .map(|i| {
+                    let v = Var::from_index(i);
+                    v.lit(!s.value(v).unwrap_or(false))
+                })
+                .collect();
+            s.add_clause(block);
+        }
+        prop_assert_eq!(found, expected);
+    }
+
+    #[test]
+    fn assumptions_are_sound(cnf in arb_cnf(6, 16), pattern in 0u32..64, mask in 0u32..64) {
+        // Solving with assumptions == solving the formula with those units added.
+        let assumptions: Vec<Lit> = (0..6)
+            .filter(|i| mask >> i & 1 == 1)
+            .map(|i| Lit::new(Var::from_index(i), pattern >> i & 1 == 1))
+            .collect();
+        let mut s = cnf.to_solver();
+        let with_assumptions = s.solve_with(&assumptions);
+
+        let mut strengthened = cnf.clone();
+        for &l in &assumptions {
+            strengthened.clauses.push(vec![l]);
+        }
+        let expected = brute_force_sat(&strengthened);
+        match with_assumptions {
+            SolveResult::Sat => prop_assert!(expected),
+            SolveResult::Unsat => prop_assert!(!expected),
+            SolveResult::Unknown => prop_assert!(false),
+        }
+        // And the solver is reusable afterwards without the assumptions.
+        let plain = s.solve();
+        prop_assert_eq!(plain == SolveResult::Sat, brute_force_sat(&cnf));
+    }
+}
+
+/// All 16 feature-toggle combinations.
+fn all_configs() -> Vec<cf_sat::SolverConfig> {
+    let mut out = Vec::new();
+    for bits in 0u8..16 {
+        out.push(cf_sat::SolverConfig {
+            restarts: bits & 1 != 0,
+            phase_saving: bits & 2 != 0,
+            vsids: bits & 4 != 0,
+            db_reduction: bits & 8 != 0,
+        });
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_ablation_config_is_sound(cnf in arb_cnf(7, 20)) {
+        // The toggles change search dynamics only: every configuration
+        // must agree with brute force, and SAT models must satisfy the
+        // formula.
+        let expected = brute_force_sat(&cnf);
+        for config in all_configs() {
+            let mut s = cf_sat::Solver::with_config(config);
+            for _ in 0..cnf.num_vars {
+                s.new_var();
+            }
+            for c in &cnf.clauses {
+                s.add_clause(c.iter().copied());
+            }
+            match s.solve() {
+                SolveResult::Sat => {
+                    prop_assert!(expected, "{config:?}: SAT on an UNSAT formula");
+                    let model: Vec<bool> = (0..cnf.num_vars)
+                        .map(|i| s.value(Var::from_index(i)).unwrap_or(false))
+                        .collect();
+                    prop_assert!(cnf.eval(&model), "{config:?}: bad model");
+                }
+                SolveResult::Unsat => {
+                    prop_assert!(!expected, "{config:?}: UNSAT on a SAT formula");
+                }
+                SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+            }
+        }
+    }
+}
+
+/// Pigeonhole (4 pigeons, 3 holes): a classic resolution-hard UNSAT
+/// instance, solved under every ablation configuration.
+#[test]
+fn pigeonhole_unsat_under_every_config() {
+    const P: usize = 4;
+    const H: usize = 3;
+    for config in all_configs() {
+        let mut s = cf_sat::Solver::with_config(config);
+        let vars: Vec<Vec<Lit>> = (0..P)
+            .map(|_| (0..H).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for p in vars.iter() {
+            s.add_clause(p.iter().copied()); // each pigeon sits somewhere
+        }
+        for h in 0..H {
+            for a in 0..P {
+                for b in a + 1..P {
+                    s.add_clause([!vars[a][h], !vars[b][h]]); // no sharing
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat, "{config:?}");
+    }
+}

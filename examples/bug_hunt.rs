@@ -1,0 +1,65 @@
+//! Bug hunt: reproduce the two §4.1 findings of the paper.
+//!
+//! 1. The lazy list-based set's published pseudocode fails to initialize
+//!    the `marked` field of new nodes — found during *serial*
+//!    specification mining of the `Sac` test (this bug slipped past a
+//!    prior PVS correctness proof).
+//! 2. The snark DCAS deque pops the same node from both ends — the
+//!    double-pop is found on the `Da` test already under sequential
+//!    consistency.
+//!
+//! Run with `cargo run --release --example bug_hunt`.
+
+use checkfence_repro::prelude::*;
+
+fn main() {
+    lazylist_bug();
+    snark_bug();
+}
+
+fn lazylist_bug() {
+    println!("=== lazylist: missing `marked` initialization (paper §4.1) ===");
+    let buggy = cf_algos::lazylist::harness(cf_algos::lazylist::Build::Buggy);
+    let test = cf_algos::tests::by_name("Sac").expect("catalog");
+    let checker = Checker::new(&buggy, &test);
+    match checker.mine_spec() {
+        Err(CheckError::SerialBug(cx)) => {
+            println!("serial bug found while mining the specification:");
+            print!("{cx}");
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+    // The fixed build has a clean specification.
+    let fixed = cf_algos::lazylist::harness(cf_algos::lazylist::Build::Fixed);
+    let checker = Checker::new(&fixed, &test).with_memory_model(Mode::Relaxed);
+    let spec = checker.mine_spec_reference().expect("fixed mines").spec;
+    let outcome = checker.check_inclusion(&spec).expect("fixed checks").outcome;
+    println!(
+        "fixed build on Relaxed: {}\n",
+        if outcome.passed() { "PASS" } else { "FAIL" }
+    );
+}
+
+fn snark_bug() {
+    println!("=== snark: double pop through a stale back-link (paper §4.1) ===");
+    let original =
+        cf_algos::snark::harness(cf_algos::snark::Build::Original, cf_algos::Variant::Fenced);
+    let test = cf_algos::tests::by_name("Da").expect("catalog");
+    println!("test Da: {test}");
+    let checker = Checker::new(&original, &test).with_memory_model(Mode::Sc);
+    let spec = checker.mine_spec_reference().expect("mines").spec;
+    match checker.check_inclusion(&spec).expect("checks").outcome {
+        CheckOutcome::Fail(cx) => {
+            println!("double pop found (under sequential consistency!):");
+            print!("{cx}");
+        }
+        CheckOutcome::Pass => println!("unexpected pass"),
+    }
+    let fixed = cf_algos::snark::harness(cf_algos::snark::Build::Fixed, cf_algos::Variant::Fenced);
+    let checker = Checker::new(&fixed, &test).with_memory_model(Mode::Sc);
+    let outcome = checker.check_inclusion(&spec).expect("checks").outcome;
+    println!(
+        "fixed build on SC: {}",
+        if outcome.passed() { "PASS" } else { "FAIL" }
+    );
+}

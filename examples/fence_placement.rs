@@ -1,0 +1,46 @@
+//! Fence placement analysis for the nonblocking queue (paper §4.2):
+//! the Fig. 9 fences are *sufficient* (the fenced build passes on
+//! Relaxed) and *necessary* (removing any one of them makes some small
+//! test fail).
+//!
+//! Run with `cargo run --release --example fence_placement`.
+
+use checkfence_repro::prelude::*;
+
+use cf_algos::fences;
+
+fn main() {
+    let harness = cf_algos::msn::harness(cf_algos::Variant::Fenced);
+    // T1 exercises the enqueue re-check fence (Fig. 9 line 34) that the
+    // single-enqueuer tests T0/Ti2 do not.
+    let tests: Vec<TestSpec> = ["T0", "Ti2", "T1"]
+        .iter()
+        .map(|n| cf_algos::tests::by_name(n).expect("catalog"))
+        .collect();
+
+    // Sufficiency.
+    println!("sufficiency of the Fig. 9 fences on Relaxed:");
+    for t in &tests {
+        let checker = Checker::new(&harness, t).with_memory_model(Mode::Relaxed);
+        let spec = checker.mine_spec_reference().expect("mines").spec;
+        let outcome = checker.check_inclusion(&spec).expect("checks").outcome;
+        println!(
+            "  {:<5} {}",
+            t.name,
+            if outcome.passed() { "PASS" } else { "FAIL (unexpected)" }
+        );
+    }
+
+    // Necessity: drop each fence individually (the library-level §4.2
+    // analysis; specs are mined once and shared across deletions).
+    println!("\nnecessity (removing one fence at a time):");
+    let verdicts =
+        fences::necessity(&harness, &tests, Mode::Relaxed).expect("analysis runs");
+    for v in &verdicts {
+        let verdict = match &v.broken_by {
+            Some(t) => format!("NECESSARY: {t} fails or diverges without it"),
+            None => "still passes (needed only on larger tests)".into(),
+        };
+        println!("  {:<28} {verdict}", v.site.to_string());
+    }
+}

@@ -1,0 +1,38 @@
+//! Litmus-test matrix: which classic weak-memory outcomes each model
+//! allows, computed by brute force from the paper's axioms (§2.3.2).
+//! Includes the paper's Fig. 2 (IRIW with load-load fences).
+//!
+//! Run with `cargo run --release --example litmus`.
+
+use checkfence_repro::memmodel::{litmus, Mode};
+
+fn main() {
+    println!(
+        "{:<22} {:<14} {:>8} {:>9}",
+        "litmus test", "outcome", "sc", "relaxed"
+    );
+    let rows: Vec<(checkfence_repro::memmodel::Litmus, Vec<i64>)> = vec![
+        (litmus::store_buffering(), vec![0, 0]),
+        (litmus::store_buffering_fenced(), vec![0, 0]),
+        (litmus::message_passing(), vec![1, 0]),
+        (litmus::message_passing_fenced(), vec![1, 0]),
+        (litmus::load_buffering(), vec![1, 1]),
+        (litmus::load_buffering_fenced(), vec![1, 1]),
+        (litmus::coherence_read_read(), vec![1, 0]),
+        (litmus::coherence_read_read_fenced(), vec![1, 0]),
+        (litmus::iriw_unfenced(), vec![1, 0, 1, 0]),
+        (litmus::iriw_fenced(), vec![1, 0, 1, 0]),
+        (litmus::store_forwarding(), vec![1, 0, 1, 0]),
+    ];
+    for (test, outcome) in rows {
+        let fmt = |allowed: bool| if allowed { "allowed" } else { "forbid" };
+        println!(
+            "{:<22} {:<14} {:>8} {:>9}",
+            test.name,
+            format!("{outcome:?}"),
+            fmt(test.allows(Mode::Sc, &outcome)),
+            fmt(test.allows(Mode::Relaxed, &outcome)),
+        );
+    }
+    println!("\n(IRIW+fences forbidden on Relaxed is the paper's Fig. 2.)");
+}

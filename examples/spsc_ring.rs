@@ -1,0 +1,69 @@
+//! Lamport's single-producer single-consumer ring buffer: a data type
+//! that synchronizes with **no atomic operations at all** — only the
+//! order of plain loads and stores. The sharpest memory-model probe in
+//! this repository, and the only algorithm here that needs *load-store*
+//! fences (the paper's five needed only load-load and store-store,
+//! §4.2) — including fences whose job is to stop whole operations of
+//! the same thread from overtaking each other.
+//!
+//! Run with `cargo run --release --example spsc_ring`.
+
+use checkfence::infer::{infer, InferConfig};
+use checkfence::{CheckOutcome, Checker, Harness, TestSpec};
+use cf_algos::{lamport, tests, Variant};
+use cf_memmodel::Mode;
+
+fn check(h: &Harness, test: &TestSpec, mode: Mode) -> CheckOutcome {
+    let c = Checker::new(h, test).with_memory_model(mode);
+    let spec = c.mine_spec_reference().expect("mines").spec;
+    c.check_inclusion(&spec).expect("checks").outcome
+}
+
+fn sweep(name: &str, h: &Harness, test: &TestSpec) {
+    print!("   {name:<16}");
+    for mode in Mode::hardware() {
+        let out = check(h, test, mode);
+        print!(
+            " {}={}",
+            mode.name(),
+            if out.passed() { "pass" } else { "FAIL" }
+        );
+    }
+    println!();
+}
+
+fn main() {
+    // Lpc3 = ( eee | ddd ) drives the ring through its wrap-around:
+    // with capacity 1 the third enqueue reuses slot 0.
+    let t = tests::by_name("Lpc3").expect("catalog");
+    println!("== Lamport SPSC ring buffer, test Lpc3 = ( eee | ddd )");
+    sweep("unfenced", &lamport::harness(Variant::Unfenced), &t);
+    sweep("ss-only", &lamport::harness_with_kinds(false, true, false), &t);
+    sweep("ss+ll", &lamport::harness_with_kinds(true, true, false), &t);
+    sweep("ss+ll+ls (full)", &lamport::harness(Variant::Fenced), &t);
+
+    // Let inference derive a placement from the non-wrapping tests.
+    println!("\n== inferring fences for Relaxed (all four kinds as candidates)");
+    let unfenced = lamport::harness(Variant::Unfenced);
+    let config = InferConfig {
+        procs: Some(vec!["enqueue".into(), "dequeue".into()]),
+        ..InferConfig::default()
+    };
+    let infer_tests: Vec<TestSpec> = ["Li1", "Lpc2"]
+        .iter()
+        .map(|n| tests::by_name(n).expect("catalog"))
+        .collect();
+    let r = infer(&unfenced, &infer_tests, Mode::Relaxed, &config).expect("inference");
+    println!(
+        "   searched {} candidates with {} checks in {:.2?}",
+        r.candidates, r.checks, r.elapsed
+    );
+    for site in &r.kept {
+        println!("   keep {site}");
+    }
+    println!(
+        "\n   (minimal for Li1/Lpc2 only — the wrap-around test Lpc3 forces\n\
+         \x20   the full five-fence placement: 2 load-load, 1 store-store and\n\
+         \x20   2 load-store; see crates/algos/tests/lamport_results.rs)"
+    );
+}

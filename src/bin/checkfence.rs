@@ -1,0 +1,351 @@
+//! `checkfence` — command-line front door to the verifier.
+//!
+//! ```text
+//! checkfence [OPTIONS] <SOURCE.c>
+//!
+//! ARGS:
+//!   <SOURCE.c>           mini-C implementation file
+//!
+//! OPTIONS:
+//!   --op KEY=PROC[:arg][:ret]   declare an operation (repeatable).
+//!                               `arg` gives it one nondeterministic {0,1}
+//!                               argument, `ret` an observed return value.
+//!   --test [NAME=]TEXT          symbolic test in Fig. 8 notation, e.g.
+//!                               "( e | d )" (repeatable; default name Tn)
+//!   --init PROC                 initialization procedure
+//!   --model MODEL               sc | tso | pso | relaxed   [relaxed]
+//!   --method METHOD             obs | commit-queue | commit-stack  [obs]
+//!   --encoding ENC              pairwise | timestamp       [pairwise]
+//!   --spec-cache FILE           read/write the mined observation set
+//!                               (single test only)
+//!   --mine-only                 print the observation set and exit
+//!   --infer                     infer a minimal fence placement instead
+//!                               of checking
+//!   --infer-procs A,B           restrict inference candidates
+//!   --trace                     print full counterexample traces
+//!   -h, --help                  this text
+//!
+//! EXIT STATUS: 0 all tests pass, 1 some check failed, 2 usage or
+//! infrastructure error.
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! checkfence queue.c --init init_queue \
+//!     --op e=enqueue_op:arg --op d=dequeue_op:ret \
+//!     --test "T0=( e | d )" --model relaxed
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use checkfence::commit::AbstractType;
+use checkfence::infer::{infer, InferConfig};
+use checkfence::{CheckOutcome, Checker, Harness, ObsSet, OpSig, OrderEncoding, TestSpec};
+use cf_memmodel::Mode;
+
+struct Options {
+    source: PathBuf,
+    ops: Vec<OpSig>,
+    tests: Vec<(Option<String>, String)>,
+    init: Option<String>,
+    model: Mode,
+    method: Method,
+    encoding: OrderEncoding,
+    spec_cache: Option<PathBuf>,
+    mine_only: bool,
+    run_infer: bool,
+    infer_procs: Option<Vec<String>>,
+    trace: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Method {
+    Observation,
+    Commit(AbstractType),
+}
+
+fn usage() -> &'static str {
+    "usage: checkfence [OPTIONS] <SOURCE.c>\n\
+     \n\
+     options:\n\
+     \x20 --op KEY=PROC[:arg][:ret]  declare an operation (repeatable)\n\
+     \x20 --test [NAME=]TEXT         symbolic test, e.g. \"( e | d )\" (repeatable)\n\
+     \x20 --init PROC                initialization procedure\n\
+     \x20 --model MODEL              sc | tso | pso | relaxed   [relaxed]\n\
+     \x20 --method METHOD            obs | commit-queue | commit-stack  [obs]\n\
+     \x20 --encoding ENC             pairwise | timestamp       [pairwise]\n\
+     \x20 --spec-cache FILE          cache the mined observation set\n\
+     \x20 --mine-only                print the observation set and exit\n\
+     \x20 --infer                    infer a minimal fence placement\n\
+     \x20 --infer-procs A,B          restrict inference candidates\n\
+     \x20 --trace                    print full counterexample traces\n\
+     \x20 -h, --help                 this text"
+}
+
+fn parse_op(spec: &str) -> Result<OpSig, String> {
+    let (key, rest) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("--op `{spec}`: expected KEY=PROC[:arg][:ret]"))?;
+    let mut key_chars = key.chars();
+    let key = match (key_chars.next(), key_chars.next()) {
+        (Some(c), None) => c,
+        _ => return Err(format!("--op `{spec}`: KEY must be one character")),
+    };
+    let mut parts = rest.split(':');
+    let proc_name = parts.next().unwrap_or_default().to_string();
+    if proc_name.is_empty() {
+        return Err(format!("--op `{spec}`: missing procedure name"));
+    }
+    let mut num_args = 0;
+    let mut has_ret = false;
+    for flag in parts {
+        match flag {
+            "arg" => num_args = 1,
+            "ret" => has_ret = true,
+            other => return Err(format!("--op `{spec}`: unknown flag `{other}`")),
+        }
+    }
+    Ok(OpSig {
+        key,
+        proc_name,
+        num_args,
+        has_ret,
+    })
+}
+
+fn parse_model(s: &str) -> Result<Mode, String> {
+    Mode::all()
+        .into_iter()
+        .find(|m| m.name() == s)
+        .filter(|m| *m != Mode::Serial)
+        .ok_or_else(|| format!("--model `{s}`: expected sc, tso, pso or relaxed"))
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut source = None;
+    let mut opts = Options {
+        source: PathBuf::new(),
+        ops: Vec::new(),
+        tests: Vec::new(),
+        init: None,
+        model: Mode::Relaxed,
+        method: Method::Observation,
+        encoding: OrderEncoding::Pairwise,
+        spec_cache: None,
+        mine_only: false,
+        run_infer: false,
+        infer_procs: None,
+        trace: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--op" => opts.ops.push(parse_op(&value("--op")?)?),
+            "--test" => {
+                let v = value("--test")?;
+                match v.split_once('=') {
+                    Some((name, text)) if !name.contains('(') => {
+                        opts.tests.push((Some(name.to_string()), text.to_string()));
+                    }
+                    _ => opts.tests.push((None, v)),
+                }
+            }
+            "--init" => opts.init = Some(value("--init")?),
+            "--model" => opts.model = parse_model(&value("--model")?)?,
+            "--method" => {
+                opts.method = match value("--method")?.as_str() {
+                    "obs" => Method::Observation,
+                    "commit-queue" => Method::Commit(AbstractType::Queue),
+                    "commit-stack" => Method::Commit(AbstractType::Stack),
+                    other => {
+                        return Err(format!(
+                            "--method `{other}`: expected obs, commit-queue or commit-stack"
+                        ))
+                    }
+                };
+            }
+            "--encoding" => {
+                opts.encoding = match value("--encoding")?.as_str() {
+                    "pairwise" => OrderEncoding::Pairwise,
+                    "timestamp" => OrderEncoding::Timestamp,
+                    other => {
+                        return Err(format!("--encoding `{other}`: expected pairwise or timestamp"))
+                    }
+                };
+            }
+            "--spec-cache" => opts.spec_cache = Some(PathBuf::from(value("--spec-cache")?)),
+            "--mine-only" => opts.mine_only = true,
+            "--infer" => opts.run_infer = true,
+            "--infer-procs" => {
+                opts.infer_procs =
+                    Some(value("--infer-procs")?.split(',').map(str::to_string).collect());
+            }
+            "--trace" => opts.trace = true,
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            other => {
+                if source.replace(PathBuf::from(other)).is_some() {
+                    return Err("more than one source file given".into());
+                }
+            }
+        }
+    }
+    opts.source = source.ok_or("missing source file")?;
+    if opts.ops.is_empty() {
+        return Err("at least one --op is required".into());
+    }
+    if opts.tests.is_empty() {
+        return Err("at least one --test is required".into());
+    }
+    if opts.spec_cache.is_some() && opts.tests.len() != 1 {
+        return Err("--spec-cache requires exactly one --test".into());
+    }
+    Ok(opts)
+}
+
+fn build_harness(opts: &Options) -> Result<Harness, String> {
+    let source = std::fs::read_to_string(&opts.source)
+        .map_err(|e| format!("cannot read {}: {e}", opts.source.display()))?;
+    let program = cf_minic::compile(&source).map_err(|e| format!("compile error: {e}"))?;
+    Ok(Harness {
+        name: opts
+            .source
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "cli".into()),
+        program,
+        init_proc: opts.init.clone(),
+        ops: opts.ops.clone(),
+    })
+}
+
+fn mined_spec(
+    checker: &Checker<'_>,
+    cache: Option<&PathBuf>,
+) -> Result<(ObsSet, &'static str), String> {
+    if let Some(path) = cache {
+        if path.exists() {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let spec = ObsSet::from_text(&text).map_err(|e| e.to_string())?;
+            return Ok((spec, "cached"));
+        }
+    }
+    let spec = checker
+        .mine_spec_reference()
+        .map_err(|e| format!("mining failed: {e}"))?
+        .spec;
+    if let Some(path) = cache {
+        std::fs::write(path, spec.to_text())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    Ok((spec, "mined"))
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+    let harness = build_harness(&opts)?;
+
+    let mut tests = Vec::new();
+    for (i, (name, text)) in opts.tests.iter().enumerate() {
+        let name = name.clone().unwrap_or_else(|| format!("T{i}"));
+        tests.push(TestSpec::parse(&name, text).map_err(|e| e.to_string())?);
+    }
+
+    if opts.run_infer {
+        let config = InferConfig {
+            procs: opts.infer_procs.clone(),
+            ..InferConfig::default()
+        };
+        let r = infer(&harness, &tests, opts.model, &config)
+            .map_err(|e| format!("inference failed: {e}"))?;
+        println!(
+            "inferred {} fence(s) from {} candidates ({} checks, {:.2?}):",
+            r.kept.len(),
+            r.candidates,
+            r.checks,
+            r.elapsed
+        );
+        for site in &r.kept {
+            println!("  {site}");
+        }
+        return Ok(true);
+    }
+
+    let mut all_passed = true;
+    for test in &tests {
+        let mut checker = Checker::new(&harness, test).with_memory_model(opts.model);
+        checker.config.order_encoding = opts.encoding;
+
+        if opts.mine_only {
+            let (spec, how) = mined_spec(&checker, opts.spec_cache.as_ref())?;
+            println!("# {} — {} observations ({how})", test.name, spec.len());
+            print!("{}", spec.to_text());
+            continue;
+        }
+
+        let (outcome, label) = match opts.method {
+            Method::Observation => {
+                let (spec, how) = mined_spec(&checker, opts.spec_cache.as_ref())?;
+                let r = checker
+                    .check_inclusion(&spec)
+                    .map_err(|e| format!("check failed: {e}"))?;
+                (r.outcome, format!("spec {how}, {} observations", spec.len()))
+            }
+            Method::Commit(ty) => {
+                let r = checker
+                    .check_commit_method(ty)
+                    .map_err(|e| format!("check failed: {e}"))?;
+                (r.outcome, "commit-point method".to_string())
+            }
+        };
+        match outcome {
+            CheckOutcome::Pass => {
+                println!("PASS {} on {} ({label})", test.name, opts.model.name());
+            }
+            CheckOutcome::Fail(cx) => {
+                all_passed = false;
+                println!("FAIL {} on {} ({label})", test.name, opts.model.name());
+                let text = format!("{cx}");
+                if opts.trace {
+                    let mut indented = String::new();
+                    for line in text.lines() {
+                        let _ = writeln!(indented, "  {line}");
+                    }
+                    print!("{indented}");
+                } else {
+                    if let Some(first) = text.lines().next() {
+                        println!("  {first}");
+                    }
+                    println!("  (re-run with --trace for the full counterexample)");
+                }
+            }
+        }
+    }
+    Ok(all_passed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) if msg.is_empty() => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("checkfence: {msg}");
+            eprintln!("{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # checkfence-repro — reproduction of CheckFence (PLDI 2007)
+//!
+//! This facade crate ties together the workspace reproducing
+//! *CheckFence: Checking Consistency of Concurrent Data Types on Relaxed
+//! Memory Models* (Burckhardt, Alur, Martin; PLDI 2007):
+//!
+//! * [`sat`] — an incremental CDCL SAT solver (the zChaff stand-in);
+//! * [`lsl`] — the load-store intermediate language and its interpreter;
+//! * [`minic`] — the mini-C front-end (the CIL stand-in);
+//! * [`memmodel`] — the axiomatic memory models (SC, TSO, PSO, Relaxed,
+//!   Seriality) with an explicit-state oracle and litmus catalog;
+//! * [`core`] — the CheckFence engine: symbolic execution, range
+//!   analysis, CNF encoding, specification mining, inclusion checking,
+//!   counterexample traces, the commit-point baseline, and automatic
+//!   fence inference;
+//! * [`algos`] — the five studied implementations (two-lock queue,
+//!   nonblocking queue, lazy list set, Harris set, snark deque) plus a
+//!   Treiber-stack extension, with the Fig. 8 test catalog.
+//!
+//! A command-line front end is available as the `checkfence` binary
+//! (`cargo run --release --bin checkfence -- --help`).
+//!
+//! See the `examples/` directory for runnable entry points and
+//! `EXPERIMENTS.md` for the paper-versus-measured record.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use checkfence_repro::prelude::*;
+//!
+//! let harness = cf_algos::msn::harness(cf_algos::Variant::Fenced);
+//! let test = cf_algos::tests::by_name("T0").expect("catalog test");
+//! let checker = Checker::new(&harness, &test).with_memory_model(Mode::Relaxed);
+//! let spec = checker.mine_spec_reference().expect("mining").spec;
+//! let result = checker.check_inclusion(&spec).expect("checking");
+//! assert!(result.outcome.passed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cf_algos as algos;
+pub use cf_lsl as lsl;
+pub use cf_memmodel as memmodel;
+pub use cf_minic as minic;
+pub use cf_sat as sat;
+pub use checkfence as core;
+
+/// The most common imports for using the checker.
+pub mod prelude {
+    pub use cf_algos;
+    pub use cf_memmodel::Mode;
+    pub use checkfence::commit::AbstractType;
+    pub use checkfence::infer::{infer, InferConfig};
+    pub use checkfence::{
+        CheckError, CheckOutcome, Checker, Counterexample, Harness, ObsSet, OpSig,
+        OrderEncoding, TestSpec,
+    };
+}

@@ -1,0 +1,119 @@
+//! End-to-end tests of the `checkfence` command-line binary.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_checkfence"))
+}
+
+fn mailbox_args(cmd: &mut Command) -> &mut Command {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("assets/mailbox.c");
+    cmd.arg(src)
+        .args(["--op", "p=put:arg"])
+        .args(["--op", "g=get:ret"])
+        .args(["--test", "PG=( p | g )"])
+}
+
+fn run(cmd: &mut Command) -> Output {
+    cmd.output().expect("binary runs")
+}
+
+#[test]
+fn passes_on_tso_with_exit_zero() {
+    let out = run(mailbox_args(&mut cli()).args(["--model", "tso"]));
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PASS PG on tso"), "{stdout}");
+}
+
+#[test]
+fn fails_on_relaxed_with_exit_one() {
+    let out = run(mailbox_args(&mut cli()).args(["--model", "relaxed"]));
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL PG on relaxed"), "{stdout}");
+    assert!(stdout.contains("--trace"), "hint expected: {stdout}");
+}
+
+#[test]
+fn trace_flag_prints_the_memory_order() {
+    let out = run(mailbox_args(&mut cli()).args(["--model", "relaxed", "--trace"]));
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("memory order"), "{stdout}");
+    assert!(stdout.contains("flag"), "trace should name locations: {stdout}");
+}
+
+#[test]
+fn mine_only_prints_the_observation_set() {
+    let out = run(mailbox_args(&mut cli()).arg("--mine-only"));
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("checkfence-obs-set v1"), "{stdout}");
+    assert!(stdout.contains("4 observations"), "{stdout}");
+}
+
+#[test]
+fn spec_cache_round_trips() {
+    let dir = std::env::temp_dir().join(format!("cf-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let cache = dir.join("pg.spec");
+
+    let out = run(mailbox_args(&mut cli())
+        .args(["--model", "tso"])
+        .arg("--spec-cache")
+        .arg(&cache));
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("spec mined"));
+    assert!(cache.exists());
+
+    let out = run(mailbox_args(&mut cli())
+        .args(["--model", "tso"])
+        .arg("--spec-cache")
+        .arg(&cache));
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("spec cached"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn infer_reports_the_two_classic_fences() {
+    let out = run(mailbox_args(&mut cli()).args(["--model", "relaxed", "--infer"]));
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("inferred 2 fence(s)"), "{stdout}");
+    assert!(stdout.contains("store-store"), "{stdout}");
+    assert!(stdout.contains("load-load"), "{stdout}");
+}
+
+#[test]
+fn commit_method_runs_from_the_cli() {
+    // The mailbox has no commit annotations, so the commit method must
+    // report a usable error instead of passing silently.
+    let out = run(mailbox_args(&mut cli()).args(["--model", "sc", "--method", "commit-queue"]));
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("commit"), "{stderr}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = run(&mut cli()); // no args at all
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    let out = run(mailbox_args(&mut cli()).args(["--model", "weird"]));
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = run(mailbox_args(&mut cli()).args(["--op", "zz=broken"]));
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn help_prints_usage_with_exit_zero() {
+    let out = run(cli().arg("--help"));
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}

@@ -1,0 +1,155 @@
+//! Cross-crate integration tests exercising the complete stack the way a
+//! downstream user would.
+
+use checkfence::{commit::AbstractType, CheckOutcome, Checker, Harness, OpSig, TestSpec};
+use cf_algos::{msn, refmodel, tests, Shape, Variant};
+use cf_memmodel::Mode;
+
+#[test]
+fn full_pipeline_on_a_custom_data_type() {
+    // A user-defined data type: a single-slot mailbox with overwrite
+    // semantics, checked end to end from source text, fenced and not.
+    let mk = |fenced: bool| {
+        let (ss, ll) = if fenced {
+            (r#"fence("store-store");"#, r#"fence("load-load");"#)
+        } else {
+            ("", "")
+        };
+        let src = format!(
+            r#"
+            int full;
+            int slot;
+            void put_op(int v) {{
+                slot = v;
+                {ss}
+                full = 1;
+            }}
+            int take_op() {{
+                int f = full;
+                {ll}
+                if (f == 1) {{ return slot + 1; }}
+                return 0;
+            }}
+            "#
+        );
+        let program = cf_minic::compile(&src).expect("compiles");
+        Harness {
+            name: "mailbox".into(),
+            program,
+            init_proc: None,
+            ops: vec![
+                OpSig { key: 'p', proc_name: "put_op".into(), num_args: 1, has_ret: false },
+                OpSig { key: 't', proc_name: "take_op".into(), num_args: 0, has_ret: true },
+            ],
+        }
+    };
+    let test = TestSpec::parse("mbox", "( p | tt )").expect("parses");
+    let unfenced = mk(false);
+    let checker = Checker::new(&unfenced, &test).with_memory_model(Mode::Relaxed);
+    let spec = checker.mine_spec_reference().expect("mines").spec;
+    assert!(spec.vectors.iter().all(|o| o.len() == 3));
+    let out = checker.check_inclusion(&spec).expect("checks").outcome;
+    assert!(
+        !out.passed(),
+        "without fences the take can read a stale slot after seeing full"
+    );
+    // The same build passes under SC, and the fenced build passes on
+    // Relaxed (the in-op load-load fence also orders the two takes'
+    // loads of `full`, so no CoRR either).
+    let checker = Checker::new(&unfenced, &test).with_memory_model(Mode::Sc);
+    assert!(checker.check_inclusion(&spec).expect("checks").outcome.passed());
+    let fenced = mk(true);
+    let checker = Checker::new(&fenced, &test).with_memory_model(Mode::Relaxed);
+    assert!(checker.check_inclusion(&spec).expect("checks").outcome.passed());
+}
+
+#[test]
+fn commit_method_agrees_with_observation_method_on_sc() {
+    let h = msn::harness(Variant::Fenced);
+    for tn in ["T0", "Ti2"] {
+        let t = tests::by_name(tn).expect("catalog");
+        let c = Checker::new(&h, &t).with_memory_model(Mode::Sc);
+        let spec = c.mine_spec_reference().expect("mines").spec;
+        let obs = c.check_inclusion(&spec).expect("checks").outcome.passed();
+        let commit = c
+            .check_commit_method(AbstractType::Queue)
+            .expect("commit method runs")
+            .outcome
+            .passed();
+        assert_eq!(obs, commit, "methods disagree on {tn}");
+        assert!(obs, "msn passes {tn} on SC");
+    }
+}
+
+#[test]
+fn commit_method_requires_annotations() {
+    // A queue without commit() markers is rejected with a clear error.
+    let src = r#"
+        int cell;
+        void enqueue_op(int v) { cell = v; }
+        int dequeue_op() { return cell; }
+    "#;
+    let program = cf_minic::compile(src).expect("compiles");
+    let harness = Harness {
+        name: "unannotated".into(),
+        program,
+        init_proc: None,
+        ops: vec![
+            OpSig { key: 'e', proc_name: "enqueue_op".into(), num_args: 1, has_ret: false },
+            OpSig { key: 'd', proc_name: "dequeue_op".into(), num_args: 0, has_ret: true },
+        ],
+    };
+    let t = TestSpec::parse("T0", "( e | d )").expect("parses");
+    let c = Checker::new(&harness, &t);
+    let err = c
+        .check_commit_method(AbstractType::Queue)
+        .expect_err("missing annotations");
+    assert!(err.to_string().contains("commit-point annotation"), "{err}");
+}
+
+#[test]
+fn reference_models_match_compiled_implementations() {
+    // The Rust reference models and the interpreter agree on the full
+    // queue catalog subset for both queue implementations.
+    for algo in [cf_algos::Algo::Ms2, cf_algos::Algo::Msn] {
+        let h = algo.harness(Variant::Fenced);
+        for tn in ["T0", "Ti2", "Tpc2", "T1"] {
+            let t = tests::by_name(tn).expect("catalog");
+            let model = refmodel::mine(Shape::Queue, &t);
+            let interp = checkfence::mine_reference(&h, &t).expect("mines").spec;
+            assert_eq!(model, interp, "{} vs model on {tn}", algo.name());
+        }
+    }
+}
+
+#[test]
+fn counterexamples_have_coherent_traces() {
+    // The msn unfenced failure produces a trace whose per-thread events
+    // respect program order positions and whose observation matches the
+    // claimed inconsistency.
+    let h = msn::harness(Variant::Unfenced);
+    let t = tests::by_name("T0").expect("catalog");
+    let c = Checker::new(&h, &t).with_memory_model(Mode::Relaxed);
+    let spec = c.mine_spec_reference().expect("mines").spec;
+    match c.check_inclusion(&spec).expect("checks").outcome {
+        CheckOutcome::Fail(cx) => {
+            assert!(!spec.contains(&cx.obs), "counterexample obs must be outside the spec");
+            assert!(!cx.steps.is_empty(), "trace is non-empty");
+            assert!(
+                cx.steps.iter().any(|s| s.thread == 0),
+                "init writes appear in the trace"
+            );
+            // Init events must come before all other events of the trace.
+            let last_init = cx
+                .steps
+                .iter()
+                .rposition(|s| s.thread == 0)
+                .expect("has init");
+            assert!(
+                cx.steps[..last_init].iter().all(|s| s.thread == 0),
+                "initialization is ordered before thread events"
+            );
+        }
+        CheckOutcome::Pass => panic!("unfenced msn must fail"),
+    }
+}

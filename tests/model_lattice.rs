@@ -1,0 +1,131 @@
+//! Property test for the §2.3.3 model hierarchy on the explicit-state
+//! oracle: "We call a model Y stronger than another model Y' if every
+//! execution trace that is allowed by model Y is also allowed by Y'."
+//!
+//! Our chain Serial → SC → TSO → PSO → Relaxed must be monotonically
+//! weakening: on random litmus programs, each model's outcome set is a
+//! subset of its successor's.
+
+use cf_memmodel::{Litmus, LitmusOp, Mode};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum Instr {
+    Store { addr: u8, value: i64 },
+    Load { addr: u8 },
+    Fence(u8),
+}
+
+const FENCE_KINDS: [cf_lsl::FenceKind; 4] = [
+    cf_lsl::FenceKind::LoadLoad,
+    cf_lsl::FenceKind::LoadStore,
+    cf_lsl::FenceKind::StoreLoad,
+    cf_lsl::FenceKind::StoreStore,
+];
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (0u8..2, 1i64..3).prop_map(|(addr, value)| Instr::Store { addr, value }),
+        (0u8..2).prop_map(|addr| Instr::Load { addr }),
+        (0u8..4).prop_map(Instr::Fence),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Vec<Vec<Instr>>> {
+    proptest::collection::vec(proptest::collection::vec(arb_instr(), 1..5), 2..4)
+}
+
+fn to_litmus(threads: &[Vec<Instr>]) -> Litmus {
+    let mut reg = 0usize;
+    let mut lt = Vec::new();
+    for instrs in threads {
+        let mut ops = Vec::new();
+        for ins in instrs {
+            match ins {
+                Instr::Store { addr, value } => ops.push(LitmusOp::Store {
+                    addr: u32::from(*addr),
+                    value: *value,
+                }),
+                Instr::Load { addr } => {
+                    ops.push(LitmusOp::Load {
+                        addr: u32::from(*addr),
+                        reg,
+                    });
+                    reg += 1;
+                }
+                Instr::Fence(k) => ops.push(LitmusOp::Fence(FENCE_KINDS[*k as usize])),
+            }
+        }
+        lt.push(ops);
+    }
+    Litmus {
+        name: "random-lattice",
+        threads: lt,
+        num_regs: reg,
+    }
+}
+
+fn accesses(threads: &[Vec<Instr>]) -> usize {
+    threads
+        .iter()
+        .flatten()
+        .filter(|i| !matches!(i, Instr::Fence(_)))
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn outcome_sets_weaken_along_the_chain(threads in arb_program()) {
+        prop_assume!(accesses(&threads) <= 8);
+        let litmus = to_litmus(&threads);
+        let chain = Mode::all();
+        let sets: Vec<_> = chain
+            .iter()
+            .map(|m| litmus.allowed_outcomes(*m))
+            .collect();
+        for w in 0..chain.len() - 1 {
+            prop_assert!(
+                sets[w].is_subset(&sets[w + 1]),
+                "{} allows an outcome {} forbids: {:?} vs {:?} on {:?}",
+                chain[w].name(),
+                chain[w + 1].name(),
+                sets[w],
+                sets[w + 1],
+                threads
+            );
+        }
+        // Fences never *add* behaviour: a fully-fenced variant of the
+        // program allows a subset of each model's outcomes.
+        let mut fenced = threads.clone();
+        for t in &mut fenced {
+            let mut out = Vec::new();
+            for ins in t.drain(..) {
+                out.push(ins);
+                for k in 0..4 {
+                    out.push(Instr::Fence(k));
+                }
+            }
+            *t = out;
+        }
+        let fenced_litmus = to_litmus(&fenced);
+        for (mode, set) in chain.iter().zip(&sets) {
+            let fenced_set = fenced_litmus.allowed_outcomes(*mode);
+            prop_assert!(
+                fenced_set.is_subset(set),
+                "fencing added behaviour on {}: {:?} vs {:?}",
+                mode.name(),
+                fenced_set,
+                set
+            );
+            // And a fully fenced program is sequentially consistent.
+            prop_assert_eq!(
+                &fenced_set,
+                &fenced_litmus.allowed_outcomes(Mode::Sc),
+                "full fencing must restore SC on {}",
+                mode.name()
+            );
+        }
+    }
+}
