@@ -1,0 +1,19 @@
+// The classic message-passing mailbox: `put` publishes data then raises a
+// flag; `get` polls the flag and reads the data back. Correct on SC and
+// TSO; on PSO/Relaxed the two stores (or the two loads) reorder, so the
+// reader can observe the flag without the data.
+int data;
+int flag;
+
+void put(int v) {
+    data = v + 1;
+    flag = 1;
+}
+
+int get() {
+    int f = flag;
+    if (f == 0) {
+        return 0 - 1;
+    }
+    return data;
+}

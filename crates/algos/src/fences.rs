@@ -7,9 +7,9 @@
 //! at the LSL level so the analysis is independent of how sources are
 //! generated.
 
-use checkfence::{CheckError, Checker, Harness, TestSpec};
 use cf_lsl::{FenceKind, Program, Stmt};
 use cf_memmodel::Mode;
+use checkfence::{CheckError, Checker, Harness, TestSpec};
 
 /// Identifies one fence statement in a program.
 #[derive(Clone, PartialEq, Eq, Debug)]

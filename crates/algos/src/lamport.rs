@@ -51,9 +51,21 @@ pub fn source(variant: Variant) -> String {
 
 /// The source with only the selected fence kinds included.
 pub fn source_with_kinds(load_load: bool, store_store: bool, load_store: bool) -> String {
-    let ll = if load_load { r#"fence("load-load");"# } else { "" };
-    let ss = if store_store { r#"fence("store-store");"# } else { "" };
-    let ls = if load_store { r#"fence("load-store");"# } else { "" };
+    let ll = if load_load {
+        r#"fence("load-load");"#
+    } else {
+        ""
+    };
+    let ss = if store_store {
+        r#"fence("store-store");"#
+    } else {
+        ""
+    };
+    let ls = if load_store {
+        r#"fence("load-store");"#
+    } else {
+        ""
+    };
     format!(
         r#"
 typedef struct queue {{
@@ -169,9 +181,17 @@ mod tests {
         let deq = p.proc_id("dequeue_op").unwrap();
         assert_eq!(m.call(deq, &[]).unwrap(), Some(Value::Int(0)), "empty");
         assert_eq!(m.call(enq, &[Value::Int(1)]).unwrap(), Some(Value::Int(1)));
-        assert_eq!(m.call(enq, &[Value::Int(0)]).unwrap(), Some(Value::Int(0)), "full");
+        assert_eq!(
+            m.call(enq, &[Value::Int(0)]).unwrap(),
+            Some(Value::Int(0)),
+            "full"
+        );
         assert_eq!(m.call(deq, &[]).unwrap(), Some(Value::Int(2)), "1+1");
-        assert_eq!(m.call(deq, &[]).unwrap(), Some(Value::Int(0)), "empty again");
+        assert_eq!(
+            m.call(deq, &[]).unwrap(),
+            Some(Value::Int(0)),
+            "empty again"
+        );
     }
 
     #[test]

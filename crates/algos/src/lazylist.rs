@@ -221,13 +221,21 @@ mod tests {
         let zero = [Value::Int(0)];
         assert_eq!(m.call(contains, &one).unwrap(), Some(Value::Int(0)));
         assert_eq!(m.call(add, &one).unwrap(), Some(Value::Int(1)));
-        assert_eq!(m.call(add, &one).unwrap(), Some(Value::Int(0)), "already present");
+        assert_eq!(
+            m.call(add, &one).unwrap(),
+            Some(Value::Int(0)),
+            "already present"
+        );
         assert_eq!(m.call(add, &zero).unwrap(), Some(Value::Int(1)));
         assert_eq!(m.call(contains, &one).unwrap(), Some(Value::Int(1)));
         assert_eq!(m.call(contains, &zero).unwrap(), Some(Value::Int(1)));
         assert_eq!(m.call(remove, &one).unwrap(), Some(Value::Int(1)));
         assert_eq!(m.call(contains, &one).unwrap(), Some(Value::Int(0)));
-        assert_eq!(m.call(remove, &one).unwrap(), Some(Value::Int(0)), "already gone");
+        assert_eq!(
+            m.call(remove, &one).unwrap(),
+            Some(Value::Int(0)),
+            "already gone"
+        );
         assert_eq!(m.call(contains, &zero).unwrap(), Some(Value::Int(1)));
     }
 

@@ -50,11 +50,11 @@
 
 pub mod fences;
 pub mod harris;
+pub mod lamport;
 pub mod lazylist;
 pub mod ms2;
 pub mod msn;
 pub mod refmodel;
-pub mod lamport;
 pub mod snark;
 pub mod tests;
 pub mod treiber;
@@ -88,7 +88,13 @@ pub enum Algo {
 impl Algo {
     /// All five, in Table 1 order.
     pub fn all() -> [Algo; 5] {
-        [Algo::Ms2, Algo::Msn, Algo::Lazylist, Algo::Harris, Algo::Snark]
+        [
+            Algo::Ms2,
+            Algo::Msn,
+            Algo::Lazylist,
+            Algo::Harris,
+            Algo::Snark,
+        ]
     }
 
     /// The paper's mnemonic.
@@ -147,39 +153,104 @@ pub enum Shape {
 
 pub(crate) fn queue_ops() -> Vec<OpSig> {
     vec![
-        OpSig { key: 'e', proc_name: "enqueue_op".into(), num_args: 1, has_ret: false },
-        OpSig { key: 'd', proc_name: "dequeue_op".into(), num_args: 0, has_ret: true },
+        OpSig {
+            key: 'e',
+            proc_name: "enqueue_op".into(),
+            num_args: 1,
+            has_ret: false,
+        },
+        OpSig {
+            key: 'd',
+            proc_name: "dequeue_op".into(),
+            num_args: 0,
+            has_ret: true,
+        },
     ]
 }
 
 pub(crate) fn set_ops() -> Vec<OpSig> {
     vec![
-        OpSig { key: 'a', proc_name: "add_op".into(), num_args: 1, has_ret: true },
-        OpSig { key: 'c', proc_name: "contains_op".into(), num_args: 1, has_ret: true },
-        OpSig { key: 'r', proc_name: "remove_op".into(), num_args: 1, has_ret: true },
+        OpSig {
+            key: 'a',
+            proc_name: "add_op".into(),
+            num_args: 1,
+            has_ret: true,
+        },
+        OpSig {
+            key: 'c',
+            proc_name: "contains_op".into(),
+            num_args: 1,
+            has_ret: true,
+        },
+        OpSig {
+            key: 'r',
+            proc_name: "remove_op".into(),
+            num_args: 1,
+            has_ret: true,
+        },
     ]
 }
 
 pub(crate) fn spsc_ops() -> Vec<OpSig> {
     vec![
-        OpSig { key: 'e', proc_name: "enqueue_op".into(), num_args: 1, has_ret: true },
-        OpSig { key: 'd', proc_name: "dequeue_op".into(), num_args: 0, has_ret: true },
+        OpSig {
+            key: 'e',
+            proc_name: "enqueue_op".into(),
+            num_args: 1,
+            has_ret: true,
+        },
+        OpSig {
+            key: 'd',
+            proc_name: "dequeue_op".into(),
+            num_args: 0,
+            has_ret: true,
+        },
     ]
 }
 
 pub(crate) fn stack_ops() -> Vec<OpSig> {
     vec![
-        OpSig { key: 'u', proc_name: "push_op".into(), num_args: 1, has_ret: false },
-        OpSig { key: 'o', proc_name: "pop_op".into(), num_args: 0, has_ret: true },
+        OpSig {
+            key: 'u',
+            proc_name: "push_op".into(),
+            num_args: 1,
+            has_ret: false,
+        },
+        OpSig {
+            key: 'o',
+            proc_name: "pop_op".into(),
+            num_args: 0,
+            has_ret: true,
+        },
     ]
 }
 
 pub(crate) fn deque_ops() -> Vec<OpSig> {
     vec![
-        OpSig { key: 'l', proc_name: "push_left_op".into(), num_args: 1, has_ret: false },
-        OpSig { key: 'r', proc_name: "push_right_op".into(), num_args: 1, has_ret: false },
-        OpSig { key: 'L', proc_name: "pop_left_op".into(), num_args: 0, has_ret: true },
-        OpSig { key: 'R', proc_name: "pop_right_op".into(), num_args: 0, has_ret: true },
+        OpSig {
+            key: 'l',
+            proc_name: "push_left_op".into(),
+            num_args: 1,
+            has_ret: false,
+        },
+        OpSig {
+            key: 'r',
+            proc_name: "push_right_op".into(),
+            num_args: 1,
+            has_ret: false,
+        },
+        OpSig {
+            key: 'L',
+            proc_name: "pop_left_op".into(),
+            num_args: 0,
+            has_ret: true,
+        },
+        OpSig {
+            key: 'R',
+            proc_name: "pop_right_op".into(),
+            num_args: 0,
+            has_ret: true,
+        },
     ]
 }
 

@@ -71,7 +71,7 @@ fn apply(state: &mut State, key: char, arg: i64) -> Option<i64> {
         },
         State::Spsc(q) => match key {
             'e' => {
-                if q.len() >= 1 {
+                if !q.is_empty() {
                     Some(0) // full (capacity 1)
                 } else {
                     q.push_back(arg);
@@ -132,16 +132,18 @@ fn op_has_arg(shape: Shape, key: char) -> bool {
 /// Panics on operation keys that do not belong to the shape, or if the
 /// test has more than 20 nondeterministic arguments.
 pub fn mine(shape: Shape, test: &TestSpec) -> ObsSet {
-    let arg_count: usize = test
-        .all_ops()
-        .filter(|o| op_has_arg(shape, o.key))
-        .count();
+    let arg_count: usize = test.all_ops().filter(|o| op_has_arg(shape, o.key)).count();
     assert!(arg_count <= 20, "too many arguments to enumerate");
 
     // Enumerate interleavings as sequences of thread picks.
     let sizes: Vec<usize> = test.threads.iter().map(Vec::len).collect();
     let mut schedules = Vec::new();
-    fn rec(sizes: &[usize], progress: &mut Vec<usize>, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        sizes: &[usize],
+        progress: &mut Vec<usize>,
+        cur: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if sizes.iter().zip(progress.iter()).all(|(s, p)| p >= s) {
             out.push(cur.clone());
             return;
@@ -156,7 +158,12 @@ pub fn mine(shape: Shape, test: &TestSpec) -> ObsSet {
             }
         }
     }
-    rec(&sizes, &mut vec![0; sizes.len()], &mut Vec::new(), &mut schedules);
+    rec(
+        &sizes,
+        &mut vec![0; sizes.len()],
+        &mut Vec::new(),
+        &mut schedules,
+    );
 
     let mut vectors = BTreeSet::new();
     for bits in 0u32..(1 << arg_count) {
@@ -239,18 +246,30 @@ mod tests {
         // obs = (add key, add ret=1, contains key, contains ret).
         // contains(k) sees the added key only if keys match and add ran
         // first.
-        assert!(spec
-            .vectors
-            .contains(&vec![Value::Int(1), Value::Int(1), Value::Int(1), Value::Int(1)]));
-        assert!(spec
-            .vectors
-            .contains(&vec![Value::Int(1), Value::Int(1), Value::Int(1), Value::Int(0)]));
-        assert!(spec
-            .vectors
-            .contains(&vec![Value::Int(1), Value::Int(1), Value::Int(0), Value::Int(0)]));
-        assert!(!spec
-            .vectors
-            .contains(&vec![Value::Int(1), Value::Int(1), Value::Int(0), Value::Int(1)]));
+        assert!(spec.vectors.contains(&vec![
+            Value::Int(1),
+            Value::Int(1),
+            Value::Int(1),
+            Value::Int(1)
+        ]));
+        assert!(spec.vectors.contains(&vec![
+            Value::Int(1),
+            Value::Int(1),
+            Value::Int(1),
+            Value::Int(0)
+        ]));
+        assert!(spec.vectors.contains(&vec![
+            Value::Int(1),
+            Value::Int(1),
+            Value::Int(0),
+            Value::Int(0)
+        ]));
+        assert!(!spec.vectors.contains(&vec![
+            Value::Int(1),
+            Value::Int(1),
+            Value::Int(0),
+            Value::Int(1)
+        ]));
     }
 
     #[test]

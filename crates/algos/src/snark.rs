@@ -300,7 +300,7 @@ mod tests {
         out.push(m.call(popr, &[]).expect("popr")); // 1 -> 2 (single)
         out.push(m.call(popr, &[]).expect("popr")); // empty -> 0
         out.push(m.call(popl, &[]).expect("popl")); // empty -> 0
-        // refill after going empty
+                                                    // refill after going empty
         m.call(pl, &[Value::Int(0)]).expect("pl 0");
         out.push(m.call(popr, &[]).expect("popr")); // 0 -> 1 (single)
         out

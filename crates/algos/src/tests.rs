@@ -128,7 +128,7 @@ pub fn smoke_for_shape(shape: Shape) -> Vec<TestSpec> {
 }
 
 #[cfg(test)]
-mod tests {
+mod unit_tests {
     use super::*;
 
     #[test]

@@ -2,10 +2,10 @@
 //! paper's manual derive-by-counterexample loop (§4.2–4.3).
 
 use cf_algos::{lazylist, msn, tests, Variant};
-use checkfence::infer::{infer, InferConfig, InferError};
-use checkfence::{CheckError, Checker, Harness};
 use cf_lsl::FenceKind;
 use cf_memmodel::Mode;
+use checkfence::infer::{infer, InferConfig, InferError};
+use checkfence::{CheckError, Checker, Harness};
 
 /// On PSO, one store-store fence (Fig. 9 line 29: node fields before the
 /// linking CAS) is both necessary and sufficient for `T0`: the other

@@ -7,8 +7,8 @@
 //! of the paper's five algorithms required (§4.2).
 
 use cf_algos::{lamport, refmodel, tests, Shape, Variant};
-use checkfence::{CheckOutcome, Checker, Harness};
 use cf_memmodel::Mode;
+use checkfence::{CheckOutcome, Checker, Harness};
 
 fn outcome(h: &Harness, test_name: &str, mode: Mode) -> CheckOutcome {
     let t = tests::by_name(test_name).expect("catalog test");
@@ -57,8 +57,8 @@ fn every_fence_is_necessary_for_the_spsc_tests() {
         .iter()
         .map(|n| tests::by_name(n).expect("catalog"))
         .collect();
-    let verdicts = cf_algos::fences::necessity(&fenced, &tests, Mode::Relaxed)
-        .expect("analysis runs");
+    let verdicts =
+        cf_algos::fences::necessity(&fenced, &tests, Mode::Relaxed).expect("analysis runs");
     assert_eq!(verdicts.len(), 5);
     for v in &verdicts {
         assert!(
@@ -127,6 +127,6 @@ fn full_rejection_is_an_observable_behaviour() {
     let has_full = spec
         .vectors
         .iter()
-        .any(|v| v.iter().any(|x| *x == cf_lsl::Value::Int(0)));
+        .any(|v| v.contains(&cf_lsl::Value::Int(0)));
     assert!(has_full, "some serial execution reports a full queue");
 }

@@ -16,14 +16,39 @@
 //! * on **Relaxed** the full Fig. 9 placement is needed.
 
 use cf_algos::{harris, lazylist, ms2, msn, tests, Variant};
-use checkfence::{CheckOutcome, Checker, Harness};
 use cf_memmodel::Mode;
+use checkfence::{CheckOutcome, CheckSession, Checker, Harness};
 
 fn outcome(h: &Harness, test_name: &str, mode: Mode) -> CheckOutcome {
     let t = tests::by_name(test_name).expect("catalog test");
     let c = Checker::new(h, &t).with_memory_model(mode);
     let spec = c.mine_spec_reference().expect("mines").spec;
     c.check_inclusion(&spec).expect("checks").outcome
+}
+
+/// Sweeps every hardware mode on one incremental session (one symbolic
+/// execution, one encoding, one persistent solver for the whole lattice).
+fn sweep(h: &Harness, test_name: &str) -> Vec<(Mode, bool)> {
+    let t = tests::by_name(test_name).expect("catalog test");
+    let mut session = CheckSession::new(h, &t);
+    let spec = session.mine_spec_reference().expect("mines").spec;
+    let out = Mode::hardware()
+        .into_iter()
+        .map(|mode| {
+            let passed = session
+                .check_inclusion(mode, &spec)
+                .expect("checks")
+                .outcome
+                .passed();
+            (mode, passed)
+        })
+        .collect();
+    assert_eq!(
+        session.stats().encodes,
+        session.stats().symexecs,
+        "sweep must reuse the encoding across modes"
+    );
+    out
 }
 
 // ------------------------------------------------------------------ TSO
@@ -118,7 +143,8 @@ fn msn_fenced_passes_t0_on_every_hardware_model() {
 #[test]
 fn failures_are_monotone_in_model_strength() {
     // If a build fails on a stronger model it must fail on every weaker
-    // one: executions only accumulate as the model weakens.
+    // one: executions only accumulate as the model weakens. The whole
+    // lattice runs on one incremental session per build.
     let builds = [
         msn::harness(Variant::Unfenced),
         msn::harness_with_kinds(false, true),
@@ -127,8 +153,7 @@ fn failures_are_monotone_in_model_strength() {
     ];
     for h in &builds {
         let mut failed = false;
-        for mode in Mode::hardware() {
-            let passed = outcome(h, "T0", mode).passed();
+        for (mode, passed) in sweep(h, "T0") {
             assert!(
                 !(failed && passed),
                 "{}: passed on {} after failing on a stronger model",

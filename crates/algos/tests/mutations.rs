@@ -13,8 +13,8 @@
 //!    observation set must turn a passing check into a failing one.
 
 use cf_algos::{fences, ms2, msn, refmodel, snark, tests, treiber, Shape, Variant};
-use checkfence::{CheckError, Checker, Harness};
 use cf_memmodel::Mode;
+use checkfence::{CheckError, Checker, Harness};
 
 /// `true` if the build fails the inclusion check against the *reference
 /// model's* observation set. Logic mutations that stay deterministic

@@ -7,8 +7,8 @@
 //! found on such small testcases" (§4).
 
 use cf_algos::{harris, lazylist, ms2, msn, snark, tests, Variant};
-use checkfence::{CheckError, CheckOutcome, Checker, FailureKind, Harness};
 use cf_memmodel::Mode;
+use checkfence::{CheckError, CheckOutcome, Checker, FailureKind, Harness};
 
 fn outcome(h: &Harness, test_name: &str, mode: Mode) -> CheckOutcome {
     let t = tests::by_name(test_name).expect("catalog test");
@@ -28,7 +28,10 @@ fn msn_fenced_passes_t0_on_relaxed() {
 #[test]
 fn msn_unfenced_passes_on_sc_but_fails_on_relaxed() {
     let h = msn::harness(Variant::Unfenced);
-    assert!(outcome(&h, "T0", Mode::Sc).passed(), "the algorithm is correct under SC");
+    assert!(
+        outcome(&h, "T0", Mode::Sc).passed(),
+        "the algorithm is correct under SC"
+    );
     match outcome(&h, "T0", Mode::Relaxed) {
         CheckOutcome::Fail(cx) => {
             assert_eq!(cx.kind, FailureKind::InconsistentObservation, "{cx}");

@@ -1,0 +1,179 @@
+//! Session-vs-oneshot equivalence: a [`CheckSession`] answering the full
+//! `Mode` lattice from one persistent encoding must return exactly the
+//! results of per-configuration one-shot `Checker`s — same mined
+//! observation sets, same pass/fail verdicts, same failure kinds — for
+//! every catalog implementation.
+//!
+//! This is the regression gate of the incremental-session architecture:
+//! any divergence means a mode-selector or activation-literal gating bug.
+
+use cf_algos::{harris, lazylist, ms2, msn, snark, tests, treiber, Variant};
+use cf_lsl::FenceKind;
+use cf_memmodel::Mode;
+use checkfence::infer::{infer, infer_baseline, InferConfig};
+use checkfence::{CheckOutcome, CheckSession, Checker, Harness};
+
+/// Mines the spec with the session and the one-shot checker (both SAT
+/// paths plus the reference interpreter) and checks every hardware mode
+/// on both paths, asserting bit-identical observation sets and verdicts.
+fn assert_equivalent(h: &Harness, test_name: &str) {
+    let t = tests::by_name(test_name).expect("catalog test");
+    let mut session = CheckSession::new(h, &t);
+
+    let mined = session.mine_spec().expect("session mining").spec;
+    let oneshot = Checker::new(h, &t);
+    let mined_oneshot = oneshot.mine_spec_oneshot().expect("one-shot mining").spec;
+    assert_eq!(
+        mined.vectors, mined_oneshot.vectors,
+        "{} / {test_name}: session and one-shot SAT mining disagree",
+        h.name
+    );
+    let reference = oneshot
+        .mine_spec_reference()
+        .expect("reference mining")
+        .spec;
+    assert_eq!(
+        mined.vectors, reference.vectors,
+        "{} / {test_name}: SAT mining and reference interpreter disagree",
+        h.name
+    );
+
+    for mode in Mode::hardware() {
+        let s = session
+            .check_inclusion(mode, &mined)
+            .expect("session inclusion");
+        let o = Checker::new(h, &t)
+            .with_memory_model(mode)
+            .check_inclusion_oneshot(&mined)
+            .expect("one-shot inclusion");
+        assert_eq!(
+            s.outcome.passed(),
+            o.outcome.passed(),
+            "{} / {test_name} on {}: session and one-shot verdicts disagree",
+            h.name,
+            mode.name()
+        );
+        if let (CheckOutcome::Fail(sc), CheckOutcome::Fail(oc)) = (&s.outcome, &o.outcome) {
+            assert_eq!(
+                sc.kind,
+                oc.kind,
+                "{} / {test_name} on {}: failure kinds disagree",
+                h.name,
+                mode.name()
+            );
+        }
+    }
+    // The whole lattice was answered from one persistent solver.
+    let stats = session.stats();
+    assert_eq!(
+        stats.symexecs, stats.encodes,
+        "every symbolic execution is encoded exactly once"
+    );
+    assert_eq!(stats.queries, 5, "mining + four hardware modes");
+}
+
+#[test]
+fn ms2_sessions_match_oneshot() {
+    assert_equivalent(&ms2::harness(Variant::Fenced), "T0");
+}
+
+#[test]
+fn msn_sessions_match_oneshot() {
+    assert_equivalent(&msn::harness(Variant::Fenced), "T0");
+}
+
+#[test]
+fn msn_unfenced_sessions_match_oneshot() {
+    // Failing builds too: counterexample verdicts must agree per mode.
+    assert_equivalent(&msn::harness(Variant::Unfenced), "T0");
+}
+
+#[test]
+fn lazylist_sessions_match_oneshot() {
+    assert_equivalent(&lazylist::harness(lazylist::Build::Fixed), "Sac");
+}
+
+#[test]
+fn harris_sessions_match_oneshot() {
+    assert_equivalent(&harris::harness(Variant::Fenced), "Sac");
+}
+
+#[test]
+fn snark_sessions_match_oneshot() {
+    assert_equivalent(&snark::harness(snark::Build::Fixed, Variant::Fenced), "D0");
+}
+
+#[test]
+fn treiber_sessions_match_oneshot() {
+    assert_equivalent(&treiber::harness(Variant::Fenced), "U0");
+}
+
+#[test]
+fn treiber_unfenced_sessions_match_oneshot() {
+    assert_equivalent(&treiber::harness(Variant::Unfenced), "U0");
+}
+
+/// The acceptance criterion of the session refactor: fence inference on
+/// the Treiber stack performs exactly one symbolic execution and one
+/// encode per test, answers every candidate build by assumptions, and
+/// lands on the same 1-minimal placement as the per-candidate baseline.
+#[test]
+fn treiber_inference_is_encode_once_and_matches_baseline() {
+    let h = treiber::harness(Variant::Unfenced);
+    let u0 = vec![tests::by_name("U0").expect("catalog")];
+    let config = InferConfig {
+        kinds: vec![FenceKind::LoadLoad, FenceKind::StoreStore],
+        procs: Some(vec!["push".into(), "pop".into()]),
+    };
+    let session = infer(&h, &u0, Mode::Relaxed, &config).expect("session inference");
+    // One test, stable spin-loop bounds: exactly one symbolic execution
+    // and one encode for the whole candidate search.
+    assert_eq!(session.symexecs, 1, "one symbolic execution per test");
+    assert_eq!(session.encodes, 1, "one encode per test");
+    assert!(
+        session.checks as u64 <= session.sat.solves,
+        "candidate builds are assumption-vector queries on one solver"
+    );
+    // The paper's Treiber repair: one store-store fence in push, one
+    // load-load fence in pop.
+    assert_eq!(session.kept.len(), 2, "kept: {:?}", session.kept);
+
+    let baseline = infer_baseline(&h, &u0, Mode::Relaxed, &config).expect("baseline inference");
+    assert_eq!(
+        session.kept, baseline.kept,
+        "session and per-candidate inference must agree on the placement"
+    );
+    assert_eq!(session.checks, baseline.checks, "identical search traces");
+    assert!(
+        baseline.encodes > session.encodes,
+        "the baseline re-encodes per check ({} vs {})",
+        baseline.encodes,
+        session.encodes
+    );
+}
+
+/// Commit-point queries ride the same session solver as observation
+/// queries and agree with the one-shot implementation.
+#[test]
+fn treiber_commit_method_sessions_match_oneshot() {
+    use checkfence::commit::AbstractType;
+    let h = treiber::harness(Variant::Fenced);
+    let t = tests::by_name("U0").expect("catalog");
+    let mut session = CheckSession::new(&h, &t);
+    for mode in [Mode::Sc, Mode::Relaxed] {
+        let s = session
+            .check_commit_method(mode, AbstractType::Stack)
+            .expect("session commit");
+        let o = Checker::new(&h, &t)
+            .with_memory_model(mode)
+            .check_commit_method_oneshot(AbstractType::Stack)
+            .expect("one-shot commit");
+        assert_eq!(
+            s.outcome.passed(),
+            o.outcome.passed(),
+            "commit-point verdicts disagree on {}",
+            mode.name()
+        );
+    }
+    assert_eq!(session.stats().encodes, 1, "one encode for both modes");
+}

@@ -3,9 +3,9 @@
 //! plus commit-point method agreement.
 
 use cf_algos::{refmodel, tests, treiber, Shape, Variant};
+use cf_memmodel::Mode;
 use checkfence::commit::AbstractType;
 use checkfence::{CheckOutcome, Checker, Harness};
-use cf_memmodel::Mode;
 
 fn outcome(h: &Harness, test_name: &str, mode: Mode) -> CheckOutcome {
     let t = tests::by_name(test_name).expect("catalog test");
@@ -25,16 +25,28 @@ fn fenced_passes_u0_and_ui2_on_relaxed() {
 fn unfenced_passes_on_sc_and_tso_but_fails_on_pso_and_relaxed() {
     let h = treiber::harness(Variant::Unfenced);
     assert!(outcome(&h, "U0", Mode::Sc).passed(), "correct under SC");
-    assert!(outcome(&h, "U0", Mode::Tso).passed(), "both fence kinds automatic on TSO");
-    assert!(!outcome(&h, "U0", Mode::Pso).passed(), "store-store fence needed on PSO");
-    assert!(!outcome(&h, "U0", Mode::Relaxed).passed(), "both fences needed on Relaxed");
+    assert!(
+        outcome(&h, "U0", Mode::Tso).passed(),
+        "both fence kinds automatic on TSO"
+    );
+    assert!(
+        !outcome(&h, "U0", Mode::Pso).passed(),
+        "store-store fence needed on PSO"
+    );
+    assert!(
+        !outcome(&h, "U0", Mode::Relaxed).passed(),
+        "both fences needed on Relaxed"
+    );
 }
 
 #[test]
 fn store_store_only_passes_on_pso_but_not_relaxed() {
     let h = treiber::harness_with_kinds(false, true);
     assert!(outcome(&h, "U0", Mode::Pso).passed());
-    assert!(!outcome(&h, "U0", Mode::Relaxed).passed(), "dependent loads still speculate");
+    assert!(
+        !outcome(&h, "U0", Mode::Relaxed).passed(),
+        "dependent loads still speculate"
+    );
 }
 
 #[test]
@@ -94,7 +106,10 @@ fn commit_method_distinguishes_lifo_from_fifo() {
     let t = tests::by_name("Tpc2").expect("catalog");
     let c = Checker::new(&q, &t).with_memory_model(Mode::Sc);
     let r = c.check_commit_method(AbstractType::Stack).expect("runs");
-    assert!(!r.outcome.passed(), "FIFO answers must violate the LIFO machine");
+    assert!(
+        !r.outcome.passed(),
+        "FIFO answers must violate the LIFO machine"
+    );
 
     // ...and symmetrically the queue machine rejects Treiber's LIFO
     // answers.
@@ -102,7 +117,10 @@ fn commit_method_distinguishes_lifo_from_fifo() {
     let t = tests::by_name("Upc2").expect("catalog");
     let c = Checker::new(&s, &t).with_memory_model(Mode::Sc);
     let r = c.check_commit_method(AbstractType::Queue).expect("runs");
-    assert!(!r.outcome.passed(), "LIFO answers must violate the FIFO machine");
+    assert!(
+        !r.outcome.passed(),
+        "LIFO answers must violate the FIFO machine"
+    );
 }
 
 #[test]

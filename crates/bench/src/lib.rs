@@ -59,11 +59,19 @@ pub fn workloads() -> Vec<Workload> {
         ),
         (
             Algo::Harris,
-            if full { pick(&["Sac", "Sar"]) } else { pick(&["Sac"]) },
+            if full {
+                pick(&["Sac", "Sar"])
+            } else {
+                pick(&["Sac"])
+            },
         ),
         (
             Algo::Snark,
-            if full { pick(&["D0", "Da", "Db"]) } else { pick(&["D0"]) },
+            if full {
+                pick(&["D0", "Da", "Db"])
+            } else {
+                pick(&["D0"])
+            },
         ),
     ];
     for (algo, tests) in matrix {
@@ -81,4 +89,132 @@ pub fn workloads() -> Vec<Workload> {
 /// Formats a duration in seconds with 3 decimals.
 pub fn secs(d: std::time::Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
+}
+
+pub mod parallel {
+    //! Parallel evaluation driver: fans the (implementation, test) × mode
+    //! matrix out across worker threads, one persistent [`CheckSession`]
+    //! per (implementation, test) cell.
+    //!
+    //! Each cell mines its specification once (reference interpreter) and
+    //! then answers every requested memory model from a single multi-mode
+    //! encoding on one incremental solver — the session architecture's
+    //! sweet spot. Workers are plain `std::thread::scope` threads pulling
+    //! cells from an atomic queue (the toolchain is offline, so no rayon;
+    //! the fan-out pattern is identical).
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use std::time::{Duration, Instant};
+
+    use cf_memmodel::{Mode, ModeSet};
+    use checkfence::{CheckConfig, CheckSession, SessionConfig};
+
+    use crate::Workload;
+
+    /// One verdict of the evaluation matrix.
+    #[derive(Clone, Debug)]
+    pub struct CellResult {
+        /// Implementation mnemonic.
+        pub algo: &'static str,
+        /// Test name.
+        pub test: String,
+        /// Memory model checked.
+        pub mode: Mode,
+        /// Whether the inclusion check passed.
+        pub passed: bool,
+        /// Infrastructure error, if the check could not run.
+        pub error: Option<String>,
+        /// Wall-clock time of this cell's query.
+        pub elapsed: Duration,
+    }
+
+    /// Outcome of a matrix run.
+    #[derive(Debug)]
+    pub struct MatrixReport {
+        /// Per-(cell, mode) verdicts, in deterministic matrix order.
+        pub cells: Vec<CellResult>,
+        /// Sessions created (= workloads; each answers all modes).
+        pub sessions: usize,
+        /// End-to-end wall-clock time.
+        pub elapsed: Duration,
+    }
+
+    /// Runs `n` independent jobs on up to `jobs` worker threads (an
+    /// atomic work queue over scoped threads) and returns the results in
+    /// index order. Shared by [`run_matrix`] and the `checkfence --jobs`
+    /// CLI fan-out.
+    pub fn run_indexed<R: Send>(jobs: usize, n: usize, work: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.clamp(1, n.max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = work(i);
+                    results.lock().expect("no poisoned worker").push((i, r));
+                });
+            }
+        });
+        let mut indexed = results.into_inner().expect("workers joined");
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Runs every workload × mode on `jobs` worker threads and returns
+    /// the verdicts in deterministic (workload, mode) order.
+    pub fn run_matrix(workloads: &[Workload], modes: &[Mode], jobs: usize) -> MatrixReport {
+        let t0 = Instant::now();
+        let mode_set: ModeSet = modes.iter().copied().collect();
+        let rows = run_indexed(jobs, workloads.len(), |i| {
+            run_cell(&workloads[i], modes, mode_set)
+        });
+        MatrixReport {
+            cells: rows.into_iter().flatten().collect(),
+            sessions: workloads.len(),
+            elapsed: t0.elapsed(),
+        }
+    }
+
+    fn run_cell(w: &Workload, modes: &[Mode], mode_set: ModeSet) -> Vec<CellResult> {
+        let config = SessionConfig::from_check_config(&CheckConfig::default(), mode_set);
+        let mut session = CheckSession::with_config(&w.harness, &w.test, config);
+        let spec = match session.mine_spec_reference() {
+            Ok(m) => m.spec,
+            Err(e) => {
+                return modes
+                    .iter()
+                    .map(|&mode| CellResult {
+                        algo: w.algo.name(),
+                        test: w.test.name.clone(),
+                        mode,
+                        passed: false,
+                        error: Some(e.to_string()),
+                        elapsed: Duration::ZERO,
+                    })
+                    .collect();
+            }
+        };
+        modes
+            .iter()
+            .map(|&mode| {
+                let t = Instant::now();
+                let (passed, error) = match session.check_inclusion(mode, &spec) {
+                    Ok(r) => (r.outcome.passed(), None),
+                    Err(e) => (false, Some(e.to_string())),
+                };
+                CellResult {
+                    algo: w.algo.name(),
+                    test: w.test.name.clone(),
+                    mode,
+                    passed,
+                    error,
+                    elapsed: t.elapsed(),
+                }
+            })
+            .collect()
+    }
 }

@@ -1,0 +1,36 @@
+//! Runtime coverage for the parallel evaluation driver: verdicts must be
+//! deterministic, ordered, and identical to a sequential run.
+
+use cf_algos::{tests, Algo, Variant};
+use cf_bench::{parallel, Workload};
+use cf_memmodel::Mode;
+
+fn small_matrix() -> Vec<Workload> {
+    ["T0", "Ti2"]
+        .iter()
+        .map(|name| Workload {
+            algo: Algo::Ms2,
+            harness: Algo::Ms2.harness(Variant::Fenced),
+            test: tests::by_name(name).expect("catalog test"),
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_matrix_matches_sequential_and_preserves_order() {
+    let modes = [Mode::Sc, Mode::Relaxed];
+    let sequential = parallel::run_matrix(&small_matrix(), &modes, 1);
+    let fanned = parallel::run_matrix(&small_matrix(), &modes, 4);
+
+    assert_eq!(sequential.cells.len(), 4, "2 workloads x 2 modes");
+    assert_eq!(sequential.cells.len(), fanned.cells.len());
+    assert_eq!(fanned.sessions, 2, "one session per (algo, test) cell");
+    for (s, f) in sequential.cells.iter().zip(&fanned.cells) {
+        assert_eq!(s.test, f.test, "deterministic cell order");
+        assert_eq!(s.mode, f.mode);
+        assert_eq!(s.passed, f.passed, "{} {} on {:?}", s.algo, s.test, s.mode);
+        assert!(f.error.is_none(), "{:?}", f.error);
+        // The fenced two-lock queue passes everywhere (paper §4).
+        assert!(f.passed, "{} {} on {:?}", f.algo, f.test, f.mode);
+    }
+}

@@ -19,11 +19,12 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use cf_lsl::Value;
-use cf_memmodel::{AccessKind, Mode};
+use cf_memmodel::{AccessKind, Mode, ModeSet};
 use cf_sat::{Lit, SolveResult};
 
 use crate::encode::{Encoding, OrderEncoding};
 use crate::range::analyze;
+use crate::session::{CheckSession, SessionConfig};
 use crate::symexec::{execute, LoopBounds, SymExec, SymExecError, UnrollStats};
 use crate::test_spec::{Harness, TestSpec};
 
@@ -211,6 +212,13 @@ pub struct PhaseStats {
     pub sat_vars: usize,
     /// Clauses of the final encoding.
     pub sat_clauses: u64,
+    /// SAT conflicts attributable to this phase.
+    pub sat_conflicts: u64,
+    /// SAT propagations attributable to this phase.
+    pub sat_propagations: u64,
+    /// Solver calls attributable to this phase (includes bound-overflow
+    /// queries, so one-shot and session accounting stay comparable).
+    pub sat_solves: u64,
     /// Solver iterations (mining: one per observation).
     pub iterations: u32,
     /// Lazy-unrolling rounds used.
@@ -355,7 +363,9 @@ impl<'h> Checker<'h> {
             stats.unrolled = sx.stats;
             stats.sat_vars = enc.cnf.num_vars();
             stats.sat_clauses = enc.cnf.num_clauses();
-            enc.cnf.solver.set_conflict_budget(self.config.conflict_budget);
+            enc.cnf
+                .solver
+                .set_conflict_budget(self.config.conflict_budget);
             enc.cnf.solver.set_config(self.config.solver_config);
 
             // Prepare the bound-overflow query before the payload runs
@@ -396,7 +406,12 @@ impl<'h> Checker<'h> {
                 }
             };
             let assumptions: Vec<Lit> = enc.exceeded.iter().map(|(_, l)| !*l).collect();
-            match payload(&sx, &mut enc, &assumptions, stats)? {
+            let result = payload(&sx, &mut enc, &assumptions, stats);
+            let sat = enc.cnf.solver.stats();
+            stats.sat_conflicts += sat.conflicts;
+            stats.sat_propagations += sat.propagations;
+            stats.sat_solves += sat.solves;
+            match result? {
                 Round::Final(t) => return Ok(t),
                 Round::Bounded(t) => {
                     if !overflow {
@@ -411,8 +426,22 @@ impl<'h> Checker<'h> {
         })
     }
 
+    /// Creates a single-use [`CheckSession`] for this checker's harness,
+    /// test and configuration, restricted to the given mode set.
+    fn session(&self, modes: ModeSet) -> CheckSession<'h> {
+        CheckSession::with_config(
+            self.harness,
+            self.test,
+            SessionConfig::from_check_config(&self.config, modes),
+        )
+    }
+
     /// Mines the observation set with the SAT encoding under Seriality
     /// (paper §3.2 "Specification mining").
+    ///
+    /// Since the session refactor this is a thin wrapper over a
+    /// single-mode [`CheckSession`]; [`Checker::mine_spec_oneshot`] keeps
+    /// the pre-session implementation as an independent baseline.
     ///
     /// # Errors
     ///
@@ -420,6 +449,17 @@ impl<'h> Checker<'h> {
     /// error (this is itself a verification result — e.g. the lazy-list
     /// initialization bug); infrastructure errors otherwise.
     pub fn mine_spec(&self) -> Result<MiningResult, CheckError> {
+        self.session(ModeSet::single(Mode::Serial)).mine_spec()
+    }
+
+    /// The pre-session one-shot implementation of [`Checker::mine_spec`]:
+    /// builds a fresh encoding and solver. Kept as the independent
+    /// baseline for session-equivalence tests and benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// As [`Checker::mine_spec`].
+    pub fn mine_spec_oneshot(&self) -> Result<MiningResult, CheckError> {
         let t0 = Instant::now();
         let mut stats = PhaseStats::default();
         let spec = self.with_bounds(Mode::Serial, &mut stats, |sx, enc, assumptions, stats| {
@@ -431,12 +471,7 @@ impl<'h> Checker<'h> {
             stats.solve_time += t.elapsed();
             match r {
                 SolveResult::Sat => {
-                    let cx = decode_counterexample(
-                        sx,
-                        enc,
-                        FailureKind::SerialError,
-                        Mode::Serial,
-                    );
+                    let cx = decode_counterexample(sx, enc, FailureKind::SerialError, Mode::Serial);
                     return Err(CheckError::SerialBug(Box::new(cx)));
                 }
                 SolveResult::Unknown => return Err(CheckError::SolverBudget),
@@ -486,6 +521,17 @@ impl<'h> Checker<'h> {
     ///
     /// Infrastructure errors only.
     pub fn enumerate_observations(&self, mode: Mode) -> Result<ObsSet, CheckError> {
+        self.session(ModeSet::single(mode))
+            .enumerate_observations(mode)
+    }
+
+    /// The pre-session one-shot implementation of
+    /// [`Checker::enumerate_observations`] (independent baseline).
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure errors only.
+    pub fn enumerate_observations_oneshot(&self, mode: Mode) -> Result<ObsSet, CheckError> {
         let mut stats = PhaseStats::default();
         self.with_bounds(mode, &mut stats, |_sx, enc, assumptions, stats| {
             let mut clean = assumptions.to_vec();
@@ -518,47 +564,64 @@ impl<'h> Checker<'h> {
     /// Checks that every execution on the configured memory model
     /// produces an observation in `spec` and raises no runtime error.
     ///
+    /// Since the session refactor this is a thin wrapper over a
+    /// single-mode [`CheckSession`]; [`Checker::check_inclusion_oneshot`]
+    /// keeps the pre-session implementation as an independent baseline.
+    ///
     /// # Errors
     ///
     /// Infrastructure errors only; verification failures are reported as
     /// [`CheckOutcome::Fail`].
     pub fn check_inclusion(&self, spec: &ObsSet) -> Result<InclusionResult, CheckError> {
+        let model = self.config.memory_model;
+        self.session(ModeSet::single(model))
+            .check_inclusion(model, spec)
+    }
+
+    /// The pre-session one-shot implementation of
+    /// [`Checker::check_inclusion`]: builds a fresh encoding and solver.
+    /// Kept as the independent baseline for session-equivalence tests and
+    /// the per-candidate fence-inference benchmark.
+    ///
+    /// # Errors
+    ///
+    /// As [`Checker::check_inclusion`].
+    pub fn check_inclusion_oneshot(&self, spec: &ObsSet) -> Result<InclusionResult, CheckError> {
         let t0 = Instant::now();
         let mut stats = PhaseStats::default();
         let model = self.config.memory_model;
-        let outcome =
-            self.with_bounds(model, &mut stats, |sx, enc, assumptions, stats| {
-                // bad := error ∨ (obs ∉ S)
-                let mut no_match = enc.cnf.tt();
-                for o in &spec.vectors {
-                    let mut all_eq = enc.cnf.tt();
-                    for (i, v) in o.iter().enumerate() {
-                        let e = enc.obs[i].clone();
-                        let eq = enc.enc_eq_const(&e, v);
-                        all_eq = enc.cnf.and(all_eq, eq);
-                    }
-                    no_match = enc.cnf.and(no_match, !all_eq);
+        let outcome = self.with_bounds(model, &mut stats, |sx, enc, assumptions, stats| {
+            // bad := error ∨ (obs ∉ S)
+            let mut no_match = enc.cnf.tt();
+            for o in &spec.vectors {
+                let mut all_eq = enc.cnf.tt();
+                for (i, v) in o.iter().enumerate() {
+                    let e = enc.obs[i].clone();
+                    let eq = enc.enc_eq_const(&e, v);
+                    all_eq = enc.cnf.and(all_eq, eq);
                 }
-                let bad = enc.cnf.or(enc.error_lit, no_match);
-                let mut a = assumptions.to_vec();
-                a.push(bad);
-                let t = Instant::now();
-                let r = enc.cnf.solver.solve_with(&a);
-                stats.solve_time += t.elapsed();
-                match r {
-                    SolveResult::Unsat => Ok(Round::Bounded(CheckOutcome::Pass)),
-                    SolveResult::Unknown => Err(CheckError::SolverBudget),
-                    SolveResult::Sat => {
-                        let kind = if enc.cnf.lit_value(enc.error_lit) {
-                            FailureKind::RuntimeError
-                        } else {
-                            FailureKind::InconsistentObservation
-                        };
-                        let cx = decode_counterexample(sx, enc, kind, model);
-                        Ok(Round::Final(CheckOutcome::Fail(Box::new(cx))))
-                    }
+                no_match = enc.cnf.and(no_match, !all_eq);
+            }
+            let bad = enc.cnf.or(enc.error_lit, no_match);
+            let mut a = assumptions.to_vec();
+            a.push(bad);
+            let t = Instant::now();
+            let r = enc.cnf.solver.solve_with(&a);
+            stats.solve_time += t.elapsed();
+            match r {
+                SolveResult::Unsat => Ok(Round::Bounded(CheckOutcome::Pass)),
+                SolveResult::Unknown => Err(CheckError::SolverBudget),
+                SolveResult::Sat => {
+                    let kind = if enc.cnf.lit_value(enc.error_lit) {
+                        FailureKind::RuntimeError
+                    } else {
+                        FailureKind::InconsistentObservation
+                    };
+                    let cx = decode_counterexample(sx, enc, kind, model);
+                    Ok(Round::Final(CheckOutcome::Fail(Box::new(cx))))
                 }
-            })?;
+            }
+        })?;
         stats.total_time = t0.elapsed();
         Ok(InclusionResult { outcome, stats })
     }

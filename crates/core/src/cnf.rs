@@ -5,9 +5,9 @@
 //! are cached structurally, constants fold away, and bitvectors are
 //! little-endian `Vec<Lit>`s.
 
-use std::collections::HashMap;
-
 use cf_sat::{Lit, Solver};
+
+use crate::fxhash::FxHashMap;
 
 /// A CNF builder wrapping an incremental SAT solver.
 #[derive(Debug)]
@@ -15,8 +15,10 @@ pub struct CnfBuilder {
     /// The underlying solver (exposed for solving and model queries).
     pub solver: Solver,
     true_lit: Lit,
-    and_cache: HashMap<(Lit, Lit), Lit>,
-    xor_cache: HashMap<(Lit, Lit), Lit>,
+    // Gate caches use FxHash: they are hit once per gate on the encode
+    // hot path, where SipHash is measurably slower.
+    and_cache: FxHashMap<(Lit, Lit), Lit>,
+    xor_cache: FxHashMap<(Lit, Lit), Lit>,
     clauses: u64,
 }
 
@@ -35,8 +37,8 @@ impl CnfBuilder {
         CnfBuilder {
             solver,
             true_lit: t,
-            and_cache: HashMap::new(),
-            xor_cache: HashMap::new(),
+            and_cache: FxHashMap::default(),
+            xor_cache: FxHashMap::default(),
             clauses: 0,
         }
     }
@@ -226,10 +228,7 @@ impl CnfBuilder {
     /// Bitwise mux.
     pub fn bv_ite(&mut self, c: Lit, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
         assert_eq!(a.len(), b.len(), "width mismatch");
-        a.iter()
-            .zip(b)
-            .map(|(&x, &y)| self.ite(c, x, y))
-            .collect()
+        a.iter().zip(b).map(|(&x, &y)| self.ite(c, x, y)).collect()
     }
 
     /// Two's complement addition (wrapping).

@@ -55,11 +55,35 @@ impl Checker<'_> {
     /// Runs the commit-point method: one solver query against the
     /// annotated commit order, without observation enumeration.
     ///
+    /// Since the session refactor this is a thin wrapper over a
+    /// single-mode [`crate::CheckSession`];
+    /// [`Checker::check_commit_method_oneshot`] keeps the pre-session
+    /// implementation as an independent baseline.
+    ///
     /// # Errors
     ///
     /// [`CheckError::SymExec`] if an operation lacks commit annotations;
     /// the usual infrastructure errors otherwise.
     pub fn check_commit_method(&self, ty: AbstractType) -> Result<InclusionResult, CheckError> {
+        let model = self.config.memory_model;
+        let config = crate::SessionConfig::from_check_config(
+            &self.config,
+            cf_memmodel::ModeSet::single(model),
+        );
+        crate::CheckSession::with_config(self.harness_ref(), self.test_ref(), config)
+            .check_commit_method(model, ty)
+    }
+
+    /// The pre-session one-shot implementation of
+    /// [`Checker::check_commit_method`] (independent baseline).
+    ///
+    /// # Errors
+    ///
+    /// As [`Checker::check_commit_method`].
+    pub fn check_commit_method_oneshot(
+        &self,
+        ty: AbstractType,
+    ) -> Result<InclusionResult, CheckError> {
         let t0 = Instant::now();
         let mut stats = PhaseStats::default();
         let model: Mode = self.config.memory_model;
@@ -76,12 +100,15 @@ impl Checker<'_> {
             let te = Instant::now();
             let range = analyze(&sx, self.config.range_analysis);
             let mut enc = Encoding::build(&sx, &range, model, self.config.order_encoding);
-            let mismatch = encode_abstract_machine(&sx, &mut enc, ty)?;
+            let tt = enc.cnf.tt();
+            let mismatch = encode_abstract_machine(&sx, &mut enc, ty, tt)?;
             stats.encode_time += te.elapsed();
             stats.unrolled = sx.stats;
             stats.sat_vars = enc.cnf.num_vars();
             stats.sat_clauses = enc.cnf.num_clauses();
-            enc.cnf.solver.set_conflict_budget(self.config.conflict_budget);
+            enc.cnf
+                .solver
+                .set_conflict_budget(self.config.conflict_budget);
             enc.cnf.solver.set_config(self.config.solver_config);
 
             let mut assumptions: Vec<Lit> = enc.exceeded.iter().map(|(_, l)| !*l).collect();
@@ -156,10 +183,17 @@ struct OpInfo {
 /// Builds the abstract machine over the commit order. Returns a literal
 /// that is true iff some operation's concrete return value disagrees
 /// with the abstract machine.
-fn encode_abstract_machine(
+///
+/// The machine's only non-definitional constraints ("every operation
+/// commits exactly once") are gated behind `gate`, so the circuit can
+/// live on a shared session solver without constraining other queries:
+/// pass the constant-true literal for a dedicated one-shot encoding, or
+/// a fresh literal (assumed during commit queries) on a session.
+pub(crate) fn encode_abstract_machine(
     sx: &SymExec,
     enc: &mut Encoding,
     ty: AbstractType,
+    gate: Lit,
 ) -> Result<Lit, CheckError> {
     let mut ops: Vec<OpInfo> = Vec::new();
     for op_idx in 0..sx.num_ops {
@@ -212,14 +246,14 @@ fn encode_abstract_machine(
         return Ok(enc.cnf.ff());
     }
 
-    // Every operation commits exactly once.
+    // Every operation commits exactly once (under `gate`).
     for op in &ops {
         let lits: Vec<Lit> = op.commits.iter().map(|&(_, l)| l).collect();
         let any = enc.cnf.or_many(&lits);
-        enc.cnf.assert_lit(any);
+        enc.cnf.clause([!gate, any]);
         for a in 0..lits.len() {
             for b in a + 1..lits.len() {
-                enc.cnf.clause([!lits[a], !lits[b]]);
+                enc.cnf.clause([!gate, !lits[a], !lits[b]]);
             }
         }
     }
@@ -256,17 +290,17 @@ fn encode_abstract_machine(
     let mut sel = vec![vec![enc.cnf.ff(); n]; n];
     for a in 0..n {
         let mut pos = enc.cnf.bv_const(0, width);
-        for b in 0..n {
+        for (b, row) in commit_before.iter().enumerate() {
             if a == b {
                 continue;
             }
             let mut inc = vec![enc.cnf.ff(); width];
-            inc[0] = commit_before[b][a];
+            inc[0] = row[a];
             pos = enc.cnf.bv_add(&pos, &inc);
         }
-        for t in 0..n {
+        for (t, sel_row) in sel.iter_mut().enumerate() {
             let tconst = enc.cnf.bv_const(t as i64, width);
-            sel[t][a] = enc.cnf.bv_eq(&pos, &tconst);
+            sel_row[a] = enc.cnf.bv_eq(&pos, &tconst);
         }
     }
 
@@ -278,7 +312,7 @@ fn encode_abstract_machine(
     let mut mismatches: Vec<Lit> = Vec::new();
     let mut slots: Vec<Vec<Lit>> = (0..n).map(|_| enc.cnf.bv_const(0, vw)).collect();
     let mut len = enc.cnf.bv_const(0, width);
-    for t in 0..n {
+    for sel_t in &sel {
         let mut is_ins = enc.cnf.ff();
         let mut arg = enc.cnf.bv_const(0, vw);
         // Abstract remove result for the current state.
@@ -304,7 +338,7 @@ fn encode_abstract_machine(
         let rem_result = enc.cnf.bv_ite(empty, &zero_v, &front_plus);
 
         for a in 0..n {
-            let s = sel[t][a];
+            let s = sel_t[a];
             match ops[a].kind {
                 AbstractOp::Insert => {
                     is_ins = enc.cnf.or(is_ins, s);
@@ -332,10 +366,10 @@ fn encode_abstract_machine(
         let ins_len = enc.cnf.bv_add(&len, &one_w);
         let rem_slots = match ty {
             AbstractType::Queue => {
-                let mut shifted = slots.clone();
-                for idx in 0..n - 1 {
-                    shifted[idx] = slots[idx + 1].clone();
-                }
+                // Shift down; the vacated top slot keeps its old value
+                // (it is never selected while len stays consistent).
+                let mut shifted: Vec<Vec<Lit>> = slots[1..].to_vec();
+                shifted.push(slots[n - 1].clone());
                 shifted
             }
             AbstractType::Stack => slots.clone(),

@@ -14,11 +14,11 @@
 //!   transitivity blow-up, provided as an ablation). Visibility uses the
 //!   auxiliary `Init`/`Flows` variables described in the paper.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
-use cf_sat::Lit;
 use cf_lsl::{PrimOp, Value};
-use cf_memmodel::{fence_orders, AccessKind, Mode};
+use cf_memmodel::{fence_orders, AccessKind, Mode, ModeSet};
+use cf_sat::Lit;
 
 use crate::cnf::CnfBuilder;
 use crate::range::{init_value, RangeInfo, ValueSet};
@@ -65,12 +65,22 @@ pub struct EncVal {
     pub path: Vec<Vec<Lit>>,
 }
 
-/// The full encoding of one test under one memory model.
+/// The full encoding of one test under one or more memory models.
+///
+/// A single-mode encoding ([`Encoding::build`]) is exactly the paper's
+/// Δ ∧ Θ formula. A multi-mode encoding ([`Encoding::build_multi`])
+/// additionally gates every mode-dependent Θ clause behind a per-mode
+/// *selector literal*, so one persistent solver can answer queries for
+/// every mode in the set (selecting a mode is an assumption vector, and
+/// learnt clauses not involving the selectors transfer between modes).
+/// Candidate fences ([`cf_lsl::Stmt::CandidateFence`]) likewise get
+/// per-site *activation literals*, making a fence placement an
+/// assumption vector instead of a re-encode.
 pub struct Encoding {
     /// The CNF builder / solver.
     pub cnf: CnfBuilder,
-    /// Memory model.
-    pub mode: Mode,
+    /// The memory models this encoding can answer queries for.
+    pub modes: ModeSet,
     /// Order encoding used.
     pub order_encoding: OrderEncoding,
     /// Per-event guard literals.
@@ -94,8 +104,23 @@ pub struct Encoding {
     pub exceeded: Vec<(String, Lit)>,
     /// Integer width used.
     pub int_width: usize,
+    /// Activation literal per candidate fence site (empty unless the
+    /// program contains [`cf_lsl::Stmt::CandidateFence`] statements).
+    /// Assuming a site's literal activates every unrolling of its fence;
+    /// assuming the negation makes the site inert.
+    pub fence_acts: BTreeMap<u32, Lit>,
 
     order: OrderVars,
+    /// Cached spec-membership circuits `(spec, no_match lit)` — pure
+    /// definitions reused by session inclusion queries with one spec and
+    /// many assumption vectors.
+    spec_cache: Vec<(crate::checker::ObsSet, Lit)>,
+    /// Selector literal per mode (indexed by [`Mode::index`]): `tt` in a
+    /// single-mode encoding, `ff` for modes outside the set, a fresh
+    /// variable per member otherwise.
+    mode_sel: [Lit; 5],
+    /// Gate literals per mode group (keyed by the `ModeSet` bitmask).
+    group_cache: HashMap<ModeSet, Lit>,
     vcache: HashMap<VTermId, EncVal>,
     bcache: HashMap<BTermId, Lit>,
     addr_eq_cache: HashMap<(VTermId, VTermId), Lit>,
@@ -116,22 +141,47 @@ enum OrderVars {
 }
 
 impl Encoding {
-    /// Builds the encoding of `sx` under `mode`.
+    /// Builds the single-mode encoding of `sx` under `mode` (the paper's
+    /// Δ ∧ Θ formula; mode selectors degenerate to constants).
     pub fn build(
         sx: &SymExec,
         range: &RangeInfo,
         mode: Mode,
         order_encoding: OrderEncoding,
     ) -> Encoding {
+        Self::build_multi(sx, range, ModeSet::single(mode), order_encoding)
+    }
+
+    /// Builds a multi-mode encoding: one CNF answering queries for every
+    /// mode in `modes`, with mode-dependent axioms gated behind selector
+    /// literals (see [`Encoding::mode_assumptions`]).
+    pub fn build_multi(
+        sx: &SymExec,
+        range: &RangeInfo,
+        modes: ModeSet,
+        order_encoding: OrderEncoding,
+    ) -> Encoding {
+        assert!(!modes.is_empty(), "encoding needs at least one mode");
         let widths = Widths {
             int: range.int_width.max(2),
             depth: range.max_depth.max(1),
             elem: range.elem_width.max(1),
             len: bits_for(range.max_depth.max(1) as u64 + 1),
         };
+        let mut cnf = CnfBuilder::new();
+        // Selector literals: constants when only one mode is encoded, so
+        // the single-mode build costs exactly what it did before.
+        let mut mode_sel = [cnf.ff(); 5];
+        for m in modes.iter() {
+            mode_sel[m.index()] = if modes.len() == 1 {
+                cnf.tt()
+            } else {
+                cnf.fresh()
+            };
+        }
         let mut enc = Encoding {
-            cnf: CnfBuilder::new(),
-            mode,
+            cnf,
+            modes,
             order_encoding,
             guards: Vec::new(),
             addrs: Vec::new(),
@@ -143,7 +193,11 @@ impl Encoding {
             error_lit: Lit::from_index(0),
             exceeded: Vec::new(),
             int_width: range.int_width.max(2),
+            fence_acts: BTreeMap::new(),
             order: OrderVars::Pairwise(HashMap::new()),
+            spec_cache: Vec::new(),
+            mode_sel,
+            group_cache: HashMap::new(),
             vcache: HashMap::new(),
             bcache: HashMap::new(),
             addr_eq_cache: HashMap::new(),
@@ -151,6 +205,92 @@ impl Encoding {
         };
         enc.encode_all(sx, range);
         enc
+    }
+
+    /// The selector literal of `mode` (`tt` in a single-mode encoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is not in the encoded set.
+    pub fn mode_selector(&self, mode: Mode) -> Lit {
+        assert!(
+            self.modes.contains(mode),
+            "mode {} not in the encoded set",
+            mode.name()
+        );
+        self.mode_sel[mode.index()]
+    }
+
+    /// The assumption vector selecting `mode`: its selector positive,
+    /// every other encoded mode's selector negative. Empty for a
+    /// single-mode encoding (the selector is the constant `tt`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is not in the encoded set.
+    pub fn mode_assumptions(&self, mode: Mode) -> Vec<Lit> {
+        assert!(
+            self.modes.contains(mode),
+            "mode {} not in the encoded set",
+            mode.name()
+        );
+        if self.modes.len() == 1 {
+            return Vec::new();
+        }
+        self.modes
+            .iter()
+            .map(|m| {
+                let sel = self.mode_sel[m.index()];
+                if m == mode {
+                    sel
+                } else {
+                    !sel
+                }
+            })
+            .collect()
+    }
+
+    /// The gate literal for a group of modes: true iff the selected mode
+    /// is in the group. Constant-folds to `tt`/`ff` when the group is the
+    /// whole set / empty; cached otherwise.
+    fn mode_gate(&mut self, group: ModeSet) -> Lit {
+        if group == self.modes {
+            return self.cnf.tt();
+        }
+        if group.is_empty() {
+            return self.cnf.ff();
+        }
+        if let Some(&l) = self.group_cache.get(&group) {
+            return l;
+        }
+        let sels: Vec<Lit> = group.iter().map(|m| self.mode_sel[m.index()]).collect();
+        let gate = self.cnf.or_many(&sels);
+        self.group_cache.insert(group, gate);
+        gate
+    }
+
+    /// Looks up a cached spec-membership circuit.
+    pub(crate) fn spec_cache_lookup(&self, spec: &crate::checker::ObsSet) -> Option<Lit> {
+        self.spec_cache
+            .iter()
+            .find(|(s, _)| s == spec)
+            .map(|&(_, l)| l)
+    }
+
+    /// Caches a spec-membership circuit.
+    pub(crate) fn spec_cache_insert(&mut self, spec: crate::checker::ObsSet, lit: Lit) {
+        self.spec_cache.push((spec, lit));
+    }
+
+    /// The activation literal of candidate fence site `site`, created on
+    /// first use.
+    fn fence_act(&mut self, site: u32) -> Lit {
+        if let Some(&l) = self.fence_acts.get(&site) {
+            return l;
+        }
+        let l = self.cnf.fresh();
+        self.fence_acts.insert(site, l);
+        l
     }
 
     fn encode_all(&mut self, sx: &SymExec, range: &RangeInfo) {
@@ -236,8 +376,9 @@ impl Encoding {
 
         // --- axiom 1: program order, fences, atomic blocks
         self.encode_program_order(sx, range);
-        // --- seriality: operations are atomic
-        if self.mode == Mode::Serial {
+        // --- seriality: operations are atomic (gated on the Serial
+        // selector in a multi-mode encoding)
+        if self.modes.contains(Mode::Serial) {
             self.encode_operation_atomicity(sx);
         }
         // --- initialization happens before all thread events
@@ -312,35 +453,58 @@ impl Encoding {
                 if ex.thread != ey.thread || ex.po >= ey.po {
                     continue;
                 }
+                let (xk, yk) = (ex.kind, ey.kind);
                 let gx = self.guards[x];
                 let gy = self.guards[y];
-                if self.mode.po_edge_required(ex.kind, ey.kind, false) {
-                    // Required regardless of address (all pairs on
-                    // SC/Serial, all but store→load on TSO, ...).
+                // Mode groups for this pair of access kinds: the modes
+                // requiring the edge unconditionally, and the modes
+                // requiring it only under address coincidence (the
+                // same-address store edge of the Relaxed axiom 1). One
+                // clause per non-empty group, gated by the group literal.
+                let uncond = ModeSet::po_edge_group(self.modes, xk, yk, false);
+                let same_only: ModeSet = ModeSet::po_edge_group(self.modes, xk, yk, true)
+                    .iter()
+                    .filter(|m| !uncond.contains(*m))
+                    .collect();
+                if !uncond.is_empty() {
+                    let gate = self.mode_gate(uncond);
                     let b = self.before(x, y);
-                    self.imply(&[gx, gy], b);
-                    if matches!(self.mode, Mode::Sc | Mode::Serial) {
-                        continue; // fences/groups subsumed
+                    self.imply(&[gate, gx, gy], b);
+                    if uncond == self.modes {
+                        // Every encoded mode already orders this pair
+                        // unconditionally: the fence and atomic-block
+                        // edges below are subsumed (same conclusion,
+                        // premises ⊇ {gx, gy}), so skip emitting them.
+                        continue;
                     }
-                } else if self.mode.po_edge_required(ex.kind, ey.kind, true)
-                    && may_alias(range, ex.addr, ey.addr)
-                {
-                    // Required only when the addresses coincide (the
-                    // same-address store edge of the Relaxed axiom 1).
+                }
+                if !same_only.is_empty() && may_alias(range, ex.addr, ey.addr) {
+                    let gate = self.mode_gate(same_only);
                     let ae = self.addr_eq(sx, ex.addr, ey.addr);
                     let b = self.before(x, y);
-                    self.imply(&[gx, gy, ae], b);
+                    self.imply(&[gate, gx, gy, ae], b);
                 }
-                // Fence edges.
-                for f in &sx.fences {
+                // Fence edges: sound under every mode (in modes ordering
+                // the pair unconditionally they are subsumed, and skipped
+                // above when that covers the whole set). Candidate fences
+                // are additionally gated by their site's activation
+                // literal.
+                for fi in 0..sx.fences.len() {
+                    let f = &sx.fences[fi];
                     if f.thread == ex.thread
                         && f.po > ex.po
                         && f.po < ey.po
-                        && fence_orders(f.kind, ex.kind, ey.kind)
+                        && fence_orders(f.kind, xk, yk)
                     {
-                        let gf = self.encode_b(sx, f.guard);
+                        let guard = f.guard;
+                        let site = f.site;
+                        let gf = self.encode_b(sx, guard);
+                        let act = match site {
+                            Some(s) => self.fence_act(s),
+                            None => self.cnf.tt(),
+                        };
                         let b = self.before(x, y);
-                        self.imply(&[gx, gy, gf], b);
+                        self.imply(&[act, gx, gy, gf], b);
                     }
                 }
                 // Atomic blocks: internal program order.
@@ -357,8 +521,9 @@ impl Encoding {
                 groups.entry(g).or_default().push(i);
             }
         }
+        let tt = self.cnf.tt();
         for members in groups.values() {
-            self.encode_group_contiguity(sx, members);
+            self.encode_group_contiguity(sx, members, tt);
         }
     }
 
@@ -367,13 +532,18 @@ impl Encoding {
         for (i, e) in sx.events.iter().enumerate() {
             ops.entry(e.op).or_default().push(i);
         }
+        // Seriality is the only mode interleaving whole operations
+        // atomically; in a multi-mode encoding its contiguity clauses are
+        // gated on the Serial selector.
+        let gate = self.mode_gate(ModeSet::single(Mode::Serial));
         for members in ops.values() {
-            self.encode_group_contiguity(sx, members);
+            self.encode_group_contiguity(sx, members, gate);
         }
     }
 
-    /// No external event may fall between two members of the group.
-    fn encode_group_contiguity(&mut self, sx: &SymExec, members: &[usize]) {
+    /// No external event may fall between two members of the group (when
+    /// `gate` holds; pass `tt` for an ungated group).
+    fn encode_group_contiguity(&mut self, sx: &SymExec, members: &[usize], gate: Lit) {
         if members.len() < 2 {
             return;
         }
@@ -388,7 +558,7 @@ impl Encoding {
                     let gb = self.guards[b];
                     let za = self.before(z, a);
                     let bz = self.before(b, z);
-                    let mut clause = vec![!gz, !ga, !gb, za, bz];
+                    let mut clause = vec![!gate, !gz, !ga, !gb, za, bz];
                     clause.retain(|&l| l != self.cnf.ff());
                     if clause.iter().any(|&l| l == self.cnf.tt()) {
                         continue;
@@ -442,18 +612,25 @@ impl Encoding {
                     cands.push(s);
                 }
             }
-            // Visibility literals.
+            // Visibility literals. Store-to-load forwarding (a buffered
+            // same-thread earlier store is visible regardless of the
+            // memory order) applies only under the forwarding modes; the
+            // gate folds to a constant in a single-mode encoding,
+            // reproducing the paper's two visibility shapes exactly.
+            let fwd_gate = {
+                let fwd = ModeSet::forwarding_group(self.modes);
+                self.mode_gate(fwd)
+            };
             let mut vis: Vec<Lit> = Vec::with_capacity(cands.len());
             for &s in &cands {
                 let es = &sx.events[s];
                 let el = &sx.events[l];
                 let gs = self.guards[s];
                 let ae = self.addr_eq(sx, es.addr, el.addr);
-                let forwarding = self.mode.allows_forwarding()
-                    && es.thread == el.thread
-                    && es.po < el.po;
-                let ord = if forwarding {
-                    self.cnf.tt()
+                let forwarding_shape = es.thread == el.thread && es.po < el.po;
+                let ord = if forwarding_shape {
+                    let b = self.before(s, l);
+                    self.cnf.or(fwd_gate, b)
                 } else {
                     self.before(s, l)
                 };
@@ -713,12 +890,7 @@ impl Encoding {
             }
             PrimOp::Index => {
                 // Dynamic offset: low bits of the integer operand.
-                let mut kbits: Vec<Lit> = a[1]
-                    .int
-                    .iter()
-                    .copied()
-                    .take(self.widths.elem)
-                    .collect();
+                let mut kbits: Vec<Lit> = a[1].int.iter().copied().take(self.widths.elem).collect();
                 kbits.resize(self.widths.elem, self.cnf.ff());
                 self.enc_extend(&a[0], &kbits, a[1].t_int)
             }
@@ -933,9 +1105,7 @@ fn may_alias(range: &RangeInfo, a: VTermId, b: VTermId) -> bool {
             } else {
                 (sb, sa)
             };
-            small
-                .iter()
-                .any(|v| v.is_ptr() && large.contains(v))
+            small.iter().any(|v| v.is_ptr() && large.contains(v))
         }
     }
 }

@@ -63,9 +63,10 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use cf_lsl::{FenceKind, Procedure, Program, Stmt};
-use cf_memmodel::Mode;
+use cf_memmodel::{Mode, ModeSet};
 
-use crate::checker::{CheckError, Checker, ObsSet};
+use crate::checker::{CheckConfig, CheckError, Checker, ObsSet};
+use crate::session::{CheckSession, SessionConfig};
 use crate::test_spec::{Harness, TestSpec};
 
 /// Configuration of the candidate space searched by [`infer`].
@@ -128,6 +129,13 @@ pub struct InferenceResult {
     pub checks: usize,
     /// Wall-clock time of the whole search.
     pub elapsed: Duration,
+    /// Symbolic executions performed across the search (sessions: one per
+    /// test unless loop bounds grew; baseline: one per check round).
+    pub symexecs: u32,
+    /// CNF encodings built across the search.
+    pub encodes: u32,
+    /// Cumulative SAT-solver statistics across the search.
+    pub sat: cf_sat::Stats,
 }
 
 /// Why inference failed.
@@ -216,16 +224,41 @@ fn collect_sites(
     }
 }
 
-/// Builds a copy of `program` with the given candidates inserted
-/// (candidates must come from [`candidate_sites`] on the same program).
+/// Builds a copy of `program` with the given candidates inserted as real
+/// fences (candidates must come from [`candidate_sites`] on the same
+/// program).
 pub fn apply_candidates(program: &Program, sites: &[CandidateSite]) -> Program {
+    apply_impl(program, sites.iter().map(|s| (s, None)))
+}
+
+/// Builds a copy of `program` with **all** given candidates inserted as
+/// activation-gated [`Stmt::CandidateFence`] statements, site `i` being
+/// `sites[i]`. A [`CheckSession`] over the result checks any candidate
+/// subset as an assumption vector (see
+/// [`CheckSession::check_inclusion_with_fences`]) — the encode-once
+/// fence-inference inner loop.
+pub fn apply_candidates_gated(program: &Program, sites: &[CandidateSite]) -> Program {
+    apply_impl(
+        program,
+        sites.iter().enumerate().map(|(i, s)| (s, Some(i as u32))),
+    )
+}
+
+/// Insertion plan: (proc, block path, stmt index) → fences to insert
+/// there, with optional candidate-site ids.
+type InsertionPlan<'a> = HashMap<(&'a str, &'a [usize], usize), Vec<(FenceKind, Option<u32>)>>;
+
+fn apply_impl<'a>(
+    program: &Program,
+    sites: impl Iterator<Item = (&'a CandidateSite, Option<u32>)>,
+) -> Program {
     // Group by (proc, path, index), preserving kind order.
-    let mut by_point: HashMap<(&str, &[usize], usize), Vec<FenceKind>> = HashMap::new();
-    for s in sites {
+    let mut by_point: InsertionPlan<'_> = HashMap::new();
+    for (s, site_id) in sites {
         by_point
             .entry((s.proc.as_str(), s.block_path.as_slice(), s.stmt_index))
             .or_default()
-            .push(s.kind);
+            .push((s.kind, site_id));
     }
     let mut program = program.clone();
     for proc in &mut program.procedures {
@@ -240,13 +273,16 @@ fn rebuild(
     stmts: &[Stmt],
     proc: &str,
     path: &mut Vec<usize>,
-    by_point: &HashMap<(&str, &[usize], usize), Vec<FenceKind>>,
+    by_point: &InsertionPlan<'_>,
 ) -> Vec<Stmt> {
     let mut out = Vec::new();
     for index in 0..=stmts.len() {
         if let Some(kinds) = by_point.get(&(proc, path.as_slice(), index)) {
-            for &k in kinds {
-                out.push(Stmt::Fence(k));
+            for &(kind, site_id) in kinds {
+                out.push(match site_id {
+                    None => Stmt::Fence(kind),
+                    Some(site) => Stmt::CandidateFence { kind, site },
+                });
             }
         }
         if index < stmts.len() {
@@ -297,8 +333,94 @@ pub fn infer(
     }
 
     let all = candidate_sites(&harness.program, config);
-    let mut enabled = vec![true; all.len()];
-    let mut checks = 0usize;
+    // Encode once: every candidate site goes in as an activation-gated
+    // fence, and one persistent session per test answers each candidate
+    // build as an assumption vector (no re-encode, no cold solver).
+    let gated = Harness {
+        name: format!("{}+candidates", harness.name),
+        program: apply_candidates_gated(&harness.program, &all),
+        init_proc: harness.init_proc.clone(),
+        ops: harness.ops.clone(),
+    };
+    let session_config =
+        SessionConfig::from_check_config(&CheckConfig::default(), ModeSet::single(mode));
+    let mut sessions: Vec<CheckSession<'_>> = tests
+        .iter()
+        .map(|t| CheckSession::with_config(&gated, t, session_config.clone()))
+        .collect();
+
+    let passes = |enabled: &[bool], checks: &mut usize| -> Result<Option<String>, CheckError> {
+        let active: Vec<u32> = enabled
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e)
+            .map(|(i, _)| i as u32)
+            .collect();
+        for ((t, spec), session) in tests.iter().zip(&specs).zip(&mut sessions) {
+            *checks += 1;
+            let r = session.check_inclusion_with_fences(mode, spec, &active)?;
+            if !r.outcome.passed() {
+                return Ok(Some(t.name.clone()));
+            }
+        }
+        Ok(None)
+    };
+
+    let (enabled, checks) = minimize(&all, &config.kinds, passes)?;
+
+    let kept: Vec<CandidateSite> = all
+        .iter()
+        .zip(&enabled)
+        .filter(|(_, &e)| e)
+        .map(|(s, _)| s.clone())
+        .collect();
+    let program = apply_candidates(&harness.program, &kept);
+    let mut symexecs = 0u32;
+    let mut encodes = 0u32;
+    let mut sat = cf_sat::Stats::default();
+    for s in &sessions {
+        symexecs += s.stats().symexecs;
+        encodes += s.stats().encodes;
+        sat.add(&s.solver_stats());
+    }
+    Ok(InferenceResult {
+        program,
+        candidates: all.len(),
+        kept,
+        checks,
+        elapsed: t0.elapsed(),
+        symexecs,
+        encodes,
+        sat,
+    })
+}
+
+/// The pre-session per-candidate baseline: every candidate build is
+/// re-compiled into a fresh harness and checked with a one-shot
+/// [`Checker`] (fresh symbolic execution, encoding and solver per
+/// check). Produces the same 1-minimal placement as [`infer`]; kept for
+/// session-equivalence tests and as the "before" series of the
+/// fence-inference benchmark.
+///
+/// # Errors
+///
+/// As [`infer`].
+pub fn infer_baseline(
+    harness: &Harness,
+    tests: &[TestSpec],
+    mode: Mode,
+    config: &InferConfig,
+) -> Result<InferenceResult, InferError> {
+    let t0 = Instant::now();
+    let mut specs: Vec<ObsSet> = Vec::with_capacity(tests.len());
+    for t in tests {
+        let c = Checker::new(harness, t);
+        specs.push(c.mine_spec_reference()?.spec);
+    }
+
+    let all = candidate_sites(&harness.program, config);
+    let mut symexecs = 0u32;
+    let mut sat = cf_sat::Stats::default();
 
     let passes = |enabled: &[bool], checks: &mut usize| -> Result<Option<String>, CheckError> {
         let sites: Vec<CandidateSite> = all
@@ -317,12 +439,49 @@ pub fn infer(
         for (t, spec) in tests.iter().zip(&specs) {
             *checks += 1;
             let c = Checker::new(&build, t).with_memory_model(mode);
-            if !c.check_inclusion(spec)?.outcome.passed() {
+            let r = c.check_inclusion_oneshot(spec)?;
+            symexecs += r.stats.bound_rounds;
+            sat.conflicts += r.stats.sat_conflicts;
+            sat.propagations += r.stats.sat_propagations;
+            sat.solves += r.stats.sat_solves;
+            if !r.outcome.passed() {
                 return Ok(Some(t.name.clone()));
             }
         }
         Ok(None)
     };
+
+    let (enabled, checks) = minimize(&all, &config.kinds, passes)?;
+
+    let kept: Vec<CandidateSite> = all
+        .iter()
+        .zip(&enabled)
+        .filter(|(_, &e)| e)
+        .map(|(s, _)| s.clone())
+        .collect();
+    let program = apply_candidates(&harness.program, &kept);
+    Ok(InferenceResult {
+        program,
+        candidates: all.len(),
+        kept,
+        checks,
+        elapsed: t0.elapsed(),
+        symexecs,
+        encodes: symexecs,
+        sat,
+    })
+}
+
+/// The saturate-then-minimize search shared by [`infer`] and
+/// [`infer_baseline`]: identical decision sequence, so both paths land on
+/// the same 1-minimal placement whenever the underlying checks agree.
+fn minimize(
+    all: &[CandidateSite],
+    kinds: &[FenceKind],
+    mut passes: impl FnMut(&[bool], &mut usize) -> Result<Option<String>, CheckError>,
+) -> Result<(Vec<bool>, usize), InferError> {
+    let mut enabled = vec![true; all.len()];
+    let mut checks = 0usize;
 
     // Sufficiency of the saturated build.
     if let Some(failing_test) = passes(&enabled, &mut checks)? {
@@ -330,7 +489,7 @@ pub fn infer(
     }
 
     // Phase 1: drop whole kinds.
-    for &kind in &config.kinds {
+    for &kind in kinds {
         let saved = enabled.clone();
         for (site, e) in all.iter().zip(enabled.iter_mut()) {
             if site.kind == kind {
@@ -347,7 +506,7 @@ pub fn infer(
     if enabled.iter().all(|e| !e) && passes(&enabled, &mut checks)?.is_some() {
         enabled = vec![true; all.len()];
         // Re-run phase 1 conservatively (validating each batch).
-        for &kind in &config.kinds {
+        for &kind in kinds {
             let saved = enabled.clone();
             for (site, e) in all.iter().zip(enabled.iter_mut()) {
                 if site.kind == kind {
@@ -371,20 +530,7 @@ pub fn infer(
         }
     }
 
-    let kept: Vec<CandidateSite> = all
-        .iter()
-        .zip(&enabled)
-        .filter(|(_, &e)| e)
-        .map(|(s, _)| s.clone())
-        .collect();
-    let program = apply_candidates(&harness.program, &kept);
-    Ok(InferenceResult {
-        program,
-        candidates: all.len(),
-        kept,
-        checks,
-        elapsed: t0.elapsed(),
-    })
+    Ok((enabled, checks))
 }
 
 #[cfg(test)]
@@ -525,15 +671,23 @@ mod tests {
     fn infers_the_classic_mp_repair() {
         let h = mailbox();
         let tests = mailbox_tests();
-        let r = infer(&h, &tests, Mode::Relaxed, &InferConfig::default())
-            .expect("inference succeeds");
+        let r =
+            infer(&h, &tests, Mode::Relaxed, &InferConfig::default()).expect("inference succeeds");
         assert_eq!(r.kept.len(), 2, "kept: {:?}", r.kept);
         let kinds: Vec<FenceKind> = r.kept.iter().map(|s| s.kind).collect();
         assert!(kinds.contains(&FenceKind::StoreStore), "{kinds:?}");
         assert!(kinds.contains(&FenceKind::LoadLoad), "{kinds:?}");
-        let put_fence = r.kept.iter().find(|s| s.proc == "put").expect("writer fence");
+        let put_fence = r
+            .kept
+            .iter()
+            .find(|s| s.proc == "put")
+            .expect("writer fence");
         assert_eq!(put_fence.kind, FenceKind::StoreStore);
-        let get_fence = r.kept.iter().find(|s| s.proc == "get").expect("reader fence");
+        let get_fence = r
+            .kept
+            .iter()
+            .find(|s| s.proc == "get")
+            .expect("reader fence");
         assert_eq!(get_fence.kind, FenceKind::LoadLoad);
     }
 

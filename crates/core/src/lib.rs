@@ -55,8 +55,10 @@
 mod checker;
 mod cnf;
 mod encode;
+mod fxhash;
 mod mine;
 mod range;
+mod session;
 mod symexec;
 mod term;
 mod test_spec;
@@ -65,15 +67,17 @@ pub mod commit;
 pub mod infer;
 mod obs_text;
 
-pub use obs_text::ParseObsError;
 pub use checker::{
-    CheckConfig, CheckError, CheckOutcome, Checker, Counterexample, FailureKind,
-    InclusionResult, MiningResult, ObsSet, PhaseStats, TraceStep,
+    CheckConfig, CheckError, CheckOutcome, Checker, Counterexample, FailureKind, InclusionResult,
+    MiningResult, ObsSet, PhaseStats, TraceStep,
 };
 pub use cnf::CnfBuilder;
 pub use encode::{EncVal, Encoding, OrderEncoding};
+pub use fxhash::{FxHashMap, FxHasher};
 pub use mine::mine_reference;
+pub use obs_text::ParseObsError;
 pub use range::{analyze, RangeInfo, ValueSet};
+pub use session::{CheckSession, SessionConfig, SessionStats};
 pub use symexec::{
     execute, ErrorCond, ErrorKind, Event, FenceEvt, LoopBounds, ObsEntry, ObsRole, SymExec,
     SymExecError, UnrollStats,

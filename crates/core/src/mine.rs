@@ -75,7 +75,12 @@ pub fn mine_reference(harness: &Harness, test: &TestSpec) -> Result<MiningResult
     let sizes: Vec<usize> = thread_sigs.iter().map(Vec::len).collect();
     let mut schedules = Vec::new();
     let mut current = Vec::new();
-    enumerate_schedules(&sizes, &mut vec![0; sizes.len()], &mut current, &mut schedules);
+    enumerate_schedules(
+        &sizes,
+        &mut vec![0; sizes.len()],
+        &mut current,
+        &mut schedules,
+    );
 
     let mut vectors = BTreeSet::new();
     for args_bits in 0u32..(1 << total_args) {

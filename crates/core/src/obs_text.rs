@@ -85,10 +85,12 @@ fn parse_value(tok: &str, line: usize) -> Result<Value, ParseObsError> {
         }
         return Ok(Value::Ptr(path));
     }
-    tok.parse::<i64>().map(Value::Int).map_err(|_| ParseObsError {
-        line,
-        message: format!("unrecognized value `{tok}`"),
-    })
+    tok.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| ParseObsError {
+            line,
+            message: format!("unrecognized value `{tok}`"),
+        })
 }
 
 impl ObsSet {
@@ -165,7 +167,6 @@ impl ObsSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn sample() -> ObsSet {
         let mut set = ObsSet::default();
@@ -222,27 +223,30 @@ mod tests {
         assert!(ObsSet::from_text(&text).is_err());
     }
 
-    fn arb_value() -> impl Strategy<Value = Value> {
-        prop_oneof![
-            Just(Value::Undefined),
-            any::<i64>().prop_map(Value::Int),
-            proptest::collection::vec(any::<u32>(), 1..5).prop_map(Value::Ptr),
-        ]
+    use cf_sat::xorshift::Rng;
+
+    fn random_value(rng: &mut Rng) -> Value {
+        match rng.next() % 3 {
+            0 => Value::Undefined,
+            1 => Value::Int(rng.next() as i64),
+            _ => {
+                let len = 1 + rng.next() % 4;
+                Value::Ptr((0..len).map(|_| rng.next() as u32).collect())
+            }
+        }
     }
 
-    proptest! {
-        #[test]
-        fn round_trips_arbitrary_sets(
-            vecs in proptest::collection::vec(
-                proptest::collection::vec(arb_value(), 3),
-                0..20,
-            )
-        ) {
+    #[test]
+    fn round_trips_arbitrary_sets() {
+        let mut rng = Rng::new(0xcf07);
+        for _ in 0..100 {
+            let num_vecs = rng.next() % 20;
             let mut set = ObsSet::default();
-            for v in vecs {
-                set.vectors.insert(v);
+            for _ in 0..num_vecs {
+                set.vectors
+                    .insert((0..3).map(|_| random_value(&mut rng)).collect());
             }
-            prop_assert_eq!(ObsSet::from_text(&set.to_text()).unwrap(), set);
+            assert_eq!(ObsSet::from_text(&set.to_text()).unwrap(), set);
         }
     }
 }

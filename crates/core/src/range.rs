@@ -174,10 +174,7 @@ pub fn analyze(sx: &SymExec, enabled: bool) -> RangeInfo {
                         let mut out = ValueSet::empty();
                         for loc in &locations {
                             if addr_set.may_be_ptr_to(loc) {
-                                out.union_from(
-                                    &ValueSet::single(init_value(sx, loc)),
-                                    SET_BUDGET,
-                                );
+                                out.union_from(&ValueSet::single(init_value(sx, loc)), SET_BUDGET);
                             }
                         }
                         for s in &sx.events {

@@ -1,0 +1,639 @@
+//! Incremental checking sessions: encode once, solve many.
+//!
+//! CheckFence's practical cost is dominated by re-checking the same test
+//! under slightly different configurations: fence inference re-checks one
+//! test per candidate placement (§4.2), spec mining solves once per
+//! observation (§3.2), and model sweeps re-check per memory model. The
+//! one-shot [`Checker`](crate::Checker) pays a full symbolic execution, a
+//! full CNF encode and a cold SAT solver for each of those checks, even
+//! though the formula differs only marginally between them.
+//!
+//! A [`CheckSession`] binds one (harness, test) pair to one *persistent*
+//! incremental solver and answers every query through assumptions:
+//!
+//! * **Candidate fences** ([`cf_lsl::Stmt::CandidateFence`]) are encoded
+//!   once, with each site's ordering clauses gated behind an *activation
+//!   literal*. A candidate placement is then just an assumption vector —
+//!   no program rebuild, no re-encode, no cold solver.
+//! * **Memory models** are encoded together ([`Encoding::build_multi`]):
+//!   the mode-dependent Θ axioms are gated behind per-mode *selector
+//!   literals*, grouped by mode delta ([`cf_memmodel::ModeSet`]), so a
+//!   lattice sweep reuses the thread-local Δ circuits and all learnt
+//!   clauses that do not depend on the selectors.
+//! * **Query-local constraints** (the blocking clauses of spec mining,
+//!   the spec-membership circuit of inclusion checks, the abstract
+//!   machine of the commit-point method) are either pure definitions —
+//!   added permanently and cached — or gated behind a per-query literal
+//!   that is retired when the query completes.
+//!
+//! The lazy loop-unrolling of §3.3 still applies: when a query discovers
+//! executions exceeding the current loop bounds, the session re-executes
+//! and re-encodes at larger bounds (this is the only event that discards
+//! solver state; [`SessionStats`] counts it).
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use cf_memmodel::{Mode, ModeSet};
+use cf_sat::{Lit, SolveResult};
+
+use crate::checker::{
+    decode_counterexample, CheckConfig, CheckError, CheckOutcome, FailureKind, InclusionResult,
+    MiningResult, ObsSet, PhaseStats,
+};
+use crate::commit::{encode_abstract_machine, AbstractType};
+use crate::encode::{Encoding, OrderEncoding};
+use crate::range::analyze;
+use crate::symexec::{execute, LoopBounds, SymExec};
+use crate::test_spec::{Harness, TestSpec};
+
+/// Configuration of a [`CheckSession`].
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// The memory models the session can answer queries for. Encoding
+    /// only the modes you need keeps the formula smaller; a single-mode
+    /// session costs exactly what the one-shot encoding did.
+    pub modes: ModeSet,
+    /// Memory-order encoding.
+    pub order_encoding: OrderEncoding,
+    /// Whether the range analysis runs.
+    pub range_analysis: bool,
+    /// Maximum lazy-unrolling refinements before giving up.
+    pub max_bound_rounds: u32,
+    /// Optional SAT conflict budget per solve call.
+    pub conflict_budget: Option<u64>,
+    /// Unrolling bound for `spin`-marked retry loops.
+    pub spin_bound: u32,
+    /// Feature toggles of the underlying SAT solver.
+    pub solver_config: cf_sat::SolverConfig,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig::from_check_config(&CheckConfig::default(), ModeSet::all())
+    }
+}
+
+impl SessionConfig {
+    /// Derives a session configuration from a one-shot [`CheckConfig`],
+    /// encoding the given mode set.
+    pub fn from_check_config(config: &CheckConfig, modes: ModeSet) -> SessionConfig {
+        SessionConfig {
+            modes,
+            order_encoding: config.order_encoding,
+            range_analysis: config.range_analysis,
+            max_bound_rounds: config.max_bound_rounds,
+            conflict_budget: config.conflict_budget,
+            spin_bound: config.spin_bound,
+            solver_config: config.solver_config,
+        }
+    }
+}
+
+/// Counters proving (or disproving) the session's amortization claim:
+/// many queries per symbolic execution / encode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Symbolic executions performed (1 unless loop bounds grew).
+    pub symexecs: u32,
+    /// CNF encodings built (1 unless loop bounds grew).
+    pub encodes: u32,
+    /// Public queries answered (mining, inclusion, enumeration, commit).
+    pub queries: u32,
+}
+
+/// The per-encoding state: everything discarded when loop bounds grow.
+struct State {
+    sx: SymExec,
+    enc: Encoding,
+    /// Activation literal of the bound-overflow query clause, if the
+    /// encoding has loop-bound-exceeded flags.
+    overflow_act: Option<Lit>,
+    /// Cached commit-point abstract machines: `(type, gate, mismatch)`.
+    commit_cache: Vec<(AbstractType, Lit, Lit)>,
+}
+
+/// Whether a query result depends on the loop bounds being sufficient.
+enum Round<T> {
+    /// Valid regardless of loop bounds (a within-bounds counterexample).
+    Final(T),
+    /// Valid only if no execution exceeds the bounds.
+    Bounded(T),
+}
+
+/// An incremental checking session for one implementation and one test.
+///
+/// # Examples
+///
+/// One encoding answering the full mode lattice:
+///
+/// ```
+/// use checkfence::{CheckSession, Harness, OpSig, SessionConfig, TestSpec};
+/// use cf_memmodel::Mode;
+///
+/// let program = cf_minic::compile(r#"
+///     int data; int flag;
+///     void put(int v) { data = v + 1; fence("store-store"); flag = 1; }
+///     int get() { int f = flag; fence("load-load");
+///                 if (f == 0) { return 0 - 1; } return data; }
+/// "#).expect("compiles");
+/// let harness = Harness {
+///     name: "mailbox".into(),
+///     program,
+///     init_proc: None,
+///     ops: vec![
+///         OpSig { key: 'p', proc_name: "put".into(), num_args: 1, has_ret: false },
+///         OpSig { key: 'g', proc_name: "get".into(), num_args: 0, has_ret: true },
+///     ],
+/// };
+/// let test = TestSpec::parse("pg", "( p | g )").expect("parses");
+/// let mut session = CheckSession::new(&harness, &test);
+/// let spec = session.mine_spec().expect("mines").spec;
+/// for mode in Mode::hardware() {
+///     let r = session.check_inclusion(mode, &spec).expect("checks");
+///     assert!(r.outcome.passed(), "fenced mailbox passes on {}", mode.name());
+/// }
+/// // All five queries shared one symbolic execution and one encoding.
+/// assert_eq!(session.stats().symexecs, 1);
+/// assert_eq!(session.stats().encodes, 1);
+/// assert_eq!(session.stats().queries, 5);
+/// ```
+pub struct CheckSession<'h> {
+    harness: &'h Harness,
+    test: &'h TestSpec,
+    /// The configuration. Mode set and order encoding are fixed once the
+    /// first query builds the encoding; solver budget may be adjusted
+    /// between queries.
+    pub config: SessionConfig,
+    bounds: LoopBounds,
+    state: Option<State>,
+    stats: SessionStats,
+}
+
+impl<'h> CheckSession<'h> {
+    /// Creates a session answering every memory model, with default
+    /// configuration.
+    pub fn new(harness: &'h Harness, test: &'h TestSpec) -> Self {
+        Self::with_config(harness, test, SessionConfig::default())
+    }
+
+    /// Creates a session with an explicit configuration.
+    pub fn with_config(harness: &'h Harness, test: &'h TestSpec, config: SessionConfig) -> Self {
+        CheckSession {
+            harness,
+            test,
+            config,
+            bounds: LoopBounds::new(),
+            state: None,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Amortization counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Cumulative statistics of the persistent solver (zero before the
+    /// first query builds the encoding).
+    pub fn solver_stats(&self) -> cf_sat::Stats {
+        self.state
+            .as_ref()
+            .map(|st| *st.enc.cnf.solver.stats())
+            .unwrap_or_default()
+    }
+
+    /// The candidate fence sites present in the encoded program, in
+    /// ascending site order (empty unless the program contains
+    /// [`cf_lsl::Stmt::CandidateFence`] statements).
+    ///
+    /// # Errors
+    ///
+    /// Propagates symbolic-execution failures from building the encoding.
+    pub fn candidate_sites(&mut self) -> Result<Vec<u32>, CheckError> {
+        let mut stats = PhaseStats::default();
+        self.ensure_state(&mut stats)?;
+        Ok(self
+            .state
+            .as_ref()
+            .expect("state built")
+            .enc
+            .fence_acts
+            .keys()
+            .copied()
+            .collect())
+    }
+
+    /// Mines the observation set with the SAT encoding under Seriality
+    /// (§3.2), reusing the persistent encoding. Candidate fences are
+    /// irrelevant here: fences are no-ops under the Seriality model.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::SerialBug`] if a serial execution raises a runtime
+    /// error; infrastructure errors otherwise. Panics if the session was
+    /// configured without the `Serial` mode.
+    pub fn mine_spec(&mut self) -> Result<MiningResult, CheckError> {
+        let t0 = Instant::now();
+        let mut stats = PhaseStats::default();
+        self.stats.queries += 1;
+        let spec = self.with_bounds(Mode::Serial, &[], &mut stats, |sx, enc, asm, stats| {
+            // Any serial execution with an error is a sequential bug.
+            let mut with_err = asm.to_vec();
+            with_err.push(enc.error_lit);
+            let t = Instant::now();
+            let r = enc.cnf.solver.solve_with(&with_err);
+            stats.solve_time += t.elapsed();
+            match r {
+                SolveResult::Sat => {
+                    let cx = decode_counterexample(sx, enc, FailureKind::SerialError, Mode::Serial);
+                    return Err(CheckError::SerialBug(Box::new(cx)));
+                }
+                SolveResult::Unknown => return Err(CheckError::SolverBudget),
+                SolveResult::Unsat => {}
+            }
+            // Enumerate observations of error-free serial executions.
+            let vectors = Self::enumerate_gated(enc, asm, stats)?;
+            Ok(Round::Bounded(ObsSet { vectors }))
+        })?;
+        stats.total_time = t0.elapsed();
+        Ok(MiningResult { spec, stats })
+    }
+
+    /// Mines the observation set by explicit enumeration on the concrete
+    /// interpreter (the paper's "refset" fast path; does not touch the
+    /// solver).
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::mine_reference`].
+    pub fn mine_spec_reference(&self) -> Result<MiningResult, CheckError> {
+        crate::mine::mine_reference(self.harness, self.test)
+    }
+
+    /// Enumerates the observations of all error-free executions under
+    /// `mode` by iterated solving with gated blocking clauses.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure errors only. Panics if `mode` is not in the
+    /// session's mode set.
+    pub fn enumerate_observations(&mut self, mode: Mode) -> Result<ObsSet, CheckError> {
+        let mut stats = PhaseStats::default();
+        self.stats.queries += 1;
+        self.with_bounds(mode, &[], &mut stats, |_sx, enc, asm, stats| {
+            let vectors = Self::enumerate_gated(enc, asm, stats)?;
+            Ok(Round::Bounded(ObsSet { vectors }))
+        })
+    }
+
+    /// Enumerates error-free observations under the given assumptions by
+    /// iterated solving. Blocking clauses are gated on a per-query
+    /// literal so they can be retired (by asserting its negation) once
+    /// the enumeration completes, without poisoning later queries on the
+    /// persistent solver. On a budget abort the literal is left free:
+    /// the gated clauses stay individually satisfiable and cannot
+    /// constrain subsequent queries.
+    fn enumerate_gated(
+        enc: &mut Encoding,
+        asm: &[Lit],
+        stats: &mut PhaseStats,
+    ) -> Result<BTreeSet<Vec<cf_lsl::Value>>, CheckError> {
+        let q = enc.cnf.fresh();
+        let mut clean = asm.to_vec();
+        clean.push(!enc.error_lit);
+        clean.push(q);
+        let mut vectors = BTreeSet::new();
+        loop {
+            let t = Instant::now();
+            let r = enc.cnf.solver.solve_with(&clean);
+            stats.solve_time += t.elapsed();
+            match r {
+                SolveResult::Sat => {
+                    stats.iterations += 1;
+                    let obs = enc.decode_obs();
+                    let mut block: Vec<Lit> = Vec::with_capacity(obs.len() + 1);
+                    block.push(!q);
+                    for (i, v) in obs.iter().enumerate() {
+                        let e = enc.obs[i].clone();
+                        let eq = enc.enc_eq_const(&e, v);
+                        block.push(!eq);
+                    }
+                    enc.cnf.clause(block);
+                    vectors.insert(obs);
+                }
+                SolveResult::Unsat => break,
+                SolveResult::Unknown => return Err(CheckError::SolverBudget),
+            }
+        }
+        enc.cnf.assert_lit(!q);
+        Ok(vectors)
+    }
+
+    /// Checks that every execution under `mode` produces an observation
+    /// in `spec` and raises no runtime error, with every candidate fence
+    /// site inactive.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure errors only; verification failures are reported as
+    /// [`CheckOutcome::Fail`]. Panics if `mode` is not in the session's
+    /// mode set.
+    pub fn check_inclusion(
+        &mut self,
+        mode: Mode,
+        spec: &ObsSet,
+    ) -> Result<InclusionResult, CheckError> {
+        self.check_inclusion_with_fences(mode, spec, &[])
+    }
+
+    /// Like [`CheckSession::check_inclusion`], with exactly the candidate
+    /// fence sites in `active_sites` activated — the fence-inference
+    /// inner loop: one assumption vector per candidate build.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure errors only. Panics if `mode` is not in the
+    /// session's mode set.
+    pub fn check_inclusion_with_fences(
+        &mut self,
+        mode: Mode,
+        spec: &ObsSet,
+        active_sites: &[u32],
+    ) -> Result<InclusionResult, CheckError> {
+        let t0 = Instant::now();
+        let mut stats = PhaseStats::default();
+        self.stats.queries += 1;
+        let outcome = self.with_bounds(mode, active_sites, &mut stats, |sx, enc, asm, stats| {
+            // The spec-membership circuit is a pure definition: cache it
+            // per spec, so the fence-inference loop (same spec, different
+            // activation vector) encodes it once.
+            let no_match = Self::spec_no_match(enc, spec);
+            let bad = enc.cnf.or(enc.error_lit, no_match);
+            let mut a = asm.to_vec();
+            a.push(bad);
+            let t = Instant::now();
+            let r = enc.cnf.solver.solve_with(&a);
+            stats.solve_time += t.elapsed();
+            match r {
+                SolveResult::Unsat => Ok(Round::Bounded(CheckOutcome::Pass)),
+                SolveResult::Unknown => Err(CheckError::SolverBudget),
+                SolveResult::Sat => {
+                    let kind = if enc.cnf.lit_value(enc.error_lit) {
+                        FailureKind::RuntimeError
+                    } else {
+                        FailureKind::InconsistentObservation
+                    };
+                    let cx = decode_counterexample(sx, enc, kind, mode);
+                    Ok(Round::Final(CheckOutcome::Fail(Box::new(cx))))
+                }
+            }
+        })?;
+        stats.total_time = t0.elapsed();
+        Ok(InclusionResult { outcome, stats })
+    }
+
+    /// Runs the commit-point method (the Fig. 12 baseline) under `mode`,
+    /// reusing the persistent encoding; the abstract machine circuit is
+    /// built once per session and gated on a per-machine literal, so
+    /// commit queries coexist with observation queries on one solver.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::SymExec`] if an operation lacks commit annotations;
+    /// the usual infrastructure errors otherwise. Panics if `mode` is not
+    /// in the session's mode set.
+    pub fn check_commit_method(
+        &mut self,
+        mode: Mode,
+        ty: AbstractType,
+    ) -> Result<InclusionResult, CheckError> {
+        let t0 = Instant::now();
+        let mut stats = PhaseStats::default();
+        self.stats.queries += 1;
+        let outcome = self.with_bounds_commit(mode, ty, &mut stats)?;
+        stats.total_time = t0.elapsed();
+        Ok(InclusionResult { outcome, stats })
+    }
+
+    // ------------------------------------------------------------ internals
+
+    /// Builds (or reuses) the encoding for the current loop bounds.
+    fn ensure_state(&mut self, stats: &mut PhaseStats) -> Result<(), CheckError> {
+        if self.state.is_none() {
+            let sx = execute(
+                self.harness,
+                self.test,
+                &self.bounds,
+                self.config.spin_bound,
+            )?;
+            self.stats.symexecs += 1;
+            let t0 = Instant::now();
+            let range = analyze(&sx, self.config.range_analysis);
+            let mut enc =
+                Encoding::build_multi(&sx, &range, self.config.modes, self.config.order_encoding);
+            stats.encode_time += t0.elapsed();
+            self.stats.encodes += 1;
+            let overflow_act = if enc.exceeded.is_empty() {
+                None
+            } else {
+                let act = enc.cnf.fresh();
+                let mut clause = vec![!act];
+                clause.extend(enc.exceeded.iter().map(|(_, l)| *l));
+                enc.cnf.clause(clause);
+                Some(act)
+            };
+            self.state = Some(State {
+                sx,
+                enc,
+                overflow_act,
+                commit_cache: Vec::new(),
+            });
+        }
+        let st = self.state.as_mut().expect("state built");
+        st.enc
+            .cnf
+            .solver
+            .set_conflict_budget(self.config.conflict_budget);
+        st.enc.cnf.solver.set_config(self.config.solver_config);
+        Ok(())
+    }
+
+    /// The assumption prefix of a query: mode selectors plus the
+    /// activation polarity of every candidate fence site.
+    fn base_assumptions(enc: &Encoding, mode: Mode, active_sites: &[u32]) -> Vec<Lit> {
+        let mut asm = enc.mode_assumptions(mode);
+        for (&site, &act) in &enc.fence_acts {
+            asm.push(if active_sites.contains(&site) {
+                act
+            } else {
+                !act
+            });
+        }
+        asm
+    }
+
+    /// Solves the bound-overflow query; `Some(keys)` lists the loops to
+    /// grow. The query runs under the same mode/fence assumptions as the
+    /// payload, so bounds only grow for executions the query can see.
+    fn overflow_keys(
+        st: &mut State,
+        base: &[Lit],
+        stats: &mut PhaseStats,
+    ) -> Result<Option<Vec<String>>, CheckError> {
+        let Some(act) = st.overflow_act else {
+            return Ok(None);
+        };
+        let mut asm = base.to_vec();
+        asm.push(act);
+        let t = Instant::now();
+        let r = st.enc.cnf.solver.solve_with(&asm);
+        stats.solve_time += t.elapsed();
+        match r {
+            SolveResult::Sat => Ok(Some(st.enc.exceeded_keys())),
+            SolveResult::Unsat => Ok(None),
+            SolveResult::Unknown => Err(CheckError::SolverBudget),
+        }
+    }
+
+    fn grow_bounds(&mut self, keys: Vec<String>) {
+        for key in keys {
+            *self.bounds.entry(key).or_insert(1) += 1;
+        }
+        // Bounds changed: the unrolling (and therefore the encoding and
+        // all solver state) is stale.
+        self.state = None;
+    }
+
+    /// The session analogue of the one-shot lazy-bounds loop (§3.3):
+    /// reuse the persistent encoding, re-encoding only when a query
+    /// discovers executions past the current bounds.
+    fn with_bounds<T>(
+        &mut self,
+        mode: Mode,
+        active_sites: &[u32],
+        stats: &mut PhaseStats,
+        mut payload: impl FnMut(
+            &SymExec,
+            &mut Encoding,
+            &[Lit],
+            &mut PhaseStats,
+        ) -> Result<Round<T>, CheckError>,
+    ) -> Result<T, CheckError> {
+        for round in 0..self.config.max_bound_rounds {
+            stats.bound_rounds = round + 1;
+            self.ensure_state(stats)?;
+            let st = self.state.as_mut().expect("state built");
+            let sat0 = *st.enc.cnf.solver.stats();
+            let base = Self::base_assumptions(&st.enc, mode, active_sites);
+            // Overflow first: the payload may add (gated) clauses, but
+            // more importantly a pass is only bound-valid if no execution
+            // escapes the bounds under these assumptions.
+            let overflow = Self::overflow_keys(st, &base, stats)?;
+            let mut asm = base;
+            asm.extend(st.enc.exceeded.iter().map(|(_, l)| !*l));
+            let result = payload(&st.sx, &mut st.enc, &asm, stats);
+            stats.unrolled = st.sx.stats;
+            stats.sat_vars = st.enc.cnf.num_vars();
+            stats.sat_clauses = st.enc.cnf.num_clauses();
+            let sat1 = st.enc.cnf.solver.stats().since(&sat0);
+            stats.sat_conflicts += sat1.conflicts;
+            stats.sat_propagations += sat1.propagations;
+            stats.sat_solves += sat1.solves;
+            match result? {
+                Round::Final(t) => return Ok(t),
+                Round::Bounded(t) => match overflow {
+                    None => return Ok(t),
+                    Some(keys) => self.grow_bounds(keys),
+                },
+            }
+        }
+        Err(CheckError::BoundsDiverged {
+            keys: self.bounds.keys().cloned().collect(),
+        })
+    }
+
+    /// The commit-point query body (separate from [`Self::with_bounds`]
+    /// because the machine circuit is cached in session state).
+    fn with_bounds_commit(
+        &mut self,
+        mode: Mode,
+        ty: AbstractType,
+        stats: &mut PhaseStats,
+    ) -> Result<CheckOutcome, CheckError> {
+        for round in 0..self.config.max_bound_rounds {
+            stats.bound_rounds = round + 1;
+            self.ensure_state(stats)?;
+            let st = self.state.as_mut().expect("state built");
+            let sat0 = *st.enc.cnf.solver.stats();
+            let base = Self::base_assumptions(&st.enc, mode, &[]);
+            let overflow = Self::overflow_keys(st, &base, stats)?;
+            let (gate, mismatch) = match st.commit_cache.iter().find(|(t, _, _)| *t == ty) {
+                Some(&(_, g, m)) => (g, m),
+                None => {
+                    let te = Instant::now();
+                    let gate = st.enc.cnf.fresh();
+                    let mismatch = encode_abstract_machine(&st.sx, &mut st.enc, ty, gate)?;
+                    stats.encode_time += te.elapsed();
+                    st.commit_cache.push((ty, gate, mismatch));
+                    (gate, mismatch)
+                }
+            };
+            let mut asm = base;
+            asm.extend(st.enc.exceeded.iter().map(|(_, l)| !*l));
+            asm.push(gate);
+            let bad = st.enc.cnf.or(st.enc.error_lit, mismatch);
+            asm.push(bad);
+            let t = Instant::now();
+            let r = st.enc.cnf.solver.solve_with(&asm);
+            stats.solve_time += t.elapsed();
+            stats.iterations += 1;
+            stats.unrolled = st.sx.stats;
+            stats.sat_vars = st.enc.cnf.num_vars();
+            stats.sat_clauses = st.enc.cnf.num_clauses();
+            let sat1 = st.enc.cnf.solver.stats().since(&sat0);
+            stats.sat_conflicts += sat1.conflicts;
+            stats.sat_propagations += sat1.propagations;
+            stats.sat_solves += sat1.solves;
+            match r {
+                SolveResult::Sat => {
+                    let kind = if st.enc.cnf.lit_value(st.enc.error_lit) {
+                        FailureKind::RuntimeError
+                    } else {
+                        FailureKind::InconsistentObservation
+                    };
+                    let cx = decode_counterexample(&st.sx, &mut st.enc, kind, mode);
+                    return Ok(CheckOutcome::Fail(Box::new(cx)));
+                }
+                SolveResult::Unknown => return Err(CheckError::SolverBudget),
+                SolveResult::Unsat => match overflow {
+                    None => return Ok(CheckOutcome::Pass),
+                    Some(keys) => self.grow_bounds(keys),
+                },
+            }
+        }
+        Err(CheckError::BoundsDiverged {
+            keys: self.bounds.keys().cloned().collect(),
+        })
+    }
+
+    /// The cached `obs ∉ spec` circuit (a pure definition).
+    fn spec_no_match(enc: &mut Encoding, spec: &ObsSet) -> Lit {
+        // The cache lives on the Encoding so it is dropped on re-encode.
+        if let Some(l) = enc.spec_cache_lookup(spec) {
+            return l;
+        }
+        let mut no_match = enc.cnf.tt();
+        for o in &spec.vectors {
+            let mut all_eq = enc.cnf.tt();
+            for (i, v) in o.iter().enumerate() {
+                let e = enc.obs[i].clone();
+                let eq = enc.enc_eq_const(&e, v);
+                all_eq = enc.cnf.and(all_eq, eq);
+            }
+            no_match = enc.cnf.and(no_match, !all_eq);
+        }
+        enc.spec_cache_insert(spec.clone(), no_match);
+        no_match
+    }
+}

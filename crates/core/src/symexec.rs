@@ -17,9 +17,7 @@
 
 use std::collections::HashMap;
 
-use cf_lsl::{
-    AddressSpace, BaseDef, BlockTag, MemType, ProcId, Procedure, Reg, Stmt, Value,
-};
+use cf_lsl::{AddressSpace, BaseDef, BlockTag, MemType, ProcId, Procedure, Reg, Stmt, Value};
 use cf_memmodel::AccessKind;
 
 use crate::term::{BTermId, EventId, TermArena, VTerm, VTermId};
@@ -62,6 +60,9 @@ pub struct FenceEvt {
     pub kind: cf_lsl::FenceKind,
     /// Execution guard.
     pub guard: BTermId,
+    /// Candidate-site id for session-gated fences
+    /// ([`cf_lsl::Stmt::CandidateFence`]); `None` for real fences.
+    pub site: Option<u32>,
 }
 
 /// Kinds of runtime errors the checker detects (paper §3.1: "runtime
@@ -348,7 +349,8 @@ impl<'h> Execer<'h> {
         let saved = self.assume_exceeded;
         self.assume_exceeded = primed;
         let live = self.arena.btrue();
-        self.ctx.push(format!("t{}.{op}.{}", self.thread, sig.proc_name));
+        self.ctx
+            .push(format!("t{}.{op}.{}", self.thread, sig.proc_name));
         let (_, ret) = self.exec_call(id, &args, live)?;
         self.ctx.pop();
         self.assume_exceeded = saved;
@@ -439,8 +441,7 @@ impl<'h> Execer<'h> {
                     self.set_reg(frame, *dst, live, v);
                 }
                 Stmt::Prim { dst, op, args } => {
-                    let ts: Vec<VTermId> =
-                        args.iter().map(|r| frame.env[r.index()]).collect();
+                    let ts: Vec<VTermId> = args.iter().map(|r| frame.env[r.index()]).collect();
                     let v = self.arena.prim(*op, ts);
                     self.set_reg(frame, *dst, live, v);
                 }
@@ -489,6 +490,17 @@ impl<'h> Execer<'h> {
                         po: self.po,
                         kind: *kind,
                         guard: live,
+                        site: None,
+                    });
+                    self.po += 1;
+                }
+                Stmt::CandidateFence { kind, site } => {
+                    self.fences.push(FenceEvt {
+                        thread: self.thread,
+                        po: self.po,
+                        kind: *kind,
+                        guard: live,
+                        site: Some(*site),
                     });
                     self.po += 1;
                 }
@@ -502,9 +514,9 @@ impl<'h> Execer<'h> {
                     self.group = saved;
                 }
                 Stmt::Call { dst, proc, args } => {
-                    let ts: Vec<VTermId> =
-                        args.iter().map(|r| frame.env[r.index()]).collect();
-                    self.ctx.push(self.harness.program.procedure(*proc).name.clone());
+                    let ts: Vec<VTermId> = args.iter().map(|r| frame.env[r.index()]).collect();
+                    self.ctx
+                        .push(self.harness.program.procedure(*proc).name.clone());
                     let (live_out, ret) = self.exec_call(*proc, &ts, live)?;
                     self.ctx.pop();
                     live = live_out;
@@ -518,14 +530,18 @@ impl<'h> Execer<'h> {
                     spin,
                     body,
                 } => {
-                    live = self.exec_block(*tag, *is_loop, *spin, body, frame, live, exits, conts)?;
+                    live =
+                        self.exec_block(*tag, *is_loop, *spin, body, frame, live, exits, conts)?;
                 }
                 Stmt::Break { cond, tag } => {
                     let c = frame.env[cond.index()];
                     self.record_cond_undef(live, c, "break condition", frame);
                     let t = self.arena.truthy(c);
                     let taken = self.arena.and(live, t);
-                    let prev = exits.get(tag).copied().unwrap_or_else(|| self.arena.bfalse());
+                    let prev = exits
+                        .get(tag)
+                        .copied()
+                        .unwrap_or_else(|| self.arena.bfalse());
                     let merged = self.arena.or(prev, taken);
                     exits.insert(*tag, merged);
                     let nt = self.arena.not(t);
@@ -536,7 +552,10 @@ impl<'h> Execer<'h> {
                     self.record_cond_undef(live, c, "continue condition", frame);
                     let t = self.arena.truthy(c);
                     let taken = self.arena.and(live, t);
-                    let prev = conts.get(tag).copied().unwrap_or_else(|| self.arena.bfalse());
+                    let prev = conts
+                        .get(tag)
+                        .copied()
+                        .unwrap_or_else(|| self.arena.bfalse());
                     let merged = self.arena.or(prev, taken);
                     conts.insert(*tag, merged);
                     let nt = self.arena.not(t);
@@ -585,12 +604,7 @@ impl<'h> Execer<'h> {
                     let active = self.arena.and(live, t);
                     // The commit point is the last memory access emitted by
                     // this thread.
-                    if let Some(last) = self
-                        .events
-                        .iter()
-                        .rev()
-                        .find(|e| e.thread == self.thread)
-                    {
+                    if let Some(last) = self.events.iter().rev().find(|e| e.thread == self.thread) {
                         let id = last.id;
                         self.commits[self.op].push((id, active));
                     }

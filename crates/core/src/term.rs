@@ -160,10 +160,7 @@ impl TermArena {
     /// A primitive application with constant folding.
     pub fn prim(&mut self, op: PrimOp, args: Vec<VTermId>) -> VTermId {
         // Fold when every argument is constant and evaluation succeeds.
-        let consts: Option<Vec<Value>> = args
-            .iter()
-            .map(|&a| self.as_const(a).cloned())
-            .collect();
+        let consts: Option<Vec<Value>> = args.iter().map(|&a| self.as_const(a).cloned()).collect();
         if let Some(vals) = consts {
             if let Some(v) = op.eval(&vals) {
                 return self.const_val(v);

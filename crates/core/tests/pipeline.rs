@@ -2,14 +2,18 @@
 //! encoding → SAT → verdict, validated against hand-computed semantics
 //! and the explicit-state memory model oracle.
 
-use checkfence::{
-    CheckError, CheckOutcome, Checker, FailureKind, Harness, ObsSet, OpSig, OrderEncoding,
-    TestSpec,
-};
 use cf_lsl::Value;
 use cf_memmodel::Mode;
+use checkfence::{
+    CheckError, CheckOutcome, Checker, FailureKind, Harness, ObsSet, OpSig, OrderEncoding, TestSpec,
+};
 
-fn harness(name: &str, src: &str, init: Option<&str>, ops: &[(char, &str, usize, bool)]) -> Harness {
+fn harness(
+    name: &str,
+    src: &str,
+    init: Option<&str>,
+    ops: &[(char, &str, usize, bool)],
+) -> Harness {
     let program = cf_minic::compile(src).expect("compiles");
     Harness {
         name: name.into(),
@@ -155,7 +159,11 @@ fn store_buffering_needs_store_load_fence() {
     // outcome and the test isolates the *store buffering* weakness:
     // both threads reading 0 requires store-load reordering.
     let mk = |fenced: bool| {
-        let f = if fenced { r#"fence("store-load");"# } else { "" };
+        let f = if fenced {
+            r#"fence("store-load");"#
+        } else {
+            ""
+        };
         let src = format!(
             r#"
             int x;
@@ -177,13 +185,16 @@ fn store_buffering_needs_store_load_fence() {
     let mut spec = c.mine_spec_reference().expect("mines").spec;
     assert_eq!(
         spec.vectors,
-        [vec![Value::Int(0), Value::Int(1)], vec![Value::Int(1), Value::Int(0)]]
-            .into_iter()
-            .collect(),
+        [
+            vec![Value::Int(0), Value::Int(1)],
+            vec![Value::Int(1), Value::Int(0)]
+        ]
+        .into_iter()
+        .collect(),
         "serial executions order the two handshakes"
     );
     spec.vectors.insert(vec![Value::Int(1), Value::Int(1)]); // SC overlap
-    // SC with the extended spec: only (0,1), (1,0), (1,1) — passes.
+                                                             // SC with the extended spec: only (0,1), (1,0), (1,1) — passes.
     let c = Checker::new(&h, &t).with_memory_model(Mode::Sc);
     assert!(c.check_inclusion(&spec).expect("checks").outcome.passed());
     // Relaxed: store buffering yields (0,0).
@@ -405,7 +416,11 @@ fn init_sequence_values_flow_to_threads() {
         assert_eq!(o[1], expect);
         assert_eq!(o[2], expect);
     }
-    assert!(c.check_inclusion(&mined.spec).expect("checks").outcome.passed());
+    assert!(c
+        .check_inclusion(&mined.spec)
+        .expect("checks")
+        .outcome
+        .passed());
 }
 
 #[test]
@@ -461,7 +476,10 @@ fn unfenced_cas_retry_livelocks_on_relaxed() {
     // Relaxed: the set of executions is genuinely unbounded and the lazy
     // unrolling reports divergence instead of looping forever.
     let h = cas_counter(false);
-    assert!(check(&h, "( i | i )", Mode::Sc).passed(), "SC retries are bounded");
+    assert!(
+        check(&h, "( i | i )", Mode::Sc).passed(),
+        "SC retries are bounded"
+    );
     let t = TestSpec::parse("t", "( i | i )").expect("parses");
     let c = Checker::new(&h, &t).with_memory_model(Mode::Relaxed);
     let spec = c.mine_spec_reference().expect("mines").spec;

@@ -238,7 +238,7 @@ impl<'p> Machine<'p> {
                 regs[dst.index()] = self.read(&path);
                 Ok(Flow::Normal)
             }
-            Stmt::Fence(_) => Ok(Flow::Normal), // sequential: no effect
+            Stmt::Fence(_) | Stmt::CandidateFence { .. } => Ok(Flow::Normal), // sequential: no effect
             Stmt::Atomic(body) => self.exec_stmts(body, regs),
             Stmt::Call { dst, proc, args } => {
                 let vals: Vec<Value> = args.iter().map(|r| regs[r.index()].clone()).collect();
@@ -301,9 +301,7 @@ impl<'p> Machine<'p> {
 
     fn check_addr(&self, v: &Value) -> ExecResult<Vec<u32>> {
         match v {
-            Value::Ptr(p) if self.space.is_scalar_location(&self.program.types, p) => {
-                Ok(p.clone())
-            }
+            Value::Ptr(p) if self.space.is_scalar_location(&self.program.types, p) => Ok(p.clone()),
             _ => Err(ExecError::BadAddress { addr: v.clone() }),
         }
     }
@@ -421,10 +419,7 @@ mod tests {
         let id = program.add_procedure(b.finish());
         let mut m = Machine::new(&program);
         assert!(m.call(id, &[Value::Int(1)]).is_ok());
-        assert_eq!(
-            m.call(id, &[Value::Int(0)]),
-            Err(ExecError::AssumeViolated)
-        );
+        assert_eq!(m.call(id, &[Value::Int(0)]), Err(ExecError::AssumeViolated));
     }
 
     #[test]
@@ -473,15 +468,13 @@ mod tests {
         let id = program.add_procedure(proc);
         let mut m = Machine::new(&program);
         let got = m.call(id, &[Value::Int(5)]).expect("runs");
-        assert_eq!(got, Some(Value::Int(0 + 1 + 2 + 3 + 4)));
+        assert_eq!(got, Some(Value::Int(1 + 2 + 3 + 4)));
 
         fn patch_dst(stmts: &mut [Stmt], from: Reg, to: Reg) {
             for s in stmts {
                 match s {
                     Stmt::Prim { dst, .. } if *dst == from => *dst = to,
-                    Stmt::Block { body, .. } | Stmt::Atomic(body) => {
-                        patch_dst(body, from, to)
-                    }
+                    Stmt::Block { body, .. } | Stmt::Atomic(body) => patch_dst(body, from, to),
                     _ => {}
                 }
             }

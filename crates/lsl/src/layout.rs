@@ -257,7 +257,12 @@ impl AddressSpace {
 impl fmt::Display for AddressSpace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, b) in self.bases.iter().enumerate() {
-            writeln!(f, "[{i}] {}{}", b.name, if b.is_heap { " (heap)" } else { "" })?;
+            writeln!(
+                f,
+                "[{i}] {}{}",
+                b.name,
+                if b.is_heap { " (heap)" } else { "" }
+            )?;
         }
         Ok(())
     }

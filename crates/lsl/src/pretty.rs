@@ -20,6 +20,7 @@ pub fn stmt_line(s: &Stmt) -> String {
         Stmt::Store { addr, value } => format!("*{addr} = {value}"),
         Stmt::Load { dst, addr } => format!("{dst} = *{addr}"),
         Stmt::Fence(kind) => format!("fence {kind}"),
+        Stmt::CandidateFence { kind, site } => format!("fence? {kind} [{site}]"),
         Stmt::Atomic(_) => "atomic {".into(),
         Stmt::Call { dst, proc, args } => {
             let args: Vec<String> = args.iter().map(|r| r.to_string()).collect();
@@ -28,7 +29,9 @@ pub fn stmt_line(s: &Stmt) -> String {
                 None => format!("call p{}({})", proc.0, args.join(", ")),
             }
         }
-        Stmt::Block { tag, is_loop, spin, .. } => {
+        Stmt::Block {
+            tag, is_loop, spin, ..
+        } => {
             let mut s = format!("{tag}:");
             if *is_loop {
                 s.push_str(" loop");

@@ -160,13 +160,20 @@ mod tests {
     #[test]
     fn pointer_ops() {
         let p = Value::ptr(vec![3]);
-        assert_eq!(PrimOp::Field(2).eval(&[p.clone()]), Some(Value::ptr(vec![3, 2])));
+        assert_eq!(
+            PrimOp::Field(2).eval(std::slice::from_ref(&p)),
+            Some(Value::ptr(vec![3, 2]))
+        );
         assert_eq!(
             PrimOp::Index.eval(&[p.clone(), Value::Int(1)]),
             Some(Value::ptr(vec![3, 1]))
         );
         assert_eq!(PrimOp::Index.eval(&[p.clone(), Value::Int(-1)]), None);
-        assert_eq!(PrimOp::Field(0).eval(&[Value::Int(0)]), None, "field of null");
+        assert_eq!(
+            PrimOp::Field(0).eval(&[Value::Int(0)]),
+            None,
+            "field of null"
+        );
         assert_eq!(
             PrimOp::Lt.eval(&[p.clone(), p]),
             None,

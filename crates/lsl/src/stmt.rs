@@ -149,6 +149,18 @@ pub enum Stmt {
     },
     /// `fence X-Y`
     Fence(FenceKind),
+    /// `fence? X-Y [site]` — a *candidate* fence used by the incremental
+    /// checking sessions: it encodes like [`Stmt::Fence`] but its ordering
+    /// clauses are gated behind a per-`site` activation literal, so a
+    /// candidate placement is an assumption vector rather than a program
+    /// rebuild. Inert in the concrete interpreter (like all fences).
+    CandidateFence {
+        /// The fence kind to insert when the site is activated.
+        kind: FenceKind,
+        /// Stable candidate-site identifier (assigned by the inference
+        /// driver; all unrollings of one site share one activation literal).
+        site: u32,
+    },
     /// `atomic { s... }` — executed without interleaving, in program order.
     Atomic(Vec<Stmt>),
     /// `r = p(r...)` — procedure call (inlined before encoding).

@@ -199,9 +199,8 @@ impl ConcreteTrace {
                     continue;
                 }
                 let before_m = pos[&s_idx] < pos[&l_idx];
-                let forwarded = mode.allows_forwarding()
-                    && s.thread == l.thread
-                    && s.item_index < l.item_index;
+                let forwarded =
+                    mode.allows_forwarding() && s.thread == l.thread && s.item_index < l.item_index;
                 if before_m || forwarded {
                     max_store = Some(match max_store {
                         None => s_idx,
@@ -212,11 +211,7 @@ impl ConcreteTrace {
             }
             let expected = match max_store {
                 Some(s) => accesses[s].value.clone(),
-                None => self
-                    .init
-                    .get(&l.addr)
-                    .cloned()
-                    .unwrap_or(Value::Undefined),
+                None => self.init.get(&l.addr).cloned().unwrap_or(Value::Undefined),
             };
             if l.value != expected {
                 return false;
@@ -299,7 +294,10 @@ impl Litmus {
                 }
             }
         }
-        assert!(accesses.len() <= 10, "litmus enumeration limited to 10 accesses");
+        assert!(
+            accesses.len() <= 10,
+            "litmus enumeration limited to 10 accesses"
+        );
 
         // Required edges.
         let mut edges = Vec::new();
@@ -308,8 +306,7 @@ impl Litmus {
                 if x.thread != y.thread || x.item_index >= y.item_index {
                     continue;
                 }
-                let mut required =
-                    mode.po_edge_required(x.kind, y.kind, x.addr == y.addr);
+                let mut required = mode.po_edge_required(x.kind, y.kind, x.addr == y.addr);
                 if !required {
                     for op in &self.threads[x.thread][x.item_index + 1..y.item_index] {
                         if let LitmusOp::Fence(k) = op {
@@ -464,7 +461,10 @@ mod tests {
             init: HashMap::from([(vec![0], Value::Int(0)), (vec![1], Value::Int(0))]),
         };
         assert!(mk(1).allowed(Mode::Relaxed));
-        assert!(!mk(0).allowed(Mode::Relaxed), "fenced MP forbids stale read");
+        assert!(
+            !mk(0).allowed(Mode::Relaxed),
+            "fenced MP forbids stale read"
+        );
     }
 
     #[test]
@@ -509,6 +509,9 @@ mod tests {
         assert!(mk(0, 1).allowed(Mode::Sc));
         assert!(mk(1, 0).allowed(Mode::Sc));
         assert!(!mk(0, 0).allowed(Mode::Sc), "atomicity violated");
-        assert!(!mk(0, 0).allowed(Mode::Relaxed), "atomicity holds on Relaxed too");
+        assert!(
+            !mk(0, 0).allowed(Mode::Relaxed),
+            "atomicity holds on Relaxed too"
+        );
     }
 }

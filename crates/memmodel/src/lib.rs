@@ -38,4 +38,4 @@ mod rules;
 pub mod litmus;
 
 pub use explicit::{ConcreteTrace, Litmus, LitmusOp, TraceItem};
-pub use rules::{fence_orders, AccessKind, Mode};
+pub use rules::{fence_orders, AccessKind, Mode, ModeSet};

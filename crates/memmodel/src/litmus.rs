@@ -268,10 +268,16 @@ mod tests {
     fn sb_distinguishes_models() {
         let t = store_buffering();
         assert!(!t.allows(Mode::Sc, &[0, 0]), "SC forbids both-stale");
-        assert!(t.allows(Mode::Relaxed, &[0, 0]), "Relaxed allows store buffering");
+        assert!(
+            t.allows(Mode::Relaxed, &[0, 0]),
+            "Relaxed allows store buffering"
+        );
         assert!(t.allows(Mode::Sc, &[1, 1]));
         let f = store_buffering_fenced();
-        assert!(!f.allows(Mode::Relaxed, &[0, 0]), "store-load fences restore SC");
+        assert!(
+            !f.allows(Mode::Relaxed, &[0, 0]),
+            "store-load fences restore SC"
+        );
     }
 
     #[test]

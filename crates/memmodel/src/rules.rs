@@ -50,6 +50,17 @@ impl Mode {
         [Mode::Serial, Mode::Sc, Mode::Tso, Mode::Pso, Mode::Relaxed]
     }
 
+    /// Dense index into [`Mode::all`] (used by [`ModeSet`] bitmasks).
+    pub fn index(self) -> usize {
+        match self {
+            Mode::Serial => 0,
+            Mode::Sc => 1,
+            Mode::Tso => 2,
+            Mode::Pso => 3,
+            Mode::Relaxed => 4,
+        }
+    }
+
     /// The hardware-level models (everything except the `Serial`
     /// specification semantics), strongest first.
     pub fn hardware() -> [Mode; 4] {
@@ -130,6 +141,106 @@ impl Mode {
     }
 }
 
+/// A small set of [`Mode`]s, used to group memory-model axioms by which
+/// modes require them (the "mode delta" grouping of the incremental
+/// checking sessions: one multi-mode encoding emits each axiom clause
+/// once per distinct mode *group* rather than once per mode).
+///
+/// # Examples
+///
+/// ```
+/// use cf_memmodel::{Mode, ModeSet};
+///
+/// let same_addr_store = ModeSet::po_edge_group(
+///     ModeSet::all(),
+///     cf_memmodel::AccessKind::Store,
+///     cf_memmodel::AccessKind::Store,
+///     true,
+/// );
+/// // Every model orders same-address stores.
+/// assert_eq!(same_addr_store, ModeSet::all());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct ModeSet(u8);
+
+impl ModeSet {
+    /// The empty set.
+    pub fn empty() -> ModeSet {
+        ModeSet(0)
+    }
+
+    /// All five modes.
+    pub fn all() -> ModeSet {
+        Mode::all().into_iter().collect()
+    }
+
+    /// The four hardware models (everything except `Serial`).
+    pub fn hardware() -> ModeSet {
+        Mode::hardware().into_iter().collect()
+    }
+
+    /// A singleton set.
+    pub fn single(mode: Mode) -> ModeSet {
+        ModeSet(1 << mode.index())
+    }
+
+    /// Adds a mode.
+    pub fn insert(&mut self, mode: Mode) {
+        self.0 |= 1 << mode.index();
+    }
+
+    /// Membership test.
+    pub fn contains(self, mode: Mode) -> bool {
+        self.0 >> mode.index() & 1 == 1
+    }
+
+    /// Number of modes in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` if no mode is present.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The modes in the set, strongest first.
+    pub fn iter(self) -> impl Iterator<Item = Mode> {
+        Mode::all().into_iter().filter(move |m| self.contains(*m))
+    }
+
+    /// The subset of `universe` whose members require the program-order
+    /// edge `x → y` (same thread) under the given aliasing assumption —
+    /// the grouping key for the multi-mode Θ encoding.
+    pub fn po_edge_group(
+        universe: ModeSet,
+        x: AccessKind,
+        y: AccessKind,
+        same_addr: bool,
+    ) -> ModeSet {
+        universe
+            .iter()
+            .filter(|m| m.po_edge_required(x, y, same_addr))
+            .collect()
+    }
+
+    /// The subset of `universe` that exhibits store-to-load forwarding
+    /// (visibility of buffered same-thread stores, §2.3.2 `S(l)`).
+    pub fn forwarding_group(universe: ModeSet) -> ModeSet {
+        universe.iter().filter(|m| m.allows_forwarding()).collect()
+    }
+}
+
+impl FromIterator<Mode> for ModeSet {
+    fn from_iter<I: IntoIterator<Item = Mode>>(iter: I) -> Self {
+        let mut s = ModeSet::empty();
+        for m in iter {
+            s.insert(m);
+        }
+        s
+    }
+}
+
 /// Does an `X-Y` fence order a preceding access of kind `x` before a
 /// succeeding access of kind `y`?
 ///
@@ -183,6 +294,32 @@ mod tests {
         assert!(fence_orders(FenceKind::StoreLoad, Store, Load));
         assert!(fence_orders(FenceKind::LoadStore, Load, Store));
         assert!(!fence_orders(FenceKind::LoadStore, Store, Store));
+    }
+
+    #[test]
+    fn mode_set_grouping() {
+        use AccessKind::*;
+        let all = ModeSet::all();
+        assert_eq!(all.len(), 5);
+        // Store→load order is only required by Serial and SC.
+        let sl = ModeSet::po_edge_group(all, Store, Load, false);
+        assert!(sl.contains(Mode::Serial) && sl.contains(Mode::Sc));
+        assert!(!sl.contains(Mode::Tso) && !sl.contains(Mode::Relaxed));
+        // Same-address store→store order is universal.
+        assert_eq!(ModeSet::po_edge_group(all, Store, Store, true), all);
+        // Forwarding splits the lattice at TSO.
+        let fwd = ModeSet::forwarding_group(all);
+        assert_eq!(
+            fwd.iter().collect::<Vec<_>>(),
+            vec![Mode::Tso, Mode::Pso, Mode::Relaxed]
+        );
+        // Grouping within a restricted universe stays inside it.
+        let single = ModeSet::single(Mode::Relaxed);
+        assert_eq!(
+            ModeSet::po_edge_group(single, Load, Load, false),
+            ModeSet::empty()
+        );
+        assert!(ModeSet::single(Mode::Sc).iter().eq([Mode::Sc]));
     }
 
     #[test]

@@ -194,7 +194,10 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, MinicError> {
                         }
                     }
                     other => {
-                        return Err(MinicError::new(line, format!("unexpected character `{other}`")));
+                        return Err(MinicError::new(
+                            line,
+                            format!("unexpected character `{other}`"),
+                        ));
                     }
                 };
                 push!(t);
@@ -256,7 +259,10 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("0x10 42u"), vec![Token::Num(16), Token::Num(42), Token::Eof]);
+        assert_eq!(
+            toks("0x10 42u"),
+            vec![Token::Num(16), Token::Num(42), Token::Eof]
+        );
     }
 
     #[test]

@@ -121,7 +121,8 @@ impl Lowerer {
             if let Item::Global { name, ty, array } = item {
                 let mt = self.mem_type(ty, *array, 0)?;
                 let base = self.program.add_global(name.clone(), mt);
-                self.globals.insert(name.clone(), (base, ty.clone(), *array));
+                self.globals
+                    .insert(name.clone(), (base, ty.clone(), *array));
             }
         }
         Ok(())
@@ -301,7 +302,12 @@ impl<'a> FnLowerer<'a> {
     fn lower_stmt(&mut self, s: &CStmt) -> Result<(), MinicError> {
         match s {
             CStmt::Block(body) => self.lower_stmts(body),
-            CStmt::Local { name, ty, init, line } => {
+            CStmt::Local {
+                name,
+                ty,
+                init,
+                line,
+            } => {
                 self.line = *line;
                 if !ty.is_scalar() {
                     return Err(self.err(format!(
@@ -440,7 +446,10 @@ impl<'a> FnLowerer<'a> {
         match e {
             CExpr::Num(n) => {
                 let reg = self.b.constant(Value::Int(*n));
-                Ok(TypedReg { reg, ty: CType::Int })
+                Ok(TypedReg {
+                    reg,
+                    ty: CType::Int,
+                })
             }
             CExpr::Str(_) => Err(self.err("string literals only appear in fence(...)")),
             CExpr::Ident(name) => {
@@ -469,13 +478,19 @@ impl<'a> FnLowerer<'a> {
                 UnOp::Not => {
                     let v = self.lower_expr(expr)?;
                     let reg = self.b.prim(PrimOp::Not, &[v.reg]);
-                    Ok(TypedReg { reg, ty: CType::Int })
+                    Ok(TypedReg {
+                        reg,
+                        ty: CType::Int,
+                    })
                 }
                 UnOp::Neg => {
                     let v = self.lower_expr(expr)?;
                     let zero = self.b.constant(Value::Int(0));
                     let reg = self.b.prim(PrimOp::Sub, &[zero, v.reg]);
-                    Ok(TypedReg { reg, ty: CType::Int })
+                    Ok(TypedReg {
+                        reg,
+                        ty: CType::Int,
+                    })
                 }
                 UnOp::Deref => {
                     let v = self.lower_expr(expr)?;
@@ -591,7 +606,10 @@ impl<'a> FnLowerer<'a> {
                     CBinOp::And | CBinOp::Or => unreachable!("handled above"),
                 };
                 let reg = self.b.prim(prim, &[a.reg, b.reg]);
-                Ok(TypedReg { reg, ty: CType::Int })
+                Ok(TypedReg {
+                    reg,
+                    ty: CType::Int,
+                })
             }
         }
     }
@@ -661,11 +679,7 @@ impl<'a> FnLowerer<'a> {
                     let a = self.lower_lvalue(base)?;
                     match &a.ty {
                         CType::Struct(s) => (a.reg, s.clone()),
-                        _ => {
-                            return Err(self.err(format!(
-                                "`.{field}` on a non-struct lvalue"
-                            )))
-                        }
+                        _ => return Err(self.err(format!("`.{field}` on a non-struct lvalue"))),
                     }
                 };
                 let fields = self
@@ -734,11 +748,7 @@ impl<'a> FnLowerer<'a> {
 
     // --------------------------------------------------------------- calls
 
-    fn lower_call(
-        &mut self,
-        name: &str,
-        args: &[CExpr],
-    ) -> Result<Option<TypedReg>, MinicError> {
+    fn lower_call(&mut self, name: &str, args: &[CExpr]) -> Result<Option<TypedReg>, MinicError> {
         match name {
             "fence" => {
                 let kind = match args {
@@ -786,9 +796,7 @@ impl<'a> FnLowerer<'a> {
                         // so look for a struct whose typedef alias this was.
                         return match self.find_struct_by_alias(ty_name) {
                             Some(s) => self.emit_malloc(&s),
-                            None => {
-                                Err(self.err(format!("malloc of unknown type `{ty_name}`")))
-                            }
+                            None => Err(self.err(format!("malloc of unknown type `{ty_name}`"))),
                         };
                     }
                 };

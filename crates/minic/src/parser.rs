@@ -46,7 +46,9 @@ struct Parser {
 }
 
 const BASE_TYPES: &[&str] = &["int", "unsigned", "long", "short", "char", "bool", "void"];
-const QUALIFIERS: &[&str] = &["extern", "static", "inline", "volatile", "const", "register"];
+const QUALIFIERS: &[&str] = &[
+    "extern", "static", "inline", "volatile", "const", "register",
+];
 
 impl Parser {
     // ------------------------------------------------------------ utilities
@@ -128,9 +130,7 @@ impl Parser {
     fn is_type_start(&self) -> bool {
         match self.peek() {
             Token::Ident(s) => {
-                s == "struct"
-                    || BASE_TYPES.contains(&s.as_str())
-                    || self.typedefs.contains_key(s)
+                s == "struct" || BASE_TYPES.contains(&s.as_str()) || self.typedefs.contains_key(s)
             }
             _ => false,
         }
@@ -250,8 +250,7 @@ impl Parser {
             let alias = self.expect_ident()?;
             let name = tag.unwrap_or_else(|| alias.clone());
             self.struct_names.insert(name.clone());
-            self.typedefs
-                .insert(alias, CType::Struct(name.clone()));
+            self.typedefs.insert(alias, CType::Struct(name.clone()));
             items.push(Item::Struct { name, fields });
             self.expect(&Token::Semi)?;
         } else {
@@ -454,7 +453,9 @@ impl Parser {
                     spin: false,
                 }])
             }
-            Token::Ident(s) if s == "spin" && matches!(self.peek_at(1), Token::Ident(w) if w == "while") => {
+            Token::Ident(s)
+                if s == "spin" && matches!(self.peek_at(1), Token::Ident(w) if w == "while") =>
+            {
                 self.bump();
                 self.bump();
                 self.expect(&Token::LParen)?;
@@ -927,7 +928,10 @@ mod tests {
         let Item::Func(f) = &ast.items[0] else {
             panic!()
         };
-        assert!(matches!(&f.body.as_ref().expect("body")[0], CStmt::Atomic(_)));
+        assert!(matches!(
+            &f.body.as_ref().expect("body")[0],
+            CStmt::Atomic(_)
+        ));
     }
 
     #[test]
@@ -940,7 +944,13 @@ mod tests {
         let body = f.body.as_ref().expect("body");
         assert_eq!(body.len(), 3);
         assert!(
-            matches!(&body[0], CStmt::Local { ty: CType::Ptr(_), .. }),
+            matches!(
+                &body[0],
+                CStmt::Local {
+                    ty: CType::Ptr(_),
+                    ..
+                }
+            ),
             "first is pointer"
         );
         assert!(matches!(&body[1], CStmt::Local { ty: CType::Int, .. }));

@@ -85,7 +85,11 @@ fn do_while_and_break_continue() {
     // skips 2: 1 + 3 + 4 = 8
     assert_eq!(run1(src, "f", &[4]).unwrap(), Some(Value::Int(8)));
     assert_eq!(run1(src, "g", &[3]).unwrap(), Some(Value::Int(3)));
-    assert_eq!(run1(src, "g", &[0]).unwrap(), Some(Value::Int(1)), "do-while runs once");
+    assert_eq!(
+        run1(src, "g", &[0]).unwrap(),
+        Some(Value::Int(1)),
+        "do-while runs once"
+    );
 }
 
 #[test]
@@ -155,7 +159,11 @@ fn cas_in_atomic_block() {
     let program = compile(src).expect("compiles");
     let mut m = Machine::new(&program);
     let got = m.call(program.proc_id("f").unwrap(), &[]).unwrap();
-    assert_eq!(got, Some(Value::Int(10)), "first cas succeeds, second fails");
+    assert_eq!(
+        got,
+        Some(Value::Int(10)),
+        "first cas succeeds, second fails"
+    );
     let cell = m.call(program.proc_id("get").unwrap(), &[]).unwrap();
     assert_eq!(cell, Some(Value::Int(7)));
 }
@@ -266,7 +274,8 @@ fn arrays_in_globals_and_fields() {
     let mut m = Machine::new(&program);
     m.call(program.proc_id("fill").unwrap(), &[]).unwrap();
     assert_eq!(
-        m.call(program.proc_id("f").unwrap(), &[Value::Int(3)]).unwrap(),
+        m.call(program.proc_id("f").unwrap(), &[Value::Int(3)])
+            .unwrap(),
         Some(Value::Int(13))
     );
 }

@@ -94,13 +94,12 @@ impl VarHeap {
                 break;
             }
             let r = l + 1;
-            let child = if r < n
-                && activity[self.heap[r] as usize] > activity[self.heap[l] as usize]
-            {
-                r
-            } else {
-                l
-            };
+            let child =
+                if r < n && activity[self.heap[r] as usize] > activity[self.heap[l] as usize] {
+                    r
+                } else {
+                    l
+                };
             let c = self.heap[child];
             if activity[c as usize] <= activity[x as usize] {
                 break;

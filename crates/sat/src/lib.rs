@@ -47,6 +47,7 @@ mod stats;
 mod types;
 
 pub mod dimacs;
+pub mod xorshift;
 
 pub use solver::{SolveResult, Solver, SolverConfig};
 pub use stats::Stats;

@@ -270,6 +270,8 @@ impl Solver {
     /// Solves under the given assumptions. The assumptions behave like
     /// temporary unit clauses for this call only.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.stats.solves += 1;
+        self.stats.assumed_literals += assumptions.len() as u64;
         if self.unsat {
             return SolveResult::Unsat;
         }
@@ -289,7 +291,11 @@ impl Solver {
             };
             match self.search(conflict_limit, assumptions, budget_start) {
                 Some(r) => return r,
-                None => restart_round += 1, // restart
+                None => {
+                    // Restart.
+                    self.stats.restarts += 1;
+                    restart_round += 1;
+                }
             }
         }
     }
@@ -686,9 +692,11 @@ impl Solver {
         learnts.sort_by(|&a, &b| {
             let ca = self.db.get(a);
             let cb = self.db.get(b);
-            cb.lbd
-                .cmp(&ca.lbd)
-                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let target = learnts.len() / 2;
         let mut removed = 0;

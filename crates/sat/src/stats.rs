@@ -13,6 +13,7 @@ use std::fmt;
 /// s.add_clause([a]);
 /// s.solve();
 /// assert!(s.stats().propagations >= 1);
+/// assert_eq!(s.stats().solves, 1);
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
@@ -26,14 +27,55 @@ pub struct Stats {
     pub learnt_literals: u64,
     /// Number of learnt-database reductions.
     pub reductions: u64,
+    /// Number of `solve`/`solve_with` calls (incremental sessions issue
+    /// many; this is the denominator for per-query averages).
+    pub solves: u64,
+    /// Number of restarts performed across all solves.
+    pub restarts: u64,
+    /// Total assumption literals passed across all `solve_with` calls
+    /// (sessions drive the solver almost exclusively through assumptions;
+    /// this tracks how much of the query surface is assumption-shaped).
+    pub assumed_literals: u64,
+}
+
+impl Stats {
+    /// Counter deltas `self - earlier` (for per-phase attribution: snapshot
+    /// before a query, subtract after).
+    #[must_use]
+    pub fn since(&self, earlier: &Stats) -> Stats {
+        Stats {
+            conflicts: self.conflicts - earlier.conflicts,
+            decisions: self.decisions - earlier.decisions,
+            propagations: self.propagations - earlier.propagations,
+            learnt_literals: self.learnt_literals - earlier.learnt_literals,
+            reductions: self.reductions - earlier.reductions,
+            solves: self.solves - earlier.solves,
+            restarts: self.restarts - earlier.restarts,
+            assumed_literals: self.assumed_literals - earlier.assumed_literals,
+        }
+    }
+
+    /// Accumulates another counter set into this one (for totals across
+    /// several solvers, e.g. one per test session).
+    pub fn add(&mut self, other: &Stats) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.learnt_literals += other.learnt_literals;
+        self.reductions += other.reductions;
+        self.solves += other.solves;
+        self.restarts += other.restarts;
+        self.assumed_literals += other.assumed_literals;
+    }
 }
 
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "conflicts: {}, decisions: {}, propagations: {}, reductions: {}",
-            self.conflicts, self.decisions, self.propagations, self.reductions
+            "solves: {}, conflicts: {}, decisions: {}, propagations: {}, restarts: {}, reductions: {}",
+            self.solves, self.conflicts, self.decisions, self.propagations, self.restarts,
+            self.reductions
         )
     }
 }

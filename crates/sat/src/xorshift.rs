@@ -1,0 +1,50 @@
+//! A deterministic xorshift64* generator for reproducible randomized
+//! tests across the workspace.
+//!
+//! The build is offline (no property-testing crates), so the test
+//! suites generate their own random instances; sharing one generator
+//! keeps the sequences reproducible and the implementation in one
+//! place. Not cryptographic — test input generation only.
+
+/// Deterministic xorshift64* pseudo-random generator.
+///
+/// # Examples
+///
+/// ```
+/// use cf_sat::xorshift::Rng;
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next(), b.next());
+/// assert!(a.below(10) < 10);
+/// ```
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a seed (zero is mapped to one; the
+    /// xorshift state must be non-zero).
+    pub fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    /// The next 64-bit value.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A value uniformly-ish below `n` (modulo bias is irrelevant for
+    /// test generation).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// A random boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}

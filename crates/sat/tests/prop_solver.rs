@@ -1,9 +1,11 @@
-//! Property tests: the CDCL solver agrees with brute-force enumeration on
-//! random small formulas, and models it returns actually satisfy the input.
+//! Randomized tests: the CDCL solver agrees with brute-force enumeration
+//! on random small formulas, and models it returns actually satisfy the
+//! input. A deterministic xorshift generator replaces an external
+//! property-testing dependency so the suite is reproducible offline.
 
 use cf_sat::dimacs::Cnf;
+use cf_sat::xorshift::Rng;
 use cf_sat::{Lit, SolveResult, Var};
-use proptest::prelude::*;
 
 /// Brute-force satisfiability over `n` variables.
 fn brute_force_sat(cnf: &Cnf) -> bool {
@@ -15,59 +17,71 @@ fn brute_force_sat(cnf: &Cnf) -> bool {
     })
 }
 
-fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
-    let clause = proptest::collection::vec((0..max_vars, any::<bool>()), 1..=4);
-    proptest::collection::vec(clause, 0..=max_clauses).prop_map(move |raw| {
-        let clauses: Vec<Vec<Lit>> = raw
-            .into_iter()
-            .map(|c| {
-                c.into_iter()
-                    .map(|(v, sign)| Lit::new(Var::from_index(v), sign))
-                    .collect()
-            })
-            .collect();
-        Cnf {
-            num_vars: max_vars,
-            clauses,
-        }
-    })
+fn random_cnf(rng: &mut Rng, max_vars: usize, max_clauses: usize) -> Cnf {
+    let num_clauses = rng.below(max_clauses as u64 + 1) as usize;
+    let clauses: Vec<Vec<Lit>> = (0..num_clauses)
+        .map(|_| {
+            let len = 1 + rng.below(4) as usize;
+            (0..len)
+                .map(|_| {
+                    let v = rng.below(max_vars as u64) as usize;
+                    Lit::new(Var::from_index(v), rng.bool())
+                })
+                .collect()
+        })
+        .collect();
+    Cnf {
+        num_vars: max_vars,
+        clauses,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(300))]
-
-    #[test]
-    fn solver_matches_brute_force(cnf in arb_cnf(8, 24)) {
+#[test]
+fn solver_matches_brute_force() {
+    let mut rng = Rng::new(0xcf01);
+    for _ in 0..300 {
+        let cnf = random_cnf(&mut rng, 8, 24);
         let mut s = cnf.to_solver();
         let expected = brute_force_sat(&cnf);
         match s.solve() {
             SolveResult::Sat => {
-                prop_assert!(expected, "solver said SAT but formula is UNSAT");
+                assert!(expected, "solver said SAT but formula is UNSAT: {cnf:?}");
                 // The model must satisfy the formula (unassigned vars are free).
                 let model: Vec<bool> = (0..cnf.num_vars)
                     .map(|i| s.value(Var::from_index(i)).unwrap_or(false))
                     .collect();
-                prop_assert!(cnf.eval(&model), "returned model does not satisfy formula");
+                assert!(cnf.eval(&model), "returned model does not satisfy {cnf:?}");
             }
-            SolveResult::Unsat => prop_assert!(!expected, "solver said UNSAT but formula is SAT"),
-            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+            SolveResult::Unsat => {
+                assert!(!expected, "solver said UNSAT but formula is SAT: {cnf:?}");
+            }
+            SolveResult::Unknown => panic!("no budget was set"),
         }
     }
+}
 
-    #[test]
-    fn model_enumeration_is_complete(cnf in arb_cnf(5, 12)) {
+#[test]
+fn model_enumeration_is_complete() {
+    let mut rng = Rng::new(0xcf02);
+    for _ in 0..150 {
         // Count models by blocking; must equal brute-force count.
+        let cnf = random_cnf(&mut rng, 5, 12);
         let n = cnf.num_vars;
-        let expected = (0u32..(1 << n)).filter(|bits| {
-            let a: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
-            cnf.eval(&a)
-        }).count();
+        let expected = (0u32..(1 << n))
+            .filter(|bits| {
+                let a: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                cnf.eval(&a)
+            })
+            .count();
 
         let mut s = cnf.to_solver();
         let mut found = 0usize;
         while s.solve() == SolveResult::Sat {
             found += 1;
-            prop_assert!(found <= expected, "enumerated more models than exist");
+            assert!(
+                found <= expected,
+                "enumerated more models than exist: {cnf:?}"
+            );
             let block: Vec<Lit> = (0..n)
                 .map(|i| {
                     let v = Var::from_index(i);
@@ -76,12 +90,18 @@ proptest! {
                 .collect();
             s.add_clause(block);
         }
-        prop_assert_eq!(found, expected);
+        assert_eq!(found, expected, "{cnf:?}");
     }
+}
 
-    #[test]
-    fn assumptions_are_sound(cnf in arb_cnf(6, 16), pattern in 0u32..64, mask in 0u32..64) {
+#[test]
+fn assumptions_are_sound() {
+    let mut rng = Rng::new(0xcf03);
+    for _ in 0..200 {
         // Solving with assumptions == solving the formula with those units added.
+        let cnf = random_cnf(&mut rng, 6, 16);
+        let pattern = rng.below(64) as u32;
+        let mask = rng.below(64) as u32;
         let assumptions: Vec<Lit> = (0..6)
             .filter(|i| mask >> i & 1 == 1)
             .map(|i| Lit::new(Var::from_index(i), pattern >> i & 1 == 1))
@@ -95,13 +115,13 @@ proptest! {
         }
         let expected = brute_force_sat(&strengthened);
         match with_assumptions {
-            SolveResult::Sat => prop_assert!(expected),
-            SolveResult::Unsat => prop_assert!(!expected),
-            SolveResult::Unknown => prop_assert!(false),
+            SolveResult::Sat => assert!(expected, "{cnf:?} under {assumptions:?}"),
+            SolveResult::Unsat => assert!(!expected, "{cnf:?} under {assumptions:?}"),
+            SolveResult::Unknown => panic!("no budget was set"),
         }
         // And the solver is reusable afterwards without the assumptions.
         let plain = s.solve();
-        prop_assert_eq!(plain == SolveResult::Sat, brute_force_sat(&cnf));
+        assert_eq!(plain == SolveResult::Sat, brute_force_sat(&cnf), "{cnf:?}");
     }
 }
 
@@ -119,14 +139,14 @@ fn all_configs() -> Vec<cf_sat::SolverConfig> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn every_ablation_config_is_sound(cnf in arb_cnf(7, 20)) {
+#[test]
+fn every_ablation_config_is_sound() {
+    let mut rng = Rng::new(0xcf04);
+    for _ in 0..48 {
         // The toggles change search dynamics only: every configuration
         // must agree with brute force, and SAT models must satisfy the
         // formula.
+        let cnf = random_cnf(&mut rng, 7, 20);
         let expected = brute_force_sat(&cnf);
         for config in all_configs() {
             let mut s = cf_sat::Solver::with_config(config);
@@ -138,16 +158,16 @@ proptest! {
             }
             match s.solve() {
                 SolveResult::Sat => {
-                    prop_assert!(expected, "{config:?}: SAT on an UNSAT formula");
+                    assert!(expected, "{config:?}: SAT on an UNSAT formula");
                     let model: Vec<bool> = (0..cnf.num_vars)
                         .map(|i| s.value(Var::from_index(i)).unwrap_or(false))
                         .collect();
-                    prop_assert!(cnf.eval(&model), "{config:?}: bad model");
+                    assert!(cnf.eval(&model), "{config:?}: bad model");
                 }
                 SolveResult::Unsat => {
-                    prop_assert!(!expected, "{config:?}: UNSAT on a SAT formula");
+                    assert!(!expected, "{config:?}: UNSAT on a SAT formula");
                 }
-                SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+                SolveResult::Unknown => panic!("no budget was set"),
             }
         }
     }
@@ -167,10 +187,10 @@ fn pigeonhole_unsat_under_every_config() {
         for p in vars.iter() {
             s.add_clause(p.iter().copied()); // each pigeon sits somewhere
         }
-        for h in 0..H {
-            for a in 0..P {
-                for b in a + 1..P {
-                    s.add_clause([!vars[a][h], !vars[b][h]]); // no sharing
+        for a in 0..P {
+            for b in a + 1..P {
+                for (&x, &y) in vars[a].iter().zip(&vars[b]) {
+                    s.add_clause([!x, !y]); // no hole sharing
                 }
             }
         }

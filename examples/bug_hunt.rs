@@ -33,7 +33,10 @@ fn lazylist_bug() {
     let fixed = cf_algos::lazylist::harness(cf_algos::lazylist::Build::Fixed);
     let checker = Checker::new(&fixed, &test).with_memory_model(Mode::Relaxed);
     let spec = checker.mine_spec_reference().expect("fixed mines").spec;
-    let outcome = checker.check_inclusion(&spec).expect("fixed checks").outcome;
+    let outcome = checker
+        .check_inclusion(&spec)
+        .expect("fixed checks")
+        .outcome;
     println!(
         "fixed build on Relaxed: {}\n",
         if outcome.passed() { "PASS" } else { "FAIL" }

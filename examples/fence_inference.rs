@@ -15,10 +15,10 @@
 //!    five load-load placements are not inferred because PSO keeps
 //!    loads in order (the §4.2 architecture observation).
 
-use checkfence::infer::{infer, InferConfig, InferenceResult};
-use checkfence::{Harness, OpSig, TestSpec};
 use cf_lsl::FenceKind;
 use cf_memmodel::Mode;
+use checkfence::infer::{infer, InferConfig, InferenceResult};
+use checkfence::{Harness, OpSig, TestSpec};
 
 fn report(what: &str, r: &InferenceResult) {
     println!("\n== {what}");

@@ -27,15 +27,18 @@ fn main() {
         println!(
             "  {:<5} {}",
             t.name,
-            if outcome.passed() { "PASS" } else { "FAIL (unexpected)" }
+            if outcome.passed() {
+                "PASS"
+            } else {
+                "FAIL (unexpected)"
+            }
         );
     }
 
     // Necessity: drop each fence individually (the library-level §4.2
     // analysis; specs are mined once and shared across deletions).
     println!("\nnecessity (removing one fence at a time):");
-    let verdicts =
-        fences::necessity(&harness, &tests, Mode::Relaxed).expect("analysis runs");
+    let verdicts = fences::necessity(&harness, &tests, Mode::Relaxed).expect("analysis runs");
     for v in &verdicts {
         let verdict = match &v.broken_by {
             Some(t) => format!("NECESSARY: {t} fails or diverges without it"),

@@ -17,7 +17,10 @@ fn main() {
     //    executions (here via the fast reference-interpreter path).
     let checker = Checker::new(&harness, &test).with_memory_model(Mode::Relaxed);
     let mining = checker.mine_spec_reference().expect("mining succeeds");
-    println!("specification: {} serializable observations", mining.spec.len());
+    println!(
+        "specification: {} serializable observations",
+        mining.spec.len()
+    );
 
     // 3. Check that every concurrent execution on Relaxed observes one
     //    of them.

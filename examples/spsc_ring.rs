@@ -8,10 +8,10 @@
 //!
 //! Run with `cargo run --release --example spsc_ring`.
 
-use checkfence::infer::{infer, InferConfig};
-use checkfence::{CheckOutcome, Checker, Harness, TestSpec};
 use cf_algos::{lamport, tests, Variant};
 use cf_memmodel::Mode;
+use checkfence::infer::{infer, InferConfig};
+use checkfence::{CheckOutcome, Checker, Harness, TestSpec};
 
 fn check(h: &Harness, test: &TestSpec, mode: Mode) -> CheckOutcome {
     let c = Checker::new(h, test).with_memory_model(mode);
@@ -38,7 +38,11 @@ fn main() {
     let t = tests::by_name("Lpc3").expect("catalog");
     println!("== Lamport SPSC ring buffer, test Lpc3 = ( eee | ddd )");
     sweep("unfenced", &lamport::harness(Variant::Unfenced), &t);
-    sweep("ss-only", &lamport::harness_with_kinds(false, true, false), &t);
+    sweep(
+        "ss-only",
+        &lamport::harness_with_kinds(false, true, false),
+        &t,
+    );
     sweep("ss+ll", &lamport::harness_with_kinds(true, true, false), &t);
     sweep("ss+ll+ls (full)", &lamport::harness(Variant::Fenced), &t);
 

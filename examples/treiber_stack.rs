@@ -10,11 +10,11 @@
 //!    placements are only as good as the tests that drive them;
 //! 3. infer against both tests and re-verify.
 
-use checkfence::infer::{infer, InferConfig};
-use checkfence::{CheckOutcome, Checker, Harness, TestSpec};
 use cf_algos::{tests, treiber, Variant};
 use cf_lsl::FenceKind;
 use cf_memmodel::Mode;
+use checkfence::infer::{infer, InferConfig};
+use checkfence::{CheckOutcome, Checker, Harness, TestSpec};
 
 fn check(h: &Harness, test: &TestSpec, mode: Mode) -> CheckOutcome {
     let c = Checker::new(h, test).with_memory_model(mode);
@@ -30,7 +30,11 @@ fn main() {
     let unfenced = treiber::harness(Variant::Unfenced);
     for mode in Mode::hardware() {
         let out = check(&unfenced, &u0, mode);
-        println!("   {:8} {}", mode.name(), if out.passed() { "PASS" } else { "FAIL" });
+        println!(
+            "   {:8} {}",
+            mode.name(),
+            if out.passed() { "PASS" } else { "FAIL" }
+        );
         if let CheckOutcome::Fail(cx) = out {
             let text = format!("{cx}");
             for line in text.lines().take(4) {
@@ -46,7 +50,7 @@ fn main() {
         kinds: vec![FenceKind::LoadLoad, FenceKind::StoreStore],
         procs: Some(vec!["push".into(), "pop".into()]),
     };
-    let r = infer(&unfenced, &[u0.clone()], Mode::Relaxed, &config).expect("inference");
+    let r = infer(&unfenced, std::slice::from_ref(&u0), Mode::Relaxed, &config).expect("inference");
     println!(
         "   searched {} candidates with {} checks in {:.2?}",
         r.candidates, r.checks, r.elapsed

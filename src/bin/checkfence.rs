@@ -22,6 +22,8 @@
 //!   --infer                     infer a minimal fence placement instead
 //!                               of checking
 //!   --infer-procs A,B           restrict inference candidates
+//!   --jobs N                    check tests on N worker threads (one
+//!                               incremental session per test)  [1]
 //!   --trace                     print full counterexample traces
 //!   -h, --help                  this text
 //!
@@ -41,10 +43,10 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use cf_memmodel::Mode;
 use checkfence::commit::AbstractType;
 use checkfence::infer::{infer, InferConfig};
 use checkfence::{CheckOutcome, Checker, Harness, ObsSet, OpSig, OrderEncoding, TestSpec};
-use cf_memmodel::Mode;
 
 struct Options {
     source: PathBuf,
@@ -58,6 +60,7 @@ struct Options {
     mine_only: bool,
     run_infer: bool,
     infer_procs: Option<Vec<String>>,
+    jobs: usize,
     trace: bool,
 }
 
@@ -81,6 +84,7 @@ fn usage() -> &'static str {
      \x20 --mine-only                print the observation set and exit\n\
      \x20 --infer                    infer a minimal fence placement\n\
      \x20 --infer-procs A,B          restrict inference candidates\n\
+     \x20 --jobs N                   check tests on N worker threads [1]\n\
      \x20 --trace                    print full counterexample traces\n\
      \x20 -h, --help                 this text"
 }
@@ -138,6 +142,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         mine_only: false,
         run_infer: false,
         infer_procs: None,
+        jobs: 1,
         trace: false,
     };
     let mut it = args.iter();
@@ -178,7 +183,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     "pairwise" => OrderEncoding::Pairwise,
                     "timestamp" => OrderEncoding::Timestamp,
                     other => {
-                        return Err(format!("--encoding `{other}`: expected pairwise or timestamp"))
+                        return Err(format!(
+                            "--encoding `{other}`: expected pairwise or timestamp"
+                        ))
                     }
                 };
             }
@@ -186,8 +193,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--mine-only" => opts.mine_only = true,
             "--infer" => opts.run_infer = true,
             "--infer-procs" => {
-                opts.infer_procs =
-                    Some(value("--infer-procs")?.split(',').map(str::to_string).collect());
+                opts.infer_procs = Some(
+                    value("--infer-procs")?
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                );
+            }
+            "--jobs" => {
+                let v = value("--jobs")?;
+                opts.jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs `{v}`: expected a positive integer"))?;
             }
             "--trace" => opts.trace = true,
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
@@ -282,56 +301,86 @@ fn run() -> Result<bool, String> {
     }
 
     let mut all_passed = true;
-    for test in &tests {
-        let mut checker = Checker::new(&harness, test).with_memory_model(opts.model);
-        checker.config.order_encoding = opts.encoding;
-
-        if opts.mine_only {
-            let (spec, how) = mined_spec(&checker, opts.spec_cache.as_ref())?;
-            println!("# {} — {} observations ({how})", test.name, spec.len());
-            print!("{}", spec.to_text());
-            continue;
+    // --spec-cache implies exactly one test (enforced in parse_args), but
+    // gate explicitly: the cache file's exists/read/write sequence is not
+    // safe across concurrent workers.
+    if opts.jobs <= 1 || tests.len() <= 1 || opts.spec_cache.is_some() {
+        for test in &tests {
+            let (out, passed) = run_one_test(&opts, &harness, test)?;
+            print!("{out}");
+            all_passed &= passed;
         }
+        return Ok(all_passed);
+    }
 
-        let (outcome, label) = match opts.method {
-            Method::Observation => {
-                let (spec, how) = mined_spec(&checker, opts.spec_cache.as_ref())?;
-                let r = checker
-                    .check_inclusion(&spec)
-                    .map_err(|e| format!("check failed: {e}"))?;
-                (r.outcome, format!("spec {how}, {} observations", spec.len()))
-            }
-            Method::Commit(ty) => {
-                let r = checker
-                    .check_commit_method(ty)
-                    .map_err(|e| format!("check failed: {e}"))?;
-                (r.outcome, "commit-point method".to_string())
-            }
-        };
-        match outcome {
-            CheckOutcome::Pass => {
-                println!("PASS {} on {} ({label})", test.name, opts.model.name());
-            }
-            CheckOutcome::Fail(cx) => {
-                all_passed = false;
-                println!("FAIL {} on {} ({label})", test.name, opts.model.name());
-                let text = format!("{cx}");
-                if opts.trace {
-                    let mut indented = String::new();
-                    for line in text.lines() {
-                        let _ = writeln!(indented, "  {line}");
-                    }
-                    print!("{indented}");
-                } else {
-                    if let Some(first) = text.lines().next() {
-                        println!("  {first}");
-                    }
-                    println!("  (re-run with --trace for the full counterexample)");
-                }
-            }
-        }
+    // Parallel fan-out: one worker thread per job, one checking session
+    // per test, outputs reassembled in test order.
+    let reports = cf_bench::parallel::run_indexed(opts.jobs, tests.len(), |i| {
+        run_one_test(&opts, &harness, &tests[i])
+    });
+    for r in reports {
+        let (out, passed) = r?;
+        print!("{out}");
+        all_passed &= passed;
     }
     Ok(all_passed)
+}
+
+/// One test's report text and verdict (or a usage/infrastructure error).
+type TestReport = Result<(String, bool), String>;
+
+/// Checks (or mines) one test, returning its report text and verdict.
+fn run_one_test(opts: &Options, harness: &Harness, test: &TestSpec) -> TestReport {
+    let mut out = String::new();
+    let mut checker = Checker::new(harness, test).with_memory_model(opts.model);
+    checker.config.order_encoding = opts.encoding;
+
+    if opts.mine_only {
+        let (spec, how) = mined_spec(&checker, opts.spec_cache.as_ref())?;
+        let _ = writeln!(out, "# {} — {} observations ({how})", test.name, spec.len());
+        out.push_str(&spec.to_text());
+        return Ok((out, true));
+    }
+
+    let (outcome, label) = match opts.method {
+        Method::Observation => {
+            let (spec, how) = mined_spec(&checker, opts.spec_cache.as_ref())?;
+            let r = checker
+                .check_inclusion(&spec)
+                .map_err(|e| format!("check failed: {e}"))?;
+            (
+                r.outcome,
+                format!("spec {how}, {} observations", spec.len()),
+            )
+        }
+        Method::Commit(ty) => {
+            let r = checker
+                .check_commit_method(ty)
+                .map_err(|e| format!("check failed: {e}"))?;
+            (r.outcome, "commit-point method".to_string())
+        }
+    };
+    match outcome {
+        CheckOutcome::Pass => {
+            let _ = writeln!(out, "PASS {} on {} ({label})", test.name, opts.model.name());
+            Ok((out, true))
+        }
+        CheckOutcome::Fail(cx) => {
+            let _ = writeln!(out, "FAIL {} on {} ({label})", test.name, opts.model.name());
+            let text = format!("{cx}");
+            if opts.trace {
+                for line in text.lines() {
+                    let _ = writeln!(out, "  {line}");
+                }
+            } else {
+                if let Some(first) = text.lines().next() {
+                    let _ = writeln!(out, "  {first}");
+                }
+                let _ = writeln!(out, "  (re-run with --trace for the full counterexample)");
+            }
+            Ok((out, false))
+        }
+    }
 }
 
 fn main() -> ExitCode {

@@ -53,7 +53,7 @@ pub mod prelude {
     pub use checkfence::commit::AbstractType;
     pub use checkfence::infer::{infer, InferConfig};
     pub use checkfence::{
-        CheckError, CheckOutcome, Checker, Counterexample, Harness, ObsSet, OpSig,
-        OrderEncoding, TestSpec,
+        CheckError, CheckOutcome, Checker, Counterexample, Harness, ObsSet, OpSig, OrderEncoding,
+        TestSpec,
     };
 }

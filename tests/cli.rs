@@ -42,7 +42,10 @@ fn trace_flag_prints_the_memory_order() {
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("memory order"), "{stdout}");
-    assert!(stdout.contains("flag"), "trace should name locations: {stdout}");
+    assert!(
+        stdout.contains("flag"),
+        "trace should name locations: {stdout}"
+    );
 }
 
 #[test]
@@ -95,6 +98,32 @@ fn commit_method_runs_from_the_cli() {
     assert_eq!(out.status.code(), Some(2), "{out:?}");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("commit"), "{stderr}");
+}
+
+#[test]
+fn parallel_jobs_preserve_output_order_and_exit_code() {
+    // Two tests on two workers: reports must come back in declaration
+    // order, and the overall exit code must reflect the failing test.
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("assets/mailbox.c");
+    let out = run(cli()
+        .arg(src)
+        .args(["--op", "p=put:arg"])
+        .args(["--op", "g=get:ret"])
+        .args(["--test", "PG=( p | g )"])
+        .args(["--test", "GG=( p | g g )"])
+        .args(["--model", "tso"])
+        .args(["--jobs", "2"]));
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let pg = stdout.find("PASS PG on tso").expect("PG reported");
+    let gg = stdout.find("PASS GG on tso").expect("GG reported");
+    assert!(pg < gg, "reports out of order: {stdout}");
+
+    let out = run(mailbox_args(&mut cli()).args(["--model", "relaxed", "--jobs", "4"]));
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+
+    let out = run(mailbox_args(&mut cli()).args(["--jobs", "0"]));
+    assert_eq!(out.status.code(), Some(2), "--jobs 0 is a usage error");
 }
 
 #[test]

@@ -1,9 +1,9 @@
 //! Cross-crate integration tests exercising the complete stack the way a
 //! downstream user would.
 
-use checkfence::{commit::AbstractType, CheckOutcome, Checker, Harness, OpSig, TestSpec};
 use cf_algos::{msn, refmodel, tests, Shape, Variant};
 use cf_memmodel::Mode;
+use checkfence::{commit::AbstractType, CheckOutcome, Checker, Harness, OpSig, TestSpec};
 
 #[test]
 fn full_pipeline_on_a_custom_data_type() {
@@ -38,8 +38,18 @@ fn full_pipeline_on_a_custom_data_type() {
             program,
             init_proc: None,
             ops: vec![
-                OpSig { key: 'p', proc_name: "put_op".into(), num_args: 1, has_ret: false },
-                OpSig { key: 't', proc_name: "take_op".into(), num_args: 0, has_ret: true },
+                OpSig {
+                    key: 'p',
+                    proc_name: "put_op".into(),
+                    num_args: 1,
+                    has_ret: false,
+                },
+                OpSig {
+                    key: 't',
+                    proc_name: "take_op".into(),
+                    num_args: 0,
+                    has_ret: true,
+                },
             ],
         }
     };
@@ -57,10 +67,18 @@ fn full_pipeline_on_a_custom_data_type() {
     // Relaxed (the in-op load-load fence also orders the two takes'
     // loads of `full`, so no CoRR either).
     let checker = Checker::new(&unfenced, &test).with_memory_model(Mode::Sc);
-    assert!(checker.check_inclusion(&spec).expect("checks").outcome.passed());
+    assert!(checker
+        .check_inclusion(&spec)
+        .expect("checks")
+        .outcome
+        .passed());
     let fenced = mk(true);
     let checker = Checker::new(&fenced, &test).with_memory_model(Mode::Relaxed);
-    assert!(checker.check_inclusion(&spec).expect("checks").outcome.passed());
+    assert!(checker
+        .check_inclusion(&spec)
+        .expect("checks")
+        .outcome
+        .passed());
 }
 
 #[test]
@@ -95,8 +113,18 @@ fn commit_method_requires_annotations() {
         program,
         init_proc: None,
         ops: vec![
-            OpSig { key: 'e', proc_name: "enqueue_op".into(), num_args: 1, has_ret: false },
-            OpSig { key: 'd', proc_name: "dequeue_op".into(), num_args: 0, has_ret: true },
+            OpSig {
+                key: 'e',
+                proc_name: "enqueue_op".into(),
+                num_args: 1,
+                has_ret: false,
+            },
+            OpSig {
+                key: 'd',
+                proc_name: "dequeue_op".into(),
+                num_args: 0,
+                has_ret: true,
+            },
         ],
     };
     let t = TestSpec::parse("T0", "( e | d )").expect("parses");
@@ -133,7 +161,10 @@ fn counterexamples_have_coherent_traces() {
     let spec = c.mine_spec_reference().expect("mines").spec;
     match c.check_inclusion(&spec).expect("checks").outcome {
         CheckOutcome::Fail(cx) => {
-            assert!(!spec.contains(&cx.obs), "counterexample obs must be outside the spec");
+            assert!(
+                !spec.contains(&cx.obs),
+                "counterexample obs must be outside the spec"
+            );
             assert!(!cx.steps.is_empty(), "trace is non-empty");
             assert!(
                 cx.steps.iter().any(|s| s.thread == 0),
