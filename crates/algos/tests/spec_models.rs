@@ -1,0 +1,114 @@
+//! SAT-backend equivalence of the bundled `.cfm` specs and their
+//! built-in `Mode` twins on real harnesses.
+//!
+//! The acceptance bar for the spec subsystem: on the Treiber stack and
+//! the two-lock queue, a session encoding built-in modes *and* their
+//! compiled spec twins side by side must return identical checker
+//! verdicts for every (mode, twin) pair, from a single symbolic
+//! execution and a single encoding. A one-shot spec checker run is also
+//! compared against the enum path for both a passing and a failing
+//! configuration.
+
+use cf_algos::{ms2, tests, treiber, Variant};
+use cf_memmodel::{Mode, ModeSet};
+use cf_spec::bundled;
+use checkfence::{CheckConfig, CheckSession, Checker, Harness, ModelSel, SessionConfig, TestSpec};
+
+/// Sweeps all four hardware modes and their spec twins on one shared
+/// session and asserts pairwise-identical verdicts.
+fn assert_mixed_session_equivalence(harness: &Harness, test: &TestSpec) {
+    let hardware: Vec<Mode> = Mode::hardware().to_vec();
+    let specs: Vec<cf_spec::ModelSpec> = hardware.iter().map(|&m| bundled::for_mode(m)).collect();
+    let config = SessionConfig::from_check_config(&CheckConfig::default(), ModeSet::hardware())
+        .with_specs(specs);
+    let mut session = CheckSession::with_config(harness, test, config);
+    let spec = session.mine_spec_reference().expect("mines").spec;
+    for (i, &mode) in hardware.iter().enumerate() {
+        let enum_verdict = session
+            .check_inclusion(mode, &spec)
+            .expect("enum check")
+            .outcome
+            .passed();
+        let spec_verdict = session
+            .check_inclusion_model(ModelSel::Spec(i), &spec)
+            .expect("spec check")
+            .outcome
+            .passed();
+        assert_eq!(
+            enum_verdict, spec_verdict,
+            "{} {}: Mode::{mode:?} and its .cfm twin disagree",
+            harness.name, test.name
+        );
+    }
+    assert_eq!(session.stats().symexecs, 1, "one symbolic execution");
+    assert_eq!(session.stats().encodes, 1, "one shared encoding");
+}
+
+#[test]
+fn treiber_unfenced_mixed_session_matches() {
+    let h = treiber::harness(Variant::Unfenced);
+    let t = tests::by_name("U0").expect("catalog test");
+    assert_mixed_session_equivalence(&h, &t);
+}
+
+#[test]
+fn treiber_fenced_mixed_session_matches() {
+    let h = treiber::harness(Variant::Fenced);
+    let t = tests::by_name("U0").expect("catalog test");
+    assert_mixed_session_equivalence(&h, &t);
+}
+
+#[test]
+fn ms2_fenced_mixed_session_matches() {
+    let h = ms2::harness(Variant::Fenced);
+    let t = tests::by_name("T0").expect("catalog test");
+    assert_mixed_session_equivalence(&h, &t);
+}
+
+#[test]
+fn oneshot_spec_checker_agrees_with_enum_path() {
+    // A failing configuration: the unfenced Treiber stack on Relaxed.
+    let h = treiber::harness(Variant::Unfenced);
+    let t = tests::by_name("U0").expect("catalog test");
+    let checker = Checker::new(&h, &t).with_memory_model(Mode::Relaxed);
+    let obs = checker.mine_spec_reference().expect("mines").spec;
+    let enum_fail = checker.check_inclusion(&obs).expect("enum check").outcome;
+    let spec_fail = checker
+        .check_inclusion_spec(&bundled::for_mode(Mode::Relaxed), &obs)
+        .expect("spec check")
+        .outcome;
+    assert!(!enum_fail.passed(), "unfenced treiber breaks on relaxed");
+    assert!(!spec_fail.passed(), "the spec twin must find the bug too");
+    if let checkfence::CheckOutcome::Fail(cx) = &spec_fail {
+        assert_eq!(cx.model, "relaxed", "counterexample names the spec");
+    }
+
+    // A passing configuration: the fenced build on the same model.
+    let h = treiber::harness(Variant::Fenced);
+    let checker = Checker::new(&h, &t).with_memory_model(Mode::Relaxed);
+    let obs = checker.mine_spec_reference().expect("mines").spec;
+    assert!(checker
+        .check_inclusion(&obs)
+        .expect("enum")
+        .outcome
+        .passed());
+    assert!(checker
+        .check_inclusion_spec(&bundled::for_mode(Mode::Relaxed), &obs)
+        .expect("spec")
+        .outcome
+        .passed());
+}
+
+#[test]
+fn serial_spec_enumerates_the_mined_specification() {
+    // The `serial.cfm` spec (atomic_ops) must enumerate exactly the
+    // serial observation set on the SAT path.
+    let h = ms2::harness(Variant::Fenced);
+    let t = tests::by_name("T0").expect("catalog test");
+    let checker = Checker::new(&h, &t);
+    let mined = checker.mine_spec_reference().expect("mines").spec;
+    let enumerated = checker
+        .enumerate_observations_spec(&bundled::for_mode(Mode::Serial))
+        .expect("enumerates");
+    assert_eq!(enumerated, mined, "serial spec = serial semantics");
+}

@@ -179,6 +179,97 @@ pub mod parallel {
         }
     }
 
+    /// One verdict of a mixed (built-in + declarative) model matrix.
+    #[derive(Clone, Debug)]
+    pub struct ModelCell {
+        /// Implementation mnemonic.
+        pub algo: &'static str,
+        /// Test name.
+        pub test: String,
+        /// Display name of the model checked (mode name or spec name).
+        pub model: String,
+        /// Whether the inclusion check passed.
+        pub passed: bool,
+        /// Infrastructure error, if the check could not run.
+        pub error: Option<String>,
+        /// Wall-clock time of this cell's query.
+        pub elapsed: Duration,
+    }
+
+    /// Runs every workload against built-in modes *and* declarative
+    /// models on `jobs` worker threads: one session per workload, its
+    /// encoding covering the whole model universe, each model answered
+    /// by an assumption vector. Verdicts come back in deterministic
+    /// (workload, modes.., specs..) order.
+    pub fn run_matrix_with_specs(
+        workloads: &[Workload],
+        modes: &[Mode],
+        specs: &[cf_spec::ModelSpec],
+        jobs: usize,
+    ) -> Vec<ModelCell> {
+        let mode_set: ModeSet = modes.iter().copied().collect();
+        let rows = run_indexed(jobs, workloads.len(), |i| {
+            run_model_cell(&workloads[i], modes, mode_set, specs)
+        });
+        rows.into_iter().flatten().collect()
+    }
+
+    fn run_model_cell(
+        w: &Workload,
+        modes: &[Mode],
+        mode_set: ModeSet,
+        specs: &[cf_spec::ModelSpec],
+    ) -> Vec<ModelCell> {
+        use checkfence::ModelSel;
+        let config = SessionConfig::from_check_config(&CheckConfig::default(), mode_set)
+            .with_specs(specs.to_vec());
+        let mut session = CheckSession::with_config(&w.harness, &w.test, config);
+        let models: Vec<(String, ModelSel)> = modes
+            .iter()
+            .map(|&m| (m.name().to_string(), ModelSel::Builtin(m)))
+            .chain(
+                specs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.name.clone(), ModelSel::Spec(i))),
+            )
+            .collect();
+        let spec = match session.mine_spec_reference() {
+            Ok(m) => m.spec,
+            Err(e) => {
+                return models
+                    .into_iter()
+                    .map(|(model, _)| ModelCell {
+                        algo: w.algo.name(),
+                        test: w.test.name.clone(),
+                        model,
+                        passed: false,
+                        error: Some(e.to_string()),
+                        elapsed: Duration::ZERO,
+                    })
+                    .collect();
+            }
+        };
+        models
+            .into_iter()
+            .map(|(model, sel)| {
+                let t = Instant::now();
+                let (passed, error) = match session.check_inclusion_model(sel, &spec) {
+                    Ok(r) => (r.outcome.passed(), None),
+                    Err(e) => (false, Some(e.to_string())),
+                };
+                ModelCell {
+                    algo: w.algo.name(),
+                    test: w.test.name.clone(),
+                    model,
+                    passed,
+                    error,
+                    elapsed: t.elapsed(),
+                }
+            })
+            .collect()
+    }
+
     fn run_cell(w: &Workload, modes: &[Mode], mode_set: ModeSet) -> Vec<CellResult> {
         let config = SessionConfig::from_check_config(&CheckConfig::default(), mode_set);
         let mut session = CheckSession::with_config(&w.harness, &w.test, config);

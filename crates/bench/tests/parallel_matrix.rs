@@ -34,3 +34,28 @@ fn parallel_matrix_matches_sequential_and_preserves_order() {
         assert!(f.passed, "{} {} on {:?}", f.algo, f.test, f.mode);
     }
 }
+
+#[test]
+fn mixed_model_matrix_agrees_with_enum_columns() {
+    // Built-ins and their compiled spec twins checked from one session
+    // per workload: twin columns must agree cell by cell, and the
+    // fan-out must preserve order.
+    let modes = [Mode::Sc, Mode::Relaxed];
+    let specs: Vec<_> = modes
+        .iter()
+        .map(|&m| cf_spec::bundled::for_mode(m))
+        .collect();
+    let cells = parallel::run_matrix_with_specs(&small_matrix(), &modes, &specs, 3);
+    assert_eq!(cells.len(), 8, "2 workloads x (2 modes + 2 specs)");
+    for chunk in cells.chunks(4) {
+        for (enum_cell, spec_cell) in chunk[..2].iter().zip(&chunk[2..]) {
+            assert_eq!(enum_cell.model, spec_cell.model, "twin columns align");
+            assert!(enum_cell.error.is_none() && spec_cell.error.is_none());
+            assert_eq!(
+                enum_cell.passed, spec_cell.passed,
+                "{} {} on {}: enum and spec verdicts diverge",
+                enum_cell.algo, enum_cell.test, enum_cell.model
+            );
+        }
+    }
+}

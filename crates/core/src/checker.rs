@@ -134,8 +134,9 @@ pub struct Counterexample {
     pub errors: Vec<String>,
     /// Executed memory accesses in memory order.
     pub steps: Vec<TraceStep>,
-    /// The memory model under which the execution exists.
-    pub model: Mode,
+    /// Name of the memory model under which the execution exists (a
+    /// built-in [`Mode`] name or a declarative spec's `model` header).
+    pub model: String,
 }
 
 impl fmt::Display for Counterexample {
@@ -143,7 +144,7 @@ impl fmt::Display for Counterexample {
         writeln!(
             f,
             "counterexample on {} ({})",
-            self.model.name(),
+            self.model,
             match self.kind {
                 FailureKind::InconsistentObservation => "observation not serializable",
                 FailureKind::RuntimeError => "runtime error",
@@ -471,7 +472,12 @@ impl<'h> Checker<'h> {
             stats.solve_time += t.elapsed();
             match r {
                 SolveResult::Sat => {
-                    let cx = decode_counterexample(sx, enc, FailureKind::SerialError, Mode::Serial);
+                    let cx = decode_counterexample(
+                        sx,
+                        enc,
+                        FailureKind::SerialError,
+                        Mode::Serial.name().to_string(),
+                    );
                     return Err(CheckError::SerialBug(Box::new(cx)));
                 }
                 SolveResult::Unknown => return Err(CheckError::SolverBudget),
@@ -578,6 +584,42 @@ impl<'h> Checker<'h> {
             .check_inclusion(model, spec)
     }
 
+    /// Runs the inclusion check under a declarative memory model
+    /// ([`cf_spec::ModelSpec`]) instead of a built-in [`Mode`]: the spec
+    /// is compiled into the session encoding as the sole member of the
+    /// model universe.
+    ///
+    /// # Errors
+    ///
+    /// As [`Checker::check_inclusion`].
+    pub fn check_inclusion_spec(
+        &self,
+        model: &cf_spec::ModelSpec,
+        spec: &ObsSet,
+    ) -> Result<InclusionResult, CheckError> {
+        let config = SessionConfig::from_check_config(&self.config, ModeSet::empty())
+            .with_specs(vec![model.clone()]);
+        CheckSession::with_config(self.harness, self.test, config)
+            .check_inclusion_model(crate::ModelSel::Spec(0), spec)
+    }
+
+    /// Enumerates the observations of all error-free executions under a
+    /// declarative memory model (the spec analogue of
+    /// [`Checker::enumerate_observations`]).
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure errors only.
+    pub fn enumerate_observations_spec(
+        &self,
+        model: &cf_spec::ModelSpec,
+    ) -> Result<ObsSet, CheckError> {
+        let config = SessionConfig::from_check_config(&self.config, ModeSet::empty())
+            .with_specs(vec![model.clone()]);
+        CheckSession::with_config(self.harness, self.test, config)
+            .enumerate_observations_model(crate::ModelSel::Spec(0))
+    }
+
     /// The pre-session one-shot implementation of
     /// [`Checker::check_inclusion`]: builds a fresh encoding and solver.
     /// Kept as the independent baseline for session-equivalence tests and
@@ -617,7 +659,7 @@ impl<'h> Checker<'h> {
                     } else {
                         FailureKind::InconsistentObservation
                     };
-                    let cx = decode_counterexample(sx, enc, kind, model);
+                    let cx = decode_counterexample(sx, enc, kind, model.name().to_string());
                     Ok(Round::Final(CheckOutcome::Fail(Box::new(cx))))
                 }
             }
@@ -644,7 +686,7 @@ pub(crate) fn decode_counterexample(
     sx: &SymExec,
     enc: &mut Encoding,
     kind: FailureKind,
-    model: Mode,
+    model: String,
 ) -> Counterexample {
     let obs = enc.decode_obs();
     let errors = enc.triggered_errors();

@@ -125,7 +125,7 @@ impl Checker<'_> {
                     } else {
                         FailureKind::InconsistentObservation
                     };
-                    let cx = decode_counterexample(&sx, &mut enc, kind, model);
+                    let cx = decode_counterexample(&sx, &mut enc, kind, model.name().to_string());
                     stats.total_time = t0.elapsed();
                     return Ok(InclusionResult {
                         outcome: CheckOutcome::Fail(Box::new(cx)),

@@ -19,6 +19,7 @@ use std::collections::{BTreeMap, HashMap};
 use cf_lsl::{PrimOp, Value};
 use cf_memmodel::{fence_orders, AccessKind, Mode, ModeSet};
 use cf_sat::Lit;
+use cf_spec::ModelSpec;
 
 use crate::cnf::CnfBuilder;
 use crate::range::{init_value, RangeInfo, ValueSet};
@@ -65,6 +66,24 @@ pub struct EncVal {
     pub path: Vec<Vec<Lit>>,
 }
 
+/// A reference to one memory model of a multi-model encoding: either a
+/// built-in [`Mode`] or a compiled [`ModelSpec`] by its index in the
+/// encoding's spec list.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ModelSel {
+    /// A built-in mode.
+    Builtin(Mode),
+    /// The `i`-th spec passed to [`Encoding::build_with_specs`] (or
+    /// [`crate::SessionConfig::specs`]).
+    Spec(usize),
+}
+
+impl From<Mode> for ModelSel {
+    fn from(m: Mode) -> ModelSel {
+        ModelSel::Builtin(m)
+    }
+}
+
 /// The full encoding of one test under one or more memory models.
 ///
 /// A single-mode encoding ([`Encoding::build`]) is exactly the paper's
@@ -76,6 +95,12 @@ pub struct EncVal {
 /// Candidate fences ([`cf_lsl::Stmt::CandidateFence`]) likewise get
 /// per-site *activation literals*, making a fence placement an
 /// assumption vector instead of a re-encode.
+///
+/// Declarative models ([`cf_spec::ModelSpec`]) join the same machinery
+/// through [`Encoding::build_with_specs`]: each spec's axioms are
+/// compiled to clauses over the shared memory-order variables, gated
+/// behind a per-spec selector literal, so user models toggle as
+/// assumptions alongside the built-ins.
 pub struct Encoding {
     /// The CNF builder / solver.
     pub cnf: CnfBuilder,
@@ -110,15 +135,28 @@ pub struct Encoding {
     /// assuming the negation makes the site inert.
     pub fence_acts: BTreeMap<u32, Lit>,
 
+    /// The declarative models encoded alongside the built-in modes,
+    /// in selector order ([`ModelSel::Spec`] indexes this list).
+    pub(crate) specs: Vec<ModelSpec>,
+
     order: OrderVars,
     /// Cached spec-membership circuits `(spec, no_match lit)` — pure
     /// definitions reused by session inclusion queries with one spec and
     /// many assumption vectors.
     spec_cache: Vec<(crate::checker::ObsSet, Lit)>,
     /// Selector literal per mode (indexed by [`Mode::index`]): `tt` in a
-    /// single-mode encoding, `ff` for modes outside the set, a fresh
+    /// single-model encoding, `ff` for modes outside the set, a fresh
     /// variable per member otherwise.
     mode_sel: [Lit; 5],
+    /// Selector literal per declarative model (parallel to `specs`).
+    spec_sel: Vec<Lit>,
+    /// Reads-from literals `(store, load) → Flows(s, l)` retained from
+    /// the value-flow encoding (the `rf` base relation of compiled
+    /// specs).
+    pub(crate) flows: HashMap<(usize, usize), Lit>,
+    /// Per-load `Init(l)` literals (no store visible), for the
+    /// initial-value case of the `fr` relation.
+    pub(crate) load_init: HashMap<usize, Lit>,
     /// Gate literals per mode group (keyed by the `ModeSet` bitmask).
     group_cache: HashMap<ModeSet, Lit>,
     vcache: HashMap<VTermId, EncVal>,
@@ -161,7 +199,23 @@ impl Encoding {
         modes: ModeSet,
         order_encoding: OrderEncoding,
     ) -> Encoding {
-        assert!(!modes.is_empty(), "encoding needs at least one mode");
+        Self::build_with_specs(sx, range, modes, &[], order_encoding)
+    }
+
+    /// Builds a multi-model encoding over built-in modes *and* compiled
+    /// declarative models: every model (either kind) gets a selector
+    /// literal, and a query picks one via [`Encoding::model_assumptions`].
+    pub fn build_with_specs(
+        sx: &SymExec,
+        range: &RangeInfo,
+        modes: ModeSet,
+        specs: &[ModelSpec],
+        order_encoding: OrderEncoding,
+    ) -> Encoding {
+        assert!(
+            !modes.is_empty() || !specs.is_empty(),
+            "encoding needs at least one model"
+        );
         let widths = Widths {
             int: range.int_width.max(2),
             depth: range.max_depth.max(1),
@@ -169,16 +223,17 @@ impl Encoding {
             len: bits_for(range.max_depth.max(1) as u64 + 1),
         };
         let mut cnf = CnfBuilder::new();
-        // Selector literals: constants when only one mode is encoded, so
-        // the single-mode build costs exactly what it did before.
+        // Selector literals: constants when only one model is encoded,
+        // so the single-model build costs exactly what it did before.
+        let total = modes.len() + specs.len();
         let mut mode_sel = [cnf.ff(); 5];
         for m in modes.iter() {
-            mode_sel[m.index()] = if modes.len() == 1 {
-                cnf.tt()
-            } else {
-                cnf.fresh()
-            };
+            mode_sel[m.index()] = if total == 1 { cnf.tt() } else { cnf.fresh() };
         }
+        let spec_sel: Vec<Lit> = specs
+            .iter()
+            .map(|_| if total == 1 { cnf.tt() } else { cnf.fresh() })
+            .collect();
         let mut enc = Encoding {
             cnf,
             modes,
@@ -194,9 +249,13 @@ impl Encoding {
             exceeded: Vec::new(),
             int_width: range.int_width.max(2),
             fence_acts: BTreeMap::new(),
+            specs: specs.to_vec(),
             order: OrderVars::Pairwise(HashMap::new()),
             spec_cache: Vec::new(),
             mode_sel,
+            spec_sel,
+            flows: HashMap::new(),
+            load_init: HashMap::new(),
             group_cache: HashMap::new(),
             vcache: HashMap::new(),
             bcache: HashMap::new(),
@@ -222,43 +281,92 @@ impl Encoding {
     }
 
     /// The assumption vector selecting `mode`: its selector positive,
-    /// every other encoded mode's selector negative. Empty for a
-    /// single-mode encoding (the selector is the constant `tt`).
+    /// every other encoded model's selector negative. Empty for a
+    /// single-model encoding (the selector is the constant `tt`).
     ///
     /// # Panics
     ///
     /// Panics if `mode` is not in the encoded set.
     pub fn mode_assumptions(&self, mode: Mode) -> Vec<Lit> {
-        assert!(
-            self.modes.contains(mode),
-            "mode {} not in the encoded set",
-            mode.name()
-        );
-        if self.modes.len() == 1 {
+        self.model_assumptions(ModelSel::Builtin(mode))
+    }
+
+    /// The assumption vector selecting one model (built-in mode or
+    /// compiled spec): its selector positive, every other encoded
+    /// model's selector negative. Empty for a single-model encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is not part of the encoding.
+    pub fn model_assumptions(&self, model: ModelSel) -> Vec<Lit> {
+        match model {
+            ModelSel::Builtin(mode) => assert!(
+                self.modes.contains(mode),
+                "mode {} not in the encoded set",
+                mode.name()
+            ),
+            ModelSel::Spec(i) => assert!(
+                i < self.specs.len(),
+                "spec index {i} out of range ({} specs encoded)",
+                self.specs.len()
+            ),
+        }
+        if self.modes.len() + self.specs.len() == 1 {
             return Vec::new();
         }
-        self.modes
+        let mut asm: Vec<Lit> = self
+            .modes
             .iter()
             .map(|m| {
                 let sel = self.mode_sel[m.index()];
-                if m == mode {
+                if model == ModelSel::Builtin(m) {
                     sel
                 } else {
                     !sel
                 }
             })
-            .collect()
+            .collect();
+        asm.extend(self.spec_sel.iter().enumerate().map(|(i, &sel)| {
+            if model == ModelSel::Spec(i) {
+                sel
+            } else {
+                !sel
+            }
+        }));
+        asm
     }
 
-    /// The gate literal for a group of modes: true iff the selected mode
-    /// is in the group. Constant-folds to `tt`/`ff` when the group is the
-    /// whole set / empty; cached otherwise.
-    fn mode_gate(&mut self, group: ModeSet) -> Lit {
-        if group == self.modes {
-            return self.cnf.tt();
+    /// The display name of an encoded model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range spec index.
+    pub fn model_name(&self, model: ModelSel) -> String {
+        match model {
+            ModelSel::Builtin(mode) => mode.name().to_string(),
+            ModelSel::Spec(i) => self.specs[i].name.clone(),
         }
+    }
+
+    /// The selector literal of the `i`-th compiled spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index.
+    pub fn spec_selector(&self, i: usize) -> Lit {
+        self.spec_sel[i]
+    }
+
+    /// The gate literal for a group of modes: true iff the selected
+    /// model is in the group. Constant-folds to `ff` when the group is
+    /// empty and to `tt` when it is the whole model universe (only
+    /// possible with no specs encoded); cached otherwise.
+    fn mode_gate(&mut self, group: ModeSet) -> Lit {
         if group.is_empty() {
             return self.cnf.ff();
+        }
+        if group == self.modes && self.specs.is_empty() {
+            return self.cnf.tt();
         }
         if let Some(&l) = self.group_cache.get(&group) {
             return l;
@@ -284,7 +392,7 @@ impl Encoding {
 
     /// The activation literal of candidate fence site `site`, created on
     /// first use.
-    fn fence_act(&mut self, site: u32) -> Lit {
+    pub(crate) fn fence_act(&mut self, site: u32) -> Lit {
         if let Some(&l) = self.fence_acts.get(&site) {
             return l;
         }
@@ -376,15 +484,19 @@ impl Encoding {
 
         // --- axiom 1: program order, fences, atomic blocks
         self.encode_program_order(sx, range);
-        // --- seriality: operations are atomic (gated on the Serial
-        // selector in a multi-mode encoding)
-        if self.modes.contains(Mode::Serial) {
+        // --- seriality: operations are atomic (gated on the selectors
+        // of the models requesting it in a multi-model encoding)
+        if self.modes.contains(Mode::Serial) || self.specs.iter().any(|s| s.atomic_ops) {
             self.encode_operation_atomicity(sx);
         }
         // --- initialization happens before all thread events
         self.encode_init_order(sx);
         // --- axioms 2 & 3: load visibility and values
         self.encode_value_flow(sx, range);
+        // --- declarative models: compile each spec's axioms over the
+        // shared order/flow variables, gated on its selector (needs the
+        // Flows/Init literals of the value-flow encoding for `rf`/`fr`)
+        crate::spec_compile::emit_spec_axioms(self, sx, range);
 
         // --- assumptions
         let assumes = sx.assumes.clone();
@@ -435,7 +547,7 @@ impl Encoding {
         }
     }
 
-    fn imply(&mut self, premises: &[Lit], conclusion: Lit) {
+    pub(crate) fn imply(&mut self, premises: &[Lit], conclusion: Lit) {
         let mut clause: Vec<Lit> = premises.iter().map(|&p| !p).collect();
         clause.push(conclusion);
         clause.retain(|&l| l != self.cnf.ff());
@@ -470,11 +582,13 @@ impl Encoding {
                     let gate = self.mode_gate(uncond);
                     let b = self.before(x, y);
                     self.imply(&[gate, gx, gy], b);
-                    if uncond == self.modes {
-                        // Every encoded mode already orders this pair
+                    if uncond == self.modes && self.specs.is_empty() {
+                        // Every encoded model already orders this pair
                         // unconditionally: the fence and atomic-block
                         // edges below are subsumed (same conclusion,
                         // premises ⊇ {gx, gy}), so skip emitting them.
+                        // (With specs encoded the gate is not `tt`, so
+                        // the edges below must still be emitted.)
                         continue;
                     }
                 }
@@ -484,11 +598,15 @@ impl Encoding {
                     let b = self.before(x, y);
                     self.imply(&[gate, gx, gy, ae], b);
                 }
-                // Fence edges: sound under every mode (in modes ordering
-                // the pair unconditionally they are subsumed, and skipped
-                // above when that covers the whole set). Candidate fences
-                // are additionally gated by their site's activation
-                // literal.
+                // Fence edges: sound under every built-in mode (in modes
+                // ordering the pair unconditionally they are subsumed,
+                // and skipped above when that covers the whole set).
+                // Declarative models define their own fence semantics
+                // through the `fence` relation, so when specs share the
+                // encoding these clauses are gated on "a built-in mode
+                // is selected". Candidate fences are additionally gated
+                // by their site's activation literal.
+                let builtin_gate = self.mode_gate(self.modes);
                 for fi in 0..sx.fences.len() {
                     let f = &sx.fences[fi];
                     if f.thread == ex.thread
@@ -504,7 +622,7 @@ impl Encoding {
                             None => self.cnf.tt(),
                         };
                         let b = self.before(x, y);
-                        self.imply(&[act, gx, gy, gf], b);
+                        self.imply(&[builtin_gate, act, gx, gy, gf], b);
                     }
                 }
                 // Atomic blocks: internal program order.
@@ -532,13 +650,36 @@ impl Encoding {
         for (i, e) in sx.events.iter().enumerate() {
             ops.entry(e.op).or_default().push(i);
         }
-        // Seriality is the only mode interleaving whole operations
-        // atomically; in a multi-mode encoding its contiguity clauses are
-        // gated on the Serial selector.
-        let gate = self.mode_gate(ModeSet::single(Mode::Serial));
+        // Whole-operation atomicity belongs to Seriality and to any
+        // declarative model with `option atomic_ops`; the contiguity
+        // clauses are gated on the union of those selectors.
+        let serial = if self.modes.contains(Mode::Serial) {
+            self.mode_gate(ModeSet::single(Mode::Serial))
+        } else {
+            self.cnf.ff()
+        };
+        let gate = self.spec_option_gate(serial, |s| s.atomic_ops);
         for members in ops.values() {
             self.encode_group_contiguity(sx, members, gate);
         }
+    }
+
+    /// ORs onto `base` the selector of every encoded spec for which the
+    /// option predicate holds — the gate "the selected model has this
+    /// framework option" given the built-in contribution `base`.
+    fn spec_option_gate(&mut self, base: Lit, has: impl Fn(&ModelSpec) -> bool) -> Lit {
+        let sels: Vec<Lit> = self
+            .specs
+            .iter()
+            .zip(&self.spec_sel)
+            .filter(|(s, _)| has(s))
+            .map(|(_, &sel)| sel)
+            .collect();
+        let mut gate = base;
+        for sel in sels {
+            gate = self.cnf.or(gate, sel);
+        }
+        gate
     }
 
     /// No external event may fall between two members of the group (when
@@ -590,6 +731,17 @@ impl Encoding {
 
     fn encode_value_flow(&mut self, sx: &SymExec, range: &RangeInfo) {
         let n = sx.events.len();
+        // Store-to-load forwarding (a buffered same-thread earlier store
+        // is visible regardless of the memory order) applies under the
+        // forwarding modes and under declarative models with
+        // `option forwarding`; the combined gate folds to a constant in
+        // a single-model encoding, reproducing the paper's two
+        // visibility shapes exactly.
+        let fwd_gate = {
+            let fwd = ModeSet::forwarding_group(self.modes);
+            let base = self.mode_gate(fwd);
+            self.spec_option_gate(base, |s| s.forwarding)
+        };
         for l in 0..n {
             if sx.events[l].kind != AccessKind::Load {
                 continue;
@@ -602,25 +754,22 @@ impl Encoding {
                 if es.kind != AccessKind::Store {
                     continue;
                 }
-                // A same-thread store after the load in program order can
-                // never be visible (see module docs): same-address implies
-                // l <M s by axiom 1, different address implies ¬addr_eq.
-                if es.thread == el.thread && es.po > el.po {
+                // Under every built-in mode, a same-thread store after
+                // the load in program order can never be visible (see
+                // module docs): same-address implies l <M s by axiom 1,
+                // different address implies ¬addr_eq. A declarative
+                // model need not order same-address load→store pairs,
+                // so with specs encoded the candidate is kept and the
+                // ordering literal decides (specs that do order the
+                // pair falsify `before(s, l)`, recovering the pruning
+                // inside the solver).
+                if es.thread == el.thread && es.po > el.po && self.specs.is_empty() {
                     continue;
                 }
                 if may_alias(range, es.addr, el.addr) {
                     cands.push(s);
                 }
             }
-            // Visibility literals. Store-to-load forwarding (a buffered
-            // same-thread earlier store is visible regardless of the
-            // memory order) applies only under the forwarding modes; the
-            // gate folds to a constant in a single-mode encoding,
-            // reproducing the paper's two visibility shapes exactly.
-            let fwd_gate = {
-                let fwd = ModeSet::forwarding_group(self.modes);
-                self.mode_gate(fwd)
-            };
             let mut vis: Vec<Lit> = Vec::with_capacity(cands.len());
             for &s in &cands {
                 let es = &sx.events[s];
@@ -642,6 +791,7 @@ impl Encoding {
             for &v in &vis {
                 init_lit = self.cnf.and(init_lit, !v);
             }
+            self.load_init.insert(l, init_lit);
             // Flows(s, l): s is the <M-maximal visible store.
             let gl = self.guards[l];
             for (i, &s) in cands.iter().enumerate() {
@@ -654,6 +804,8 @@ impl Encoding {
                     let shadowed = self.cnf.and(vis[j], later);
                     flows = self.cnf.and(flows, !shadowed);
                 }
+                // Retained for the `rf` relation of compiled specs.
+                self.flows.insert((s, l), flows);
                 // g_l ∧ Flows(s,l) → v_l = v_s
                 let eq = self.enc_eq(&self.values[l].clone(), &self.values[s].clone());
                 self.imply(&[gl, flows], eq);
@@ -982,7 +1134,7 @@ impl Encoding {
 
     /// Address equality literal between two address terms (cached, range
     /// pruned).
-    fn addr_eq(&mut self, sx: &SymExec, a: VTermId, b: VTermId) -> Lit {
+    pub(crate) fn addr_eq(&mut self, sx: &SymExec, a: VTermId, b: VTermId) -> Lit {
         let key = if a <= b { (a, b) } else { (b, a) };
         if let Some(&l) = self.addr_eq_cache.get(&key) {
             return l;
@@ -1096,7 +1248,7 @@ impl Encoding {
 }
 
 /// May the two address terms alias (share a pointer value)?
-fn may_alias(range: &RangeInfo, a: VTermId, b: VTermId) -> bool {
+pub(crate) fn may_alias(range: &RangeInfo, a: VTermId, b: VTermId) -> bool {
     match (range.set(a), range.set(b)) {
         (ValueSet::Top, _) | (_, ValueSet::Top) => true,
         (ValueSet::Finite(sa), ValueSet::Finite(sb)) => {

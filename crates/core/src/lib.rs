@@ -59,6 +59,7 @@ mod fxhash;
 mod mine;
 mod range;
 mod session;
+mod spec_compile;
 mod symexec;
 mod term;
 mod test_spec;
@@ -72,7 +73,7 @@ pub use checker::{
     MiningResult, ObsSet, PhaseStats, TraceStep,
 };
 pub use cnf::CnfBuilder;
-pub use encode::{EncVal, Encoding, OrderEncoding};
+pub use encode::{EncVal, Encoding, ModelSel, OrderEncoding};
 pub use fxhash::{FxHashMap, FxHasher};
 pub use mine::mine_reference;
 pub use obs_text::ParseObsError;

@@ -97,7 +97,7 @@ pub fn mine_reference(harness: &Harness, test: &TestSpec) -> Result<MiningResult
                         obs: vec![],
                         errors: vec![e.to_string()],
                         steps: vec![],
-                        model: cf_memmodel::Mode::Serial,
+                        model: cf_memmodel::Mode::Serial.name().to_string(),
                     };
                     return Err(CheckError::SerialBug(Box::new(cx)));
                 }

@@ -36,13 +36,14 @@ use std::time::Instant;
 
 use cf_memmodel::{Mode, ModeSet};
 use cf_sat::{Lit, SolveResult};
+use cf_spec::ModelSpec;
 
 use crate::checker::{
     decode_counterexample, CheckConfig, CheckError, CheckOutcome, FailureKind, InclusionResult,
     MiningResult, ObsSet, PhaseStats,
 };
 use crate::commit::{encode_abstract_machine, AbstractType};
-use crate::encode::{Encoding, OrderEncoding};
+use crate::encode::{Encoding, ModelSel, OrderEncoding};
 use crate::range::analyze;
 use crate::symexec::{execute, LoopBounds, SymExec};
 use crate::test_spec::{Harness, TestSpec};
@@ -50,10 +51,15 @@ use crate::test_spec::{Harness, TestSpec};
 /// Configuration of a [`CheckSession`].
 #[derive(Clone, Debug)]
 pub struct SessionConfig {
-    /// The memory models the session can answer queries for. Encoding
-    /// only the modes you need keeps the formula smaller; a single-mode
-    /// session costs exactly what the one-shot encoding did.
+    /// The built-in memory models the session can answer queries for.
+    /// Encoding only the modes you need keeps the formula smaller; a
+    /// single-model session costs exactly what the one-shot encoding
+    /// did.
     pub modes: ModeSet,
+    /// Declarative models encoded alongside the built-ins, addressed by
+    /// index ([`ModelSel::Spec`]). Compiled once into the shared
+    /// encoding, toggled per query like any built-in mode.
+    pub specs: Vec<ModelSpec>,
     /// Memory-order encoding.
     pub order_encoding: OrderEncoding,
     /// Whether the range analysis runs.
@@ -80,6 +86,7 @@ impl SessionConfig {
     pub fn from_check_config(config: &CheckConfig, modes: ModeSet) -> SessionConfig {
         SessionConfig {
             modes,
+            specs: Vec::new(),
             order_encoding: config.order_encoding,
             range_analysis: config.range_analysis,
             max_bound_rounds: config.max_bound_rounds,
@@ -87,6 +94,12 @@ impl SessionConfig {
             spin_bound: config.spin_bound,
             solver_config: config.solver_config,
         }
+    }
+
+    /// Adds declarative models to the session's universe (chainable).
+    pub fn with_specs(mut self, specs: Vec<ModelSpec>) -> SessionConfig {
+        self.specs = specs;
+        self
     }
 }
 
@@ -237,7 +250,8 @@ impl<'h> CheckSession<'h> {
         let t0 = Instant::now();
         let mut stats = PhaseStats::default();
         self.stats.queries += 1;
-        let spec = self.with_bounds(Mode::Serial, &[], &mut stats, |sx, enc, asm, stats| {
+        let serial = ModelSel::Builtin(Mode::Serial);
+        let spec = self.with_bounds(serial, &[], &mut stats, |sx, enc, asm, stats| {
             // Any serial execution with an error is a sequential bug.
             let mut with_err = asm.to_vec();
             with_err.push(enc.error_lit);
@@ -246,7 +260,8 @@ impl<'h> CheckSession<'h> {
             stats.solve_time += t.elapsed();
             match r {
                 SolveResult::Sat => {
-                    let cx = decode_counterexample(sx, enc, FailureKind::SerialError, Mode::Serial);
+                    let name = enc.model_name(serial);
+                    let cx = decode_counterexample(sx, enc, FailureKind::SerialError, name);
                     return Err(CheckError::SerialBug(Box::new(cx)));
                 }
                 SolveResult::Unknown => return Err(CheckError::SolverBudget),
@@ -279,9 +294,20 @@ impl<'h> CheckSession<'h> {
     /// Infrastructure errors only. Panics if `mode` is not in the
     /// session's mode set.
     pub fn enumerate_observations(&mut self, mode: Mode) -> Result<ObsSet, CheckError> {
+        self.enumerate_observations_model(ModelSel::Builtin(mode))
+    }
+
+    /// [`CheckSession::enumerate_observations`] for any encoded model —
+    /// a built-in mode or a declarative spec of the session's universe.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure errors only. Panics if the model is not part of
+    /// the session's universe.
+    pub fn enumerate_observations_model(&mut self, model: ModelSel) -> Result<ObsSet, CheckError> {
         let mut stats = PhaseStats::default();
         self.stats.queries += 1;
-        self.with_bounds(mode, &[], &mut stats, |_sx, enc, asm, stats| {
+        self.with_bounds(model, &[], &mut stats, |_sx, enc, asm, stats| {
             let vectors = Self::enumerate_gated(enc, asm, stats)?;
             Ok(Round::Bounded(ObsSet { vectors }))
         })
@@ -361,34 +387,69 @@ impl<'h> CheckSession<'h> {
         spec: &ObsSet,
         active_sites: &[u32],
     ) -> Result<InclusionResult, CheckError> {
+        self.check_inclusion_model_with_fences(ModelSel::Builtin(mode), spec, active_sites)
+    }
+
+    /// [`CheckSession::check_inclusion`] for any encoded model — a
+    /// built-in mode or a declarative spec of the session's universe.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure errors only. Panics if the model is not part of
+    /// the session's universe.
+    pub fn check_inclusion_model(
+        &mut self,
+        model: ModelSel,
+        spec: &ObsSet,
+    ) -> Result<InclusionResult, CheckError> {
+        self.check_inclusion_model_with_fences(model, spec, &[])
+    }
+
+    /// [`CheckSession::check_inclusion_with_fences`] for any encoded
+    /// model: declarative specs see candidate fences through their
+    /// `fence` relation, so spec models drive fence-inference sessions
+    /// exactly like built-ins.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure errors only. Panics if the model is not part of
+    /// the session's universe.
+    pub fn check_inclusion_model_with_fences(
+        &mut self,
+        model: ModelSel,
+        spec: &ObsSet,
+        active_sites: &[u32],
+    ) -> Result<InclusionResult, CheckError> {
         let t0 = Instant::now();
         let mut stats = PhaseStats::default();
         self.stats.queries += 1;
-        let outcome = self.with_bounds(mode, active_sites, &mut stats, |sx, enc, asm, stats| {
-            // The spec-membership circuit is a pure definition: cache it
-            // per spec, so the fence-inference loop (same spec, different
-            // activation vector) encodes it once.
-            let no_match = Self::spec_no_match(enc, spec);
-            let bad = enc.cnf.or(enc.error_lit, no_match);
-            let mut a = asm.to_vec();
-            a.push(bad);
-            let t = Instant::now();
-            let r = enc.cnf.solver.solve_with(&a);
-            stats.solve_time += t.elapsed();
-            match r {
-                SolveResult::Unsat => Ok(Round::Bounded(CheckOutcome::Pass)),
-                SolveResult::Unknown => Err(CheckError::SolverBudget),
-                SolveResult::Sat => {
-                    let kind = if enc.cnf.lit_value(enc.error_lit) {
-                        FailureKind::RuntimeError
-                    } else {
-                        FailureKind::InconsistentObservation
-                    };
-                    let cx = decode_counterexample(sx, enc, kind, mode);
-                    Ok(Round::Final(CheckOutcome::Fail(Box::new(cx))))
+        let outcome =
+            self.with_bounds(model, active_sites, &mut stats, |sx, enc, asm, stats| {
+                // The spec-membership circuit is a pure definition: cache it
+                // per spec, so the fence-inference loop (same spec, different
+                // activation vector) encodes it once.
+                let no_match = Self::spec_no_match(enc, spec);
+                let bad = enc.cnf.or(enc.error_lit, no_match);
+                let mut a = asm.to_vec();
+                a.push(bad);
+                let t = Instant::now();
+                let r = enc.cnf.solver.solve_with(&a);
+                stats.solve_time += t.elapsed();
+                match r {
+                    SolveResult::Unsat => Ok(Round::Bounded(CheckOutcome::Pass)),
+                    SolveResult::Unknown => Err(CheckError::SolverBudget),
+                    SolveResult::Sat => {
+                        let kind = if enc.cnf.lit_value(enc.error_lit) {
+                            FailureKind::RuntimeError
+                        } else {
+                            FailureKind::InconsistentObservation
+                        };
+                        let name = enc.model_name(model);
+                        let cx = decode_counterexample(sx, enc, kind, name);
+                        Ok(Round::Final(CheckOutcome::Fail(Box::new(cx))))
+                    }
                 }
-            }
-        })?;
+            })?;
         stats.total_time = t0.elapsed();
         Ok(InclusionResult { outcome, stats })
     }
@@ -430,8 +491,13 @@ impl<'h> CheckSession<'h> {
             self.stats.symexecs += 1;
             let t0 = Instant::now();
             let range = analyze(&sx, self.config.range_analysis);
-            let mut enc =
-                Encoding::build_multi(&sx, &range, self.config.modes, self.config.order_encoding);
+            let mut enc = Encoding::build_with_specs(
+                &sx,
+                &range,
+                self.config.modes,
+                &self.config.specs,
+                self.config.order_encoding,
+            );
             stats.encode_time += t0.elapsed();
             self.stats.encodes += 1;
             let overflow_act = if enc.exceeded.is_empty() {
@@ -459,10 +525,10 @@ impl<'h> CheckSession<'h> {
         Ok(())
     }
 
-    /// The assumption prefix of a query: mode selectors plus the
+    /// The assumption prefix of a query: model selectors plus the
     /// activation polarity of every candidate fence site.
-    fn base_assumptions(enc: &Encoding, mode: Mode, active_sites: &[u32]) -> Vec<Lit> {
-        let mut asm = enc.mode_assumptions(mode);
+    fn base_assumptions(enc: &Encoding, model: ModelSel, active_sites: &[u32]) -> Vec<Lit> {
+        let mut asm = enc.model_assumptions(model);
         for (&site, &act) in &enc.fence_acts {
             asm.push(if active_sites.contains(&site) {
                 act
@@ -510,7 +576,7 @@ impl<'h> CheckSession<'h> {
     /// discovers executions past the current bounds.
     fn with_bounds<T>(
         &mut self,
-        mode: Mode,
+        model: ModelSel,
         active_sites: &[u32],
         stats: &mut PhaseStats,
         mut payload: impl FnMut(
@@ -525,7 +591,7 @@ impl<'h> CheckSession<'h> {
             self.ensure_state(stats)?;
             let st = self.state.as_mut().expect("state built");
             let sat0 = *st.enc.cnf.solver.stats();
-            let base = Self::base_assumptions(&st.enc, mode, active_sites);
+            let base = Self::base_assumptions(&st.enc, model, active_sites);
             // Overflow first: the payload may add (gated) clauses, but
             // more importantly a pass is only bound-valid if no execution
             // escapes the bounds under these assumptions.
@@ -566,7 +632,7 @@ impl<'h> CheckSession<'h> {
             self.ensure_state(stats)?;
             let st = self.state.as_mut().expect("state built");
             let sat0 = *st.enc.cnf.solver.stats();
-            let base = Self::base_assumptions(&st.enc, mode, &[]);
+            let base = Self::base_assumptions(&st.enc, ModelSel::Builtin(mode), &[]);
             let overflow = Self::overflow_keys(st, &base, stats)?;
             let (gate, mismatch) = match st.commit_cache.iter().find(|(t, _, _)| *t == ty) {
                 Some(&(_, g, m)) => (g, m),
@@ -602,7 +668,8 @@ impl<'h> CheckSession<'h> {
                     } else {
                         FailureKind::InconsistentObservation
                     };
-                    let cx = decode_counterexample(&st.sx, &mut st.enc, kind, mode);
+                    let name = mode.name().to_string();
+                    let cx = decode_counterexample(&st.sx, &mut st.enc, kind, name);
                     return Ok(CheckOutcome::Fail(Box::new(cx)));
                 }
                 SolveResult::Unknown => return Err(CheckError::SolverBudget),

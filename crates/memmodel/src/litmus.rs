@@ -240,6 +240,23 @@ pub fn store_buffering_half_fenced() -> Litmus {
     }
 }
 
+/// Write-to-read causality (three threads): T1 observes T0's store and
+/// then publishes; T2 observes the publication but misses the original
+/// store. Outcome `[1, 1, 0]` needs load-store reordering in T1 or
+/// load-load reordering in T2 — allowed only on Relaxed (TSO and PSO
+/// keep loads ordered and never hoist stores above loads).
+pub fn write_read_causality() -> Litmus {
+    Litmus {
+        name: "WRC",
+        threads: vec![
+            vec![Store { addr: 0, value: 1 }],
+            vec![Load { addr: 0, reg: 0 }, Store { addr: 1, value: 1 }],
+            vec![Load { addr: 1, reg: 1 }, Load { addr: 0, reg: 2 }],
+        ],
+        num_regs: 3,
+    }
+}
+
 /// All catalog entries.
 pub fn all() -> Vec<Litmus> {
     vec![
@@ -256,6 +273,77 @@ pub fn all() -> Vec<Litmus> {
         iriw_unfenced(),
         store_forwarding(),
         store_buffering_half_fenced(),
+        write_read_causality(),
+    ]
+}
+
+/// One row of the cross-mode expected-outcome matrix (§2.3.3): a litmus
+/// test, its distinguishing outcome, and whether each hardware model
+/// allows it.
+pub struct MatrixRow {
+    /// The test.
+    pub test: Litmus,
+    /// The distinguishing register outcome.
+    pub outcome: Vec<i64>,
+    /// Expected allowance per hardware mode, in [`Mode::hardware`]
+    /// order: `[Sc, Tso, Pso, Relaxed]`.
+    pub allowed: [bool; 4],
+}
+
+/// The expected-outcome matrix: every catalog test's distinguishing
+/// outcome with its per-mode verdict. The rows witness that each model
+/// in the §2.3.3 chain is *strictly* weaker than its predecessor, and
+/// double as the differencing oracle for user-written specs (`cf-spec`
+/// checks its bundled models against exactly this table).
+pub fn matrix() -> Vec<MatrixRow> {
+    let row = |test, outcome, allowed| MatrixRow {
+        test,
+        outcome,
+        allowed,
+    };
+    vec![
+        // SB separates SC from TSO (store buffering).
+        row(store_buffering(), vec![0, 0], [false, true, true, true]),
+        row(store_buffering_fenced(), vec![0, 0], [false; 4]),
+        row(
+            store_buffering_half_fenced(),
+            vec![0, 0],
+            [false, true, true, true],
+        ),
+        // MP separates TSO from PSO (store-store reordering).
+        row(message_passing(), vec![1, 0], [false, false, true, true]),
+        row(message_passing_fenced(), vec![1, 0], [false; 4]),
+        row(
+            message_passing_ss_fence_only(),
+            vec![1, 0],
+            [false, false, false, true],
+        ),
+        // LB and CoRR separate PSO from Relaxed (load reordering).
+        row(load_buffering(), vec![1, 1], [false, false, false, true]),
+        row(load_buffering_fenced(), vec![1, 1], [false; 4]),
+        row(
+            coherence_read_read(),
+            vec![1, 0],
+            [false, false, false, true],
+        ),
+        row(coherence_read_read_fenced(), vec![1, 0], [false; 4]),
+        row(
+            iriw_unfenced(),
+            vec![1, 0, 1, 0],
+            [false, false, false, true],
+        ),
+        // The paper's Fig. 2: forbidden on every model of this chain.
+        row(iriw_fenced(), vec![1, 0, 1, 0], [false; 4]),
+        row(
+            store_forwarding(),
+            vec![1, 0, 1, 0],
+            [false, true, true, true],
+        ),
+        row(
+            write_read_causality(),
+            vec![1, 1, 0],
+            [false, false, false, true],
+        ),
     ]
 }
 
@@ -397,6 +485,60 @@ mod tests {
                 mode.name()
             );
         }
+    }
+
+    #[test]
+    fn expected_outcome_matrix_holds() {
+        for row in matrix() {
+            for (mode, &expected) in Mode::hardware().iter().zip(&row.allowed) {
+                assert_eq!(
+                    row.test.allows(*mode, &row.outcome),
+                    expected,
+                    "{} {:?} on {}",
+                    row.test.name,
+                    row.outcome,
+                    mode.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn each_hardware_model_is_strictly_weaker_than_the_previous() {
+        // §2.3.3: SC ⊂ TSO ⊂ PSO ⊂ Relaxed, strictly — for every
+        // adjacent pair some matrix row is forbidden on the stronger
+        // model and allowed on the weaker one.
+        let rows = matrix();
+        for i in 0..3 {
+            let witness = rows
+                .iter()
+                .find(|r| !r.allowed[i] && r.allowed[i + 1])
+                .unwrap_or_else(|| {
+                    panic!(
+                        "no litmus test separates {} from {}",
+                        Mode::hardware()[i].name(),
+                        Mode::hardware()[i + 1].name()
+                    )
+                });
+            assert!(!witness.test.allows(Mode::hardware()[i], &witness.outcome));
+            assert!(witness
+                .test
+                .allows(Mode::hardware()[i + 1], &witness.outcome));
+        }
+    }
+
+    #[test]
+    fn wrc_needs_full_relaxation() {
+        let t = write_read_causality();
+        assert!(!t.allows(Mode::Sc, &[1, 1, 0]));
+        assert!(
+            !t.allows(Mode::Tso, &[1, 1, 0]),
+            "TSO keeps R→W and R→R order"
+        );
+        assert!(!t.allows(Mode::Pso, &[1, 1, 0]), "PSO keeps load order");
+        assert!(t.allows(Mode::Relaxed, &[1, 1, 0]));
+        // Causality chains that stay intact: all-ones is SC-reachable.
+        assert!(t.allows(Mode::Sc, &[1, 1, 1]));
     }
 
     #[test]

@@ -87,9 +87,27 @@ impl Cnf {
     }
 
     /// Renders the formula as DIMACS text.
+    ///
+    /// The header's variable count covers every literal actually used,
+    /// even when `num_vars` understates it (a programmatically built
+    /// formula need not keep the field in sync) — so `parse` is a left
+    /// inverse of this writer and the header is valid for external
+    /// tools.
     pub fn to_dimacs(&self) -> String {
+        let used = self
+            .clauses
+            .iter()
+            .flatten()
+            .map(|l| l.var().index() + 1)
+            .max()
+            .unwrap_or(0);
         let mut out = String::new();
-        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        let _ = writeln!(
+            out,
+            "p cnf {} {}",
+            self.num_vars.max(used),
+            self.clauses.len()
+        );
         for c in &self.clauses {
             for l in c {
                 let _ = write!(out, "{} ", l.to_dimacs());
@@ -140,6 +158,61 @@ mod tests {
         let cnf = Cnf::parse("1 2 0 -1 0").expect("parses");
         let again = Cnf::parse(&cnf.to_dimacs()).expect("parses");
         assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn writer_parser_roundtrip_with_empty_clauses_and_comments() {
+        // Empty clauses (a lone `0`), interleaved comments, a clause
+        // split across lines, and a comment between a clause's literals
+        // must all survive a parse → write → parse round trip.
+        let text = "c header comment\n\
+                    p cnf 4 4\n\
+                    0\n\
+                    1 -2\n\
+                    c mid-clause comment\n\
+                    3 0\n\
+                    -4 0\n\
+                    c trailing comment\n\
+                    0\n";
+        let cnf = Cnf::parse(text).expect("parses");
+        assert_eq!(cnf.clauses.len(), 4);
+        assert_eq!(cnf.clauses[0], vec![]);
+        assert_eq!(cnf.clauses[3], vec![]);
+        assert_eq!(cnf.clauses[1].len(), 3, "clause may span lines");
+        let written = cnf.to_dimacs();
+        let again = Cnf::parse(&written).expect("round-trips");
+        assert_eq!(cnf, again);
+        // Idempotence of the canonical form.
+        assert_eq!(written, again.to_dimacs());
+    }
+
+    #[test]
+    fn writer_header_covers_all_used_variables() {
+        // A programmatically built formula whose `num_vars` understates
+        // the literals used: the writer must not emit an invalid header,
+        // and the round trip must be the identity on clauses with
+        // `num_vars` corrected to the true count.
+        let cnf = Cnf {
+            num_vars: 1,
+            clauses: vec![vec![Lit::from_dimacs(1), Lit::from_dimacs(-7)], vec![]],
+        };
+        let written = cnf.to_dimacs();
+        assert!(written.starts_with("p cnf 7 2"), "{written}");
+        let again = Cnf::parse(&written).expect("parses");
+        assert_eq!(again.num_vars, 7);
+        assert_eq!(again.clauses, cnf.clauses);
+        // A second trip is the identity.
+        assert_eq!(Cnf::parse(&again.to_dimacs()).expect("parses"), again);
+    }
+
+    #[test]
+    fn empty_formula_roundtrip() {
+        let cnf = Cnf {
+            num_vars: 3,
+            clauses: vec![],
+        };
+        let again = Cnf::parse(&cnf.to_dimacs()).expect("parses");
+        assert_eq!(again, cnf, "declared-but-unused variables survive");
     }
 
     #[test]

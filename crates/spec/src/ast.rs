@@ -1,0 +1,237 @@
+//! The abstract syntax of `.cfm` memory-model specifications.
+//!
+//! A specification names a model, sets framework options, defines
+//! derived relations over events (`let`), and states axioms constraining
+//! the postulated total memory order `mo` (§2.3.2 of the paper: "there
+//! exists a total order `<M` such that ...").
+
+use cf_lsl::FenceKind;
+
+/// A built-in binary relation over the events of one execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BaseRel {
+    /// Program order: same thread, `x` issued before `y`.
+    Po,
+    /// Same-address restriction: `x` and `y` target the same location.
+    Loc,
+    /// Internal: same thread (excluding identity).
+    Int,
+    /// External: different threads.
+    Ext,
+    /// Identity.
+    Id,
+    /// The postulated total memory order `<M`.
+    Mo,
+    /// Reads-from: the store `x` is the value source of the load `y`.
+    Rf,
+    /// Coherence: same-address stores in memory order.
+    Co,
+    /// From-read: the load `x` reads a store overwritten by store `y`
+    /// (including loads of the initial value, which are `fr`-before every
+    /// same-address store).
+    Fr,
+    /// Fence-separated pairs. `None` is the generic form: some fence
+    /// between `x` and `y` orders their access kinds (paper §3.1 X-Y
+    /// fence semantics). `Some(k)` restricts to fences of kind `k` (the
+    /// pair's kinds must still match the fence's X-Y signature).
+    Fence(Option<FenceKind>),
+}
+
+impl BaseRel {
+    /// The surface-syntax spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            BaseRel::Po => "po",
+            BaseRel::Loc => "loc",
+            BaseRel::Int => "int",
+            BaseRel::Ext => "ext",
+            BaseRel::Id => "id",
+            BaseRel::Mo => "mo",
+            BaseRel::Rf => "rf",
+            BaseRel::Co => "co",
+            BaseRel::Fr => "fr",
+            BaseRel::Fence(None) => "fence",
+            BaseRel::Fence(Some(FenceKind::LoadLoad)) => "fence_ll",
+            BaseRel::Fence(Some(FenceKind::LoadStore)) => "fence_ls",
+            BaseRel::Fence(Some(FenceKind::StoreLoad)) => "fence_sl",
+            BaseRel::Fence(Some(FenceKind::StoreStore)) => "fence_ss",
+        }
+    }
+
+    /// Does evaluating this relation require a candidate memory order
+    /// (or a value assignment deriving `rf`)?
+    pub fn is_dynamic(self) -> bool {
+        matches!(self, BaseRel::Mo | BaseRel::Rf | BaseRel::Co | BaseRel::Fr)
+    }
+}
+
+/// An event-set filter, written `[R]`, `[W]` or `[M]` and denoting the
+/// identity relation restricted to that set (the cat idiom for
+/// kind-restricting a relation via composition).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SetFilter {
+    /// Loads.
+    Loads,
+    /// Stores.
+    Stores,
+    /// All memory events.
+    All,
+}
+
+impl SetFilter {
+    /// The surface-syntax spelling (without brackets).
+    pub fn name(self) -> &'static str {
+        match self {
+            SetFilter::Loads => "R",
+            SetFilter::Stores => "W",
+            SetFilter::All => "M",
+        }
+    }
+}
+
+/// A relation expression.
+///
+/// `Name` nodes only appear in freshly parsed specifications; the
+/// well-formedness checker ([`crate::check`]) resolves them against
+/// `let` definitions and built-ins, so a checked [`ModelSpec`] contains
+/// no names.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RelExpr {
+    /// An unresolved identifier (parse-time only).
+    Name(String),
+    /// A built-in relation.
+    Base(BaseRel),
+    /// An identity filter `[R]`/`[W]`/`[M]`.
+    Filter(SetFilter),
+    /// Union `a | b`.
+    Union(Box<RelExpr>, Box<RelExpr>),
+    /// Intersection `a & b`.
+    Inter(Box<RelExpr>, Box<RelExpr>),
+    /// Difference `a \ b`.
+    Diff(Box<RelExpr>, Box<RelExpr>),
+    /// Composition `a ; b`.
+    Seq(Box<RelExpr>, Box<RelExpr>),
+    /// Transitive closure `a+`.
+    Closure(Box<RelExpr>),
+    /// Inverse `a^-1`.
+    Inverse(Box<RelExpr>),
+}
+
+impl RelExpr {
+    /// `true` if no sub-expression mentions an execution-dependent
+    /// relation (`mo`, `rf`, `co`, `fr`): such relations are decidable
+    /// from the program text alone, which lets the explicit oracle use
+    /// them to prune its linearization search upfront.
+    pub fn is_static(&self) -> bool {
+        match self {
+            RelExpr::Name(_) => false,
+            RelExpr::Base(b) => !b.is_dynamic(),
+            RelExpr::Filter(_) => true,
+            RelExpr::Union(a, b)
+            | RelExpr::Inter(a, b)
+            | RelExpr::Diff(a, b)
+            | RelExpr::Seq(a, b) => a.is_static() && b.is_static(),
+            RelExpr::Closure(a) | RelExpr::Inverse(a) => a.is_static(),
+        }
+    }
+
+    /// `true` if some sub-expression is an unresolved [`RelExpr::Name`].
+    pub fn has_names(&self) -> bool {
+        match self {
+            RelExpr::Name(_) => true,
+            RelExpr::Base(_) | RelExpr::Filter(_) => false,
+            RelExpr::Union(a, b)
+            | RelExpr::Inter(a, b)
+            | RelExpr::Diff(a, b)
+            | RelExpr::Seq(a, b) => a.has_names() || b.has_names(),
+            RelExpr::Closure(a) | RelExpr::Inverse(a) => a.has_names(),
+        }
+    }
+}
+
+/// The kind of an axiom.
+///
+/// All axioms constrain the one postulated total memory order `mo`
+/// (this reproduction's §2.3.2 framework): an execution is allowed iff
+/// *some* total order satisfies every axiom together with the value
+/// axioms. Under that reading `acyclic r` is equivalent to
+/// `irreflexive r` plus `order r` — with `mo` total, a cycle in
+/// `r ∪ mo` exists exactly when `r` has a self-edge or an edge against
+/// `mo`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AxiomKind {
+    /// `order r`: every `r`-edge must be an `mo`-edge (`r ⊆ mo`).
+    Order,
+    /// `acyclic r`: `r ∪ mo` is acyclic, i.e. `r` is irreflexive and
+    /// `r \ id ⊆ mo`.
+    Acyclic,
+    /// `irreflexive r`: no self-edges.
+    Irreflexive,
+    /// `empty r`: no edges at all.
+    Empty,
+}
+
+impl AxiomKind {
+    /// The surface-syntax keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            AxiomKind::Order => "order",
+            AxiomKind::Acyclic => "acyclic",
+            AxiomKind::Irreflexive => "irreflexive",
+            AxiomKind::Empty => "empty",
+        }
+    }
+}
+
+/// One axiom of a specification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Axiom {
+    /// What the axiom asserts about its relation.
+    pub kind: AxiomKind,
+    /// Optional display label (`... as name`).
+    pub label: Option<String>,
+    /// The constrained relation.
+    pub rel: RelExpr,
+}
+
+/// A parsed-but-unchecked specification (names unresolved).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RawSpec {
+    /// The model name from the `model` header.
+    pub name: String,
+    /// `option` lines with their source lines.
+    pub options: Vec<(String, usize)>,
+    /// `let` definitions with their source lines, in order.
+    pub lets: Vec<(String, RelExpr, usize)>,
+    /// Axioms with their source lines, in order.
+    pub axioms: Vec<(Axiom, usize)>,
+}
+
+/// A checked, resolved memory-model specification — the unit both
+/// backends consume (the explicit oracle in [`crate::interp`], the CNF
+/// compiler in the `checkfence` core).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ModelSpec {
+    /// Model name (reported in verdicts and counterexamples).
+    pub name: String,
+    /// Store-to-load forwarding: a thread's own buffered (program-order
+    /// earlier) stores are visible to its loads regardless of `mo`
+    /// (§2.3.2 visibility `S(l)`).
+    pub forwarding: bool,
+    /// Whole operations interleave atomically (the Seriality semantics).
+    pub atomic_ops: bool,
+    /// The axioms, fully resolved.
+    pub axioms: Vec<Axiom>,
+}
+
+impl ModelSpec {
+    /// `true` if every `order`/`acyclic` axiom is static (evaluable
+    /// without a candidate order) — the fast path of the explicit
+    /// oracle, and the common case for hardware-like models.
+    pub fn has_static_order_axioms(&self) -> bool {
+        self.axioms
+            .iter()
+            .filter(|a| matches!(a.kind, AxiomKind::Order | AxiomKind::Acyclic))
+            .all(|a| a.rel.is_static())
+    }
+}

@@ -1,0 +1,187 @@
+//! A programmatic builder for [`ModelSpec`]s — the API twin of the
+//! `.cfm` text format, for tests and embedded models.
+//!
+//! # Examples
+//!
+//! TSO, written with combinators instead of text:
+//!
+//! ```
+//! use cf_spec::builder::{po, stores, loads, SpecBuilder};
+//!
+//! let tso = SpecBuilder::new("tso")
+//!     .forwarding(true)
+//!     .order(po().minus(stores().seq(po()).seq(loads())).union(cf_spec::builder::fence()))
+//!     .build();
+//! assert!(tso.forwarding);
+//! assert_eq!(tso.axioms.len(), 1);
+//! ```
+
+use crate::ast::{Axiom, AxiomKind, BaseRel, ModelSpec, RelExpr, SetFilter};
+
+/// Program order.
+pub fn po() -> RelExpr {
+    RelExpr::Base(BaseRel::Po)
+}
+
+/// Same-address restriction.
+pub fn loc() -> RelExpr {
+    RelExpr::Base(BaseRel::Loc)
+}
+
+/// Same-thread pairs (excluding identity).
+pub fn int() -> RelExpr {
+    RelExpr::Base(BaseRel::Int)
+}
+
+/// Cross-thread pairs.
+pub fn ext() -> RelExpr {
+    RelExpr::Base(BaseRel::Ext)
+}
+
+/// Identity.
+pub fn id() -> RelExpr {
+    RelExpr::Base(BaseRel::Id)
+}
+
+/// The postulated memory order.
+pub fn mo() -> RelExpr {
+    RelExpr::Base(BaseRel::Mo)
+}
+
+/// Reads-from.
+pub fn rf() -> RelExpr {
+    RelExpr::Base(BaseRel::Rf)
+}
+
+/// Coherence.
+pub fn co() -> RelExpr {
+    RelExpr::Base(BaseRel::Co)
+}
+
+/// From-read.
+pub fn fr() -> RelExpr {
+    RelExpr::Base(BaseRel::Fr)
+}
+
+/// Generic fence-separated pairs (any fence kind matching the pair).
+pub fn fence() -> RelExpr {
+    RelExpr::Base(BaseRel::Fence(None))
+}
+
+/// Fence-separated pairs for a specific fence kind.
+pub fn fence_kind(kind: cf_lsl::FenceKind) -> RelExpr {
+    RelExpr::Base(BaseRel::Fence(Some(kind)))
+}
+
+/// The `[R]` identity filter.
+pub fn loads() -> RelExpr {
+    RelExpr::Filter(SetFilter::Loads)
+}
+
+/// The `[W]` identity filter.
+pub fn stores() -> RelExpr {
+    RelExpr::Filter(SetFilter::Stores)
+}
+
+/// The `[M]` identity filter.
+pub fn all_events() -> RelExpr {
+    RelExpr::Filter(SetFilter::All)
+}
+
+impl RelExpr {
+    /// Union `self | other`.
+    pub fn union(self, other: RelExpr) -> RelExpr {
+        RelExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Intersection `self & other`.
+    pub fn inter(self, other: RelExpr) -> RelExpr {
+        RelExpr::Inter(Box::new(self), Box::new(other))
+    }
+
+    /// Difference `self \ other`.
+    pub fn minus(self, other: RelExpr) -> RelExpr {
+        RelExpr::Diff(Box::new(self), Box::new(other))
+    }
+
+    /// Composition `self ; other`.
+    pub fn seq(self, other: RelExpr) -> RelExpr {
+        RelExpr::Seq(Box::new(self), Box::new(other))
+    }
+
+    /// Transitive closure `self+`.
+    pub fn plus(self) -> RelExpr {
+        RelExpr::Closure(Box::new(self))
+    }
+
+    /// Inverse `self^-1`.
+    pub fn inv(self) -> RelExpr {
+        RelExpr::Inverse(Box::new(self))
+    }
+}
+
+/// Builds a [`ModelSpec`] incrementally.
+pub struct SpecBuilder {
+    spec: ModelSpec,
+}
+
+impl SpecBuilder {
+    /// Starts a spec with the given model name.
+    pub fn new(name: impl Into<String>) -> SpecBuilder {
+        SpecBuilder {
+            spec: ModelSpec {
+                name: name.into(),
+                forwarding: false,
+                atomic_ops: false,
+                axioms: Vec::new(),
+            },
+        }
+    }
+
+    /// Sets the store-to-load forwarding option.
+    pub fn forwarding(mut self, on: bool) -> SpecBuilder {
+        self.spec.forwarding = on;
+        self
+    }
+
+    /// Sets the atomic-operations (Seriality) option.
+    pub fn atomic_ops(mut self, on: bool) -> SpecBuilder {
+        self.spec.atomic_ops = on;
+        self
+    }
+
+    fn axiom(mut self, kind: AxiomKind, rel: RelExpr) -> SpecBuilder {
+        assert!(!rel.has_names(), "builder expressions must be name-free");
+        self.spec.axioms.push(Axiom {
+            kind,
+            label: None,
+            rel,
+        });
+        self
+    }
+
+    /// Adds an `order` axiom (`rel ⊆ mo`).
+    pub fn order(self, rel: RelExpr) -> SpecBuilder {
+        self.axiom(AxiomKind::Order, rel)
+    }
+
+    /// Adds an `acyclic` axiom.
+    pub fn acyclic(self, rel: RelExpr) -> SpecBuilder {
+        self.axiom(AxiomKind::Acyclic, rel)
+    }
+
+    /// Adds an `irreflexive` axiom.
+    pub fn irreflexive(self, rel: RelExpr) -> SpecBuilder {
+        self.axiom(AxiomKind::Irreflexive, rel)
+    }
+
+    /// Adds an `empty` axiom.
+    pub fn empty(self, rel: RelExpr) -> SpecBuilder {
+        self.axiom(AxiomKind::Empty, rel)
+    }
+
+    /// Finishes the spec.
+    pub fn build(self) -> ModelSpec {
+        self.spec
+    }
+}

@@ -1,0 +1,96 @@
+//! The bundled `.cfm` specifications shipped under `specs/` at the
+//! workspace root: the five built-in [`Mode`]s re-expressed as
+//! declarative specs, each verified equivalent to its enum twin by the
+//! litmus-matrix and checker-equivalence test suites.
+
+use cf_memmodel::Mode;
+
+use crate::ast::ModelSpec;
+use crate::check::compile;
+
+/// `specs/serial.cfm`.
+pub const SERIAL: &str = include_str!("../../../specs/serial.cfm");
+/// `specs/sc.cfm`.
+pub const SC: &str = include_str!("../../../specs/sc.cfm");
+/// `specs/tso.cfm`.
+pub const TSO: &str = include_str!("../../../specs/tso.cfm");
+/// `specs/pso.cfm`.
+pub const PSO: &str = include_str!("../../../specs/pso.cfm");
+/// `specs/relaxed.cfm`.
+pub const RELAXED: &str = include_str!("../../../specs/relaxed.cfm");
+
+/// Every bundled spec as `(file name, source)`, strongest model first.
+pub fn sources() -> [(&'static str, &'static str); 5] {
+    [
+        ("serial.cfm", SERIAL),
+        ("sc.cfm", SC),
+        ("tso.cfm", TSO),
+        ("pso.cfm", PSO),
+        ("relaxed.cfm", RELAXED),
+    ]
+}
+
+/// Compiles every bundled spec, strongest model first (the same order
+/// as [`Mode::all`]).
+///
+/// # Panics
+///
+/// Panics if a bundled file fails to compile — a build-breaking bug
+/// caught by the loader test.
+pub fn all() -> Vec<ModelSpec> {
+    sources()
+        .iter()
+        .map(|(name, src)| {
+            compile(src).unwrap_or_else(|e| panic!("bundled spec {name} is broken: {e}"))
+        })
+        .collect()
+}
+
+/// The bundled spec equivalent to a built-in mode.
+///
+/// # Panics
+///
+/// Panics if the bundled file fails to compile.
+pub fn for_mode(mode: Mode) -> ModelSpec {
+    let src = match mode {
+        Mode::Serial => SERIAL,
+        Mode::Sc => SC,
+        Mode::Tso => TSO,
+        Mode::Pso => PSO,
+        Mode::Relaxed => RELAXED,
+    };
+    compile(src).unwrap_or_else(|e| panic!("bundled spec for {} is broken: {e}", mode.name()))
+}
+
+/// The built-in mode a bundled spec name corresponds to, if any.
+pub fn mode_twin(spec_name: &str) -> Option<Mode> {
+    Mode::all().into_iter().find(|m| m.name() == spec_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundled_specs_compile_and_name_their_modes() {
+        let specs = all();
+        assert_eq!(specs.len(), 5);
+        for (spec, mode) in specs.iter().zip(Mode::all()) {
+            assert_eq!(spec.name, mode.name());
+            assert_eq!(mode_twin(&spec.name), Some(mode));
+            assert_eq!(
+                spec.forwarding,
+                mode.allows_forwarding(),
+                "{}: forwarding option must match the enum",
+                spec.name
+            );
+            assert_eq!(
+                spec.atomic_ops,
+                mode.operations_atomic(),
+                "{}: atomicity option must match the enum",
+                spec.name
+            );
+            assert!(spec.has_static_order_axioms());
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Well-formedness checking and name resolution.
+//!
+//! Turns a [`RawSpec`] into a [`ModelSpec`]: every identifier is
+//! resolved against the built-in relations and earlier `let`
+//! definitions (inlined), options are validated, and shadowing /
+//! redefinition are rejected with spanned errors.
+
+use cf_lsl::FenceKind;
+
+use crate::ast::{Axiom, BaseRel, ModelSpec, RawSpec, RelExpr};
+use crate::error::SpecError;
+
+/// The built-in relation for a surface name, if any.
+pub fn builtin(name: &str) -> Option<BaseRel> {
+    Some(match name {
+        "po" => BaseRel::Po,
+        "loc" => BaseRel::Loc,
+        "int" => BaseRel::Int,
+        "ext" => BaseRel::Ext,
+        "id" => BaseRel::Id,
+        "mo" => BaseRel::Mo,
+        "rf" => BaseRel::Rf,
+        "co" => BaseRel::Co,
+        "fr" => BaseRel::Fr,
+        "fence" => BaseRel::Fence(None),
+        "fence_ll" => BaseRel::Fence(Some(FenceKind::LoadLoad)),
+        "fence_ls" => BaseRel::Fence(Some(FenceKind::LoadStore)),
+        "fence_sl" => BaseRel::Fence(Some(FenceKind::StoreLoad)),
+        "fence_ss" => BaseRel::Fence(Some(FenceKind::StoreStore)),
+        _ => return None,
+    })
+}
+
+fn resolve(expr: &RelExpr, lets: &[(String, RelExpr)], line: usize) -> Result<RelExpr, SpecError> {
+    Ok(match expr {
+        RelExpr::Name(n) => {
+            if let Some((_, def)) = lets.iter().rev().find(|(name, _)| name == n) {
+                def.clone()
+            } else if let Some(b) = builtin(n) {
+                RelExpr::Base(b)
+            } else {
+                return Err(SpecError::new(
+                    line,
+                    format!("unknown relation `{n}` (not a builtin or earlier `let`)"),
+                ));
+            }
+        }
+        RelExpr::Base(b) => RelExpr::Base(*b),
+        RelExpr::Filter(s) => RelExpr::Filter(*s),
+        RelExpr::Union(a, b) => RelExpr::Union(
+            Box::new(resolve(a, lets, line)?),
+            Box::new(resolve(b, lets, line)?),
+        ),
+        RelExpr::Inter(a, b) => RelExpr::Inter(
+            Box::new(resolve(a, lets, line)?),
+            Box::new(resolve(b, lets, line)?),
+        ),
+        RelExpr::Diff(a, b) => RelExpr::Diff(
+            Box::new(resolve(a, lets, line)?),
+            Box::new(resolve(b, lets, line)?),
+        ),
+        RelExpr::Seq(a, b) => RelExpr::Seq(
+            Box::new(resolve(a, lets, line)?),
+            Box::new(resolve(b, lets, line)?),
+        ),
+        RelExpr::Closure(a) => RelExpr::Closure(Box::new(resolve(a, lets, line)?)),
+        RelExpr::Inverse(a) => RelExpr::Inverse(Box::new(resolve(a, lets, line)?)),
+    })
+}
+
+/// Checks a raw specification and resolves every name.
+///
+/// # Errors
+///
+/// Returns a spanned [`SpecError`] on unknown options or relations,
+/// duplicate options, and `let` names that redefine a builtin or an
+/// earlier definition.
+pub fn check(raw: &RawSpec) -> Result<ModelSpec, SpecError> {
+    let mut forwarding = false;
+    let mut atomic_ops = false;
+    let mut seen_opts: Vec<&str> = Vec::new();
+    for (opt, line) in &raw.options {
+        if seen_opts.contains(&opt.as_str()) {
+            return Err(SpecError::new(*line, format!("duplicate option `{opt}`")));
+        }
+        seen_opts.push(opt);
+        match opt.as_str() {
+            "forwarding" => forwarding = true,
+            "atomic_ops" => atomic_ops = true,
+            other => {
+                return Err(SpecError::new(
+                    *line,
+                    format!("unknown option `{other}` (expected `forwarding` or `atomic_ops`)"),
+                ))
+            }
+        }
+    }
+
+    let mut lets: Vec<(String, RelExpr)> = Vec::new();
+    for (name, expr, line) in &raw.lets {
+        if builtin(name).is_some() {
+            return Err(SpecError::new(
+                *line,
+                format!("`{name}` redefines a built-in relation"),
+            ));
+        }
+        if lets.iter().any(|(n, _)| n == name) {
+            return Err(SpecError::new(
+                *line,
+                format!("`{name}` is already defined"),
+            ));
+        }
+        let resolved = resolve(expr, &lets, *line)?;
+        lets.push((name.clone(), resolved));
+    }
+
+    let mut axioms = Vec::new();
+    for (ax, line) in &raw.axioms {
+        let rel = resolve(&ax.rel, &lets, *line)?;
+        debug_assert!(!rel.has_names());
+        axioms.push(Axiom {
+            kind: ax.kind,
+            label: ax.label.clone(),
+            rel,
+        });
+    }
+
+    Ok(ModelSpec {
+        name: raw.name.clone(),
+        forwarding,
+        atomic_ops,
+        axioms,
+    })
+}
+
+/// Parses and checks `.cfm` source in one step — the main entry point.
+///
+/// # Errors
+///
+/// Returns a spanned [`SpecError`] for lexical, syntactic or
+/// well-formedness problems.
+pub fn compile(source: &str) -> Result<ModelSpec, SpecError> {
+    check(&crate::parse::parse(source)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_lets_in_order() {
+        let m = compile("model m\nlet a = po\nlet b = a & loc\norder b").expect("checks");
+        assert_eq!(
+            m.axioms[0].rel,
+            RelExpr::Inter(
+                Box::new(RelExpr::Base(BaseRel::Po)),
+                Box::new(RelExpr::Base(BaseRel::Loc))
+            )
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_names_and_redefinitions() {
+        assert!(compile("model m\norder nonsense").is_err());
+        assert!(compile("model m\nlet po = loc").is_err());
+        assert!(compile("model m\nlet a = po\nlet a = loc").is_err());
+        assert!(
+            compile("model m\nlet b = c\nlet c = po").is_err(),
+            "forward ref"
+        );
+    }
+
+    #[test]
+    fn validates_options() {
+        let m = compile("model m\noption forwarding").expect("checks");
+        assert!(m.forwarding && !m.atomic_ops);
+        assert!(compile("model m\noption bogus").is_err());
+        assert!(compile("model m\noption forwarding\noption forwarding").is_err());
+    }
+
+    #[test]
+    fn static_classification() {
+        let m = compile("model m\norder po | fence\nempty rf & loc").expect("checks");
+        assert!(m.axioms[0].rel.is_static());
+        assert!(!m.axioms[1].rel.is_static());
+        assert!(m.has_static_order_axioms());
+    }
+}

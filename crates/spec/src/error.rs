@@ -1,0 +1,34 @@
+//! Specification error type (mirrors the `cf-minic` front-end idiom).
+
+use std::fmt;
+
+/// A specification error with a 1-based source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpecError {
+    /// 1-based line of the offending construct (0 when unknown).
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl SpecError {
+    /// Creates an error at a source line.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        SpecError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}

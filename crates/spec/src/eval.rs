@@ -1,0 +1,296 @@
+//! A generic evaluator for relation expressions.
+//!
+//! The same compiled [`RelExpr`](crate::RelExpr) is consumed by two
+//! backends: the explicit oracle (conditions are `bool`) and the CNF
+//! compiler in the `checkfence` core (conditions are SAT literals).
+//! Both implement [`RelBackend`], a tiny condition algebra plus the
+//! base-relation membership test, and share this evaluator — so a spec
+//! provably means the same thing on both paths.
+//!
+//! Evaluation produces an `n × n` matrix of conditions over the events
+//! of one execution. Operators are pointwise except composition
+//! (`∃z. a(x,z) ∧ b(z,y)`, with identity filters special-cased to plain
+//! row/column restriction) and transitive closure (Floyd–Warshall over
+//! the condition algebra).
+
+use crate::ast::{RelExpr, SetFilter};
+
+/// The condition algebra + base relations of one backend.
+pub trait RelBackend {
+    /// A membership condition (e.g. `bool` or a SAT literal).
+    type C: Clone;
+
+    /// Number of events.
+    fn n(&self) -> usize;
+    /// The always-true condition.
+    fn tt(&self) -> Self::C;
+    /// The always-false condition.
+    fn ff(&self) -> Self::C;
+    /// Is this condition the constant false? (Used for pruning only;
+    /// sound to always answer `false`.)
+    fn is_ff(&self, c: &Self::C) -> bool;
+    /// Conjunction.
+    fn and(&mut self, a: Self::C, b: Self::C) -> Self::C;
+    /// Disjunction.
+    fn or(&mut self, a: Self::C, b: Self::C) -> Self::C;
+    /// Negation.
+    fn not(&mut self, a: Self::C) -> Self::C;
+    /// Membership of the pair `(x, y)` in a built-in relation.
+    fn base(&mut self, rel: crate::ast::BaseRel, x: usize, y: usize) -> Self::C;
+    /// Membership of event `e` in a set filter (statically decidable in
+    /// both backends: event kinds are fixed by the program text).
+    fn in_set(&self, set: SetFilter, e: usize) -> bool;
+}
+
+/// An `n × n` condition matrix (`m[x][y]` ⇔ `(x, y)` in the relation).
+pub type RelMatrix<C> = Vec<Vec<C>>;
+
+/// Evaluates a resolved relation expression to a condition matrix.
+///
+/// # Panics
+///
+/// Panics on an unresolved [`RelExpr::Name`] — run the expression
+/// through [`crate::check`] first.
+pub fn eval<B: RelBackend>(b: &mut B, expr: &RelExpr) -> RelMatrix<B::C> {
+    let n = b.n();
+    match expr {
+        RelExpr::Name(name) => panic!("unresolved relation name `{name}` (spec not checked)"),
+        RelExpr::Base(rel) => {
+            let mut m = vec![Vec::with_capacity(n); n];
+            for (x, row) in m.iter_mut().enumerate() {
+                for y in 0..n {
+                    let c = b.base(*rel, x, y);
+                    row.push(c);
+                }
+            }
+            m
+        }
+        RelExpr::Filter(set) => {
+            let mut m = vec![vec![b.ff(); n]; n];
+            for (x, row) in m.iter_mut().enumerate() {
+                if b.in_set(*set, x) {
+                    row[x] = b.base(crate::ast::BaseRel::Id, x, x);
+                }
+            }
+            m
+        }
+        RelExpr::Union(p, q) => {
+            let mp = eval(b, p);
+            let mq = eval(b, q);
+            zip(b, mp, mq, |b, x, y| b.or(x, y))
+        }
+        RelExpr::Inter(p, q) => {
+            let mp = eval(b, p);
+            let mq = eval(b, q);
+            zip(b, mp, mq, |b, x, y| b.and(x, y))
+        }
+        RelExpr::Diff(p, q) => {
+            let mp = eval(b, p);
+            let mq = eval(b, q);
+            zip(b, mp, mq, |b, x, y| {
+                let ny = b.not(y);
+                b.and(x, ny)
+            })
+        }
+        RelExpr::Seq(p, q) => {
+            // Identity filters compose as row/column restrictions — the
+            // cat `[W] ; po ; [R]` idiom stays O(n²).
+            if let RelExpr::Filter(s) = &**p {
+                let mut m = eval(b, q);
+                for (x, row) in m.iter_mut().enumerate() {
+                    if !b.in_set(*s, x) {
+                        for c in row.iter_mut() {
+                            *c = b.ff();
+                        }
+                    }
+                }
+                return m;
+            }
+            if let RelExpr::Filter(s) = &**q {
+                let mut m = eval(b, p);
+                for row in m.iter_mut() {
+                    for (y, c) in row.iter_mut().enumerate() {
+                        if !b.in_set(*s, y) {
+                            *c = b.ff();
+                        }
+                    }
+                }
+                return m;
+            }
+            let mp = eval(b, p);
+            let mq = eval(b, q);
+            let mut m = vec![vec![b.ff(); n]; n];
+            for x in 0..n {
+                for z in 0..n {
+                    if b.is_ff(&mp[x][z]) {
+                        continue;
+                    }
+                    for y in 0..n {
+                        if b.is_ff(&mq[z][y]) {
+                            continue;
+                        }
+                        let step = b.and(mp[x][z].clone(), mq[z][y].clone());
+                        let acc = std::mem::replace(&mut m[x][y], b.ff());
+                        m[x][y] = b.or(acc, step);
+                    }
+                }
+            }
+            m
+        }
+        RelExpr::Closure(p) => {
+            let mut m = eval(b, p);
+            // Floyd–Warshall over the condition algebra: monotone, so
+            // in-place accumulation is sound.
+            for k in 0..n {
+                for x in 0..n {
+                    if b.is_ff(&m[x][k]) {
+                        continue;
+                    }
+                    for y in 0..n {
+                        if b.is_ff(&m[k][y]) {
+                            continue;
+                        }
+                        let step = b.and(m[x][k].clone(), m[k][y].clone());
+                        let acc = std::mem::replace(&mut m[x][y], b.ff());
+                        m[x][y] = b.or(acc, step);
+                    }
+                }
+            }
+            m
+        }
+        RelExpr::Inverse(p) => {
+            let m = eval(b, p);
+            let mut out = vec![vec![b.ff(); n]; n];
+            for (x, row) in m.iter().enumerate() {
+                for (y, c) in row.iter().enumerate() {
+                    out[y][x] = c.clone();
+                }
+            }
+            out
+        }
+    }
+}
+
+fn zip<B: RelBackend>(
+    b: &mut B,
+    mp: RelMatrix<B::C>,
+    mq: RelMatrix<B::C>,
+    mut f: impl FnMut(&mut B, B::C, B::C) -> B::C,
+) -> RelMatrix<B::C> {
+    mp.into_iter()
+        .zip(mq)
+        .map(|(rp, rq)| rp.into_iter().zip(rq).map(|(x, y)| f(b, x, y)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BaseRel;
+
+    /// A toy backend over explicit edge sets with `bool` conditions.
+    struct Toy {
+        n: usize,
+        po: Vec<(usize, usize)>,
+    }
+
+    impl RelBackend for Toy {
+        type C = bool;
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn tt(&self) -> bool {
+            true
+        }
+        fn ff(&self) -> bool {
+            false
+        }
+        fn is_ff(&self, c: &bool) -> bool {
+            !*c
+        }
+        fn and(&mut self, a: bool, b: bool) -> bool {
+            a && b
+        }
+        fn or(&mut self, a: bool, b: bool) -> bool {
+            a || b
+        }
+        fn not(&mut self, a: bool) -> bool {
+            !a
+        }
+        fn base(&mut self, rel: BaseRel, x: usize, y: usize) -> bool {
+            match rel {
+                BaseRel::Po => self.po.contains(&(x, y)),
+                BaseRel::Id => x == y,
+                _ => false,
+            }
+        }
+        fn in_set(&self, set: SetFilter, e: usize) -> bool {
+            // Even events are loads, odd are stores.
+            match set {
+                SetFilter::Loads => e.is_multiple_of(2),
+                SetFilter::Stores => !e.is_multiple_of(2),
+                SetFilter::All => true,
+            }
+        }
+    }
+
+    #[test]
+    fn closure_is_transitive() {
+        let mut t = Toy {
+            n: 4,
+            po: vec![(0, 1), (1, 2), (2, 3)],
+        };
+        let m = eval(
+            &mut t,
+            &RelExpr::Closure(Box::new(RelExpr::Base(BaseRel::Po))),
+        );
+        assert!(m[0][3] && m[0][2] && m[1][3]);
+        assert!(!m[3][0] && !m[0][0]);
+    }
+
+    #[test]
+    fn filters_restrict_endpoints() {
+        let mut t = Toy {
+            n: 4,
+            po: vec![(0, 1), (1, 2), (0, 3)],
+        };
+        // [R] ; po ; [W]: load-to-store po edges.
+        let e = RelExpr::Seq(
+            Box::new(RelExpr::Filter(SetFilter::Loads)),
+            Box::new(RelExpr::Seq(
+                Box::new(RelExpr::Base(BaseRel::Po)),
+                Box::new(RelExpr::Filter(SetFilter::Stores)),
+            )),
+        );
+        let m = eval(&mut t, &e);
+        assert!(m[0][1] && m[0][3], "load→store kept");
+        assert!(!m[1][2], "store-sourced edge dropped");
+    }
+
+    #[test]
+    fn inverse_transposes() {
+        let mut t = Toy {
+            n: 3,
+            po: vec![(0, 2)],
+        };
+        let m = eval(
+            &mut t,
+            &RelExpr::Inverse(Box::new(RelExpr::Base(BaseRel::Po))),
+        );
+        assert!(m[2][0] && !m[0][2]);
+    }
+
+    #[test]
+    fn general_composition() {
+        let mut t = Toy {
+            n: 3,
+            po: vec![(0, 1), (1, 2)],
+        };
+        let e = RelExpr::Seq(
+            Box::new(RelExpr::Base(BaseRel::Po)),
+            Box::new(RelExpr::Base(BaseRel::Po)),
+        );
+        let m = eval(&mut t, &e);
+        assert!(m[0][2] && !m[0][1] && !m[1][2]);
+    }
+}

@@ -1,0 +1,700 @@
+//! The explicit-state oracle: evaluating a compiled specification
+//! against concrete traces and litmus tests by brute force.
+//!
+//! This replaces the hand-written per-[`Mode`](cf_memmodel::Mode) rule
+//! checks of `cf-memmodel` as the reference semantics for spec-defined
+//! models: it enumerates linearizations of the events (the existential
+//! quantifier over the total memory order `mo`) and accepts a trace iff
+//! some order satisfies every axiom plus the value axioms 2–3 of
+//! §2.3.2.
+//!
+//! Axioms whose relations are *static* (no `mo`/`rf`/`co`/`fr`) are
+//! evaluated once up front: `order`/`acyclic` axioms become required
+//! edges that prune the search, `empty`/`irreflexive` axioms are
+//! decided immediately. Dynamic axioms are re-evaluated per candidate
+//! order with the derived reads-from relation.
+//!
+//! Model-independent execution structure is enforced exactly as in the
+//! legacy oracle: atomic blocks execute in program order and
+//! contiguously, and initial values are read when no store is visible.
+
+use std::collections::{BTreeSet, HashMap};
+
+use cf_lsl::{FenceKind, Value};
+use cf_memmodel::{fence_orders, AccessKind, ConcreteTrace, Litmus, LitmusOp, TraceItem};
+
+use crate::ast::{Axiom, AxiomKind, BaseRel, ModelSpec, SetFilter};
+use crate::eval::{eval, RelBackend};
+
+/// One event of the normalized program shared by both entry points.
+struct PEvent {
+    thread: usize,
+    pos: usize,
+    kind: AccessKind,
+    addr: Vec<u32>,
+    group: Option<u32>,
+}
+
+struct PFence {
+    thread: usize,
+    pos: usize,
+    kind: FenceKind,
+}
+
+struct Prog {
+    events: Vec<PEvent>,
+    fences: Vec<PFence>,
+}
+
+impl Prog {
+    fn fence_between(&self, x: &PEvent, y: &PEvent, want: Option<FenceKind>) -> bool {
+        self.fences.iter().any(|f| {
+            f.thread == x.thread
+                && f.pos > x.pos
+                && f.pos < y.pos
+                && want.is_none_or(|k| f.kind == k)
+                && fence_orders(f.kind, x.kind, y.kind)
+        })
+    }
+}
+
+// ----------------------------------------------------------- backends
+
+/// Static relations only (`mo`-free fragments).
+struct StaticCtx<'a> {
+    prog: &'a Prog,
+}
+
+fn static_base(prog: &Prog, rel: BaseRel, x: usize, y: usize) -> bool {
+    let (ex, ey) = (&prog.events[x], &prog.events[y]);
+    match rel {
+        BaseRel::Po => ex.thread == ey.thread && ex.pos < ey.pos,
+        BaseRel::Loc => ex.addr == ey.addr,
+        BaseRel::Int => ex.thread == ey.thread && x != y,
+        BaseRel::Ext => ex.thread != ey.thread,
+        BaseRel::Id => x == y,
+        BaseRel::Fence(k) => {
+            ex.thread == ey.thread && ex.pos < ey.pos && prog.fence_between(ex, ey, k)
+        }
+        BaseRel::Mo | BaseRel::Rf | BaseRel::Co | BaseRel::Fr => {
+            panic!("dynamic relation {} in a static context", rel.name())
+        }
+    }
+}
+
+fn in_set(prog: &Prog, set: SetFilter, e: usize) -> bool {
+    match set {
+        SetFilter::Loads => prog.events[e].kind == AccessKind::Load,
+        SetFilter::Stores => prog.events[e].kind == AccessKind::Store,
+        SetFilter::All => true,
+    }
+}
+
+impl RelBackend for StaticCtx<'_> {
+    type C = bool;
+    fn n(&self) -> usize {
+        self.prog.events.len()
+    }
+    fn tt(&self) -> bool {
+        true
+    }
+    fn ff(&self) -> bool {
+        false
+    }
+    fn is_ff(&self, c: &bool) -> bool {
+        !*c
+    }
+    fn and(&mut self, a: bool, b: bool) -> bool {
+        a && b
+    }
+    fn or(&mut self, a: bool, b: bool) -> bool {
+        a || b
+    }
+    fn not(&mut self, a: bool) -> bool {
+        !a
+    }
+    fn base(&mut self, rel: BaseRel, x: usize, y: usize) -> bool {
+        static_base(self.prog, rel, x, y)
+    }
+    fn in_set(&self, set: SetFilter, e: usize) -> bool {
+        in_set(self.prog, set, e)
+    }
+}
+
+/// All relations, given a candidate order and the derived reads-from
+/// sources (`rf_src[l] = Some(store)`; `None` means `l` reads the
+/// initial value).
+struct DynCtx<'a> {
+    prog: &'a Prog,
+    pos: &'a [usize],
+    rf_src: &'a [Option<usize>],
+}
+
+impl RelBackend for DynCtx<'_> {
+    type C = bool;
+    fn n(&self) -> usize {
+        self.prog.events.len()
+    }
+    fn tt(&self) -> bool {
+        true
+    }
+    fn ff(&self) -> bool {
+        false
+    }
+    fn is_ff(&self, c: &bool) -> bool {
+        !*c
+    }
+    fn and(&mut self, a: bool, b: bool) -> bool {
+        a && b
+    }
+    fn or(&mut self, a: bool, b: bool) -> bool {
+        a || b
+    }
+    fn not(&mut self, a: bool) -> bool {
+        !a
+    }
+    fn base(&mut self, rel: BaseRel, x: usize, y: usize) -> bool {
+        let (ex, ey) = (&self.prog.events[x], &self.prog.events[y]);
+        match rel {
+            BaseRel::Mo => x != y && self.pos[x] < self.pos[y],
+            BaseRel::Rf => ey.kind == AccessKind::Load && self.rf_src[y] == Some(x),
+            BaseRel::Co => {
+                ex.kind == AccessKind::Store
+                    && ey.kind == AccessKind::Store
+                    && ex.addr == ey.addr
+                    && x != y
+                    && self.pos[x] < self.pos[y]
+            }
+            BaseRel::Fr => {
+                ex.kind == AccessKind::Load
+                    && ey.kind == AccessKind::Store
+                    && ex.addr == ey.addr
+                    && match self.rf_src[x] {
+                        // Reading the initial value: fr-before every
+                        // same-address store.
+                        None => true,
+                        Some(s0) => s0 != y && self.pos[s0] < self.pos[y],
+                    }
+            }
+            _ => static_base(self.prog, rel, x, y),
+        }
+    }
+    fn in_set(&self, set: SetFilter, e: usize) -> bool {
+        in_set(self.prog, set, e)
+    }
+}
+
+// ------------------------------------------------- static compilation
+
+struct CompiledStatic<'s> {
+    /// Required `x <mo y` edges from static `order`/`acyclic` axioms,
+    /// plus atomic-block internal program order.
+    edges: Vec<(usize, usize)>,
+    /// Axioms needing per-order evaluation.
+    dynamic: Vec<&'s Axiom>,
+    /// A static axiom is violated by the program text alone: no
+    /// execution is allowed.
+    impossible: bool,
+}
+
+fn compile_static<'s>(spec: &'s ModelSpec, prog: &Prog) -> CompiledStatic<'s> {
+    let n = prog.events.len();
+    let mut out = CompiledStatic {
+        edges: Vec::new(),
+        dynamic: Vec::new(),
+        impossible: false,
+    };
+    for ax in &spec.axioms {
+        if !ax.rel.is_static() {
+            out.dynamic.push(ax);
+            continue;
+        }
+        let m = eval(&mut StaticCtx { prog }, &ax.rel);
+        match ax.kind {
+            AxiomKind::Order | AxiomKind::Acyclic => {
+                for (x, row) in m.iter().enumerate() {
+                    for (y, &member) in row.iter().enumerate() {
+                        if !member {
+                            continue;
+                        }
+                        if x == y {
+                            out.impossible = true;
+                        } else {
+                            out.edges.push((x, y));
+                        }
+                    }
+                }
+            }
+            AxiomKind::Irreflexive => {
+                if (0..n).any(|x| m[x][x]) {
+                    out.impossible = true;
+                }
+            }
+            AxiomKind::Empty => {
+                if m.iter().any(|row| row.iter().any(|&c| c)) {
+                    out.impossible = true;
+                }
+            }
+        }
+    }
+    // Atomic blocks execute in program order internally (model
+    // independent, as in the legacy oracle).
+    for x in 0..n {
+        for y in 0..n {
+            let (ex, ey) = (&prog.events[x], &prog.events[y]);
+            if ex.thread == ey.thread
+                && ex.pos < ey.pos
+                && ex.group.is_some()
+                && ex.group == ey.group
+            {
+                out.edges.push((x, y));
+            }
+        }
+    }
+    out
+}
+
+fn dynamic_ok(dynamic: &[&Axiom], prog: &Prog, pos: &[usize], rf_src: &[Option<usize>]) -> bool {
+    let n = prog.events.len();
+    for ax in dynamic {
+        let m = eval(&mut DynCtx { prog, pos, rf_src }, &ax.rel);
+        let ok = match ax.kind {
+            AxiomKind::Order | AxiomKind::Acyclic => {
+                (0..n).all(|x| (0..n).all(|y| !m[x][y] || (x != y && pos[x] < pos[y])))
+            }
+            AxiomKind::Irreflexive => (0..n).all(|x| !m[x][x]),
+            AxiomKind::Empty => m.iter().all(|row| row.iter().all(|&c| !c)),
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+// ------------------------------------------------------- trace oracle
+
+/// Does some total memory order satisfy `spec` for this annotated
+/// trace? The spec-driven analogue of
+/// [`ConcreteTrace::allowed`](cf_memmodel::ConcreteTrace::allowed).
+///
+/// # Panics
+///
+/// Panics if the trace has more than 12 accesses (the search is
+/// factorial; the SAT path handles bigger programs).
+pub fn trace_allowed(trace: &ConcreteTrace, spec: &ModelSpec) -> bool {
+    let mut events = Vec::new();
+    let mut values = Vec::new();
+    let mut fences = Vec::new();
+    for (t, items) in trace.threads.iter().enumerate() {
+        for (i, item) in items.iter().enumerate() {
+            match item {
+                TraceItem::Access {
+                    kind,
+                    addr,
+                    value,
+                    group,
+                } => {
+                    events.push(PEvent {
+                        thread: t,
+                        pos: i,
+                        kind: *kind,
+                        addr: addr.clone(),
+                        group: *group,
+                    });
+                    values.push(value.clone());
+                }
+                TraceItem::Fence(k) => fences.push(PFence {
+                    thread: t,
+                    pos: i,
+                    kind: *k,
+                }),
+            }
+        }
+    }
+    assert!(
+        events.len() <= 12,
+        "explicit-state check limited to 12 accesses"
+    );
+    let prog = Prog { events, fences };
+    let compiled = compile_static(spec, &prog);
+    if compiled.impossible {
+        return false;
+    }
+    let n = prog.events.len();
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    search_trace(
+        &prog,
+        &values,
+        &trace.init,
+        spec,
+        &compiled,
+        &mut order,
+        &mut used,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_trace(
+    prog: &Prog,
+    values: &[Value],
+    init: &HashMap<Vec<u32>, Value>,
+    spec: &ModelSpec,
+    compiled: &CompiledStatic<'_>,
+    order: &mut Vec<usize>,
+    used: &mut Vec<bool>,
+) -> bool {
+    let n = prog.events.len();
+    if order.len() == n {
+        let pos = positions(order);
+        let Some(rf_src) = trace_values_ok(prog, values, init, &pos, spec.forwarding) else {
+            return false;
+        };
+        return dynamic_ok(&compiled.dynamic, prog, &pos, &rf_src);
+    }
+    'next: for c in 0..n {
+        if used[c] {
+            continue;
+        }
+        for &(a, b) in &compiled.edges {
+            if b == c && !used[a] {
+                continue 'next;
+            }
+        }
+        // Atomic group contiguity (as in the legacy oracle): an open
+        // group must finish before anything else runs.
+        if let Some(&last) = order.last() {
+            let open_group = prog.events[last].group.filter(|g| {
+                prog.events.iter().enumerate().any(|(i, e)| {
+                    !used[i] && e.group == Some(*g) && e.thread == prog.events[last].thread
+                })
+            });
+            if let Some(g) = open_group {
+                if prog.events[c].group != Some(g)
+                    || prog.events[c].thread != prog.events[last].thread
+                {
+                    continue 'next;
+                }
+            }
+        }
+        used[c] = true;
+        order.push(c);
+        if search_trace(prog, values, init, spec, compiled, order, used) {
+            used[c] = false;
+            order.pop();
+            return true;
+        }
+        used[c] = false;
+        order.pop();
+    }
+    false
+}
+
+fn positions(order: &[usize]) -> Vec<usize> {
+    let mut pos = vec![0; order.len()];
+    for (p, &e) in order.iter().enumerate() {
+        pos[e] = p;
+    }
+    pos
+}
+
+/// Checks the value axioms 2–3 against annotated values and returns the
+/// derived reads-from sources on success.
+fn trace_values_ok(
+    prog: &Prog,
+    values: &[Value],
+    init: &HashMap<Vec<u32>, Value>,
+    pos: &[usize],
+    forwarding: bool,
+) -> Option<Vec<Option<usize>>> {
+    let n = prog.events.len();
+    let mut rf_src = vec![None; n];
+    for l in 0..n {
+        let el = &prog.events[l];
+        if el.kind != AccessKind::Load {
+            continue;
+        }
+        let mut max_store: Option<usize> = None;
+        for s in 0..n {
+            let es = &prog.events[s];
+            if es.kind != AccessKind::Store || es.addr != el.addr {
+                continue;
+            }
+            let before_m = pos[s] < pos[l];
+            let forwarded = forwarding && es.thread == el.thread && es.pos < el.pos;
+            if before_m || forwarded {
+                max_store = Some(match max_store {
+                    None => s,
+                    Some(m) if pos[s] > pos[m] => s,
+                    Some(m) => m,
+                });
+            }
+        }
+        let expected = match max_store {
+            Some(s) => values[s].clone(),
+            None => init.get(&el.addr).cloned().unwrap_or(Value::Undefined),
+        };
+        if values[l] != expected {
+            return None;
+        }
+        rf_src[l] = max_store;
+    }
+    Some(rf_src)
+}
+
+// ------------------------------------------------------ litmus oracle
+
+/// Enumerates all final register outcomes allowed by `spec` — the
+/// spec-driven analogue of
+/// [`Litmus::allowed_outcomes`](cf_memmodel::Litmus::allowed_outcomes).
+///
+/// # Panics
+///
+/// Panics if the test has more than 10 accesses.
+pub fn litmus_outcomes(test: &Litmus, spec: &ModelSpec) -> BTreeSet<Vec<i64>> {
+    let mut events = Vec::new();
+    let mut fences = Vec::new();
+    let mut store_val = Vec::new();
+    let mut load_reg = Vec::new();
+    for (t, ops) in test.threads.iter().enumerate() {
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                LitmusOp::Store { addr, value } => {
+                    events.push(PEvent {
+                        thread: t,
+                        pos: i,
+                        kind: AccessKind::Store,
+                        addr: vec![addr],
+                        group: None,
+                    });
+                    store_val.push(value);
+                    load_reg.push(None);
+                }
+                LitmusOp::Load { addr, reg } => {
+                    events.push(PEvent {
+                        thread: t,
+                        pos: i,
+                        kind: AccessKind::Load,
+                        addr: vec![addr],
+                        group: None,
+                    });
+                    store_val.push(0);
+                    load_reg.push(Some(reg));
+                }
+                LitmusOp::Fence(k) => fences.push(PFence {
+                    thread: t,
+                    pos: i,
+                    kind: k,
+                }),
+            }
+        }
+    }
+    assert!(
+        events.len() <= 10,
+        "litmus enumeration limited to 10 accesses"
+    );
+    let prog = Prog { events, fences };
+    let compiled = compile_static(spec, &prog);
+    let mut outcomes = BTreeSet::new();
+    if compiled.impossible {
+        return outcomes;
+    }
+    let n = prog.events.len();
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    litmus_rec(
+        &prog,
+        spec,
+        &compiled,
+        &store_val,
+        &load_reg,
+        test.num_regs,
+        &mut order,
+        &mut used,
+        &mut outcomes,
+    );
+    outcomes
+}
+
+/// Is the given register outcome possible under `spec`?
+pub fn litmus_allows(test: &Litmus, spec: &ModelSpec, outcome: &[i64]) -> bool {
+    litmus_outcomes(test, spec).contains(outcome)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn litmus_rec(
+    prog: &Prog,
+    spec: &ModelSpec,
+    compiled: &CompiledStatic<'_>,
+    store_val: &[i64],
+    load_reg: &[Option<usize>],
+    num_regs: usize,
+    order: &mut Vec<usize>,
+    used: &mut Vec<bool>,
+    outcomes: &mut BTreeSet<Vec<i64>>,
+) {
+    let n = prog.events.len();
+    if order.len() == n {
+        let pos = positions(order);
+        let mut regs = vec![0i64; num_regs];
+        let mut rf_src = vec![None; n];
+        for l in 0..n {
+            let Some(r) = load_reg[l] else { continue };
+            let el = &prog.events[l];
+            let mut best: Option<usize> = None;
+            for s in 0..n {
+                let es = &prog.events[s];
+                if es.kind != AccessKind::Store || es.addr != el.addr {
+                    continue;
+                }
+                let visible = pos[s] < pos[l]
+                    || (spec.forwarding && es.thread == el.thread && es.pos < el.pos);
+                if visible {
+                    best = Some(match best {
+                        None => s,
+                        Some(b) if pos[s] > pos[b] => s,
+                        Some(b) => b,
+                    });
+                }
+            }
+            regs[r] = best.map_or(0, |s| store_val[s]);
+            rf_src[l] = best;
+        }
+        if dynamic_ok(&compiled.dynamic, prog, &pos, &rf_src) {
+            outcomes.insert(regs);
+        }
+        return;
+    }
+    'next: for c in 0..n {
+        if used[c] {
+            continue;
+        }
+        for &(a, b) in &compiled.edges {
+            if b == c && !used[a] {
+                continue 'next;
+            }
+        }
+        used[c] = true;
+        order.push(c);
+        litmus_rec(
+            prog, spec, compiled, store_val, load_reg, num_regs, order, used, outcomes,
+        );
+        used[c] = false;
+        order.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::compile;
+    use cf_memmodel::{litmus, Mode};
+
+    #[test]
+    fn order_po_is_sequential_consistency() {
+        let sc = compile("model sc\norder po").expect("checks");
+        let sb = litmus::store_buffering();
+        assert!(!litmus_allows(&sb, &sc, &[0, 0]));
+        assert_eq!(litmus_outcomes(&sb, &sc), sb.allowed_outcomes(Mode::Sc));
+    }
+
+    #[test]
+    fn rf_based_sc_formulation_matches_order_po() {
+        // The classic `acyclic (po | rf | co | fr)` SC formulation:
+        // under the total-order semantics with forwarding off, the
+        // communication edges are implied, so it coincides with
+        // `order po`.
+        let sc = compile("model sc_rf\nacyclic po | rf | co | fr").expect("checks");
+        for t in litmus::all() {
+            assert_eq!(
+                litmus_outcomes(&t, &sc),
+                t.allowed_outcomes(Mode::Sc),
+                "{}",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn fence_free_spec_ignores_fences() {
+        // A spec without `fence` in its ordering axiom treats fences as
+        // no-ops — the fence-semantics-experiment use case.
+        let weak =
+            compile("model weak\noption forwarding\norder (po ; [W]) & loc").expect("checks");
+        let fenced = litmus::store_buffering_fenced();
+        assert!(
+            litmus_allows(&fenced, &weak, &[0, 0]),
+            "fences are inert without a fence axiom"
+        );
+        let with_fence =
+            compile("model weak_f\noption forwarding\norder ((po ; [W]) & loc) | fence")
+                .expect("checks");
+        assert!(!litmus_allows(&fenced, &with_fence, &[0, 0]));
+    }
+
+    #[test]
+    fn empty_axiom_forbids_executions() {
+        let spec = compile("model none\norder po\nempty po").expect("checks");
+        let sb = litmus::store_buffering();
+        assert!(litmus_outcomes(&sb, &spec).is_empty());
+    }
+
+    #[test]
+    fn dynamic_empty_axiom_restricts_reads() {
+        // `empty rf & ext`: no load may read another thread's store.
+        let spec = compile("model local\norder po\nempty rf & ext").expect("checks");
+        let mp = litmus::message_passing();
+        let out = litmus_outcomes(&mp, &spec);
+        assert!(out.contains(&vec![0, 0]), "init reads remain");
+        assert!(!out.contains(&vec![1, 1]), "cross-thread reads forbidden");
+    }
+
+    #[test]
+    fn trace_oracle_checks_values_and_fences() {
+        use cf_lsl::Value;
+        let relaxed =
+            compile("model relaxed\noption forwarding\norder (((po ; [W]) & loc) | fence)")
+                .expect("checks");
+        let mk = |data_read: i64| ConcreteTrace {
+            threads: vec![
+                vec![
+                    TraceItem::Access {
+                        kind: AccessKind::Store,
+                        addr: vec![0],
+                        value: Value::Int(1),
+                        group: None,
+                    },
+                    TraceItem::Fence(FenceKind::StoreStore),
+                    TraceItem::Access {
+                        kind: AccessKind::Store,
+                        addr: vec![1],
+                        value: Value::Int(1),
+                        group: None,
+                    },
+                ],
+                vec![
+                    TraceItem::Access {
+                        kind: AccessKind::Load,
+                        addr: vec![1],
+                        value: Value::Int(1),
+                        group: None,
+                    },
+                    TraceItem::Fence(FenceKind::LoadLoad),
+                    TraceItem::Access {
+                        kind: AccessKind::Load,
+                        addr: vec![0],
+                        value: Value::Int(data_read),
+                        group: None,
+                    },
+                ],
+            ],
+            init: HashMap::from([(vec![0], Value::Int(0)), (vec![1], Value::Int(0))]),
+        };
+        assert!(trace_allowed(&mk(1), &relaxed));
+        assert!(
+            !trace_allowed(&mk(0), &relaxed),
+            "fenced MP forbids stale read"
+        );
+    }
+}

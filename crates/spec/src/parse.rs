@@ -1,0 +1,427 @@
+//! Lexer and recursive-descent parser for the `.cfm` surface syntax.
+//!
+//! ```text
+//! spec    := "model" IDENT item*
+//! item    := "option" IDENT
+//!          | "let" IDENT "=" expr
+//!          | ("order" | "acyclic" | "irreflexive" | "empty") expr ("as" IDENT)?
+//! expr    := sub ("|" sub)*           -- union (lowest precedence)
+//! sub     := inter ("\" inter)*       -- difference
+//! inter   := seq ("&" seq)*           -- intersection
+//! seq     := postfix (";" postfix)*   -- composition
+//! postfix := atom ("+" | "^-1")*      -- closure, inverse
+//! atom    := "(" expr ")" | "[" IDENT "]" | IDENT
+//! ```
+//!
+//! `//` starts a line comment. Identifiers are resolved (against `let`
+//! definitions and the built-in relations) by [`crate::check`], not here.
+
+use crate::ast::{Axiom, AxiomKind, RawSpec, RelExpr, SetFilter};
+use crate::error::SpecError;
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Pipe,
+    Amp,
+    Backslash,
+    Semi,
+    Plus,
+    Inv,
+    Assign,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Amp => write!(f, "`&`"),
+            Tok::Backslash => write!(f, "`\\`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Inv => write!(f, "`^-1`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+struct Spanned {
+    tok: Tok,
+    line: usize,
+}
+
+fn lex(source: &str) -> Result<Vec<Spanned>, SpecError> {
+    let mut out = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line = 1usize;
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(Spanned { tok: $t, line })
+        };
+    }
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(SpecError::new(line, "expected `//` comment"));
+                }
+            }
+            '|' => {
+                chars.next();
+                push!(Tok::Pipe);
+            }
+            '&' => {
+                chars.next();
+                push!(Tok::Amp);
+            }
+            '\\' => {
+                chars.next();
+                push!(Tok::Backslash);
+            }
+            ';' => {
+                chars.next();
+                push!(Tok::Semi);
+            }
+            '+' => {
+                chars.next();
+                push!(Tok::Plus);
+            }
+            '=' => {
+                chars.next();
+                push!(Tok::Assign);
+            }
+            '(' => {
+                chars.next();
+                push!(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                push!(Tok::RParen);
+            }
+            '[' => {
+                chars.next();
+                push!(Tok::LBracket);
+            }
+            ']' => {
+                chars.next();
+                push!(Tok::RBracket);
+            }
+            '^' => {
+                chars.next();
+                if chars.next() == Some('-') && chars.next() == Some('1') {
+                    push!(Tok::Inv);
+                } else {
+                    return Err(SpecError::new(line, "expected `^-1`"));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Ident(s));
+            }
+            other => {
+                return Err(SpecError::new(
+                    line,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), SpecError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(SpecError::new(
+                self.line(),
+                format!("expected {want}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SpecError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(SpecError::new(
+                self.toks[self.pos.saturating_sub(1)].line,
+                format!("expected {what}, found {other}"),
+            )),
+        }
+    }
+
+    fn expr(&mut self) -> Result<RelExpr, SpecError> {
+        let mut lhs = self.sub()?;
+        while *self.peek() == Tok::Pipe {
+            self.bump();
+            let rhs = self.sub()?;
+            lhs = RelExpr::Union(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn sub(&mut self) -> Result<RelExpr, SpecError> {
+        let mut lhs = self.inter()?;
+        while *self.peek() == Tok::Backslash {
+            self.bump();
+            let rhs = self.inter()?;
+            lhs = RelExpr::Diff(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn inter(&mut self) -> Result<RelExpr, SpecError> {
+        let mut lhs = self.seq()?;
+        while *self.peek() == Tok::Amp {
+            self.bump();
+            let rhs = self.seq()?;
+            lhs = RelExpr::Inter(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn seq(&mut self) -> Result<RelExpr, SpecError> {
+        let mut lhs = self.postfix()?;
+        while *self.peek() == Tok::Semi {
+            self.bump();
+            let rhs = self.postfix()?;
+            lhs = RelExpr::Seq(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn postfix(&mut self) -> Result<RelExpr, SpecError> {
+        let mut e = self.atom()?;
+        loop {
+            match self.peek() {
+                Tok::Plus => {
+                    self.bump();
+                    e = RelExpr::Closure(Box::new(e));
+                }
+                Tok::Inv => {
+                    self.bump();
+                    e = RelExpr::Inverse(Box::new(e));
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<RelExpr, SpecError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::LBracket => {
+                let name = self.ident("a set name (`R`, `W` or `M`)")?;
+                let set = match name.as_str() {
+                    "R" => SetFilter::Loads,
+                    "W" => SetFilter::Stores,
+                    "M" => SetFilter::All,
+                    other => {
+                        return Err(SpecError::new(
+                            line,
+                            format!("unknown event set `{other}` (expected R, W or M)"),
+                        ))
+                    }
+                };
+                self.expect(&Tok::RBracket)?;
+                Ok(RelExpr::Filter(set))
+            }
+            Tok::Ident(s) => Ok(RelExpr::Name(s)),
+            other => Err(SpecError::new(
+                line,
+                format!("expected a relation, found {other}"),
+            )),
+        }
+    }
+}
+
+/// Parses `.cfm` source into a raw (name-unresolved) specification.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] with the offending source line on lexical or
+/// syntactic problems.
+pub fn parse(source: &str) -> Result<RawSpec, SpecError> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    // Header.
+    let header = p.ident("the `model` header")?;
+    if header != "model" {
+        return Err(SpecError::new(
+            1,
+            format!("a spec must start with `model <name>`, found `{header}`"),
+        ));
+    }
+    let name = p.ident("a model name")?;
+    let mut spec = RawSpec {
+        name,
+        options: Vec::new(),
+        lets: Vec::new(),
+        axioms: Vec::new(),
+    };
+    loop {
+        let line = p.line();
+        match p.peek().clone() {
+            Tok::Eof => return Ok(spec),
+            Tok::Ident(kw) => {
+                p.bump();
+                match kw.as_str() {
+                    "option" => {
+                        let opt = p.ident("an option name")?;
+                        spec.options.push((opt, line));
+                    }
+                    "let" => {
+                        let name = p.ident("a relation name")?;
+                        p.expect(&Tok::Assign)?;
+                        let e = p.expr()?;
+                        spec.lets.push((name, e, line));
+                    }
+                    "order" | "acyclic" | "irreflexive" | "empty" => {
+                        let kind = match kw.as_str() {
+                            "order" => AxiomKind::Order,
+                            "acyclic" => AxiomKind::Acyclic,
+                            "irreflexive" => AxiomKind::Irreflexive,
+                            _ => AxiomKind::Empty,
+                        };
+                        let rel = p.expr()?;
+                        let label = if *p.peek() == Tok::Ident("as".into()) {
+                            p.bump();
+                            Some(p.ident("an axiom label")?)
+                        } else {
+                            None
+                        };
+                        spec.axioms.push((Axiom { kind, label, rel }, line));
+                    }
+                    other => {
+                        return Err(SpecError::new(
+                            line,
+                            format!(
+                                "expected `option`, `let`, `order`, `acyclic`, \
+                                 `irreflexive` or `empty`, found `{other}`"
+                            ),
+                        ))
+                    }
+                }
+            }
+            other => {
+                return Err(SpecError::new(
+                    line,
+                    format!("expected a declaration, found {other}"),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BaseRel;
+
+    #[test]
+    fn parses_precedence() {
+        let s = parse("model m\norder po \\ [W] ; po ; [R] | loc").expect("parses");
+        // `;` binds tighter than `\`, `|` is lowest.
+        let (ax, _) = &s.axioms[0];
+        match &ax.rel {
+            RelExpr::Union(l, r) => {
+                assert!(matches!(**r, RelExpr::Name(_)));
+                assert!(matches!(**l, RelExpr::Diff(_, _)));
+            }
+            other => panic!("expected union at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_postfix() {
+        let s = parse("model m\nlet a = po+ ^-1").expect("parses");
+        let (_, e, _) = &s.lets[0];
+        assert_eq!(
+            *e,
+            RelExpr::Inverse(Box::new(RelExpr::Closure(Box::new(RelExpr::Name(
+                "po".into()
+            )))))
+        );
+        let _ = BaseRel::Po; // silence unused import in cfg(test)
+    }
+
+    #[test]
+    fn reports_lines() {
+        let err = parse("model m\n\norder po |").expect_err("bad expr");
+        assert_eq!(err.line, 3);
+        let err = parse("model m\nfoo bar").expect_err("bad keyword");
+        assert!(err.message.contains("foo"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_set() {
+        let err = parse("model m\norder [X]").expect_err("bad set");
+        assert!(err.message.contains("unknown event set"), "{err}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Loader and equivalence tests for the bundled `.cfm` specifications.
+//!
+//! Every file under `specs/` must parse, check, and agree with its
+//! built-in `Mode` twin on the *full* litmus catalog: identical allowed
+//! outcome sets per test (a much stronger property than matching the
+//! distinguishing outcome alone), plus the cross-mode expected-outcome
+//! matrix row by row.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use cf_memmodel::{litmus, Mode};
+use cf_spec::{bundled, compile, interp};
+
+#[test]
+fn every_file_in_specs_dir_is_bundled_and_compiles() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs");
+    let mut on_disk = BTreeSet::new();
+    for entry in std::fs::read_dir(&dir).expect("specs/ directory exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().is_some_and(|e| e == "cfm") {
+            let name = path
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .into_owned();
+            let src = std::fs::read_to_string(&path).expect("readable spec");
+            let spec = compile(&src).unwrap_or_else(|e| panic!("{name} does not compile: {e}"));
+            assert!(!spec.name.is_empty());
+            on_disk.insert(name);
+        }
+    }
+    let registered: BTreeSet<String> = bundled::sources()
+        .iter()
+        .map(|(n, _)| (*n).to_string())
+        .collect();
+    assert_eq!(
+        on_disk, registered,
+        "specs/ and cf_spec::bundled::sources() must list the same files"
+    );
+}
+
+#[test]
+fn bundled_specs_match_their_enum_twins_on_the_full_catalog() {
+    for (spec, mode) in bundled::all().into_iter().zip(Mode::all()) {
+        for test in litmus::all() {
+            assert_eq!(
+                interp::litmus_outcomes(&test, &spec),
+                test.allowed_outcomes(mode),
+                "{} disagrees with Mode::{mode:?} on {}",
+                spec.name,
+                test.name
+            );
+        }
+    }
+}
+
+#[test]
+fn bundled_specs_reproduce_the_expected_outcome_matrix() {
+    for (spec, mode) in bundled::all().into_iter().zip(Mode::all()) {
+        let Some(col) = Mode::hardware().iter().position(|m| *m == mode) else {
+            continue; // serial has no matrix column; covered above.
+        };
+        for row in litmus::matrix() {
+            assert_eq!(
+                interp::litmus_allows(&row.test, &spec, &row.outcome),
+                row.allowed[col],
+                "{} on {} {:?}",
+                spec.name,
+                row.test.name,
+                row.outcome
+            );
+        }
+    }
+}
+
+#[test]
+fn user_specs_are_differentiated_by_the_matrix() {
+    // A custom model between TSO and PSO: relaxes store→load *and*
+    // store→store (like PSO) but keeps same-address load-load order —
+    // the matrix tells it apart from every bundled model.
+    let custom = compile(
+        r"
+        model pso_like
+        option forwarding
+        let ppo = ([R] ; po) | (po & loc & ([W] ; po ; [W]))
+        order ppo | fence
+        ",
+    )
+    .expect("checks");
+    let verdicts: Vec<bool> = litmus::matrix()
+        .iter()
+        .map(|r| interp::litmus_allows(&r.test, &custom, &r.outcome))
+        .collect();
+    let pso_col: Vec<bool> = litmus::matrix().iter().map(|r| r.allowed[2]).collect();
+    assert_eq!(verdicts, pso_col, "this spec is PSO in disguise");
+
+    // A model strictly between PSO and Relaxed: load→store order is
+    // kept (LB stays forbidden) but load→load order is dropped (CoRR
+    // becomes allowed) — the matrix separates it from both neighbours.
+    let between = compile(
+        r"
+        model pso_minus_ll
+        option forwarding
+        let ppo = ([R] ; po ; [W]) | (po & loc & ([W] ; po ; [W]))
+        order ppo | fence
+        ",
+    )
+    .expect("checks");
+    let between_verdicts: Vec<bool> = litmus::matrix()
+        .iter()
+        .map(|r| interp::litmus_allows(&r.test, &between, &r.outcome))
+        .collect();
+    let relaxed_col: Vec<bool> = litmus::matrix().iter().map(|r| r.allowed[3]).collect();
+    assert_ne!(between_verdicts, pso_col, "matrix separates it from PSO");
+    assert_ne!(
+        between_verdicts, relaxed_col,
+        "matrix separates it from Relaxed"
+    );
+    let corr = litmus::coherence_read_read();
+    assert!(interp::litmus_allows(&corr, &between, &[1, 0]));
+    let lb = litmus::load_buffering();
+    assert!(!interp::litmus_allows(&lb, &between, &[1, 1]));
+}

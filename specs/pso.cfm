@@ -1,0 +1,13 @@
+// Partial store order (Sun SPARC PSO, paper §2.3.3): TSO plus
+// relaxation of store->store order to different addresses (per-address
+// FIFO write buffers). Loads stay in order. Equivalent to the built-in
+// `Mode::Pso`.
+model pso
+
+option forwarding
+
+// Loads stay ordered after loads AND stores; stores stay ordered only
+// against later same-address stores.
+let ppo = ([R] ; po) | (po & loc & ([W] ; po ; [W]))
+
+order ppo | fence as preserved_program_order

@@ -1,0 +1,9 @@
+// The paper's Relaxed model (§2.3.2): store buffering with forwarding,
+// load/store reordering, same-address load-load reordering. Only
+// same-address edges *into a store* are preserved (axiom 1 of the
+// Relaxed formalization). Equivalent to the built-in `Mode::Relaxed`.
+model relaxed
+
+option forwarding
+
+order ((po ; [W]) & loc) | fence as same_address_stores

@@ -1,0 +1,6 @@
+// Sequential consistency (Lamport): the memory order respects every
+// program-order edge, so fences add nothing. Equivalent to the built-in
+// `Mode::Sc` (axiom 1 of the paper's SC formalization, §2.3.2).
+model sc
+
+order po as program_order

@@ -1,0 +1,8 @@
+// Seriality (§2.3.2): the specification semantics — sequential
+// consistency plus atomicity of whole operations. Equivalent to the
+// built-in `Mode::Serial`.
+model serial
+
+option atomic_ops
+
+order po as program_order

@@ -1,0 +1,12 @@
+// Total store order (Sun SPARC TSO, paper §2.3.3): stores are buffered
+// and forwarded to the issuing processor's own later loads; only the
+// store->load program-order edge is relaxed. Equivalent to the built-in
+// `Mode::Tso`.
+model tso
+
+option forwarding
+
+// Preserved program order: everything except store->load.
+let ppo = po \ ([W] ; po ; [R])
+
+order ppo | fence as preserved_program_order

@@ -13,7 +13,8 @@
 //!   --test [NAME=]TEXT          symbolic test in Fig. 8 notation, e.g.
 //!                               "( e | d )" (repeatable; default name Tn)
 //!   --init PROC                 initialization procedure
-//!   --model MODEL               sc | tso | pso | relaxed   [relaxed]
+//!   --model MODEL               sc | tso | pso | relaxed, or a path to
+//!                               a .cfm memory-model spec   [relaxed]
 //!   --method METHOD             obs | commit-queue | commit-stack  [obs]
 //!   --encoding ENC              pairwise | timestamp       [pairwise]
 //!   --spec-cache FILE           read/write the mined observation set
@@ -40,20 +41,37 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use cf_memmodel::Mode;
+use cf_spec::ModelSpec;
 use checkfence::commit::AbstractType;
 use checkfence::infer::{infer, InferConfig};
 use checkfence::{CheckOutcome, Checker, Harness, ObsSet, OpSig, OrderEncoding, TestSpec};
+
+/// The model axis of a run: a built-in mode or a user `.cfm` spec.
+#[derive(Clone)]
+enum ModelArg {
+    Builtin(Mode),
+    Spec(ModelSpec),
+}
+
+impl ModelArg {
+    fn name(&self) -> &str {
+        match self {
+            ModelArg::Builtin(m) => m.name(),
+            ModelArg::Spec(s) => &s.name,
+        }
+    }
+}
 
 struct Options {
     source: PathBuf,
     ops: Vec<OpSig>,
     tests: Vec<(Option<String>, String)>,
     init: Option<String>,
-    model: Mode,
+    model: ModelArg,
     method: Method,
     encoding: OrderEncoding,
     spec_cache: Option<PathBuf>,
@@ -77,7 +95,8 @@ fn usage() -> &'static str {
      \x20 --op KEY=PROC[:arg][:ret]  declare an operation (repeatable)\n\
      \x20 --test [NAME=]TEXT         symbolic test, e.g. \"( e | d )\" (repeatable)\n\
      \x20 --init PROC                initialization procedure\n\
-     \x20 --model MODEL              sc | tso | pso | relaxed   [relaxed]\n\
+     \x20 --model MODEL              sc | tso | pso | relaxed,\n\
+     \x20                            or a .cfm spec file    [relaxed]\n\
      \x20 --method METHOD            obs | commit-queue | commit-stack  [obs]\n\
      \x20 --encoding ENC             pairwise | timestamp       [pairwise]\n\
      \x20 --spec-cache FILE          cache the mined observation set\n\
@@ -120,12 +139,22 @@ fn parse_op(spec: &str) -> Result<OpSig, String> {
     })
 }
 
-fn parse_model(s: &str) -> Result<Mode, String> {
-    Mode::all()
+fn parse_model(s: &str) -> Result<ModelArg, String> {
+    if let Some(mode) = Mode::all()
         .into_iter()
         .find(|m| m.name() == s)
         .filter(|m| *m != Mode::Serial)
-        .ok_or_else(|| format!("--model `{s}`: expected sc, tso, pso or relaxed"))
+    {
+        return Ok(ModelArg::Builtin(mode));
+    }
+    if s.ends_with(".cfm") || Path::new(s).exists() {
+        let src = std::fs::read_to_string(s).map_err(|e| format!("--model {s}: {e}"))?;
+        let spec = cf_spec::compile(&src).map_err(|e| format!("--model {s}: {e}"))?;
+        return Ok(ModelArg::Spec(spec));
+    }
+    Err(format!(
+        "--model `{s}`: expected sc, tso, pso, relaxed or a .cfm spec file"
+    ))
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -135,7 +164,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         ops: Vec::new(),
         tests: Vec::new(),
         init: None,
-        model: Mode::Relaxed,
+        model: ModelArg::Builtin(Mode::Relaxed),
         method: Method::Observation,
         encoding: OrderEncoding::Pairwise,
         spec_cache: None,
@@ -281,11 +310,14 @@ fn run() -> Result<bool, String> {
     }
 
     if opts.run_infer {
+        let ModelArg::Builtin(mode) = &opts.model else {
+            return Err("--infer requires a built-in --model (sc, tso, pso, relaxed)".into());
+        };
         let config = InferConfig {
             procs: opts.infer_procs.clone(),
             ..InferConfig::default()
         };
-        let r = infer(&harness, &tests, opts.model, &config)
+        let r = infer(&harness, &tests, *mode, &config)
             .map_err(|e| format!("inference failed: {e}"))?;
         println!(
             "inferred {} fence(s) from {} candidates ({} checks, {:.2?}):",
@@ -332,7 +364,10 @@ type TestReport = Result<(String, bool), String>;
 /// Checks (or mines) one test, returning its report text and verdict.
 fn run_one_test(opts: &Options, harness: &Harness, test: &TestSpec) -> TestReport {
     let mut out = String::new();
-    let mut checker = Checker::new(harness, test).with_memory_model(opts.model);
+    let mut checker = Checker::new(harness, test);
+    if let ModelArg::Builtin(mode) = &opts.model {
+        checker = checker.with_memory_model(*mode);
+    }
     checker.config.order_encoding = opts.encoding;
 
     if opts.mine_only {
@@ -342,20 +377,25 @@ fn run_one_test(opts: &Options, harness: &Harness, test: &TestSpec) -> TestRepor
         return Ok((out, true));
     }
 
-    let (outcome, label) = match opts.method {
-        Method::Observation => {
+    let (outcome, label) = match (&opts.method, &opts.model) {
+        (Method::Observation, model) => {
             let (spec, how) = mined_spec(&checker, opts.spec_cache.as_ref())?;
-            let r = checker
-                .check_inclusion(&spec)
-                .map_err(|e| format!("check failed: {e}"))?;
+            let r = match model {
+                ModelArg::Builtin(_) => checker.check_inclusion(&spec),
+                ModelArg::Spec(m) => checker.check_inclusion_spec(m, &spec),
+            }
+            .map_err(|e| format!("check failed: {e}"))?;
             (
                 r.outcome,
                 format!("spec {how}, {} observations", spec.len()),
             )
         }
-        Method::Commit(ty) => {
+        (Method::Commit(_), ModelArg::Spec(_)) => {
+            return Err("--method commit-* requires a built-in --model".into());
+        }
+        (Method::Commit(ty), ModelArg::Builtin(_)) => {
             let r = checker
-                .check_commit_method(ty)
+                .check_commit_method(*ty)
                 .map_err(|e| format!("check failed: {e}"))?;
             (r.outcome, "commit-point method".to_string())
         }

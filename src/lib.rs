@@ -9,6 +9,9 @@
 //! * [`minic`] — the mini-C front-end (the CIL stand-in);
 //! * [`memmodel`] — the axiomatic memory models (SC, TSO, PSO, Relaxed,
 //!   Seriality) with an explicit-state oracle and litmus catalog;
+//! * [`spec`] — declarative `.cfm` memory-model specifications compiled
+//!   to both the explicit oracle and the SAT session encoder (the five
+//!   built-ins ship as bundled specs under `specs/`);
 //! * [`core`] — the CheckFence engine: symbolic execution, range
 //!   analysis, CNF encoding, specification mining, inclusion checking,
 //!   counterexample traces, the commit-point baseline, and automatic
@@ -44,16 +47,18 @@ pub use cf_lsl as lsl;
 pub use cf_memmodel as memmodel;
 pub use cf_minic as minic;
 pub use cf_sat as sat;
+pub use cf_spec as spec;
 pub use checkfence as core;
 
 /// The most common imports for using the checker.
 pub mod prelude {
     pub use cf_algos;
-    pub use cf_memmodel::Mode;
+    pub use cf_memmodel::{Mode, ModeSet};
+    pub use cf_spec::ModelSpec;
     pub use checkfence::commit::AbstractType;
     pub use checkfence::infer::{infer, InferConfig};
     pub use checkfence::{
-        CheckError, CheckOutcome, Checker, Counterexample, Harness, ObsSet, OpSig, OrderEncoding,
-        TestSpec,
+        CheckError, CheckOutcome, CheckSession, Checker, Counterexample, Harness, ModelSel, ObsSet,
+        OpSig, OrderEncoding, SessionConfig, TestSpec,
     };
 }

@@ -146,3 +146,59 @@ fn help_prints_usage_with_exit_zero() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
 }
+
+#[test]
+fn bundled_cfm_models_run_end_to_end() {
+    let specs = Path::new(env!("CARGO_MANIFEST_DIR")).join("specs");
+    let out =
+        run(mailbox_args(&mut cli()).args(["--model", specs.join("tso.cfm").to_str().unwrap()]));
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PASS PG on tso"), "{stdout}");
+
+    let out = run(mailbox_args(&mut cli())
+        .args(["--model", specs.join("relaxed.cfm").to_str().unwrap()])
+        .arg("--trace"));
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL PG on relaxed"), "{stdout}");
+    assert!(stdout.contains("memory order"), "{stdout}");
+}
+
+#[test]
+fn user_written_cfm_model_runs_end_to_end() {
+    // A custom model: TSO-like but with fences stripped of meaning —
+    // the mailbox's fences cannot repair it, so the check must fail
+    // under a weak enough ordering axiom.
+    let dir = std::env::temp_dir();
+    let path = dir.join("checkfence_cli_custom_model.cfm");
+    std::fs::write(
+        &path,
+        "model custom_weak\noption forwarding\norder (po ; [W]) & loc\n",
+    )
+    .expect("writable temp dir");
+    let out = run(mailbox_args(&mut cli()).args(["--model", path.to_str().unwrap()]));
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL PG on custom_weak"), "{stdout}");
+
+    // And a strong custom model passes.
+    let strong = dir.join("checkfence_cli_custom_sc.cfm");
+    std::fs::write(&strong, "model custom_sc\norder po\n").expect("writable temp dir");
+    let out = run(mailbox_args(&mut cli()).args(["--model", strong.to_str().unwrap()]));
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("PASS PG on custom_sc"),
+        "{out:?}"
+    );
+
+    // A malformed spec is a usage error with a spanned message.
+    let bad = dir.join("checkfence_cli_bad_model.cfm");
+    std::fs::write(&bad, "model broken\norder nonsense\n").expect("writable temp dir");
+    let out = run(mailbox_args(&mut cli()).args(["--model", bad.to_str().unwrap()]));
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown relation"),
+        "{out:?}"
+    );
+}
