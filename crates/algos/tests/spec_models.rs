@@ -112,3 +112,68 @@ fn serial_spec_enumerates_the_mined_specification() {
         .expect("enumerates");
     assert_eq!(enumerated, mined, "serial spec = serial semantics");
 }
+
+#[test]
+fn spec_counterexamples_name_the_violated_sc_axiom() {
+    // A failing check under `relaxed.cfm` replays its witness through
+    // the explicit oracle and reports which serializability axiom the
+    // execution breaks — `sc.cfm` labels its one axiom
+    // `program_order`, so that name must appear in the report.
+    let program = cf_minic::compile(
+        r#"
+        int data; int flag;
+        void put(int v) { data = v + 1; flag = 1; }
+        int get() { int f = flag; if (f == 0) { return 0 - 1; } return data; }
+        "#,
+    )
+    .expect("compiles");
+    let h = Harness {
+        name: "mailbox".into(),
+        program,
+        init_proc: None,
+        ops: vec![
+            checkfence::OpSig {
+                key: 'p',
+                proc_name: "put".into(),
+                num_args: 1,
+                has_ret: false,
+            },
+            checkfence::OpSig {
+                key: 'g',
+                proc_name: "get".into(),
+                num_args: 0,
+                has_ret: true,
+            },
+        ],
+    };
+    let t = TestSpec::parse("pg", "( p | g )").expect("parses");
+    let checker = Checker::new(&h, &t);
+    let obs = checker.mine_spec_reference().expect("mines").spec;
+    let relaxed = bundled::for_mode(Mode::Relaxed);
+    let r = checker
+        .check_inclusion_spec(&relaxed, &obs)
+        .expect("spec check runs");
+    let checkfence::CheckOutcome::Fail(cx) = r.outcome else {
+        panic!("the unfenced mailbox must fail under relaxed.cfm");
+    };
+    assert_eq!(
+        cx.violated_axiom.as_deref(),
+        Some("program_order"),
+        "witness replay must name sc.cfm's axiom: {cx}"
+    );
+    let report = format!("{cx}");
+    assert!(
+        report.contains("breaks serializability at sc axiom `program_order`"),
+        "{report}"
+    );
+
+    // Built-in models keep the old report shape (no axiom line).
+    let r = checker
+        .with_memory_model(Mode::Relaxed)
+        .check_inclusion(&obs)
+        .expect("builtin check runs");
+    let checkfence::CheckOutcome::Fail(cx) = r.outcome else {
+        panic!("the unfenced mailbox must fail under builtin relaxed");
+    };
+    assert!(cx.violated_axiom.is_none(), "{cx}");
+}

@@ -137,6 +137,13 @@ pub struct Counterexample {
     /// Name of the memory model under which the execution exists (a
     /// built-in [`Mode`] name or a declarative spec's `model` header).
     pub model: String,
+    /// For failures under a declarative model: the axiom of the bundled
+    /// `sc` spec that the witness breaks (by its `as` label), obtained
+    /// by replaying the decoded trace through the explicit oracle
+    /// ([`cf_spec::interp::violated_axioms`]). `None` for built-in
+    /// models, for runtime errors, or when the witness is too large to
+    /// replay.
+    pub violated_axiom: Option<String>,
 }
 
 impl fmt::Display for Counterexample {
@@ -152,6 +159,9 @@ impl fmt::Display for Counterexample {
             }
         )?;
         writeln!(f, "  observation: {}", format_obs(&self.obs))?;
+        if let Some(ax) = &self.violated_axiom {
+            writeln!(f, "  breaks serializability at sc axiom `{ax}`")?;
+        }
         for e in &self.errors {
             writeln!(f, "  error: {e}")?;
         }
@@ -717,5 +727,96 @@ pub(crate) fn decode_counterexample(
         errors,
         steps,
         model,
+        violated_axiom: None,
     }
+}
+
+/// Replays the current witness against the bundled `sc` spec and names
+/// the serializability axiom it breaks — the diagnostic attached to
+/// counterexamples found under declarative models. `None` when the
+/// witness is too large for the explicit oracle (more than 12 executed
+/// accesses), when an address fails to decode, or when the witness is
+/// value-rejected rather than order-rejected.
+pub(crate) fn diagnose_serializability(sx: &SymExec, enc: &mut Encoding) -> Option<String> {
+    use cf_memmodel::{ConcreteTrace, TraceItem};
+    use std::collections::HashMap;
+    use std::sync::OnceLock;
+
+    static SC: OnceLock<cf_spec::ModelSpec> = OnceLock::new();
+    let sc = SC
+        .get_or_init(|| cf_spec::compile(cf_spec::bundled::SC).expect("bundled sc spec compiles"));
+
+    let executed: Vec<usize> = (0..sx.events.len())
+        .filter(|&i| enc.event_executed(i))
+        .collect();
+    if executed
+        .iter()
+        .filter(|&&i| sx.events[i].thread != 0)
+        .count()
+        > 12
+    {
+        return None;
+    }
+    // Fold the executed init-thread stores (in program order) into the
+    // initial-value map; the replayed trace covers test threads only.
+    let mut init: HashMap<Vec<u32>, Value> = HashMap::new();
+    for loc in sx.space.all_scalar_locations(&sx.types) {
+        init.insert(loc.clone(), crate::range::init_value(sx, &loc));
+    }
+    let mut init_stores: Vec<usize> = executed
+        .iter()
+        .copied()
+        .filter(|&i| sx.events[i].thread == 0 && sx.events[i].kind == AccessKind::Store)
+        .collect();
+    init_stores.sort_by_key(|&i| sx.events[i].po);
+    for i in init_stores {
+        let Value::Ptr(path) = enc.decode(&enc.addrs[i].clone()) else {
+            return None;
+        };
+        init.insert(path, enc.decode(&enc.values[i].clone()));
+    }
+    // Per-thread items in program order: executed accesses plus fences
+    // whose guard is known to hold in the witness.
+    let mut threads: Vec<Vec<(usize, TraceItem)>> = vec![Vec::new(); sx.num_threads - 1];
+    for &i in &executed {
+        let e = &sx.events[i];
+        if e.thread == 0 {
+            continue;
+        }
+        let Value::Ptr(addr) = enc.decode(&enc.addrs[i].clone()) else {
+            return None;
+        };
+        let value = enc.decode(&enc.values[i].clone());
+        threads[e.thread - 1].push((
+            e.po,
+            TraceItem::Access {
+                kind: e.kind,
+                addr,
+                value,
+                group: e.group,
+            },
+        ));
+    }
+    for f in &sx.fences {
+        if f.thread == 0 || f.site.is_some() {
+            continue;
+        }
+        if enc.guard_value(sx, f.guard) != Some(true) {
+            continue;
+        }
+        threads[f.thread - 1].push((f.po, TraceItem::Fence(f.kind)));
+    }
+    for t in &mut threads {
+        t.sort_by_key(|(po, _)| *po);
+    }
+    let trace = ConcreteTrace {
+        threads: threads
+            .into_iter()
+            .map(|t| t.into_iter().map(|(_, item)| item).collect())
+            .collect(),
+        init,
+    };
+    cf_spec::interp::violated_axioms(&trace, sc)
+        .into_iter()
+        .next()
 }

@@ -134,6 +134,13 @@ pub struct Encoding {
     /// Assuming a site's literal activates every unrolling of its fence;
     /// assuming the negation makes the site inert.
     pub fence_acts: BTreeMap<u32, Lit>,
+    /// Toggle literal per mutation site (empty unless the program
+    /// contains [`cf_lsl::Stmt::Toggle`] statements). Assuming a site's
+    /// literal runs the mutant branch of every unrolling of that site;
+    /// assuming the negation runs the original branch. The batched
+    /// mutation engine ([`crate::mutate`]) selects one mutant per query
+    /// this way — the statement-level generalization of `fence_acts`.
+    pub toggle_acts: BTreeMap<u32, Lit>,
 
     /// The declarative models encoded alongside the built-in modes,
     /// in selector order ([`ModelSel::Spec`] indexes this list).
@@ -249,6 +256,7 @@ impl Encoding {
             exceeded: Vec::new(),
             int_width: range.int_width.max(2),
             fence_acts: BTreeMap::new(),
+            toggle_acts: BTreeMap::new(),
             specs: specs.to_vec(),
             order: OrderVars::Pairwise(HashMap::new()),
             spec_cache: Vec::new(),
@@ -398,6 +406,16 @@ impl Encoding {
         }
         let l = self.cnf.fresh();
         self.fence_acts.insert(site, l);
+        l
+    }
+
+    /// The toggle literal of mutation site `site`, created on first use.
+    pub(crate) fn toggle_act(&mut self, site: u32) -> Lit {
+        if let Some(&l) = self.toggle_acts.get(&site) {
+            return l;
+        }
+        let l = self.cnf.fresh();
+        self.toggle_acts.insert(site, l);
         l
     }
 
@@ -835,6 +853,7 @@ impl Encoding {
         }
         let lit = match sx.arena.bt(id).clone() {
             BTerm::Const(b) => self.cnf.constant(b),
+            BTerm::Toggle(site) => self.toggle_act(site),
             BTerm::Truthy(v) => {
                 let e = self.encode_v(sx, v);
                 self.truthy(&e)
@@ -1194,6 +1213,17 @@ impl Encoding {
     /// Was the event executed in the current model?
     pub fn event_executed(&self, event: usize) -> bool {
         self.cnf.lit_value(self.guards[event])
+    }
+
+    /// The value of a boolean term in the current model, if the term is
+    /// constant or was encoded before the solve (counterexample
+    /// decoding must not add circuitry after the fact — fresh gates
+    /// have no model values).
+    pub(crate) fn guard_value(&self, sx: &SymExec, id: BTermId) -> Option<bool> {
+        if let crate::term::BTerm::Const(b) = sx.arena.bt(id) {
+            return Some(*b);
+        }
+        self.bcache.get(&id).map(|&l| self.cnf.lit_value(l))
     }
 
     /// The executed events sorted by the memory order of the current

@@ -2,7 +2,7 @@
 //!
 //! A from-scratch reproduction of the CheckFence verifier (Burckhardt,
 //! Alur, Martin; PLDI 2007). Given a concurrent data type implementation
-//! (mini-C compiled to LSL by [`cf_minic`]), a bounded symbolic test
+//! (mini-C compiled to LSL by `cf-minic`), a bounded symbolic test
 //! ([`TestSpec`], Fig. 8 notation) and a memory model
 //! ([`cf_memmodel::Mode`]), the checker:
 //!
@@ -20,6 +20,20 @@
 //! The crate also implements the *commit-point method* of the authors'
 //! earlier CAV 2006 paper as the baseline for the paper's Fig. 12 speed
 //! comparison.
+//!
+//! ## Beyond the one-shot pipeline
+//!
+//! * [`CheckSession`] — incremental checking: one persistent solver per
+//!   (harness, test), with built-in [`cf_memmodel::Mode`]s and
+//!   declarative [`cf_spec::ModelSpec`]s selected per query through
+//!   assumption literals (encode once, solve many);
+//! * [`infer`] — automatic 1-minimal fence placement, candidate fences
+//!   as activation literals on a session;
+//! * [`mutate`] — batched Fig. 11-style mutation checking: statement
+//!   deletions, fence weakenings and adjacent-operation swaps as
+//!   per-site *toggle literals*, the whole mutant × model matrix
+//!   answered from one encoding;
+//! * [`commit`] — the commit-point baseline.
 //!
 //! ## Example
 //!
@@ -66,6 +80,7 @@ mod test_spec;
 
 pub mod commit;
 pub mod infer;
+pub mod mutate;
 mod obs_text;
 
 pub use checker::{

@@ -98,6 +98,7 @@ pub fn mine_reference(harness: &Harness, test: &TestSpec) -> Result<MiningResult
                         errors: vec![e.to_string()],
                         steps: vec![],
                         model: cf_memmodel::Mode::Serial.name().to_string(),
+                        violated_axiom: None,
                     };
                     return Err(CheckError::SerialBug(Box::new(cx)));
                 }

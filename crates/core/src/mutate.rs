@@ -1,0 +1,1056 @@
+//! Batched mutation checking: the paper's Fig. 11 ablation experiments
+//! run as assumption vectors on one incremental session.
+//!
+//! CheckFence validates itself by *mutating* the implementations it
+//! checks — deleting a fence, weakening its kind, reordering adjacent
+//! operations — and verifying that the checker catches each injected
+//! bug. Done naively, a mutant matrix of `M` mutations × `K` memory
+//! models costs `M × K` full pipeline runs (symbolic execution, CNF
+//! encoding, cold SAT solver each time).
+//!
+//! This module generalizes the candidate-fence activation literals of
+//! the incremental sessions ([`CheckSession`]) to arbitrary statement
+//! rewrites: a [`MutationPlan`] instruments the program once, wrapping
+//! every mutation point in a [`cf_lsl::Stmt::Toggle`] whose per-site
+//! *toggle literal* selects between the original statements and the
+//! mutant. The whole matrix is then answered from **one** symbolic
+//! execution and **one** encoding covering the entire model universe
+//! (built-in [`Mode`]s *and* declarative [`ModelSpec`]s): checking
+//! mutant `m` under model `k` is one incremental solver call under the
+//! assumptions "model `k` selected, toggle `m` active, every other
+//! toggle inactive".
+//!
+//! Three mutation operators are planned (see [`MutationKind`]):
+//!
+//! * **delete-stmt** — drop a store or a fence;
+//! * **weaken-fence** — replace a fence's kind with its orthogonal kind
+//!   (e.g. `store-store` → `load-load`), which orders none of the pairs
+//!   the original ordered;
+//! * **swap-adjacent** — exchange two adjacent memory accesses whose
+//!   *register* dataflow is independent. Their addresses may still
+//!   coincide dynamically: a same-address swap is a legitimate mutant,
+//!   typically caught already under `serial`/`sc` (like a deleted value
+//!   store), while disjoint-address swaps probe memory-model
+//!   sensitivity.
+//!
+//! [`run_mutation_matrix`] produces a [`MutationReport`] (a Fig.
+//! 11-style table); [`run_mutation_matrix_oneshot`] is the independent
+//! per-mutant oracle kept for equivalence tests and the
+//! `BENCH_mutate.json` benchmark.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use cf_lsl::{pretty, FenceKind, Program, Reg, Stmt};
+use cf_memmodel::{Mode, ModeSet};
+use cf_spec::ModelSpec;
+
+use crate::checker::{CheckConfig, CheckError, CheckOutcome, Checker, FailureKind, ObsSet};
+use crate::encode::ModelSel;
+use crate::session::{CheckSession, SessionConfig, SessionStats};
+use crate::test_spec::{Harness, TestSpec};
+
+/// A mutation operator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MutationKind {
+    /// Delete one store or fence statement.
+    DeleteStmt,
+    /// Replace a fence's kind with its orthogonal kind (both sides
+    /// flipped), so the mutant orders none of the pairs the original
+    /// ordered.
+    WeakenFence,
+    /// Swap two adjacent, data-independent memory accesses.
+    SwapAdjacent,
+}
+
+impl MutationKind {
+    /// All operators, in planning order.
+    pub fn all() -> [MutationKind; 3] {
+        [
+            MutationKind::DeleteStmt,
+            MutationKind::WeakenFence,
+            MutationKind::SwapAdjacent,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationKind::DeleteStmt => "delete",
+            MutationKind::WeakenFence => "weaken",
+            MutationKind::SwapAdjacent => "swap",
+        }
+    }
+}
+
+/// The orthogonal fence kind used by [`MutationKind::WeakenFence`].
+fn weakened(kind: FenceKind) -> FenceKind {
+    match kind {
+        FenceKind::LoadLoad => FenceKind::StoreStore,
+        FenceKind::StoreStore => FenceKind::LoadLoad,
+        FenceKind::LoadStore => FenceKind::StoreLoad,
+        FenceKind::StoreLoad => FenceKind::LoadStore,
+    }
+}
+
+/// Configuration of the mutation planner.
+#[derive(Clone, Debug)]
+pub struct MutationConfig {
+    /// Operators to plan (in [`MutationKind::all`] order per statement).
+    pub kinds: Vec<MutationKind>,
+    /// Restrict mutation to these procedures. `None` selects every
+    /// procedure except lock primitives (names containing `lock`),
+    /// mirroring the fence-inference candidate rule.
+    pub procs: Option<Vec<String>>,
+    /// Cap on the number of planned points (`None` = unlimited).
+    pub max_points: Option<usize>,
+}
+
+impl Default for MutationConfig {
+    fn default() -> Self {
+        MutationConfig {
+            kinds: MutationKind::all().to_vec(),
+            procs: None,
+            max_points: None,
+        }
+    }
+}
+
+/// Where a mutation applies: a statement list (procedure body plus a
+/// path of nested block indices), an index within it, and the number of
+/// statements covered (1 except for swaps, which cover the two accesses
+/// plus any pure register statements between them).
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Locator {
+    proc: String,
+    block_path: Vec<usize>,
+    stmt_index: usize,
+    span: usize,
+}
+
+/// One planned mutation.
+#[derive(Clone, Debug)]
+pub struct MutationPoint {
+    /// Toggle-site id (the assumption handle; dense from 0).
+    pub id: u32,
+    /// The operator.
+    pub kind: MutationKind,
+    /// Procedure the mutation lives in.
+    pub proc: String,
+    /// Human-readable description, e.g. ``delete `*r3 = r1` in push``.
+    pub description: String,
+    locator: Locator,
+}
+
+/// A batched mutation plan: the instrumented program plus the point
+/// table mapping toggle-site ids back to source-level mutations.
+#[derive(Clone, Debug)]
+pub struct MutationPlan {
+    /// The unmutated input program.
+    pub original: Program,
+    /// The program with every point wrapped in a
+    /// [`cf_lsl::Stmt::Toggle`]; site `i` is `points[i]`.
+    pub instrumented: Program,
+    /// The planned mutations, indexed by toggle-site id.
+    pub points: Vec<MutationPoint>,
+}
+
+impl MutationPlan {
+    /// Plans every mutation allowed by `config` and instruments the
+    /// program with one toggle per point.
+    pub fn build(program: &Program, config: &MutationConfig) -> MutationPlan {
+        let mut points = Vec::new();
+        for proc in &program.procedures {
+            if !proc_selected(&proc.name, config) {
+                continue;
+            }
+            let mut path = Vec::new();
+            enumerate_points(
+                &proc.body,
+                &proc.name,
+                &mut path,
+                false,
+                config,
+                &mut points,
+            );
+            if config.max_points.is_some_and(|max| points.len() >= max) {
+                break;
+            }
+        }
+        if let Some(max) = config.max_points {
+            points.truncate(max);
+        }
+        for (i, p) in points.iter_mut().enumerate() {
+            p.id = i as u32;
+        }
+        let mut instrumented = program.clone();
+        for proc in &mut instrumented.procedures {
+            let relevant: Vec<&MutationPoint> = points
+                .iter()
+                .filter(|p| p.locator.proc == proc.name)
+                .collect();
+            if relevant.is_empty() {
+                continue;
+            }
+            let mut path = Vec::new();
+            proc.body = instrument(&proc.body, &mut path, &relevant);
+        }
+        MutationPlan {
+            original: program.clone(),
+            instrumented,
+            points,
+        }
+    }
+
+    /// The concretely mutated program for a single point — the input of
+    /// the one-shot oracle. Identical in behavior to activating exactly
+    /// that point's toggle on the instrumented program.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    pub fn mutant(&self, id: u32) -> Program {
+        let point = &self.points[id as usize];
+        let mut program = self.original.clone();
+        for proc in &mut program.procedures {
+            if proc.name != point.locator.proc {
+                continue;
+            }
+            let mut path = Vec::new();
+            proc.body = apply_one(&proc.body, &mut path, point);
+        }
+        program
+    }
+}
+
+fn proc_selected(name: &str, config: &MutationConfig) -> bool {
+    match &config.procs {
+        Some(list) => list.iter().any(|n| n == name),
+        None => !name.contains("lock"),
+    }
+}
+
+/// Registers written / read by a straight-line statement eligible to
+/// participate in a swap span (`None` for anything else).
+fn rw_regs(s: &Stmt) -> Option<(Vec<Reg>, Vec<Reg>)> {
+    match s {
+        Stmt::Store { addr, value } => Some((vec![], vec![*addr, *value])),
+        Stmt::Load { dst, addr } => Some((vec![*dst], vec![*addr])),
+        Stmt::Const { dst, .. } => Some((vec![*dst], vec![])),
+        Stmt::Alloc { dst, .. } => Some((vec![*dst], vec![])),
+        Stmt::Prim { dst, args, .. } => Some((vec![*dst], args.clone())),
+        _ => None,
+    }
+}
+
+/// A pure register statement (no memory effect, no control flow) — may
+/// sit between the two accesses of a swap without being reordered.
+fn is_pure_reg_stmt(s: &Stmt) -> bool {
+    matches!(
+        s,
+        Stmt::Const { .. } | Stmt::Prim { .. } | Stmt::Alloc { .. }
+    )
+}
+
+/// Finds the next memory access after `i` reachable across pure
+/// register statements, and checks that moving access `j` before the
+/// whole span (and access `i` after it) preserves register dataflow.
+/// Returns the span end `j` on success.
+fn swap_partner(stmts: &[Stmt], i: usize) -> Option<usize> {
+    if !stmts[i].is_memory_access() {
+        return None;
+    }
+    let mut j = i + 1;
+    while j < stmts.len() && is_pure_reg_stmt(&stmts[j]) {
+        j += 1;
+    }
+    if j >= stmts.len() || !stmts[j].is_memory_access() {
+        return None;
+    }
+    let (wi, ri) = rw_regs(&stmts[i]).expect("memory access");
+    let (wj, rj) = rw_regs(&stmts[j]).expect("memory access");
+    let mut wm: Vec<Reg> = Vec::new();
+    let mut rm: Vec<Reg> = Vec::new();
+    for s in &stmts[i + 1..j] {
+        let (w, r) = rw_regs(s).expect("pure register statement");
+        wm.extend(w);
+        rm.extend(r);
+    }
+    let disjoint = |xs: &[Reg], ys: &[Reg]| xs.iter().all(|x| !ys.contains(x));
+    // The mutant is `[middle..., j, i]`: the register scaffolding runs
+    // first (j's operands are typically set up there), then the two
+    // accesses in swapped order. Moving access i past the middle and
+    // past j must not change any register's value:
+    let mid_movable = disjoint(&wm, &ri) && disjoint(&wm, &wi) && disjoint(&rm, &wi);
+    let swap_ok = disjoint(&wj, &ri) && disjoint(&wi, &rj) && disjoint(&wi, &wj);
+    (mid_movable && swap_ok).then_some(j)
+}
+
+fn enumerate_points(
+    stmts: &[Stmt],
+    proc: &str,
+    path: &mut Vec<usize>,
+    in_atomic: bool,
+    config: &MutationConfig,
+    out: &mut Vec<MutationPoint>,
+) {
+    fn push_point(
+        out: &mut Vec<MutationPoint>,
+        kind: MutationKind,
+        proc: &str,
+        path: &[usize],
+        index: usize,
+        span: usize,
+        description: String,
+    ) {
+        out.push(MutationPoint {
+            id: 0, // renumbered by the caller
+            kind,
+            proc: proc.to_string(),
+            description,
+            locator: Locator {
+                proc: proc.to_string(),
+                block_path: path.to_vec(),
+                stmt_index: index,
+                span,
+            },
+        });
+    }
+    let wants = |k: MutationKind| config.kinds.contains(&k);
+    let mut swap_blocked = 0usize; // indices below this are in a swap span
+    for (i, s) in stmts.iter().enumerate() {
+        match s {
+            Stmt::Store { .. } if wants(MutationKind::DeleteStmt) => {
+                push_point(
+                    out,
+                    MutationKind::DeleteStmt,
+                    proc,
+                    path,
+                    i,
+                    1,
+                    format!("delete `{}` in {proc}", pretty::stmt_line(s)),
+                );
+            }
+            // Fences inside atomic blocks are inert; mutating them
+            // proves nothing.
+            Stmt::Fence(kind) if !in_atomic => {
+                if wants(MutationKind::DeleteStmt) {
+                    push_point(
+                        out,
+                        MutationKind::DeleteStmt,
+                        proc,
+                        path,
+                        i,
+                        1,
+                        format!("delete `fence {kind}` in {proc}"),
+                    );
+                }
+                if wants(MutationKind::WeakenFence) {
+                    push_point(
+                        out,
+                        MutationKind::WeakenFence,
+                        proc,
+                        path,
+                        i,
+                        1,
+                        format!("weaken `fence {kind}` to `{}` in {proc}", weakened(*kind)),
+                    );
+                }
+            }
+            _ => {}
+        }
+        // Swaps only matter where interleaving is observable.
+        if !in_atomic && wants(MutationKind::SwapAdjacent) && i >= swap_blocked {
+            if let Some(j) = swap_partner(stmts, i) {
+                push_point(
+                    out,
+                    MutationKind::SwapAdjacent,
+                    proc,
+                    path,
+                    i,
+                    j - i + 1,
+                    format!(
+                        "swap `{}` with `{}` in {proc}",
+                        pretty::stmt_line(s),
+                        pretty::stmt_line(&stmts[j])
+                    ),
+                );
+                swap_blocked = j + 1;
+            }
+        }
+        match s {
+            Stmt::Block { body, .. } => {
+                path.push(i);
+                enumerate_points(body, proc, path, in_atomic, config, out);
+                path.pop();
+            }
+            Stmt::Atomic(body) => {
+                path.push(i);
+                enumerate_points(body, proc, path, true, config, out);
+                path.pop();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Wraps every relevant point of one statement list (recursing into
+/// blocks). Per-statement points (delete, weaken) nest inside the swap
+/// wrapper of their pair, which is sound because at most one toggle is
+/// ever active per query.
+fn instrument(stmts: &[Stmt], path: &mut Vec<usize>, points: &[&MutationPoint]) -> Vec<Stmt> {
+    let here: Vec<&&MutationPoint> = points
+        .iter()
+        .filter(|p| p.locator.block_path == *path)
+        .collect();
+    let mut out = Vec::with_capacity(stmts.len());
+    let mut skip: HashSet<usize> = HashSet::new();
+    for (i, s) in stmts.iter().enumerate() {
+        if skip.contains(&i) {
+            continue;
+        }
+        let wrapped = instrument_one(s, i, path, points, &here);
+        let swap = here
+            .iter()
+            .find(|p| p.kind == MutationKind::SwapAdjacent && p.locator.stmt_index == i);
+        match swap {
+            Some(p) => {
+                let j = i + p.locator.span - 1;
+                let last = instrument_one(&stmts[j], j, path, points, &here);
+                let middle: Vec<Stmt> = (i + 1..j)
+                    .map(|k| {
+                        skip.insert(k);
+                        instrument_one(&stmts[k], k, path, points, &here)
+                    })
+                    .collect();
+                skip.insert(j);
+                let mut orig = vec![wrapped.clone()];
+                orig.extend(middle.iter().cloned());
+                orig.push(last.clone());
+                let mut mutant = middle;
+                mutant.push(last);
+                mutant.push(wrapped);
+                out.push(Stmt::Toggle {
+                    site: p.id,
+                    orig,
+                    mutant,
+                });
+            }
+            _ => out.push(wrapped),
+        }
+    }
+    out
+}
+
+/// Applies the per-statement wrappers (and block recursion) to one
+/// statement.
+fn instrument_one(
+    s: &Stmt,
+    i: usize,
+    path: &mut Vec<usize>,
+    points: &[&MutationPoint],
+    here: &[&&MutationPoint],
+) -> Stmt {
+    let mut stmt = match s {
+        Stmt::Block {
+            tag,
+            is_loop,
+            spin,
+            body,
+        } => {
+            path.push(i);
+            let body = instrument(body, path, points);
+            path.pop();
+            Stmt::Block {
+                tag: *tag,
+                is_loop: *is_loop,
+                spin: *spin,
+                body,
+            }
+        }
+        Stmt::Atomic(body) => {
+            path.push(i);
+            let body = instrument(body, path, points);
+            path.pop();
+            Stmt::Atomic(body)
+        }
+        other => other.clone(),
+    };
+    // Weaken first (innermost), then delete: `delete` removes the whole
+    // (possibly weakened) statement, and with one active toggle per
+    // query the nesting order is unobservable anyway.
+    for p in here
+        .iter()
+        .filter(|p| p.locator.stmt_index == i && p.kind == MutationKind::WeakenFence)
+    {
+        let Stmt::Fence(kind) = stmt else {
+            unreachable!("weaken planned on a non-fence statement")
+        };
+        stmt = Stmt::Toggle {
+            site: p.id,
+            orig: vec![Stmt::Fence(kind)],
+            mutant: vec![Stmt::Fence(weakened(kind))],
+        };
+    }
+    for p in here
+        .iter()
+        .filter(|p| p.locator.stmt_index == i && p.kind == MutationKind::DeleteStmt)
+    {
+        stmt = Stmt::Toggle {
+            site: p.id,
+            orig: vec![stmt],
+            mutant: vec![],
+        };
+    }
+    stmt
+}
+
+/// Applies exactly one point concretely (the oracle-side rewrite).
+fn apply_one(stmts: &[Stmt], path: &mut Vec<usize>, point: &MutationPoint) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    let mut skip: HashSet<usize> = HashSet::new();
+    for (i, s) in stmts.iter().enumerate() {
+        if skip.contains(&i) {
+            continue;
+        }
+        if point.locator.block_path == *path && point.locator.stmt_index == i {
+            match point.kind {
+                MutationKind::DeleteStmt => continue,
+                MutationKind::WeakenFence => {
+                    let Stmt::Fence(kind) = s else {
+                        unreachable!("weaken planned on a non-fence statement")
+                    };
+                    out.push(Stmt::Fence(weakened(*kind)));
+                    continue;
+                }
+                MutationKind::SwapAdjacent => {
+                    let j = i + point.locator.span - 1;
+                    for (k, mid) in stmts.iter().enumerate().take(j).skip(i + 1) {
+                        out.push(mid.clone());
+                        skip.insert(k);
+                    }
+                    out.push(stmts[j].clone());
+                    out.push(s.clone());
+                    skip.insert(j);
+                    continue;
+                }
+            }
+        }
+        match s {
+            Stmt::Block {
+                tag,
+                is_loop,
+                spin,
+                body,
+            } => {
+                path.push(i);
+                let body = apply_one(body, path, point);
+                path.pop();
+                out.push(Stmt::Block {
+                    tag: *tag,
+                    is_loop: *is_loop,
+                    spin: *spin,
+                    body,
+                });
+            }
+            Stmt::Atomic(body) => {
+                path.push(i);
+                let body = apply_one(body, path, point);
+                path.pop();
+                out.push(Stmt::Atomic(body));
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+// --------------------------------------------------------------- matrix
+
+/// Configuration of a mutation-matrix run: the model universe and the
+/// underlying check settings.
+#[derive(Clone, Debug)]
+pub struct MatrixConfig {
+    /// Built-in models to check every mutant under.
+    pub modes: Vec<Mode>,
+    /// Declarative models checked alongside the built-ins (compiled
+    /// into the same encoding, selected per query).
+    pub specs: Vec<ModelSpec>,
+    /// Check settings (order encoding, bounds, budgets); the
+    /// `memory_model` field is ignored — the matrix supplies models.
+    pub check: CheckConfig,
+}
+
+impl Default for MatrixConfig {
+    fn default() -> Self {
+        MatrixConfig {
+            modes: Mode::hardware().to_vec(),
+            specs: Vec::new(),
+            check: CheckConfig::default(),
+        }
+    }
+}
+
+impl MatrixConfig {
+    /// The model axis in report order: built-ins, then specs. A spec
+    /// whose `model` header collides with an earlier column name is
+    /// primed (`relaxed` → `relaxed'`) so every column stays
+    /// distinguishable.
+    pub fn models(&self) -> Vec<(String, ModelSel)> {
+        let mut out: Vec<(String, ModelSel)> = self
+            .modes
+            .iter()
+            .map(|&m| (m.name().to_string(), ModelSel::Builtin(m)))
+            .collect();
+        for (i, s) in self.specs.iter().enumerate() {
+            let mut name = s.name.clone();
+            while out.iter().any(|(n, _)| *n == name) {
+                name.push('\'');
+            }
+            out.push((name, ModelSel::Spec(i)));
+        }
+        out
+    }
+}
+
+/// The verdict of one (mutant, model) cell.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MutantVerdict {
+    /// The mutant passes the inclusion check — the mutation survived
+    /// (it is unobservable on this test/model).
+    Survived,
+    /// The checker caught the mutant with a counterexample.
+    Caught(FailureKind),
+    /// Loop bounds diverged — the livelock symptom (e.g. a deleted
+    /// load-load fence turning a retry loop infinite). Counts as
+    /// caught.
+    Diverged,
+}
+
+impl MutantVerdict {
+    /// `true` unless the mutant survived.
+    pub fn caught(&self) -> bool {
+        !matches!(self, MutantVerdict::Survived)
+    }
+
+    /// Fixed-width table cell.
+    pub fn cell(&self) -> &'static str {
+        match self {
+            MutantVerdict::Survived => ".",
+            MutantVerdict::Caught(_) => "X",
+            MutantVerdict::Diverged => "~",
+        }
+    }
+}
+
+/// One row of the mutant matrix.
+#[derive(Clone, Debug)]
+pub struct MutationRow {
+    /// Toggle-site id of the mutant.
+    pub point: u32,
+    /// The planner's description of the mutation.
+    pub description: String,
+    /// Verdicts, parallel to [`MutationReport::models`].
+    pub verdicts: Vec<MutantVerdict>,
+}
+
+/// A Fig. 11-style mutant matrix for one (implementation, test) pair.
+#[derive(Clone, Debug)]
+pub struct MutationReport {
+    /// Implementation name.
+    pub harness: String,
+    /// Test name.
+    pub test: String,
+    /// Model axis (column headers).
+    pub models: Vec<String>,
+    /// Verdicts of the *unmutated* build per model (all should be
+    /// `Survived` for a correctly fenced implementation).
+    pub baseline: Vec<MutantVerdict>,
+    /// One row per planned mutation.
+    pub rows: Vec<MutationRow>,
+    /// Session amortization counters (`encodes` is 1 per model universe
+    /// unless loop bounds grew; the one-shot oracle reports its totals
+    /// here).
+    pub session: SessionStats,
+    /// Cumulative SAT statistics.
+    pub solver: cf_sat::Stats,
+    /// End-to-end wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl MutationReport {
+    /// Mutants caught (on at least one model) / total.
+    pub fn caught(&self) -> (usize, usize) {
+        let caught = self
+            .rows
+            .iter()
+            .filter(|r| r.verdicts.iter().any(MutantVerdict::caught))
+            .count();
+        (caught, self.rows.len())
+    }
+
+    /// Renders the Fig. 11-style table (`X` caught, `.` survived, `~`
+    /// bounds diverged).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let desc_w = self
+            .rows
+            .iter()
+            .map(|r| r.description.len())
+            .chain(["(baseline)".len()])
+            .max()
+            .unwrap_or(12)
+            .min(56);
+        let _ = writeln!(
+            out,
+            "mutant matrix — {} / {} ({} mutants, {} models, {:.2?})",
+            self.harness,
+            self.test,
+            self.rows.len(),
+            self.models.len(),
+            self.elapsed
+        );
+        let _ = write!(out, "  {:>4}  {:<desc_w$}", "id", "mutation");
+        for m in &self.models {
+            let _ = write!(out, " {m:>8}");
+        }
+        out.push('\n');
+        let _ = write!(out, "  {:>4}  {:<desc_w$}", "", "(baseline)");
+        for v in &self.baseline {
+            let _ = write!(out, " {:>8}", v.cell());
+        }
+        out.push('\n');
+        for r in &self.rows {
+            let mut d = r.description.clone();
+            if d.len() > desc_w {
+                d.truncate(desc_w - 1);
+                d.push('…');
+            }
+            let _ = write!(out, "  {:>4}  {:<desc_w$}", r.point, d);
+            for v in &r.verdicts {
+                let _ = write!(out, " {:>8}", v.cell());
+            }
+            out.push('\n');
+        }
+        let (caught, total) = self.caught();
+        let _ = writeln!(
+            out,
+            "  caught {caught}/{total}   (X caught, . survived, ~ bounds diverged)   \
+             symexecs {}  encodes {}  queries {}",
+            self.session.symexecs, self.session.encodes, self.session.queries
+        );
+        out
+    }
+}
+
+fn verdict_of(
+    r: Result<crate::checker::InclusionResult, CheckError>,
+) -> Result<MutantVerdict, CheckError> {
+    match r {
+        Ok(res) => Ok(match res.outcome {
+            CheckOutcome::Pass => MutantVerdict::Survived,
+            CheckOutcome::Fail(cx) => MutantVerdict::Caught(cx.kind),
+        }),
+        Err(CheckError::BoundsDiverged { .. }) => Ok(MutantVerdict::Diverged),
+        Err(e) => Err(e),
+    }
+}
+
+/// Runs the whole mutant matrix on **one** [`CheckSession`]: one
+/// symbolic execution and one encoding for the entire model universe,
+/// every (mutant, model) cell an assumption-vector query. The
+/// specification is mined once from the unmutated build with the
+/// reference interpreter (mutations must be judged against the original
+/// semantics).
+///
+/// # Errors
+///
+/// Propagates mining failures and infrastructure errors; per-cell bound
+/// divergence is reported as [`MutantVerdict::Diverged`], not an error.
+pub fn run_mutation_matrix(
+    harness: &Harness,
+    test: &TestSpec,
+    plan: &MutationPlan,
+    config: &MatrixConfig,
+) -> Result<MutationReport, CheckError> {
+    let t0 = Instant::now();
+    let spec = crate::mine::mine_reference(harness, test)?.spec;
+    let instrumented = Harness {
+        name: format!("{}+mutants", harness.name),
+        program: plan.instrumented.clone(),
+        init_proc: harness.init_proc.clone(),
+        ops: harness.ops.clone(),
+    };
+    let mode_set: ModeSet = config.modes.iter().copied().collect();
+    let session_config =
+        SessionConfig::from_check_config(&config.check, mode_set).with_specs(config.specs.clone());
+    let mut session = CheckSession::with_config(&instrumented, test, session_config);
+    let models = config.models();
+    let mut baseline = Vec::with_capacity(models.len());
+    for (_, sel) in &models {
+        baseline.push(verdict_of(session.check_inclusion_model(*sel, &spec))?);
+    }
+    let mut rows = Vec::with_capacity(plan.points.len());
+    for point in &plan.points {
+        let mut verdicts = Vec::with_capacity(models.len());
+        for (_, sel) in &models {
+            verdicts.push(verdict_of(session.check_inclusion_toggled(
+                *sel,
+                &spec,
+                &[point.id],
+            ))?);
+        }
+        rows.push(MutationRow {
+            point: point.id,
+            description: point.description.clone(),
+            verdicts,
+        });
+    }
+    Ok(MutationReport {
+        harness: harness.name.clone(),
+        test: test.name.clone(),
+        models: models.into_iter().map(|(n, _)| n).collect(),
+        baseline,
+        rows,
+        session: session.stats(),
+        solver: session.solver_stats(),
+        elapsed: t0.elapsed(),
+    })
+}
+
+/// The per-mutant oracle: every (mutant, model) cell is a fresh
+/// [`Checker`] run on the concretely mutated program — full symbolic
+/// execution, encoding and cold solver each time. Verdict-equivalent to
+/// [`run_mutation_matrix`] (the equivalence suite asserts it); kept as
+/// the baseline of `BENCH_mutate.json`.
+///
+/// # Errors
+///
+/// As [`run_mutation_matrix`].
+pub fn run_mutation_matrix_oneshot(
+    harness: &Harness,
+    test: &TestSpec,
+    plan: &MutationPlan,
+    config: &MatrixConfig,
+) -> Result<MutationReport, CheckError> {
+    let t0 = Instant::now();
+    let spec = crate::mine::mine_reference(harness, test)?.spec;
+    let models = config.models();
+    let mut session = SessionStats::default();
+    let mut solver = cf_sat::Stats::default();
+    let mut check_build =
+        |program: Program, name: String| -> Result<Vec<MutantVerdict>, CheckError> {
+            let build = Harness {
+                name,
+                program,
+                init_proc: harness.init_proc.clone(),
+                ops: harness.ops.clone(),
+            };
+            let mut verdicts = Vec::with_capacity(models.len());
+            for (_, sel) in &models {
+                session.queries += 1;
+                let r = oneshot_cell(&build, test, config, *sel, &spec);
+                if let Ok(res) = &r {
+                    session.symexecs += res.stats.bound_rounds;
+                    session.encodes += res.stats.bound_rounds;
+                    solver.conflicts += res.stats.sat_conflicts;
+                    solver.propagations += res.stats.sat_propagations;
+                    solver.solves += res.stats.sat_solves;
+                }
+                verdicts.push(verdict_of(r)?);
+            }
+            Ok(verdicts)
+        };
+    let baseline = check_build(harness.program.clone(), harness.name.clone())?;
+    let mut rows = Vec::with_capacity(plan.points.len());
+    for point in &plan.points {
+        let verdicts = check_build(
+            plan.mutant(point.id),
+            format!("{}+m{}", harness.name, point.id),
+        )?;
+        rows.push(MutationRow {
+            point: point.id,
+            description: point.description.clone(),
+            verdicts,
+        });
+    }
+    Ok(MutationReport {
+        harness: harness.name.clone(),
+        test: test.name.clone(),
+        models: models.into_iter().map(|(n, _)| n).collect(),
+        baseline,
+        rows,
+        session,
+        solver,
+        elapsed: t0.elapsed(),
+    })
+}
+
+/// One one-shot cell: a fresh checker per (build, model).
+fn oneshot_cell(
+    build: &Harness,
+    test: &TestSpec,
+    config: &MatrixConfig,
+    sel: ModelSel,
+    spec: &ObsSet,
+) -> Result<crate::checker::InclusionResult, CheckError> {
+    let mut checker = Checker::new(build, test);
+    checker.config = config.check.clone();
+    match sel {
+        ModelSel::Builtin(mode) => {
+            checker.config.memory_model = mode;
+            checker.check_inclusion_oneshot(spec)
+        }
+        ModelSel::Spec(i) => checker.check_inclusion_spec(&config.specs[i], spec),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_spec::OpSig;
+
+    fn mailbox() -> Harness {
+        let program = cf_minic::compile(
+            r#"
+            int data; int flag;
+            void put(int v) { data = v + 1; fence("store-store"); flag = 1; }
+            int get() { int f = flag; fence("load-load");
+                        if (f == 0) { return 0 - 1; } return data; }
+            "#,
+        )
+        .expect("compiles");
+        Harness {
+            name: "mailbox".into(),
+            program,
+            init_proc: None,
+            ops: vec![
+                OpSig {
+                    key: 'p',
+                    proc_name: "put".into(),
+                    num_args: 1,
+                    has_ret: false,
+                },
+                OpSig {
+                    key: 'g',
+                    proc_name: "get".into(),
+                    num_args: 0,
+                    has_ret: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn planner_finds_all_three_kinds() {
+        let program = cf_minic::compile(
+            r#"
+            int a; int b;
+            void both() { a = 1; fence("store-store"); b = 2; }
+            void pair() { a = 1; b = 2; }
+            "#,
+        )
+        .expect("compiles");
+        let plan = MutationPlan::build(&program, &MutationConfig::default());
+        let kinds: Vec<MutationKind> = plan.points.iter().map(|p| p.kind).collect();
+        assert!(kinds.contains(&MutationKind::DeleteStmt), "{kinds:?}");
+        assert!(kinds.contains(&MutationKind::WeakenFence), "{kinds:?}");
+        assert!(kinds.contains(&MutationKind::SwapAdjacent), "{kinds:?}");
+        let swap = plan
+            .points
+            .iter()
+            .find(|p| p.kind == MutationKind::SwapAdjacent)
+            .expect("adjacent independent stores swap");
+        assert_eq!(swap.proc, "pair", "{:?}", plan.points);
+        // Site ids are dense and match indices.
+        for (i, p) in plan.points.iter().enumerate() {
+            assert_eq!(p.id as usize, i);
+        }
+    }
+
+    #[test]
+    fn concrete_mutants_differ_from_the_original() {
+        let h = mailbox();
+        let plan = MutationPlan::build(&h.program, &MutationConfig::default());
+        assert!(!plan.points.is_empty());
+        for p in &plan.points {
+            let m = plan.mutant(p.id);
+            assert_ne!(
+                format!("{m:?}"),
+                format!("{:?}", plan.original),
+                "mutant {} must change the program: {}",
+                p.id,
+                p.description
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_catches_fence_deletions_and_keeps_baseline_green() {
+        let h = mailbox();
+        let t = TestSpec::parse("pg", "( p | g )").expect("parses");
+        let plan = MutationPlan::build(&h.program, &MutationConfig::default());
+        let config = MatrixConfig::default();
+        let report = run_mutation_matrix(&h, &t, &plan, &config).expect("matrix runs");
+        assert!(
+            report.baseline.iter().all(|v| !v.caught()),
+            "fenced mailbox passes every hardware model: {:?}",
+            report.baseline
+        );
+        // One encoding answered the whole matrix.
+        assert_eq!(report.session.symexecs, 1);
+        assert_eq!(report.session.encodes, 1);
+        // Deleting either fence is caught on relaxed (the last builtin
+        // column), and the store-store deletion already on pso.
+        let relaxed = report.models.iter().position(|m| m == "relaxed").unwrap();
+        for r in &report.rows {
+            if r.description.contains("delete `fence") {
+                assert!(
+                    r.verdicts[relaxed].caught(),
+                    "fence deletion must be caught on relaxed: {}",
+                    r.description
+                );
+            }
+        }
+        // The table renders with one row per mutant.
+        let table = report.table();
+        assert!(table.contains("(baseline)"), "{table}");
+        assert_eq!(
+            table.lines().count(),
+            report.rows.len() + 4,
+            "header + models + baseline + rows + summary: {table}"
+        );
+    }
+
+    #[test]
+    fn weakening_is_sharper_than_deletion_on_pso() {
+        // On PSO only stores reorder: weakening the reader's load-load
+        // fence must survive, weakening the writer's store-store fence
+        // must be caught — the matrix distinguishes the two.
+        let h = mailbox();
+        let t = TestSpec::parse("pg", "( p | g )").expect("parses");
+        let plan = MutationPlan::build(
+            &h.program,
+            &MutationConfig {
+                kinds: vec![MutationKind::WeakenFence],
+                ..MutationConfig::default()
+            },
+        );
+        let config = MatrixConfig::default();
+        let report = run_mutation_matrix(&h, &t, &plan, &config).expect("matrix runs");
+        let pso = report.models.iter().position(|m| m == "pso").unwrap();
+        let ss = report
+            .rows
+            .iter()
+            .find(|r| r.description.contains("weaken `fence store-store`"))
+            .expect("writer fence weakened");
+        let ll = report
+            .rows
+            .iter()
+            .find(|r| r.description.contains("weaken `fence load-load`"))
+            .expect("reader fence weakened");
+        assert!(ss.verdicts[pso].caught(), "{}", report.table());
+        assert!(!ll.verdicts[pso].caught(), "{}", report.table());
+    }
+}

@@ -237,6 +237,30 @@ impl<'h> CheckSession<'h> {
             .collect())
     }
 
+    /// The mutation toggle sites present in the encoded program, in
+    /// ascending site order (empty unless the program contains
+    /// [`cf_lsl::Stmt::Toggle`] statements). A site whose mutant branch
+    /// has no encodable effect (e.g. it only touches dead registers) may
+    /// be absent even though the plan lists it; activating such a site
+    /// is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates symbolic-execution failures from building the encoding.
+    pub fn toggle_sites(&mut self) -> Result<Vec<u32>, CheckError> {
+        let mut stats = PhaseStats::default();
+        self.ensure_state(&mut stats)?;
+        Ok(self
+            .state
+            .as_ref()
+            .expect("state built")
+            .enc
+            .toggle_acts
+            .keys()
+            .copied()
+            .collect())
+    }
+
     /// Mines the observation set with the SAT encoding under Seriality
     /// (§3.2), reusing the persistent encoding. Candidate fences are
     /// irrelevant here: fences are no-ops under the Seriality model.
@@ -251,7 +275,7 @@ impl<'h> CheckSession<'h> {
         let mut stats = PhaseStats::default();
         self.stats.queries += 1;
         let serial = ModelSel::Builtin(Mode::Serial);
-        let spec = self.with_bounds(serial, &[], &mut stats, |sx, enc, asm, stats| {
+        let spec = self.with_bounds(serial, &[], &[], &mut stats, |sx, enc, asm, stats| {
             // Any serial execution with an error is a sequential bug.
             let mut with_err = asm.to_vec();
             with_err.push(enc.error_lit);
@@ -307,10 +331,38 @@ impl<'h> CheckSession<'h> {
     pub fn enumerate_observations_model(&mut self, model: ModelSel) -> Result<ObsSet, CheckError> {
         let mut stats = PhaseStats::default();
         self.stats.queries += 1;
-        self.with_bounds(model, &[], &mut stats, |_sx, enc, asm, stats| {
+        self.with_bounds(model, &[], &[], &mut stats, |_sx, enc, asm, stats| {
             let vectors = Self::enumerate_gated(enc, asm, stats)?;
             Ok(Round::Bounded(ObsSet { vectors }))
         })
+    }
+
+    /// [`CheckSession::enumerate_observations_model`] with exactly the
+    /// mutation toggle sites in `active_toggles` switched to their
+    /// mutant branch — the observable behavior of one program mutant
+    /// under one model, answered from the shared encoding.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure errors only. Panics if the model is not part of
+    /// the session's universe.
+    pub fn enumerate_observations_toggled(
+        &mut self,
+        model: ModelSel,
+        active_toggles: &[u32],
+    ) -> Result<ObsSet, CheckError> {
+        let mut stats = PhaseStats::default();
+        self.stats.queries += 1;
+        self.with_bounds(
+            model,
+            &[],
+            active_toggles,
+            &mut stats,
+            |_sx, enc, asm, stats| {
+                let vectors = Self::enumerate_gated(enc, asm, stats)?;
+                Ok(Round::Bounded(ObsSet { vectors }))
+            },
+        )
     }
 
     /// Enumerates error-free observations under the given assumptions by
@@ -420,11 +472,45 @@ impl<'h> CheckSession<'h> {
         spec: &ObsSet,
         active_sites: &[u32],
     ) -> Result<InclusionResult, CheckError> {
+        self.check_inclusion_query(model, spec, active_sites, &[])
+    }
+
+    /// [`CheckSession::check_inclusion_model`] with exactly the mutation
+    /// toggle sites in `active_toggles` switched to their mutant branch
+    /// — the batched-mutation inner loop: one assumption vector per
+    /// mutant, no re-encode, no cold solver (see [`crate::mutate`]).
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure errors only. Panics if the model is not part of
+    /// the session's universe.
+    pub fn check_inclusion_toggled(
+        &mut self,
+        model: ModelSel,
+        spec: &ObsSet,
+        active_toggles: &[u32],
+    ) -> Result<InclusionResult, CheckError> {
+        self.check_inclusion_query(model, spec, &[], active_toggles)
+    }
+
+    /// The shared inclusion-check body: candidate-fence sites and
+    /// mutation toggles are both just assumption polarities.
+    fn check_inclusion_query(
+        &mut self,
+        model: ModelSel,
+        spec: &ObsSet,
+        active_sites: &[u32],
+        active_toggles: &[u32],
+    ) -> Result<InclusionResult, CheckError> {
         let t0 = Instant::now();
         let mut stats = PhaseStats::default();
         self.stats.queries += 1;
-        let outcome =
-            self.with_bounds(model, active_sites, &mut stats, |sx, enc, asm, stats| {
+        let outcome = self.with_bounds(
+            model,
+            active_sites,
+            active_toggles,
+            &mut stats,
+            |sx, enc, asm, stats| {
                 // The spec-membership circuit is a pure definition: cache it
                 // per spec, so the fence-inference loop (same spec, different
                 // activation vector) encodes it once.
@@ -445,11 +531,21 @@ impl<'h> CheckSession<'h> {
                             FailureKind::InconsistentObservation
                         };
                         let name = enc.model_name(model);
-                        let cx = decode_counterexample(sx, enc, kind, name);
+                        let mut cx = decode_counterexample(sx, enc, kind, name);
+                        // Spec-model reports name the serializability
+                        // axiom the witness breaks (the spec's `model`
+                        // header alone does not say *why* the execution
+                        // is inconsistent).
+                        if matches!(model, ModelSel::Spec(_))
+                            && kind == FailureKind::InconsistentObservation
+                        {
+                            cx.violated_axiom = crate::checker::diagnose_serializability(sx, enc);
+                        }
                         Ok(Round::Final(CheckOutcome::Fail(Box::new(cx))))
                     }
                 }
-            })?;
+            },
+        )?;
         stats.total_time = t0.elapsed();
         Ok(InclusionResult { outcome, stats })
     }
@@ -526,11 +622,26 @@ impl<'h> CheckSession<'h> {
     }
 
     /// The assumption prefix of a query: model selectors plus the
-    /// activation polarity of every candidate fence site.
-    fn base_assumptions(enc: &Encoding, model: ModelSel, active_sites: &[u32]) -> Vec<Lit> {
+    /// activation polarity of every candidate fence site and every
+    /// mutation toggle site. Sites absent from both lists are pinned
+    /// inactive, so the default query always checks the original
+    /// program.
+    fn base_assumptions(
+        enc: &Encoding,
+        model: ModelSel,
+        active_sites: &[u32],
+        active_toggles: &[u32],
+    ) -> Vec<Lit> {
         let mut asm = enc.model_assumptions(model);
         for (&site, &act) in &enc.fence_acts {
             asm.push(if active_sites.contains(&site) {
+                act
+            } else {
+                !act
+            });
+        }
+        for (&site, &act) in &enc.toggle_acts {
+            asm.push(if active_toggles.contains(&site) {
                 act
             } else {
                 !act
@@ -578,6 +689,7 @@ impl<'h> CheckSession<'h> {
         &mut self,
         model: ModelSel,
         active_sites: &[u32],
+        active_toggles: &[u32],
         stats: &mut PhaseStats,
         mut payload: impl FnMut(
             &SymExec,
@@ -591,7 +703,7 @@ impl<'h> CheckSession<'h> {
             self.ensure_state(stats)?;
             let st = self.state.as_mut().expect("state built");
             let sat0 = *st.enc.cnf.solver.stats();
-            let base = Self::base_assumptions(&st.enc, model, active_sites);
+            let base = Self::base_assumptions(&st.enc, model, active_sites, active_toggles);
             // Overflow first: the payload may add (gated) clauses, but
             // more importantly a pass is only bound-valid if no execution
             // escapes the bounds under these assumptions.
@@ -632,7 +744,7 @@ impl<'h> CheckSession<'h> {
             self.ensure_state(stats)?;
             let st = self.state.as_mut().expect("state built");
             let sat0 = *st.enc.cnf.solver.stats();
-            let base = Self::base_assumptions(&st.enc, ModelSel::Builtin(mode), &[]);
+            let base = Self::base_assumptions(&st.enc, ModelSel::Builtin(mode), &[], &[]);
             let overflow = Self::overflow_keys(st, &base, stats)?;
             let (gate, mismatch) = match st.commit_cache.iter().find(|(t, _, _)| *t == ty) {
                 Some(&(_, g, m)) => (g, m),

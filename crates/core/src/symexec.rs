@@ -504,6 +504,39 @@ impl<'h> Execer<'h> {
                     });
                     self.po += 1;
                 }
+                Stmt::Toggle { site, orig, mutant } => {
+                    // Batched mutation point: both branches execute
+                    // symbolically, guarded by the polarity of the site's
+                    // toggle term, so one encoding covers the original
+                    // program and every mutant and the session picks one
+                    // via assumptions. The branches may not diverge in
+                    // liveness (a branch that `break`s out of blocks the
+                    // other stays in would corrupt the merge), so toggles
+                    // are restricted to straight-line rewrites — enforced
+                    // here, since Stmt::Toggle is public API.
+                    let t = self.arena.toggle(*site);
+                    let nt = self.arena.not(t);
+                    let live_orig = self.arena.and(live, nt);
+                    let live_mut = self.arena.and(live, t);
+                    let out_orig = self.exec_stmts(orig, frame, live_orig, exits, conts)?;
+                    if out_orig != live_orig {
+                        return Err(self.err(format!(
+                            "toggle site {site}: branches must be straight-line \
+                             (a control transfer inside a branch would corrupt \
+                             the liveness merge)"
+                        )));
+                    }
+                    if !mutant.is_empty() {
+                        let out_mut = self.exec_stmts(mutant, frame, live_mut, exits, conts)?;
+                        if out_mut != live_mut {
+                            return Err(self.err(format!(
+                                "toggle site {site}: branches must be straight-line \
+                                 (a control transfer inside a branch would corrupt \
+                                 the liveness merge)"
+                            )));
+                        }
+                    }
+                }
                 Stmt::Atomic(body) => {
                     let saved = self.group;
                     if saved.is_none() {

@@ -54,6 +54,11 @@ pub enum VTerm {
 pub enum BTerm {
     /// Constant.
     Const(bool),
+    /// A mutation-toggle literal ([`cf_lsl::Stmt::Toggle`]): true when
+    /// the toggle site is active. Encoded as a dedicated SAT variable so
+    /// a checking session selects mutants through assumptions, exactly
+    /// like candidate-fence activation literals.
+    Toggle(u32),
     /// C truthiness of a value term (undefined values are flagged as
     /// errors separately; their truthiness is arbitrary).
     Truthy(VTermId),
@@ -155,6 +160,12 @@ impl TermArena {
     /// Constant `false`.
     pub fn bfalse(&mut self) -> BTermId {
         self.bterm(BTerm::Const(false))
+    }
+
+    /// The toggle literal of a mutation site (hash-consed: every
+    /// unrolling of one site shares the term, hence the SAT variable).
+    pub fn toggle(&mut self, site: u32) -> BTermId {
+        self.bterm(BTerm::Toggle(site))
     }
 
     /// A primitive application with constant folding.

@@ -239,6 +239,9 @@ impl<'p> Machine<'p> {
                 Ok(Flow::Normal)
             }
             Stmt::Fence(_) | Stmt::CandidateFence { .. } => Ok(Flow::Normal), // sequential: no effect
+            // Mutation toggles are a symbolic-analysis device; concretely
+            // the program is the original.
+            Stmt::Toggle { orig, .. } => self.exec_stmts(orig, regs),
             Stmt::Atomic(body) => self.exec_stmts(body, regs),
             Stmt::Call { dst, proc, args } => {
                 let vals: Vec<Value> = args.iter().map(|r| regs[r.index()].clone()).collect();

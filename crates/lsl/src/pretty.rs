@@ -21,6 +21,7 @@ pub fn stmt_line(s: &Stmt) -> String {
         Stmt::Load { dst, addr } => format!("{dst} = *{addr}"),
         Stmt::Fence(kind) => format!("fence {kind}"),
         Stmt::CandidateFence { kind, site } => format!("fence? {kind} [{site}]"),
+        Stmt::Toggle { site, .. } => format!("toggle? [{site}] {{"),
         Stmt::Atomic(_) => "atomic {".into(),
         Stmt::Call { dst, proc, args } => {
             let args: Vec<String> = args.iter().map(|r| r.to_string()).collect();
@@ -61,6 +62,18 @@ fn write_stmts(out: &mut String, stmts: &[Stmt], indent: usize) {
         match s {
             Stmt::Atomic(body) | Stmt::Block { body, .. } => {
                 write_stmts(out, body, indent + 1);
+                for _ in 0..indent {
+                    out.push_str("  ");
+                }
+                out.push_str("}\n");
+            }
+            Stmt::Toggle { orig, mutant, .. } => {
+                write_stmts(out, orig, indent + 1);
+                for _ in 0..indent {
+                    out.push_str("  ");
+                }
+                out.push_str("} else {\n");
+                write_stmts(out, mutant, indent + 1);
                 for _ in 0..indent {
                     out.push_str("  ");
                 }

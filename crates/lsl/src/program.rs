@@ -39,6 +39,9 @@ impl Procedure {
                 .map(|s| match s {
                     Stmt::Atomic(body) => 1 + walk(body),
                     Stmt::Block { body, .. } => 1 + walk(body),
+                    // A toggle reports its original shape (the mutant
+                    // branch is an analysis alternative, not extra code).
+                    Stmt::Toggle { orig, .. } => walk(orig),
                     _ => 1,
                 })
                 .sum()

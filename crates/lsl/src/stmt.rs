@@ -161,6 +161,27 @@ pub enum Stmt {
         /// driver; all unrollings of one site share one activation literal).
         site: u32,
     },
+    /// `toggle? [site] { orig } else { mutant }` — a *batched mutation*
+    /// point used by the incremental checking sessions: the symbolic
+    /// encoder executes `orig` when the per-`site` toggle literal is
+    /// inactive and `mutant` when it is active, so a whole matrix of
+    /// program mutations (statement deletions, fence weakenings,
+    /// adjacent-operation swaps) shares one encoding and each mutant is
+    /// selected by an assumption vector. This generalizes the
+    /// activation-literal mechanism of [`Stmt::CandidateFence`] from
+    /// "optionally add a fence" to "optionally rewrite any statement
+    /// sequence". The concrete interpreter always runs `orig` (mutations
+    /// are a symbolic-analysis device, not program semantics).
+    Toggle {
+        /// Stable toggle-site identifier (assigned by the mutation
+        /// planner; every unrolling of one site shares one literal).
+        site: u32,
+        /// Statements executed while the site is inactive (the original
+        /// program).
+        orig: Vec<Stmt>,
+        /// Statements executed while the site is active (the mutant).
+        mutant: Vec<Stmt>,
+    },
     /// `atomic { s... }` — executed without interleaving, in program order.
     Atomic(Vec<Stmt>),
     /// `r = p(r...)` — procedure call (inlined before encoding).

@@ -285,7 +285,7 @@ pub struct MatrixRow {
     pub test: Litmus,
     /// The distinguishing register outcome.
     pub outcome: Vec<i64>,
-    /// Expected allowance per hardware mode, in [`Mode::hardware`]
+    /// Expected allowance per hardware mode, in [`crate::Mode::hardware`]
     /// order: `[Sc, Tso, Pso, Relaxed]`.
     pub allowed: [bool; 4],
 }

@@ -1,6 +1,6 @@
 //! A generic evaluator for relation expressions.
 //!
-//! The same compiled [`RelExpr`](crate::RelExpr) is consumed by two
+//! The same compiled [`RelExpr`] is consumed by two
 //! backends: the explicit oracle (conditions are `bool`) and the CNF
 //! compiler in the `checkfence` core (conditions are SAT literals).
 //! Both implement [`RelBackend`], a tiny condition algebra plus the

@@ -443,6 +443,59 @@ fn trace_values_ok(
     Some(rf_src)
 }
 
+/// Names the axioms that forbid `trace` under `spec`: every axiom whose
+/// *individual* removal makes the trace allowed, by its `as` label or a
+/// positional fallback. Returns the empty vector when the trace is
+/// allowed, and the full axiom list when only removing several axioms
+/// together admits the trace (a joint violation). A trace rejected by
+/// the value axioms alone (no candidate order reproduces the annotated
+/// loads, whatever the spec says) has no violated axiom to name and
+/// also yields the empty vector.
+///
+/// This is the diagnostic behind counterexample reports: the checker
+/// replays a witness execution against a reference spec and names the
+/// axiom the witness breaks.
+///
+/// # Panics
+///
+/// Panics if the trace has more than 12 accesses (see
+/// [`trace_allowed`]).
+pub fn violated_axioms(trace: &ConcreteTrace, spec: &ModelSpec) -> Vec<String> {
+    if trace_allowed(trace, spec) {
+        return Vec::new();
+    }
+    let name_of = |i: usize, ax: &Axiom| {
+        ax.label
+            .clone()
+            .unwrap_or_else(|| format!("{} axiom #{i}", ax.kind.name()))
+    };
+    let mut blocking = Vec::new();
+    for i in 0..spec.axioms.len() {
+        let mut reduced = spec.clone();
+        reduced.axioms.remove(i);
+        if trace_allowed(trace, &reduced) {
+            blocking.push(name_of(i, &spec.axioms[i]));
+        }
+    }
+    if !blocking.is_empty() {
+        return blocking;
+    }
+    // No single axiom is responsible. If the axioms are jointly to
+    // blame (the trace satisfies the value axioms under *some* order),
+    // report all of them; otherwise the rejection is value-level.
+    let mut bare = spec.clone();
+    bare.axioms.clear();
+    if trace_allowed(trace, &bare) {
+        spec.axioms
+            .iter()
+            .enumerate()
+            .map(|(i, ax)| name_of(i, ax))
+            .collect()
+    } else {
+        Vec::new()
+    }
+}
+
 // ------------------------------------------------------ litmus oracle
 
 /// Enumerates all final register outcomes allowed by `spec` — the
@@ -648,6 +701,67 @@ mod tests {
         let out = litmus_outcomes(&mp, &spec);
         assert!(out.contains(&vec![0, 0]), "init reads remain");
         assert!(!out.contains(&vec![1, 1]), "cross-thread reads forbidden");
+    }
+
+    #[test]
+    fn violated_axioms_names_the_blocking_axiom() {
+        // A fenced message-passing trace with a stale data read: the
+        // bundled relaxed spec (whose single axiom carries the label
+        // `same_address_stores`) forbids it through the fence edges of
+        // that axiom — and removal-flipping names exactly it.
+        use crate::bundled;
+        use cf_lsl::Value;
+        let relaxed = compile(bundled::RELAXED).expect("bundled relaxed compiles");
+        let trace = ConcreteTrace {
+            threads: vec![
+                vec![
+                    TraceItem::Access {
+                        kind: AccessKind::Store,
+                        addr: vec![0],
+                        value: Value::Int(1),
+                        group: None,
+                    },
+                    TraceItem::Fence(FenceKind::StoreStore),
+                    TraceItem::Access {
+                        kind: AccessKind::Store,
+                        addr: vec![1],
+                        value: Value::Int(1),
+                        group: None,
+                    },
+                ],
+                vec![
+                    TraceItem::Access {
+                        kind: AccessKind::Load,
+                        addr: vec![1],
+                        value: Value::Int(1),
+                        group: None,
+                    },
+                    TraceItem::Fence(FenceKind::LoadLoad),
+                    TraceItem::Access {
+                        kind: AccessKind::Load,
+                        addr: vec![0],
+                        value: Value::Int(0),
+                        group: None,
+                    },
+                ],
+            ],
+            init: HashMap::from([(vec![0], Value::Int(0)), (vec![1], Value::Int(0))]),
+        };
+        assert!(!trace_allowed(&trace, &relaxed));
+        assert_eq!(
+            violated_axioms(&trace, &relaxed),
+            vec!["same_address_stores".to_string()]
+        );
+        // The unfenced variant of the same trace is allowed: nothing to
+        // blame.
+        let mut unfenced = trace.clone();
+        for t in &mut unfenced.threads {
+            t.retain(|i| !matches!(i, TraceItem::Fence(_)));
+        }
+        for (i, items) in unfenced.threads.iter().enumerate() {
+            assert_eq!(items.len(), 2, "thread {i}");
+        }
+        assert!(violated_axioms(&unfenced, &relaxed).is_empty());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! constrained by `order`/`acyclic`/`irreflexive`/`empty` axioms.
 //!
 //! A compiled [`ModelSpec`] has **two backends sharing one evaluator**
-//! ([`eval`]):
+//! ([`eval()`]):
 //!
 //! * the explicit-state oracle ([`interp`]) decides litmus tests and
 //!   annotated traces by brute force, replacing the hand-written
@@ -18,7 +18,7 @@
 //!   models;
 //! * the `checkfence` core compiles the same spec into the CNF relation
 //!   encoding, gated behind a per-spec *selector literal*, so user
-//!   models slot into incremental [`CheckSession`]s next to the
+//!   models slot into incremental `CheckSession`s next to the
 //!   built-ins (encode once, toggle models as assumptions).
 //!
 //! The five built-in modes ship as bundled `.cfm` files ([`bundled`]),
@@ -60,7 +60,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod ast;
 mod error;

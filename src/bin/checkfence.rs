@@ -23,6 +23,12 @@
 //!   --infer                     infer a minimal fence placement instead
 //!                               of checking
 //!   --infer-procs A,B           restrict inference candidates
+//!   --ablate                    run a Fig. 11-style mutant matrix: every
+//!                               statement deletion / fence weakening /
+//!                               adjacent-op swap checked under all four
+//!                               hardware models (plus the --model spec,
+//!                               if one is given) from one incremental
+//!                               encoding per test
 //!   --jobs N                    check tests on N worker threads (one
 //!                               incremental session per test)  [1]
 //!   --trace                     print full counterexample traces
@@ -77,6 +83,7 @@ struct Options {
     spec_cache: Option<PathBuf>,
     mine_only: bool,
     run_infer: bool,
+    run_ablate: bool,
     infer_procs: Option<Vec<String>>,
     jobs: usize,
     trace: bool,
@@ -103,6 +110,7 @@ fn usage() -> &'static str {
      \x20 --mine-only                print the observation set and exit\n\
      \x20 --infer                    infer a minimal fence placement\n\
      \x20 --infer-procs A,B          restrict inference candidates\n\
+     \x20 --ablate                   run a mutant matrix (Fig. 11 ablations)\n\
      \x20 --jobs N                   check tests on N worker threads [1]\n\
      \x20 --trace                    print full counterexample traces\n\
      \x20 -h, --help                 this text"
@@ -170,6 +178,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         spec_cache: None,
         mine_only: false,
         run_infer: false,
+        run_ablate: false,
         infer_procs: None,
         jobs: 1,
         trace: false,
@@ -221,6 +230,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--spec-cache" => opts.spec_cache = Some(PathBuf::from(value("--spec-cache")?)),
             "--mine-only" => opts.mine_only = true,
             "--infer" => opts.run_infer = true,
+            "--ablate" => opts.run_ablate = true,
             "--infer-procs" => {
                 opts.infer_procs = Some(
                     value("--infer-procs")?
@@ -309,6 +319,19 @@ fn run() -> Result<bool, String> {
         tests.push(TestSpec::parse(&name, text).map_err(|e| e.to_string())?);
     }
 
+    if opts.run_ablate {
+        if opts.run_infer || opts.mine_only {
+            return Err("--ablate cannot be combined with --infer or --mine-only".into());
+        }
+        if !matches!(opts.method, Method::Observation) {
+            return Err("--ablate uses the observation method; drop --method".into());
+        }
+        if opts.spec_cache.is_some() || opts.jobs > 1 {
+            return Err("--ablate does not support --spec-cache or --jobs".into());
+        }
+        return run_ablate(&opts, &harness, &tests);
+    }
+
     if opts.run_infer {
         let ModelArg::Builtin(mode) = &opts.model else {
             return Err("--infer requires a built-in --model (sc, tso, pso, relaxed)".into());
@@ -354,6 +377,35 @@ fn run() -> Result<bool, String> {
         let (out, passed) = r?;
         print!("{out}");
         all_passed &= passed;
+    }
+    Ok(all_passed)
+}
+
+/// The `--ablate` mode: plan statement mutations over the whole
+/// implementation, then answer the mutant × model matrix for each test
+/// from one incremental encoding. Succeeds when the *unmutated* build
+/// passes every model (mutant verdicts are the experiment's data, not a
+/// pass/fail criterion).
+fn run_ablate(opts: &Options, harness: &Harness, tests: &[TestSpec]) -> Result<bool, String> {
+    use checkfence::mutate::{run_mutation_matrix, MatrixConfig, MutationConfig, MutationPlan};
+    let mut config = MatrixConfig {
+        modes: Mode::hardware().to_vec(),
+        ..MatrixConfig::default()
+    };
+    config.check.order_encoding = opts.encoding;
+    if let ModelArg::Spec(spec) = &opts.model {
+        config.specs.push(spec.clone());
+    }
+    let plan = MutationPlan::build(&harness.program, &MutationConfig::default());
+    if plan.points.is_empty() {
+        return Err("--ablate: the mutation planner found nothing to mutate".into());
+    }
+    let mut all_passed = true;
+    for test in tests {
+        let report = run_mutation_matrix(harness, test, &plan, &config)
+            .map_err(|e| format!("ablation failed: {e}"))?;
+        print!("{}", report.table());
+        all_passed &= report.baseline.iter().all(|v| !v.caught());
     }
     Ok(all_passed)
 }

@@ -50,6 +50,21 @@ pub use cf_sat as sat;
 pub use cf_spec as spec;
 pub use checkfence as core;
 
+// The user guide's Rust blocks run as doctests of this crate, so the
+// documentation under docs/ cannot drift from the API (mini-C and .cfm
+// blocks are compiled by tests/doc_examples.rs).
+#[cfg(doctest)]
+mod doc_examples {
+    #[doc = include_str!("../docs/guide.md")]
+    pub struct Guide;
+    #[doc = include_str!("../docs/spec-language.md")]
+    pub struct SpecLanguage;
+    #[doc = include_str!("../docs/ablation.md")]
+    pub struct Ablation;
+    #[doc = include_str!("../README.md")]
+    pub struct Readme;
+}
+
 /// The most common imports for using the checker.
 pub mod prelude {
     pub use cf_algos;

@@ -202,3 +202,42 @@ fn user_written_cfm_model_runs_end_to_end() {
         "{out:?}"
     );
 }
+
+#[test]
+fn ablate_prints_a_mutant_matrix() {
+    // The unfenced mailbox: the baseline itself fails on pso/relaxed,
+    // so --ablate reports the matrix and exits 1.
+    let out = run(mailbox_args(&mut cli()).arg("--ablate"));
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("mutant matrix — mailbox / PG"), "{stdout}");
+    assert!(stdout.contains("(baseline)"), "{stdout}");
+    assert!(stdout.contains("delete `"), "{stdout}");
+    assert!(stdout.contains("encodes 1"), "{stdout}");
+    for model in ["sc", "tso", "pso", "relaxed"] {
+        assert!(stdout.contains(model), "missing {model} column: {stdout}");
+    }
+}
+
+#[test]
+fn ablate_accepts_a_cfm_model_column() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("checkfence_cli_ablate_sc.cfm");
+    std::fs::write(&path, "model my_sc\norder po\n").expect("writable temp dir");
+    let out = run(mailbox_args(&mut cli()).args(["--ablate", "--model", path.to_str().unwrap()]));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("my_sc"),
+        "user spec column missing: {stdout}"
+    );
+}
+
+#[test]
+fn ablate_conflicts_with_infer() {
+    let out = run(mailbox_args(&mut cli()).args(["--ablate", "--infer"]));
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--ablate"),
+        "{out:?}"
+    );
+}
