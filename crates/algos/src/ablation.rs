@@ -12,7 +12,7 @@
 //! ```no_run
 //! use cf_algos::ablation::{run_ablation, Oracle};
 //!
-//! let outcome = run_ablation("treiber", &[], Oracle::Session).expect("runs");
+//! let outcome = run_ablation("treiber", &[], Oracle::Session, 1).expect("runs");
 //! for report in &outcome.reports {
 //!     println!("{}", report.table());
 //!     assert_eq!(report.session.encodes, 1, "one encoding per matrix");
@@ -137,6 +137,9 @@ impl From<CheckError> for AblationError {
 
 /// Runs the full mutant matrix of one subject under every built-in
 /// model plus the given declarative specs, one report per catalog test.
+/// With `jobs > 1` the session path shards each matrix across that many
+/// engine workers (one session replica per shard); verdicts are
+/// identical at any job count.
 ///
 /// # Errors
 ///
@@ -146,11 +149,13 @@ pub fn run_ablation(
     name: &str,
     specs: &[ModelSpec],
     oracle: Oracle,
+    jobs: usize,
 ) -> Result<AblationOutcome, AblationError> {
     let subject = subject(name).ok_or_else(|| AblationError::UnknownSubject(name.to_string()))?;
     let config = MatrixConfig {
         modes: Mode::all().to_vec(),
         specs: specs.to_vec(),
+        jobs,
         ..MatrixConfig::default()
     };
     let plan = MutationPlan::build(&subject.harness.program, &subject.mutation);

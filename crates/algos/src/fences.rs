@@ -9,7 +9,7 @@
 
 use cf_lsl::{FenceKind, Program, Stmt};
 use cf_memmodel::Mode;
-use checkfence::{CheckError, Checker, Harness, TestSpec};
+use checkfence::{CheckError, Engine, EngineConfig, Harness, Query, TestSpec};
 
 /// Identifies one fence statement in a program.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -104,7 +104,7 @@ pub fn necessity(
 ) -> Result<Vec<NecessityVerdict>, CheckError> {
     let mut specs = Vec::with_capacity(tests.len());
     for t in tests {
-        specs.push(Checker::new(harness, t).mine_spec_reference()?.spec);
+        specs.push(checkfence::mine_reference(harness, t)?.spec);
     }
     let mut out = Vec::new();
     for site in fence_sites(&harness.program) {
@@ -115,11 +115,12 @@ pub fn necessity(
             init_proc: harness.init_proc.clone(),
             ops: harness.ops.clone(),
         };
+        let mut engine = Engine::new(EngineConfig::single(mode));
         let mut broken_by = None;
         for (t, spec) in tests.iter().zip(&specs) {
-            let c = Checker::new(&build, t).with_memory_model(mode);
-            match c.check_inclusion(spec) {
-                Ok(r) if r.outcome.passed() => {}
+            let q = Query::check_inclusion(&build, t, spec.clone()).on(mode);
+            match engine.run(&q) {
+                Ok(v) if v.passed() => {}
                 Ok(_) | Err(CheckError::BoundsDiverged { .. }) => {
                     broken_by = Some(t.name.clone());
                     break;

@@ -35,14 +35,17 @@
 //!
 //! ```
 //! use cf_algos::{msn, tests};
-//! use checkfence::Checker;
+//! use checkfence::{mine_reference, Query};
 //! use cf_memmodel::Mode;
 //!
 //! let harness = msn::harness(cf_algos::Variant::Fenced);
 //! let t0 = tests::by_name("T0").expect("catalog test");
-//! let checker = Checker::new(&harness, &t0).with_memory_model(Mode::Relaxed);
-//! let spec = checker.mine_spec_reference().expect("mines").spec;
-//! assert!(checker.check_inclusion(&spec).expect("runs").outcome.passed());
+//! let spec = mine_reference(&harness, &t0).expect("mines").spec;
+//! let verdict = Query::check_inclusion(&harness, &t0, spec)
+//!     .on(Mode::Relaxed)
+//!     .run()
+//!     .expect("runs");
+//! assert!(verdict.passed());
 //! ```
 
 #![forbid(unsafe_code)]

@@ -5,7 +5,7 @@ use cf_algos::{lazylist, msn, tests, Variant};
 use cf_lsl::FenceKind;
 use cf_memmodel::Mode;
 use checkfence::infer::{infer, InferConfig, InferError};
-use checkfence::{CheckError, Checker, Harness};
+use checkfence::{mine_reference, CheckError, Harness, Query};
 
 /// On PSO, one store-store fence (Fig. 9 line 29: node fields before the
 /// linking CAS) is both necessary and sufficient for `T0`: the other
@@ -32,9 +32,12 @@ fn msn_on_pso_needs_exactly_one_store_store_fence() {
         init_proc: h.init_proc.clone(),
         ops: h.ops.clone(),
     };
-    let c = Checker::new(&inferred, &t0[0]).with_memory_model(Mode::Pso);
-    let spec = c.mine_spec_reference().expect("mines").spec;
-    assert!(c.check_inclusion(&spec).expect("checks").outcome.passed());
+    let spec = mine_reference(&inferred, &t0[0]).expect("mines").spec;
+    assert!(Query::check_inclusion(&inferred, &t0[0], spec)
+        .on(Mode::Pso)
+        .run()
+        .expect("checks")
+        .passed());
 }
 
 /// Inference on TSO infers the empty placement for msn — the executable

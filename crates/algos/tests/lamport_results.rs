@@ -8,13 +8,17 @@
 
 use cf_algos::{lamport, refmodel, tests, Shape, Variant};
 use cf_memmodel::Mode;
-use checkfence::{CheckOutcome, Checker, Harness};
+use checkfence::{mine_reference, CheckOutcome, Harness, Query};
 
 fn outcome(h: &Harness, test_name: &str, mode: Mode) -> CheckOutcome {
     let t = tests::by_name(test_name).expect("catalog test");
-    let c = Checker::new(h, &t).with_memory_model(mode);
-    let spec = c.mine_spec_reference().expect("mines").spec;
-    c.check_inclusion(&spec).expect("checks").outcome
+    let spec = mine_reference(h, &t).expect("mines").spec;
+    Query::check_inclusion(h, &t, spec)
+        .on(mode)
+        .run()
+        .expect("checks")
+        .into_outcome()
+        .expect("outcome")
 }
 
 #[test]
@@ -108,7 +112,11 @@ fn sat_mining_agrees_with_the_bounded_queue_reference() {
     let h = lamport::harness(Variant::Fenced);
     for name in ["L0", "Li1", "Lpc2"] {
         let t = tests::by_name(name).expect("catalog");
-        let sat = Checker::new(&h, &t).mine_spec().expect("sat mining").spec;
+        let sat = Query::mine(&h, &t)
+            .run()
+            .expect("sat mining")
+            .into_observations()
+            .expect("observations");
         let reference = refmodel::mine(Shape::Spsc, &t);
         assert_eq!(
             sat.vectors, reference.vectors,

@@ -17,35 +17,37 @@
 
 use cf_algos::{harris, lazylist, ms2, msn, tests, Variant};
 use cf_memmodel::Mode;
-use checkfence::{CheckOutcome, CheckSession, Checker, Harness};
+use checkfence::{mine_reference, CheckOutcome, Engine, EngineConfig, Harness, Query};
 
 fn outcome(h: &Harness, test_name: &str, mode: Mode) -> CheckOutcome {
     let t = tests::by_name(test_name).expect("catalog test");
-    let c = Checker::new(h, &t).with_memory_model(mode);
-    let spec = c.mine_spec_reference().expect("mines").spec;
-    c.check_inclusion(&spec).expect("checks").outcome
+    let spec = mine_reference(h, &t).expect("mines").spec;
+    Engine::new(EngineConfig::single(mode))
+        .run(&Query::check_inclusion(h, &t, spec).on(mode))
+        .expect("checks")
+        .into_outcome()
+        .expect("outcome")
 }
 
-/// Sweeps every hardware mode on one incremental session (one symbolic
-/// execution, one encoding, one persistent solver for the whole lattice).
+/// Sweeps every hardware mode on one engine-pooled session (one
+/// symbolic execution, one encoding, one persistent solver for the
+/// whole lattice).
 fn sweep(h: &Harness, test_name: &str) -> Vec<(Mode, bool)> {
     let t = tests::by_name(test_name).expect("catalog test");
-    let mut session = CheckSession::new(h, &t);
-    let spec = session.mine_spec_reference().expect("mines").spec;
+    let spec = mine_reference(h, &t).expect("mines").spec;
+    let mut engine = Engine::new(EngineConfig::default());
+    let queries: Vec<Query> = Mode::hardware()
+        .into_iter()
+        .map(|mode| Query::check_inclusion(h, &t, spec.clone()).on(mode))
+        .collect();
     let out = Mode::hardware()
         .into_iter()
-        .map(|mode| {
-            let passed = session
-                .check_inclusion(mode, &spec)
-                .expect("checks")
-                .outcome
-                .passed();
-            (mode, passed)
-        })
+        .zip(engine.run_batch(&queries))
+        .map(|(mode, v)| (mode, v.expect("checks").passed()))
         .collect();
     assert_eq!(
-        session.stats().encodes,
-        session.stats().symexecs,
+        engine.stats().encodes,
+        engine.stats().symexecs,
         "sweep must reuse the encoding across modes"
     );
     out

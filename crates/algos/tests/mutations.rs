@@ -14,7 +14,7 @@
 
 use cf_algos::{fences, ms2, msn, refmodel, snark, tests, treiber, Shape, Variant};
 use cf_memmodel::Mode;
-use checkfence::{CheckError, Checker, Harness};
+use checkfence::{mine_reference, CheckError, Harness, Query};
 
 /// `true` if the build fails the inclusion check against the *reference
 /// model's* observation set. Logic mutations that stay deterministic
@@ -23,9 +23,8 @@ use checkfence::{CheckError, Checker, Harness};
 fn rejected_vs_reference(h: &Harness, shape: Shape, test_name: &str, mode: Mode) -> bool {
     let t = tests::by_name(test_name).expect("catalog test");
     let spec = refmodel::mine(shape, &t);
-    let c = Checker::new(h, &t).with_memory_model(mode);
-    match c.check_inclusion(&spec) {
-        Ok(r) => !r.outcome.passed(),
+    match Query::check_inclusion(h, &t, spec).on(mode).run() {
+        Ok(v) => !v.passed(),
         Err(CheckError::BoundsDiverged { .. }) => true,
         Err(e) => panic!("checking infrastructure error: {e}"),
     }
@@ -36,14 +35,13 @@ fn rejected_vs_reference(h: &Harness, shape: Shape, test_name: &str, mode: Mode)
 /// symptom of a missing load-load fence).
 fn rejected(h: &Harness, test_name: &str, mode: Mode) -> bool {
     let t = tests::by_name(test_name).expect("catalog test");
-    let c = Checker::new(h, &t).with_memory_model(mode);
-    let spec = match c.mine_spec_reference() {
+    let spec = match mine_reference(h, &t) {
         Ok(m) => m.spec,
         Err(CheckError::SerialBug(_)) => return true,
         Err(e) => panic!("mining infrastructure error: {e}"),
     };
-    match c.check_inclusion(&spec) {
-        Ok(r) => !r.outcome.passed(),
+    match Query::check_inclusion(h, &t, spec).on(mode).run() {
+        Ok(v) => !v.passed(),
         Err(CheckError::BoundsDiverged { .. }) => true,
         Err(e) => panic!("checking infrastructure error: {e}"),
     }
@@ -227,27 +225,38 @@ fn ms2_with_a_single_lock_still_passes() {
 fn corrupting_the_mined_spec_fails_the_check() {
     let h = msn::harness(Variant::Fenced);
     let t = tests::by_name("T0").expect("catalog");
-    let c = Checker::new(&h, &t).with_memory_model(Mode::Sc);
-    let mut spec = c.mine_spec_reference().expect("mines").spec;
-    assert!(c.check_inclusion(&spec).expect("checks").outcome.passed());
+    let mut spec = mine_reference(&h, &t).expect("mines").spec;
+    let mut engine = checkfence::Engine::new(checkfence::EngineConfig::default());
+    assert!(engine
+        .run(&Query::check_inclusion(&h, &t, spec.clone()).on(Mode::Sc))
+        .expect("checks")
+        .passed());
 
     // Remove one legal observation: some execution now has "no serial
     // justification" and the inclusion check must produce it.
     let victim = spec.vectors.iter().next().expect("non-empty").clone();
     spec.vectors.remove(&victim);
     assert!(
-        !c.check_inclusion(&spec).expect("checks").outcome.passed(),
+        !engine
+            .run(&Query::check_inclusion(&h, &t, spec).on(Mode::Sc))
+            .expect("checks")
+            .passed(),
         "removing {victim:?} from the spec must surface a counterexample"
     );
+    // Both checks shared the pooled encoding.
+    assert_eq!(engine.stats().encodes, 1);
 }
 
 #[test]
 fn the_empty_spec_rejects_everything() {
     let h = msn::harness(Variant::Fenced);
     let t = tests::by_name("T0").expect("catalog");
-    let c = Checker::new(&h, &t).with_memory_model(Mode::Sc);
     let empty = checkfence::ObsSet::default();
-    assert!(!c.check_inclusion(&empty).expect("checks").outcome.passed());
+    assert!(!Query::check_inclusion(&h, &t, empty)
+        .on(Mode::Sc)
+        .run()
+        .expect("checks")
+        .passed());
 }
 
 // --------------------------------------------- cross-model agreement
@@ -273,7 +282,11 @@ fn sat_mining_agrees_with_reference_models_on_all_shapes() {
     ];
     for (h, shape, test_name) in &cases {
         let t = tests::by_name(test_name).expect("catalog");
-        let sat = Checker::new(h, &t).mine_spec().expect("sat mining").spec;
+        let sat = Query::mine(h, &t)
+            .run()
+            .expect("sat mining")
+            .into_observations()
+            .expect("observations");
         let reference = refmodel::mine(*shape, &t);
         assert_eq!(
             sat.vectors, reference.vectors,

@@ -8,13 +8,17 @@
 
 use cf_algos::{harris, lazylist, ms2, msn, snark, tests, Variant};
 use cf_memmodel::Mode;
-use checkfence::{CheckError, CheckOutcome, Checker, FailureKind, Harness};
+use checkfence::{mine_reference, CheckError, CheckOutcome, FailureKind, Harness, Query};
 
 fn outcome(h: &Harness, test_name: &str, mode: Mode) -> CheckOutcome {
     let t = tests::by_name(test_name).expect("catalog test");
-    let c = Checker::new(h, &t).with_memory_model(mode);
-    let spec = c.mine_spec_reference().expect("mines").spec;
-    c.check_inclusion(&spec).expect("checks").outcome
+    let spec = mine_reference(h, &t).expect("mines").spec;
+    Query::check_inclusion(h, &t, spec)
+        .on(mode)
+        .run()
+        .expect("checks")
+        .into_outcome()
+        .expect("outcome")
 }
 
 // ---------------------------------------------------------------- msn
@@ -66,8 +70,7 @@ fn lazylist_buggy_marked_init_found_serially_on_sac() {
     // specification mining of the `Sac` test.
     let h = lazylist::harness(lazylist::Build::Buggy);
     let t = tests::by_name("Sac").expect("catalog");
-    let c = Checker::new(&h, &t);
-    match c.mine_spec_reference() {
+    match mine_reference(&h, &t) {
         Err(CheckError::SerialBug(cx)) => {
             assert!(
                 cx.errors.iter().any(|e| e.contains("undefined")),

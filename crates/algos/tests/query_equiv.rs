@@ -1,0 +1,264 @@
+//! Randomized query/legacy/oneshot equivalence: mixed [`Query`] batches
+//! over treiber/ms2 answered by [`Engine::run_batch`] must return
+//! exactly the verdicts of (a) the deprecated `CheckSession` method
+//! grid and (b) the pre-session `*_oneshot` oracles — shim ≡ query ≡
+//! oneshot, on every sampled point of the (kind × model × toggles)
+//! space.
+//!
+//! The generator is a deterministic xorshift (matching the
+//! `mutation_equiv.rs` style), so failures replay bit for bit.
+//!
+//! Equivalence suites are the sanctioned callers of the deprecated
+//! method grid, hence the targeted allow.
+#![allow(deprecated)]
+
+use cf_algos::{ms2, tests, treiber, Variant};
+use cf_memmodel::{Mode, ModeSet};
+use cf_sat::xorshift::Rng;
+use checkfence::mutate::{MutationConfig, MutationPlan};
+use checkfence::{
+    mine_reference, CheckConfig, CheckOutcome, CheckSession, Checker, Engine, EngineConfig,
+    Harness, ModelSel, ObsSet, Query, SessionConfig, TestSpec,
+};
+
+/// What a query answered, reduced to comparable data.
+#[derive(Debug, PartialEq, Eq)]
+enum Outcome {
+    /// Inclusion verdict: pass, or the failure kind's debug name.
+    Check(Option<String>),
+    /// Enumerated observation vectors.
+    Obs(ObsSet),
+    /// Loop bounds diverged — a verdict for mutants (the livelock
+    /// symptom), and it must diverge identically on every path.
+    Diverged,
+}
+
+fn of_outcome(o: &CheckOutcome) -> Outcome {
+    Outcome::Check(match o {
+        CheckOutcome::Pass => None,
+        CheckOutcome::Fail(cx) => Some(format!("{:?}", cx.kind)),
+    })
+}
+
+/// Folds a result into a comparable outcome, treating bound divergence
+/// as data and anything else as an infrastructure failure.
+fn fold<T>(r: Result<T, checkfence::CheckError>, f: impl FnOnce(T) -> Outcome) -> Outcome {
+    match r {
+        Ok(v) => f(v),
+        Err(checkfence::CheckError::BoundsDiverged { .. }) => Outcome::Diverged,
+        Err(e) => panic!("infrastructure error: {e}"),
+    }
+}
+
+/// One sampled point of the query space.
+struct Sample {
+    mode: Mode,
+    /// Active toggle sites (empty = original program).
+    toggles: Vec<u32>,
+    /// `true` = inclusion check, `false` = observation enumeration.
+    check: bool,
+}
+
+fn sample(rng: &mut Rng, max_site: u32) -> Sample {
+    let mode = Mode::hardware()[rng.below(4) as usize];
+    let toggles = if max_site > 0 && rng.below(2) == 0 {
+        vec![rng.below(u64::from(max_site)) as u32]
+    } else {
+        vec![]
+    };
+    Sample {
+        mode,
+        toggles,
+        // Enumeration is the rarer, costlier query shape.
+        check: rng.below(4) != 0,
+    }
+}
+
+/// Runs the sampled batch through all three paths on one subject.
+fn assert_three_way_equivalence(h: &Harness, t: &TestSpec, seed: u64, n: usize) {
+    let plan = MutationPlan::build(
+        &h.program,
+        &MutationConfig {
+            procs: None,
+            ..MutationConfig::default()
+        },
+    );
+    assert!(!plan.points.is_empty(), "{}: nothing planned", h.name);
+    let instrumented = Harness {
+        name: format!("{}+mutants", h.name),
+        program: plan.instrumented.clone(),
+        init_proc: h.init_proc.clone(),
+        ops: h.ops.clone(),
+    };
+    let spec = mine_reference(h, t).expect("mines").spec;
+
+    let mut rng = Rng::new(seed);
+    let samples: Vec<Sample> = (0..n)
+        .map(|_| sample(&mut rng, plan.points.len() as u32))
+        .collect();
+
+    // Path 1: the engine, batch-scheduled across 3 workers (also
+    // exercising the shard scheduler's determinism).
+    let mut engine = Engine::new(
+        EngineConfig::from_check_config(&CheckConfig::default(), ModeSet::all()).with_jobs(3),
+    );
+    let queries: Vec<Query> = samples
+        .iter()
+        .map(|s| {
+            let q = if s.check {
+                Query::check_inclusion(&instrumented, t, spec.clone())
+            } else {
+                Query::enumerate(&instrumented, t)
+            };
+            q.on(s.mode).with_toggles(&s.toggles)
+        })
+        .collect();
+    let engine_outcomes: Vec<Outcome> = engine
+        .run_batch(&queries)
+        .into_iter()
+        .map(|v| {
+            fold(v, |v| match v.answer {
+                checkfence::Answer::Outcome(o) => of_outcome(&o),
+                checkfence::Answer::Observations(obs) => Outcome::Obs(obs),
+            })
+        })
+        .collect();
+    // One pool key, sharded: every session encodes exactly once.
+    let stats = engine.stats();
+    assert_eq!(stats.encodes as usize, stats.sessions, "{}", h.name);
+
+    // Path 2: the deprecated CheckSession method grid, sequentially on
+    // one legacy session.
+    let mut session = CheckSession::with_config(
+        &instrumented,
+        t,
+        SessionConfig::from_check_config(&CheckConfig::default(), ModeSet::all()),
+    );
+    for (i, s) in samples.iter().enumerate() {
+        let legacy = if s.check {
+            fold(
+                session.check_inclusion_toggled(ModelSel::Builtin(s.mode), &spec, &s.toggles),
+                |r| of_outcome(&r.outcome),
+            )
+        } else {
+            fold(
+                session.enumerate_observations_toggled(ModelSel::Builtin(s.mode), &s.toggles),
+                Outcome::Obs,
+            )
+        };
+        assert_eq!(
+            engine_outcomes[i],
+            legacy,
+            "{}/{} sample {i}: engine and legacy shim disagree (mode {}, toggles {:?})",
+            h.name,
+            t.name,
+            s.mode.name(),
+            s.toggles
+        );
+    }
+
+    // Path 3: the one-shot oracles on concretely mutated builds.
+    for (i, s) in samples.iter().enumerate() {
+        let build = match s.toggles.first() {
+            None => h.clone(),
+            Some(&id) => Harness {
+                name: format!("{}+m{id}", h.name),
+                program: plan.mutant(id),
+                init_proc: h.init_proc.clone(),
+                ops: h.ops.clone(),
+            },
+        };
+        let checker = Checker::new(&build, t).with_memory_model(s.mode);
+        let oneshot = if s.check {
+            fold(checker.check_inclusion_oneshot(&spec), |r| {
+                of_outcome(&r.outcome)
+            })
+        } else {
+            fold(checker.enumerate_observations_oneshot(s.mode), Outcome::Obs)
+        };
+        assert_eq!(
+            engine_outcomes[i],
+            oneshot,
+            "{}/{} sample {i}: engine and one-shot oracle disagree (mode {}, toggles {:?})",
+            h.name,
+            t.name,
+            s.mode.name(),
+            s.toggles
+        );
+    }
+}
+
+#[test]
+fn treiber_random_query_batches_match_legacy_and_oneshot() {
+    let h = treiber::harness(Variant::Fenced);
+    let t = tests::by_name("U0").expect("catalog");
+    assert_three_way_equivalence(&h, &t, 0x5EED_CAFE, 10);
+}
+
+#[test]
+fn ms2_random_query_batches_match_legacy_and_oneshot() {
+    let h = ms2::harness(Variant::Fenced);
+    let t = tests::by_name("T0").expect("catalog");
+    assert_three_way_equivalence(&h, &t, 0xFACE_FEED, 10);
+}
+
+#[test]
+fn mining_queries_match_the_legacy_and_oneshot_paths() {
+    for h in [
+        treiber::harness(Variant::Fenced),
+        ms2::harness(Variant::Fenced),
+    ] {
+        let t = tests::by_name(if h.name.contains("treiber") {
+            "U0"
+        } else {
+            "T0"
+        })
+        .expect("catalog");
+        let query = Query::mine(&h, &t)
+            .run()
+            .expect("engine mining")
+            .into_observations()
+            .expect("observations");
+        let legacy = CheckSession::new(&h, &t).mine_spec().expect("legacy").spec;
+        let oneshot = Checker::new(&h, &t)
+            .mine_spec_oneshot()
+            .expect("oneshot")
+            .spec;
+        assert_eq!(query, legacy, "{}: engine vs legacy mining", h.name);
+        assert_eq!(query, oneshot, "{}: engine vs one-shot mining", h.name);
+    }
+}
+
+#[test]
+fn commit_queries_match_the_legacy_and_oneshot_paths() {
+    use checkfence::commit::AbstractType;
+    let h = treiber::harness(Variant::Fenced);
+    let t = tests::by_name("U0").expect("catalog");
+    for mode in [Mode::Sc, Mode::Relaxed] {
+        let query = Query::commit_method(&h, &t, AbstractType::Stack)
+            .on(mode)
+            .run()
+            .expect("engine commit");
+        let legacy = CheckSession::new(&h, &t)
+            .check_commit_method(mode, AbstractType::Stack)
+            .expect("legacy commit");
+        let oneshot = Checker::new(&h, &t)
+            .with_memory_model(mode)
+            .check_commit_method_oneshot(AbstractType::Stack)
+            .expect("oneshot commit");
+        assert_eq!(
+            of_outcome(query.outcome().expect("outcome")),
+            of_outcome(&legacy.outcome),
+            "{}: engine vs legacy commit on {}",
+            h.name,
+            mode.name()
+        );
+        assert_eq!(
+            of_outcome(&legacy.outcome),
+            of_outcome(&oneshot.outcome),
+            "{}: legacy vs one-shot commit on {}",
+            h.name,
+            mode.name()
+        );
+    }
+}

@@ -6,6 +6,12 @@
 //!
 //! This is the regression gate of the incremental-session architecture:
 //! any divergence means a mode-selector or activation-literal gating bug.
+//!
+//! This suite (like `mutation_equiv.rs` and `query_equiv.rs`) is the
+//! sanctioned caller of the deprecated method grid: the legacy shims
+//! must keep answering exactly like the query engine and the one-shot
+//! oracles, so the equivalence tests exercise them on purpose.
+#![allow(deprecated)]
 
 use cf_algos::{harris, lazylist, ms2, msn, snark, tests, treiber, Variant};
 use cf_lsl::FenceKind;

@@ -12,27 +12,27 @@
 use cf_algos::{ms2, tests, treiber, Variant};
 use cf_memmodel::{Mode, ModeSet};
 use cf_spec::bundled;
-use checkfence::{CheckConfig, CheckSession, Checker, Harness, ModelSel, SessionConfig, TestSpec};
+use checkfence::{
+    mine_reference, CheckConfig, Engine, EngineConfig, Harness, ModelSel, Query, TestSpec,
+};
 
 /// Sweeps all four hardware modes and their spec twins on one shared
-/// session and asserts pairwise-identical verdicts.
+/// engine session and asserts pairwise-identical verdicts.
 fn assert_mixed_session_equivalence(harness: &Harness, test: &TestSpec) {
     let hardware: Vec<Mode> = Mode::hardware().to_vec();
     let specs: Vec<cf_spec::ModelSpec> = hardware.iter().map(|&m| bundled::for_mode(m)).collect();
-    let config = SessionConfig::from_check_config(&CheckConfig::default(), ModeSet::hardware())
+    let config = EngineConfig::from_check_config(&CheckConfig::default(), ModeSet::hardware())
         .with_specs(specs);
-    let mut session = CheckSession::with_config(harness, test, config);
-    let spec = session.mine_spec_reference().expect("mines").spec;
+    let mut engine = Engine::new(config);
+    let spec = mine_reference(harness, test).expect("mines").spec;
     for (i, &mode) in hardware.iter().enumerate() {
-        let enum_verdict = session
-            .check_inclusion(mode, &spec)
+        let enum_verdict = engine
+            .run(&Query::check_inclusion(harness, test, spec.clone()).on(mode))
             .expect("enum check")
-            .outcome
             .passed();
-        let spec_verdict = session
-            .check_inclusion_model(ModelSel::Spec(i), &spec)
+        let spec_verdict = engine
+            .run(&Query::check_inclusion(harness, test, spec.clone()).on_model(ModelSel::Spec(i)))
             .expect("spec check")
-            .outcome
             .passed();
         assert_eq!(
             enum_verdict, spec_verdict,
@@ -40,8 +40,9 @@ fn assert_mixed_session_equivalence(harness: &Harness, test: &TestSpec) {
             harness.name, test.name
         );
     }
-    assert_eq!(session.stats().symexecs, 1, "one symbolic execution");
-    assert_eq!(session.stats().encodes, 1, "one shared encoding");
+    assert_eq!(engine.stats().sessions, 1, "one pooled session");
+    assert_eq!(engine.stats().symexecs, 1, "one symbolic execution");
+    assert_eq!(engine.stats().encodes, 1, "one shared encoding");
 }
 
 #[test]
@@ -66,36 +67,38 @@ fn ms2_fenced_mixed_session_matches() {
 }
 
 #[test]
-fn oneshot_spec_checker_agrees_with_enum_path() {
+fn single_model_engines_agree_with_the_enum_path() {
     // A failing configuration: the unfenced Treiber stack on Relaxed.
     let h = treiber::harness(Variant::Unfenced);
     let t = tests::by_name("U0").expect("catalog test");
-    let checker = Checker::new(&h, &t).with_memory_model(Mode::Relaxed);
-    let obs = checker.mine_spec_reference().expect("mines").spec;
-    let enum_fail = checker.check_inclusion(&obs).expect("enum check").outcome;
-    let spec_fail = checker
-        .check_inclusion_spec(&bundled::for_mode(Mode::Relaxed), &obs)
-        .expect("spec check")
-        .outcome;
+    let obs = mine_reference(&h, &t).expect("mines").spec;
+    let spec_engine_config =
+        EngineConfig::from_check_config(&CheckConfig::default(), ModeSet::single(Mode::Relaxed))
+            .with_specs(vec![bundled::for_mode(Mode::Relaxed)]);
+    let mut engine = Engine::new(spec_engine_config.clone());
+    let enum_fail = engine
+        .run(&Query::check_inclusion(&h, &t, obs.clone()).on(Mode::Relaxed))
+        .expect("enum check");
+    let spec_fail = engine
+        .run(&Query::check_inclusion(&h, &t, obs).on_model(ModelSel::Spec(0)))
+        .expect("spec check");
     assert!(!enum_fail.passed(), "unfenced treiber breaks on relaxed");
     assert!(!spec_fail.passed(), "the spec twin must find the bug too");
-    if let checkfence::CheckOutcome::Fail(cx) = &spec_fail {
+    if let Some(cx) = spec_fail.counterexample() {
         assert_eq!(cx.model, "relaxed", "counterexample names the spec");
     }
 
     // A passing configuration: the fenced build on the same model.
     let h = treiber::harness(Variant::Fenced);
-    let checker = Checker::new(&h, &t).with_memory_model(Mode::Relaxed);
-    let obs = checker.mine_spec_reference().expect("mines").spec;
-    assert!(checker
-        .check_inclusion(&obs)
+    let obs = mine_reference(&h, &t).expect("mines").spec;
+    let mut engine = Engine::new(spec_engine_config);
+    assert!(engine
+        .run(&Query::check_inclusion(&h, &t, obs.clone()).on(Mode::Relaxed))
         .expect("enum")
-        .outcome
         .passed());
-    assert!(checker
-        .check_inclusion_spec(&bundled::for_mode(Mode::Relaxed), &obs)
+    assert!(engine
+        .run(&Query::check_inclusion(&h, &t, obs).on_model(ModelSel::Spec(0)))
         .expect("spec")
-        .outcome
         .passed());
 }
 
@@ -105,11 +108,14 @@ fn serial_spec_enumerates_the_mined_specification() {
     // serial observation set on the SAT path.
     let h = ms2::harness(Variant::Fenced);
     let t = tests::by_name("T0").expect("catalog test");
-    let checker = Checker::new(&h, &t);
-    let mined = checker.mine_spec_reference().expect("mines").spec;
-    let enumerated = checker
-        .enumerate_observations_spec(&bundled::for_mode(Mode::Serial))
-        .expect("enumerates");
+    let mined = mine_reference(&h, &t).expect("mines").spec;
+    let config = EngineConfig::from_check_config(&CheckConfig::default(), ModeSet::empty())
+        .with_specs(vec![bundled::for_mode(Mode::Serial)]);
+    let enumerated = Engine::new(config)
+        .run(&Query::enumerate(&h, &t).on_model(ModelSel::Spec(0)))
+        .expect("enumerates")
+        .into_observations()
+        .expect("observations");
     assert_eq!(enumerated, mined, "serial spec = serial semantics");
 }
 
@@ -147,13 +153,16 @@ fn spec_counterexamples_name_the_violated_sc_axiom() {
         ],
     };
     let t = TestSpec::parse("pg", "( p | g )").expect("parses");
-    let checker = Checker::new(&h, &t);
-    let obs = checker.mine_spec_reference().expect("mines").spec;
+    let obs = mine_reference(&h, &t).expect("mines").spec;
     let relaxed = bundled::for_mode(Mode::Relaxed);
-    let r = checker
-        .check_inclusion_spec(&relaxed, &obs)
+    let config =
+        EngineConfig::from_check_config(&CheckConfig::default(), ModeSet::single(Mode::Relaxed))
+            .with_specs(vec![relaxed]);
+    let mut engine = Engine::new(config);
+    let r = engine
+        .run(&Query::check_inclusion(&h, &t, obs.clone()).on_model(ModelSel::Spec(0)))
         .expect("spec check runs");
-    let checkfence::CheckOutcome::Fail(cx) = r.outcome else {
+    let Some(cx) = r.counterexample() else {
         panic!("the unfenced mailbox must fail under relaxed.cfm");
     };
     assert_eq!(
@@ -168,11 +177,10 @@ fn spec_counterexamples_name_the_violated_sc_axiom() {
     );
 
     // Built-in models keep the old report shape (no axiom line).
-    let r = checker
-        .with_memory_model(Mode::Relaxed)
-        .check_inclusion(&obs)
+    let r = engine
+        .run(&Query::check_inclusion(&h, &t, obs).on(Mode::Relaxed))
         .expect("builtin check runs");
-    let checkfence::CheckOutcome::Fail(cx) = r.outcome else {
+    let Some(cx) = r.counterexample() else {
         panic!("the unfenced mailbox must fail under builtin relaxed");
     };
     assert!(cx.violated_axiom.is_none(), "{cx}");

@@ -5,13 +5,17 @@
 use cf_algos::{refmodel, tests, treiber, Shape, Variant};
 use cf_memmodel::Mode;
 use checkfence::commit::AbstractType;
-use checkfence::{CheckOutcome, Checker, Harness};
+use checkfence::{mine_reference, CheckOutcome, Harness, Query};
 
 fn outcome(h: &Harness, test_name: &str, mode: Mode) -> CheckOutcome {
     let t = tests::by_name(test_name).expect("catalog test");
-    let c = Checker::new(h, &t).with_memory_model(mode);
-    let spec = c.mine_spec_reference().expect("mines").spec;
-    c.check_inclusion(&spec).expect("checks").outcome
+    let spec = mine_reference(h, &t).expect("mines").spec;
+    Query::check_inclusion(h, &t, spec)
+        .on(mode)
+        .run()
+        .expect("checks")
+        .into_outcome()
+        .expect("outcome")
 }
 
 #[test]
@@ -73,8 +77,11 @@ fn sat_mining_agrees_with_reference_model() {
     let h = treiber::harness(Variant::Fenced);
     for name in ["U0", "Ui2", "Upc2"] {
         let t = tests::by_name(name).expect("catalog");
-        let c = Checker::new(&h, &t);
-        let sat = c.mine_spec().expect("sat mining").spec;
+        let sat = Query::mine(&h, &t)
+            .run()
+            .expect("sat mining")
+            .into_observations()
+            .expect("observations");
         let reference = refmodel::mine(Shape::Stack, &t);
         assert_eq!(
             sat.vectors, reference.vectors,
@@ -88,10 +95,12 @@ fn commit_method_agrees_on_stack_tests() {
     let h = treiber::harness(Variant::Fenced);
     for (name, mode) in [("U0", Mode::Sc), ("Ui2", Mode::Sc), ("U0", Mode::Relaxed)] {
         let t = tests::by_name(name).expect("catalog");
-        let c = Checker::new(&h, &t).with_memory_model(mode);
-        let r = c.check_commit_method(AbstractType::Stack).expect("runs");
+        let v = Query::commit_method(&h, &t, AbstractType::Stack)
+            .on(mode)
+            .run()
+            .expect("runs");
         assert!(
-            r.outcome.passed(),
+            v.passed(),
             "commit method must pass {name} on {}",
             mode.name()
         );
@@ -104,23 +113,21 @@ fn commit_method_distinguishes_lifo_from_fifo() {
     // stack machine rejects msn's FIFO answers...
     let q = cf_algos::msn::harness(Variant::Fenced);
     let t = tests::by_name("Tpc2").expect("catalog");
-    let c = Checker::new(&q, &t).with_memory_model(Mode::Sc);
-    let r = c.check_commit_method(AbstractType::Stack).expect("runs");
-    assert!(
-        !r.outcome.passed(),
-        "FIFO answers must violate the LIFO machine"
-    );
+    let v = Query::commit_method(&q, &t, AbstractType::Stack)
+        .on(Mode::Sc)
+        .run()
+        .expect("runs");
+    assert!(!v.passed(), "FIFO answers must violate the LIFO machine");
 
     // ...and symmetrically the queue machine rejects Treiber's LIFO
     // answers.
     let s = treiber::harness(Variant::Fenced);
     let t = tests::by_name("Upc2").expect("catalog");
-    let c = Checker::new(&s, &t).with_memory_model(Mode::Sc);
-    let r = c.check_commit_method(AbstractType::Queue).expect("runs");
-    assert!(
-        !r.outcome.passed(),
-        "LIFO answers must violate the FIFO machine"
-    );
+    let v = Query::commit_method(&s, &t, AbstractType::Queue)
+        .on(Mode::Sc)
+        .run()
+        .expect("runs");
+    assert!(!v.passed(), "LIFO answers must violate the FIFO machine");
 }
 
 #[test]

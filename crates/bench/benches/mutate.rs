@@ -23,7 +23,7 @@ struct Measured {
 
 fn run(subject: &str, oracle: Oracle) -> Measured {
     let t0 = Instant::now();
-    let outcome = run_ablation(subject, &[], oracle)
+    let outcome = run_ablation(subject, &[], oracle, 1)
         .unwrap_or_else(|e| panic!("{subject} ({oracle:?}) fails: {e}"));
     Measured {
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,

@@ -19,7 +19,7 @@ use std::time::Instant;
 use cf_algos::{ms2, tests, treiber, Variant};
 use cf_memmodel::{Mode, ModeSet};
 use cf_spec::bundled;
-use checkfence::{CheckConfig, CheckSession, Harness, ModelSel, SessionConfig, TestSpec};
+use checkfence::{CheckConfig, Engine, EngineConfig, Harness, ModelSel, Query, TestSpec};
 
 struct Case {
     name: &'static str,
@@ -40,14 +40,13 @@ struct Measured {
 fn run(case: &Case, use_spec: bool) -> Measured {
     let t0 = Instant::now();
     let config = if use_spec {
-        SessionConfig::from_check_config(&CheckConfig::default(), ModeSet::empty())
+        EngineConfig::from_check_config(&CheckConfig::default(), ModeSet::empty())
             .with_specs(vec![bundled::for_mode(case.mode)])
     } else {
-        SessionConfig::from_check_config(&CheckConfig::default(), ModeSet::single(case.mode))
+        EngineConfig::from_check_config(&CheckConfig::default(), ModeSet::single(case.mode))
     };
-    let mut session = CheckSession::with_config(&case.harness, &case.test, config);
-    let obs = session
-        .mine_spec_reference()
+    let mut engine = Engine::new(config);
+    let obs = checkfence::mine_reference(&case.harness, &case.test)
         .unwrap_or_else(|e| panic!("{}: mining fails: {e}", case.name))
         .spec;
     let sel = if use_spec {
@@ -55,15 +54,15 @@ fn run(case: &Case, use_spec: bool) -> Measured {
     } else {
         ModelSel::Builtin(case.mode)
     };
-    let r = session
-        .check_inclusion_model(sel, &obs)
+    let v = engine
+        .run(&Query::check_inclusion(&case.harness, &case.test, obs).on_model(sel))
         .unwrap_or_else(|e| panic!("{}: check fails: {e}", case.name));
-    let sat = session.solver_stats();
+    let sat = engine.solver_stats();
     Measured {
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-        passed: r.outcome.passed(),
-        sat_vars: r.stats.sat_vars,
-        sat_clauses: r.stats.sat_clauses,
+        passed: v.passed(),
+        sat_vars: v.phase.sat_vars,
+        sat_clauses: v.phase.sat_clauses,
         conflicts: sat.conflicts,
         solves: sat.solves,
     }

@@ -93,22 +93,23 @@ pub fn secs(d: std::time::Duration) -> String {
 
 pub mod parallel {
     //! Parallel evaluation driver: fans the (implementation, test) × mode
-    //! matrix out across worker threads, one persistent [`CheckSession`]
-    //! per (implementation, test) cell.
+    //! matrix out across the query engine's worker threads, pooled
+    //! sessions per (implementation, test) cell.
     //!
     //! Each cell mines its specification once (reference interpreter) and
-    //! then answers every requested memory model from a single multi-mode
-    //! encoding on one incremental solver — the session architecture's
-    //! sweet spot. Workers are plain `std::thread::scope` threads pulling
-    //! cells from an atomic queue (the toolchain is offline, so no rayon;
-    //! the fan-out pattern is identical).
+    //! then answers every requested memory model as one
+    //! [`checkfence::Query`] on the shared [`checkfence::Engine`] — the
+    //! batch is sharded across `jobs` workers by the engine itself.
+    //! [`run_indexed`] remains as
+    //! the generic fan-out helper for work the engine does not cover
+    //! (the toolchain is offline, so no rayon; the pattern is identical).
 
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
     use std::time::{Duration, Instant};
 
     use cf_memmodel::{Mode, ModeSet};
-    use checkfence::{CheckConfig, CheckSession, SessionConfig};
+    use checkfence::{CheckConfig, Engine, EngineConfig, ModelSel, ObsSet, Query};
 
     use crate::Workload;
 
@@ -164,17 +165,94 @@ pub mod parallel {
         indexed.into_iter().map(|(_, r)| r).collect()
     }
 
-    /// Runs every workload × mode on `jobs` worker threads and returns
-    /// the verdicts in deterministic (workload, mode) order.
+    /// One cell of the shared grid runner: (passed, query wall time) or
+    /// the error string that stopped the cell.
+    type GridCell = Result<(bool, Duration), String>;
+
+    /// The shared grid body behind [`run_matrix`] and
+    /// [`run_matrix_with_specs`]: mines every workload's specification
+    /// on `jobs` worker threads ([`run_indexed`] — reference-interpreter
+    /// mining never touches the engine), then answers the workload ×
+    /// model grid as one engine batch. Cells come back row-major by
+    /// workload; the second value is the engine's pooled session count.
+    fn run_grid(
+        workloads: &[Workload],
+        models: &[ModelSel],
+        universe: ModeSet,
+        specs: &[cf_spec::ModelSpec],
+        jobs: usize,
+    ) -> (Vec<GridCell>, usize) {
+        let mined: Vec<Result<ObsSet, String>> = run_indexed(jobs, workloads.len(), |i| {
+            checkfence::mine_reference(&workloads[i].harness, &workloads[i].test)
+                .map(|m| m.spec)
+                .map_err(|e| e.to_string())
+        });
+        let config = EngineConfig::from_check_config(&CheckConfig::default(), universe)
+            .with_specs(specs.to_vec())
+            .with_jobs(jobs);
+        let mut engine = Engine::new(config);
+        let mut queries = Vec::new();
+        let mut slots: Vec<usize> = Vec::new(); // grid index per query
+        let mut grid: Vec<GridCell> = Vec::with_capacity(workloads.len() * models.len());
+        for (w, spec) in workloads.iter().zip(&mined) {
+            // One base query per workload; cells clone it (Arc-shared
+            // spec) and retarget the model axis.
+            let base = spec
+                .as_ref()
+                .map(|s| Query::check_inclusion(&w.harness, &w.test, s.clone()));
+            for &sel in models {
+                match &base {
+                    Ok(b) => {
+                        slots.push(grid.len());
+                        queries.push(b.clone().on_model(sel));
+                        grid.push(Err("unanswered".into()));
+                    }
+                    Err(e) => grid.push(Err((*e).clone())),
+                }
+            }
+        }
+        for (slot, verdict) in slots.into_iter().zip(engine.run_batch(&queries)) {
+            grid[slot] = verdict
+                .map(|v| (v.passed(), v.stats.wall))
+                .map_err(|e| e.to_string());
+        }
+        (grid, engine.stats().sessions)
+    }
+
+    /// Runs every workload × mode through one engine batch on `jobs`
+    /// worker threads and returns the verdicts in deterministic
+    /// (workload, mode) order.
     pub fn run_matrix(workloads: &[Workload], modes: &[Mode], jobs: usize) -> MatrixReport {
         let t0 = Instant::now();
         let mode_set: ModeSet = modes.iter().copied().collect();
-        let rows = run_indexed(jobs, workloads.len(), |i| {
-            run_cell(&workloads[i], modes, mode_set)
-        });
+        let models: Vec<ModelSel> = modes.iter().map(|&m| ModelSel::Builtin(m)).collect();
+        let (grid, sessions) = run_grid(workloads, &models, mode_set, &[], jobs);
+        let cells = workloads
+            .iter()
+            .flat_map(|w| modes.iter().map(move |&mode| (w, mode)))
+            .zip(grid)
+            .map(|((w, mode), cell)| {
+                let mut out = CellResult {
+                    algo: w.algo.name(),
+                    test: w.test.name.clone(),
+                    mode,
+                    passed: false,
+                    error: None,
+                    elapsed: Duration::ZERO,
+                };
+                match cell {
+                    Ok((passed, wall)) => {
+                        out.passed = passed;
+                        out.elapsed = wall;
+                    }
+                    Err(e) => out.error = Some(e),
+                }
+                out
+            })
+            .collect();
         MatrixReport {
-            cells: rows.into_iter().flatten().collect(),
-            sessions: workloads.len(),
+            cells,
+            sessions,
             elapsed: t0.elapsed(),
         }
     }
@@ -197,10 +275,10 @@ pub mod parallel {
     }
 
     /// Runs every workload against built-in modes *and* declarative
-    /// models on `jobs` worker threads: one session per workload, its
-    /// encoding covering the whole model universe, each model answered
-    /// by an assumption vector. Verdicts come back in deterministic
-    /// (workload, modes.., specs..) order.
+    /// models through one engine batch on `jobs` worker threads: pooled
+    /// sessions per workload, every encoding covering the whole model
+    /// universe, each model answered by an assumption vector. Verdicts
+    /// come back in deterministic (workload, modes.., specs..) order.
     pub fn run_matrix_with_specs(
         workloads: &[Workload],
         modes: &[Mode],
@@ -208,22 +286,6 @@ pub mod parallel {
         jobs: usize,
     ) -> Vec<ModelCell> {
         let mode_set: ModeSet = modes.iter().copied().collect();
-        let rows = run_indexed(jobs, workloads.len(), |i| {
-            run_model_cell(&workloads[i], modes, mode_set, specs)
-        });
-        rows.into_iter().flatten().collect()
-    }
-
-    fn run_model_cell(
-        w: &Workload,
-        modes: &[Mode],
-        mode_set: ModeSet,
-        specs: &[cf_spec::ModelSpec],
-    ) -> Vec<ModelCell> {
-        use checkfence::ModelSel;
-        let config = SessionConfig::from_check_config(&CheckConfig::default(), mode_set)
-            .with_specs(specs.to_vec());
-        let mut session = CheckSession::with_config(&w.harness, &w.test, config);
         let models: Vec<(String, ModelSel)> = modes
             .iter()
             .map(|&m| (m.name().to_string(), ModelSel::Builtin(m)))
@@ -234,77 +296,29 @@ pub mod parallel {
                     .map(|(i, s)| (s.name.clone(), ModelSel::Spec(i))),
             )
             .collect();
-        let spec = match session.mine_spec_reference() {
-            Ok(m) => m.spec,
-            Err(e) => {
-                return models
-                    .into_iter()
-                    .map(|(model, _)| ModelCell {
-                        algo: w.algo.name(),
-                        test: w.test.name.clone(),
-                        model,
-                        passed: false,
-                        error: Some(e.to_string()),
-                        elapsed: Duration::ZERO,
-                    })
-                    .collect();
-            }
-        };
-        models
-            .into_iter()
-            .map(|(model, sel)| {
-                let t = Instant::now();
-                let (passed, error) = match session.check_inclusion_model(sel, &spec) {
-                    Ok(r) => (r.outcome.passed(), None),
-                    Err(e) => (false, Some(e.to_string())),
-                };
-                ModelCell {
-                    algo: w.algo.name(),
-                    test: w.test.name.clone(),
-                    model,
-                    passed,
-                    error,
-                    elapsed: t.elapsed(),
-                }
-            })
-            .collect()
-    }
-
-    fn run_cell(w: &Workload, modes: &[Mode], mode_set: ModeSet) -> Vec<CellResult> {
-        let config = SessionConfig::from_check_config(&CheckConfig::default(), mode_set);
-        let mut session = CheckSession::with_config(&w.harness, &w.test, config);
-        let spec = match session.mine_spec_reference() {
-            Ok(m) => m.spec,
-            Err(e) => {
-                return modes
-                    .iter()
-                    .map(|&mode| CellResult {
-                        algo: w.algo.name(),
-                        test: w.test.name.clone(),
-                        mode,
-                        passed: false,
-                        error: Some(e.to_string()),
-                        elapsed: Duration::ZERO,
-                    })
-                    .collect();
-            }
-        };
-        modes
+        let sels: Vec<ModelSel> = models.iter().map(|(_, sel)| *sel).collect();
+        let (grid, _) = run_grid(workloads, &sels, mode_set, specs, jobs);
+        workloads
             .iter()
-            .map(|&mode| {
-                let t = Instant::now();
-                let (passed, error) = match session.check_inclusion(mode, &spec) {
-                    Ok(r) => (r.outcome.passed(), None),
-                    Err(e) => (false, Some(e.to_string())),
-                };
-                CellResult {
+            .flat_map(|w| models.iter().map(move |(model, _)| (w, model)))
+            .zip(grid)
+            .map(|((w, model), cell)| {
+                let mut out = ModelCell {
                     algo: w.algo.name(),
                     test: w.test.name.clone(),
-                    mode,
-                    passed,
-                    error,
-                    elapsed: t.elapsed(),
+                    model: model.clone(),
+                    passed: false,
+                    error: None,
+                    elapsed: Duration::ZERO,
+                };
+                match cell {
+                    Ok((passed, wall)) => {
+                        out.passed = passed;
+                        out.elapsed = wall;
+                    }
+                    Err(e) => out.error = Some(e),
                 }
+                out
             })
             .collect()
     }

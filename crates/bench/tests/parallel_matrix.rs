@@ -24,7 +24,14 @@ fn parallel_matrix_matches_sequential_and_preserves_order() {
 
     assert_eq!(sequential.cells.len(), 4, "2 workloads x 2 modes");
     assert_eq!(sequential.cells.len(), fanned.cells.len());
-    assert_eq!(fanned.sessions, 2, "one session per (algo, test) cell");
+    assert_eq!(
+        sequential.sessions, 2,
+        "sequential: one session per (algo, test) cell"
+    );
+    assert!(
+        fanned.sessions >= 2,
+        "fan-out keeps at least one session per (algo, test) cell"
+    );
     for (s, f) in sequential.cells.iter().zip(&fanned.cells) {
         assert_eq!(s.test, f.test, "deterministic cell order");
         assert_eq!(s.mode, f.mode);

@@ -24,7 +24,6 @@ use cf_sat::{Lit, SolveResult};
 
 use crate::encode::{Encoding, OrderEncoding};
 use crate::range::analyze;
-use crate::session::{CheckSession, SessionConfig};
 use crate::symexec::{execute, LoopBounds, SymExec, SymExecError, UnrollStats};
 use crate::test_spec::{Harness, TestSpec};
 
@@ -269,6 +268,10 @@ pub enum CheckError {
     /// A serial execution raised a runtime error: the implementation is
     /// broken sequentially, so mining cannot produce a specification.
     SerialBug(Box<Counterexample>),
+    /// A [`Query`](crate::query::Query) asked for something outside its
+    /// engine's universe (an unknown spec index, a mode the engine does
+    /// not encode, a commit query on a declarative model).
+    BadQuery(String),
 }
 
 impl fmt::Display for CheckError {
@@ -280,6 +283,7 @@ impl fmt::Display for CheckError {
             }
             CheckError::SolverBudget => write!(f, "SAT conflict budget exhausted"),
             CheckError::SerialBug(c) => write!(f, "serial bug found:\n{c}"),
+            CheckError::BadQuery(msg) => write!(f, "bad query: {msg}"),
         }
     }
 }
@@ -437,39 +441,53 @@ impl<'h> Checker<'h> {
         })
     }
 
-    /// Creates a single-use [`CheckSession`] for this checker's harness,
-    /// test and configuration, restricted to the given mode set.
-    fn session(&self, modes: ModeSet) -> CheckSession<'h> {
-        CheckSession::with_config(
-            self.harness,
-            self.test,
-            SessionConfig::from_check_config(&self.config, modes),
-        )
+    /// Creates a single-use [`Engine`](crate::query::Engine) for this
+    /// checker's harness, test and configuration, restricted to the
+    /// given built-in universe — the plumbing of the deprecated shims.
+    fn engine(&self, modes: ModeSet) -> crate::query::Engine<'h> {
+        crate::query::Engine::new(crate::query::EngineConfig::from_check_config(
+            &self.config,
+            modes,
+        ))
     }
 
     /// Mines the observation set with the SAT encoding under Seriality
     /// (paper §3.2 "Specification mining").
     ///
-    /// Since the session refactor this is a thin wrapper over a
-    /// single-mode [`CheckSession`]; [`Checker::mine_spec_oneshot`] keeps
-    /// the pre-session implementation as an independent baseline.
+    /// Since the query refactor this is a thin shim over
+    /// [`Query::mine`](crate::query::Query::mine);
+    /// [`Checker::mine_spec_oneshot`] keeps the pre-session
+    /// implementation as an independent baseline.
     ///
     /// # Errors
     ///
     /// [`CheckError::SerialBug`] if a serial execution raises a runtime
     /// error (this is itself a verification result — e.g. the lazy-list
     /// initialization bug); infrastructure errors otherwise.
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Query::mine(..)` on a `checkfence::query::Engine` instead"
+    )]
     pub fn mine_spec(&self) -> Result<MiningResult, CheckError> {
-        self.session(ModeSet::single(Mode::Serial)).mine_spec()
+        let v = self
+            .engine(ModeSet::single(Mode::Serial))
+            .run(&crate::query::Query::mine(self.harness, self.test))?;
+        let stats = v.phase.clone();
+        let spec = v.into_observations().expect("mining yields observations");
+        Ok(MiningResult { spec, stats })
     }
 
-    /// The pre-session one-shot implementation of [`Checker::mine_spec`]:
+    /// The pre-session one-shot implementation of the mining query:
     /// builds a fresh encoding and solver. Kept as the independent
-    /// baseline for session-equivalence tests and benchmarks.
+    /// baseline (oracle) for the equivalence tests and benchmarks.
     ///
     /// # Errors
     ///
-    /// As [`Checker::mine_spec`].
+    /// As the deprecated [`Checker::mine_spec`] shim.
+    #[deprecated(
+        since = "0.2.0",
+        note = "one-shot oracle for equivalence tests; use the query engine for real checking"
+    )]
     pub fn mine_spec_oneshot(&self) -> Result<MiningResult, CheckError> {
         let t0 = Instant::now();
         let mut stats = PhaseStats::default();
@@ -536,17 +554,28 @@ impl<'h> Checker<'h> {
     /// # Errors
     ///
     /// Infrastructure errors only.
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Query::enumerate(..).on(mode)` on a `checkfence::query::Engine` instead"
+    )]
     pub fn enumerate_observations(&self, mode: Mode) -> Result<ObsSet, CheckError> {
-        self.session(ModeSet::single(mode))
-            .enumerate_observations(mode)
+        let v = self
+            .engine(ModeSet::single(mode))
+            .run(&crate::query::Query::enumerate(self.harness, self.test).on(mode))?;
+        Ok(v.into_observations()
+            .expect("enumeration yields observations"))
     }
 
-    /// The pre-session one-shot implementation of
-    /// [`Checker::enumerate_observations`] (independent baseline).
+    /// The pre-session one-shot implementation of the enumeration query
+    /// (independent baseline for the equivalence tests).
     ///
     /// # Errors
     ///
     /// Infrastructure errors only.
+    #[deprecated(
+        since = "0.2.0",
+        note = "one-shot oracle for equivalence tests; use the query engine for real checking"
+    )]
     pub fn enumerate_observations_oneshot(&self, mode: Mode) -> Result<ObsSet, CheckError> {
         let mut stats = PhaseStats::default();
         self.with_bounds(mode, &mut stats, |_sx, enc, assumptions, stats| {
@@ -580,37 +609,51 @@ impl<'h> Checker<'h> {
     /// Checks that every execution on the configured memory model
     /// produces an observation in `spec` and raises no runtime error.
     ///
-    /// Since the session refactor this is a thin wrapper over a
-    /// single-mode [`CheckSession`]; [`Checker::check_inclusion_oneshot`]
-    /// keeps the pre-session implementation as an independent baseline.
+    /// Since the query refactor this is a thin shim over
+    /// [`Query::check_inclusion`](crate::query::Query::check_inclusion);
+    /// [`Checker::check_inclusion_oneshot`] keeps the pre-session
+    /// implementation as an independent baseline.
     ///
     /// # Errors
     ///
     /// Infrastructure errors only; verification failures are reported as
     /// [`CheckOutcome::Fail`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Query::check_inclusion(..).on(mode)` on a `checkfence::query::Engine` instead"
+    )]
     pub fn check_inclusion(&self, spec: &ObsSet) -> Result<InclusionResult, CheckError> {
         let model = self.config.memory_model;
-        self.session(ModeSet::single(model))
-            .check_inclusion(model, spec)
+        let v = self.engine(ModeSet::single(model)).run(
+            &crate::query::Query::check_inclusion(self.harness, self.test, spec.clone()).on(model),
+        )?;
+        Ok(v.into_inclusion_result())
     }
 
     /// Runs the inclusion check under a declarative memory model
     /// ([`cf_spec::ModelSpec`]) instead of a built-in [`Mode`]: the spec
-    /// is compiled into the session encoding as the sole member of the
-    /// model universe.
+    /// is compiled into the engine's universe as its sole member.
     ///
     /// # Errors
     ///
     /// As [`Checker::check_inclusion`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Query::check_inclusion(..).on_model(ModelSel::Spec(i))` on a \
+                `checkfence::query::Engine` configured with the spec instead"
+    )]
     pub fn check_inclusion_spec(
         &self,
         model: &cf_spec::ModelSpec,
         spec: &ObsSet,
     ) -> Result<InclusionResult, CheckError> {
-        let config = SessionConfig::from_check_config(&self.config, ModeSet::empty())
+        let config = crate::query::EngineConfig::from_check_config(&self.config, ModeSet::empty())
             .with_specs(vec![model.clone()]);
-        CheckSession::with_config(self.harness, self.test, config)
-            .check_inclusion_model(crate::ModelSel::Spec(0), spec)
+        let v = crate::query::Engine::new(config).run(
+            &crate::query::Query::check_inclusion(self.harness, self.test, spec.clone())
+                .on_model(crate::ModelSel::Spec(0)),
+        )?;
+        Ok(v.into_inclusion_result())
     }
 
     /// Enumerates the observations of all error-free executions under a
@@ -620,24 +663,36 @@ impl<'h> Checker<'h> {
     /// # Errors
     ///
     /// Infrastructure errors only.
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Query::enumerate(..).on_model(ModelSel::Spec(i))` on a \
+                `checkfence::query::Engine` configured with the spec instead"
+    )]
     pub fn enumerate_observations_spec(
         &self,
         model: &cf_spec::ModelSpec,
     ) -> Result<ObsSet, CheckError> {
-        let config = SessionConfig::from_check_config(&self.config, ModeSet::empty())
+        let config = crate::query::EngineConfig::from_check_config(&self.config, ModeSet::empty())
             .with_specs(vec![model.clone()]);
-        CheckSession::with_config(self.harness, self.test, config)
-            .enumerate_observations_model(crate::ModelSel::Spec(0))
+        let v = crate::query::Engine::new(config).run(
+            &crate::query::Query::enumerate(self.harness, self.test)
+                .on_model(crate::ModelSel::Spec(0)),
+        )?;
+        Ok(v.into_observations()
+            .expect("enumeration yields observations"))
     }
 
-    /// The pre-session one-shot implementation of
-    /// [`Checker::check_inclusion`]: builds a fresh encoding and solver.
-    /// Kept as the independent baseline for session-equivalence tests and
-    /// the per-candidate fence-inference benchmark.
+    /// The pre-session one-shot implementation of the inclusion query:
+    /// builds a fresh encoding and solver. Kept as the independent
+    /// baseline (oracle) for the equivalence tests and the benchmarks.
     ///
     /// # Errors
     ///
-    /// As [`Checker::check_inclusion`].
+    /// As the deprecated [`Checker::check_inclusion`] shim.
+    #[deprecated(
+        since = "0.2.0",
+        note = "one-shot oracle for equivalence tests; use the query engine for real checking"
+    )]
     pub fn check_inclusion_oneshot(&self, spec: &ObsSet) -> Result<InclusionResult, CheckError> {
         let t0 = Instant::now();
         let mut stats = PhaseStats::default();
@@ -685,9 +740,18 @@ impl<'h> Checker<'h> {
     ///
     /// Propagates mining and inclusion errors; a sequential bug surfaces
     /// as [`CheckError::SerialBug`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "mine with `mine_reference` and run `Query::check_inclusion` on a \
+                `checkfence::query::Engine` instead"
+    )]
     pub fn check(&self) -> Result<InclusionResult, CheckError> {
         let mining = self.mine_spec_reference()?;
-        self.check_inclusion(&mining.spec)
+        let model = self.config.memory_model;
+        let v = self.engine(ModeSet::single(model)).run(
+            &crate::query::Query::check_inclusion(self.harness, self.test, mining.spec).on(model),
+        )?;
+        Ok(v.into_inclusion_result())
     }
 }
 

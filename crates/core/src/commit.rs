@@ -55,8 +55,8 @@ impl Checker<'_> {
     /// Runs the commit-point method: one solver query against the
     /// annotated commit order, without observation enumeration.
     ///
-    /// Since the session refactor this is a thin wrapper over a
-    /// single-mode [`crate::CheckSession`];
+    /// Since the query refactor this is a thin shim over
+    /// [`Query::commit_method`](crate::query::Query::commit_method);
     /// [`Checker::check_commit_method_oneshot`] keeps the pre-session
     /// implementation as an independent baseline.
     ///
@@ -64,22 +64,32 @@ impl Checker<'_> {
     ///
     /// [`CheckError::SymExec`] if an operation lacks commit annotations;
     /// the usual infrastructure errors otherwise.
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Query::commit_method(..).on(mode)` on a `checkfence::query::Engine` instead"
+    )]
     pub fn check_commit_method(&self, ty: AbstractType) -> Result<InclusionResult, CheckError> {
         let model = self.config.memory_model;
-        let config = crate::SessionConfig::from_check_config(
+        let config = crate::query::EngineConfig::from_check_config(
             &self.config,
             cf_memmodel::ModeSet::single(model),
         );
-        crate::CheckSession::with_config(self.harness_ref(), self.test_ref(), config)
-            .check_commit_method(model, ty)
+        let v = crate::query::Engine::new(config).run(
+            &crate::query::Query::commit_method(self.harness_ref(), self.test_ref(), ty).on(model),
+        )?;
+        Ok(v.into_inclusion_result())
     }
 
-    /// The pre-session one-shot implementation of
-    /// [`Checker::check_commit_method`] (independent baseline).
+    /// The pre-session one-shot implementation of the commit-method
+    /// query (independent baseline for the equivalence tests).
     ///
     /// # Errors
     ///
-    /// As [`Checker::check_commit_method`].
+    /// As the deprecated [`Checker::check_commit_method`] shim.
+    #[deprecated(
+        since = "0.2.0",
+        note = "one-shot oracle for equivalence tests; use the query engine for real checking"
+    )]
     pub fn check_commit_method_oneshot(
         &self,
         ty: AbstractType,

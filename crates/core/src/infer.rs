@@ -66,7 +66,7 @@ use cf_lsl::{FenceKind, Procedure, Program, Stmt};
 use cf_memmodel::{Mode, ModeSet};
 
 use crate::checker::{CheckConfig, CheckError, Checker, ObsSet};
-use crate::session::{CheckSession, SessionConfig};
+use crate::query::{Engine, EngineConfig, Query};
 use crate::test_spec::{Harness, TestSpec};
 
 /// Configuration of the candidate space searched by [`infer`].
@@ -233,10 +233,10 @@ pub fn apply_candidates(program: &Program, sites: &[CandidateSite]) -> Program {
 
 /// Builds a copy of `program` with **all** given candidates inserted as
 /// activation-gated [`Stmt::CandidateFence`] statements, site `i` being
-/// `sites[i]`. A [`CheckSession`] over the result checks any candidate
-/// subset as an assumption vector (see
-/// [`CheckSession::check_inclusion_with_fences`]) — the encode-once
-/// fence-inference inner loop.
+/// `sites[i]`. An engine session over the result checks any candidate
+/// subset as an assumption vector
+/// ([`Query::with_fences`](crate::query::Query::with_fences)) — the
+/// encode-once fence-inference inner loop.
 pub fn apply_candidates_gated(program: &Program, sites: &[CandidateSite]) -> Program {
     apply_impl(
         program,
@@ -334,19 +334,25 @@ pub fn infer(
 
     let all = candidate_sites(&harness.program, config);
     // Encode once: every candidate site goes in as an activation-gated
-    // fence, and one persistent session per test answers each candidate
-    // build as an assumption vector (no re-encode, no cold solver).
+    // fence, and the engine pools one persistent session per test,
+    // answering each candidate build as an assumption-vector query (no
+    // re-encode, no cold solver).
     let gated = Harness {
         name: format!("{}+candidates", harness.name),
         program: apply_candidates_gated(&harness.program, &all),
         init_proc: harness.init_proc.clone(),
         ops: harness.ops.clone(),
     };
-    let session_config =
-        SessionConfig::from_check_config(&CheckConfig::default(), ModeSet::single(mode));
-    let mut sessions: Vec<CheckSession<'_>> = tests
+    let mut engine = Engine::new(EngineConfig::from_check_config(
+        &CheckConfig::default(),
+        ModeSet::single(mode),
+    ));
+    // One base query per test holds the (Arc-shared) spec; every
+    // candidate build clones it and swaps the fence vector.
+    let bases: Vec<Query> = tests
         .iter()
-        .map(|t| CheckSession::with_config(&gated, t, session_config.clone()))
+        .zip(specs)
+        .map(|(t, spec)| Query::check_inclusion(&gated, t, spec).on(mode))
         .collect();
 
     let passes = |enabled: &[bool], checks: &mut usize| -> Result<Option<String>, CheckError> {
@@ -356,10 +362,9 @@ pub fn infer(
             .filter(|(_, &e)| e)
             .map(|(i, _)| i as u32)
             .collect();
-        for ((t, spec), session) in tests.iter().zip(&specs).zip(&mut sessions) {
+        for (t, base) in tests.iter().zip(&bases) {
             *checks += 1;
-            let r = session.check_inclusion_with_fences(mode, spec, &active)?;
-            if !r.outcome.passed() {
+            if !engine.run(&base.clone().with_fences(&active))?.passed() {
                 return Ok(Some(t.name.clone()));
             }
         }
@@ -375,23 +380,16 @@ pub fn infer(
         .map(|(s, _)| s.clone())
         .collect();
     let program = apply_candidates(&harness.program, &kept);
-    let mut symexecs = 0u32;
-    let mut encodes = 0u32;
-    let mut sat = cf_sat::Stats::default();
-    for s in &sessions {
-        symexecs += s.stats().symexecs;
-        encodes += s.stats().encodes;
-        sat.add(&s.solver_stats());
-    }
+    let stats = engine.stats();
     Ok(InferenceResult {
         program,
         candidates: all.len(),
         kept,
         checks,
         elapsed: t0.elapsed(),
-        symexecs,
-        encodes,
-        sat,
+        symexecs: stats.symexecs,
+        encodes: stats.encodes,
+        sat: engine.solver_stats(),
     })
 }
 
@@ -400,11 +398,13 @@ pub fn infer(
 /// [`Checker`] (fresh symbolic execution, encoding and solver per
 /// check). Produces the same 1-minimal placement as [`infer`]; kept for
 /// session-equivalence tests and as the "before" series of the
-/// fence-inference benchmark.
+/// fence-inference benchmark — which is why it may call the deprecated
+/// one-shot oracle.
 ///
 /// # Errors
 ///
 /// As [`infer`].
+#[allow(deprecated)]
 pub fn infer_baseline(
     harness: &Harness,
     tests: &[TestSpec],

@@ -23,22 +23,30 @@
 //!
 //! ## Beyond the one-shot pipeline
 //!
-//! * [`CheckSession`] — incremental checking: one persistent solver per
-//!   (harness, test), with built-in [`cf_memmodel::Mode`]s and
-//!   declarative [`cf_spec::ModelSpec`]s selected per query through
-//!   assumption literals (encode once, solve many);
+//! * [`query`] — **the public checking surface**: a composable
+//!   [`Query`] value per question (mine / enumerate / inclusion /
+//!   commit × model × fence and toggle assumption vectors) answered by
+//!   an [`Engine`] pooling incremental [`CheckSession`]s per (harness,
+//!   test, model universe), with batch sharding across worker threads
+//!   and per-query solver attribution ([`QueryStats`]);
+//! * [`CheckSession`] — the underlying incremental session: one
+//!   persistent solver per (harness, test), with built-in
+//!   [`cf_memmodel::Mode`]s and declarative [`cf_spec::ModelSpec`]s
+//!   selected per query through assumption literals (encode once,
+//!   solve many); its per-question method grid is deprecated in favor
+//!   of [`query`];
 //! * [`infer`] — automatic 1-minimal fence placement, candidate fences
-//!   as activation literals on a session;
+//!   as activation literals on pooled sessions;
 //! * [`mutate`] — batched Fig. 11-style mutation checking: statement
 //!   deletions, fence weakenings and adjacent-operation swaps as
 //!   per-site *toggle literals*, the whole mutant × model matrix
-//!   answered from one encoding;
+//!   answered as one engine batch;
 //! * [`commit`] — the commit-point baseline.
 //!
 //! ## Example
 //!
 //! ```
-//! use checkfence::{Checker, Harness, OpSig, TestSpec};
+//! use checkfence::{mine_reference, Harness, OpSig, Query, TestSpec};
 //! use cf_memmodel::Mode;
 //!
 //! // A trivially racy "register" data type: set / get.
@@ -57,10 +65,12 @@
 //!     ],
 //! };
 //! let test = TestSpec::parse("T", "( s | g )").expect("parses");
-//! let checker = Checker::new(&harness, &test).with_memory_model(Mode::Relaxed);
-//! let spec = checker.mine_spec_reference().expect("mines").spec;
-//! let result = checker.check_inclusion(&spec).expect("checks");
-//! assert!(result.outcome.passed(), "a single racy register is serializable");
+//! let spec = mine_reference(&harness, &test).expect("mines").spec;
+//! let verdict = Query::check_inclusion(&harness, &test, spec)
+//!     .on(Mode::Relaxed)
+//!     .run()
+//!     .expect("checks");
+//! assert!(verdict.passed(), "a single racy register is serializable");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -82,6 +92,7 @@ pub mod commit;
 pub mod infer;
 pub mod mutate;
 mod obs_text;
+pub mod query;
 
 pub use checker::{
     CheckConfig, CheckError, CheckOutcome, Checker, Counterexample, FailureKind, InclusionResult,
@@ -92,6 +103,7 @@ pub use encode::{EncVal, Encoding, ModelSel, OrderEncoding};
 pub use fxhash::{FxHashMap, FxHasher};
 pub use mine::mine_reference;
 pub use obs_text::ParseObsError;
+pub use query::{Answer, Engine, EngineConfig, EngineStats, Query, QueryKind, QueryStats, Verdict};
 pub use range::{analyze, RangeInfo, ValueSet};
 pub use session::{CheckSession, SessionConfig, SessionStats};
 pub use symexec::{

@@ -9,7 +9,7 @@
 //! encoding, cold SAT solver each time).
 //!
 //! This module generalizes the candidate-fence activation literals of
-//! the incremental sessions ([`CheckSession`]) to arbitrary statement
+//! the incremental sessions ([`crate::CheckSession`]) to arbitrary statement
 //! rewrites: a [`MutationPlan`] instruments the program once, wrapping
 //! every mutation point in a [`cf_lsl::Stmt::Toggle`] whose per-site
 //! *toggle literal* selects between the original statements and the
@@ -48,7 +48,8 @@ use cf_spec::ModelSpec;
 
 use crate::checker::{CheckConfig, CheckError, CheckOutcome, Checker, FailureKind, ObsSet};
 use crate::encode::ModelSel;
-use crate::session::{CheckSession, SessionConfig, SessionStats};
+use crate::query::{Engine, EngineConfig, Query, Verdict};
+use crate::session::SessionStats;
 use crate::test_spec::{Harness, TestSpec};
 
 /// A mutation operator.
@@ -580,6 +581,11 @@ pub struct MatrixConfig {
     /// Check settings (order encoding, bounds, budgets); the
     /// `memory_model` field is ignored — the matrix supplies models.
     pub check: CheckConfig,
+    /// Worker threads: the mutant × model cells shard across this many
+    /// engine workers, one session replica per shard (each replica
+    /// encodes once). `1` answers the whole matrix from a single
+    /// encoding.
+    pub jobs: usize,
 }
 
 impl Default for MatrixConfig {
@@ -588,6 +594,7 @@ impl Default for MatrixConfig {
             modes: Mode::hardware().to_vec(),
             specs: Vec::new(),
             check: CheckConfig::default(),
+            jobs: 1,
         }
     }
 }
@@ -669,9 +676,13 @@ pub struct MutationReport {
     pub baseline: Vec<MutantVerdict>,
     /// One row per planned mutation.
     pub rows: Vec<MutationRow>,
-    /// Session amortization counters (`encodes` is 1 per model universe
-    /// unless loop bounds grew; the one-shot oracle reports its totals
-    /// here).
+    /// Sessions the engine pooled for this matrix (1 at `jobs == 1`;
+    /// one replica per worker shard otherwise; the one-shot oracle
+    /// reports one "session" per cell).
+    pub sessions: usize,
+    /// Session amortization counters summed over the pool (`encodes ==
+    /// sessions` unless loop bounds grew; the one-shot oracle reports
+    /// its totals here).
     pub session: SessionStats,
     /// Cumulative SAT statistics.
     pub solver: cf_sat::Stats,
@@ -691,7 +702,10 @@ impl MutationReport {
     }
 
     /// Renders the Fig. 11-style table (`X` caught, `.` survived, `~`
-    /// bounds diverged).
+    /// bounds diverged). The output is a pure function of the verdicts —
+    /// timings and amortization counters are reported separately
+    /// ([`MutationReport::summary`]) so tables from different `jobs`
+    /// settings compare bit for bit.
     pub fn table(&self) -> String {
         let mut out = String::new();
         let desc_w = self
@@ -704,12 +718,11 @@ impl MutationReport {
             .min(56);
         let _ = writeln!(
             out,
-            "mutant matrix — {} / {} ({} mutants, {} models, {:.2?})",
+            "mutant matrix — {} / {} ({} mutants, {} models)",
             self.harness,
             self.test,
             self.rows.len(),
             self.models.len(),
-            self.elapsed
         );
         let _ = write!(out, "  {:>4}  {:<desc_w$}", "id", "mutation");
         for m in &self.models {
@@ -736,11 +749,22 @@ impl MutationReport {
         let (caught, total) = self.caught();
         let _ = writeln!(
             out,
-            "  caught {caught}/{total}   (X caught, . survived, ~ bounds diverged)   \
-             symexecs {}  encodes {}  queries {}",
-            self.session.symexecs, self.session.encodes, self.session.queries
+            "  caught {caught}/{total}   (X caught, . survived, ~ bounds diverged)"
         );
         out
+    }
+
+    /// One line of run metadata (wall time and amortization counters) —
+    /// everything deliberately kept out of [`MutationReport::table`].
+    pub fn summary(&self) -> String {
+        format!(
+            "sessions {}  symexecs {}  encodes {}  queries {}  ({:.2?})",
+            self.sessions,
+            self.session.symexecs,
+            self.session.encodes,
+            self.session.queries,
+            self.elapsed
+        )
     }
 }
 
@@ -757,12 +781,27 @@ fn verdict_of(
     }
 }
 
-/// Runs the whole mutant matrix on **one** [`CheckSession`]: one
-/// symbolic execution and one encoding for the entire model universe,
-/// every (mutant, model) cell an assumption-vector query. The
-/// specification is mined once from the unmutated build with the
-/// reference interpreter (mutations must be judged against the original
-/// semantics).
+/// [`verdict_of`] for engine verdicts.
+fn verdict_of_query(r: Result<Verdict, CheckError>) -> Result<MutantVerdict, CheckError> {
+    match r {
+        Ok(v) => Ok(
+            match v.into_outcome().expect("inclusion yields an outcome") {
+                CheckOutcome::Pass => MutantVerdict::Survived,
+                CheckOutcome::Fail(cx) => MutantVerdict::Caught(cx.kind),
+            },
+        ),
+        Err(CheckError::BoundsDiverged { .. }) => Ok(MutantVerdict::Diverged),
+        Err(e) => Err(e),
+    }
+}
+
+/// Runs the whole mutant matrix on an [`Engine`] batch: every (mutant,
+/// model) cell is one [`Query`] with a toggle assumption, grouped onto
+/// pooled sessions — one symbolic execution and one encoding for the
+/// entire model universe at `jobs == 1`, one encoding per worker shard
+/// otherwise. The specification is mined once from the unmutated build
+/// with the reference interpreter (mutations must be judged against the
+/// original semantics).
 ///
 /// # Errors
 ///
@@ -783,23 +822,34 @@ pub fn run_mutation_matrix(
         ops: harness.ops.clone(),
     };
     let mode_set: ModeSet = config.modes.iter().copied().collect();
-    let session_config =
-        SessionConfig::from_check_config(&config.check, mode_set).with_specs(config.specs.clone());
-    let mut session = CheckSession::with_config(&instrumented, test, session_config);
+    let engine_config = EngineConfig::from_check_config(&config.check, mode_set)
+        .with_specs(config.specs.clone())
+        .with_jobs(config.jobs);
+    let mut engine = Engine::new(engine_config);
     let models = config.models();
-    let mut baseline = Vec::with_capacity(models.len());
+    // The batch: baseline cells first, then one row of cells per mutant.
+    // One base query holds the (Arc-shared) spec; each cell clones it
+    // and retargets the model/toggle axes.
+    let base = Query::check_inclusion(&instrumented, test, spec);
+    let mut queries = Vec::with_capacity((plan.points.len() + 1) * models.len());
     for (_, sel) in &models {
-        baseline.push(verdict_of(session.check_inclusion_model(*sel, &spec))?);
+        queries.push(base.clone().on_model(*sel));
+    }
+    for point in &plan.points {
+        for (_, sel) in &models {
+            queries.push(base.clone().on_model(*sel).with_toggles(&[point.id]));
+        }
+    }
+    let mut results = engine.run_batch(&queries).into_iter();
+    let mut baseline = Vec::with_capacity(models.len());
+    for _ in &models {
+        baseline.push(verdict_of_query(results.next().expect("baseline cell"))?);
     }
     let mut rows = Vec::with_capacity(plan.points.len());
     for point in &plan.points {
         let mut verdicts = Vec::with_capacity(models.len());
-        for (_, sel) in &models {
-            verdicts.push(verdict_of(session.check_inclusion_toggled(
-                *sel,
-                &spec,
-                &[point.id],
-            ))?);
+        for _ in &models {
+            verdicts.push(verdict_of_query(results.next().expect("mutant cell"))?);
         }
         rows.push(MutationRow {
             point: point.id,
@@ -807,14 +857,20 @@ pub fn run_mutation_matrix(
             verdicts,
         });
     }
+    let stats = engine.stats();
     Ok(MutationReport {
         harness: harness.name.clone(),
         test: test.name.clone(),
         models: models.into_iter().map(|(n, _)| n).collect(),
         baseline,
         rows,
-        session: session.stats(),
-        solver: session.solver_stats(),
+        sessions: stats.sessions,
+        session: SessionStats {
+            symexecs: stats.symexecs,
+            encodes: stats.encodes,
+            queries: stats.queries,
+        },
+        solver: engine.solver_stats(),
         elapsed: t0.elapsed(),
     })
 }
@@ -875,19 +931,24 @@ pub fn run_mutation_matrix_oneshot(
             verdicts,
         });
     }
+    let sessions = session.queries as usize;
     Ok(MutationReport {
         harness: harness.name.clone(),
         test: test.name.clone(),
         models: models.into_iter().map(|(n, _)| n).collect(),
         baseline,
         rows,
+        sessions,
         session,
         solver,
         elapsed: t0.elapsed(),
     })
 }
 
-/// One one-shot cell: a fresh checker per (build, model).
+/// One one-shot cell: a fresh checker per (build, model). Part of the
+/// oracle apparatus, hence the deliberate calls into the deprecated
+/// one-shot grid.
+#[allow(deprecated)]
 fn oneshot_cell(
     build: &Harness,
     test: &TestSpec,

@@ -1,0 +1,882 @@
+//! The composable query API: one value type per question, one engine
+//! for all of them.
+//!
+//! CheckFence's core loop is *encode once, answer many related
+//! questions* (paper Fig. 6), but the session surface historically grew
+//! one method per question shape: `check_inclusion` /
+//! `enumerate_observations` × `_model` × `_toggled` × `_with_fences` ×
+//! `_oneshot`, doubling with every new axis. This module collapses that
+//! grid into two types:
+//!
+//! * [`Query`] — a declarative description of one question: the
+//!   implementation ([`Harness`]) and symbolic test ([`TestSpec`]), the
+//!   model ([`ModelSel`]: a built-in [`Mode`] or a declarative spec),
+//!   the assumption vectors (active candidate-fence sites, active
+//!   mutation toggles) and the question kind ([`QueryKind`]: mine,
+//!   enumerate, inclusion check, commit-point method). All axes are
+//!   orthogonal and builder-composable.
+//! * [`Engine`] — a pool of [`CheckSession`]s keyed by (harness, test,
+//!   model universe), the universe being engine-wide configuration
+//!   ([`EngineConfig::modes`] + [`EngineConfig::specs`]).
+//!   [`Engine::run`] answers one query; [`Engine::run_batch`] groups a
+//!   mixed batch by session key, reuses live encodings across calls,
+//!   and fans large groups out across worker threads (one session per
+//!   worker shard, so every session still encodes exactly once).
+//!
+//! Every [`Verdict`] carries per-query solver attribution
+//! ([`QueryStats`], computed with [`cf_sat::Stats::since`]) next to the
+//! per-phase [`PhaseStats`], so batch drivers can report cost per
+//! question instead of only session totals.
+//!
+//! # Examples
+//!
+//! One engine answering a mode sweep and a mutant from one encoding:
+//!
+//! ```
+//! use checkfence::query::{Engine, EngineConfig, Query};
+//! use checkfence::{Harness, OpSig, TestSpec};
+//! use cf_memmodel::Mode;
+//!
+//! let program = cf_minic::compile(r#"
+//!     int data; int flag;
+//!     void put(int v) { data = v + 1; fence("store-store"); flag = 1; }
+//!     int get() { int f = flag; fence("load-load");
+//!                 if (f == 0) { return 0 - 1; } return data; }
+//! "#).expect("compiles");
+//! let harness = Harness {
+//!     name: "mailbox".into(),
+//!     program,
+//!     init_proc: None,
+//!     ops: vec![
+//!         OpSig { key: 'p', proc_name: "put".into(), num_args: 1, has_ret: false },
+//!         OpSig { key: 'g', proc_name: "get".into(), num_args: 0, has_ret: true },
+//!     ],
+//! };
+//! let test = TestSpec::parse("pg", "( p | g )").expect("parses");
+//!
+//! let mut engine = Engine::new(EngineConfig::default());
+//! let spec = engine
+//!     .run(&Query::mine(&harness, &test))
+//!     .expect("mines")
+//!     .into_observations()
+//!     .expect("mining yields observations");
+//! let queries: Vec<Query> = Mode::hardware()
+//!     .iter()
+//!     .map(|&m| Query::check_inclusion(&harness, &test, spec.clone()).on(m))
+//!     .collect();
+//! for verdict in engine.run_batch(&queries) {
+//!     assert!(verdict.expect("runs").passed(), "fenced mailbox passes");
+//! }
+//! // The mine + four checks shared one session and one encoding.
+//! let stats = engine.stats();
+//! assert_eq!(stats.sessions, 1);
+//! assert_eq!(stats.encodes, 1);
+//! assert_eq!(stats.queries, 5);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use cf_memmodel::{Mode, ModeSet};
+use cf_spec::ModelSpec;
+
+use crate::checker::{
+    CheckConfig, CheckError, CheckOutcome, Counterexample, InclusionResult, ObsSet, PhaseStats,
+};
+use crate::commit::AbstractType;
+use crate::encode::ModelSel;
+use crate::session::{CheckSession, SessionConfig, SessionStats};
+use crate::test_spec::{Harness, TestSpec};
+
+/// The question a [`Query`] asks.
+#[derive(Clone, Debug)]
+pub enum QueryKind {
+    /// Mine the specification: enumerate the observations of all
+    /// error-free *serial* executions with the SAT encoding (§3.2).
+    /// The model axis is ignored — mining always runs under Seriality.
+    Mine,
+    /// Enumerate the observations of all error-free executions under
+    /// the query's model.
+    Enumerate,
+    /// Check that every execution under the query's model observes a
+    /// member of `spec` and raises no runtime error.
+    CheckInclusion {
+        /// The specification (a mined observation set). Shared, so
+        /// cloning a query for another cell of a matrix — the
+        /// batch-building idiom — does not copy the set.
+        spec: Arc<ObsSet>,
+    },
+    /// Run the commit-point method (the Fig. 12 baseline) against the
+    /// given abstract machine. Requires a built-in model.
+    CommitMethod {
+        /// The abstract data type the machine simulates.
+        ty: AbstractType,
+    },
+}
+
+impl QueryKind {
+    /// Short display name of the question.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryKind::Mine => "mine",
+            QueryKind::Enumerate => "enumerate",
+            QueryKind::CheckInclusion { .. } => "check",
+            QueryKind::CommitMethod { .. } => "commit",
+        }
+    }
+}
+
+/// One declarative question about one (implementation, test) pair.
+///
+/// A query names every axis the engine can vary — the model, the active
+/// candidate-fence sites, the active mutation toggles, and the question
+/// kind — so drivers describe *what* they want answered and leave
+/// session pooling, encoding reuse and parallel scheduling to the
+/// [`Engine`].
+#[derive(Clone, Debug)]
+pub struct Query<'h> {
+    harness: &'h Harness,
+    test: &'h TestSpec,
+    model: ModelSel,
+    fences: Vec<u32>,
+    toggles: Vec<u32>,
+    kind: QueryKind,
+}
+
+impl<'h> Query<'h> {
+    fn with_kind(harness: &'h Harness, test: &'h TestSpec, kind: QueryKind) -> Query<'h> {
+        Query {
+            harness,
+            test,
+            model: ModelSel::Builtin(Mode::Relaxed),
+            fences: Vec::new(),
+            toggles: Vec::new(),
+            kind,
+        }
+    }
+
+    /// A specification-mining query (SAT enumeration under Seriality).
+    pub fn mine(harness: &'h Harness, test: &'h TestSpec) -> Query<'h> {
+        Query::with_kind(harness, test, QueryKind::Mine)
+    }
+
+    /// An observation-enumeration query (defaults to `relaxed`; pick the
+    /// model with [`Query::on`] / [`Query::on_model`]).
+    pub fn enumerate(harness: &'h Harness, test: &'h TestSpec) -> Query<'h> {
+        Query::with_kind(harness, test, QueryKind::Enumerate)
+    }
+
+    /// An inclusion-check query against `spec` (defaults to `relaxed`).
+    /// The spec is stored behind an [`Arc`], so building a matrix by
+    /// cloning one base query per cell shares it instead of copying.
+    pub fn check_inclusion(
+        harness: &'h Harness,
+        test: &'h TestSpec,
+        spec: impl Into<Arc<ObsSet>>,
+    ) -> Query<'h> {
+        Query::with_kind(
+            harness,
+            test,
+            QueryKind::CheckInclusion { spec: spec.into() },
+        )
+    }
+
+    /// A commit-point-method query (defaults to `relaxed`; built-in
+    /// models only).
+    pub fn commit_method(harness: &'h Harness, test: &'h TestSpec, ty: AbstractType) -> Query<'h> {
+        Query::with_kind(harness, test, QueryKind::CommitMethod { ty })
+    }
+
+    /// Selects a built-in memory model (chainable).
+    #[must_use]
+    pub fn on(mut self, mode: Mode) -> Query<'h> {
+        self.model = ModelSel::Builtin(mode);
+        self
+    }
+
+    /// Selects any model of the engine's universe — a built-in mode or
+    /// a declarative spec by its index in [`EngineConfig::specs`]
+    /// (chainable).
+    #[must_use]
+    pub fn on_model(mut self, model: ModelSel) -> Query<'h> {
+        self.model = model;
+        self
+    }
+
+    /// Activates exactly the given candidate-fence sites
+    /// ([`cf_lsl::Stmt::CandidateFence`]); all other sites stay inactive
+    /// (chainable).
+    #[must_use]
+    pub fn with_fences(mut self, sites: &[u32]) -> Query<'h> {
+        self.fences = sites.to_vec();
+        self
+    }
+
+    /// Switches exactly the given mutation toggle sites
+    /// ([`cf_lsl::Stmt::Toggle`]) to their mutant branch (chainable).
+    #[must_use]
+    pub fn with_toggles(mut self, sites: &[u32]) -> Query<'h> {
+        self.toggles = sites.to_vec();
+        self
+    }
+
+    /// The implementation under test.
+    pub fn harness(&self) -> &'h Harness {
+        self.harness
+    }
+
+    /// The symbolic test.
+    pub fn test(&self) -> &'h TestSpec {
+        self.test
+    }
+
+    /// The selected model.
+    pub fn model(&self) -> ModelSel {
+        self.model
+    }
+
+    /// The question kind.
+    pub fn kind(&self) -> &QueryKind {
+        &self.kind
+    }
+
+    /// A short human-readable label (for per-query stats tables), e.g.
+    /// `check treiber/U0@relaxed+t3`.
+    pub fn describe(&self) -> String {
+        let model = match self.model {
+            ModelSel::Builtin(m) => m.name().to_string(),
+            ModelSel::Spec(i) => format!("spec#{i}"),
+        };
+        let mut out = format!(
+            "{} {}/{}@{model}",
+            self.kind.name(),
+            self.harness.name,
+            self.test.name
+        );
+        for f in &self.fences {
+            out.push_str(&format!("+f{f}"));
+        }
+        for t in &self.toggles {
+            out.push_str(&format!("+t{t}"));
+        }
+        out
+    }
+
+    /// Answers this query on a throwaway single-use [`Engine`] whose
+    /// universe holds exactly this query's model — the one-off
+    /// convenience for tests and small tools, at the same encoding cost
+    /// as the old one-shot checkers. Batch drivers should build an
+    /// [`Engine`] and reuse it. Spec models need an engine configured
+    /// with [`EngineConfig::specs`], so they cannot run through this
+    /// helper.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::run`].
+    pub fn run(&self) -> Result<Verdict, CheckError> {
+        let modes = match (&self.kind, self.model) {
+            (QueryKind::Mine, _) => ModeSet::single(Mode::Serial),
+            (_, ModelSel::Builtin(m)) => ModeSet::single(m),
+            // Rejected by validate() on a spec-less engine anyway.
+            (_, ModelSel::Spec(_)) => ModeSet::empty(),
+        };
+        Engine::new(EngineConfig {
+            modes,
+            ..EngineConfig::default()
+        })
+        .run(self)
+    }
+}
+
+/// The payload of a [`Verdict`]: what the question produced.
+#[derive(Clone, Debug)]
+pub enum Answer {
+    /// A pass/fail outcome (inclusion checks, the commit method).
+    Outcome(CheckOutcome),
+    /// An observation set (mining, enumeration).
+    Observations(ObsSet),
+}
+
+/// Per-query solver attribution, measured with [`cf_sat::Stats::since`]
+/// around exactly this query's solver activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Solver calls issued by this query (incl. bound-overflow probes).
+    pub solves: u64,
+    /// Conflicts attributable to this query.
+    pub conflicts: u64,
+    /// Restarts attributable to this query.
+    pub restarts: u64,
+    /// Propagations attributable to this query.
+    pub propagations: u64,
+    /// Assumption literals passed for this query.
+    pub assumed_literals: u64,
+    /// Wall-clock time of the query end to end.
+    pub wall: Duration,
+}
+
+impl QueryStats {
+    fn from_delta(delta: cf_sat::Stats, wall: Duration) -> QueryStats {
+        QueryStats {
+            solves: delta.solves,
+            conflicts: delta.conflicts,
+            restarts: delta.restarts,
+            propagations: delta.propagations,
+            assumed_literals: delta.assumed_literals,
+            wall,
+        }
+    }
+}
+
+/// The unified result of one [`Query`]: the answer plus this query's
+/// phase breakdown and solver attribution.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// The answer payload.
+    pub answer: Answer,
+    /// Encode/solve/bound-round breakdown of the query.
+    pub phase: PhaseStats,
+    /// Per-query solver counters ([`cf_sat::Stats::since`] deltas).
+    pub stats: QueryStats,
+}
+
+impl Verdict {
+    /// `true` unless the answer is a failing outcome.
+    pub fn passed(&self) -> bool {
+        match &self.answer {
+            Answer::Outcome(o) => o.passed(),
+            Answer::Observations(_) => true,
+        }
+    }
+
+    /// The pass/fail outcome, if the query produced one.
+    pub fn outcome(&self) -> Option<&CheckOutcome> {
+        match &self.answer {
+            Answer::Outcome(o) => Some(o),
+            Answer::Observations(_) => None,
+        }
+    }
+
+    /// Consumes the verdict into its outcome.
+    pub fn into_outcome(self) -> Option<CheckOutcome> {
+        match self.answer {
+            Answer::Outcome(o) => Some(o),
+            Answer::Observations(_) => None,
+        }
+    }
+
+    /// The observation set, if the query produced one.
+    pub fn observations(&self) -> Option<&ObsSet> {
+        match &self.answer {
+            Answer::Observations(s) => Some(s),
+            Answer::Outcome(_) => None,
+        }
+    }
+
+    /// Consumes the verdict into its observation set.
+    pub fn into_observations(self) -> Option<ObsSet> {
+        match self.answer {
+            Answer::Observations(s) => Some(s),
+            Answer::Outcome(_) => None,
+        }
+    }
+
+    /// The counterexample of a failing outcome.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match &self.answer {
+            Answer::Outcome(CheckOutcome::Fail(cx)) => Some(cx),
+            _ => None,
+        }
+    }
+
+    /// Consumes an outcome-shaped verdict into the legacy result type —
+    /// the shared adapter of the deprecated shims.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an observation-shaped answer (mining/enumeration).
+    pub(crate) fn into_inclusion_result(self) -> InclusionResult {
+        let Verdict { answer, phase, .. } = self;
+        match answer {
+            Answer::Outcome(outcome) => InclusionResult {
+                outcome,
+                stats: phase,
+            },
+            Answer::Observations(_) => {
+                unreachable!("outcome-shaped queries only")
+            }
+        }
+    }
+}
+
+/// Configuration of an [`Engine`]: the model universe every pooled
+/// session encodes, plus scheduling knobs.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// The built-in modes of the model universe. Every session the
+    /// engine creates encodes exactly these (mode axioms are gated by
+    /// selector literals, so a wide universe costs formula size, not
+    /// re-encodes). Queries selecting a mode outside the universe are
+    /// rejected with [`CheckError::BadQuery`]; mining queries need
+    /// [`Mode::Serial`] in the set. Defaults to all five modes.
+    pub modes: ModeSet,
+    /// Declarative models of the universe ([`ModelSel::Spec`] indexes
+    /// this list). Compiled into every session next to the built-ins.
+    pub specs: Vec<ModelSpec>,
+    /// Check settings (order encoding, bounds, budgets). The
+    /// `memory_model` field is ignored — queries name their models.
+    pub check: CheckConfig,
+    /// Worker threads for [`Engine::run_batch`]. `0` and `1` both mean
+    /// sequential. With more, large per-session query groups are
+    /// sharded round-robin across workers, one session replica per
+    /// shard (each replica encodes once — parallelism trades redundant
+    /// encodings for wall-clock time).
+    pub jobs: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            modes: ModeSet::all(),
+            specs: Vec::new(),
+            check: CheckConfig::default(),
+            jobs: 1,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A universe holding a single built-in mode (the cheapest session
+    /// for one-model drivers; mirrors the old one-shot encoding cost).
+    pub fn single(mode: Mode) -> EngineConfig {
+        EngineConfig {
+            modes: ModeSet::single(mode),
+            ..EngineConfig::default()
+        }
+    }
+
+    /// An engine configuration derived from one-shot check settings,
+    /// restricted to the given built-in universe.
+    pub fn from_check_config(check: &CheckConfig, modes: ModeSet) -> EngineConfig {
+        EngineConfig {
+            modes,
+            specs: Vec::new(),
+            check: check.clone(),
+            jobs: 1,
+        }
+    }
+
+    /// Sets the declarative-model pool (chainable).
+    #[must_use]
+    pub fn with_specs(mut self, specs: Vec<ModelSpec>) -> EngineConfig {
+        self.specs = specs;
+        self
+    }
+
+    /// Sets the worker-thread count (chainable).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> EngineConfig {
+        self.jobs = jobs;
+        self
+    }
+}
+
+/// Aggregated pool counters: the amortization ledger of the engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Live sessions in the pool (one per (harness, test, model
+    /// universe, shard) key).
+    pub sessions: usize,
+    /// Symbolic executions across all sessions.
+    pub symexecs: u32,
+    /// CNF encodings built across all sessions (== `sessions` unless
+    /// lazy unrolling grew a loop bound).
+    pub encodes: u32,
+    /// Queries answered across all sessions.
+    pub queries: u32,
+}
+
+/// One pooled session: the key identifies the (harness, test, shard)
+/// cell it answers (the model universe is engine-wide).
+struct Slot<'h> {
+    /// Address-identity of the harness (stable while the caller holds
+    /// the `&'h` borrows the engine requires).
+    hkey: usize,
+    tkey: usize,
+    shard: usize,
+    session: CheckSession<'h>,
+}
+
+/// A pool of [`CheckSession`]s answering [`Query`] values.
+///
+/// Sessions are created lazily, keyed by (harness identity, test
+/// identity, worker shard) — the model universe is fixed per engine —
+/// and persist across [`Engine::run`] / [`Engine::run_batch`] calls,
+/// so repeated batches on the same key reuse the live encoding.
+pub struct Engine<'h> {
+    config: EngineConfig,
+    pool: Vec<Slot<'h>>,
+}
+
+impl<'h> Engine<'h> {
+    /// Creates an engine with the given configuration (no sessions yet).
+    pub fn new(config: EngineConfig) -> Engine<'h> {
+        Engine {
+            config,
+            pool: Vec::new(),
+        }
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Aggregated amortization counters over the whole pool.
+    pub fn stats(&self) -> EngineStats {
+        let mut out = EngineStats {
+            sessions: self.pool.len(),
+            ..EngineStats::default()
+        };
+        for slot in &self.pool {
+            let s: SessionStats = slot.session.stats();
+            out.symexecs += s.symexecs;
+            out.encodes += s.encodes;
+            out.queries += s.queries;
+        }
+        out
+    }
+
+    /// Cumulative SAT statistics summed over every pooled solver.
+    pub fn solver_stats(&self) -> cf_sat::Stats {
+        let mut out = cf_sat::Stats::default();
+        for slot in &self.pool {
+            out.add(&slot.session.solver_stats());
+        }
+        out
+    }
+
+    /// Answers one query (on worker shard 0 of its pool key).
+    ///
+    /// # Errors
+    ///
+    /// Verification failures are answers ([`CheckOutcome::Fail`]);
+    /// errors are infrastructure-level: invalid queries
+    /// ([`CheckError::BadQuery`]), solver budget exhaustion, diverging
+    /// loop bounds, serial bugs found while mining.
+    pub fn run(&mut self, query: &Query<'h>) -> Result<Verdict, CheckError> {
+        self.run_batch(std::slice::from_ref(query))
+            .pop()
+            .expect("one query in, one verdict out")
+    }
+
+    /// Answers a batch, returning verdicts in query order.
+    ///
+    /// Queries are grouped by (harness, test, model universe); each
+    /// group runs on one pooled session, and with [`EngineConfig::jobs`]
+    /// workers large groups are sharded round-robin across session
+    /// replicas so a single big matrix parallelizes too. Per-query
+    /// failures (including [`CheckError::BoundsDiverged`], which
+    /// mutation drivers treat as a verdict) are returned in place, not
+    /// propagated.
+    pub fn run_batch(&mut self, queries: &[Query<'h>]) -> Vec<Result<Verdict, CheckError>> {
+        let mut results: Vec<Option<Result<Verdict, CheckError>>> = Vec::new();
+        results.resize_with(queries.len(), || None);
+
+        // Validate up front; invalid queries never touch the pool.
+        let mut valid: Vec<usize> = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            match self.validate(q) {
+                Ok(()) => valid.push(i),
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+
+        // Group by (harness, test) identity; the model universe is
+        // engine-wide, so the pool key reduces to identity + shard.
+        struct Group {
+            hkey: usize,
+            tkey: usize,
+            members: Vec<usize>,
+        }
+        let mut groups: Vec<Group> = Vec::new();
+        for &i in &valid {
+            let q = &queries[i];
+            let (hkey, tkey) = (
+                std::ptr::from_ref(q.harness) as usize,
+                std::ptr::from_ref(q.test) as usize,
+            );
+            let group = match groups.iter_mut().find(|g| g.hkey == hkey && g.tkey == tkey) {
+                Some(g) => g,
+                None => {
+                    groups.push(Group {
+                        hkey,
+                        tkey,
+                        members: Vec::new(),
+                    });
+                    groups.last_mut().expect("just pushed")
+                }
+            };
+            group.members.push(i);
+        }
+
+        // Shard each group across workers: `tasks` never share a slot.
+        let jobs = self.config.jobs.max(1);
+        let shard_size = valid.len().div_ceil(jobs).max(1);
+        let mut tasks: Vec<(usize, Vec<usize>)> = Vec::new(); // (slot index, query indices)
+        for g in &groups {
+            let shards = g
+                .members
+                .len()
+                .div_ceil(shard_size)
+                .clamp(1, jobs.min(g.members.len().max(1)));
+            for shard in 0..shards {
+                let slot = self.slot_index(g.hkey, g.tkey, shard, queries, &g.members);
+                let members: Vec<usize> = g
+                    .members
+                    .iter()
+                    .enumerate()
+                    .filter(|(pos, _)| pos % shards == shard)
+                    .map(|(_, &i)| i)
+                    .collect();
+                tasks.push((slot, members));
+            }
+        }
+
+        if jobs <= 1 || tasks.len() <= 1 {
+            for (slot, members) in tasks {
+                let session = &mut self.pool[slot].session;
+                for i in members {
+                    results[i] = Some(exec(session, &queries[i]));
+                }
+            }
+        } else {
+            let slots: Vec<Mutex<&mut CheckSession<'h>>> = self
+                .pool
+                .iter_mut()
+                .map(|s| Mutex::new(&mut s.session))
+                .collect();
+            let next = AtomicUsize::new(0);
+            let collected: Mutex<Vec<(usize, Result<Verdict, CheckError>)>> =
+                Mutex::new(Vec::with_capacity(valid.len()));
+            std::thread::scope(|scope| {
+                for _ in 0..jobs.min(tasks.len()) {
+                    scope.spawn(|| loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((slot, members)) = tasks.get(t) else {
+                            break;
+                        };
+                        // Tasks never share a slot, so this lock is
+                        // uncontended; it only ferries the &mut.
+                        let mut session = slots[*slot].lock().expect("no poisoned worker");
+                        let mut local = Vec::with_capacity(members.len());
+                        for &i in members {
+                            local.push((i, exec(&mut session, &queries[i])));
+                        }
+                        collected
+                            .lock()
+                            .expect("no poisoned collector")
+                            .extend(local);
+                    });
+                }
+            });
+            for (i, r) in collected.into_inner().expect("workers joined") {
+                results[i] = Some(r);
+            }
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every query answered"))
+            .collect()
+    }
+
+    /// Rejects queries outside the engine's model universe before any
+    /// session work.
+    fn validate(&self, q: &Query<'h>) -> Result<(), CheckError> {
+        match q.model {
+            ModelSel::Spec(i) => {
+                if i >= self.config.specs.len() {
+                    return Err(CheckError::BadQuery(format!(
+                        "query selects spec #{i}, but the engine holds {} spec(s)",
+                        self.config.specs.len()
+                    )));
+                }
+                if matches!(q.kind, QueryKind::CommitMethod { .. }) {
+                    return Err(CheckError::BadQuery(
+                        "the commit-point method needs a built-in model".into(),
+                    ));
+                }
+            }
+            ModelSel::Builtin(m) => {
+                if !matches!(q.kind, QueryKind::Mine) && !self.config.modes.contains(m) {
+                    return Err(CheckError::BadQuery(format!(
+                        "query selects mode `{}`, which is outside the engine's universe",
+                        m.name()
+                    )));
+                }
+            }
+        }
+        if matches!(q.kind, QueryKind::Mine) && !self.config.modes.contains(Mode::Serial) {
+            return Err(CheckError::BadQuery(
+                "mining queries need `serial` in the engine's universe".into(),
+            ));
+        }
+        // Mine and CommitMethod run without assumption vectors; accepting
+        // fences/toggles and silently answering for the unmutated build
+        // would be a wrong answer, not a convenience.
+        if matches!(q.kind, QueryKind::Mine | QueryKind::CommitMethod { .. })
+            && !(q.fences.is_empty() && q.toggles.is_empty())
+        {
+            return Err(CheckError::BadQuery(format!(
+                "`{}` queries do not support fence/toggle assumption vectors",
+                q.kind.name()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Finds or creates the pool slot for a key, returning its index.
+    fn slot_index(
+        &mut self,
+        hkey: usize,
+        tkey: usize,
+        shard: usize,
+        queries: &[Query<'h>],
+        members: &[usize],
+    ) -> usize {
+        if let Some(i) = self
+            .pool
+            .iter()
+            .position(|s| s.hkey == hkey && s.tkey == tkey && s.shard == shard)
+        {
+            return i;
+        }
+        let q = &queries[members[0]];
+        let config = SessionConfig::from_check_config(&self.config.check, self.config.modes)
+            .with_specs(self.config.specs.clone());
+        self.pool.push(Slot {
+            hkey,
+            tkey,
+            shard,
+            session: CheckSession::with_config(q.harness, q.test, config),
+        });
+        self.pool.len() - 1
+    }
+}
+
+/// Runs one query on its session, attributing solver work and wall time.
+fn exec(session: &mut CheckSession<'_>, query: &Query<'_>) -> Result<Verdict, CheckError> {
+    let t0 = Instant::now();
+    let before = session.solver_stats();
+    let outcome = match &query.kind {
+        QueryKind::Mine => session
+            .query_mine()
+            .map(|r| (Answer::Observations(r.spec), r.stats)),
+        QueryKind::Enumerate => session
+            .query_enumerate(query.model, &query.fences, &query.toggles)
+            .map(|(obs, stats)| (Answer::Observations(obs), stats)),
+        QueryKind::CheckInclusion { spec } => session
+            .query_inclusion(query.model, spec.as_ref(), &query.fences, &query.toggles)
+            .map(|r| (Answer::Outcome(r.outcome), r.stats)),
+        QueryKind::CommitMethod { ty } => {
+            let ModelSel::Builtin(mode) = query.model else {
+                unreachable!("validated: commit queries use built-in models");
+            };
+            session
+                .query_commit(mode, *ty)
+                .map(|r| (Answer::Outcome(r.outcome), r.stats))
+        }
+    };
+    let delta = session.solver_stats().since(&before);
+    let (answer, phase) = outcome?;
+    Ok(Verdict {
+        answer,
+        phase,
+        stats: QueryStats::from_delta(delta, t0.elapsed()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_spec::OpSig;
+
+    fn mailbox() -> (Harness, TestSpec) {
+        let program = cf_minic::compile(
+            r#"
+            int data; int flag;
+            void put(int v) { data = v + 1; fence("store-store"); flag = 1; }
+            int get() { int f = flag; fence("load-load");
+                        if (f == 0) { return 0 - 1; } return data; }
+            "#,
+        )
+        .expect("compiles");
+        let harness = Harness {
+            name: "mailbox".into(),
+            program,
+            init_proc: None,
+            ops: vec![
+                OpSig {
+                    key: 'p',
+                    proc_name: "put".into(),
+                    num_args: 1,
+                    has_ret: false,
+                },
+                OpSig {
+                    key: 'g',
+                    proc_name: "get".into(),
+                    num_args: 0,
+                    has_ret: true,
+                },
+            ],
+        };
+        let test = TestSpec::parse("pg", "( p | g )").expect("parses");
+        (harness, test)
+    }
+
+    #[test]
+    fn queries_outside_the_universe_fail_fast() {
+        let (h, t) = mailbox();
+        let mut engine = Engine::new(EngineConfig::single(Mode::Tso));
+        // A mode the engine does not encode.
+        let err = engine
+            .run(&Query::enumerate(&h, &t).on(Mode::Relaxed))
+            .expect_err("relaxed is outside the universe");
+        assert!(matches!(err, CheckError::BadQuery(_)), "{err}");
+        // A spec index the engine does not hold.
+        let err = engine
+            .run(&Query::enumerate(&h, &t).on_model(ModelSel::Spec(0)))
+            .expect_err("no specs configured");
+        assert!(matches!(err, CheckError::BadQuery(_)), "{err}");
+        // Mining needs Seriality in the universe.
+        let err = engine
+            .run(&Query::mine(&h, &t))
+            .expect_err("serial is outside the universe");
+        assert!(matches!(err, CheckError::BadQuery(_)), "{err}");
+        // Nothing above touched the pool.
+        assert_eq!(engine.stats().sessions, 0);
+    }
+
+    #[test]
+    fn assumption_vectors_are_rejected_on_kinds_that_ignore_them() {
+        // Mine and CommitMethod run without fence/toggle assumptions;
+        // silently answering for the unmutated build would be a wrong
+        // answer, so the engine must refuse.
+        let (h, t) = mailbox();
+        let mut engine = Engine::new(EngineConfig::default());
+        let err = engine
+            .run(&Query::mine(&h, &t).with_toggles(&[0]))
+            .expect_err("mine ignores toggles");
+        assert!(matches!(err, CheckError::BadQuery(_)), "{err}");
+        let err = engine
+            .run(
+                &Query::commit_method(&h, &t, AbstractType::Queue)
+                    .on(Mode::Sc)
+                    .with_fences(&[0]),
+            )
+            .expect_err("commit ignores fences");
+        assert!(matches!(err, CheckError::BadQuery(_)), "{err}");
+    }
+}

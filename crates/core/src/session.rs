@@ -136,12 +136,20 @@ enum Round<T> {
 
 /// An incremental checking session for one implementation and one test.
 ///
+/// Sessions are the unit of encoding reuse. Drivers should not call the
+/// per-question methods directly anymore: describe questions as
+/// [`Query`](crate::query::Query) values and let an
+/// [`Engine`](crate::query::Engine) pool and schedule the sessions —
+/// the method grid below survives only as deprecated shims over the
+/// same internals.
+///
 /// # Examples
 ///
-/// One encoding answering the full mode lattice:
+/// One engine-pooled encoding answering the full mode lattice:
 ///
 /// ```
-/// use checkfence::{CheckSession, Harness, OpSig, SessionConfig, TestSpec};
+/// use checkfence::query::{Engine, EngineConfig, Query};
+/// use checkfence::{Harness, OpSig, TestSpec};
 /// use cf_memmodel::Mode;
 ///
 /// let program = cf_minic::compile(r#"
@@ -160,16 +168,22 @@ enum Round<T> {
 ///     ],
 /// };
 /// let test = TestSpec::parse("pg", "( p | g )").expect("parses");
-/// let mut session = CheckSession::new(&harness, &test);
-/// let spec = session.mine_spec().expect("mines").spec;
+/// let mut engine = Engine::new(EngineConfig::default());
+/// let spec = engine
+///     .run(&Query::mine(&harness, &test))
+///     .expect("mines")
+///     .into_observations()
+///     .expect("observations");
 /// for mode in Mode::hardware() {
-///     let r = session.check_inclusion(mode, &spec).expect("checks");
-///     assert!(r.outcome.passed(), "fenced mailbox passes on {}", mode.name());
+///     let q = Query::check_inclusion(&harness, &test, spec.clone()).on(mode);
+///     let v = engine.run(&q).expect("checks");
+///     assert!(v.passed(), "fenced mailbox passes on {}", mode.name());
 /// }
-/// // All five queries shared one symbolic execution and one encoding.
-/// assert_eq!(session.stats().symexecs, 1);
-/// assert_eq!(session.stats().encodes, 1);
-/// assert_eq!(session.stats().queries, 5);
+/// // All five queries shared one session, one symbolic execution and
+/// // one encoding.
+/// assert_eq!(engine.stats().sessions, 1);
+/// assert_eq!(engine.stats().encodes, 1);
+/// assert_eq!(engine.stats().queries, 5);
 /// ```
 pub struct CheckSession<'h> {
     harness: &'h Harness,
@@ -270,7 +284,20 @@ impl<'h> CheckSession<'h> {
     /// [`CheckError::SerialBug`] if a serial execution raises a runtime
     /// error; infrastructure errors otherwise. Panics if the session was
     /// configured without the `Serial` mode.
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Query::mine(..)` on a `checkfence::query::Engine` instead"
+    )]
     pub fn mine_spec(&mut self) -> Result<MiningResult, CheckError> {
+        self.query_mine()
+    }
+
+    /// The [`QueryKind::Mine`](crate::query::QueryKind::Mine) body.
+    ///
+    /// # Errors
+    ///
+    /// As the deprecated [`CheckSession::mine_spec`] shim above.
+    pub(crate) fn query_mine(&mut self) -> Result<MiningResult, CheckError> {
         let t0 = Instant::now();
         let mut stats = PhaseStats::default();
         self.stats.queries += 1;
@@ -317,8 +344,13 @@ impl<'h> CheckSession<'h> {
     ///
     /// Infrastructure errors only. Panics if `mode` is not in the
     /// session's mode set.
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Query::enumerate(..).on(mode)` on a `checkfence::query::Engine` instead"
+    )]
     pub fn enumerate_observations(&mut self, mode: Mode) -> Result<ObsSet, CheckError> {
-        self.enumerate_observations_model(ModelSel::Builtin(mode))
+        self.query_enumerate(ModelSel::Builtin(mode), &[], &[])
+            .map(|(obs, _)| obs)
     }
 
     /// [`CheckSession::enumerate_observations`] for any encoded model —
@@ -328,13 +360,12 @@ impl<'h> CheckSession<'h> {
     ///
     /// Infrastructure errors only. Panics if the model is not part of
     /// the session's universe.
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Query::enumerate(..).on_model(model)` on a `checkfence::query::Engine` instead"
+    )]
     pub fn enumerate_observations_model(&mut self, model: ModelSel) -> Result<ObsSet, CheckError> {
-        let mut stats = PhaseStats::default();
-        self.stats.queries += 1;
-        self.with_bounds(model, &[], &[], &mut stats, |_sx, enc, asm, stats| {
-            let vectors = Self::enumerate_gated(enc, asm, stats)?;
-            Ok(Round::Bounded(ObsSet { vectors }))
-        })
+        self.query_enumerate(model, &[], &[]).map(|(obs, _)| obs)
     }
 
     /// [`CheckSession::enumerate_observations_model`] with exactly the
@@ -346,23 +377,50 @@ impl<'h> CheckSession<'h> {
     ///
     /// Infrastructure errors only. Panics if the model is not part of
     /// the session's universe.
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Query::enumerate(..).on_model(model).with_toggles(sites)` on a \
+                `checkfence::query::Engine` instead"
+    )]
     pub fn enumerate_observations_toggled(
         &mut self,
         model: ModelSel,
         active_toggles: &[u32],
     ) -> Result<ObsSet, CheckError> {
+        self.query_enumerate(model, &[], active_toggles)
+            .map(|(obs, _)| obs)
+    }
+
+    /// The [`QueryKind::Enumerate`](crate::query::QueryKind::Enumerate)
+    /// body: observations of all error-free executions under any model
+    /// of the universe, with the given candidate-fence sites and
+    /// mutation toggles active.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure errors only. Panics if the model is not part of
+    /// the session's universe.
+    pub(crate) fn query_enumerate(
+        &mut self,
+        model: ModelSel,
+        active_sites: &[u32],
+        active_toggles: &[u32],
+    ) -> Result<(ObsSet, PhaseStats), CheckError> {
+        let t0 = Instant::now();
         let mut stats = PhaseStats::default();
         self.stats.queries += 1;
-        self.with_bounds(
+        let obs = self.with_bounds(
             model,
-            &[],
+            active_sites,
             active_toggles,
             &mut stats,
             |_sx, enc, asm, stats| {
                 let vectors = Self::enumerate_gated(enc, asm, stats)?;
                 Ok(Round::Bounded(ObsSet { vectors }))
             },
-        )
+        )?;
+        stats.total_time = t0.elapsed();
+        Ok((obs, stats))
     }
 
     /// Enumerates error-free observations under the given assumptions by
@@ -417,12 +475,16 @@ impl<'h> CheckSession<'h> {
     /// Infrastructure errors only; verification failures are reported as
     /// [`CheckOutcome::Fail`]. Panics if `mode` is not in the session's
     /// mode set.
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Query::check_inclusion(..).on(mode)` on a `checkfence::query::Engine` instead"
+    )]
     pub fn check_inclusion(
         &mut self,
         mode: Mode,
         spec: &ObsSet,
     ) -> Result<InclusionResult, CheckError> {
-        self.check_inclusion_with_fences(mode, spec, &[])
+        self.query_inclusion(ModelSel::Builtin(mode), spec, &[], &[])
     }
 
     /// Like [`CheckSession::check_inclusion`], with exactly the candidate
@@ -433,13 +495,18 @@ impl<'h> CheckSession<'h> {
     ///
     /// Infrastructure errors only. Panics if `mode` is not in the
     /// session's mode set.
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Query::check_inclusion(..).on(mode).with_fences(sites)` on a \
+                `checkfence::query::Engine` instead"
+    )]
     pub fn check_inclusion_with_fences(
         &mut self,
         mode: Mode,
         spec: &ObsSet,
         active_sites: &[u32],
     ) -> Result<InclusionResult, CheckError> {
-        self.check_inclusion_model_with_fences(ModelSel::Builtin(mode), spec, active_sites)
+        self.query_inclusion(ModelSel::Builtin(mode), spec, active_sites, &[])
     }
 
     /// [`CheckSession::check_inclusion`] for any encoded model — a
@@ -449,12 +516,17 @@ impl<'h> CheckSession<'h> {
     ///
     /// Infrastructure errors only. Panics if the model is not part of
     /// the session's universe.
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Query::check_inclusion(..).on_model(model)` on a \
+                `checkfence::query::Engine` instead"
+    )]
     pub fn check_inclusion_model(
         &mut self,
         model: ModelSel,
         spec: &ObsSet,
     ) -> Result<InclusionResult, CheckError> {
-        self.check_inclusion_model_with_fences(model, spec, &[])
+        self.query_inclusion(model, spec, &[], &[])
     }
 
     /// [`CheckSession::check_inclusion_with_fences`] for any encoded
@@ -466,13 +538,18 @@ impl<'h> CheckSession<'h> {
     ///
     /// Infrastructure errors only. Panics if the model is not part of
     /// the session's universe.
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Query::check_inclusion(..).on_model(model).with_fences(sites)` on a \
+                `checkfence::query::Engine` instead"
+    )]
     pub fn check_inclusion_model_with_fences(
         &mut self,
         model: ModelSel,
         spec: &ObsSet,
         active_sites: &[u32],
     ) -> Result<InclusionResult, CheckError> {
-        self.check_inclusion_query(model, spec, active_sites, &[])
+        self.query_inclusion(model, spec, active_sites, &[])
     }
 
     /// [`CheckSession::check_inclusion_model`] with exactly the mutation
@@ -484,18 +561,25 @@ impl<'h> CheckSession<'h> {
     ///
     /// Infrastructure errors only. Panics if the model is not part of
     /// the session's universe.
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Query::check_inclusion(..).on_model(model).with_toggles(sites)` on a \
+                `checkfence::query::Engine` instead"
+    )]
     pub fn check_inclusion_toggled(
         &mut self,
         model: ModelSel,
         spec: &ObsSet,
         active_toggles: &[u32],
     ) -> Result<InclusionResult, CheckError> {
-        self.check_inclusion_query(model, spec, &[], active_toggles)
+        self.query_inclusion(model, spec, &[], active_toggles)
     }
 
-    /// The shared inclusion-check body: candidate-fence sites and
+    /// The
+    /// [`QueryKind::CheckInclusion`](crate::query::QueryKind::CheckInclusion)
+    /// body, shared by every inclusion shim: candidate-fence sites and
     /// mutation toggles are both just assumption polarities.
-    fn check_inclusion_query(
+    pub(crate) fn query_inclusion(
         &mut self,
         model: ModelSel,
         spec: &ObsSet,
@@ -560,7 +644,26 @@ impl<'h> CheckSession<'h> {
     /// [`CheckError::SymExec`] if an operation lacks commit annotations;
     /// the usual infrastructure errors otherwise. Panics if `mode` is not
     /// in the session's mode set.
+    #[deprecated(
+        since = "0.2.0",
+        note = "run `Query::commit_method(..).on(mode)` on a `checkfence::query::Engine` instead"
+    )]
     pub fn check_commit_method(
+        &mut self,
+        mode: Mode,
+        ty: AbstractType,
+    ) -> Result<InclusionResult, CheckError> {
+        self.query_commit(mode, ty)
+    }
+
+    /// The
+    /// [`QueryKind::CommitMethod`](crate::query::QueryKind::CommitMethod)
+    /// body.
+    ///
+    /// # Errors
+    ///
+    /// As the deprecated [`CheckSession::check_commit_method`] shim.
+    pub(crate) fn query_commit(
         &mut self,
         mode: Mode,
         ty: AbstractType,

@@ -5,7 +5,8 @@
 use cf_lsl::Value;
 use cf_memmodel::Mode;
 use checkfence::{
-    CheckError, CheckOutcome, Checker, FailureKind, Harness, ObsSet, OpSig, OrderEncoding, TestSpec,
+    mine_reference, CheckError, CheckOutcome, Engine, EngineConfig, FailureKind, Harness, ObsSet,
+    OpSig, OrderEncoding, Query, TestSpec,
 };
 
 fn harness(
@@ -46,9 +47,13 @@ fn register_harness() -> Harness {
 
 fn check(h: &Harness, test: &str, mode: Mode) -> CheckOutcome {
     let t = TestSpec::parse("t", test).expect("parses");
-    let c = Checker::new(h, &t).with_memory_model(mode);
-    let spec = c.mine_spec_reference().expect("mines").spec;
-    c.check_inclusion(&spec).expect("checks").outcome
+    let spec = mine_reference(h, &t).expect("mines").spec;
+    Query::check_inclusion(h, &t, spec)
+        .on(mode)
+        .run()
+        .expect("checks")
+        .into_outcome()
+        .expect("outcome")
 }
 
 #[test]
@@ -181,8 +186,7 @@ fn store_buffering_needs_store_load_fence() {
     };
     let t = TestSpec::parse("t", "( l | r )").expect("parses");
     let h = mk(false);
-    let c = Checker::new(&h, &t);
-    let mut spec = c.mine_spec_reference().expect("mines").spec;
+    let mut spec = mine_reference(&h, &t).expect("mines").spec;
     assert_eq!(
         spec.vectors,
         [
@@ -195,20 +199,30 @@ fn store_buffering_needs_store_load_fence() {
     );
     spec.vectors.insert(vec![Value::Int(1), Value::Int(1)]); // SC overlap
                                                              // SC with the extended spec: only (0,1), (1,0), (1,1) — passes.
-    let c = Checker::new(&h, &t).with_memory_model(Mode::Sc);
-    assert!(c.check_inclusion(&spec).expect("checks").outcome.passed());
+    let hf = mk(true);
+    let mut engine = Engine::new(EngineConfig::default());
+    let v = engine
+        .run(&Query::check_inclusion(&h, &t, spec.clone()).on(Mode::Sc))
+        .expect("checks");
+    assert!(v.passed());
     // Relaxed: store buffering yields (0,0).
-    let c = Checker::new(&h, &t).with_memory_model(Mode::Relaxed);
-    match c.check_inclusion(&spec).expect("checks").outcome {
+    let v = engine
+        .run(&Query::check_inclusion(&h, &t, spec.clone()).on(Mode::Relaxed))
+        .expect("checks");
+    match v.into_outcome().expect("outcome") {
         CheckOutcome::Fail(cx) => {
             assert_eq!(cx.obs, vec![Value::Int(0), Value::Int(0)], "trace:\n{cx}");
         }
         CheckOutcome::Pass => panic!("expected store-buffering failure"),
     }
     // Store-load fences restore the SC behaviour.
-    let hf = mk(true);
-    let c = Checker::new(&hf, &t).with_memory_model(Mode::Relaxed);
-    assert!(c.check_inclusion(&spec).expect("checks").outcome.passed());
+    let v = engine
+        .run(&Query::check_inclusion(&hf, &t, spec.clone()).on(Mode::Relaxed))
+        .expect("checks");
+    assert!(v.passed());
+    // One pooled session per harness answered both of `h`'s models.
+    assert_eq!(engine.stats().sessions, 2);
+    assert_eq!(engine.stats().queries, 3);
 }
 
 #[test]
@@ -216,9 +230,12 @@ fn sat_mining_agrees_with_reference_mining() {
     let h = register_harness();
     for test in ["( s | g )", "( ss | g )", "s ( s | gg )"] {
         let t = TestSpec::parse("t", test).expect("parses");
-        let c = Checker::new(&h, &t);
-        let sat = c.mine_spec().expect("sat mining").spec;
-        let reference = c.mine_spec_reference().expect("ref mining").spec;
+        let sat = Query::mine(&h, &t)
+            .run()
+            .expect("sat mining")
+            .into_observations()
+            .expect("observations");
+        let reference = mine_reference(&h, &t).expect("ref mining").spec;
         assert_eq!(sat, reference, "mining disagreement on {test}");
     }
 }
@@ -227,9 +244,12 @@ fn sat_mining_agrees_with_reference_mining() {
 fn sat_mining_agrees_on_message_passing() {
     let h = mp_harness(false);
     let t = TestSpec::parse("t", "( p | cc )").expect("parses");
-    let c = Checker::new(&h, &t);
-    let sat = c.mine_spec().expect("sat mining").spec;
-    let reference = c.mine_spec_reference().expect("ref mining").spec;
+    let sat = Query::mine(&h, &t)
+        .run()
+        .expect("sat mining")
+        .into_observations()
+        .expect("observations");
+    let reference = mine_reference(&h, &t).expect("ref mining").spec;
     assert_eq!(sat, reference);
 }
 
@@ -237,18 +257,20 @@ fn sat_mining_agrees_on_message_passing() {
 fn order_encodings_agree() {
     let h = register_harness();
     let fail_test = TestSpec::parse("t", "( s | gg )").expect("parses");
+    let spec = mine_reference(&h, &fail_test).expect("mines").spec;
     for enc in [OrderEncoding::Pairwise, OrderEncoding::Timestamp] {
-        let c = Checker::new(&h, &fail_test)
-            .with_memory_model(Mode::Relaxed)
-            .with_order_encoding(enc);
-        let spec = c.mine_spec_reference().expect("mines").spec;
-        let out = c.check_inclusion(&spec).expect("checks").outcome;
-        assert!(!out.passed(), "{} should find CoRR", enc.name());
-        let c = Checker::new(&h, &fail_test)
-            .with_memory_model(Mode::Sc)
-            .with_order_encoding(enc);
-        let out = c.check_inclusion(&spec).expect("checks").outcome;
-        assert!(out.passed(), "{} SC should pass", enc.name());
+        let mut config = EngineConfig::default();
+        config.check.order_encoding = enc;
+        let mut engine = Engine::new(config);
+        let relaxed = engine
+            .run(&Query::check_inclusion(&h, &fail_test, spec.clone()).on(Mode::Relaxed))
+            .expect("checks");
+        assert!(!relaxed.passed(), "{} should find CoRR", enc.name());
+        let sc = engine
+            .run(&Query::check_inclusion(&h, &fail_test, spec.clone()).on(Mode::Sc))
+            .expect("checks");
+        assert!(sc.passed(), "{} SC should pass", enc.name());
+        assert_eq!(engine.stats().encodes, 1, "{}: one encoding", enc.name());
     }
 }
 
@@ -256,15 +278,18 @@ fn order_encodings_agree() {
 fn range_analysis_off_is_still_sound() {
     let h = register_harness();
     let t = TestSpec::parse("t", "( s | gg )").expect("parses");
-    let c = Checker::new(&h, &t)
-        .with_memory_model(Mode::Relaxed)
-        .with_range_analysis(false);
-    let spec = c.mine_spec_reference().expect("mines").spec;
-    assert!(!c.check_inclusion(&spec).expect("checks").outcome.passed());
-    let c = Checker::new(&h, &t)
-        .with_memory_model(Mode::Sc)
-        .with_range_analysis(false);
-    assert!(c.check_inclusion(&spec).expect("checks").outcome.passed());
+    let spec = mine_reference(&h, &t).expect("mines").spec;
+    let mut config = EngineConfig::default();
+    config.check.range_analysis = false;
+    let mut engine = Engine::new(config);
+    let relaxed = engine
+        .run(&Query::check_inclusion(&h, &t, spec.clone()).on(Mode::Relaxed))
+        .expect("checks");
+    assert!(!relaxed.passed());
+    let sc = engine
+        .run(&Query::check_inclusion(&h, &t, spec).on(Mode::Sc))
+        .expect("checks");
+    assert!(sc.passed());
 }
 
 #[test]
@@ -341,12 +366,11 @@ fn assert_failures_are_runtime_errors() {
     );
     // Serially, set(1) before check makes the assert fail: a serial bug.
     let t = TestSpec::parse("t", "( s | c )").expect("parses");
-    let c = Checker::new(&h, &t);
-    match c.mine_spec_reference() {
+    match mine_reference(&h, &t) {
         Err(CheckError::SerialBug(_)) => {}
         other => panic!("expected serial bug, got {other:?}"),
     }
-    match c.mine_spec() {
+    match Query::mine(&h, &t).run() {
         Err(CheckError::SerialBug(cx)) => {
             assert_eq!(cx.kind, FailureKind::SerialError);
         }
@@ -377,8 +401,7 @@ fn uninitialized_heap_read_is_detected() {
         &[('m', "make_op", 0, false), ('p', "probe_op", 0, true)],
     );
     let t = TestSpec::parse("t", "( m | p )").expect("parses");
-    let c = Checker::new(&h, &t);
-    match c.mine_spec_reference() {
+    match mine_reference(&h, &t) {
         Err(CheckError::SerialBug(cx)) => {
             assert!(
                 cx.errors.iter().any(|e| e.contains("undefined")),
@@ -404,8 +427,7 @@ fn init_sequence_values_flow_to_threads() {
         &[('s', "seed_op", 1, false), ('g', "get_op", 0, true)],
     );
     let t = TestSpec::parse("t", "s ( g | g )").expect("parses");
-    let c = Checker::new(&h, &t).with_memory_model(Mode::Relaxed);
-    let mined = c.mine_spec_reference().expect("mines");
+    let mined = mine_reference(&h, &t).expect("mines");
     // obs = (arg, ret1, ret2); both reads see arg+1.
     for o in &mined.spec.vectors {
         assert_eq!(o.len(), 3);
@@ -416,10 +438,10 @@ fn init_sequence_values_flow_to_threads() {
         assert_eq!(o[1], expect);
         assert_eq!(o[2], expect);
     }
-    assert!(c
-        .check_inclusion(&mined.spec)
+    assert!(Query::check_inclusion(&h, &t, mined.spec)
+        .on(Mode::Relaxed)
+        .run()
         .expect("checks")
-        .outcome
         .passed());
 }
 
@@ -427,9 +449,11 @@ fn init_sequence_values_flow_to_threads() {
 fn empty_spec_makes_everything_fail() {
     let h = register_harness();
     let t = TestSpec::parse("t", "( s | g )").expect("parses");
-    let c = Checker::new(&h, &t);
     let empty = ObsSet::default();
-    assert!(!c.check_inclusion(&empty).expect("checks").outcome.passed());
+    assert!(!Query::check_inclusion(&h, &t, empty)
+        .run()
+        .expect("checks")
+        .passed());
 }
 
 fn cas_counter(fenced: bool) -> Harness {
@@ -481,9 +505,8 @@ fn unfenced_cas_retry_livelocks_on_relaxed() {
         "SC retries are bounded"
     );
     let t = TestSpec::parse("t", "( i | i )").expect("parses");
-    let c = Checker::new(&h, &t).with_memory_model(Mode::Relaxed);
-    let spec = c.mine_spec_reference().expect("mines").spec;
-    match c.check_inclusion(&spec) {
+    let spec = mine_reference(&h, &t).expect("mines").spec;
+    match Query::check_inclusion(&h, &t, spec).on(Mode::Relaxed).run() {
         Err(CheckError::BoundsDiverged { .. }) => {}
         other => panic!("expected bound divergence, got {other:?}"),
     }

@@ -15,7 +15,7 @@ fn main() {
 
     for name in subjects() {
         let outcome =
-            run_ablation(name, &[user_spec.clone()], Oracle::Session).expect("ablation runs");
+            run_ablation(name, &[user_spec.clone()], Oracle::Session, 1).expect("ablation runs");
         for report in &outcome.reports {
             println!("{}", report.table());
             // Retry loops in treiber/ms2 are spin-reduced, so no mutant

@@ -21,8 +21,7 @@ fn lazylist_bug() {
     println!("=== lazylist: missing `marked` initialization (paper §4.1) ===");
     let buggy = cf_algos::lazylist::harness(cf_algos::lazylist::Build::Buggy);
     let test = cf_algos::tests::by_name("Sac").expect("catalog");
-    let checker = Checker::new(&buggy, &test);
-    match checker.mine_spec() {
+    match Query::mine(&buggy, &test).run() {
         Err(CheckError::SerialBug(cx)) => {
             println!("serial bug found while mining the specification:");
             print!("{cx}");
@@ -31,15 +30,14 @@ fn lazylist_bug() {
     }
     // The fixed build has a clean specification.
     let fixed = cf_algos::lazylist::harness(cf_algos::lazylist::Build::Fixed);
-    let checker = Checker::new(&fixed, &test).with_memory_model(Mode::Relaxed);
-    let spec = checker.mine_spec_reference().expect("fixed mines").spec;
-    let outcome = checker
-        .check_inclusion(&spec)
-        .expect("fixed checks")
-        .outcome;
+    let spec = mine_reference(&fixed, &test).expect("fixed mines").spec;
+    let verdict = Query::check_inclusion(&fixed, &test, spec)
+        .on(Mode::Relaxed)
+        .run()
+        .expect("fixed checks");
     println!(
         "fixed build on Relaxed: {}\n",
-        if outcome.passed() { "PASS" } else { "FAIL" }
+        if verdict.passed() { "PASS" } else { "FAIL" }
     );
 }
 
@@ -49,9 +47,12 @@ fn snark_bug() {
         cf_algos::snark::harness(cf_algos::snark::Build::Original, cf_algos::Variant::Fenced);
     let test = cf_algos::tests::by_name("Da").expect("catalog");
     println!("test Da: {test}");
-    let checker = Checker::new(&original, &test).with_memory_model(Mode::Sc);
-    let spec = checker.mine_spec_reference().expect("mines").spec;
-    match checker.check_inclusion(&spec).expect("checks").outcome {
+    let spec = mine_reference(&original, &test).expect("mines").spec;
+    let verdict = Query::check_inclusion(&original, &test, spec.clone())
+        .on(Mode::Sc)
+        .run()
+        .expect("checks");
+    match verdict.outcome().expect("outcome") {
         CheckOutcome::Fail(cx) => {
             println!("double pop found (under sequential consistency!):");
             print!("{cx}");
@@ -59,10 +60,12 @@ fn snark_bug() {
         CheckOutcome::Pass => println!("unexpected pass"),
     }
     let fixed = cf_algos::snark::harness(cf_algos::snark::Build::Fixed, cf_algos::Variant::Fenced);
-    let checker = Checker::new(&fixed, &test).with_memory_model(Mode::Sc);
-    let outcome = checker.check_inclusion(&spec).expect("checks").outcome;
+    let verdict = Query::check_inclusion(&fixed, &test, spec)
+        .on(Mode::Sc)
+        .run()
+        .expect("checks");
     println!(
         "fixed build on SC: {}",
-        if outcome.passed() { "PASS" } else { "FAIL" }
+        if verdict.passed() { "PASS" } else { "FAIL" }
     );
 }

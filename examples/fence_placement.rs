@@ -18,16 +18,21 @@ fn main() {
         .map(|n| cf_algos::tests::by_name(n).expect("catalog"))
         .collect();
 
-    // Sufficiency.
+    // Sufficiency: one engine batch over the three tests.
     println!("sufficiency of the Fig. 9 fences on Relaxed:");
-    for t in &tests {
-        let checker = Checker::new(&harness, t).with_memory_model(Mode::Relaxed);
-        let spec = checker.mine_spec_reference().expect("mines").spec;
-        let outcome = checker.check_inclusion(&spec).expect("checks").outcome;
+    let mut engine = Engine::new(EngineConfig::single(Mode::Relaxed));
+    let queries: Vec<Query> = tests
+        .iter()
+        .map(|t| {
+            let spec = mine_reference(&harness, t).expect("mines").spec;
+            Query::check_inclusion(&harness, t, spec).on(Mode::Relaxed)
+        })
+        .collect();
+    for (t, verdict) in tests.iter().zip(engine.run_batch(&queries)) {
         println!(
             "  {:<5} {}",
             t.name,
-            if outcome.passed() {
+            if verdict.expect("checks").passed() {
                 "PASS"
             } else {
                 "FAIL (unexpected)"

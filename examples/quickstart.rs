@@ -15,36 +15,46 @@ fn main() {
 
     // 2. Mine the specification: the observations of all serial
     //    executions (here via the fast reference-interpreter path).
-    let checker = Checker::new(&harness, &test).with_memory_model(Mode::Relaxed);
-    let mining = checker.mine_spec_reference().expect("mining succeeds");
+    let mining = mine_reference(&harness, &test).expect("mining succeeds");
     println!(
         "specification: {} serializable observations",
         mining.spec.len()
     );
 
     // 3. Check that every concurrent execution on Relaxed observes one
-    //    of them.
-    let result = checker.check_inclusion(&mining.spec).expect("check runs");
-    match result.outcome {
+    //    of them: describe the question as a `Query` and let the engine
+    //    pool the session.
+    let mut engine = Engine::new(EngineConfig::default());
+    let verdict = engine
+        .run(&Query::check_inclusion(&harness, &test, mining.spec.clone()).on(Mode::Relaxed))
+        .expect("check runs");
+    match verdict.outcome().expect("check outcome") {
         CheckOutcome::Pass => println!(
             "PASS: all Relaxed executions are serializable \
              ({} SAT vars, {} clauses, {:.3}s)",
-            result.stats.sat_vars,
-            result.stats.sat_clauses,
-            result.stats.total_time.as_secs_f64()
+            verdict.phase.sat_vars,
+            verdict.phase.sat_clauses,
+            verdict.phase.total_time.as_secs_f64()
         ),
         CheckOutcome::Fail(cx) => println!("FAIL:\n{cx}"),
     }
 
     // 4. The same check without the fences fails — that is the paper's
-    //    §4.2 result.
+    //    §4.2 result. The engine pools a second session for the
+    //    unfenced build; the fenced one stays live.
     let unfenced = cf_algos::msn::harness(cf_algos::Variant::Unfenced);
-    let checker = Checker::new(&unfenced, &test).with_memory_model(Mode::Relaxed);
-    let result = checker.check_inclusion(&mining.spec).expect("check runs");
-    match result.outcome {
+    let verdict = engine
+        .run(&Query::check_inclusion(&unfenced, &test, mining.spec).on(Mode::Relaxed))
+        .expect("check runs");
+    match verdict.outcome().expect("check outcome") {
         CheckOutcome::Pass => println!("unfenced: unexpectedly passed!"),
         CheckOutcome::Fail(cx) => {
             println!("\nunfenced build fails as expected; counterexample:\n{cx}");
         }
     }
+    println!(
+        "\n(engine pooled {} sessions for {} queries)",
+        engine.stats().sessions,
+        engine.stats().queries
+    );
 }

@@ -1,11 +1,11 @@
 //! Declarative memory models end to end: the bundled `.cfm` specs
 //! versus their built-in enum twins on the litmus matrix, plus a custom
-//! user-written model checked through an incremental session.
+//! user-written model checked through the query engine.
 //!
 //! Run with `cargo run --release --example spec_models`.
 
 use checkfence_repro::core::{
-    CheckConfig, CheckSession, Harness, ModelSel, OpSig, SessionConfig, TestSpec,
+    mine_reference, CheckConfig, Engine, EngineConfig, Harness, ModelSel, OpSig, Query, TestSpec,
 };
 use checkfence_repro::memmodel::{litmus, Mode, ModeSet};
 use checkfence_repro::spec::{bundled, compile, interp};
@@ -89,31 +89,29 @@ fn main() {
     };
     let test = TestSpec::parse("pg", "( p | g )").expect("parses");
     let config =
-        SessionConfig::from_check_config(&CheckConfig::default(), ModeSet::single(Mode::Tso))
+        EngineConfig::from_check_config(&CheckConfig::default(), ModeSet::single(Mode::Tso))
             .with_specs(vec![custom]);
-    let mut session = CheckSession::with_config(&harness, &test, config);
-    let obs = session.mine_spec_reference().expect("mines").spec;
+    let mut engine = Engine::new(config);
+    let obs = mine_reference(&harness, &test).expect("mines").spec;
 
     println!("\nmailbox (no writer fence) on one shared encoding:");
-    let tso = session
-        .check_inclusion(Mode::Tso, &obs)
-        .expect("checks")
-        .outcome;
+    let tso = engine
+        .run(&Query::check_inclusion(&harness, &test, obs.clone()).on(Mode::Tso))
+        .expect("checks");
     println!("  tso             : {}", verdict(tso.passed()));
-    let custom_outcome = session
-        .check_inclusion_model(ModelSel::Spec(0), &obs)
-        .expect("checks")
-        .outcome;
-    println!("  no_store_order  : {}", verdict(custom_outcome.passed()));
-    assert!(tso.passed() && !custom_outcome.passed());
-    if let checkfence_repro::core::CheckOutcome::Fail(cx) = &custom_outcome {
+    let custom_verdict = engine
+        .run(&Query::check_inclusion(&harness, &test, obs).on_model(ModelSel::Spec(0)))
+        .expect("checks");
+    println!("  no_store_order  : {}", verdict(custom_verdict.passed()));
+    assert!(tso.passed() && !custom_verdict.passed());
+    if let Some(cx) = custom_verdict.counterexample() {
         println!("\n  counterexample on `{}`:", cx.model);
         println!("    observation {:?}", cx.obs);
     }
-    assert_eq!(session.stats().encodes, 1, "both models share one encoding");
+    assert_eq!(engine.stats().encodes, 1, "both models share one encoding");
     println!(
         "\n(1 symbolic execution, 1 encoding, {} queries)",
-        session.stats().queries
+        engine.stats().queries
     );
 }
 

@@ -11,12 +11,16 @@
 use cf_algos::{lamport, tests, Variant};
 use cf_memmodel::Mode;
 use checkfence::infer::{infer, InferConfig};
-use checkfence::{CheckOutcome, Checker, Harness, TestSpec};
+use checkfence::{mine_reference, CheckOutcome, Harness, Query, TestSpec};
 
 fn check(h: &Harness, test: &TestSpec, mode: Mode) -> CheckOutcome {
-    let c = Checker::new(h, test).with_memory_model(mode);
-    let spec = c.mine_spec_reference().expect("mines").spec;
-    c.check_inclusion(&spec).expect("checks").outcome
+    let spec = mine_reference(h, test).expect("mines").spec;
+    Query::check_inclusion(h, test, spec)
+        .on(mode)
+        .run()
+        .expect("checks")
+        .into_outcome()
+        .expect("outcome")
 }
 
 fn sweep(name: &str, h: &Harness, test: &TestSpec) {

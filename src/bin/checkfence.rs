@@ -29,8 +29,12 @@
 //!                               hardware models (plus the --model spec,
 //!                               if one is given) from one incremental
 //!                               encoding per test
-//!   --jobs N                    check tests on N worker threads (one
-//!                               incremental session per test)  [1]
+//!   --jobs N                    run checks on N engine workers; shards
+//!                               tests, and with --ablate the mutant ×
+//!                               model matrix itself  [1]
+//!   --stats                     print a per-query solver-statistics
+//!                               table (solves, conflicts, restarts,
+//!                               assumed literals, wall time)
 //!   --trace                     print full counterexample traces
 //!   -h, --help                  this text
 //!
@@ -50,11 +54,14 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use cf_memmodel::Mode;
+use cf_memmodel::{Mode, ModeSet};
 use cf_spec::ModelSpec;
 use checkfence::commit::AbstractType;
 use checkfence::infer::{infer, InferConfig};
-use checkfence::{CheckOutcome, Checker, Harness, ObsSet, OpSig, OrderEncoding, TestSpec};
+use checkfence::{
+    mine_reference, CheckOutcome, Engine, EngineConfig, Harness, ModelSel, ObsSet, OpSig,
+    OrderEncoding, Query, QueryStats, TestSpec,
+};
 
 /// The model axis of a run: a built-in mode or a user `.cfm` spec.
 #[derive(Clone)]
@@ -86,6 +93,7 @@ struct Options {
     run_ablate: bool,
     infer_procs: Option<Vec<String>>,
     jobs: usize,
+    stats: bool,
     trace: bool,
 }
 
@@ -111,7 +119,10 @@ fn usage() -> &'static str {
      \x20 --infer                    infer a minimal fence placement\n\
      \x20 --infer-procs A,B          restrict inference candidates\n\
      \x20 --ablate                   run a mutant matrix (Fig. 11 ablations)\n\
-     \x20 --jobs N                   check tests on N worker threads [1]\n\
+     \x20 --jobs N                   run checks on N engine workers [1]\n\
+     \x20                            (shards tests, and with --ablate the\n\
+     \x20                            mutant x model matrix itself)\n\
+     \x20 --stats                    print a per-query solver-stats table\n\
      \x20 --trace                    print full counterexample traces\n\
      \x20 -h, --help                 this text"
 }
@@ -181,6 +192,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         run_ablate: false,
         infer_procs: None,
         jobs: 1,
+        stats: false,
         trace: false,
     };
     let mut it = args.iter();
@@ -247,6 +259,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--jobs `{v}`: expected a positive integer"))?;
             }
+            "--stats" => opts.stats = true,
             "--trace" => opts.trace = true,
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             other => {
@@ -286,7 +299,8 @@ fn build_harness(opts: &Options) -> Result<Harness, String> {
 }
 
 fn mined_spec(
-    checker: &Checker<'_>,
+    harness: &Harness,
+    test: &TestSpec,
     cache: Option<&PathBuf>,
 ) -> Result<(ObsSet, &'static str), String> {
     if let Some(path) = cache {
@@ -297,8 +311,7 @@ fn mined_spec(
             return Ok((spec, "cached"));
         }
     }
-    let spec = checker
-        .mine_spec_reference()
+    let spec = mine_reference(harness, test)
         .map_err(|e| format!("mining failed: {e}"))?
         .spec;
     if let Some(path) = cache {
@@ -326,8 +339,8 @@ fn run() -> Result<bool, String> {
         if !matches!(opts.method, Method::Observation) {
             return Err("--ablate uses the observation method; drop --method".into());
         }
-        if opts.spec_cache.is_some() || opts.jobs > 1 {
-            return Err("--ablate does not support --spec-cache or --jobs".into());
+        if opts.spec_cache.is_some() {
+            return Err("--ablate does not support --spec-cache".into());
         }
         return run_ablate(&opts, &harness, &tests);
     }
@@ -355,41 +368,151 @@ fn run() -> Result<bool, String> {
         return Ok(true);
     }
 
-    let mut all_passed = true;
-    // --spec-cache implies exactly one test (enforced in parse_args), but
-    // gate explicitly: the cache file's exists/read/write sequence is not
-    // safe across concurrent workers.
-    if opts.jobs <= 1 || tests.len() <= 1 || opts.spec_cache.is_some() {
-        for test in &tests {
-            let (out, passed) = run_one_test(&opts, &harness, test)?;
-            print!("{out}");
-            all_passed &= passed;
+    // Check / mine mode: mine every test's specification up front
+    // (reference interpreter, optionally cached) — only where the spec
+    // is actually consumed, i.e. not for the commit-point method — then
+    // answer the whole battery as one engine batch, sharded across
+    // --jobs workers.
+    if matches!(opts.method, Method::Commit(_)) && matches!(opts.model, ModelArg::Spec(_)) {
+        return Err("--method commit-* requires a built-in --model".into());
+    }
+    let needs_spec = opts.mine_only || matches!(opts.method, Method::Observation);
+    let specs: Vec<Option<(ObsSet, &'static str)>> = if needs_spec {
+        // Mining fans out across --jobs workers too (reference-
+        // interpreter enumeration can dominate; the cache path is safe
+        // because --spec-cache implies exactly one test).
+        cf_bench::parallel::run_indexed(opts.jobs, tests.len(), |i| {
+            mined_spec(&harness, &tests[i], opts.spec_cache.as_ref())
+        })
+        .into_iter()
+        .map(|r| r.map(Some))
+        .collect::<Result<_, _>>()?
+    } else {
+        tests.iter().map(|_| None).collect()
+    };
+
+    if opts.mine_only {
+        for (test, mined) in tests.iter().zip(&specs) {
+            let (spec, how) = mined.as_ref().expect("mined above");
+            println!("# {} — {} observations ({how})", test.name, spec.len());
+            print!("{}", spec.to_text());
         }
-        return Ok(all_passed);
+        return Ok(true);
     }
 
-    // Parallel fan-out: one worker thread per job, one checking session
-    // per test, outputs reassembled in test order.
-    let reports = cf_bench::parallel::run_indexed(opts.jobs, tests.len(), |i| {
-        run_one_test(&opts, &harness, &tests[i])
-    });
-    for r in reports {
-        let (out, passed) = r?;
-        print!("{out}");
-        all_passed &= passed;
+    let engine_config = match &opts.model {
+        ModelArg::Builtin(mode) => {
+            let mut c = EngineConfig::single(*mode);
+            c.check.order_encoding = opts.encoding;
+            c
+        }
+        ModelArg::Spec(spec) => {
+            let mut c = EngineConfig {
+                modes: ModeSet::empty(),
+                ..EngineConfig::default()
+            }
+            .with_specs(vec![spec.clone()]);
+            c.check.order_encoding = opts.encoding;
+            c
+        }
+    };
+    let sel = match &opts.model {
+        ModelArg::Builtin(mode) => ModelSel::Builtin(*mode),
+        ModelArg::Spec(_) => ModelSel::Spec(0),
+    };
+    let mut engine = Engine::new(engine_config.with_jobs(opts.jobs));
+    let queries: Vec<Query> = tests
+        .iter()
+        .zip(&specs)
+        .map(|(test, mined)| match &opts.method {
+            Method::Observation => {
+                let (spec, _) = mined.as_ref().expect("mined above");
+                Query::check_inclusion(&harness, test, spec.clone()).on_model(sel)
+            }
+            Method::Commit(ty) => Query::commit_method(&harness, test, *ty).on_model(sel),
+        })
+        .collect();
+
+    let mut all_passed = true;
+    let mut stats_rows: Vec<(String, QueryStats)> = Vec::new();
+    for ((test, mined), (query, verdict)) in tests
+        .iter()
+        .zip(&specs)
+        .zip(queries.iter().zip(engine.run_batch(&queries)))
+    {
+        let verdict = verdict.map_err(|e| format!("check failed: {e}"))?;
+        let label = match mined {
+            Some((spec, how)) => format!("spec {how}, {} observations", spec.len()),
+            None => "commit-point method".to_string(),
+        };
+        stats_rows.push((query.describe(), verdict.stats));
+        match verdict.into_outcome().expect("check outcome") {
+            CheckOutcome::Pass => {
+                println!("PASS {} on {} ({label})", test.name, opts.model.name());
+            }
+            CheckOutcome::Fail(cx) => {
+                all_passed = false;
+                println!("FAIL {} on {} ({label})", test.name, opts.model.name());
+                let text = format!("{cx}");
+                if opts.trace {
+                    for line in text.lines() {
+                        println!("  {line}");
+                    }
+                } else {
+                    if let Some(first) = text.lines().next() {
+                        println!("  {first}");
+                    }
+                    println!("  (re-run with --trace for the full counterexample)");
+                }
+            }
+        }
+    }
+    if opts.stats {
+        print!("{}", stats_table(&stats_rows));
     }
     Ok(all_passed)
 }
 
+/// Renders the `--stats` per-query attribution table.
+fn stats_table(rows: &[(String, QueryStats)]) -> String {
+    let mut out = String::new();
+    let w = rows
+        .iter()
+        .map(|(label, _)| label.len())
+        .chain(["query".len()])
+        .max()
+        .unwrap_or(8);
+    let _ = writeln!(
+        out,
+        "per-query stats:\n  {:<w$} {:>7} {:>10} {:>9} {:>9} {:>10}",
+        "query", "solves", "conflicts", "restarts", "assumed", "wall"
+    );
+    for (label, s) in rows {
+        let _ = writeln!(
+            out,
+            "  {label:<w$} {:>7} {:>10} {:>9} {:>9} {:>8.1}ms",
+            s.solves,
+            s.conflicts,
+            s.restarts,
+            s.assumed_literals,
+            s.wall.as_secs_f64() * 1e3,
+        );
+    }
+    out
+}
+
 /// The `--ablate` mode: plan statement mutations over the whole
 /// implementation, then answer the mutant × model matrix for each test
-/// from one incremental encoding. Succeeds when the *unmutated* build
-/// passes every model (mutant verdicts are the experiment's data, not a
-/// pass/fail criterion).
+/// from the engine — one incremental encoding per test at `--jobs 1`,
+/// the matrix sharded across worker sessions otherwise (identical
+/// tables either way). Succeeds when the *unmutated* build passes every
+/// model (mutant verdicts are the experiment's data, not a pass/fail
+/// criterion).
 fn run_ablate(opts: &Options, harness: &Harness, tests: &[TestSpec]) -> Result<bool, String> {
     use checkfence::mutate::{run_mutation_matrix, MatrixConfig, MutationConfig, MutationPlan};
     let mut config = MatrixConfig {
         modes: Mode::hardware().to_vec(),
+        jobs: opts.jobs,
         ..MatrixConfig::default()
     };
     config.check.order_encoding = opts.encoding;
@@ -405,74 +528,10 @@ fn run_ablate(opts: &Options, harness: &Harness, tests: &[TestSpec]) -> Result<b
         let report = run_mutation_matrix(harness, test, &plan, &config)
             .map_err(|e| format!("ablation failed: {e}"))?;
         print!("{}", report.table());
+        println!("  {}", report.summary());
         all_passed &= report.baseline.iter().all(|v| !v.caught());
     }
     Ok(all_passed)
-}
-
-/// One test's report text and verdict (or a usage/infrastructure error).
-type TestReport = Result<(String, bool), String>;
-
-/// Checks (or mines) one test, returning its report text and verdict.
-fn run_one_test(opts: &Options, harness: &Harness, test: &TestSpec) -> TestReport {
-    let mut out = String::new();
-    let mut checker = Checker::new(harness, test);
-    if let ModelArg::Builtin(mode) = &opts.model {
-        checker = checker.with_memory_model(*mode);
-    }
-    checker.config.order_encoding = opts.encoding;
-
-    if opts.mine_only {
-        let (spec, how) = mined_spec(&checker, opts.spec_cache.as_ref())?;
-        let _ = writeln!(out, "# {} — {} observations ({how})", test.name, spec.len());
-        out.push_str(&spec.to_text());
-        return Ok((out, true));
-    }
-
-    let (outcome, label) = match (&opts.method, &opts.model) {
-        (Method::Observation, model) => {
-            let (spec, how) = mined_spec(&checker, opts.spec_cache.as_ref())?;
-            let r = match model {
-                ModelArg::Builtin(_) => checker.check_inclusion(&spec),
-                ModelArg::Spec(m) => checker.check_inclusion_spec(m, &spec),
-            }
-            .map_err(|e| format!("check failed: {e}"))?;
-            (
-                r.outcome,
-                format!("spec {how}, {} observations", spec.len()),
-            )
-        }
-        (Method::Commit(_), ModelArg::Spec(_)) => {
-            return Err("--method commit-* requires a built-in --model".into());
-        }
-        (Method::Commit(ty), ModelArg::Builtin(_)) => {
-            let r = checker
-                .check_commit_method(*ty)
-                .map_err(|e| format!("check failed: {e}"))?;
-            (r.outcome, "commit-point method".to_string())
-        }
-    };
-    match outcome {
-        CheckOutcome::Pass => {
-            let _ = writeln!(out, "PASS {} on {} ({label})", test.name, opts.model.name());
-            Ok((out, true))
-        }
-        CheckOutcome::Fail(cx) => {
-            let _ = writeln!(out, "FAIL {} on {} ({label})", test.name, opts.model.name());
-            let text = format!("{cx}");
-            if opts.trace {
-                for line in text.lines() {
-                    let _ = writeln!(out, "  {line}");
-                }
-            } else {
-                if let Some(first) = text.lines().next() {
-                    let _ = writeln!(out, "  {first}");
-                }
-                let _ = writeln!(out, "  (re-run with --trace for the full counterexample)");
-            }
-            Ok((out, false))
-        }
-    }
 }
 
 fn main() -> ExitCode {

@@ -61,6 +61,8 @@ mod doc_examples {
     pub struct SpecLanguage;
     #[doc = include_str!("../docs/ablation.md")]
     pub struct Ablation;
+    #[doc = include_str!("../docs/query-api.md")]
+    pub struct QueryApi;
     #[doc = include_str!("../README.md")]
     pub struct Readme;
 }
@@ -73,7 +75,8 @@ pub mod prelude {
     pub use checkfence::commit::AbstractType;
     pub use checkfence::infer::{infer, InferConfig};
     pub use checkfence::{
-        CheckError, CheckOutcome, CheckSession, Checker, Counterexample, Harness, ModelSel, ObsSet,
-        OpSig, OrderEncoding, SessionConfig, TestSpec,
+        mine_reference, Answer, CheckError, CheckOutcome, CheckSession, Checker, Counterexample,
+        Engine, EngineConfig, Harness, ModelSel, ObsSet, OpSig, OrderEncoding, Query, QueryKind,
+        QueryStats, SessionConfig, TestSpec, Verdict,
     };
 }

@@ -101,6 +101,48 @@ fn commit_method_runs_from_the_cli() {
 }
 
 #[test]
+fn commit_method_does_not_mine_a_specification() {
+    // The commit-point method never consumes the mined observation set,
+    // so the CLI must not mine one: on an implementation whose *serial*
+    // executions already fail, the reported error has to come from the
+    // commit machinery (missing annotations here), not from mining.
+    let dir = std::env::temp_dir();
+    let src = dir.join("checkfence_cli_serial_bug.c");
+    std::fs::write(
+        &src,
+        r#"
+        int x;
+        void set_op(int v) { x = v; }
+        void check_op() { int v = x; assert(v == 0); }
+        "#,
+    )
+    .expect("writable temp dir");
+    let args = |cmd: &mut Command| -> Output {
+        run(cmd
+            .arg(&src)
+            .args(["--op", "s=set_op:arg", "--op", "c=check_op"])
+            .args(["--test", "T=( s | c )"])
+            .args(["--model", "sc"]))
+    };
+    // Observation method: mining finds the serial bug.
+    let out = args(&mut cli());
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("mining failed"),
+        "{out:?}"
+    );
+    // Commit method: no mining happens; the commit machinery reports
+    // its own (annotation) error instead.
+    let out = args(cli().args(["--method", "commit-queue"]));
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("mining failed") && stderr.contains("commit"),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn parallel_jobs_preserve_output_order_and_exit_code() {
     // Two tests on two workers: reports must come back in declaration
     // order, and the overall exit code must reflect the failing test.
@@ -217,6 +259,61 @@ fn ablate_prints_a_mutant_matrix() {
     for model in ["sc", "tso", "pso", "relaxed"] {
         assert!(stdout.contains(model), "missing {model} column: {stdout}");
     }
+}
+
+#[test]
+fn ablate_jobs_shard_the_matrix_without_changing_the_table() {
+    // The mutant × model matrix sharded across 4 engine workers must
+    // print bit-identical tables to the sequential run; only the
+    // summary line (sessions/encodes/timing) may differ.
+    let table_of = |jobs: &str| -> (Option<i32>, Vec<String>, String) {
+        let out = run(mailbox_args(&mut cli()).args(["--ablate", "--jobs", jobs]));
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        let table: Vec<String> = stdout
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("sessions "))
+            .map(str::to_string)
+            .collect();
+        (out.status.code(), table, stdout)
+    };
+    let (code1, table1, stdout1) = table_of("1");
+    let (code4, table4, stdout4) = table_of("4");
+    assert_eq!(code1, code4, "exit codes must agree");
+    assert_eq!(
+        table1, table4,
+        "mutant tables must be identical at --jobs 1 and --jobs 4:\n--- jobs 1 ---\n{stdout1}\n--- jobs 4 ---\n{stdout4}"
+    );
+    // The sequential run answers each test's matrix from one session.
+    assert!(stdout1.contains("sessions 1"), "{stdout1}");
+    assert!(stdout1.contains("encodes 1"), "{stdout1}");
+    // The sharded run reports one encoding per worker session.
+    assert!(stdout4.contains("sessions 4"), "{stdout4}");
+    assert!(stdout4.contains("encodes 4"), "{stdout4}");
+}
+
+#[test]
+fn stats_flag_prints_a_per_query_table() {
+    let out = run(mailbox_args(&mut cli()).args(["--model", "tso", "--stats"]));
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("per-query stats:"), "{stdout}");
+    for column in [
+        "query",
+        "solves",
+        "conflicts",
+        "restarts",
+        "assumed",
+        "wall",
+    ] {
+        assert!(stdout.contains(column), "missing column {column}: {stdout}");
+    }
+    assert!(
+        stdout.contains("check mailbox/PG@tso"),
+        "per-query label expected: {stdout}"
+    );
+    // Without the flag, no table.
+    let out = run(mailbox_args(&mut cli()).args(["--model", "tso"]));
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("per-query stats"));
 }
 
 #[test]

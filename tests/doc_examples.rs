@@ -144,6 +144,87 @@ fn json_blocks_are_shaped_like_the_bench_records() {
 }
 
 #[test]
+fn usage_text_and_argument_parser_agree_flag_for_flag() {
+    // The parser's match arms are the ground truth; every `--flag` arm
+    // in the binary source must appear in the usage text and vice
+    // versa, so `usage()` can neither advertise flags the parser
+    // rejects nor hide flags it accepts.
+    let source = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("src/bin/checkfence.rs"),
+    )
+    .expect("binary source readable");
+    let parser_body = source
+        .split("fn parse_args")
+        .nth(1)
+        .expect("parse_args exists");
+    let mut parser_flags = std::collections::BTreeSet::new();
+    for line in parser_body.lines().take_while(|l| !l.contains("fn ")) {
+        // Match arms look like `"--flag" =>` (possibly `"-h" | "--help" =>`).
+        if !line.contains("=>") {
+            continue;
+        }
+        for piece in line.split('"') {
+            if piece.starts_with("--") {
+                parser_flags.insert(piece.to_string());
+            }
+        }
+    }
+    assert!(
+        parser_flags.len() >= 10,
+        "flag extraction broke: {parser_flags:?}"
+    );
+
+    let usage = String::from_utf8(
+        std::process::Command::new(env!("CARGO_BIN_EXE_checkfence"))
+            .arg("--help")
+            .output()
+            .expect("binary runs")
+            .stdout,
+    )
+    .expect("utf8 usage");
+    let usage_flags: std::collections::BTreeSet<String> = usage
+        .split_whitespace()
+        .filter(|t| t.starts_with("--"))
+        .map(|t| t.trim_end_matches(',').to_string())
+        .collect();
+
+    for flag in &parser_flags {
+        assert!(
+            usage_flags.contains(flag),
+            "parser accepts `{flag}` but usage() does not document it"
+        );
+    }
+    for flag in &usage_flags {
+        assert!(
+            parser_flags.contains(flag),
+            "usage() documents `{flag}` but the parser rejects it"
+        );
+    }
+}
+
+#[test]
+fn ablate_accepts_the_jobs_flag() {
+    // `--jobs` composes with `--ablate` (the matrix shards across
+    // engine workers); the combination must not be a usage error.
+    // tests/cli.rs asserts the sharded table is identical — this
+    // cross-check only guards the flag grammar.
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("assets/mailbox.c");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_checkfence"))
+        .arg(src)
+        .args(["--op", "p=put:arg", "--op", "g=get:ret"])
+        .args(["--test", "PG=( p | g )"])
+        .args(["--ablate", "--jobs", "2"])
+        .output()
+        .expect("binary runs");
+    assert_ne!(
+        out.status.code(),
+        Some(2),
+        "--ablate --jobs must parse: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn documented_cli_flags_exist() {
     // Every `--flag` mentioned in console blocks must appear in the
     // binary's usage text (tests/cli.rs checks the flags work; this

@@ -12,7 +12,7 @@
 
 use cf_lsl::Value;
 use cf_memmodel::{Litmus, LitmusOp, Mode};
-use checkfence::{Checker, Harness, OpSig, OrderEncoding, TestSpec};
+use checkfence::{Harness, OpSig, OrderEncoding, TestSpec};
 
 /// One straight-line thread instruction.
 #[derive(Clone, Copy, Debug)]
@@ -188,9 +188,13 @@ fn sat_pipeline_matches_axiomatic_oracle() {
                 .into_iter()
                 .map(|regs| pack_outcome(&threads, &regs))
                 .collect();
-            let checker =
-                Checker::new(&harness, &test).with_order_encoding(OrderEncoding::Pairwise);
-            let sat = checker.enumerate_observations(mode).expect("enumerates");
+            let mut config = checkfence::EngineConfig::single(mode);
+            config.check.order_encoding = OrderEncoding::Pairwise;
+            let sat = checkfence::Engine::new(config)
+                .run(&checkfence::Query::enumerate(&harness, &test).on(mode))
+                .expect("enumerates")
+                .into_observations()
+                .expect("observations");
             assert_eq!(
                 sat.vectors, oracle,
                 "disagreement on {mode:?} for {threads:?}\nsource:\n{src}"

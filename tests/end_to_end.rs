@@ -3,7 +3,10 @@
 
 use cf_algos::{msn, refmodel, tests, Shape, Variant};
 use cf_memmodel::Mode;
-use checkfence::{commit::AbstractType, CheckOutcome, Checker, Harness, OpSig, TestSpec};
+use checkfence::{
+    commit::AbstractType, mine_reference, CheckOutcome, Engine, EngineConfig, Harness, OpSig,
+    Query, TestSpec,
+};
 
 #[test]
 fn full_pipeline_on_a_custom_data_type() {
@@ -55,48 +58,57 @@ fn full_pipeline_on_a_custom_data_type() {
     };
     let test = TestSpec::parse("mbox", "( p | tt )").expect("parses");
     let unfenced = mk(false);
-    let checker = Checker::new(&unfenced, &test).with_memory_model(Mode::Relaxed);
-    let spec = checker.mine_spec_reference().expect("mines").spec;
+    let fenced = mk(true);
+    let spec = mine_reference(&unfenced, &test).expect("mines").spec;
     assert!(spec.vectors.iter().all(|o| o.len() == 3));
-    let out = checker.check_inclusion(&spec).expect("checks").outcome;
+    let mut engine = Engine::new(EngineConfig::default());
+    let batch = [
+        Query::check_inclusion(&unfenced, &test, spec.clone()).on(Mode::Relaxed),
+        Query::check_inclusion(&unfenced, &test, spec.clone()).on(Mode::Sc),
+        Query::check_inclusion(&fenced, &test, spec).on(Mode::Relaxed),
+    ];
+    let verdicts: Vec<bool> = engine
+        .run_batch(&batch)
+        .into_iter()
+        .map(|v| v.expect("checks").passed())
+        .collect();
     assert!(
-        !out.passed(),
+        !verdicts[0],
         "without fences the take can read a stale slot after seeing full"
     );
     // The same build passes under SC, and the fenced build passes on
     // Relaxed (the in-op load-load fence also orders the two takes'
     // loads of `full`, so no CoRR either).
-    let checker = Checker::new(&unfenced, &test).with_memory_model(Mode::Sc);
-    assert!(checker
-        .check_inclusion(&spec)
-        .expect("checks")
-        .outcome
-        .passed());
-    let fenced = mk(true);
-    let checker = Checker::new(&fenced, &test).with_memory_model(Mode::Relaxed);
-    assert!(checker
-        .check_inclusion(&spec)
-        .expect("checks")
-        .outcome
-        .passed());
+    assert!(verdicts[1]);
+    assert!(verdicts[2]);
+    // Both builds' checks pooled one session each.
+    assert_eq!(engine.stats().sessions, 2);
 }
 
 #[test]
 fn commit_method_agrees_with_observation_method_on_sc() {
     let h = msn::harness(Variant::Fenced);
-    for tn in ["T0", "Ti2"] {
-        let t = tests::by_name(tn).expect("catalog");
-        let c = Checker::new(&h, &t).with_memory_model(Mode::Sc);
-        let spec = c.mine_spec_reference().expect("mines").spec;
-        let obs = c.check_inclusion(&spec).expect("checks").outcome.passed();
-        let commit = c
-            .check_commit_method(AbstractType::Queue)
-            .expect("commit method runs")
-            .outcome
+    let battery: Vec<TestSpec> = ["T0", "Ti2"]
+        .iter()
+        .map(|tn| tests::by_name(tn).expect("catalog"))
+        .collect();
+    let mut engine = Engine::new(EngineConfig::single(Mode::Sc));
+    for t in &battery {
+        let spec = mine_reference(&h, t).expect("mines").spec;
+        let obs = engine
+            .run(&Query::check_inclusion(&h, t, spec).on(Mode::Sc))
+            .expect("checks")
             .passed();
-        assert_eq!(obs, commit, "methods disagree on {tn}");
-        assert!(obs, "msn passes {tn} on SC");
+        let commit = engine
+            .run(&Query::commit_method(&h, t, AbstractType::Queue).on(Mode::Sc))
+            .expect("commit method runs")
+            .passed();
+        assert_eq!(obs, commit, "methods disagree on {}", t.name);
+        assert!(obs, "msn passes {} on SC", t.name);
     }
+    // Observation and commit queries per test share one pooled session.
+    assert_eq!(engine.stats().sessions, 2);
+    assert_eq!(engine.stats().queries, 4);
 }
 
 #[test]
@@ -128,9 +140,8 @@ fn commit_method_requires_annotations() {
         ],
     };
     let t = TestSpec::parse("T0", "( e | d )").expect("parses");
-    let c = Checker::new(&harness, &t);
-    let err = c
-        .check_commit_method(AbstractType::Queue)
+    let err = Query::commit_method(&harness, &t, AbstractType::Queue)
+        .run()
         .expect_err("missing annotations");
     assert!(err.to_string().contains("commit-point annotation"), "{err}");
 }
@@ -157,9 +168,12 @@ fn counterexamples_have_coherent_traces() {
     // claimed inconsistency.
     let h = msn::harness(Variant::Unfenced);
     let t = tests::by_name("T0").expect("catalog");
-    let c = Checker::new(&h, &t).with_memory_model(Mode::Relaxed);
-    let spec = c.mine_spec_reference().expect("mines").spec;
-    match c.check_inclusion(&spec).expect("checks").outcome {
+    let spec = mine_reference(&h, &t).expect("mines").spec;
+    let verdict = Query::check_inclusion(&h, &t, spec.clone())
+        .on(Mode::Relaxed)
+        .run()
+        .expect("checks");
+    match verdict.into_outcome().expect("outcome") {
         CheckOutcome::Fail(cx) => {
             assert!(
                 !spec.contains(&cx.obs),
