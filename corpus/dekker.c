@@ -1,0 +1,83 @@
+// Dekker-style mutual exclusion (the flags-only handshake) guarding a
+// shared counter. Each side raises its flag, waits for the other
+// side's flag to drop, and only then enters the critical section; the
+// contended both-flags-raised executions are pruned by the spin-exit
+// assumption, which leaves exactly the paper-relevant question: do the
+// *uncontended* paths still exclude each other under reordering?
+//
+// The store-load fence after the flag raise is the classic Dekker
+// obligation — without it both threads read the other flag as 0 from
+// their own store buffers, both enter, and both return the same
+// counter value (a lost update no serial execution produces). The
+// `*_raw_op` twins drop all fences, so they fail from TSO on down —
+// the only scenario in this corpus that TSO itself catches.
+//
+// cf: name dekker
+// cf: op l = left_op:ret
+// cf: op r = right_op:ret
+// cf: op L = left_raw_op:ret
+// cf: op R = right_raw_op:ret
+// cf: test D0 = ( l | r )
+// cf: test Draw = ( L | R )
+// cf: expect D0 @ sc = pass
+// cf: expect D0 @ tso = pass
+// cf: expect D0 @ pso = pass
+// cf: expect D0 @ relaxed = pass
+// cf: expect Draw @ sc = pass
+// cf: expect Draw @ tso = fail
+// cf: expect Draw @ pso = fail
+// cf: expect Draw @ relaxed = fail
+
+int flag0;
+int flag1;
+int counter;
+
+int left_op() {
+    flag0 = 1;
+    fence("store-load");
+    int f;
+    do { f = flag1; } spinwhile (f == 1);
+    fence("load-load");
+    fence("load-store");
+    int c = counter;
+    counter = c + 1;
+    fence("load-store");
+    fence("store-store");
+    flag0 = 0;
+    return c;
+}
+
+int right_op() {
+    flag1 = 1;
+    fence("store-load");
+    int f;
+    do { f = flag0; } spinwhile (f == 1);
+    fence("load-load");
+    fence("load-store");
+    int c = counter;
+    counter = c + 1;
+    fence("load-store");
+    fence("store-store");
+    flag1 = 0;
+    return c;
+}
+
+int left_raw_op() {
+    flag0 = 1;
+    int f;
+    do { f = flag1; } spinwhile (f == 1);
+    int c = counter;
+    counter = c + 1;
+    flag0 = 0;
+    return c;
+}
+
+int right_raw_op() {
+    flag1 = 1;
+    int f;
+    do { f = flag0; } spinwhile (f == 1);
+    int c = counter;
+    counter = c + 1;
+    flag1 = 0;
+    return c;
+}

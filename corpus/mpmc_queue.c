@@ -1,0 +1,137 @@
+// A bounded multi-producer multi-consumer queue: producers claim a
+// slot by CAS on `tail`, write the payload, then publish it through a
+// per-slot `ready` flag; consumers claim a slot by CAS on `head` after
+// seeing it published. The bound is the 4-slot array itself (the
+// corpus tests enqueue at most three values, so indices never wrap).
+//
+// The producer's store-store fence is the paper's §4.3 "incomplete
+// initialization" obligation: without it (`*_raw_op` twins) the
+// `ready` publication overtakes the payload store and a consumer
+// dequeues the stale initial value from PSO on down. The consumer's
+// load-load fences order the claim/publication loads against the
+// payload load, which Relaxed may otherwise speculate early.
+//
+// cf: name mpmc_queue
+// cf: init init_queue
+// cf: op e = enqueue_op:arg
+// cf: op d = dequeue_op:ret
+// cf: op E = enqueue_raw_op:arg
+// cf: op D = dequeue_raw_op:ret
+// cf: test M0 = ( e | d )
+// cf: test Mi2 = e ( ed | de )
+// cf: test Mraw = ( E | D )
+// cf: expect M0 @ sc = pass
+// cf: expect M0 @ tso = pass
+// cf: expect M0 @ pso = pass
+// cf: expect M0 @ relaxed = pass
+// cf: expect Mi2 @ relaxed = pass
+// cf: expect Mraw @ sc = pass
+// cf: expect Mraw @ tso = pass
+// cf: expect Mraw @ pso = fail
+// cf: expect Mraw @ relaxed = fail
+
+typedef struct queue {
+    int buf[4];
+    int ready[4];
+    int head;
+    int tail;
+} queue_t;
+
+queue_t q;
+
+bool cas(unsigned *loc, unsigned old, unsigned new) {
+    atomic {
+        if (*loc == old) { *loc = new; return true; }
+        return false;
+    }
+}
+
+void init_queue() {
+    q.head = 0;
+    q.tail = 0;
+    q.buf[0] = 0; q.buf[1] = 0; q.buf[2] = 0; q.buf[3] = 0;
+    q.ready[0] = 0; q.ready[1] = 0; q.ready[2] = 0; q.ready[3] = 0;
+}
+
+void enqueue(int value) {
+    spin while (true) {
+        int t = q.tail;
+        if (cas(&q.tail, (unsigned) t, (unsigned) (t + 1))) {
+            commit(1);
+            q.buf[t] = value;
+            fence("store-store");
+            q.ready[t] = 1;
+            break;
+        }
+    }
+}
+
+bool dequeue(int *pvalue) {
+    spin while (true) {
+        int h = q.head;
+        fence("load-load");
+        int t = q.tail;
+        if (h == t) {
+            commit(1);
+            return false;
+        }
+        int r = q.ready[h];
+        if (r == 1) {
+            fence("load-load");
+            if (cas(&q.head, (unsigned) h, (unsigned) (h + 1))) {
+                commit(1);
+                *pvalue = q.buf[h];
+                return true;
+            }
+        }
+    }
+}
+
+void enqueue_op(int v) { enqueue(v); }
+
+int dequeue_op() {
+    int v;
+    bool ok = dequeue(&v);
+    if (ok) { return v + 1; }
+    return 0;
+}
+
+void enqueue_raw(int value) {
+    spin while (true) {
+        int t = q.tail;
+        if (cas(&q.tail, (unsigned) t, (unsigned) (t + 1))) {
+            commit(1);
+            q.buf[t] = value;
+            q.ready[t] = 1;
+            break;
+        }
+    }
+}
+
+bool dequeue_raw(int *pvalue) {
+    spin while (true) {
+        int h = q.head;
+        int t = q.tail;
+        if (h == t) {
+            commit(1);
+            return false;
+        }
+        int r = q.ready[h];
+        if (r == 1) {
+            if (cas(&q.head, (unsigned) h, (unsigned) (h + 1))) {
+                commit(1);
+                *pvalue = q.buf[h];
+                return true;
+            }
+        }
+    }
+}
+
+void enqueue_raw_op(int v) { enqueue_raw(v); }
+
+int dequeue_raw_op() {
+    int v;
+    bool ok = dequeue_raw(&v);
+    if (ok) { return v + 1; }
+    return 0;
+}

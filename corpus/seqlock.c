@@ -1,0 +1,88 @@
+// A sequence lock over a two-word payload, in the two-counter
+// ("begin/end") formulation: the writer bumps `begin_c`, publishes
+// both payload words, then bumps `end_c`; the reader snapshots `end_c`,
+// reads the payload, re-reads `begin_c`, and retries unless the two
+// counters agree (no write started after the writes it observed
+// completed). A torn read returns `a + 2b` with `a != b` — an
+// observation no serial execution produces.
+//
+// The `*_raw_op` twins drop every fence: store-store reordering lets
+// the writer's `end_c` bump overtake the payload stores, so the
+// published-and-stable check accepts a torn payload from PSO on down.
+//
+// cf: name seqlock
+// cf: op w = write_op:arg
+// cf: op r = read_op:ret
+// cf: op W = write_raw_op:arg
+// cf: op R = read_raw_op:ret
+// cf: test S0 = ( w | r )
+// cf: test S2 = ( w | rr )
+// cf: test Sraw = ( W | R )
+// cf: expect S0 @ sc = pass
+// cf: expect S0 @ tso = pass
+// cf: expect S0 @ pso = pass
+// cf: expect S0 @ relaxed = pass
+// cf: expect S2 @ relaxed = pass
+// cf: expect Sraw @ sc = pass
+// cf: expect Sraw @ tso = pass
+// cf: expect Sraw @ pso = fail
+// cf: expect Sraw @ relaxed = fail
+
+int data1;
+int data2;
+int begin_c;
+int end_c;
+
+void write_op(int v) {
+    int b = begin_c;
+    begin_c = b + 1;
+    fence("store-store");
+    data1 = v;
+    data2 = v;
+    fence("store-store");
+    int e = end_c;
+    end_c = e + 1;
+}
+
+int read_op() {
+    int r;
+    spin while (true) {
+        int e = end_c;
+        fence("load-load");
+        int a = data1;
+        int b = data2;
+        fence("load-load");
+        int g = begin_c;
+        if (g == e) {
+            commit(1);
+            r = a + b + b;
+            break;
+        }
+    }
+    return r;
+}
+
+void write_raw_op(int v) {
+    int b = begin_c;
+    begin_c = b + 1;
+    data1 = v;
+    data2 = v;
+    int e = end_c;
+    end_c = e + 1;
+}
+
+int read_raw_op() {
+    int r;
+    spin while (true) {
+        int e = end_c;
+        int a = data1;
+        int b = data2;
+        int g = begin_c;
+        if (g == e) {
+            commit(1);
+            r = a + b + b;
+            break;
+        }
+    }
+    return r;
+}

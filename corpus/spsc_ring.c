@@ -1,0 +1,136 @@
+// Lamport's single-producer single-consumer ring buffer — promoted
+// from examples/spsc_ring.rs into the scenario corpus. The algorithm
+// synchronizes with no atomic operations at all: the producer owns
+// `tail`, the consumer owns `head`, and correctness rests purely on
+// the order of plain loads and stores. The five fences below are the
+// 1-minimal placement for {L0, Lpc2, Lpc3} on Relaxed (see
+// crates/algos/tests/lamport_results.rs); this corpus entry carries
+// the full placement, and the `*_raw_op` twins drop every fence: TSO
+// preserves all the orders the algorithm relies on, but from PSO down
+// the producer's tail bump overtakes the slot write (the §4.3
+// incomplete-initialization class) and the consumer dequeues garbage.
+//
+// cf: name spsc_ring
+// cf: init init_queue
+// cf: op e = enqueue_op:arg:ret
+// cf: op d = dequeue_op:ret
+// cf: op E = enqueue_raw_op:arg:ret
+// cf: op D = dequeue_raw_op:ret
+// cf: test L0 = ( e | d )
+// cf: test Lpc2 = ( ee | dd )
+// cf: test Lpc3 = ( eee | ddd )
+// cf: test Lraw = ( E | D )
+// cf: expect L0 @ sc = pass
+// cf: expect L0 @ tso = pass
+// cf: expect L0 @ pso = pass
+// cf: expect L0 @ relaxed = pass
+// cf: expect Lpc2 @ relaxed = pass
+// cf: expect Lpc3 @ relaxed = pass
+// cf: expect Lraw @ sc = pass
+// cf: expect Lraw @ tso = pass
+// cf: expect Lraw @ pso = fail
+// cf: expect Lraw @ relaxed = fail
+
+typedef struct queue {
+    int buf[2];
+    int head;
+    int tail;
+} queue_t;
+
+queue_t q;
+
+void init_queue() {
+    q.head = 0;
+    q.tail = 0;
+}
+
+bool enqueue(int value) {
+    fence("load-load");
+    int t = q.tail;
+    int h = q.head;
+    int n = t + 1;
+    if (n == 2) { n = 0; }
+    if (n == h) {
+        commit(1);
+        return false;
+    }
+    fence("load-store");
+    q.buf[t] = value;
+    fence("store-store");
+    q.tail = n;
+    commit(1);
+    return true;
+}
+
+bool dequeue(int *pvalue) {
+    int h = q.head;
+    int t = q.tail;
+    if (h == t) {
+        commit(1);
+        return false;
+    }
+    fence("load-load");
+    *pvalue = q.buf[h];
+    int n = h + 1;
+    if (n == 2) { n = 0; }
+    fence("load-store");
+    q.head = n;
+    commit(1);
+    return true;
+}
+
+int enqueue_op(int v) {
+    bool ok = enqueue(v);
+    if (ok) { return 1; }
+    return 0;
+}
+
+int dequeue_op() {
+    int v;
+    bool ok = dequeue(&v);
+    if (ok) { return v + 1; }
+    return 0;
+}
+
+bool enqueue_raw(int value) {
+    int t = q.tail;
+    int h = q.head;
+    int n = t + 1;
+    if (n == 2) { n = 0; }
+    if (n == h) {
+        commit(1);
+        return false;
+    }
+    q.buf[t] = value;
+    q.tail = n;
+    commit(1);
+    return true;
+}
+
+bool dequeue_raw(int *pvalue) {
+    int h = q.head;
+    int t = q.tail;
+    if (h == t) {
+        commit(1);
+        return false;
+    }
+    *pvalue = q.buf[h];
+    int n = h + 1;
+    if (n == 2) { n = 0; }
+    q.head = n;
+    commit(1);
+    return true;
+}
+
+int enqueue_raw_op(int v) {
+    bool ok = enqueue_raw(v);
+    if (ok) { return 1; }
+    return 0;
+}
+
+int dequeue_raw_op() {
+    int v;
+    bool ok = dequeue_raw(&v);
+    if (ok) { return v + 1; }
+    return 0;
+}

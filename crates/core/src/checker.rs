@@ -272,6 +272,12 @@ pub enum CheckError {
     /// engine's universe (an unknown spec index, a mode the engine does
     /// not encode, a commit query on a declarative model).
     BadQuery(String),
+    /// The symbolic test is degenerate — no threads, an empty thread, or
+    /// no operations at all — so neither mining nor checking has a
+    /// meaningful answer. Returned up front instead of running (or
+    /// panicking inside) the pipeline; harness generators hit this class
+    /// of input routinely.
+    DegenerateTest(String),
 }
 
 impl fmt::Display for CheckError {
@@ -284,8 +290,32 @@ impl fmt::Display for CheckError {
             CheckError::SolverBudget => write!(f, "SAT conflict budget exhausted"),
             CheckError::SerialBug(c) => write!(f, "serial bug found:\n{c}"),
             CheckError::BadQuery(msg) => write!(f, "bad query: {msg}"),
+            CheckError::DegenerateTest(msg) => write!(f, "degenerate test: {msg}"),
         }
     }
+}
+
+/// Rejects test shapes no phase of the pipeline can answer: zero
+/// threads, an empty thread, or zero operations overall. Shared by
+/// [`crate::mine_reference`] and [`crate::query::Engine`] so degenerate
+/// inputs fail with a clear [`CheckError::DegenerateTest`] instead of a
+/// panic deep inside symbolic execution.
+pub(crate) fn validate_test_shape(test: &TestSpec) -> Result<(), CheckError> {
+    if test.threads.is_empty() {
+        return Err(CheckError::DegenerateTest(format!(
+            "test `{}` has no threads",
+            test.name
+        )));
+    }
+    if let Some(i) = test.threads.iter().position(Vec::is_empty) {
+        return Err(CheckError::DegenerateTest(format!(
+            "test `{}` has an empty thread (#{i})",
+            test.name
+        )));
+    }
+    // Non-empty threads imply at least one operation, so "0-op" inputs
+    // are fully covered by the two rejections above.
+    Ok(())
 }
 
 impl std::error::Error for CheckError {}

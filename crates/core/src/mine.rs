@@ -42,6 +42,7 @@ impl Checker<'_> {
 ///
 /// See [`Checker::mine_spec_reference`].
 pub fn mine_reference(harness: &Harness, test: &TestSpec) -> Result<MiningResult, CheckError> {
+    crate::checker::validate_test_shape(test)?;
     let t0 = Instant::now();
     let mut stats = PhaseStats::default();
 

@@ -695,6 +695,7 @@ impl<'h> Engine<'h> {
     /// Rejects queries outside the engine's model universe before any
     /// session work.
     fn validate(&self, q: &Query<'h>) -> Result<(), CheckError> {
+        crate::checker::validate_test_shape(q.test)?;
         match q.model {
             ModelSel::Spec(i) => {
                 if i >= self.config.specs.len() {

@@ -353,6 +353,59 @@ fn unlocked_counter_loses_increments() {
 }
 
 #[test]
+fn degenerate_tests_are_rejected_with_a_clear_error() {
+    // Harness generators routinely produce 0-thread / 0-op shapes; both
+    // the reference miner and the engine must answer with
+    // `CheckError::DegenerateTest`, not a panic deep in the pipeline.
+    let h = register_harness();
+    let no_threads = TestSpec {
+        name: "empty".into(),
+        init: vec![],
+        threads: vec![],
+    };
+    let empty_thread = TestSpec {
+        name: "hole".into(),
+        init: vec![],
+        threads: vec![
+            vec![checkfence::OpInvocation {
+                key: 's',
+                primed: false,
+            }],
+            vec![],
+        ],
+    };
+    let init_only = TestSpec {
+        name: "init-only".into(),
+        init: vec![checkfence::OpInvocation {
+            key: 's',
+            primed: false,
+        }],
+        threads: vec![],
+    };
+    for t in [&no_threads, &empty_thread, &init_only] {
+        match mine_reference(&h, t) {
+            Err(CheckError::DegenerateTest(msg)) => {
+                assert!(msg.contains(&t.name), "{msg}");
+            }
+            other => panic!("{}: expected DegenerateTest, got {other:?}", t.name),
+        }
+        let mut engine = Engine::new(EngineConfig::default());
+        for query in [
+            Query::mine(&h, t),
+            Query::enumerate(&h, t),
+            Query::check_inclusion(&h, t, ObsSet::default()),
+        ] {
+            match engine.run(&query) {
+                Err(CheckError::DegenerateTest(_)) => {}
+                other => panic!("{}: expected DegenerateTest, got {other:?}", t.name),
+            }
+        }
+        // Rejected before any session was created.
+        assert_eq!(engine.stats().sessions, 0);
+    }
+}
+
+#[test]
 fn assert_failures_are_runtime_errors() {
     let h = harness(
         "asserting",

@@ -240,6 +240,106 @@ pub fn store_buffering_half_fenced() -> Litmus {
     }
 }
 
+/// IRIW with only one fenced reader: partial repairs fail — the
+/// unfenced reader's loads still reorder on Relaxed, so the
+/// disagreeing outcome `[1, 0, 1, 0]` stays allowed there (and only
+/// there: TSO/PSO keep loads ordered, and then the total store order
+/// forbids the disagreement).
+pub fn iriw_one_fence() -> Litmus {
+    Litmus {
+        name: "IRIW+one-fence",
+        threads: vec![
+            vec![Store { addr: 0, value: 1 }],
+            vec![Store { addr: 1, value: 1 }],
+            vec![
+                Load { addr: 0, reg: 0 },
+                Fence(FenceKind::LoadLoad),
+                Load { addr: 1, reg: 1 },
+            ],
+            vec![Load { addr: 1, reg: 2 }, Load { addr: 0, reg: 3 }],
+        ],
+        num_regs: 4,
+    }
+}
+
+/// The "R" shape (write-write causality): T0 publishes `x` then `y`;
+/// T1 overwrites `y` and reads `x`. The classic formulation asks
+/// whether `y`'s coherence order can put T1's store last while T1
+/// still missed `x`; registers cannot observe final memory state, so
+/// a third observer thread witnesses the write-write order by reading
+/// `y = 1` before `y = 2` (in a single total memory order, reading the
+/// older store at one point and the newer one later proves `y=1 <M
+/// y=2`). The distinguishing outcome `[0, 1, 2]` needs T1's store to
+/// overtake its own later load — store buffering — so it separates SC
+/// from TSO just like SB, but through a *cross-location causality
+/// chain*: `x=1 <po y=1 <M y=2 <po r0=x` should force `r0 = 1`.
+pub fn write_write_causality() -> Litmus {
+    Litmus {
+        name: "R",
+        threads: vec![
+            vec![Store { addr: 0, value: 1 }, Store { addr: 1, value: 1 }],
+            vec![Store { addr: 1, value: 2 }, Load { addr: 0, reg: 0 }],
+            vec![
+                Load { addr: 1, reg: 1 },
+                Fence(FenceKind::LoadLoad),
+                Load { addr: 1, reg: 2 },
+            ],
+        ],
+        num_regs: 3,
+    }
+}
+
+/// R with a store-load fence in the overwriting thread: the TSO escape
+/// is gone, but PSO can still reorder T0's two stores, breaking the
+/// causality chain at its first link — `[0, 1, 2]` stays allowed on
+/// PSO and Relaxed. Separates TSO from PSO.
+pub fn write_write_causality_sl_fence() -> Litmus {
+    Litmus {
+        name: "R+sl-fence",
+        threads: vec![
+            vec![Store { addr: 0, value: 1 }, Store { addr: 1, value: 1 }],
+            vec![
+                Store { addr: 1, value: 2 },
+                Fence(FenceKind::StoreLoad),
+                Load { addr: 0, reg: 0 },
+            ],
+            vec![
+                Load { addr: 1, reg: 1 },
+                Fence(FenceKind::LoadLoad),
+                Load { addr: 1, reg: 2 },
+            ],
+        ],
+        num_regs: 3,
+    }
+}
+
+/// R with both repairs (store-store in the publisher, store-load in
+/// the overwriter): every link of the causality chain is fenced, so
+/// `[0, 1, 2]` is forbidden on all four models.
+pub fn write_write_causality_fenced() -> Litmus {
+    Litmus {
+        name: "R+fences",
+        threads: vec![
+            vec![
+                Store { addr: 0, value: 1 },
+                Fence(FenceKind::StoreStore),
+                Store { addr: 1, value: 1 },
+            ],
+            vec![
+                Store { addr: 1, value: 2 },
+                Fence(FenceKind::StoreLoad),
+                Load { addr: 0, reg: 0 },
+            ],
+            vec![
+                Load { addr: 1, reg: 1 },
+                Fence(FenceKind::LoadLoad),
+                Load { addr: 1, reg: 2 },
+            ],
+        ],
+        num_regs: 3,
+    }
+}
+
 /// Write-to-read causality (three threads): T1 observes T0's store and
 /// then publishes; T2 observes the publication but misses the original
 /// store. Outcome `[1, 1, 0]` needs load-store reordering in T1 or
@@ -271,9 +371,13 @@ pub fn all() -> Vec<Litmus> {
         coherence_read_read_fenced(),
         iriw_fenced(),
         iriw_unfenced(),
+        iriw_one_fence(),
         store_forwarding(),
         store_buffering_half_fenced(),
         write_read_causality(),
+        write_write_causality(),
+        write_write_causality_sl_fence(),
+        write_write_causality_fenced(),
     ]
 }
 
@@ -344,7 +448,41 @@ pub fn matrix() -> Vec<MatrixRow> {
             vec![1, 1, 0],
             [false, false, false, true],
         ),
+        row(
+            iriw_one_fence(),
+            vec![1, 0, 1, 0],
+            [false, false, false, true],
+        ),
+        // R separates SC from TSO through a write-write causality
+        // chain; its store-load repair moves the break to PSO's
+        // store-store relaxation; the full repair forbids it everywhere.
+        row(
+            write_write_causality(),
+            vec![0, 1, 2],
+            [false, true, true, true],
+        ),
+        row(
+            write_write_causality_sl_fence(),
+            vec![0, 1, 2],
+            [false, false, true, true],
+        ),
+        row(write_write_causality_fenced(), vec![0, 1, 2], [false; 4]),
     ]
+}
+
+impl MatrixRow {
+    /// Expected allowance of the distinguishing outcome under any of
+    /// the five built-in models: Seriality has no operation structure
+    /// at litmus level, so it behaves exactly like SC.
+    pub fn allowed_on(&self, mode: crate::Mode) -> bool {
+        let col = match mode {
+            crate::Mode::Serial | crate::Mode::Sc => 0,
+            crate::Mode::Tso => 1,
+            crate::Mode::Pso => 2,
+            crate::Mode::Relaxed => 3,
+        };
+        self.allowed[col]
+    }
 }
 
 #[cfg(test)]
@@ -484,6 +622,65 @@ mod tests {
                 "{} must forbid Fig. 2",
                 mode.name()
             );
+        }
+    }
+
+    #[test]
+    fn partially_fenced_iriw_is_only_allowed_on_relaxed() {
+        // One fenced reader is not a repair: the other reader's loads
+        // still reorder on Relaxed.
+        let t = iriw_one_fence();
+        assert!(t.allows(Mode::Relaxed, &[1, 0, 1, 0]));
+        // TSO and PSO keep loads ordered, and the total store order
+        // then forbids the readers' disagreement.
+        assert!(!t.allows(Mode::Tso, &[1, 0, 1, 0]));
+        assert!(!t.allows(Mode::Pso, &[1, 0, 1, 0]));
+        assert!(!t.allows(Mode::Sc, &[1, 0, 1, 0]));
+    }
+
+    #[test]
+    fn r_shape_traces_write_write_causality() {
+        // The observer registers pin y=1 <M y=2; with all edges intact
+        // the chain x=1 <po y=1 <M y=2 <po r0 forces r0 = 1.
+        let t = write_write_causality();
+        assert!(!t.allows(Mode::Sc, &[0, 1, 2]));
+        // TSO escapes by buffering T1's y=2 past its own x-load.
+        assert!(t.allows(Mode::Tso, &[0, 1, 2]));
+        assert!(t.allows(Mode::Relaxed, &[0, 1, 2]));
+        // The SC-consistent outcome is allowed everywhere.
+        assert!(t.allows(Mode::Sc, &[1, 1, 2]));
+
+        // A store-load fence closes the TSO escape; PSO reorders T0's
+        // two stores instead, breaking the chain's first link.
+        let sl = write_write_causality_sl_fence();
+        assert!(!sl.allows(Mode::Tso, &[0, 1, 2]));
+        assert!(sl.allows(Mode::Pso, &[0, 1, 2]));
+        assert!(sl.allows(Mode::Relaxed, &[0, 1, 2]));
+
+        // Fencing both links forbids the outcome on every model.
+        let full = write_write_causality_fenced();
+        for mode in Mode::hardware() {
+            assert!(!full.allows(mode, &[0, 1, 2]), "{}", mode.name());
+        }
+    }
+
+    #[test]
+    fn matrix_covers_all_five_builtins() {
+        // `allowed_on` extends each row to the full Mode::all() chain:
+        // Seriality behaves as SC on litmus programs (no operation
+        // structure to interleave), and every row must agree with the
+        // oracle under all five models.
+        for row in matrix() {
+            for mode in Mode::all() {
+                assert_eq!(
+                    row.test.allows(mode, &row.outcome),
+                    row.allowed_on(mode),
+                    "{} {:?} on {}",
+                    row.test.name,
+                    row.outcome,
+                    mode.name()
+                );
+            }
         }
     }
 

@@ -1,0 +1,332 @@
+//! The curated mini-C scenario corpus.
+//!
+//! A corpus entry is a plain mini-C file whose header comments carry
+//! `// cf:` directives describing how to drive it — the same
+//! information the `checkfence` CLI takes as flags:
+//!
+//! ```text
+//! // cf: name seqlock
+//! // cf: init init_lock          (optional)
+//! // cf: op w = write_op:arg    (repeatable; KEY = PROC[:arg][:ret])
+//! // cf: test W0 = ( w | r )    (repeatable; Fig. 8 notation)
+//! // cf: expect W0 @ relaxed = fail   (repeatable; asserted verdicts)
+//! ```
+//!
+//! The rest of the file is ordinary mini-C, lowered through
+//! [`cf_minic::compile`]; the directives stay inside line comments, so
+//! the file is a valid input to the CLI's `<SOURCE.c>` mode too.
+//! [`load_dir`] loads every `.c` file of a directory in sorted order,
+//! making corpus enumeration deterministic.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use checkfence::{Harness, OpSig, TestSpec};
+
+/// One declared verdict expectation: test name, model name, and
+/// whether the inclusion check passes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Expect {
+    /// Name of one of the entry's tests.
+    pub test: String,
+    /// Model display name (`sc`, `tso`, `pso`, `relaxed`, or a spec
+    /// name).
+    pub model: String,
+    /// `true` for `pass`, `false` for `fail`.
+    pub pass: bool,
+}
+
+/// One loaded corpus scenario: the compiled harness, its symbolic
+/// tests, and the verdicts its header declares.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// Scenario name (the `// cf: name` directive).
+    pub name: String,
+    /// Path the entry was loaded from.
+    pub path: PathBuf,
+    /// The compiled harness (program + operation table + init).
+    pub harness: Harness,
+    /// The declared symbolic tests, in declaration order.
+    pub tests: Vec<TestSpec>,
+    /// The declared expected verdicts.
+    pub expects: Vec<Expect>,
+}
+
+/// Error loading a corpus entry.
+#[derive(Clone, Debug)]
+pub struct CorpusLoadError {
+    /// The offending file.
+    pub path: PathBuf,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for CorpusLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for CorpusLoadError {}
+
+fn parse_op(spec: &str) -> Result<OpSig, String> {
+    let (key, rest) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("op `{spec}`: expected KEY = PROC[:arg][:ret]"))?;
+    let key = {
+        let mut chars = key.trim().chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => c,
+            _ => return Err(format!("op `{spec}`: KEY must be one character")),
+        }
+    };
+    let mut parts = rest.trim().split(':');
+    let proc_name = parts.next().unwrap_or_default().trim().to_string();
+    if proc_name.is_empty() {
+        return Err(format!("op `{spec}`: missing procedure name"));
+    }
+    let mut num_args = 0;
+    let mut has_ret = false;
+    for flag in parts {
+        match flag.trim() {
+            "arg" => num_args = 1,
+            "ret" => has_ret = true,
+            other => return Err(format!("op `{spec}`: unknown flag `{other}`")),
+        }
+    }
+    Ok(OpSig {
+        key,
+        proc_name,
+        num_args,
+        has_ret,
+    })
+}
+
+/// Loads one corpus entry from a mini-C file with `// cf:` directives.
+///
+/// # Errors
+///
+/// [`CorpusLoadError`] when the file cannot be read, a directive is
+/// malformed, a declared test or expectation is inconsistent, or the
+/// mini-C body does not compile.
+pub fn load_file(path: &Path) -> Result<CorpusEntry, CorpusLoadError> {
+    let fail = |message: String| CorpusLoadError {
+        path: path.to_path_buf(),
+        message,
+    };
+    let source =
+        std::fs::read_to_string(path).map_err(|e| fail(format!("cannot read file: {e}")))?;
+
+    let mut name = None;
+    let mut init = None;
+    let mut ops: Vec<OpSig> = Vec::new();
+    let mut tests: Vec<TestSpec> = Vec::new();
+    let mut expects: Vec<Expect> = Vec::new();
+    for (lineno, line) in source.lines().enumerate() {
+        let Some(directive) = line.trim().strip_prefix("// cf:") else {
+            continue;
+        };
+        let directive = directive.trim();
+        let at = |m: String| fail(format!("line {}: {m}", lineno + 1));
+        let (kind, rest) = directive.split_once(' ').unwrap_or((directive, ""));
+        let rest = rest.trim();
+        match kind {
+            "name" => name = Some(rest.to_string()),
+            "init" => init = Some(rest.to_string()),
+            "op" => ops.push(parse_op(rest).map_err(at)?),
+            "test" => {
+                let (tname, text) = rest
+                    .split_once('=')
+                    .ok_or_else(|| at(format!("test `{rest}`: expected NAME = TEXT")))?;
+                let test =
+                    TestSpec::parse(tname.trim(), text.trim()).map_err(|e| at(e.to_string()))?;
+                tests.push(test);
+            }
+            "expect" => {
+                let (target, verdict) = rest.split_once('=').ok_or_else(|| {
+                    at(format!(
+                        "expect `{rest}`: expected TEST @ MODEL = pass|fail"
+                    ))
+                })?;
+                let (test, model) = target
+                    .split_once('@')
+                    .ok_or_else(|| at(format!("expect `{rest}`: missing `@ MODEL`")))?;
+                let pass = match verdict.trim() {
+                    "pass" => true,
+                    "fail" => false,
+                    other => return Err(at(format!("expect `{rest}`: verdict `{other}`"))),
+                };
+                expects.push(Expect {
+                    test: test.trim().to_string(),
+                    model: model.trim().to_string(),
+                    pass,
+                });
+            }
+            other => return Err(at(format!("unknown directive `{other}`"))),
+        }
+    }
+
+    let name = name.ok_or_else(|| fail("missing `// cf: name` directive".into()))?;
+    if ops.is_empty() {
+        return Err(fail("no `// cf: op` directives".into()));
+    }
+    if tests.is_empty() {
+        return Err(fail("no `// cf: test` directives".into()));
+    }
+    // Duplicate keys/names would be silently shadowed by first-match
+    // lookups downstream — the author's later declaration would never
+    // be checked.
+    for (i, op) in ops.iter().enumerate() {
+        if ops[..i].iter().any(|o| o.key == op.key) {
+            return Err(fail(format!("duplicate op key `{}`", op.key)));
+        }
+    }
+    for (i, t) in tests.iter().enumerate() {
+        if tests[..i].iter().any(|o| o.name == t.name) {
+            return Err(fail(format!("duplicate test name `{}`", t.name)));
+        }
+    }
+    for e in &expects {
+        if !tests.iter().any(|t| t.name == e.test) {
+            return Err(fail(format!("expect names unknown test `{}`", e.test)));
+        }
+    }
+    for t in &tests {
+        for op in t.all_ops() {
+            if !ops.iter().any(|o| o.key == op.key) {
+                return Err(fail(format!(
+                    "test `{}` uses undeclared op key `{}`",
+                    t.name, op.key
+                )));
+            }
+        }
+    }
+
+    let program = cf_minic::compile(&source).map_err(|e| fail(format!("compile error: {e}")))?;
+    for op in &ops {
+        if program.proc_id(&op.proc_name).is_none() {
+            return Err(fail(format!("op procedure `{}` not found", op.proc_name)));
+        }
+    }
+    if let Some(init) = &init {
+        if program.proc_id(init).is_none() {
+            return Err(fail(format!("init procedure `{init}` not found")));
+        }
+    }
+    Ok(CorpusEntry {
+        name: name.clone(),
+        path: path.to_path_buf(),
+        harness: Harness {
+            name,
+            program,
+            init_proc: init,
+            ops,
+        },
+        tests,
+        expects,
+    })
+}
+
+/// Loads every `.c` entry of a corpus directory, sorted by file name.
+///
+/// # Errors
+///
+/// As [`load_file`]; the first failing entry aborts the load.
+pub fn load_dir(dir: &Path) -> Result<Vec<CorpusEntry>, CorpusLoadError> {
+    let fail = |message: String| CorpusLoadError {
+        path: dir.to_path_buf(),
+        message,
+    };
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| fail(format!("cannot read directory: {e}")))?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| fail(format!("cannot read directory entry: {e}")))?;
+    paths.retain(|p| p.extension().is_some_and(|x| x == "c"));
+    paths.sort();
+    paths.iter().map(|p| load_file(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, body: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("cf-synth-{}-{name}", std::process::id()));
+        std::fs::write(&path, body).expect("writable temp dir");
+        path
+    }
+
+    #[test]
+    fn loads_a_well_formed_entry() {
+        let path = write_temp(
+            "ok.c",
+            r#"
+// cf: name mailbox
+// cf: op p = put:arg
+// cf: op g = get:ret
+// cf: test PG = ( p | g )
+// cf: expect PG @ sc = pass
+int data;
+void put(int v) { data = v; }
+int get() { return data; }
+"#,
+        );
+        let entry = load_file(&path).expect("loads");
+        assert_eq!(entry.name, "mailbox");
+        assert_eq!(entry.harness.ops.len(), 2);
+        assert_eq!(entry.tests.len(), 1);
+        assert_eq!(
+            entry.expects,
+            vec![Expect {
+                test: "PG".into(),
+                model: "sc".into(),
+                pass: true
+            }]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        let cases = [
+            ("noname.c", "// cf: op p = put\nvoid put() { }\n"),
+            (
+                "badop.c",
+                "// cf: name x\n// cf: op pp = put\n// cf: test T = ( p )\nvoid put() { }\n",
+            ),
+            (
+                "badtest.c",
+                "// cf: name x\n// cf: op p = put\n// cf: test T = p | p\nvoid put() { }\n",
+            ),
+            (
+                "badexpect.c",
+                "// cf: name x\n// cf: op p = put\n// cf: test T = ( p | p )\n\
+                 // cf: expect NOPE @ sc = pass\nvoid put() { }\n",
+            ),
+            (
+                "unknownkey.c",
+                "// cf: name x\n// cf: op p = put\n// cf: test T = ( q | q )\nvoid put() { }\n",
+            ),
+            (
+                "missingproc.c",
+                "// cf: name x\n// cf: op p = nope\n// cf: test T = ( p | p )\nvoid put() { }\n",
+            ),
+            (
+                "dupop.c",
+                "// cf: name x\n// cf: op p = put\n// cf: op p = put\n\
+                 // cf: test T = ( p | p )\nvoid put() { }\n",
+            ),
+            (
+                "duptest.c",
+                "// cf: name x\n// cf: op p = put\n// cf: test T = ( p | p )\n\
+                 // cf: test T = ( p p | p )\nvoid put() { }\n",
+            ),
+        ];
+        for (name, body) in cases {
+            let path = write_temp(name, body);
+            assert!(load_file(&path).is_err(), "{name} should fail to load");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! checkfence [OPTIONS] <SOURCE.c>
+//! checkfence --synth TYPE [--threads T] [--ops K] [--jobs N]
 //!
 //! ARGS:
 //!   <SOURCE.c>           mini-C implementation file
@@ -29,6 +30,17 @@
 //!                               hardware models (plus the --model spec,
 //!                               if one is given) from one incremental
 //!                               encoding per test
+//!   --synth TYPE                synthesize the whole bounded-test corpus
+//!                               for a bundled data type (treiber, ms2,
+//!                               msn, lazylist, harris, snark, lamport —
+//!                               append `-unfenced` for the build without
+//!                               fences), batch-check it across the
+//!                               hardware lattice (plus a --model .cfm
+//!                               column) and print a Fig. 5-style
+//!                               coverage table; replaces <SOURCE.c>
+//!   --threads T                 synthesis bound: threads per test  [2]
+//!   --ops K                     synthesis bound: operations per
+//!                               thread  [2]
 //!   --jobs N                    run checks on N engine workers; shards
 //!                               tests, and with --ablate the mutant ×
 //!                               model matrix itself  [1]
@@ -85,6 +97,7 @@ struct Options {
     tests: Vec<(Option<String>, String)>,
     init: Option<String>,
     model: ModelArg,
+    model_explicit: bool,
     method: Method,
     encoding: OrderEncoding,
     spec_cache: Option<PathBuf>,
@@ -92,6 +105,10 @@ struct Options {
     run_infer: bool,
     run_ablate: bool,
     infer_procs: Option<Vec<String>>,
+    synth: Option<String>,
+    threads: usize,
+    ops_per_thread: usize,
+    bounds_explicit: bool,
     jobs: usize,
     stats: bool,
     trace: bool,
@@ -119,6 +136,12 @@ fn usage() -> &'static str {
      \x20 --infer                    infer a minimal fence placement\n\
      \x20 --infer-procs A,B          restrict inference candidates\n\
      \x20 --ablate                   run a mutant matrix (Fig. 11 ablations)\n\
+     \x20 --synth TYPE               synthesize + batch-check the bounded\n\
+     \x20                            test corpus of a bundled data type\n\
+     \x20                            (e.g. treiber, ms2, lamport-unfenced);\n\
+     \x20                            replaces <SOURCE.c>\n\
+     \x20 --threads T                synthesis bound: threads per test [2]\n\
+     \x20 --ops K                    synthesis bound: ops per thread [2]\n\
      \x20 --jobs N                   run checks on N engine workers [1]\n\
      \x20                            (shards tests, and with --ablate the\n\
      \x20                            mutant x model matrix itself)\n\
@@ -184,6 +207,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         tests: Vec::new(),
         init: None,
         model: ModelArg::Builtin(Mode::Relaxed),
+        model_explicit: false,
         method: Method::Observation,
         encoding: OrderEncoding::Pairwise,
         spec_cache: None,
@@ -191,6 +215,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         run_infer: false,
         run_ablate: false,
         infer_procs: None,
+        synth: None,
+        threads: 2,
+        ops_per_thread: 2,
+        bounds_explicit: false,
         jobs: 1,
         stats: false,
         trace: false,
@@ -215,7 +243,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--init" => opts.init = Some(value("--init")?),
-            "--model" => opts.model = parse_model(&value("--model")?)?,
+            "--model" => {
+                opts.model = parse_model(&value("--model")?)?;
+                opts.model_explicit = true;
+            }
             "--method" => {
                 opts.method = match value("--method")?.as_str() {
                     "obs" => Method::Observation,
@@ -251,6 +282,25 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .collect(),
                 );
             }
+            "--synth" => opts.synth = Some(value("--synth")?),
+            "--threads" => {
+                let v = value("--threads")?;
+                opts.threads = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--threads `{v}`: expected a positive integer"))?;
+                opts.bounds_explicit = true;
+            }
+            "--ops" => {
+                let v = value("--ops")?;
+                opts.ops_per_thread = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--ops `{v}`: expected a positive integer"))?;
+                opts.bounds_explicit = true;
+            }
             "--jobs" => {
                 let v = value("--jobs")?;
                 opts.jobs = v
@@ -268,6 +318,40 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
         }
+    }
+    if opts.synth.is_some() {
+        // Synthesis mode generates its own harness and tests.
+        if source.is_some() {
+            return Err("--synth replaces <SOURCE.c>; drop the source file".into());
+        }
+        if !opts.ops.is_empty() || !opts.tests.is_empty() || opts.init.is_some() {
+            return Err("--synth derives --op/--test/--init from the bundled type".into());
+        }
+        if opts.run_infer || opts.run_ablate || opts.mine_only || opts.spec_cache.is_some() {
+            return Err(
+                "--synth cannot be combined with --infer, --ablate, --mine-only or --spec-cache"
+                    .into(),
+            );
+        }
+        if !matches!(opts.method, Method::Observation) {
+            return Err("--synth uses the observation method; drop --method".into());
+        }
+        // Accepting these and silently ignoring them would misreport
+        // what the run did.
+        if opts.stats || opts.trace {
+            return Err("--synth prints the coverage table; drop --stats/--trace".into());
+        }
+        if opts.model_explicit && matches!(opts.model, ModelArg::Builtin(_)) {
+            return Err(
+                "--synth always checks the whole hardware lattice; --model only adds a \
+                 .cfm spec column"
+                    .into(),
+            );
+        }
+        return Ok(opts);
+    }
+    if opts.bounds_explicit {
+        return Err("--threads/--ops are synthesis bounds; they need --synth".into());
     }
     opts.source = source.ok_or("missing source file")?;
     if opts.ops.is_empty() {
@@ -324,6 +408,10 @@ fn mined_spec(
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_args(&args)?;
+
+    if let Some(name) = &opts.synth {
+        return run_synth(&opts, name);
+    }
     let harness = build_harness(&opts)?;
 
     let mut tests = Vec::new();
@@ -532,6 +620,66 @@ fn run_ablate(opts: &Options, harness: &Harness, tests: &[TestSpec]) -> Result<b
         all_passed &= report.baseline.iter().all(|v| !v.caught());
     }
     Ok(all_passed)
+}
+
+/// Resolves a `--synth` data-type name against the bundled algorithms
+/// (`-unfenced` selects the build without fences).
+fn synth_harness(name: &str) -> Option<Harness> {
+    use cf_algos::{lamport, treiber, Algo, Variant};
+    let (base, variant) = match name.strip_suffix("-unfenced") {
+        Some(base) => (base, Variant::Unfenced),
+        None => (name, Variant::Fenced),
+    };
+    match base {
+        "treiber" => Some(treiber::harness(variant)),
+        "lamport" => Some(lamport::harness(variant)),
+        other => Algo::all()
+            .into_iter()
+            .find(|a| a.name() == other)
+            .map(|a| a.harness(variant)),
+    }
+}
+
+/// The `--synth` mode: enumerate the whole bounded test corpus of a
+/// bundled data type, batch-check it across the hardware lattice (plus
+/// any `--model` spec column) as one engine batch, and print the
+/// coverage table. Synthesis, checking and pruning are deterministic,
+/// so the table is byte-identical at any `--jobs` count; only the
+/// trailing summary line (sessions/encodes/timing) varies.
+fn run_synth(opts: &Options, name: &str) -> Result<bool, String> {
+    use cf_synth::{run_corpus, synthesize, CorpusConfig, SynthBounds};
+    let harness = synth_harness(name).ok_or_else(|| {
+        format!(
+            "--synth `{name}`: expected one of treiber, ms2, msn, lazylist, harris, \
+             snark, lamport (append -unfenced for the build without fences)"
+        )
+    })?;
+    let bounds = SynthBounds::new(opts.threads, opts.ops_per_thread);
+    let corpus = synthesize(&harness.ops, &bounds);
+    println!(
+        "synth corpus — {}: threads <= {}, ops/thread <= {}, init <= {}",
+        harness.name, bounds.max_threads, bounds.max_ops_per_thread, bounds.max_init_ops
+    );
+    println!(
+        "generated {} shapes, {} canonical after symmetry reduction",
+        corpus.generated,
+        corpus.deduped()
+    );
+    let mut config = CorpusConfig {
+        jobs: opts.jobs,
+        ..CorpusConfig::default()
+    };
+    config.check.order_encoding = opts.encoding;
+    if let ModelArg::Spec(spec) = &opts.model {
+        config.specs.push(spec.clone());
+    }
+    let report = run_corpus(&harness, &corpus.tests, &config);
+    print!("{}", report.table());
+    println!("  {}", report.summary());
+    // FAIL verdicts are the experiment's data; only cells that could
+    // not be answered (mining errors, divergence, budget exhaustion)
+    // make the run itself unsuccessful.
+    Ok(report.rows.iter().all(|r| !r.incomplete()))
 }
 
 fn main() -> ExitCode {

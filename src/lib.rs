@@ -18,7 +18,12 @@
 //!   fence inference;
 //! * [`algos`] — the five studied implementations (two-lock queue,
 //!   nonblocking queue, lazy list set, Harris set, snark deque) plus a
-//!   Treiber-stack extension, with the Fig. 8 test catalog.
+//!   Treiber-stack extension, with the Fig. 8 test catalog;
+//! * [`synth`] — bounded harness synthesis: enumerate every test shape
+//!   within (threads, ops) bounds, canonicalize away symmetry, and
+//!   batch-check whole corpora on the engine with model-lattice
+//!   inference and subsumption pruning, plus the loader for the mini-C
+//!   scenario corpus under `corpus/`.
 //!
 //! A command-line front end is available as the `checkfence` binary
 //! (`cargo run --release --bin checkfence -- --help`).
@@ -48,6 +53,7 @@ pub use cf_memmodel as memmodel;
 pub use cf_minic as minic;
 pub use cf_sat as sat;
 pub use cf_spec as spec;
+pub use cf_synth as synth;
 pub use checkfence as core;
 
 // The user guide's Rust blocks run as doctests of this crate, so the
@@ -63,6 +69,8 @@ mod doc_examples {
     pub struct Ablation;
     #[doc = include_str!("../docs/query-api.md")]
     pub struct QueryApi;
+    #[doc = include_str!("../docs/harness-synthesis.md")]
+    pub struct HarnessSynthesis;
     #[doc = include_str!("../README.md")]
     pub struct Readme;
 }
@@ -72,6 +80,9 @@ pub mod prelude {
     pub use cf_algos;
     pub use cf_memmodel::{Mode, ModeSet};
     pub use cf_spec::ModelSpec;
+    pub use cf_synth::{
+        run_corpus, synthesize, CorpusConfig, CorpusReport, CorpusVerdict, SynthBounds,
+    };
     pub use checkfence::commit::AbstractType;
     pub use checkfence::infer::{infer, InferConfig};
     pub use checkfence::{

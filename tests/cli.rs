@@ -330,6 +330,94 @@ fn ablate_accepts_a_cfm_model_column() {
 }
 
 #[test]
+fn synth_prints_a_coverage_table() {
+    let out = run(cli().args(["--synth", "lamport", "--threads", "2", "--ops", "1"]));
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("synth corpus — lamport"), "{stdout}");
+    assert!(
+        stdout.contains("canonical after symmetry reduction"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("pruned (subsumption)"), "{stdout}");
+    for model in ["sc", "tso", "pso", "relaxed"] {
+        assert!(stdout.contains(model), "missing {model} column: {stdout}");
+    }
+    // Synthesis explores shapes outside the hand-written catalog: the
+    // two-producer shape breaks the SPSC contract even on SC.
+    assert!(stdout.contains("(e|e)"), "{stdout}");
+    assert!(stdout.contains("FAIL"), "{stdout}");
+}
+
+#[test]
+fn synth_coverage_table_is_identical_across_jobs() {
+    // Same bounds → byte-identical synthesized corpus and coverage
+    // table at --jobs 1 and --jobs 4; only the summary line
+    // (sessions/encodes/timing) may differ.
+    let table_of = |jobs: &str| -> (Option<i32>, Vec<String>, String) {
+        let out = run(cli().args([
+            "--synth",
+            "lamport",
+            "--threads",
+            "2",
+            "--ops",
+            "1",
+            "--jobs",
+            jobs,
+        ]));
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        let table: Vec<String> = stdout
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("sessions "))
+            .map(str::to_string)
+            .collect();
+        (out.status.code(), table, stdout)
+    };
+    let (code1, table1, stdout1) = table_of("1");
+    let (code4, table4, stdout4) = table_of("4");
+    assert_eq!(code1, code4, "exit codes must agree");
+    assert_eq!(
+        table1, table4,
+        "coverage tables must be identical at --jobs 1 and --jobs 4:\n\
+         --- jobs 1 ---\n{stdout1}\n--- jobs 4 ---\n{stdout4}"
+    );
+    // One pooled session and one encoding per synthesized harness.
+    assert!(stdout1.contains("sessions 9  encodes 9"), "{stdout1}");
+}
+
+#[test]
+fn synth_usage_errors_exit_two() {
+    // --synth replaces the source file and the op/test flags.
+    let out = run(mailbox_args(&mut cli()).args(["--synth", "treiber"]));
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    // Synthesis bounds need --synth.
+    let out = run(mailbox_args(&mut cli()).args(["--threads", "3"]));
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    // Unknown data types are rejected with the candidate list.
+    let out = run(cli().args(["--synth", "nope"]));
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("treiber"),
+        "{out:?}"
+    );
+    // Other modes do not combine with synthesis.
+    let out = run(cli().args(["--synth", "treiber", "--ablate"]));
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    // Flags the synth mode would silently ignore are rejected, not
+    // swallowed: --stats/--trace have no coverage-table meaning, and a
+    // built-in --model cannot restrict the lattice (only a .cfm spec
+    // adds a column).
+    let out = run(cli().args(["--synth", "treiber", "--stats"]));
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = run(cli().args(["--synth", "treiber", "--model", "tso"]));
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("lattice"),
+        "{out:?}"
+    );
+}
+
+#[test]
 fn ablate_conflicts_with_infer() {
     let out = run(mailbox_args(&mut cli()).args(["--ablate", "--infer"]));
     assert_eq!(out.status.code(), Some(2), "{out:?}");

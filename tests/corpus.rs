@@ -1,0 +1,104 @@
+//! The scenario corpus under `corpus/` is machine-checked: every entry
+//! loads, compiles, mines, and reproduces every verdict its header
+//! declares — so the corpus cannot rot any more than the docs can.
+
+use std::path::Path;
+
+use cf_synth::corpus::{load_dir, CorpusEntry};
+use cf_synth::{run_corpus, CorpusConfig, CorpusVerdict};
+
+fn corpus() -> Vec<CorpusEntry> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    load_dir(&dir).expect("corpus loads")
+}
+
+#[test]
+fn corpus_holds_the_four_scenarios() {
+    let names: Vec<String> = corpus().into_iter().map(|e| e.name).collect();
+    assert_eq!(names, ["dekker", "mpmc_queue", "seqlock", "spsc_ring"]);
+}
+
+#[test]
+fn every_entry_declares_checked_expectations() {
+    for entry in corpus() {
+        assert!(
+            entry.expects.len() >= 4,
+            "{}: a corpus entry must pin at least four verdicts",
+            entry.name
+        );
+        // Every entry tells both stories: fenced ops passing across the
+        // lattice, and raw twins pinning at least one failure.
+        for model in ["sc", "tso", "pso", "relaxed"] {
+            assert!(
+                entry.expects.iter().any(|e| e.model == model),
+                "{}: no expectation on {model}",
+                entry.name
+            );
+        }
+        assert!(
+            entry.expects.iter().any(|e| e.pass),
+            "{}: no passing expectation",
+            entry.name
+        );
+        assert!(
+            entry.expects.iter().any(|e| !e.pass),
+            "{}: no failing expectation",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn declared_verdicts_are_reproduced() {
+    let config = CorpusConfig {
+        jobs: 2,
+        ..CorpusConfig::default()
+    };
+    for entry in corpus() {
+        let report = run_corpus(&entry.harness, &entry.tests, &config);
+        for row in &report.rows {
+            assert!(
+                row.mine_error.is_none(),
+                "{}/{}: mining failed: {:?}",
+                entry.name,
+                row.test.name,
+                row.mine_error
+            );
+            for (model, v) in report.model_names.iter().zip(&row.verdicts) {
+                assert!(
+                    !matches!(v, CorpusVerdict::Error(_)),
+                    "{}/{} on {model}: {v:?}",
+                    entry.name,
+                    row.test.name
+                );
+            }
+        }
+        for expect in &entry.expects {
+            let row = report
+                .rows
+                .iter()
+                .find(|r| r.test.name == expect.test)
+                .expect("expectation names a declared test");
+            let col = report
+                .model_names
+                .iter()
+                .position(|m| *m == expect.model)
+                .unwrap_or_else(|| panic!("{}: unknown model {}", entry.name, expect.model));
+            let want = if expect.pass {
+                CorpusVerdict::Pass
+            } else {
+                CorpusVerdict::Fail
+            };
+            assert_eq!(
+                row.verdicts[col],
+                want,
+                "{}: {} @ {} declared {} — got {}",
+                entry.name,
+                expect.test,
+                expect.model,
+                if expect.pass { "pass" } else { "fail" },
+                row.verdicts[col].cell()
+            );
+        }
+    }
+}
