@@ -120,6 +120,10 @@ fn assert_three_way_equivalence(h: &Harness, t: &TestSpec, seed: u64, n: usize) 
             fold(v, |v| match v.answer {
                 checkfence::Answer::Outcome(o) => of_outcome(&o),
                 checkfence::Answer::Observations(obs) => Outcome::Obs(obs),
+                // No budgets are configured on any path of this suite.
+                checkfence::Answer::Inconclusive { reason, .. } => {
+                    panic!("unbudgeted run came back inconclusive: {reason}")
+                }
             })
         })
         .collect();

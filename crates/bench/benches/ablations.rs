@@ -42,15 +42,17 @@ fn check_time(h: &Harness, t: &TestSpec, mode: Mode, config: SolverConfig) -> Ru
     let mut c = Checker::new(h, t).with_memory_model(mode);
     c.config.solver_config = config;
     // Weak configurations (e.g. no VSIDS) can be orders of magnitude
-    // slower; cap them so the ablation terminates.
+    // slower; cap them so the ablation terminates. No retry ladder:
+    // a blown budget should report as such, not re-run 8x larger.
     c.config.conflict_budget = Some(100_000);
+    c.config.max_retries = 0;
     let t0 = Instant::now();
     match c.check_inclusion(&spec) {
         Ok(r) => Run::Done {
             passed: r.outcome.passed(),
             secs: t0.elapsed().as_secs_f64(),
         },
-        Err(checkfence::CheckError::SolverBudget) => Run::Budget,
+        Err(checkfence::CheckError::Exhausted(_)) => Run::Budget,
         Err(e) => panic!("{e}"),
     }
 }

@@ -41,6 +41,22 @@ pub struct CheckConfig {
     pub max_bound_rounds: u32,
     /// Optional SAT conflict budget per solve call.
     pub conflict_budget: Option<u64>,
+    /// Optional deterministic tick budget (propagations + conflicts) per
+    /// solve call. Ticks depend only on the formula and the solver state,
+    /// so exhaustion reproduces exactly on any machine — prefer this over
+    /// [`CheckConfig::deadline`] when reproducibility matters.
+    pub tick_budget: Option<u64>,
+    /// Optional wall-clock deadline per query (covers every solve call
+    /// and bound-growth round the query issues). Machine-dependent by
+    /// nature; the backstop for pathological instances, not a
+    /// reproducible budget.
+    pub deadline: Option<Duration>,
+    /// How many times the engine retries an exhausted query before
+    /// declaring it inconclusive (the retry ladder; each retry multiplies
+    /// the tick budget by [`CheckConfig::retry_growth`]).
+    pub max_retries: u32,
+    /// Geometric growth factor of the tick budget across retries.
+    pub retry_growth: u64,
     /// Unrolling bound for `spin`-marked retry loops (their exit is
     /// assumed within this many iterations; see the spin-loop reduction).
     pub spin_bound: u32,
@@ -57,6 +73,10 @@ impl Default for CheckConfig {
             range_analysis: true,
             max_bound_rounds: 8,
             conflict_budget: None,
+            tick_budget: None,
+            deadline: None,
+            max_retries: 2,
+            retry_growth: 8,
             spin_bound: 3,
             solver_config: cf_sat::SolverConfig::default(),
         }
@@ -253,6 +273,42 @@ pub struct InclusionResult {
     pub stats: PhaseStats,
 }
 
+/// Why a query ended without a verdict (graceful degradation instead of
+/// an unbounded solve or a lost batch).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InconclusiveReason {
+    /// A solver budget (ticks or conflicts) ran out on every attempt of
+    /// the retry ladder. Deterministic: reproduces exactly under the
+    /// same configuration.
+    Budget,
+    /// The wall-clock deadline passed. Machine-dependent by nature.
+    Deadline,
+    /// The worker shard running the query crashed, and so did the retry
+    /// on a freshly rebuilt session. Only this query's cell is lost; the
+    /// rest of the batch is unaffected.
+    ShardCrashed,
+}
+
+impl fmt::Display for InconclusiveReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InconclusiveReason::Budget => "solver budget exhausted",
+            InconclusiveReason::Deadline => "deadline exceeded",
+            InconclusiveReason::ShardCrashed => "worker shard crashed",
+        })
+    }
+}
+
+/// Maps the solver's reported stop cause to the degradation reason
+/// attached to `CheckError::Exhausted` (shared by the session and the
+/// one-shot paths so both report the same reason for the same stop).
+pub(crate) fn exhausted_err(solver: &cf_sat::Solver) -> CheckError {
+    CheckError::Exhausted(match solver.stop_cause() {
+        Some(cf_sat::StopCause::Deadline) => InconclusiveReason::Deadline,
+        _ => InconclusiveReason::Budget,
+    })
+}
+
 /// Errors of the checking infrastructure itself.
 #[derive(Clone, Debug)]
 pub enum CheckError {
@@ -263,8 +319,12 @@ pub enum CheckError {
         /// The loops that would not converge.
         keys: Vec<String>,
     },
-    /// The SAT solver exhausted its conflict budget.
-    SolverBudget,
+    /// A resource limit ran out before the query had an answer. The
+    /// engine's retry ladder converts this into
+    /// [`Answer::Inconclusive`](crate::query::Answer::Inconclusive) once
+    /// retries are spent; only the deprecated one-shot paths surface it
+    /// as an error.
+    Exhausted(InconclusiveReason),
     /// A serial execution raised a runtime error: the implementation is
     /// broken sequentially, so mining cannot produce a specification.
     SerialBug(Box<Counterexample>),
@@ -287,7 +347,7 @@ impl fmt::Display for CheckError {
             CheckError::BoundsDiverged { keys } => {
                 write!(f, "loop bounds diverged for {keys:?}")
             }
-            CheckError::SolverBudget => write!(f, "SAT conflict budget exhausted"),
+            CheckError::Exhausted(reason) => write!(f, "inconclusive: {reason}"),
             CheckError::SerialBug(c) => write!(f, "serial bug found:\n{c}"),
             CheckError::BadQuery(msg) => write!(f, "bad query: {msg}"),
             CheckError::DegenerateTest(msg) => write!(f, "degenerate test: {msg}"),
@@ -398,6 +458,9 @@ impl<'h> Checker<'h> {
         ) -> Result<Round<T>, CheckError>,
     ) -> Result<T, CheckError> {
         let mut bounds = LoopBounds::new();
+        // One deadline covers the whole query, bound-growth rounds
+        // included; tick budgets are per solve call.
+        let deadline_at = self.config.deadline.map(|d| Instant::now() + d);
         for round in 0..self.config.max_bound_rounds {
             stats.bound_rounds = round + 1;
             let sx = execute(self.harness, self.test, &bounds, self.config.spin_bound)?;
@@ -411,6 +474,8 @@ impl<'h> Checker<'h> {
             enc.cnf
                 .solver
                 .set_conflict_budget(self.config.conflict_budget);
+            enc.cnf.solver.set_tick_budget(self.config.tick_budget);
+            enc.cnf.solver.set_deadline(deadline_at);
             enc.cnf.solver.set_config(self.config.solver_config);
 
             // Prepare the bound-overflow query before the payload runs
@@ -446,7 +511,7 @@ impl<'h> Checker<'h> {
                             enc.cnf.assert_lit(!act);
                             false
                         }
-                        SolveResult::Unknown => return Err(CheckError::SolverBudget),
+                        SolveResult::Unknown => return Err(exhausted_err(&enc.cnf.solver)),
                     }
                 }
             };
@@ -501,7 +566,8 @@ impl<'h> Checker<'h> {
     pub fn mine_spec(&self) -> Result<MiningResult, CheckError> {
         let v = self
             .engine(ModeSet::single(Mode::Serial))
-            .run(&crate::query::Query::mine(self.harness, self.test))?;
+            .run(&crate::query::Query::mine(self.harness, self.test))?
+            .or_exhausted()?;
         let stats = v.phase.clone();
         let spec = v.into_observations().expect("mining yields observations");
         Ok(MiningResult { spec, stats })
@@ -538,7 +604,7 @@ impl<'h> Checker<'h> {
                     );
                     return Err(CheckError::SerialBug(Box::new(cx)));
                 }
-                SolveResult::Unknown => return Err(CheckError::SolverBudget),
+                SolveResult::Unknown => return Err(exhausted_err(&enc.cnf.solver)),
                 SolveResult::Unsat => {}
             }
             // Enumerate observations of error-free serial executions.
@@ -564,7 +630,7 @@ impl<'h> Checker<'h> {
                         vectors.insert(obs);
                     }
                     SolveResult::Unsat => break,
-                    SolveResult::Unknown => return Err(CheckError::SolverBudget),
+                    SolveResult::Unknown => return Err(exhausted_err(&enc.cnf.solver)),
                 }
             }
             Ok(Round::Bounded(ObsSet { vectors }))
@@ -591,7 +657,8 @@ impl<'h> Checker<'h> {
     pub fn enumerate_observations(&self, mode: Mode) -> Result<ObsSet, CheckError> {
         let v = self
             .engine(ModeSet::single(mode))
-            .run(&crate::query::Query::enumerate(self.harness, self.test).on(mode))?;
+            .run(&crate::query::Query::enumerate(self.harness, self.test).on(mode))?
+            .or_exhausted()?;
         Ok(v.into_observations()
             .expect("enumeration yields observations"))
     }
@@ -629,7 +696,7 @@ impl<'h> Checker<'h> {
                         vectors.insert(obs);
                     }
                     SolveResult::Unsat => break,
-                    SolveResult::Unknown => return Err(CheckError::SolverBudget),
+                    SolveResult::Unknown => return Err(exhausted_err(&enc.cnf.solver)),
                 }
             }
             Ok(Round::Bounded(ObsSet { vectors }))
@@ -657,7 +724,7 @@ impl<'h> Checker<'h> {
         let v = self.engine(ModeSet::single(model)).run(
             &crate::query::Query::check_inclusion(self.harness, self.test, spec.clone()).on(model),
         )?;
-        Ok(v.into_inclusion_result())
+        v.into_inclusion_result()
     }
 
     /// Runs the inclusion check under a declarative memory model
@@ -683,7 +750,7 @@ impl<'h> Checker<'h> {
             &crate::query::Query::check_inclusion(self.harness, self.test, spec.clone())
                 .on_model(crate::ModelSel::Spec(0)),
         )?;
-        Ok(v.into_inclusion_result())
+        v.into_inclusion_result()
     }
 
     /// Enumerates the observations of all error-free executions under a
@@ -704,10 +771,12 @@ impl<'h> Checker<'h> {
     ) -> Result<ObsSet, CheckError> {
         let config = crate::query::EngineConfig::from_check_config(&self.config, ModeSet::empty())
             .with_specs(vec![model.clone()]);
-        let v = crate::query::Engine::new(config).run(
-            &crate::query::Query::enumerate(self.harness, self.test)
-                .on_model(crate::ModelSel::Spec(0)),
-        )?;
+        let v = crate::query::Engine::new(config)
+            .run(
+                &crate::query::Query::enumerate(self.harness, self.test)
+                    .on_model(crate::ModelSel::Spec(0)),
+            )?
+            .or_exhausted()?;
         Ok(v.into_observations()
             .expect("enumeration yields observations"))
     }
@@ -747,7 +816,7 @@ impl<'h> Checker<'h> {
             stats.solve_time += t.elapsed();
             match r {
                 SolveResult::Unsat => Ok(Round::Bounded(CheckOutcome::Pass)),
-                SolveResult::Unknown => Err(CheckError::SolverBudget),
+                SolveResult::Unknown => Err(exhausted_err(&enc.cnf.solver)),
                 SolveResult::Sat => {
                     let kind = if enc.cnf.lit_value(enc.error_lit) {
                         FailureKind::RuntimeError
@@ -781,7 +850,7 @@ impl<'h> Checker<'h> {
         let v = self.engine(ModeSet::single(model)).run(
             &crate::query::Query::check_inclusion(self.harness, self.test, mining.spec).on(model),
         )?;
-        Ok(v.into_inclusion_result())
+        v.into_inclusion_result()
     }
 }
 

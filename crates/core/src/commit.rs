@@ -23,8 +23,8 @@ use cf_memmodel::Mode;
 use cf_sat::{Lit, SolveResult};
 
 use crate::checker::{
-    decode_counterexample, CheckError, CheckOutcome, Checker, FailureKind, InclusionResult,
-    PhaseStats,
+    decode_counterexample, exhausted_err, CheckError, CheckOutcome, Checker, FailureKind,
+    InclusionResult, PhaseStats,
 };
 use crate::cnf::CnfBuilder;
 use crate::encode::{EncVal, Encoding};
@@ -77,7 +77,7 @@ impl Checker<'_> {
         let v = crate::query::Engine::new(config).run(
             &crate::query::Query::commit_method(self.harness_ref(), self.test_ref(), ty).on(model),
         )?;
-        Ok(v.into_inclusion_result())
+        v.into_inclusion_result()
     }
 
     /// The pre-session one-shot implementation of the commit-method
@@ -97,6 +97,7 @@ impl Checker<'_> {
         let t0 = Instant::now();
         let mut stats = PhaseStats::default();
         let model: Mode = self.config.memory_model;
+        let deadline_at = self.config.deadline.map(|d| Instant::now() + d);
 
         let mut bounds = LoopBounds::new();
         for round in 0..self.config.max_bound_rounds {
@@ -119,6 +120,8 @@ impl Checker<'_> {
             enc.cnf
                 .solver
                 .set_conflict_budget(self.config.conflict_budget);
+            enc.cnf.solver.set_tick_budget(self.config.tick_budget);
+            enc.cnf.solver.set_deadline(deadline_at);
             enc.cnf.solver.set_config(self.config.solver_config);
 
             let mut assumptions: Vec<Lit> = enc.exceeded.iter().map(|(_, l)| !*l).collect();
@@ -142,7 +145,7 @@ impl Checker<'_> {
                         stats,
                     });
                 }
-                SolveResult::Unknown => return Err(CheckError::SolverBudget),
+                SolveResult::Unknown => return Err(exhausted_err(&enc.cnf.solver)),
                 SolveResult::Unsat => {}
             }
             // Within-bounds executions all match; grow bounds if needed.
@@ -173,7 +176,7 @@ impl Checker<'_> {
                         stats,
                     });
                 }
-                SolveResult::Unknown => return Err(CheckError::SolverBudget),
+                SolveResult::Unknown => return Err(exhausted_err(&enc.cnf.solver)),
             }
         }
         Err(CheckError::BoundsDiverged {

@@ -96,7 +96,7 @@ pub mod query;
 
 pub use checker::{
     CheckConfig, CheckError, CheckOutcome, Checker, Counterexample, FailureKind, InclusionResult,
-    MiningResult, ObsSet, PhaseStats, TraceStep,
+    InconclusiveReason, MiningResult, ObsSet, PhaseStats, TraceStep,
 };
 pub use cnf::CnfBuilder;
 pub use encode::{EncVal, Encoding, ModelSel, OrderEncoding};

@@ -633,12 +633,19 @@ pub enum MutantVerdict {
     /// load-load fence turning a retry loop infinite). Counts as
     /// caught.
     Diverged,
+    /// The cell ran out of resources (solver budget, deadline, or a
+    /// crashed worker shard) before deciding — nothing is known about
+    /// this mutant on this model.
+    Inconclusive(crate::checker::InconclusiveReason),
 }
 
 impl MutantVerdict {
-    /// `true` unless the mutant survived.
+    /// `true` unless the mutant survived or the cell is undecided.
     pub fn caught(&self) -> bool {
-        !matches!(self, MutantVerdict::Survived)
+        !matches!(
+            self,
+            MutantVerdict::Survived | MutantVerdict::Inconclusive(_)
+        )
     }
 
     /// Fixed-width table cell.
@@ -647,6 +654,7 @@ impl MutantVerdict {
             MutantVerdict::Survived => ".",
             MutantVerdict::Caught(_) => "X",
             MutantVerdict::Diverged => "~",
+            MutantVerdict::Inconclusive(_) => "?",
         }
     }
 }
@@ -702,7 +710,8 @@ impl MutationReport {
     }
 
     /// Renders the Fig. 11-style table (`X` caught, `.` survived, `~`
-    /// bounds diverged). The output is a pure function of the verdicts —
+    /// bounds diverged, `?` inconclusive). The output is a pure
+    /// function of the verdicts —
     /// timings and amortization counters are reported separately
     /// ([`MutationReport::summary`]) so tables from different `jobs`
     /// settings compare bit for bit.
@@ -749,7 +758,7 @@ impl MutationReport {
         let (caught, total) = self.caught();
         let _ = writeln!(
             out,
-            "  caught {caught}/{total}   (X caught, . survived, ~ bounds diverged)"
+            "  caught {caught}/{total}   (X caught, . survived, ~ bounds diverged, ? inconclusive)"
         );
         out
     }
@@ -777,6 +786,7 @@ fn verdict_of(
             CheckOutcome::Fail(cx) => MutantVerdict::Caught(cx.kind),
         }),
         Err(CheckError::BoundsDiverged { .. }) => Ok(MutantVerdict::Diverged),
+        Err(CheckError::Exhausted(reason)) => Ok(MutantVerdict::Inconclusive(reason)),
         Err(e) => Err(e),
     }
 }
@@ -784,13 +794,19 @@ fn verdict_of(
 /// [`verdict_of`] for engine verdicts.
 fn verdict_of_query(r: Result<Verdict, CheckError>) -> Result<MutantVerdict, CheckError> {
     match r {
-        Ok(v) => Ok(
-            match v.into_outcome().expect("inclusion yields an outcome") {
-                CheckOutcome::Pass => MutantVerdict::Survived,
-                CheckOutcome::Fail(cx) => MutantVerdict::Caught(cx.kind),
-            },
-        ),
+        Ok(v) => {
+            if let Some(reason) = v.inconclusive() {
+                return Ok(MutantVerdict::Inconclusive(reason));
+            }
+            Ok(
+                match v.into_outcome().expect("inclusion yields an outcome") {
+                    CheckOutcome::Pass => MutantVerdict::Survived,
+                    CheckOutcome::Fail(cx) => MutantVerdict::Caught(cx.kind),
+                },
+            )
+        }
         Err(CheckError::BoundsDiverged { .. }) => Ok(MutantVerdict::Diverged),
+        Err(CheckError::Exhausted(reason)) => Ok(MutantVerdict::Inconclusive(reason)),
         Err(e) => Err(e),
     }
 }

@@ -74,15 +74,17 @@
 //! assert_eq!(stats.queries, 5);
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use cf_memmodel::{Mode, ModeSet};
 use cf_spec::ModelSpec;
 
 use crate::checker::{
-    CheckConfig, CheckError, CheckOutcome, Counterexample, InclusionResult, ObsSet, PhaseStats,
+    CheckConfig, CheckError, CheckOutcome, Counterexample, InclusionResult, InconclusiveReason,
+    ObsSet, PhaseStats,
 };
 use crate::commit::AbstractType;
 use crate::encode::ModelSel;
@@ -142,6 +144,8 @@ pub struct Query<'h> {
     fences: Vec<u32>,
     toggles: Vec<u32>,
     kind: QueryKind,
+    budget: Option<u64>,
+    deadline: Option<Duration>,
 }
 
 impl<'h> Query<'h> {
@@ -153,6 +157,8 @@ impl<'h> Query<'h> {
             fences: Vec::new(),
             toggles: Vec::new(),
             kind,
+            budget: None,
+            deadline: None,
         }
     }
 
@@ -218,6 +224,29 @@ impl<'h> Query<'h> {
     #[must_use]
     pub fn with_toggles(mut self, sites: &[u32]) -> Query<'h> {
         self.toggles = sites.to_vec();
+        self
+    }
+
+    /// Sets this query's initial tick budget, overriding
+    /// [`CheckConfig::tick_budget`]. Ticks (solver propagations +
+    /// conflicts) are deterministic: the same query against the same
+    /// session state spends the same ticks on every machine. When the
+    /// ladder of escalating retries (see [`CheckConfig::max_retries`])
+    /// still exhausts the budget, the verdict is
+    /// [`Answer::Inconclusive`] rather than an error (chainable).
+    #[must_use]
+    pub fn with_budget(mut self, ticks: u64) -> Query<'h> {
+        self.budget = Some(ticks);
+        self
+    }
+
+    /// Sets this query's wall-clock deadline, overriding
+    /// [`CheckConfig::deadline`]. Unlike tick budgets, deadlines are
+    /// machine-dependent; use them as a safety net, not for
+    /// reproducible cutoffs (chainable).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Query<'h> {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -296,6 +325,15 @@ pub enum Answer {
     Outcome(CheckOutcome),
     /// An observation set (mining, enumeration).
     Observations(ObsSet),
+    /// The engine ran out of resources before the question was decided
+    /// — a first-class verdict, not an error, so batch drivers render a
+    /// `?` cell and keep going instead of aborting the table.
+    Inconclusive {
+        /// Why the query could not be decided.
+        reason: InconclusiveReason,
+        /// Solver ticks spent across all retry attempts.
+        spent: u64,
+    },
 }
 
 /// Per-query solver attribution, measured with [`cf_sat::Stats::since`]
@@ -312,12 +350,14 @@ pub struct QueryStats {
     pub propagations: u64,
     /// Assumption literals passed for this query.
     pub assumed_literals: u64,
-    /// Wall-clock time of the query end to end.
+    /// Wall-clock time of the query end to end (including retries).
     pub wall: Duration,
+    /// Budget-escalation retries the engine spent on this query.
+    pub retries: u32,
 }
 
 impl QueryStats {
-    fn from_delta(delta: cf_sat::Stats, wall: Duration) -> QueryStats {
+    fn from_delta(delta: cf_sat::Stats, wall: Duration, retries: u32) -> QueryStats {
         QueryStats {
             solves: delta.solves,
             conflicts: delta.conflicts,
@@ -325,6 +365,7 @@ impl QueryStats {
             propagations: delta.propagations,
             assumed_literals: delta.assumed_literals,
             wall,
+            retries,
         }
     }
 }
@@ -342,11 +383,13 @@ pub struct Verdict {
 }
 
 impl Verdict {
-    /// `true` unless the answer is a failing outcome.
+    /// `true` unless the answer is a failing outcome. Inconclusive
+    /// verdicts did not pass: nothing was proved.
     pub fn passed(&self) -> bool {
         match &self.answer {
             Answer::Outcome(o) => o.passed(),
             Answer::Observations(_) => true,
+            Answer::Inconclusive { .. } => false,
         }
     }
 
@@ -354,7 +397,7 @@ impl Verdict {
     pub fn outcome(&self) -> Option<&CheckOutcome> {
         match &self.answer {
             Answer::Outcome(o) => Some(o),
-            Answer::Observations(_) => None,
+            _ => None,
         }
     }
 
@@ -362,7 +405,7 @@ impl Verdict {
     pub fn into_outcome(self) -> Option<CheckOutcome> {
         match self.answer {
             Answer::Outcome(o) => Some(o),
-            Answer::Observations(_) => None,
+            _ => None,
         }
     }
 
@@ -370,7 +413,7 @@ impl Verdict {
     pub fn observations(&self) -> Option<&ObsSet> {
         match &self.answer {
             Answer::Observations(s) => Some(s),
-            Answer::Outcome(_) => None,
+            _ => None,
         }
     }
 
@@ -378,7 +421,7 @@ impl Verdict {
     pub fn into_observations(self) -> Option<ObsSet> {
         match self.answer {
             Answer::Observations(s) => Some(s),
-            Answer::Outcome(_) => None,
+            _ => None,
         }
     }
 
@@ -390,19 +433,43 @@ impl Verdict {
         }
     }
 
+    /// Why the query was left undecided, if it was.
+    pub fn inconclusive(&self) -> Option<InconclusiveReason> {
+        match &self.answer {
+            Answer::Inconclusive { reason, .. } => Some(*reason),
+            _ => None,
+        }
+    }
+
+    /// Converts an inconclusive verdict back into the legacy
+    /// [`CheckError::Exhausted`] error the deprecated one-query shims
+    /// report, passing conclusive verdicts through.
+    pub(crate) fn or_exhausted(self) -> Result<Verdict, CheckError> {
+        match self.answer {
+            Answer::Inconclusive { reason, .. } => Err(CheckError::Exhausted(reason)),
+            _ => Ok(self),
+        }
+    }
+
     /// Consumes an outcome-shaped verdict into the legacy result type —
     /// the shared adapter of the deprecated shims.
+    ///
+    /// # Errors
+    ///
+    /// Inconclusive verdicts surface as [`CheckError::Exhausted`], the
+    /// pre-verdict contract of the shims.
     ///
     /// # Panics
     ///
     /// Panics on an observation-shaped answer (mining/enumeration).
-    pub(crate) fn into_inclusion_result(self) -> InclusionResult {
+    pub(crate) fn into_inclusion_result(self) -> Result<InclusionResult, CheckError> {
         let Verdict { answer, phase, .. } = self;
         match answer {
-            Answer::Outcome(outcome) => InclusionResult {
+            Answer::Outcome(outcome) => Ok(InclusionResult {
                 outcome,
                 stats: phase,
-            },
+            }),
+            Answer::Inconclusive { reason, .. } => Err(CheckError::Exhausted(reason)),
             Answer::Observations(_) => {
                 unreachable!("outcome-shaped queries only")
             }
@@ -533,6 +600,15 @@ impl<'h> Engine<'h> {
         &self.config
     }
 
+    /// Mutable access to the configuration, for adjusting resource
+    /// governance (budgets, deadlines, retries) between batches. The
+    /// model universe of already-pooled sessions is fixed — changing
+    /// `modes`/`specs` mid-flight only affects sessions created later,
+    /// so restrict mutation to the scheduling and budget knobs.
+    pub fn config_mut(&mut self) -> &mut EngineConfig {
+        &mut self.config
+    }
+
     /// Aggregated amortization counters over the whole pool.
     pub fn stats(&self) -> EngineStats {
         let mut out = EngineStats {
@@ -621,10 +697,22 @@ impl<'h> Engine<'h> {
             group.members.push(i);
         }
 
-        // Shard each group across workers: `tasks` never share a slot.
+        // Shard each group across workers. Every task *owns* its
+        // session for the duration of the batch (taken out of the pool,
+        // returned afterwards), so a worker panic can poison at most
+        // its own task's cell — never a neighbour's session.
         let jobs = self.config.jobs.max(1);
         let shard_size = valid.len().div_ceil(jobs).max(1);
-        let mut tasks: Vec<(usize, Vec<usize>)> = Vec::new(); // (slot index, query indices)
+        struct Task<'h> {
+            hkey: usize,
+            tkey: usize,
+            shard: usize,
+            /// `None` after a panic discarded the session; the task
+            /// loop rebuilds it from the query's key.
+            session: Mutex<Option<CheckSession<'h>>>,
+            members: Vec<usize>,
+        }
+        let mut tasks: Vec<Task<'h>> = Vec::new();
         for g in &groups {
             let shards = g
                 .members
@@ -632,7 +720,7 @@ impl<'h> Engine<'h> {
                 .div_ceil(shard_size)
                 .clamp(1, jobs.min(g.members.len().max(1)));
             for shard in 0..shards {
-                let slot = self.slot_index(g.hkey, g.tkey, shard, queries, &g.members);
+                let session = self.take_session(g.hkey, g.tkey, shard, &queries[g.members[0]]);
                 let members: Vec<usize> = g
                     .members
                     .iter()
@@ -640,49 +728,65 @@ impl<'h> Engine<'h> {
                     .filter(|(pos, _)| pos % shards == shard)
                     .map(|(_, &i)| i)
                     .collect();
-                tasks.push((slot, members));
+                tasks.push(Task {
+                    hkey: g.hkey,
+                    tkey: g.tkey,
+                    shard,
+                    session: Mutex::new(Some(session)),
+                    members,
+                });
             }
         }
 
-        if jobs <= 1 || tasks.len() <= 1 {
-            for (slot, members) in tasks {
-                let session = &mut self.pool[slot].session;
-                for i in members {
-                    results[i] = Some(exec(session, &queries[i]));
+        // Results travel over a channel: unlike a shared Vec under a
+        // Mutex, a panicking worker cannot poison the collection path —
+        // everything sent before the unwind still arrives.
+        let (tx, rx) = mpsc::channel::<(usize, Result<Verdict, CheckError>)>();
+        let config = &self.config;
+        let run_task =
+            |task: &Task<'h>, tx: &mpsc::Sender<(usize, Result<Verdict, CheckError>)>| {
+                let mut slot = task.session.lock().unwrap_or_else(|p| p.into_inner());
+                for &i in &task.members {
+                    let _ = tx.send((i, exec_isolated(&mut slot, &queries[i], config)));
                 }
+            };
+        if jobs <= 1 || tasks.len() <= 1 {
+            for task in &tasks {
+                run_task(task, &tx);
             }
         } else {
-            let slots: Vec<Mutex<&mut CheckSession<'h>>> = self
-                .pool
-                .iter_mut()
-                .map(|s| Mutex::new(&mut s.session))
-                .collect();
             let next = AtomicUsize::new(0);
-            let collected: Mutex<Vec<(usize, Result<Verdict, CheckError>)>> =
-                Mutex::new(Vec::with_capacity(valid.len()));
             std::thread::scope(|scope| {
                 for _ in 0..jobs.min(tasks.len()) {
-                    scope.spawn(|| loop {
+                    let tx = tx.clone();
+                    let (next, tasks, run_task) = (&next, &tasks, &run_task);
+                    scope.spawn(move || loop {
                         let t = next.fetch_add(1, Ordering::Relaxed);
-                        let Some((slot, members)) = tasks.get(t) else {
+                        let Some(task) = tasks.get(t) else {
                             break;
                         };
-                        // Tasks never share a slot, so this lock is
-                        // uncontended; it only ferries the &mut.
-                        let mut session = slots[*slot].lock().expect("no poisoned worker");
-                        let mut local = Vec::with_capacity(members.len());
-                        for &i in members {
-                            local.push((i, exec(&mut session, &queries[i])));
-                        }
-                        collected
-                            .lock()
-                            .expect("no poisoned collector")
-                            .extend(local);
+                        run_task(task, &tx);
                     });
                 }
             });
-            for (i, r) in collected.into_inner().expect("workers joined") {
-                results[i] = Some(r);
+        }
+        drop(tx);
+        for (i, r) in rx.try_iter() {
+            results[i] = Some(r);
+        }
+
+        // Return the surviving sessions to the pool. A session whose
+        // second life also crashed stays discarded; the next batch on
+        // its key starts fresh.
+        for task in tasks {
+            let session = task.session.into_inner().unwrap_or_else(|p| p.into_inner());
+            if let Some(session) = session {
+                self.pool.push(Slot {
+                    hkey: task.hkey,
+                    tkey: task.tkey,
+                    shard: task.shard,
+                    session,
+                });
             }
         }
 
@@ -738,40 +842,152 @@ impl<'h> Engine<'h> {
         Ok(())
     }
 
-    /// Finds or creates the pool slot for a key, returning its index.
-    fn slot_index(
+    /// Removes the pooled session for a key, creating it if the key is
+    /// new. The caller owns the session for the batch and pushes the
+    /// survivors back.
+    fn take_session(
         &mut self,
         hkey: usize,
         tkey: usize,
         shard: usize,
-        queries: &[Query<'h>],
-        members: &[usize],
-    ) -> usize {
+        query: &Query<'h>,
+    ) -> CheckSession<'h> {
         if let Some(i) = self
             .pool
             .iter()
             .position(|s| s.hkey == hkey && s.tkey == tkey && s.shard == shard)
         {
-            return i;
+            return self.pool.swap_remove(i).session;
         }
-        let q = &queries[members[0]];
-        let config = SessionConfig::from_check_config(&self.config.check, self.config.modes)
-            .with_specs(self.config.specs.clone());
-        self.pool.push(Slot {
-            hkey,
-            tkey,
-            shard,
-            session: CheckSession::with_config(q.harness, q.test, config),
-        });
-        self.pool.len() - 1
+        build_session(query, &self.config)
     }
 }
 
-/// Runs one query on its session, attributing solver work and wall time.
-fn exec(session: &mut CheckSession<'_>, query: &Query<'_>) -> Result<Verdict, CheckError> {
+/// Builds a fresh session for a query's (harness, test) key under the
+/// engine's model universe — session creation and post-panic rebuild
+/// share this path.
+fn build_session<'h>(query: &Query<'h>, config: &EngineConfig) -> CheckSession<'h> {
+    let sc = SessionConfig::from_check_config(&config.check, config.modes)
+        .with_specs(config.specs.clone());
+    CheckSession::with_config(query.harness, query.test, sc)
+}
+
+/// Runs one query with panic isolation: a panicking session (a solver
+/// bug, or an injected worker fault) is discarded and rebuilt from the
+/// query's key, and the in-flight query is resubmitted once. If the
+/// retry dies too, only this query degrades — to
+/// [`InconclusiveReason::ShardCrashed`] — and the slot stays empty for
+/// the remaining members, each rebuilding at most once more.
+fn exec_isolated<'h>(
+    slot: &mut Option<CheckSession<'h>>,
+    query: &Query<'h>,
+    config: &EngineConfig,
+) -> Result<Verdict, CheckError> {
+    for _resubmit in 0..2 {
+        let session = slot.get_or_insert_with(|| build_session(query, config));
+        #[cfg(feature = "faults")]
+        let injected = cf_sat::faults::hit(&format!("worker:{}", query.describe()));
+        // AssertUnwindSafe: on unwind the session is dropped below and
+        // never observed again, so torn state cannot leak.
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(feature = "faults")]
+            if injected == Some(cf_sat::faults::FaultKind::Panic) {
+                panic!("injected worker fault: {}", query.describe());
+            }
+            exec(session, query, &config.check)
+        }));
+        match attempt {
+            Ok(result) => return result,
+            Err(_) => *slot = None,
+        }
+    }
+    Ok(Verdict {
+        answer: Answer::Inconclusive {
+            reason: InconclusiveReason::ShardCrashed,
+            spent: 0,
+        },
+        phase: PhaseStats::default(),
+        stats: QueryStats::default(),
+    })
+}
+
+/// Runs one query on its session with the escalating retry ladder,
+/// attributing solver work and wall time across all attempts.
+///
+/// Attempt `n` runs with the base budgets (the query's override, else
+/// the engine's [`CheckConfig`]) scaled by `retry_growth^n`; the
+/// wall-clock deadline, if any, is re-armed fresh per attempt so a
+/// transient stall does not starve the retry. When the last permitted
+/// attempt still exhausts, the query resolves to
+/// [`Answer::Inconclusive`] with the ticks spent across every attempt.
+fn exec(
+    session: &mut CheckSession<'_>,
+    query: &Query<'_>,
+    check: &CheckConfig,
+) -> Result<Verdict, CheckError> {
     let t0 = Instant::now();
     let before = session.solver_stats();
-    let outcome = match &query.kind {
+    let base_ticks = query.budget.or(check.tick_budget);
+    let base_conflicts = check.conflict_budget;
+    let deadline = query.deadline.or(check.deadline);
+    let mut scale: u64 = 1;
+    let mut retries: u32 = 0;
+    loop {
+        session.config.tick_budget = base_ticks.map(|b| b.saturating_mul(scale));
+        session.config.conflict_budget = base_conflicts.map(|b| b.saturating_mul(scale));
+        session.config.deadline_at = deadline.map(|d| Instant::now() + d);
+        match exec_once(session, query) {
+            Err(CheckError::Exhausted(reason)) => {
+                if retries < check.max_retries {
+                    retries += 1;
+                    scale = scale.saturating_mul(check.retry_growth.max(1));
+                    continue;
+                }
+                let delta = session.solver_stats().since(&before);
+                return Ok(Verdict {
+                    answer: Answer::Inconclusive {
+                        reason,
+                        spent: delta.ticks(),
+                    },
+                    phase: PhaseStats::default(),
+                    stats: QueryStats::from_delta(delta, t0.elapsed(), retries),
+                });
+            }
+            Err(e) => return Err(e),
+            Ok((answer, phase)) => {
+                let delta = session.solver_stats().since(&before);
+                return Ok(Verdict {
+                    answer,
+                    phase,
+                    stats: QueryStats::from_delta(delta, t0.elapsed(), retries),
+                });
+            }
+        }
+    }
+}
+
+/// One un-retried attempt at a query: dispatch by kind, plus the
+/// `solve:` fault hook (synthetic exhaustion consumes no solver work;
+/// a stall sleeps here, *after* the deadline was armed, so the solver's
+/// own deadline check is what trips).
+fn exec_once(
+    session: &mut CheckSession<'_>,
+    query: &Query<'_>,
+) -> Result<(Answer, PhaseStats), CheckError> {
+    #[cfg(feature = "faults")]
+    match cf_sat::faults::hit(&format!("solve:{}", query.describe())) {
+        Some(cf_sat::faults::FaultKind::Exhaust) => {
+            return Err(CheckError::Exhausted(InconclusiveReason::Budget));
+        }
+        Some(cf_sat::faults::FaultKind::Stall(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        Some(cf_sat::faults::FaultKind::Panic) => {
+            panic!("injected solve fault: {}", query.describe());
+        }
+        None => {}
+    }
+    match &query.kind {
         QueryKind::Mine => session
             .query_mine()
             .map(|r| (Answer::Observations(r.spec), r.stats)),
@@ -789,14 +1005,7 @@ fn exec(session: &mut CheckSession<'_>, query: &Query<'_>) -> Result<Verdict, Ch
                 .query_commit(mode, *ty)
                 .map(|r| (Answer::Outcome(r.outcome), r.stats))
         }
-    };
-    let delta = session.solver_stats().since(&before);
-    let (answer, phase) = outcome?;
-    Ok(Verdict {
-        answer,
-        phase,
-        stats: QueryStats::from_delta(delta, t0.elapsed()),
-    })
+    }
 }
 
 #[cfg(test)]

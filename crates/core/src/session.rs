@@ -39,8 +39,8 @@ use cf_sat::{Lit, SolveResult};
 use cf_spec::ModelSpec;
 
 use crate::checker::{
-    decode_counterexample, CheckConfig, CheckError, CheckOutcome, FailureKind, InclusionResult,
-    MiningResult, ObsSet, PhaseStats,
+    decode_counterexample, exhausted_err, CheckConfig, CheckError, CheckOutcome, FailureKind,
+    InclusionResult, MiningResult, ObsSet, PhaseStats,
 };
 use crate::commit::{encode_abstract_machine, AbstractType};
 use crate::encode::{Encoding, ModelSel, OrderEncoding};
@@ -68,6 +68,16 @@ pub struct SessionConfig {
     pub max_bound_rounds: u32,
     /// Optional SAT conflict budget per solve call.
     pub conflict_budget: Option<u64>,
+    /// Optional deterministic tick budget (propagations + conflicts)
+    /// per solve call; the engine's retry ladder grows this between
+    /// attempts.
+    pub tick_budget: Option<u64>,
+    /// Optional absolute wall-clock deadline for the *current* query.
+    /// Relative per-query deadlines ([`CheckConfig::deadline`]) are
+    /// armed into an `Instant` by the caller at query start, so one
+    /// deadline covers every solve call and bound-growth round the
+    /// query issues.
+    pub deadline_at: Option<Instant>,
     /// Unrolling bound for `spin`-marked retry loops.
     pub spin_bound: u32,
     /// Feature toggles of the underlying SAT solver.
@@ -91,6 +101,8 @@ impl SessionConfig {
             range_analysis: config.range_analysis,
             max_bound_rounds: config.max_bound_rounds,
             conflict_budget: config.conflict_budget,
+            tick_budget: config.tick_budget,
+            deadline_at: None,
             spin_bound: config.spin_bound,
             solver_config: config.solver_config,
         }
@@ -315,7 +327,7 @@ impl<'h> CheckSession<'h> {
                     let cx = decode_counterexample(sx, enc, FailureKind::SerialError, name);
                     return Err(CheckError::SerialBug(Box::new(cx)));
                 }
-                SolveResult::Unknown => return Err(CheckError::SolverBudget),
+                SolveResult::Unknown => return Err(exhausted_err(&enc.cnf.solver)),
                 SolveResult::Unsat => {}
             }
             // Enumerate observations of error-free serial executions.
@@ -459,7 +471,7 @@ impl<'h> CheckSession<'h> {
                     vectors.insert(obs);
                 }
                 SolveResult::Unsat => break,
-                SolveResult::Unknown => return Err(CheckError::SolverBudget),
+                SolveResult::Unknown => return Err(exhausted_err(&enc.cnf.solver)),
             }
         }
         enc.cnf.assert_lit(!q);
@@ -607,7 +619,7 @@ impl<'h> CheckSession<'h> {
                 stats.solve_time += t.elapsed();
                 match r {
                     SolveResult::Unsat => Ok(Round::Bounded(CheckOutcome::Pass)),
-                    SolveResult::Unknown => Err(CheckError::SolverBudget),
+                    SolveResult::Unknown => Err(exhausted_err(&enc.cnf.solver)),
                     SolveResult::Sat => {
                         let kind = if enc.cnf.lit_value(enc.error_lit) {
                             FailureKind::RuntimeError
@@ -720,6 +732,8 @@ impl<'h> CheckSession<'h> {
             .cnf
             .solver
             .set_conflict_budget(self.config.conflict_budget);
+        st.enc.cnf.solver.set_tick_budget(self.config.tick_budget);
+        st.enc.cnf.solver.set_deadline(self.config.deadline_at);
         st.enc.cnf.solver.set_config(self.config.solver_config);
         Ok(())
     }
@@ -772,7 +786,7 @@ impl<'h> CheckSession<'h> {
         match r {
             SolveResult::Sat => Ok(Some(st.enc.exceeded_keys())),
             SolveResult::Unsat => Ok(None),
-            SolveResult::Unknown => Err(CheckError::SolverBudget),
+            SolveResult::Unknown => Err(exhausted_err(&st.enc.cnf.solver)),
         }
     }
 
@@ -887,7 +901,7 @@ impl<'h> CheckSession<'h> {
                     let cx = decode_counterexample(&st.sx, &mut st.enc, kind, name);
                     return Ok(CheckOutcome::Fail(Box::new(cx)));
                 }
-                SolveResult::Unknown => return Err(CheckError::SolverBudget),
+                SolveResult::Unknown => return Err(exhausted_err(&st.enc.cnf.solver)),
                 SolveResult::Unsat => match overflow {
                     None => return Ok(CheckOutcome::Pass),
                     Some(keys) => self.grow_bounds(keys),

@@ -1,0 +1,293 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! The engine layers above the solver promise graceful degradation: an
+//! exhausted budget becomes an inconclusive cell, a stalled solve runs
+//! into its deadline, a crashed worker loses at most the in-flight
+//! query. Those paths trigger rarely in healthy runs, so the test
+//! suites *inject* the failures instead of waiting for them. A
+//! [`FaultPlan`] is a set of deterministic, addressed injections: every
+//! hook site carries a stable string address (for the engine, the
+//! query's `describe()` string behind a site prefix such as `solve:` or
+//! `worker:`), and the plan decides — by exact address match, or by a
+//! seed-keyed hash when scattering over a set of addresses — whether
+//! the site fails and how.
+//!
+//! The module only exists under the `faults` cargo feature; release
+//! builds compile no hooks at all, and with no plan installed every
+//! hook is a cheap atomic load. Determinism contract: the same plan
+//! against the same batch fires the same faults regardless of thread
+//! interleaving, because addresses (not arrival order) select victims —
+//! this is what lets the suites assert bit-identical degraded tables at
+//! `--jobs 1` and `--jobs 4`.
+//!
+//! # Examples
+//!
+//! ```
+//! use cf_sat::faults::{self, FaultKind, FaultPlan};
+//!
+//! faults::install(FaultPlan::new(7).exhaust("solve:check stack/T0@tso"));
+//! assert!(matches!(
+//!     faults::hit("solve:check stack/T0@tso"),
+//!     Some(FaultKind::Exhaust)
+//! ));
+//! assert!(faults::hit("solve:check stack/T1@tso").is_none());
+//! faults::clear();
+//! assert!(faults::hit("solve:check stack/T0@tso").is_none());
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Mutex;
+
+/// What happens at a faulted site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// Synthesize budget exhaustion: the site behaves as if its tick
+    /// budget ran out without doing any work.
+    Exhaust,
+    /// Stall the site for this many milliseconds before it proceeds
+    /// (drives wall-clock deadlines).
+    Stall(u64),
+    /// Panic at the site (drives worker panic isolation).
+    Panic,
+}
+
+struct Entry {
+    addr: String,
+    kind: FaultKind,
+    /// Remaining firings; `u32::MAX` means the fault is persistent.
+    remaining: AtomicU32,
+}
+
+/// A deterministic set of addressed fault injections.
+///
+/// Build one with the chainable constructors, then [`install`] it.
+/// Faults either fire every time their address is hit (the default) or
+/// a bounded number of times (`*_times`), which lets a test make the
+/// first attempt fail and the retry succeed.
+#[derive(Default)]
+pub struct FaultPlan {
+    seed: u64,
+    entries: Vec<(String, FaultKind, u32)>,
+}
+
+impl FaultPlan {
+    /// An empty plan. The seed only matters for [`FaultPlan::scatter`],
+    /// which uses it to pick victims from an address set.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Every hit on `addr` synthesizes budget exhaustion.
+    #[must_use]
+    pub fn exhaust(self, addr: impl Into<String>) -> Self {
+        self.push(addr.into(), FaultKind::Exhaust, u32::MAX)
+    }
+
+    /// The first `times` hits on `addr` synthesize budget exhaustion.
+    #[must_use]
+    pub fn exhaust_times(self, addr: impl Into<String>, times: u32) -> Self {
+        self.push(addr.into(), FaultKind::Exhaust, times)
+    }
+
+    /// Every hit on `addr` stalls for `millis` milliseconds.
+    #[must_use]
+    pub fn stall(self, addr: impl Into<String>, millis: u64) -> Self {
+        self.push(addr.into(), FaultKind::Stall(millis), u32::MAX)
+    }
+
+    /// The first `times` hits on `addr` stall for `millis` milliseconds
+    /// (a transient hang: the retry runs stall-free).
+    #[must_use]
+    pub fn stall_times(self, addr: impl Into<String>, millis: u64, times: u32) -> Self {
+        self.push(addr.into(), FaultKind::Stall(millis), times)
+    }
+
+    /// Every hit on `addr` panics.
+    #[must_use]
+    pub fn panic_at(self, addr: impl Into<String>) -> Self {
+        self.push(addr.into(), FaultKind::Panic, u32::MAX)
+    }
+
+    /// The first `times` hits on `addr` panic.
+    #[must_use]
+    pub fn panic_times(self, addr: impl Into<String>, times: u32) -> Self {
+        self.push(addr.into(), FaultKind::Panic, times)
+    }
+
+    /// Seed-addressed scattering: injects `kind` persistently at the `k`
+    /// addresses of `addrs` with the smallest seed-keyed hash. The
+    /// victim set is a pure function of `(seed, addrs)` — not of
+    /// arrival order — so scattered faults hit the same cells at any
+    /// parallelism level.
+    #[must_use]
+    pub fn scatter(mut self, kind: FaultKind, addrs: &[String], k: usize) -> Self {
+        let mut ranked: Vec<(u64, &String)> =
+            addrs.iter().map(|a| (mix(self.seed, a), a)).collect();
+        ranked.sort();
+        for (_, addr) in ranked.into_iter().take(k) {
+            self = self.push(addr.clone(), kind, u32::MAX);
+        }
+        self
+    }
+
+    /// The addresses this plan injects at, in insertion order.
+    pub fn addresses(&self) -> Vec<&str> {
+        self.entries.iter().map(|(a, _, _)| a.as_str()).collect()
+    }
+
+    fn push(mut self, addr: String, kind: FaultKind, times: u32) -> Self {
+        self.entries.push((addr, kind, times));
+        self
+    }
+}
+
+/// Seed-keyed string hash (FNV-1a folded with an xorshift64* finalizer;
+/// quality only matters for victim spreading, not security).
+fn mix(seed: u64, addr: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in addr.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    crate::xorshift::Rng::new(h).next()
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Vec<Entry>> = Mutex::new(Vec::new());
+
+/// Installs `plan` process-wide, replacing any previous plan.
+pub fn install(plan: FaultPlan) {
+    let entries = plan
+        .entries
+        .into_iter()
+        .map(|(addr, kind, times)| Entry {
+            addr,
+            kind,
+            remaining: AtomicU32::new(times),
+        })
+        .collect::<Vec<_>>();
+    let mut guard = match PLAN.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    ACTIVE.store(!entries.is_empty(), Ordering::SeqCst);
+    *guard = entries;
+}
+
+/// Removes the installed plan; every subsequent [`hit`] is a no-fault.
+pub fn clear() {
+    install(FaultPlan::default());
+}
+
+/// `true` while a non-empty plan is installed.
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::SeqCst)
+}
+
+/// Consults the installed plan at a hook site. Returns the fault to
+/// enact, decrementing bounded entries, or `None` when the site is
+/// healthy. Callers enact `Stall`/`Panic` themselves so the sleep or
+/// unwind happens in their own stack frame, not under the plan lock.
+pub fn hit(addr: &str) -> Option<FaultKind> {
+    if !active() {
+        return None;
+    }
+    let guard = match PLAN.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    for e in guard.iter() {
+        if e.addr != addr {
+            continue;
+        }
+        let mut left = e.remaining.load(Ordering::SeqCst);
+        loop {
+            if left == 0 {
+                break;
+            }
+            if left == u32::MAX {
+                return Some(e.kind);
+            }
+            match e
+                .remaining
+                .compare_exchange(left, left - 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return Some(e.kind),
+                Err(now) => left = now,
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The plan registry is process-global; serialize the tests that
+    /// install plans so `cargo test`'s thread pool cannot interleave
+    /// them.
+    static GATE: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        GATE.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn no_plan_means_no_faults() {
+        let _g = locked();
+        clear();
+        assert!(!active());
+        assert_eq!(hit("solve:anything"), None);
+    }
+
+    #[test]
+    fn exact_address_match_fires_persistently() {
+        let _g = locked();
+        install(FaultPlan::new(1).exhaust("solve:a").stall("solve:b", 5));
+        for _ in 0..3 {
+            assert_eq!(hit("solve:a"), Some(FaultKind::Exhaust));
+        }
+        assert_eq!(hit("solve:b"), Some(FaultKind::Stall(5)));
+        assert_eq!(hit("solve:c"), None);
+        clear();
+    }
+
+    #[test]
+    fn bounded_entries_stop_after_their_count() {
+        let _g = locked();
+        install(FaultPlan::new(1).exhaust_times("solve:a", 2));
+        assert_eq!(hit("solve:a"), Some(FaultKind::Exhaust));
+        assert_eq!(hit("solve:a"), Some(FaultKind::Exhaust));
+        assert_eq!(hit("solve:a"), None);
+        clear();
+    }
+
+    #[test]
+    fn scatter_picks_k_victims_deterministically() {
+        let _g = locked();
+        let addrs: Vec<String> = (0..10).map(|i| format!("solve:cell{i}")).collect();
+        let first = FaultPlan::new(42).scatter(FaultKind::Exhaust, &addrs, 3);
+        let second = FaultPlan::new(42).scatter(FaultKind::Exhaust, &addrs, 3);
+        assert_eq!(first.addresses(), second.addresses());
+        assert_eq!(first.addresses().len(), 3);
+        // A different seed picks a different victim set (for any decent
+        // hash this holds for the fixed seeds chosen here).
+        let other = FaultPlan::new(43).scatter(FaultKind::Exhaust, &addrs, 3);
+        assert_ne!(first.addresses(), other.addresses());
+        clear();
+    }
+
+    #[test]
+    fn install_replaces_the_previous_plan() {
+        let _g = locked();
+        install(FaultPlan::new(1).exhaust("solve:a"));
+        install(FaultPlan::new(1).panic_at("worker:b"));
+        assert_eq!(hit("solve:a"), None);
+        assert_eq!(hit("worker:b"), Some(FaultKind::Panic));
+        clear();
+    }
+}

@@ -47,8 +47,10 @@ mod stats;
 mod types;
 
 pub mod dimacs;
+#[cfg(feature = "faults")]
+pub mod faults;
 pub mod xorshift;
 
-pub use solver::{SolveResult, Solver, SolverConfig};
+pub use solver::{SolveResult, Solver, SolverConfig, StopCause};
 pub use stats::Stats;
 pub use types::{LBool, Lit, Var};

@@ -20,8 +20,21 @@ pub enum SolveResult {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
-    /// The conflict budget was exhausted before an answer was found.
+    /// A resource limit was exhausted before an answer was found; the
+    /// specific limit is reported by [`Solver::stop_cause`].
     Unknown,
+}
+
+/// Which resource limit made the last `solve` call return
+/// [`SolveResult::Unknown`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopCause {
+    /// The conflict budget ([`Solver::set_conflict_budget`]) ran out.
+    ConflictBudget,
+    /// The deterministic tick budget ([`Solver::set_tick_budget`]) ran out.
+    TickBudget,
+    /// The wall-clock deadline ([`Solver::set_deadline`]) passed.
+    Deadline,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -105,6 +118,9 @@ pub struct Solver {
     max_learnts: f64,
     stats: Stats,
     conflict_budget: Option<u64>,
+    tick_budget: Option<u64>,
+    deadline: Option<std::time::Instant>,
+    stop_cause: Option<StopCause>,
     config: SolverConfig,
 }
 
@@ -117,6 +133,10 @@ impl Default for Solver {
 const VAR_DECAY: f64 = 0.95;
 const CLA_DECAY: f64 = 0.999;
 const RESCALE_LIMIT: f64 = 1e100;
+// Wall-clock sampling intervals: `Instant::now` per conflict would be
+// noise, per decision would dominate the hot path.
+const DEADLINE_CHECK_CONFLICTS: u64 = 64;
+const DEADLINE_CHECK_DECISIONS: u64 = 512;
 
 impl Solver {
     /// Creates an empty solver with no variables and no clauses.
@@ -140,6 +160,9 @@ impl Solver {
             max_learnts: 0.0,
             stats: Stats::default(),
             conflict_budget: None,
+            tick_budget: None,
+            deadline: None,
+            stop_cause: None,
             config: SolverConfig::default(),
         }
     }
@@ -203,6 +226,40 @@ impl Solver {
     /// returns [`SolveResult::Unknown`].
     pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
         self.conflict_budget = conflicts;
+    }
+
+    /// Limits the next `solve` calls to roughly `ticks` *ticks*, where a
+    /// tick is one propagation or one conflict; `None` removes the limit.
+    ///
+    /// Unlike a wall-clock deadline, tick counts depend only on the formula
+    /// and the solver state, so an exhausted budget reproduces exactly on
+    /// any machine. When the budget is exhausted `solve` returns
+    /// [`SolveResult::Unknown`] and [`Solver::stop_cause`] reports
+    /// [`StopCause::TickBudget`].
+    pub fn set_tick_budget(&mut self, ticks: Option<u64>) {
+        self.tick_budget = ticks;
+    }
+
+    /// Aborts any `solve` call still running at `deadline` (checked at
+    /// conflict and decision boundaries); `None` removes the deadline.
+    /// On expiry `solve` returns [`SolveResult::Unknown`] and
+    /// [`Solver::stop_cause`] reports [`StopCause::Deadline`].
+    ///
+    /// Wall-clock deadlines are inherently machine-dependent; prefer
+    /// [`Solver::set_tick_budget`] when reproducibility matters.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Cumulative ticks (propagations + conflicts) across all solves.
+    pub fn ticks(&self) -> u64 {
+        self.stats.ticks()
+    }
+
+    /// Why the most recent `solve` call returned [`SolveResult::Unknown`],
+    /// or `None` if it returned a definite answer.
+    pub fn stop_cause(&self) -> Option<StopCause> {
+        self.stop_cause
     }
 
     /// `true` if the clause set has been proven unsatisfiable at level 0
@@ -272,6 +329,7 @@ impl Solver {
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.stats.solves += 1;
         self.stats.assumed_literals += assumptions.len() as u64;
+        self.stop_cause = None;
         if self.unsat {
             return SolveResult::Unsat;
         }
@@ -280,8 +338,15 @@ impl Solver {
             self.unsat = true;
             return SolveResult::Unsat;
         }
+        if self.past_deadline() {
+            // A stalled caller may arrive with the deadline already spent;
+            // answer Unknown without starting a search.
+            self.stop_cause = Some(StopCause::Deadline);
+            return SolveResult::Unknown;
+        }
         self.max_learnts = (self.db.num_original as f64 / 3.0).max(4000.0);
         let budget_start = self.stats.conflicts;
+        let tick_start = self.ticks();
         let mut restart_round = 0u32;
         loop {
             let conflict_limit = if self.config.restarts {
@@ -289,7 +354,7 @@ impl Solver {
             } else {
                 u64::MAX
             };
-            match self.search(conflict_limit, assumptions, budget_start) {
+            match self.search(conflict_limit, assumptions, budget_start, tick_start) {
                 Some(r) => return r,
                 None => {
                     // Restart.
@@ -321,6 +386,7 @@ impl Solver {
         conflict_limit: u64,
         assumptions: &[Lit],
         budget_start: u64,
+        tick_start: u64,
     ) -> Option<SolveResult> {
         let mut conflicts_here = 0u64;
         loop {
@@ -336,13 +402,42 @@ impl Solver {
                 self.cancel_until(bt_level);
                 self.record_learnt(learnt, lbd);
                 self.decay_activities();
-                if let Some(b) = self.conflict_budget {
-                    if self.stats.conflicts - budget_start >= b {
-                        self.cancel_until(0);
-                        return Some(SolveResult::Unknown);
-                    }
+                if let Some(cause) = self.exhausted(budget_start, tick_start) {
+                    self.cancel_until(0);
+                    self.stop_cause = Some(cause);
+                    return Some(SolveResult::Unknown);
+                }
+                if self
+                    .stats
+                    .conflicts
+                    .is_multiple_of(DEADLINE_CHECK_CONFLICTS)
+                    && self.past_deadline()
+                {
+                    self.cancel_until(0);
+                    self.stop_cause = Some(StopCause::Deadline);
+                    return Some(SolveResult::Unknown);
                 }
             } else {
+                // Resource checks sit at decision boundaries too, so
+                // propagation-heavy searches with few conflicts still stop.
+                // Tick exhaustion depends only on the deterministic
+                // decision/propagation sequence; the wall clock is sampled
+                // every few hundred decisions to keep the hot path cheap.
+                if let Some(cause) = self.exhausted(budget_start, tick_start) {
+                    self.cancel_until(0);
+                    self.stop_cause = Some(cause);
+                    return Some(SolveResult::Unknown);
+                }
+                if self
+                    .stats
+                    .decisions
+                    .is_multiple_of(DEADLINE_CHECK_DECISIONS)
+                    && self.past_deadline()
+                {
+                    self.cancel_until(0);
+                    self.stop_cause = Some(StopCause::Deadline);
+                    return Some(SolveResult::Unknown);
+                }
                 if conflicts_here >= conflict_limit {
                     // Restart.
                     self.cancel_until(0);
@@ -385,6 +480,29 @@ impl Solver {
                 }
             }
         }
+    }
+
+    /// Deterministic budget checks (conflict and tick); `None` while both
+    /// budgets still have headroom.
+    #[inline]
+    fn exhausted(&self, budget_start: u64, tick_start: u64) -> Option<StopCause> {
+        if let Some(b) = self.conflict_budget {
+            if self.stats.conflicts - budget_start >= b {
+                return Some(StopCause::ConflictBudget);
+            }
+        }
+        if let Some(b) = self.tick_budget {
+            if self.ticks() - tick_start >= b {
+                return Some(StopCause::TickBudget);
+            }
+        }
+        None
+    }
+
+    #[inline]
+    fn past_deadline(&self) -> bool {
+        self.deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
     }
 
     #[inline]
@@ -889,6 +1007,82 @@ mod tests {
         assert_eq!(s.solve(), SolveResult::Unknown);
         s.set_conflict_budget(None);
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    /// PHP(5,4): small but guaranteed to take real search effort.
+    fn pigeonhole_5_into_4(s: &mut Solver) {
+        let v = |p: i64, h: i64| (p - 1) * 4 + h;
+        for p in 1..=5 {
+            clause(s, &[v(p, 1), v(p, 2), v(p, 3), v(p, 4)]);
+        }
+        for h in 1..=4 {
+            for p1 in 1..=5 {
+                for p2 in (p1 + 1)..=5 {
+                    clause(s, &[-v(p1, h), -v(p2, h)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tick_budget_exhaustion_reports_its_cause() {
+        let mut s = Solver::new();
+        pigeonhole_5_into_4(&mut s);
+        s.set_tick_budget(Some(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.stop_cause(), Some(StopCause::TickBudget));
+        s.set_tick_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.stop_cause(), None);
+    }
+
+    #[test]
+    fn tick_budget_is_deterministic_across_runs() {
+        // The same formula under the same budget stops at the same tick
+        // count — the property that makes budgets reproducible across
+        // machines.
+        let run = || {
+            let mut s = Solver::new();
+            pigeonhole_5_into_4(&mut s);
+            s.set_tick_budget(Some(50));
+            let r = s.solve();
+            (r, s.ticks(), s.stats().decisions)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.0, SolveResult::Unknown);
+    }
+
+    #[test]
+    fn zero_tick_budget_stops_before_the_first_decision() {
+        let mut s = Solver::new();
+        clause(&mut s, &[1, 2]);
+        s.set_tick_budget(Some(0));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.stop_cause(), Some(StopCause::TickBudget));
+    }
+
+    #[test]
+    fn expired_deadline_returns_unknown_immediately() {
+        let mut s = Solver::new();
+        pigeonhole_5_into_4(&mut s);
+        s.set_deadline(Some(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        ));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.stop_cause(), Some(StopCause::Deadline));
+        s.set_deadline(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_budget_cause_is_distinguished_from_ticks() {
+        let mut s = Solver::new();
+        pigeonhole_5_into_4(&mut s);
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.stop_cause(), Some(StopCause::ConflictBudget));
     }
 
     #[test]

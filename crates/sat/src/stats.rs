@@ -55,6 +55,12 @@ impl Stats {
         }
     }
 
+    /// Ticks: the deterministic work measure (propagations + conflicts)
+    /// that tick budgets are counted in.
+    pub fn ticks(&self) -> u64 {
+        self.propagations + self.conflicts
+    }
+
     /// Accumulates another counter set into this one (for totals across
     /// several solvers, e.g. one per test session).
     pub fn add(&mut self, other: &Stats) {

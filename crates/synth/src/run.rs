@@ -81,6 +81,9 @@ pub enum CorpusVerdict {
     Diverged,
     /// The cell could not be answered (infrastructure error).
     Error(String),
+    /// The cell ran out of resources (budget, deadline, or a crashed
+    /// worker shard) before deciding.
+    Inconclusive,
 }
 
 impl CorpusVerdict {
@@ -91,6 +94,7 @@ impl CorpusVerdict {
             CorpusVerdict::Fail => "FAIL",
             CorpusVerdict::Diverged => "div?",
             CorpusVerdict::Error(_) => "err!",
+            CorpusVerdict::Inconclusive => "?",
         }
     }
 }
@@ -126,10 +130,12 @@ impl CorpusRow {
     /// `true` when some cell could not be fully answered.
     pub fn incomplete(&self) -> bool {
         self.mine_error.is_some()
-            || self
-                .verdicts
-                .iter()
-                .any(|v| matches!(v, CorpusVerdict::Diverged | CorpusVerdict::Error(_)))
+            || self.verdicts.iter().any(|v| {
+                matches!(
+                    v,
+                    CorpusVerdict::Diverged | CorpusVerdict::Error(_) | CorpusVerdict::Inconclusive
+                )
+            })
     }
 
     /// Names of the models this row fails on.
@@ -328,13 +334,19 @@ pub fn run_corpus(harness: &Harness, tests: &[TestSpec], config: &CorpusConfig) 
     let mut inferred = 0usize;
     let convert = |verdict: Result<checkfence::Verdict, CheckError>| match verdict {
         Ok(v) => {
-            if v.passed() {
+            if v.inconclusive().is_some() {
+                // Undecided, not failed — and never a ladder seed:
+                // nothing can be inferred from a cell that proved
+                // nothing.
+                CorpusVerdict::Inconclusive
+            } else if v.passed() {
                 CorpusVerdict::Pass
             } else {
                 CorpusVerdict::Fail
             }
         }
         Err(CheckError::BoundsDiverged { .. }) => CorpusVerdict::Diverged,
+        Err(CheckError::Exhausted(_)) => CorpusVerdict::Inconclusive,
         Err(e) => CorpusVerdict::Error(e.to_string()),
     };
 

@@ -44,14 +44,24 @@
 //!   --jobs N                    run checks on N engine workers; shards
 //!                               tests, and with --ablate the mutant ×
 //!                               model matrix itself  [1]
+//!   --budget TICKS              initial solver tick budget per query
+//!                               (ticks = propagations + conflicts, so
+//!                               the cutoff is machine-independent);
+//!                               exhausted cells render as `?`
+//!   --deadline-ms N             wall-clock deadline per query attempt
+//!                               (machine-dependent safety net)
+//!   --retries N                 escalating retries per query: each
+//!                               retry multiplies the budgets by 8  [2]
 //!   --stats                     print a per-query solver-statistics
 //!                               table (solves, conflicts, restarts,
-//!                               assumed literals, wall time)
+//!                               retries, assumed literals, wall time)
 //!   --trace                     print full counterexample traces
 //!   -h, --help                  this text
 //!
-//! EXIT STATUS: 0 all tests pass, 1 some check failed, 2 usage or
-//! infrastructure error.
+//! EXIT STATUS: 0 all tests pass, 1 some check failed (counterexample
+//! or failing baseline), 2 usage or infrastructure error, 3 no failure
+//! but some cells inconclusive (budget, deadline, or a crashed worker).
+//! A failure wins over an inconclusive cell: 1 beats 3.
 //! ```
 //!
 //! Example:
@@ -71,8 +81,8 @@ use cf_spec::ModelSpec;
 use checkfence::commit::AbstractType;
 use checkfence::infer::{infer, InferConfig};
 use checkfence::{
-    mine_reference, CheckOutcome, Engine, EngineConfig, Harness, ModelSel, ObsSet, OpSig,
-    OrderEncoding, Query, QueryStats, TestSpec,
+    mine_reference, Answer, CheckConfig, CheckOutcome, Engine, EngineConfig, Harness, ModelSel,
+    ObsSet, OpSig, OrderEncoding, Query, QueryStats, TestSpec,
 };
 
 /// The model axis of a run: a built-in mode or a user `.cfm` spec.
@@ -110,8 +120,38 @@ struct Options {
     ops_per_thread: usize,
     bounds_explicit: bool,
     jobs: usize,
+    budget: Option<u64>,
+    deadline_ms: Option<u64>,
+    retries: Option<u32>,
     stats: bool,
     trace: bool,
+}
+
+/// What a run that reached its end observed, folded into the exit code.
+#[derive(Clone, Copy, Default)]
+struct RunStatus {
+    /// Some check found a counterexample (or an ablation baseline
+    /// failed).
+    failed: bool,
+    /// Some cell ran out of budget/deadline or lost its worker.
+    inconclusive: bool,
+}
+
+impl RunStatus {
+    fn pass() -> RunStatus {
+        RunStatus::default()
+    }
+
+    /// The documented contract: 1 (failure) beats 3 (inconclusive).
+    fn exit_code(self) -> ExitCode {
+        if self.failed {
+            ExitCode::from(1)
+        } else if self.inconclusive {
+            ExitCode::from(3)
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -145,9 +185,19 @@ fn usage() -> &'static str {
      \x20 --jobs N                   run checks on N engine workers [1]\n\
      \x20                            (shards tests, and with --ablate the\n\
      \x20                            mutant x model matrix itself)\n\
+     \x20 --budget TICKS             initial solver tick budget per query\n\
+     \x20                            (deterministic; exhausted cells\n\
+     \x20                            render as `?`)\n\
+     \x20 --deadline-ms N            wall-clock deadline per query attempt\n\
+     \x20 --retries N                escalating retries per query (each\n\
+     \x20                            retry multiplies the budgets by 8) [2]\n\
      \x20 --stats                    print a per-query solver-stats table\n\
      \x20 --trace                    print full counterexample traces\n\
-     \x20 -h, --help                 this text"
+     \x20 -h, --help                 this text\n\
+     \n\
+     exit status: 0 all tests pass, 1 some check failed, 2 usage or\n\
+     infrastructure error, 3 no failure but some cells inconclusive\n\
+     (1 beats 3)"
 }
 
 fn parse_op(spec: &str) -> Result<OpSig, String> {
@@ -220,6 +270,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         ops_per_thread: 2,
         bounds_explicit: false,
         jobs: 1,
+        budget: None,
+        deadline_ms: None,
+        retries: None,
         stats: false,
         trace: false,
     };
@@ -308,6 +361,27 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok()
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--jobs `{v}`: expected a positive integer"))?;
+            }
+            "--budget" => {
+                let v = value("--budget")?;
+                opts.budget =
+                    Some(v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--budget `{v}`: expected a positive tick count")
+                    })?);
+            }
+            "--deadline-ms" => {
+                let v = value("--deadline-ms")?;
+                opts.deadline_ms =
+                    Some(v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--deadline-ms `{v}`: expected a positive millisecond count")
+                    })?);
+            }
+            "--retries" => {
+                let v = value("--retries")?;
+                opts.retries =
+                    Some(v.parse::<u32>().map_err(|_| {
+                        format!("--retries `{v}`: expected a non-negative integer")
+                    })?);
             }
             "--stats" => opts.stats = true,
             "--trace" => opts.trace = true,
@@ -405,7 +479,17 @@ fn mined_spec(
     Ok((spec, "mined"))
 }
 
-fn run() -> Result<bool, String> {
+/// Applies the `--budget` / `--deadline-ms` / `--retries` resource-
+/// governance flags to a check configuration.
+fn apply_budgets(check: &mut CheckConfig, opts: &Options) {
+    check.tick_budget = opts.budget;
+    check.deadline = opts.deadline_ms.map(std::time::Duration::from_millis);
+    if let Some(r) = opts.retries {
+        check.max_retries = r;
+    }
+}
+
+fn run() -> Result<RunStatus, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_args(&args)?;
 
@@ -453,7 +537,7 @@ fn run() -> Result<bool, String> {
         for site in &r.kept {
             println!("  {site}");
         }
-        return Ok(true);
+        return Ok(RunStatus::pass());
     }
 
     // Check / mine mode: mine every test's specification up front
@@ -485,25 +569,19 @@ fn run() -> Result<bool, String> {
             println!("# {} — {} observations ({how})", test.name, spec.len());
             print!("{}", spec.to_text());
         }
-        return Ok(true);
+        return Ok(RunStatus::pass());
     }
 
-    let engine_config = match &opts.model {
-        ModelArg::Builtin(mode) => {
-            let mut c = EngineConfig::single(*mode);
-            c.check.order_encoding = opts.encoding;
-            c
+    let mut engine_config = match &opts.model {
+        ModelArg::Builtin(mode) => EngineConfig::single(*mode),
+        ModelArg::Spec(spec) => EngineConfig {
+            modes: ModeSet::empty(),
+            ..EngineConfig::default()
         }
-        ModelArg::Spec(spec) => {
-            let mut c = EngineConfig {
-                modes: ModeSet::empty(),
-                ..EngineConfig::default()
-            }
-            .with_specs(vec![spec.clone()]);
-            c.check.order_encoding = opts.encoding;
-            c
-        }
+        .with_specs(vec![spec.clone()]),
     };
+    engine_config.check.order_encoding = opts.encoding;
+    apply_budgets(&mut engine_config.check, &opts);
     let sel = match &opts.model {
         ModelArg::Builtin(mode) => ModelSel::Builtin(*mode),
         ModelArg::Spec(_) => ModelSel::Spec(0),
@@ -521,7 +599,7 @@ fn run() -> Result<bool, String> {
         })
         .collect();
 
-    let mut all_passed = true;
+    let mut status = RunStatus::pass();
     let mut stats_rows: Vec<(String, QueryStats)> = Vec::new();
     for ((test, mined), (query, verdict)) in tests
         .iter()
@@ -534,12 +612,22 @@ fn run() -> Result<bool, String> {
             None => "commit-point method".to_string(),
         };
         stats_rows.push((query.describe(), verdict.stats));
+        if let Answer::Inconclusive { reason, spent } = &verdict.answer {
+            status.inconclusive = true;
+            println!(
+                "INCONCLUSIVE {} on {} ({reason}; {spent} ticks spent, {} retries)",
+                test.name,
+                opts.model.name(),
+                verdict.stats.retries,
+            );
+            continue;
+        }
         match verdict.into_outcome().expect("check outcome") {
             CheckOutcome::Pass => {
                 println!("PASS {} on {} ({label})", test.name, opts.model.name());
             }
             CheckOutcome::Fail(cx) => {
-                all_passed = false;
+                status.failed = true;
                 println!("FAIL {} on {} ({label})", test.name, opts.model.name());
                 let text = format!("{cx}");
                 if opts.trace {
@@ -558,7 +646,7 @@ fn run() -> Result<bool, String> {
     if opts.stats {
         print!("{}", stats_table(&stats_rows));
     }
-    Ok(all_passed)
+    Ok(status)
 }
 
 /// Renders the `--stats` per-query attribution table.
@@ -572,16 +660,17 @@ fn stats_table(rows: &[(String, QueryStats)]) -> String {
         .unwrap_or(8);
     let _ = writeln!(
         out,
-        "per-query stats:\n  {:<w$} {:>7} {:>10} {:>9} {:>9} {:>10}",
-        "query", "solves", "conflicts", "restarts", "assumed", "wall"
+        "per-query stats:\n  {:<w$} {:>7} {:>10} {:>9} {:>7} {:>9} {:>10}",
+        "query", "solves", "conflicts", "restarts", "retries", "assumed", "wall"
     );
     for (label, s) in rows {
         let _ = writeln!(
             out,
-            "  {label:<w$} {:>7} {:>10} {:>9} {:>9} {:>8.1}ms",
+            "  {label:<w$} {:>7} {:>10} {:>9} {:>7} {:>9} {:>8.1}ms",
             s.solves,
             s.conflicts,
             s.restarts,
+            s.retries,
             s.assumed_literals,
             s.wall.as_secs_f64() * 1e3,
         );
@@ -596,14 +685,17 @@ fn stats_table(rows: &[(String, QueryStats)]) -> String {
 /// tables either way). Succeeds when the *unmutated* build passes every
 /// model (mutant verdicts are the experiment's data, not a pass/fail
 /// criterion).
-fn run_ablate(opts: &Options, harness: &Harness, tests: &[TestSpec]) -> Result<bool, String> {
-    use checkfence::mutate::{run_mutation_matrix, MatrixConfig, MutationConfig, MutationPlan};
+fn run_ablate(opts: &Options, harness: &Harness, tests: &[TestSpec]) -> Result<RunStatus, String> {
+    use checkfence::mutate::{
+        run_mutation_matrix, MatrixConfig, MutantVerdict, MutationConfig, MutationPlan,
+    };
     let mut config = MatrixConfig {
         modes: Mode::hardware().to_vec(),
         jobs: opts.jobs,
         ..MatrixConfig::default()
     };
     config.check.order_encoding = opts.encoding;
+    apply_budgets(&mut config.check, opts);
     if let ModelArg::Spec(spec) = &opts.model {
         config.specs.push(spec.clone());
     }
@@ -611,15 +703,18 @@ fn run_ablate(opts: &Options, harness: &Harness, tests: &[TestSpec]) -> Result<b
     if plan.points.is_empty() {
         return Err("--ablate: the mutation planner found nothing to mutate".into());
     }
-    let mut all_passed = true;
+    let mut status = RunStatus::pass();
     for test in tests {
         let report = run_mutation_matrix(harness, test, &plan, &config)
             .map_err(|e| format!("ablation failed: {e}"))?;
         print!("{}", report.table());
         println!("  {}", report.summary());
-        all_passed &= report.baseline.iter().all(|v| !v.caught());
+        let undecided = |v: &MutantVerdict| matches!(v, MutantVerdict::Inconclusive(_));
+        status.failed |= report.baseline.iter().any(|v| !undecided(v) && v.caught());
+        status.inconclusive |= report.baseline.iter().any(undecided)
+            || report.rows.iter().any(|r| r.verdicts.iter().any(undecided));
     }
-    Ok(all_passed)
+    Ok(status)
 }
 
 /// Resolves a `--synth` data-type name against the bundled algorithms
@@ -646,8 +741,8 @@ fn synth_harness(name: &str) -> Option<Harness> {
 /// coverage table. Synthesis, checking and pruning are deterministic,
 /// so the table is byte-identical at any `--jobs` count; only the
 /// trailing summary line (sessions/encodes/timing) varies.
-fn run_synth(opts: &Options, name: &str) -> Result<bool, String> {
-    use cf_synth::{run_corpus, synthesize, CorpusConfig, SynthBounds};
+fn run_synth(opts: &Options, name: &str) -> Result<RunStatus, String> {
+    use cf_synth::{run_corpus, synthesize, CorpusConfig, CorpusRow, SynthBounds};
     let harness = synth_harness(name).ok_or_else(|| {
         format!(
             "--synth `{name}`: expected one of treiber, ms2, msn, lazylist, harris, \
@@ -670,22 +765,25 @@ fn run_synth(opts: &Options, name: &str) -> Result<bool, String> {
         ..CorpusConfig::default()
     };
     config.check.order_encoding = opts.encoding;
+    apply_budgets(&mut config.check, opts);
     if let ModelArg::Spec(spec) = &opts.model {
         config.specs.push(spec.clone());
     }
     let report = run_corpus(&harness, &corpus.tests, &config);
     print!("{}", report.table());
     println!("  {}", report.summary());
-    // FAIL verdicts are the experiment's data; only cells that could
-    // not be answered (mining errors, divergence, budget exhaustion)
-    // make the run itself unsuccessful.
-    Ok(report.rows.iter().all(|r| !r.incomplete()))
+    // FAIL verdicts are the experiment's data; cells that could not be
+    // answered (mining errors, divergence, exhausted budgets, crashed
+    // workers) make the run inconclusive, not failed.
+    Ok(RunStatus {
+        failed: false,
+        inconclusive: report.rows.iter().any(CorpusRow::incomplete),
+    })
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => ExitCode::from(1),
+        Ok(status) => status.exit_code(),
         Err(msg) if msg.is_empty() => {
             println!("{}", usage());
             ExitCode::SUCCESS

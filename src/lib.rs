@@ -71,6 +71,8 @@ mod doc_examples {
     pub struct QueryApi;
     #[doc = include_str!("../docs/harness-synthesis.md")]
     pub struct HarnessSynthesis;
+    #[doc = include_str!("../docs/robustness.md")]
+    pub struct Robustness;
     #[doc = include_str!("../README.md")]
     pub struct Readme;
 }

@@ -203,6 +203,32 @@ fn usage_text_and_argument_parser_agree_flag_for_flag() {
 }
 
 #[test]
+fn usage_documents_the_exit_code_contract() {
+    // The exit-status contract (0 pass, 1 counterexample, 2 usage or
+    // infrastructure error, 3 inconclusive cells, and 1 beating 3) is
+    // load-bearing for CI scripts, so the usage text must spell it out.
+    // tests/cli.rs asserts each code is actually produced.
+    let usage = String::from_utf8(
+        std::process::Command::new(env!("CARGO_BIN_EXE_checkfence"))
+            .arg("--help")
+            .output()
+            .expect("binary runs")
+            .stdout,
+    )
+    .expect("utf8 usage");
+    let contract = usage
+        .split("exit status:")
+        .nth(1)
+        .expect("usage() must carry an exit-status paragraph");
+    for needle in ["0 ", "1 ", "2 ", "3 ", "inconclusive", "(1 beats 3)"] {
+        assert!(
+            contract.contains(needle),
+            "exit-status paragraph lost `{needle}`:{contract}"
+        );
+    }
+}
+
+#[test]
 fn ablate_accepts_the_jobs_flag() {
     // `--jobs` composes with `--ablate` (the matrix shards across
     // engine workers); the combination must not be a usage error.
