@@ -117,6 +117,21 @@ fn assert_three_way_equivalence(h: &Harness, t: &TestSpec, seed: u64, n: usize) 
         .run_batch(&queries)
         .into_iter()
         .map(|v| {
+            // The batch path must surface real phase stats — a past
+            // regression filled `PhaseStats::default()` here, so a
+            // default-looking phase on a solved verdict is a bug.
+            if let Ok(v) = &v {
+                assert!(
+                    v.phase.sat_solves >= 1 && v.phase.sat_vars > 0,
+                    "{}: batch verdict dropped its solver phase stats",
+                    h.name
+                );
+                assert!(
+                    v.phase.total_time > std::time::Duration::ZERO,
+                    "{}: batch verdict carries no elapsed time",
+                    h.name
+                );
+            }
             fold(v, |v| match v.answer {
                 checkfence::Answer::Outcome(o) => of_outcome(&o),
                 checkfence::Answer::Observations(obs) => Outcome::Obs(obs),

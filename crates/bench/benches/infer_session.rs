@@ -134,7 +134,9 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"benchmark\": \"fence_inference_sessions\",\n  \"cases\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema_version\": {},\n  \"benchmark\": \"fence_inference_sessions\",\n  \
+         \"cases\": [\n{}\n  ]\n}}\n",
+        cf_trace::SCHEMA_VERSION,
         rows.join(",\n")
     );
     let out = std::env::var("CHECKFENCE_BENCH_OUT").map_or_else(

@@ -105,8 +105,10 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"benchmark\": \"batched_mutation_matrix\",\n  \"target_speedup\": 10.0,\n  \
+        "{{\n  \"schema_version\": {},\n  \
+         \"benchmark\": \"batched_mutation_matrix\",\n  \"target_speedup\": 10.0,\n  \
          \"cases\": [\n{}\n  ]\n}}\n",
+        cf_trace::SCHEMA_VERSION,
         rows.join(",\n")
     );
     let out = std::env::var("CHECKFENCE_BENCH_OUT").map_or_else(

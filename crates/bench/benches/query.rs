@@ -184,8 +184,10 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"benchmark\": \"query_batch_throughput\",\n  \"target_speedup\": 3.0,\n  \
+        "{{\n  \"schema_version\": {},\n  \
+         \"benchmark\": \"query_batch_throughput\",\n  \"target_speedup\": 3.0,\n  \
          \"cases\": [\n{}\n  ]\n}}\n",
+        cf_trace::SCHEMA_VERSION,
         rows.join(",\n")
     );
     let out = std::env::var("CHECKFENCE_BENCH_OUT").map_or_else(

@@ -143,7 +143,12 @@ fn main() {
         .unwrap_or_else(|_| {
             PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_spec.json")
         });
-    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    let json = format!(
+        "{{\n  \"schema_version\": {},\n  \"benchmark\": \"spec_vs_builtin_models\",\n  \
+         \"cases\": [\n{}\n  ]\n}}\n",
+        cf_trace::SCHEMA_VERSION,
+        rows.join(",\n")
+    );
     std::fs::write(&out_path, json).expect("benchmark record written");
     println!("\nrecorded {}", out_path.display());
 }

@@ -179,11 +179,13 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"benchmark\": \"synth_corpus_throughput\",\n  \"target_speedup\": 5.0,\n  \
+        "{{\n  \"schema_version\": {schema},\n  \
+         \"benchmark\": \"synth_corpus_throughput\",\n  \"target_speedup\": 5.0,\n  \
          \"overall\": {{\"oneshot_wall_ms\": {total_oneshot_ms:.1}, \
          \"engine_wall_ms\": {total_engine_ms:.1}, \"speedup\": {overall:.3}}},\n  \
          \"cases\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+        rows.join(",\n"),
+        schema = cf_trace::SCHEMA_VERSION
     );
     let out = std::env::var("CHECKFENCE_BENCH_OUT").map_or_else(
         |_| {

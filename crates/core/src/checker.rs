@@ -289,6 +289,19 @@ pub enum InconclusiveReason {
     ShardCrashed,
 }
 
+impl InconclusiveReason {
+    /// Stable machine-readable identifier, used as the `reason` field of
+    /// trace events and JSON exports. Unlike the [`fmt::Display`] prose,
+    /// this vocabulary is part of the [`cf_trace`] schema and only grows.
+    pub fn slug(self) -> &'static str {
+        match self {
+            InconclusiveReason::Budget => "budget",
+            InconclusiveReason::Deadline => "deadline",
+            InconclusiveReason::ShardCrashed => "shard-crashed",
+        }
+    }
+}
+
 impl fmt::Display for InconclusiveReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {

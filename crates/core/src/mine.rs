@@ -107,6 +107,18 @@ pub fn mine_reference(harness: &Harness, test: &TestSpec) -> Result<MiningResult
         }
     }
     stats.total_time = t0.elapsed();
+    // Reference mining is called both from coordinators and from
+    // parallel per-harness workers (synth), so it cannot claim a
+    // deterministic step number — nd keeps stripped traces stable.
+    cf_trace::emit_nd("mine_reference", || {
+        vec![
+            ("harness", cf_trace::s(harness.name.clone())),
+            ("test", cf_trace::s(test.name.clone())),
+            ("observations", cf_trace::u(vectors.len() as u64)),
+            ("iterations", cf_trace::u(u64::from(stats.iterations))),
+            ("mine_us", cf_trace::u(stats.total_time.as_micros() as u64)),
+        ]
+    });
     Ok(MiningResult {
         spec: ObsSet { vectors },
         stats,

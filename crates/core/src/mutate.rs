@@ -830,6 +830,14 @@ pub fn run_mutation_matrix(
     config: &MatrixConfig,
 ) -> Result<MutationReport, CheckError> {
     let t0 = Instant::now();
+    cf_trace::emit("matrix_start", || {
+        vec![
+            ("harness", cf_trace::s(harness.name.clone())),
+            ("test", cf_trace::s(test.name.clone())),
+            ("mutants", cf_trace::u(plan.points.len() as u64)),
+            ("models", cf_trace::u(config.models().len() as u64)),
+        ]
+    });
     let spec = crate::mine::mine_reference(harness, test)?.spec;
     let instrumented = Harness {
         name: format!("{}+mutants", harness.name),
@@ -874,6 +882,21 @@ pub fn run_mutation_matrix(
         });
     }
     let stats = engine.stats();
+    cf_trace::emit("matrix_done", || {
+        vec![
+            ("cells", cf_trace::u(queries.len() as u64)),
+            ("matrix_us", cf_trace::u(t0.elapsed().as_micros() as u64)),
+        ]
+    });
+    // Pool shape (session replicas, encodes) legitimately varies with
+    // the worker count, so it rides the nd side channel — the
+    // deterministic stream must stay jobs-independent.
+    cf_trace::emit_nd("pool_stats", || {
+        vec![
+            ("sessions", cf_trace::u(stats.sessions as u64)),
+            ("encodes", cf_trace::u(u64::from(stats.encodes))),
+        ]
+    });
     Ok(MutationReport {
         harness: harness.name.clone(),
         test: test.name.clone(),

@@ -657,6 +657,11 @@ impl<'h> Engine<'h> {
     /// mutation drivers treat as a verdict) are returned in place, not
     /// propagated.
     pub fn run_batch(&mut self, queries: &[Query<'h>]) -> Vec<Result<Verdict, CheckError>> {
+        let batch = cf_trace::next_batch();
+        let batch_t0 = Instant::now();
+        cf_trace::emit("batch_start", || {
+            vec![("queries", cf_trace::u(queries.len() as u64))]
+        });
         let mut results: Vec<Option<Result<Verdict, CheckError>>> = Vec::new();
         results.resize_with(queries.len(), || None);
 
@@ -728,6 +733,12 @@ impl<'h> Engine<'h> {
                     .filter(|(pos, _)| pos % shards == shard)
                     .map(|(_, &i)| i)
                     .collect();
+                cf_trace::emit_nd("shard_spawn", || {
+                    vec![
+                        ("shard", cf_trace::u(shard as u64)),
+                        ("members", cf_trace::u(members.len() as u64)),
+                    ]
+                });
                 tasks.push(Task {
                     hkey: g.hkey,
                     tkey: g.tkey,
@@ -747,6 +758,13 @@ impl<'h> Engine<'h> {
             |task: &Task<'h>, tx: &mpsc::Sender<(usize, Result<Verdict, CheckError>)>| {
                 let mut slot = task.session.lock().unwrap_or_else(|p| p.into_inner());
                 for &i in &task.members {
+                    // Item lane i+1: lane 0 is the coordinator. The scope
+                    // pins every event of this query to its canonical
+                    // (batch, item) coordinate regardless of which worker
+                    // thread runs it, so traces sort identically at any
+                    // `--jobs` level.
+                    let _scope = cf_trace::enabled()
+                        .then(|| cf_trace::scope(batch, i as u64 + 1, queries[i].describe()));
                     let _ = tx.send((i, exec_isolated(&mut slot, &queries[i], config)));
                 }
             };
@@ -790,6 +808,12 @@ impl<'h> Engine<'h> {
             }
         }
 
+        cf_trace::emit("batch_done", || {
+            vec![(
+                "batch_us",
+                cf_trace::u(batch_t0.elapsed().as_micros() as u64),
+            )]
+        });
         results
             .into_iter()
             .map(|r| r.expect("every query answered"))
@@ -867,6 +891,14 @@ impl<'h> Engine<'h> {
 /// engine's model universe — session creation and post-panic rebuild
 /// share this path.
 fn build_session<'h>(query: &Query<'h>, config: &EngineConfig) -> CheckSession<'h> {
+    // Which thread (and when) a session gets built depends on shard
+    // scheduling, so this is a non-deterministic detail event.
+    cf_trace::emit_nd("session_spawn", || {
+        vec![(
+            "key",
+            cf_trace::s(format!("{}/{}", query.harness.name, query.test.name)),
+        )]
+    });
     let sc = SessionConfig::from_check_config(&config.check, config.modes)
         .with_specs(config.specs.clone());
     CheckSession::with_config(query.harness, query.test, sc)
@@ -883,7 +915,11 @@ fn exec_isolated<'h>(
     query: &Query<'h>,
     config: &EngineConfig,
 ) -> Result<Verdict, CheckError> {
-    for _resubmit in 0..2 {
+    // The phase accumulator lives outside the resubmit loop so a
+    // crashed-shard verdict still reports the encode/solve work done
+    // before the panic instead of an all-zero placeholder.
+    let mut phase = PhaseStats::default();
+    for resubmit in 0..2u64 {
         let session = slot.get_or_insert_with(|| build_session(query, config));
         #[cfg(feature = "faults")]
         let injected = cf_sat::faults::hit(&format!("worker:{}", query.describe()));
@@ -894,19 +930,35 @@ fn exec_isolated<'h>(
             if injected == Some(cf_sat::faults::FaultKind::Panic) {
                 panic!("injected worker fault: {}", query.describe());
             }
-            exec(session, query, &config.check)
+            exec(session, query, &config.check, &mut phase)
         }));
         match attempt {
             Ok(result) => return result,
-            Err(_) => *slot = None,
+            Err(_) => {
+                *slot = None;
+                cf_trace::emit("shard_crash", || vec![("resubmit", cf_trace::u(resubmit))]);
+            }
         }
     }
+    cf_trace::emit("query_done", || {
+        vec![
+            ("class", cf_trace::s(query.kind.name())),
+            ("outcome", cf_trace::s("inconclusive")),
+            ("reason", cf_trace::s("shard-crashed")),
+            ("ticks", cf_trace::u(0)),
+            ("conflicts", cf_trace::u(0)),
+            ("propagations", cf_trace::u(0)),
+            ("solves", cf_trace::u(0)),
+            ("retries", cf_trace::u(0)),
+            ("wall_us", cf_trace::u(0)),
+        ]
+    });
     Ok(Verdict {
         answer: Answer::Inconclusive {
             reason: InconclusiveReason::ShardCrashed,
             spent: 0,
         },
-        phase: PhaseStats::default(),
+        phase,
         stats: QueryStats::default(),
     })
 }
@@ -924,6 +976,7 @@ fn exec(
     session: &mut CheckSession<'_>,
     query: &Query<'_>,
     check: &CheckConfig,
+    phase: &mut PhaseStats,
 ) -> Result<Verdict, CheckError> {
     let t0 = Instant::now();
     let before = session.solver_stats();
@@ -932,33 +985,107 @@ fn exec(
     let deadline = query.deadline.or(check.deadline);
     let mut scale: u64 = 1;
     let mut retries: u32 = 0;
+    cf_trace::emit("query_start", || {
+        vec![
+            ("class", cf_trace::s(query.kind.name())),
+            (
+                "model",
+                cf_trace::s(match query.model {
+                    ModelSel::Builtin(m) => m.name().to_string(),
+                    ModelSel::Spec(i) => format!("spec#{i}"),
+                }),
+            ),
+        ]
+    });
+    let done = |delta: cf_sat::Stats,
+                outcome: &'static str,
+                reason: Option<String>,
+                retries: u32,
+                wall: Duration| {
+        cf_trace::emit("query_done", || {
+            let mut fields = vec![
+                ("class", cf_trace::s(query.kind.name())),
+                ("outcome", cf_trace::s(outcome)),
+            ];
+            if let Some(r) = reason {
+                fields.push(("reason", cf_trace::s(r)));
+            }
+            fields.extend([
+                ("ticks", cf_trace::u(delta.ticks())),
+                ("conflicts", cf_trace::u(delta.conflicts)),
+                ("propagations", cf_trace::u(delta.propagations)),
+                ("solves", cf_trace::u(delta.solves)),
+                ("retries", cf_trace::u(u64::from(retries))),
+                ("wall_us", cf_trace::u(wall.as_micros() as u64)),
+            ]);
+            fields
+        });
+    };
     loop {
         session.config.tick_budget = base_ticks.map(|b| b.saturating_mul(scale));
         session.config.conflict_budget = base_conflicts.map(|b| b.saturating_mul(scale));
         session.config.deadline_at = deadline.map(|d| Instant::now() + d);
-        match exec_once(session, query) {
+        cf_trace::emit("attempt", || {
+            let mut fields = vec![("n", cf_trace::u(u64::from(retries)))];
+            if let Some(b) = session.config.tick_budget {
+                fields.push(("tick_budget", cf_trace::u(b)));
+            }
+            fields
+        });
+        match exec_once(session, query, phase) {
             Err(CheckError::Exhausted(reason)) => {
                 if retries < check.max_retries {
                     retries += 1;
                     scale = scale.saturating_mul(check.retry_growth.max(1));
+                    cf_trace::emit("retry", || {
+                        vec![
+                            ("attempt", cf_trace::u(u64::from(retries))),
+                            ("reason", cf_trace::s(reason.slug())),
+                            (
+                                "spent",
+                                cf_trace::u(session.solver_stats().since(&before).ticks()),
+                            ),
+                        ]
+                    });
                     continue;
                 }
                 let delta = session.solver_stats().since(&before);
+                phase.total_time = t0.elapsed();
+                done(
+                    delta,
+                    "inconclusive",
+                    Some(reason.slug().to_string()),
+                    retries,
+                    t0.elapsed(),
+                );
                 return Ok(Verdict {
                     answer: Answer::Inconclusive {
                         reason,
                         spent: delta.ticks(),
                     },
-                    phase: PhaseStats::default(),
+                    phase: phase.clone(),
                     stats: QueryStats::from_delta(delta, t0.elapsed(), retries),
                 });
             }
-            Err(e) => return Err(e),
-            Ok((answer, phase)) => {
+            Err(e) => {
                 let delta = session.solver_stats().since(&before);
+                phase.total_time = t0.elapsed();
+                done(delta, "error", None, retries, t0.elapsed());
+                return Err(e);
+            }
+            Ok(answer) => {
+                let delta = session.solver_stats().since(&before);
+                phase.total_time = t0.elapsed();
+                let outcome = match &answer {
+                    Answer::Outcome(o) if o.passed() => "pass",
+                    Answer::Outcome(_) => "fail",
+                    Answer::Observations(_) => "observations",
+                    Answer::Inconclusive { .. } => "inconclusive",
+                };
+                done(delta, outcome, None, retries, t0.elapsed());
                 return Ok(Verdict {
                     answer,
-                    phase,
+                    phase: phase.clone(),
                     stats: QueryStats::from_delta(delta, t0.elapsed(), retries),
                 });
             }
@@ -969,11 +1096,14 @@ fn exec(
 /// One un-retried attempt at a query: dispatch by kind, plus the
 /// `solve:` fault hook (synthetic exhaustion consumes no solver work;
 /// a stall sleeps here, *after* the deadline was armed, so the solver's
-/// own deadline check is what trips).
+/// own deadline check is what trips). Phase timings accumulate into
+/// `phase` on every path, so exhausted and crashed attempts keep their
+/// partial attribution.
 fn exec_once(
     session: &mut CheckSession<'_>,
     query: &Query<'_>,
-) -> Result<(Answer, PhaseStats), CheckError> {
+    phase: &mut PhaseStats,
+) -> Result<Answer, CheckError> {
     #[cfg(feature = "faults")]
     match cf_sat::faults::hit(&format!("solve:{}", query.describe())) {
         Some(cf_sat::faults::FaultKind::Exhaust) => {
@@ -988,22 +1118,24 @@ fn exec_once(
         None => {}
     }
     match &query.kind {
-        QueryKind::Mine => session
-            .query_mine()
-            .map(|r| (Answer::Observations(r.spec), r.stats)),
+        QueryKind::Mine => session.query_mine(phase).map(Answer::Observations),
         QueryKind::Enumerate => session
-            .query_enumerate(query.model, &query.fences, &query.toggles)
-            .map(|(obs, stats)| (Answer::Observations(obs), stats)),
+            .query_enumerate(query.model, &query.fences, &query.toggles, phase)
+            .map(Answer::Observations),
         QueryKind::CheckInclusion { spec } => session
-            .query_inclusion(query.model, spec.as_ref(), &query.fences, &query.toggles)
-            .map(|r| (Answer::Outcome(r.outcome), r.stats)),
+            .query_inclusion(
+                query.model,
+                spec.as_ref(),
+                &query.fences,
+                &query.toggles,
+                phase,
+            )
+            .map(Answer::Outcome),
         QueryKind::CommitMethod { ty } => {
             let ModelSel::Builtin(mode) = query.model else {
                 unreachable!("validated: commit queries use built-in models");
             };
-            session
-                .query_commit(mode, *ty)
-                .map(|r| (Answer::Outcome(r.outcome), r.stats))
+            session.query_commit(mode, *ty, phase).map(Answer::Outcome)
         }
     }
 }

@@ -301,20 +301,25 @@ impl<'h> CheckSession<'h> {
         note = "run `Query::mine(..)` on a `checkfence::query::Engine` instead"
     )]
     pub fn mine_spec(&mut self) -> Result<MiningResult, CheckError> {
-        self.query_mine()
+        let t0 = Instant::now();
+        let mut stats = PhaseStats::default();
+        let spec = self.query_mine(&mut stats)?;
+        stats.total_time = t0.elapsed();
+        Ok(MiningResult { spec, stats })
     }
 
     /// The [`QueryKind::Mine`](crate::query::QueryKind::Mine) body.
+    /// Phase timings accumulate into `stats` — also on the error path,
+    /// so exhausted queries keep their partial attribution (the caller
+    /// stamps `total_time`).
     ///
     /// # Errors
     ///
     /// As the deprecated [`CheckSession::mine_spec`] shim above.
-    pub(crate) fn query_mine(&mut self) -> Result<MiningResult, CheckError> {
-        let t0 = Instant::now();
-        let mut stats = PhaseStats::default();
+    pub(crate) fn query_mine(&mut self, stats: &mut PhaseStats) -> Result<ObsSet, CheckError> {
         self.stats.queries += 1;
         let serial = ModelSel::Builtin(Mode::Serial);
-        let spec = self.with_bounds(serial, &[], &[], &mut stats, |sx, enc, asm, stats| {
+        self.with_bounds(serial, &[], &[], stats, |sx, enc, asm, stats| {
             // Any serial execution with an error is a sequential bug.
             let mut with_err = asm.to_vec();
             with_err.push(enc.error_lit);
@@ -333,9 +338,7 @@ impl<'h> CheckSession<'h> {
             // Enumerate observations of error-free serial executions.
             let vectors = Self::enumerate_gated(enc, asm, stats)?;
             Ok(Round::Bounded(ObsSet { vectors }))
-        })?;
-        stats.total_time = t0.elapsed();
-        Ok(MiningResult { spec, stats })
+        })
     }
 
     /// Mines the observation set by explicit enumeration on the concrete
@@ -361,8 +364,12 @@ impl<'h> CheckSession<'h> {
         note = "run `Query::enumerate(..).on(mode)` on a `checkfence::query::Engine` instead"
     )]
     pub fn enumerate_observations(&mut self, mode: Mode) -> Result<ObsSet, CheckError> {
-        self.query_enumerate(ModelSel::Builtin(mode), &[], &[])
-            .map(|(obs, _)| obs)
+        self.query_enumerate(
+            ModelSel::Builtin(mode),
+            &[],
+            &[],
+            &mut PhaseStats::default(),
+        )
     }
 
     /// [`CheckSession::enumerate_observations`] for any encoded model —
@@ -377,7 +384,7 @@ impl<'h> CheckSession<'h> {
         note = "run `Query::enumerate(..).on_model(model)` on a `checkfence::query::Engine` instead"
     )]
     pub fn enumerate_observations_model(&mut self, model: ModelSel) -> Result<ObsSet, CheckError> {
-        self.query_enumerate(model, &[], &[]).map(|(obs, _)| obs)
+        self.query_enumerate(model, &[], &[], &mut PhaseStats::default())
     }
 
     /// [`CheckSession::enumerate_observations_model`] with exactly the
@@ -399,8 +406,7 @@ impl<'h> CheckSession<'h> {
         model: ModelSel,
         active_toggles: &[u32],
     ) -> Result<ObsSet, CheckError> {
-        self.query_enumerate(model, &[], active_toggles)
-            .map(|(obs, _)| obs)
+        self.query_enumerate(model, &[], active_toggles, &mut PhaseStats::default())
     }
 
     /// The [`QueryKind::Enumerate`](crate::query::QueryKind::Enumerate)
@@ -417,22 +423,19 @@ impl<'h> CheckSession<'h> {
         model: ModelSel,
         active_sites: &[u32],
         active_toggles: &[u32],
-    ) -> Result<(ObsSet, PhaseStats), CheckError> {
-        let t0 = Instant::now();
-        let mut stats = PhaseStats::default();
+        stats: &mut PhaseStats,
+    ) -> Result<ObsSet, CheckError> {
         self.stats.queries += 1;
-        let obs = self.with_bounds(
+        self.with_bounds(
             model,
             active_sites,
             active_toggles,
-            &mut stats,
+            stats,
             |_sx, enc, asm, stats| {
                 let vectors = Self::enumerate_gated(enc, asm, stats)?;
                 Ok(Round::Bounded(ObsSet { vectors }))
             },
-        )?;
-        stats.total_time = t0.elapsed();
-        Ok((obs, stats))
+        )
     }
 
     /// Enumerates error-free observations under the given assumptions by
@@ -496,7 +499,7 @@ impl<'h> CheckSession<'h> {
         mode: Mode,
         spec: &ObsSet,
     ) -> Result<InclusionResult, CheckError> {
-        self.query_inclusion(ModelSel::Builtin(mode), spec, &[], &[])
+        self.inclusion_result(ModelSel::Builtin(mode), spec, &[], &[])
     }
 
     /// Like [`CheckSession::check_inclusion`], with exactly the candidate
@@ -518,7 +521,7 @@ impl<'h> CheckSession<'h> {
         spec: &ObsSet,
         active_sites: &[u32],
     ) -> Result<InclusionResult, CheckError> {
-        self.query_inclusion(ModelSel::Builtin(mode), spec, active_sites, &[])
+        self.inclusion_result(ModelSel::Builtin(mode), spec, active_sites, &[])
     }
 
     /// [`CheckSession::check_inclusion`] for any encoded model — a
@@ -538,7 +541,7 @@ impl<'h> CheckSession<'h> {
         model: ModelSel,
         spec: &ObsSet,
     ) -> Result<InclusionResult, CheckError> {
-        self.query_inclusion(model, spec, &[], &[])
+        self.inclusion_result(model, spec, &[], &[])
     }
 
     /// [`CheckSession::check_inclusion_with_fences`] for any encoded
@@ -561,7 +564,7 @@ impl<'h> CheckSession<'h> {
         spec: &ObsSet,
         active_sites: &[u32],
     ) -> Result<InclusionResult, CheckError> {
-        self.query_inclusion(model, spec, active_sites, &[])
+        self.inclusion_result(model, spec, active_sites, &[])
     }
 
     /// [`CheckSession::check_inclusion_model`] with exactly the mutation
@@ -584,14 +587,12 @@ impl<'h> CheckSession<'h> {
         spec: &ObsSet,
         active_toggles: &[u32],
     ) -> Result<InclusionResult, CheckError> {
-        self.query_inclusion(model, spec, &[], active_toggles)
+        self.inclusion_result(model, spec, &[], active_toggles)
     }
 
-    /// The
-    /// [`QueryKind::CheckInclusion`](crate::query::QueryKind::CheckInclusion)
-    /// body, shared by every inclusion shim: candidate-fence sites and
-    /// mutation toggles are both just assumption polarities.
-    pub(crate) fn query_inclusion(
+    /// The legacy adapter of the inclusion shims: runs the query body
+    /// with a local accumulator and wraps it into an [`InclusionResult`].
+    fn inclusion_result(
         &mut self,
         model: ModelSel,
         spec: &ObsSet,
@@ -600,12 +601,32 @@ impl<'h> CheckSession<'h> {
     ) -> Result<InclusionResult, CheckError> {
         let t0 = Instant::now();
         let mut stats = PhaseStats::default();
+        let outcome =
+            self.query_inclusion(model, spec, active_sites, active_toggles, &mut stats)?;
+        stats.total_time = t0.elapsed();
+        Ok(InclusionResult { outcome, stats })
+    }
+
+    /// The
+    /// [`QueryKind::CheckInclusion`](crate::query::QueryKind::CheckInclusion)
+    /// body, shared by every inclusion shim: candidate-fence sites and
+    /// mutation toggles are both just assumption polarities. Phase
+    /// timings accumulate into `stats` — also on the error path — and
+    /// the caller stamps `total_time`.
+    pub(crate) fn query_inclusion(
+        &mut self,
+        model: ModelSel,
+        spec: &ObsSet,
+        active_sites: &[u32],
+        active_toggles: &[u32],
+        stats: &mut PhaseStats,
+    ) -> Result<CheckOutcome, CheckError> {
         self.stats.queries += 1;
-        let outcome = self.with_bounds(
+        self.with_bounds(
             model,
             active_sites,
             active_toggles,
-            &mut stats,
+            stats,
             |sx, enc, asm, stats| {
                 // The spec-membership circuit is a pure definition: cache it
                 // per spec, so the fence-inference loop (same spec, different
@@ -641,9 +662,7 @@ impl<'h> CheckSession<'h> {
                     }
                 }
             },
-        )?;
-        stats.total_time = t0.elapsed();
-        Ok(InclusionResult { outcome, stats })
+        )
     }
 
     /// Runs the commit-point method (the Fig. 12 baseline) under `mode`,
@@ -665,12 +684,17 @@ impl<'h> CheckSession<'h> {
         mode: Mode,
         ty: AbstractType,
     ) -> Result<InclusionResult, CheckError> {
-        self.query_commit(mode, ty)
+        let t0 = Instant::now();
+        let mut stats = PhaseStats::default();
+        let outcome = self.query_commit(mode, ty, &mut stats)?;
+        stats.total_time = t0.elapsed();
+        Ok(InclusionResult { outcome, stats })
     }
 
     /// The
     /// [`QueryKind::CommitMethod`](crate::query::QueryKind::CommitMethod)
-    /// body.
+    /// body. Phase timings accumulate into `stats` — also on the error
+    /// path — and the caller stamps `total_time`.
     ///
     /// # Errors
     ///
@@ -679,13 +703,10 @@ impl<'h> CheckSession<'h> {
         &mut self,
         mode: Mode,
         ty: AbstractType,
-    ) -> Result<InclusionResult, CheckError> {
-        let t0 = Instant::now();
-        let mut stats = PhaseStats::default();
+        stats: &mut PhaseStats,
+    ) -> Result<CheckOutcome, CheckError> {
         self.stats.queries += 1;
-        let outcome = self.with_bounds_commit(mode, ty, &mut stats)?;
-        stats.total_time = t0.elapsed();
-        Ok(InclusionResult { outcome, stats })
+        self.with_bounds_commit(mode, ty, stats)
     }
 
     // ------------------------------------------------------------ internals
@@ -711,6 +732,19 @@ impl<'h> CheckSession<'h> {
             );
             stats.encode_time += t0.elapsed();
             self.stats.encodes += 1;
+            cf_trace::emit("encode", || {
+                vec![
+                    ("vars", cf_trace::u(enc.cnf.num_vars() as u64)),
+                    ("clauses", cf_trace::u(enc.cnf.num_clauses())),
+                    // Unit clauses propagate eagerly while the CNF is
+                    // built (outside any solve call), so the fresh
+                    // solver's tick count here is exactly the
+                    // encode-phase solver work — the profile needs it
+                    // to close the attribution ledger.
+                    ("ticks", cf_trace::u(enc.cnf.solver.stats().ticks())),
+                    ("encode_us", cf_trace::u(t0.elapsed().as_micros() as u64)),
+                ]
+            });
             let overflow_act = if enc.exceeded.is_empty() {
                 None
             } else {
@@ -735,6 +769,29 @@ impl<'h> CheckSession<'h> {
         st.enc.cnf.solver.set_tick_budget(self.config.tick_budget);
         st.enc.cnf.solver.set_deadline(self.config.deadline_at);
         st.enc.cnf.solver.set_config(self.config.solver_config);
+        // The trace observer on the solver: re-armed on every query so
+        // enabling/disabling tracing between batches takes effect. Each
+        // solve call reports its result and counter deltas into the
+        // ambient trace lane (the engine's per-query scope).
+        st.enc.cnf.solver.set_solve_hook(if cf_trace::enabled() {
+            Some(cf_sat::SolveHook::new(|ev| {
+                cf_trace::emit("sat_solve", || {
+                    let result = match ev.result {
+                        SolveResult::Sat => "sat",
+                        SolveResult::Unsat => "unsat",
+                        SolveResult::Unknown => "unknown",
+                    };
+                    vec![
+                        ("result", cf_trace::s(result)),
+                        ("ticks", cf_trace::u(ev.delta.ticks())),
+                        ("conflicts", cf_trace::u(ev.delta.conflicts)),
+                        ("propagations", cf_trace::u(ev.delta.propagations)),
+                    ]
+                });
+            }))
+        } else {
+            None
+        });
         Ok(())
     }
 
@@ -791,6 +848,9 @@ impl<'h> CheckSession<'h> {
     }
 
     fn grow_bounds(&mut self, keys: Vec<String>) {
+        cf_trace::emit("bound_grow", || {
+            vec![("loops", cf_trace::u(keys.len() as u64))]
+        });
         for key in keys {
             *self.bounds.entry(key).or_insert(1) += 1;
         }

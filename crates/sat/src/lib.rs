@@ -51,6 +51,6 @@ pub mod dimacs;
 pub mod faults;
 pub mod xorshift;
 
-pub use solver::{SolveResult, Solver, SolverConfig, StopCause};
+pub use solver::{SolveEvent, SolveHook, SolveResult, Solver, SolverConfig, StopCause};
 pub use stats::Stats;
 pub use types::{LBool, Lit, Var};

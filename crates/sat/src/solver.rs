@@ -37,6 +37,42 @@ pub enum StopCause {
     Deadline,
 }
 
+/// What one [`Solver::solve_with`] call did: its result, the limit
+/// that stopped it (for [`SolveResult::Unknown`]), and the counter
+/// deltas it accumulated. Passed to the [`SolveHook`] after every
+/// solve call, on every return path.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveEvent {
+    /// The result the call returned.
+    pub result: SolveResult,
+    /// Which resource limit stopped the call, when `result` is
+    /// [`SolveResult::Unknown`].
+    pub stop: Option<StopCause>,
+    /// Counter deltas for this call alone ([`Stats::since`] against a
+    /// snapshot taken at call entry).
+    pub delta: Stats,
+}
+
+/// An observer invoked after every solve call with its [`SolveEvent`].
+///
+/// The hook is how higher layers (the CheckFence trace collector)
+/// attribute solver work to spans without the solver depending on them;
+/// `cf-sat` itself never inspects the events.
+pub struct SolveHook(Box<dyn FnMut(&SolveEvent) + Send>);
+
+impl SolveHook {
+    /// Wraps a callback as a solve hook.
+    pub fn new(hook: impl FnMut(&SolveEvent) + Send + 'static) -> Self {
+        SolveHook(Box::new(hook))
+    }
+}
+
+impl std::fmt::Debug for SolveHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SolveHook(..)")
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Watcher {
     cref: ClauseRef,
@@ -122,6 +158,7 @@ pub struct Solver {
     deadline: Option<std::time::Instant>,
     stop_cause: Option<StopCause>,
     config: SolverConfig,
+    solve_hook: Option<SolveHook>,
 }
 
 impl Default for Solver {
@@ -164,6 +201,7 @@ impl Solver {
             deadline: None,
             stop_cause: None,
             config: SolverConfig::default(),
+            solve_hook: None,
         }
     }
 
@@ -324,9 +362,30 @@ impl Solver {
         self.solve_with(&[])
     }
 
+    /// Installs (or removes) the per-call observer; see [`SolveHook`].
+    pub fn set_solve_hook(&mut self, hook: Option<SolveHook>) {
+        self.solve_hook = hook;
+    }
+
     /// Solves under the given assumptions. The assumptions behave like
     /// temporary unit clauses for this call only.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        // Snapshot-delta-notify wrapper: the hook must observe every
+        // return path of the search body, early outs included.
+        let before = self.stats;
+        let result = self.solve_with_inner(assumptions);
+        if let Some(hook) = &mut self.solve_hook {
+            let event = SolveEvent {
+                result,
+                stop: self.stop_cause,
+                delta: self.stats.since(&before),
+            };
+            (hook.0)(&event);
+        }
+        result
+    }
+
+    fn solve_with_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.stats.solves += 1;
         self.stats.assumed_literals += assumptions.len() as u64;
         self.stop_cause = None;

@@ -295,6 +295,16 @@ fn fan_out<R: Send>(jobs: usize, n: usize, work: impl Fn(usize) -> R + Sync) -> 
 /// coverage report.
 pub fn run_corpus(harness: &Harness, tests: &[TestSpec], config: &CorpusConfig) -> CorpusReport {
     let t0 = Instant::now();
+    cf_trace::emit("corpus_start", || {
+        vec![
+            ("harness", cf_trace::s(harness.name.clone())),
+            ("tests", cf_trace::u(tests.len() as u64)),
+            (
+                "models",
+                cf_trace::u((config.modes.len() + config.specs.len()) as u64),
+            ),
+        ]
+    });
     let model_names: Vec<String> = config
         .modes
         .iter()
@@ -313,6 +323,19 @@ pub fn run_corpus(harness: &Harness, tests: &[TestSpec], config: &CorpusConfig) 
         mine_reference(harness, &tests[i])
             .map(|m| m.spec)
             .map_err(|e| e.to_string())
+    });
+
+    cf_trace::emit("mining_done", || {
+        vec![
+            (
+                "mined",
+                cf_trace::u(mined.iter().filter(|r| r.is_ok()).count() as u64),
+            ),
+            (
+                "failed",
+                cf_trace::u(mined.iter().filter(|r| r.is_err()).count() as u64),
+            ),
+        ]
     });
 
     // Share each mined spec across every query of its test.
@@ -375,6 +398,12 @@ pub fn run_corpus(harness: &Harness, tests: &[TestSpec], config: &CorpusConfig) 
             round_rows.push(row);
             queries.push(Query::check_inclusion(harness, test, spec.clone()).on(mode));
         }
+        cf_trace::emit("ladder_round", || {
+            vec![
+                ("model", cf_trace::s(mode.name())),
+                ("queries", cf_trace::u(queries.len() as u64)),
+            ]
+        });
         for (row, verdict) in round_rows.into_iter().zip(engine.run_batch(&queries)) {
             let v = convert(verdict);
             if v == CorpusVerdict::Pass {
@@ -401,6 +430,9 @@ pub fn run_corpus(harness: &Harness, tests: &[TestSpec], config: &CorpusConfig) 
             queries.push(Query::check_inclusion(harness, test, spec.clone()).on_model(sel));
         }
     }
+    cf_trace::emit("spec_columns", || {
+        vec![("queries", cf_trace::u(queries.len() as u64))]
+    });
     for ((row, col), verdict) in spec_rows.into_iter().zip(engine.run_batch(&queries)) {
         grids[row][col] = Some(convert(verdict));
     }
@@ -441,6 +473,22 @@ pub fn run_corpus(harness: &Harness, tests: &[TestSpec], config: &CorpusConfig) 
     }
 
     let stats = engine.stats();
+    cf_trace::emit("corpus_done", || {
+        vec![
+            ("queries", cf_trace::u(u64::from(stats.queries))),
+            ("inferred", cf_trace::u(inferred as u64)),
+            ("corpus_us", cf_trace::u(t0.elapsed().as_micros() as u64)),
+        ]
+    });
+    // Pool shape (session replicas, encodes) legitimately varies with
+    // the worker count, so it rides the nd side channel — the
+    // deterministic stream must stay jobs-independent.
+    cf_trace::emit_nd("pool_stats", || {
+        vec![
+            ("sessions", cf_trace::u(stats.sessions as u64)),
+            ("encodes", cf_trace::u(u64::from(stats.encodes))),
+        ]
+    });
     CorpusReport {
         model_names,
         rows,

@@ -55,7 +55,18 @@
 //!   --stats                     print a per-query solver-statistics
 //!                               table (solves, conflicts, restarts,
 //!                               retries, assumed literals, wall time)
-//!   --trace                     print full counterexample traces
+//!   --stats-json FILE           write the --stats table as versioned
+//!                               JSON (`schema_version` 1)
+//!   --cx                        print full counterexample traces
+//!   --trace FILE                write a structured JSONL event trace
+//!                               (spans for encodes, solver calls,
+//!                               retries, shard lifecycle); stripped of
+//!                               timing fields it is byte-identical at
+//!                               any --jobs count
+//!   --metrics FILE              write a Prometheus-style text metrics
+//!                               snapshot of the run
+//!   --profile                   print a per-query-class cost profile
+//!                               (solver-tick attribution) after the run
 //!   -h, --help                  this text
 //!
 //! EXIT STATUS: 0 all tests pass, 1 some check failed (counterexample
@@ -124,7 +135,18 @@ struct Options {
     deadline_ms: Option<u64>,
     retries: Option<u32>,
     stats: bool,
-    trace: bool,
+    stats_json: Option<PathBuf>,
+    cx: bool,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    profile: bool,
+}
+
+impl Options {
+    /// `true` when any flag needs the structured event collector.
+    fn wants_tracing(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.profile
+    }
 }
 
 /// What a run that reached its end observed, folded into the exit code.
@@ -192,7 +214,11 @@ fn usage() -> &'static str {
      \x20 --retries N                escalating retries per query (each\n\
      \x20                            retry multiplies the budgets by 8) [2]\n\
      \x20 --stats                    print a per-query solver-stats table\n\
-     \x20 --trace                    print full counterexample traces\n\
+     \x20 --stats-json FILE          write the --stats table as versioned JSON\n\
+     \x20 --cx                       print full counterexample traces\n\
+     \x20 --trace FILE               write a structured JSONL event trace\n\
+     \x20 --metrics FILE             write a Prometheus-style metrics snapshot\n\
+     \x20 --profile                  print a per-query-class cost profile\n\
      \x20 -h, --help                 this text\n\
      \n\
      exit status: 0 all tests pass, 1 some check failed, 2 usage or\n\
@@ -274,7 +300,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         deadline_ms: None,
         retries: None,
         stats: false,
-        trace: false,
+        stats_json: None,
+        cx: false,
+        trace_out: None,
+        metrics_out: None,
+        profile: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -384,7 +414,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     })?);
             }
             "--stats" => opts.stats = true,
-            "--trace" => opts.trace = true,
+            "--stats-json" => opts.stats_json = Some(PathBuf::from(value("--stats-json")?)),
+            "--cx" => opts.cx = true,
+            "--trace" => opts.trace_out = Some(PathBuf::from(value("--trace")?)),
+            "--metrics" => opts.metrics_out = Some(PathBuf::from(value("--metrics")?)),
+            "--profile" => opts.profile = true,
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             other => {
                 if source.replace(PathBuf::from(other)).is_some() {
@@ -411,9 +445,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             return Err("--synth uses the observation method; drop --method".into());
         }
         // Accepting these and silently ignoring them would misreport
-        // what the run did.
-        if opts.stats || opts.trace {
-            return Err("--synth prints the coverage table; drop --stats/--trace".into());
+        // what the run did. The observability sinks (--trace/--metrics/
+        // --profile) stay available: they tap the engine, not the table.
+        if opts.stats || opts.stats_json.is_some() || opts.cx {
+            return Err("--synth prints the coverage table; drop --stats/--stats-json/--cx".into());
         }
         if opts.model_explicit && matches!(opts.model, ModelArg::Builtin(_)) {
             return Err(
@@ -492,11 +527,49 @@ fn apply_budgets(check: &mut CheckConfig, opts: &Options) {
 fn run() -> Result<RunStatus, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_args(&args)?;
-
-    if let Some(name) = &opts.synth {
-        return run_synth(&opts, name);
+    if opts.wants_tracing() {
+        cf_trace::enable();
     }
-    let harness = build_harness(&opts)?;
+    let result = run_with(&opts);
+    if opts.wants_tracing() {
+        let events = cf_trace::take();
+        cf_trace::disable();
+        let flushed = flush_sinks(&opts, &events);
+        // A run error outranks a sink error; a sink error still fails
+        // an otherwise-green run (silently dropping the artifact the
+        // user asked for would misreport what happened).
+        return match (result, flushed) {
+            (Err(e), _) => Err(e),
+            (Ok(_), Err(e)) => Err(e),
+            (ok, Ok(())) => ok,
+        };
+    }
+    result
+}
+
+/// Writes/prints every requested observability sink from one drained
+/// event list, so the JSONL trace, the metrics snapshot and the profile
+/// table always describe the same run.
+fn flush_sinks(opts: &Options, events: &[cf_trace::Event]) -> Result<(), String> {
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, cf_trace::render_jsonl(events))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, cf_trace::render_prom(events))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    if opts.profile {
+        print!("{}", cf_trace::profile(events).render());
+    }
+    Ok(())
+}
+
+fn run_with(opts: &Options) -> Result<RunStatus, String> {
+    if let Some(name) = &opts.synth {
+        return run_synth(opts, name);
+    }
+    let harness = build_harness(opts)?;
 
     let mut tests = Vec::new();
     for (i, (name, text)) in opts.tests.iter().enumerate() {
@@ -514,7 +587,7 @@ fn run() -> Result<RunStatus, String> {
         if opts.spec_cache.is_some() {
             return Err("--ablate does not support --spec-cache".into());
         }
-        return run_ablate(&opts, &harness, &tests);
+        return run_ablate(opts, &harness, &tests);
     }
 
     if opts.run_infer {
@@ -581,7 +654,7 @@ fn run() -> Result<RunStatus, String> {
         .with_specs(vec![spec.clone()]),
     };
     engine_config.check.order_encoding = opts.encoding;
-    apply_budgets(&mut engine_config.check, &opts);
+    apply_budgets(&mut engine_config.check, opts);
     let sel = match &opts.model {
         ModelArg::Builtin(mode) => ModelSel::Builtin(*mode),
         ModelArg::Spec(_) => ModelSel::Spec(0),
@@ -630,7 +703,7 @@ fn run() -> Result<RunStatus, String> {
                 status.failed = true;
                 println!("FAIL {} on {} ({label})", test.name, opts.model.name());
                 let text = format!("{cx}");
-                if opts.trace {
+                if opts.cx {
                     for line in text.lines() {
                         println!("  {line}");
                     }
@@ -638,7 +711,7 @@ fn run() -> Result<RunStatus, String> {
                     if let Some(first) = text.lines().next() {
                         println!("  {first}");
                     }
-                    println!("  (re-run with --trace for the full counterexample)");
+                    println!("  (re-run with --cx for the full counterexample)");
                 }
             }
         }
@@ -646,7 +719,55 @@ fn run() -> Result<RunStatus, String> {
     if opts.stats {
         print!("{}", stats_table(&stats_rows));
     }
+    if let Some(path) = &opts.stats_json {
+        std::fs::write(path, stats_json(&stats_rows))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
     Ok(status)
+}
+
+/// Renders the `--stats-json` export: the `--stats` table's rows as
+/// versioned JSON, one object per query in batch order. The
+/// `schema_version` field is shared with the trace/metrics sinks and
+/// the benchmark JSON artifacts.
+fn stats_json(rows: &[(String, QueryStats)]) -> String {
+    let escape = |s: &str| {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {},", cf_trace::SCHEMA_VERSION);
+    out.push_str("  \"queries\": [\n");
+    for (i, (label, s)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"query\": \"{}\", \"solves\": {}, \"conflicts\": {}, \"restarts\": {}, \
+             \"propagations\": {}, \"assumed_literals\": {}, \"retries\": {}, \
+             \"wall_us\": {}}}{comma}",
+            escape(label),
+            s.solves,
+            s.conflicts,
+            s.restarts,
+            s.propagations,
+            s.assumed_literals,
+            s.retries,
+            s.wall.as_micros(),
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Renders the `--stats` per-query attribution table.

@@ -23,7 +23,11 @@
 //!   within (threads, ops) bounds, canonicalize away symmetry, and
 //!   batch-check whole corpora on the engine with model-lattice
 //!   inference and subsumption pruning, plus the loader for the mini-C
-//!   scenario corpus under `corpus/`.
+//!   scenario corpus under `corpus/`;
+//! * [`trace`] — the structured-event observability layer: a
+//!   zero-cost-when-disabled collector with deterministic coordinates,
+//!   JSONL and Prometheus-style sinks, and the solver-cost profile
+//!   (see `docs/observability.md`).
 //!
 //! A command-line front end is available as the `checkfence` binary
 //! (`cargo run --release --bin checkfence -- --help`).
@@ -54,6 +58,7 @@ pub use cf_minic as minic;
 pub use cf_sat as sat;
 pub use cf_spec as spec;
 pub use cf_synth as synth;
+pub use cf_trace as trace;
 pub use checkfence as core;
 
 // The user guide's Rust blocks run as doctests of this crate, so the
@@ -73,6 +78,8 @@ mod doc_examples {
     pub struct HarnessSynthesis;
     #[doc = include_str!("../docs/robustness.md")]
     pub struct Robustness;
+    #[doc = include_str!("../docs/observability.md")]
+    pub struct Observability;
     #[doc = include_str!("../README.md")]
     pub struct Readme;
 }

@@ -33,12 +33,12 @@ fn fails_on_relaxed_with_exit_one() {
     assert_eq!(out.status.code(), Some(1), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("FAIL PG on relaxed"), "{stdout}");
-    assert!(stdout.contains("--trace"), "hint expected: {stdout}");
+    assert!(stdout.contains("--cx"), "hint expected: {stdout}");
 }
 
 #[test]
-fn trace_flag_prints_the_memory_order() {
-    let out = run(mailbox_args(&mut cli()).args(["--model", "relaxed", "--trace"]));
+fn cx_flag_prints_the_memory_order() {
+    let out = run(mailbox_args(&mut cli()).args(["--model", "relaxed", "--cx"]));
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("memory order"), "{stdout}");
@@ -200,7 +200,7 @@ fn bundled_cfm_models_run_end_to_end() {
 
     let out = run(mailbox_args(&mut cli())
         .args(["--model", specs.join("relaxed.cfm").to_str().unwrap()])
-        .arg("--trace"));
+        .arg("--cx"));
     assert_eq!(out.status.code(), Some(1), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("FAIL PG on relaxed"), "{stdout}");
@@ -404,10 +404,12 @@ fn synth_usage_errors_exit_two() {
     let out = run(cli().args(["--synth", "treiber", "--ablate"]));
     assert_eq!(out.status.code(), Some(2), "{out:?}");
     // Flags the synth mode would silently ignore are rejected, not
-    // swallowed: --stats/--trace have no coverage-table meaning, and a
-    // built-in --model cannot restrict the lattice (only a .cfm spec
-    // adds a column).
+    // swallowed: --stats/--stats-json/--cx have no coverage-table
+    // meaning, and a built-in --model cannot restrict the lattice (only
+    // a .cfm spec adds a column).
     let out = run(cli().args(["--synth", "treiber", "--stats"]));
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = run(cli().args(["--synth", "treiber", "--cx"]));
     assert_eq!(out.status.code(), Some(2), "{out:?}");
     let out = run(cli().args(["--synth", "treiber", "--model", "tso"]));
     assert_eq!(out.status.code(), Some(2), "{out:?}");
@@ -508,6 +510,94 @@ fn starved_synth_table_renders_question_cells_with_exit_three() {
     assert!(stdout.contains("36 solved, 0 inferred"), "{stdout}");
     assert!(stdout.contains('?'), "{stdout}");
     assert!(!stdout.contains("FAIL"), "nothing was decided: {stdout}");
+}
+
+#[test]
+fn stats_json_matches_the_stats_table() {
+    let path = std::env::temp_dir().join(format!("cf-cli-stats-{}.json", std::process::id()));
+    let out = run(mailbox_args(&mut cli())
+        .args(["--model", "tso", "--stats", "--stats-json"])
+        .arg(&path));
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json = std::fs::read_to_string(&path).expect("stats json written");
+    std::fs::remove_file(&path).ok();
+    assert!(json.contains("\"schema_version\": 1"), "{json}");
+    // The text table's row and the JSON export must agree on the
+    // per-query counters, not just both exist.
+    let row = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("check mailbox/PG@tso"))
+        .expect("table row");
+    let cols: Vec<&str> = row.split_whitespace().collect();
+    let solves: u64 = cols[2].parse().expect("solves column");
+    let conflicts: u64 = cols[3].parse().expect("conflicts column");
+    assert!(
+        json.contains(&format!(
+            "\"query\": \"check mailbox/PG@tso\", \"solves\": {solves}, \"conflicts\": {conflicts}"
+        )),
+        "JSON and table disagree:\n{json}\n{stdout}"
+    );
+}
+
+#[test]
+fn stripped_traces_are_identical_across_jobs() {
+    let trace_of = |jobs: &str| -> String {
+        let path =
+            std::env::temp_dir().join(format!("cf-cli-trace-{}-{jobs}.jsonl", std::process::id()));
+        let out = run(mailbox_args(&mut cli())
+            .args(["--test", "GG=( p | g g )"])
+            .args(["--model", "tso", "--jobs", jobs, "--trace"])
+            .arg(&path));
+        assert!(out.status.success(), "{out:?}");
+        let text = std::fs::read_to_string(&path).expect("trace written");
+        std::fs::remove_file(&path).ok();
+        text
+    };
+    let t1 = trace_of("1");
+    let t4 = trace_of("4");
+    assert!(t1.starts_with("{\"k\":\"trace_meta\""), "{t1}");
+    assert_eq!(
+        cf_trace::strip(&t1),
+        cf_trace::strip(&t4),
+        "stripped traces must be byte-identical at --jobs 1 and --jobs 4"
+    );
+}
+
+#[test]
+fn observability_sinks_leave_stdout_unchanged() {
+    let dir = std::env::temp_dir();
+    let trace = dir.join(format!("cf-cli-sink-{}.jsonl", std::process::id()));
+    let prom = dir.join(format!("cf-cli-sink-{}.prom", std::process::id()));
+    let plain = run(mailbox_args(&mut cli()).args(["--model", "tso"]));
+    let sunk = run(mailbox_args(&mut cli())
+        .args(["--model", "tso", "--trace"])
+        .arg(&trace)
+        .arg("--metrics")
+        .arg(&prom));
+    assert!(plain.status.success() && sunk.status.success());
+    // File sinks must not perturb the verdict output.
+    assert_eq!(plain.stdout, sunk.stdout, "tracing changed stdout");
+    let prom_text = std::fs::read_to_string(&prom).expect("metrics written");
+    let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+    std::fs::remove_file(&prom).ok();
+    std::fs::remove_file(&trace).ok();
+    assert!(
+        prom_text.contains("checkfence_solver_ticks_total"),
+        "{prom_text}"
+    );
+    assert!(
+        prom_text.contains("checkfence_queries_total{outcome=\"pass\"} 1"),
+        "{prom_text}"
+    );
+    assert!(trace_text.contains("\"k\":\"query_done\""), "{trace_text}");
+
+    // --profile prints the attribution table after the verdicts.
+    let out = run(mailbox_args(&mut cli()).args(["--model", "tso", "--profile"]));
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cost profile (schema 1):"), "{stdout}");
+    assert!(stdout.contains("attributed"), "{stdout}");
 }
 
 #[test]
