@@ -1,0 +1,54 @@
+// Compare-and-swap — atomicity and publication, ported from the
+// classic RMW litmus shapes (herd7's 2+2W RMW variants, loom's
+// compare_exchange examples).
+//
+//   CASX   — two threads race a CAS from 0 on the same cell; exactly
+//            one may win. The ops return the observed old value, so
+//            the only outcomes are (0, winner) in either order — the
+//            RMW executes as one contiguous atomic group in *every*
+//            model, so this passes even on builtin relaxed. Both
+//            returning 0 would be a torn CAS.
+//   CASPUB — CAS as a publication device: the writer prepares data
+//            with a relaxed store and then release-CASes flag 0 -> 1;
+//            the reader acquires flag == 1 and must see the payload
+//            (the CAS's store half carries the release). Fails on
+//            builtin relaxed where the annotation is invisible and no
+//            fence orders the payload.
+//
+// cf: name c11_cas
+// cf: op a = race_one:ret
+// cf: op b = race_two:ret
+// cf: op w = publisher
+// cf: op r = subscriber:ret
+// cf: test CASX = ( a | b )
+// cf: test CASPUB = ( w | r )
+// cf: expect CASX @ c11 = pass
+// cf: expect CASX @ rc11 = pass
+// cf: expect CASX @ sc = pass
+// cf: expect CASX @ relaxed = pass
+// cf: expect CASPUB @ c11 = pass
+// cf: expect CASPUB @ rc11 = pass
+// cf: expect CASPUB @ relaxed = fail
+
+int x;
+int data;
+int flag;
+
+int race_one() {
+    return cas(x, 0, 1, relaxed);
+}
+
+int race_two() {
+    return cas(x, 0, 2, relaxed);
+}
+
+void publisher() {
+    store(data, relaxed, 1);
+    cas(flag, 0, 1, release);
+}
+
+int subscriber() {
+    int f;
+    do { f = load(flag, acquire); } spinwhile (f == 0);
+    return load(data, relaxed);
+}

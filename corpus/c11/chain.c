@@ -1,0 +1,55 @@
+// Transitive message passing (ISA2 shape) — ported from the classic
+// litmus family (herd7's ISA2): the MP payload crosses two hops. T1
+// publishes data and raises f1; T2 waits on f1 and raises f2; T3 waits
+// on f2 and reads data. Causality must compose across the middle
+// thread.
+//
+//   CHAIN    — release/acquire at both hops: sw(T1,T2) chains into
+//              sw(T2,T3) through T2's acquire-load-before-release-
+//              store edge, so T3 sees the payload (pass).
+//   CHAINbrk — the middle hop downgraded to relaxed on both its load
+//              and its store: the chain snaps in the middle, T3 can
+//              acquire f2 = 1 yet read stale data (fail under
+//              c11/rc11; builtin sc still passes).
+//
+// cf: name c11_chain
+// cf: op w = publish
+// cf: op m = relay_ra
+// cf: op r = consume:ret
+// cf: op n = relay_rlx
+// cf: test CHAIN = ( w | m | r )
+// cf: test CHAINbrk = ( w | n | r )
+// cf: expect CHAIN @ c11 = pass
+// cf: expect CHAIN @ rc11 = pass
+// cf: expect CHAIN @ sc = pass
+// cf: expect CHAIN @ relaxed = fail
+// cf: expect CHAINbrk @ c11 = fail
+// cf: expect CHAINbrk @ rc11 = fail
+// cf: expect CHAINbrk @ sc = pass
+
+int data;
+int f1;
+int f2;
+
+void publish() {
+    store(data, relaxed, 1);
+    store(f1, release, 1);
+}
+
+void relay_ra() {
+    int v;
+    do { v = load(f1, acquire); } spinwhile (v == 0);
+    store(f2, release, 1);
+}
+
+int consume() {
+    int v;
+    do { v = load(f2, acquire); } spinwhile (v == 0);
+    return load(data, relaxed);
+}
+
+void relay_rlx() {
+    int v;
+    do { v = load(f1, relaxed); } spinwhile (v == 0);
+    store(f2, relaxed, 1);
+}

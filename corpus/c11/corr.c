@@ -1,0 +1,52 @@
+// Coherence of read-read (CoRR) — ported from the classic coherence
+// litmus family (herd7's CoRR). One writer stores x=1; a reader loads
+// x twice and must never observe the new value then the old one:
+// same-location reads may not go backwards.
+//
+// This checker is assert-based with no return value on purpose: the
+// intermediate outcome (first load 0, second load 1) is reachable
+// concurrently but not with op-atomic serial interleavings, so a
+// returned pair would trip the serial-inclusion check on a perfectly
+// coherent execution.
+//
+//   CORR   — relaxed atomic loads: even fully relaxed C11 guarantees
+//            per-location coherence (`po & loc` is preserved), so this
+//            passes under c11/rc11 — while the paper's builtin relaxed
+//            model reorders same-address loads and fails. This is the
+//            canonical program where all-relaxed c11 is strictly
+//            stronger than the hardware relaxed model.
+//   CORRna — plain loads: the same guarantee holds for non-atomics in
+//            this engine (coherence is not conditioned on atomicity).
+//
+// cf: name c11_corr
+// cf: op w = writer
+// cf: op r = reader_rlx
+// cf: op n = reader_na
+// cf: test CORR = ( w | r )
+// cf: test CORRna = ( w | n )
+// cf: expect CORR @ c11 = pass
+// cf: expect CORR @ rc11 = pass
+// cf: expect CORR @ sc = pass
+// cf: expect CORR @ tso = pass
+// cf: expect CORR @ relaxed = fail
+// cf: expect CORRna @ c11 = pass
+// cf: expect CORRna @ rc11 = pass
+// cf: expect CORRna @ relaxed = fail
+
+int x;
+
+void writer() {
+    store(x, relaxed, 1);
+}
+
+void reader_rlx() {
+    int a = load(x, relaxed);
+    int b = load(x, relaxed);
+    assert(!(a == 1 && b == 0));
+}
+
+void reader_na() {
+    int a = x;
+    int b = x;
+    assert(!(a == 1 && b == 0));
+}

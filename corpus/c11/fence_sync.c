@@ -1,0 +1,52 @@
+// Fence-based message passing — the MP idiom synchronized through C11
+// fences instead of access annotations (cf. herd7's MP+fences,
+// preshing's acquire-and-release-fences walkthrough). All accesses are
+// relaxed; a release fence before the flag store and an acquire fence
+// after the flag load recreate the synchronizes-with edge via the
+// `fence_rel ; [W]` / `[RLX] ; [R] ; fence_acq` clauses.
+//
+// Unlike per-access annotations (which only the .cfm specs see), C11
+// fences lower to ordering edges under the builtin hardware models
+// too, so the fenced variant passes even on the builtin relaxed model.
+//
+//   FMP     — release fence / acquire fence pair: passes everywhere.
+//   FMPhalf — writer keeps its release fence, reader drops the acquire
+//             fence: no sw edge, stale data admitted (fail under
+//             c11/rc11, and under builtin relaxed where the reader's
+//             loads reorder freely).
+//
+// cf: name c11_fence_mp
+// cf: op w = writer_fenced
+// cf: op r = reader_fenced:ret
+// cf: op h = reader_unfenced:ret
+// cf: test FMP = ( w | r )
+// cf: test FMPhalf = ( w | h )
+// cf: expect FMP @ c11 = pass
+// cf: expect FMP @ rc11 = pass
+// cf: expect FMP @ sc = pass
+// cf: expect FMP @ relaxed = pass
+// cf: expect FMPhalf @ c11 = fail
+// cf: expect FMPhalf @ rc11 = fail
+// cf: expect FMPhalf @ relaxed = fail
+
+int data;
+int flag;
+
+void writer_fenced() {
+    store(data, relaxed, 1);
+    fence(release);
+    store(flag, relaxed, 1);
+}
+
+int reader_fenced() {
+    int f;
+    do { f = load(flag, relaxed); } spinwhile (f == 0);
+    fence(acquire);
+    return load(data, relaxed);
+}
+
+int reader_unfenced() {
+    int f;
+    do { f = load(flag, relaxed); } spinwhile (f == 0);
+    return load(data, relaxed);
+}

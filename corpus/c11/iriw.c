@@ -1,0 +1,117 @@
+// Independent reads of independent writes (IRIW) — ported from the
+// classic litmus family (herd7's IRIW). Two writers store to x and y;
+// two readers each read both locations in opposite orders. The split
+// outcome — reader 1 sees x=1,y=0 while reader 2 sees y=1,x=0 — means
+// the readers disagree about the order of the independent writes.
+//
+// Each reader parks 1 + r_first + 2*r_second in its mailbox (so 2
+// encodes "saw the first location written, the second not yet"), and
+// the checker asserts the split pair (2,2) away.
+//
+// CAVEAT (documented in docs/guide.md): this engine postulates one
+// total memory order per execution, which makes every spec
+// multi-copy-atomic. Real C11 allows the split outcome for acquire
+// loads; here IRIWacq forbids it — the c11/rc11 specs are strictly
+// stronger than ISO C11 on this family, like hardware models with a
+// single shared memory (x86-TSO, multi-copy-atomic ARMv8).
+//
+//   IRIWrlx — relaxed reads: even the total order admits the split
+//             when nothing orders each reader's two loads (fail under
+//             c11/rc11 and builtin relaxed); TSO and sc keep load-load
+//             order and pass.
+//   IRIWacq — acquire reads: [ACQ];[R];po pins each reader's load
+//             pair, and the total order then forbids the split (pass —
+//             see caveat above; real C11 would allow it).
+//   IRIWsc  — seq_cst everywhere: forbidden even in ISO C11; passes.
+//
+// cf: name c11_iriw
+// cf: op w = writer_x
+// cf: op v = writer_y
+// cf: op p = reader_xy_rlx
+// cf: op q = reader_yx_rlx
+// cf: op P = reader_xy_acq
+// cf: op Q = reader_yx_acq
+// cf: op W = writer_x_sc
+// cf: op V = writer_y_sc
+// cf: op m = reader_xy_sc
+// cf: op n = reader_yx_sc
+// cf: op c = check_iriw
+// cf: test IRIWrlx = ( w | v | p | q | c )
+// cf: test IRIWacq = ( w | v | P | Q | c )
+// cf: test IRIWsc = ( W | V | m | n | c )
+// cf: expect IRIWrlx @ c11 = fail
+// cf: expect IRIWrlx @ rc11 = fail
+// cf: expect IRIWrlx @ sc = pass
+// cf: expect IRIWrlx @ tso = pass
+// cf: expect IRIWrlx @ relaxed = fail
+// cf: expect IRIWacq @ c11 = pass
+// cf: expect IRIWacq @ rc11 = pass
+// cf: expect IRIWsc @ c11 = pass
+// cf: expect IRIWsc @ rc11 = pass
+
+int x;
+int y;
+int res0;
+int res1;
+
+void writer_x() {
+    store(x, relaxed, 1);
+}
+
+void writer_y() {
+    store(y, relaxed, 1);
+}
+
+void reader_xy_rlx() {
+    int a = load(x, relaxed);
+    int b = load(y, relaxed);
+    res0 = 1 + a + 2 * b;
+}
+
+void reader_yx_rlx() {
+    int a = load(y, relaxed);
+    int b = load(x, relaxed);
+    res1 = 1 + a + 2 * b;
+}
+
+void reader_xy_acq() {
+    int a = load(x, acquire);
+    int b = load(y, acquire);
+    res0 = 1 + a + 2 * b;
+}
+
+void reader_yx_acq() {
+    int a = load(y, acquire);
+    int b = load(x, acquire);
+    res1 = 1 + a + 2 * b;
+}
+
+void writer_x_sc() {
+    store(x, seq_cst, 1);
+}
+
+void writer_y_sc() {
+    store(y, seq_cst, 1);
+}
+
+void reader_xy_sc() {
+    int a = load(x, seq_cst);
+    int b = load(y, seq_cst);
+    res0 = 1 + a + 2 * b;
+}
+
+void reader_yx_sc() {
+    int a = load(y, seq_cst);
+    int b = load(x, seq_cst);
+    res1 = 1 + a + 2 * b;
+}
+
+// The split outcome is exactly res0 == 2 && res1 == 2: each reader saw
+// its first location written and the other still 0.
+void check_iriw() {
+    int u;
+    int v;
+    do { u = res0; } spinwhile (u == 0);
+    do { v = res1; } spinwhile (v == 0);
+    assert(!(u == 2 && v == 2));
+}

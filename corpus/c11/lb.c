@@ -1,0 +1,88 @@
+// Load buffering (LB) — ported from the classic litmus family
+// (herd7's LB, the motivating example for RC11's no-thin-air axiom).
+// Each side loads the other's location first, then stores 1 to its
+// own; the interesting outcome is both loads returning 1, which
+// requires both loads to read from po-later stores on the other side.
+//
+// Mailbox + checker idiom as in sb.c: res = 1 + r, the checker asserts
+// the both-saw-1 pair (2,2) away.
+//
+//   LBrlx — relaxed: plain C11 admits the outcome (fail under c11) but
+//           RC11's `irreflexive (po | rf)+` forbids the cycle (pass
+//           under rc11). The builtin relaxed model fails (load-store
+//           reordering admitted); TSO preserves load-to-store order
+//           and passes. This is the one test in the corpus where c11
+//           and rc11 disagree.
+//   LBacq — acquire loads: [ACQ];[R];po orders each load before the
+//           po-later store, breaking the cycle under both specs.
+//   LBsc  — seq_cst everywhere: passes.
+//
+// cf: name c11_lb
+// cf: op a = left_rlx
+// cf: op b = right_rlx
+// cf: op d = left_acq
+// cf: op e = right_acq
+// cf: op f = left_sc
+// cf: op g = right_sc
+// cf: op c = check_lb
+// cf: test LBrlx = ( a | b | c )
+// cf: test LBacq = ( d | e | c )
+// cf: test LBsc = ( f | g | c )
+// cf: expect LBrlx @ c11 = fail
+// cf: expect LBrlx @ rc11 = pass
+// cf: expect LBrlx @ tso = pass
+// cf: expect LBrlx @ relaxed = fail
+// cf: expect LBacq @ c11 = pass
+// cf: expect LBacq @ rc11 = pass
+// cf: expect LBacq @ relaxed = fail
+// cf: expect LBsc @ c11 = pass
+// cf: expect LBsc @ rc11 = pass
+
+int x;
+int y;
+int res0;
+int res1;
+
+void left_rlx() {
+    int r = load(x, relaxed);
+    store(y, relaxed, 1);
+    res0 = 1 + r;
+}
+
+void right_rlx() {
+    int r = load(y, relaxed);
+    store(x, relaxed, 1);
+    res1 = 1 + r;
+}
+
+void left_acq() {
+    int r = load(x, acquire);
+    store(y, relaxed, 1);
+    res0 = 1 + r;
+}
+
+void right_acq() {
+    int r = load(y, acquire);
+    store(x, relaxed, 1);
+    res1 = 1 + r;
+}
+
+void left_sc() {
+    int r = load(x, seq_cst);
+    store(y, seq_cst, 1);
+    res0 = 1 + r;
+}
+
+void right_sc() {
+    int r = load(y, seq_cst);
+    store(x, seq_cst, 1);
+    res1 = 1 + r;
+}
+
+void check_lb() {
+    int u;
+    int v;
+    do { u = res0; } spinwhile (u == 0);
+    do { v = res1; } spinwhile (v == 0);
+    assert(!(u == 2 && v == 2));
+}

@@ -1,0 +1,94 @@
+// Message passing (MP) — the canonical publication idiom, ported from
+// the classic litmus family (cf. herd7's MP, loom's message-passing
+// examples). A writer publishes `data` and then raises `flag`; a
+// spin-gated reader waits for the flag and returns the data it sees.
+// The serial reference set is {1}: once the flag is up, serial
+// executions always see the payload.
+//
+// Variants walk the ordering lattice:
+//   MPra  — release store / acquire load: the synchronizes-with edge
+//           makes the payload visible (pass under c11/rc11); the same
+//           shape holds on TSO (store-store and load-load preserved)
+//           but breaks on PSO (store-store relaxed).
+//   MPrlx — relaxed atomics both sides: no sw edge, stale data is
+//           admitted (fail under c11/rc11). Builtin sc still passes —
+//           per-access annotations are invisible to hardware models.
+//   MPsc  — seq_cst everywhere: strongest, passes.
+//   MPna  — plain (non-atomic) payload under a release/acquire flag:
+//           the sw edge covers the plain access too (pass), while the
+//           builtin relaxed model, fenceless, fails.
+//
+// cf: name c11_mp
+// cf: op w = writer_ra
+// cf: op r = reader_ra:ret
+// cf: op x = writer_rlx
+// cf: op y = reader_rlx:ret
+// cf: op s = writer_sc
+// cf: op t = reader_sc:ret
+// cf: op n = writer_na
+// cf: op m = reader_na:ret
+// cf: test MPra = ( w | r )
+// cf: test MPrlx = ( x | y )
+// cf: test MPsc = ( s | t )
+// cf: test MPna = ( n | m )
+// cf: expect MPra @ c11 = pass
+// cf: expect MPra @ rc11 = pass
+// cf: expect MPra @ sc = pass
+// cf: expect MPra @ tso = pass
+// cf: expect MPra @ pso = fail
+// cf: expect MPra @ relaxed = fail
+// cf: expect MPrlx @ c11 = fail
+// cf: expect MPrlx @ rc11 = fail
+// cf: expect MPrlx @ sc = pass
+// cf: expect MPsc @ c11 = pass
+// cf: expect MPsc @ rc11 = pass
+// cf: expect MPna @ c11 = pass
+// cf: expect MPna @ rc11 = pass
+// cf: expect MPna @ relaxed = fail
+
+int data;
+int flag;
+
+void writer_ra() {
+    store(data, relaxed, 1);
+    store(flag, release, 1);
+}
+
+int reader_ra() {
+    int f;
+    do { f = load(flag, acquire); } spinwhile (f == 0);
+    return load(data, relaxed);
+}
+
+void writer_rlx() {
+    store(data, relaxed, 1);
+    store(flag, relaxed, 1);
+}
+
+int reader_rlx() {
+    int f;
+    do { f = load(flag, relaxed); } spinwhile (f == 0);
+    return load(data, relaxed);
+}
+
+void writer_sc() {
+    store(data, seq_cst, 1);
+    store(flag, seq_cst, 1);
+}
+
+int reader_sc() {
+    int f;
+    do { f = load(flag, seq_cst); } spinwhile (f == 0);
+    return load(data, seq_cst);
+}
+
+void writer_na() {
+    data = 1;
+    store(flag, release, 1);
+}
+
+int reader_na() {
+    int f;
+    do { f = load(flag, acquire); } spinwhile (f == 0);
+    return data;
+}

@@ -1,0 +1,73 @@
+// Release sequences — ported from the classic release-sequence litmus
+// shapes (cppreference's release-sequence example, herd7's ISA2
+// variants). A writer publishes data and release-stores flag=1; a
+// middle thread bumps flag 1 -> 2 with a relaxed CAS; the reader
+// acquire-loads flag until it sees 2 and then reads data.
+//
+//   RSEQ    — the CAS is an RMW, so the writer's release store heads a
+//             release sequence that the CAS extends (`rs ; (rf ;
+//             rmw)+` in the spec); the reader acquiring the CAS's
+//             store still synchronizes with the original writer and
+//             must see the payload. (In this total-memory-order engine
+//             the same-location coherence chain through the CAS would
+//             order the payload too; the sw machinery is exercised all
+//             the same.)
+//   RSEQbrk — the middle thread instead waits on an unrelated `go`
+//             sideband and plain-stores flag=2 without ever touching
+//             flag's history: its store heads no release sequence and
+//             carries no dependency on the writer, so the reader can
+//             acquire flag=2 and still read stale data (fail under
+//             c11/rc11; pass under builtin sc).
+//
+// cf: name c11_release_seq
+// cf: op w = writer
+// cf: op m = bump_cas
+// cf: op r = reader:ret
+// cf: op g = writer_go
+// cf: op s = bump_sideband
+// cf: test RSEQ = ( w | m | r )
+// cf: test RSEQbrk = ( g | s | r )
+// cf: expect RSEQ @ c11 = pass
+// cf: expect RSEQ @ rc11 = pass
+// cf: expect RSEQ @ relaxed = fail
+// cf: expect RSEQbrk @ c11 = fail
+// cf: expect RSEQbrk @ rc11 = fail
+// cf: expect RSEQbrk @ sc = pass
+
+int data;
+int flag;
+int go;
+
+void writer() {
+    store(data, relaxed, 1);
+    store(flag, release, 1);
+}
+
+// Spins until the CAS observes flag == 1 and swings it to 2. The RMW
+// continues the writer's release sequence.
+void bump_cas() {
+    int o;
+    do { o = cas(flag, 1, 2, relaxed); } spinwhile (o != 1);
+}
+
+int reader() {
+    int f;
+    do { f = load(flag, acquire); } spinwhile (f != 2);
+    return load(data, relaxed);
+}
+
+// Broken-variant writer: also raises the relaxed `go` sideband after
+// the release store; nothing orders `go` after the payload.
+void writer_go() {
+    store(data, relaxed, 1);
+    store(flag, release, 1);
+    store(go, relaxed, 1);
+}
+
+// Broken-variant middle thread: never reads flag, so its store of
+// flag = 2 heads no release sequence and inherits no coherence chain.
+void bump_sideband() {
+    int k;
+    do { k = load(go, relaxed); } spinwhile (k == 0);
+    store(flag, relaxed, 2);
+}

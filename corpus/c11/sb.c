@@ -1,0 +1,93 @@
+// Store buffering (SB) — Dekker's kernel, ported from the classic
+// litmus family (herd7's SB, preshing's store-buffer example). Each
+// side stores its own location, then loads the other; the forbidden
+// outcome is both loads returning 0.
+//
+// The mined reference set executes ops atomically, so an op returning
+// the raw load would make the interesting concurrent outcomes look
+// serially unreachable. Instead each side parks its result in a
+// mailbox (1 + r, so 0 means "not yet written") and a spin-gated
+// checker op asserts the forbidden pair never materializes — a failed
+// assertion is a FAIL verdict.
+//
+//   SBsc  — seq_cst on all four accesses: the total sc order forbids
+//           (0,0); passes under c11/rc11 and sc, fails from TSO down
+//           (store buffers are the one reordering TSO keeps).
+//   SBra  — release stores / acquire loads: release/acquire does NOT
+//           forbid store buffering, fails under c11/rc11.
+//   SBrlx — relaxed: fails under c11/rc11 and builtin relaxed.
+//
+// cf: name c11_sb
+// cf: op a = left_sc
+// cf: op b = right_sc
+// cf: op d = left_ra
+// cf: op e = right_ra
+// cf: op f = left_rlx
+// cf: op g = right_rlx
+// cf: op c = check_sb
+// cf: test SBsc = ( a | b | c )
+// cf: test SBra = ( d | e | c )
+// cf: test SBrlx = ( f | g | c )
+// cf: expect SBsc @ c11 = pass
+// cf: expect SBsc @ rc11 = pass
+// cf: expect SBsc @ sc = pass
+// cf: expect SBsc @ tso = fail
+// cf: expect SBra @ c11 = fail
+// cf: expect SBra @ rc11 = fail
+// cf: expect SBra @ sc = pass
+// cf: expect SBrlx @ c11 = fail
+// cf: expect SBrlx @ rc11 = fail
+// cf: expect SBrlx @ relaxed = fail
+
+int x;
+int y;
+int res0;
+int res1;
+
+void left_sc() {
+    store(x, seq_cst, 1);
+    int r = load(y, seq_cst);
+    res0 = 1 + r;
+}
+
+void right_sc() {
+    store(y, seq_cst, 1);
+    int r = load(x, seq_cst);
+    res1 = 1 + r;
+}
+
+void left_ra() {
+    store(x, release, 1);
+    int r = load(y, acquire);
+    res0 = 1 + r;
+}
+
+void right_ra() {
+    store(y, release, 1);
+    int r = load(x, acquire);
+    res1 = 1 + r;
+}
+
+void left_rlx() {
+    store(x, relaxed, 1);
+    int r = load(y, relaxed);
+    res0 = 1 + r;
+}
+
+void right_rlx() {
+    store(y, relaxed, 1);
+    int r = load(x, relaxed);
+    res1 = 1 + r;
+}
+
+// Waits for both mailboxes, then rules out the store-buffer outcome
+// (both sides loaded 0). Assert-only — returning the pair would trip
+// the serial-inclusion check on benign interleaved outcomes like
+// (1,1), which no op-atomic serial execution produces.
+void check_sb() {
+    int u;
+    int v;
+    do { u = res0; } spinwhile (u == 0);
+    do { v = res1; } spinwhile (v == 0);
+    assert(!(u == 1 && v == 1));
+}

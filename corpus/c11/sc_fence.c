@@ -1,0 +1,73 @@
+// SC fences in store buffering — ported from the classic SB+fences
+// family (herd7's SB+fences, the C11 idiom behind Dekker without
+// seq_cst accesses). Both sides are fully relaxed; only the fence
+// between the store and the load varies.
+//
+// Mailbox + checker idiom as in sb.c.
+//
+//   SBfsc — fence(seq_cst) on both sides: `fence_sc` edges restore
+//           store-to-load order and forbid the (0,0) outcome under
+//           c11/rc11; the fences lower to full barriers under the
+//           builtin models too, so builtin relaxed also passes.
+//   SBfar — fence(acq_rel) instead: an acquire-release fence orders
+//           R->anything and anything->W but never the W->R pair that
+//           store buffering needs, so it fails under c11/rc11 — and on
+//           everything weaker than sc, TSO included. The contrast with
+//           SBfsc is exactly why C11 Dekker needs seq_cst fences.
+//
+// cf: name c11_sc_fence
+// cf: op a = left_fsc
+// cf: op b = right_fsc
+// cf: op d = left_far
+// cf: op e = right_far
+// cf: op c = check_sb
+// cf: test SBfsc = ( a | b | c )
+// cf: test SBfar = ( d | e | c )
+// cf: expect SBfsc @ c11 = pass
+// cf: expect SBfsc @ rc11 = pass
+// cf: expect SBfsc @ relaxed = pass
+// cf: expect SBfar @ c11 = fail
+// cf: expect SBfar @ rc11 = fail
+// cf: expect SBfar @ sc = pass
+// cf: expect SBfar @ tso = fail
+
+int x;
+int y;
+int res0;
+int res1;
+
+void left_fsc() {
+    store(x, relaxed, 1);
+    fence(seq_cst);
+    int r = load(y, relaxed);
+    res0 = 1 + r;
+}
+
+void right_fsc() {
+    store(y, relaxed, 1);
+    fence(seq_cst);
+    int r = load(x, relaxed);
+    res1 = 1 + r;
+}
+
+void left_far() {
+    store(x, relaxed, 1);
+    fence(acq_rel);
+    int r = load(y, relaxed);
+    res0 = 1 + r;
+}
+
+void right_far() {
+    store(y, relaxed, 1);
+    fence(acq_rel);
+    int r = load(x, relaxed);
+    res1 = 1 + r;
+}
+
+void check_sb() {
+    int u;
+    int v;
+    do { u = res0; } spinwhile (u == 0);
+    do { v = res1; } spinwhile (v == 0);
+    assert(!(u == 1 && v == 1));
+}

@@ -1,0 +1,58 @@
+// Write-to-read causality (WRC) — ported from the classic litmus
+// family (herd7's WRC, ISA2's three-thread cousin). T1 stores x; T2
+// observes x and then stores y; T3 observes y and then reads x. If
+// synchronization is transitive, T3 must see T1's write.
+//
+//   WRC    — release/acquire at every handoff: sw(T1,T2) and
+//            sw(T2,T3) chain through T2's acquire-load-before-
+//            release-store ppo, so T3 reads x = 1 (pass).
+//   WRCrlx — every access relaxed: no sw edges and nothing orders
+//            T2's store after its load, so T3 can acquire y = 1 yet
+//            read stale x = 0 (fail under c11 and rc11 — the stale
+//            read forms no po|rf cycle, so no-thin-air does not help).
+//
+// cf: name c11_wrc
+// cf: op w = writer
+// cf: op f = forward_ra
+// cf: op r = reader_ra:ret
+// cf: op g = forward_rlx
+// cf: op s = reader_rlx:ret
+// cf: test WRC = ( w | f | r )
+// cf: test WRCrlx = ( w | g | s )
+// cf: expect WRC @ c11 = pass
+// cf: expect WRC @ rc11 = pass
+// cf: expect WRC @ sc = pass
+// cf: expect WRC @ relaxed = fail
+// cf: expect WRCrlx @ c11 = fail
+// cf: expect WRCrlx @ rc11 = fail
+
+int x;
+int y;
+
+void writer() {
+    store(x, release, 1);
+}
+
+void forward_ra() {
+    int v;
+    do { v = load(x, acquire); } spinwhile (v == 0);
+    store(y, release, 1);
+}
+
+int reader_ra() {
+    int v;
+    do { v = load(y, acquire); } spinwhile (v == 0);
+    return load(x, relaxed);
+}
+
+void forward_rlx() {
+    int v;
+    do { v = load(x, relaxed); } spinwhile (v == 0);
+    store(y, relaxed, 1);
+}
+
+int reader_rlx() {
+    int v;
+    do { v = load(y, relaxed); } spinwhile (v == 0);
+    return load(x, relaxed);
+}

@@ -970,6 +970,7 @@ pub(crate) fn diagnose_serializability(sx: &SymExec, enc: &mut Encoding) -> Opti
                 addr,
                 value,
                 group: e.group,
+                ord: e.ord,
             },
         ));
     }
@@ -980,7 +981,11 @@ pub(crate) fn diagnose_serializability(sx: &SymExec, enc: &mut Encoding) -> Opti
         if enc.guard_value(sx, f.guard) != Some(true) {
             continue;
         }
-        threads[f.thread - 1].push((f.po, TraceItem::Fence(f.kind)));
+        let item = match f.sem {
+            cf_lsl::FenceSem::Classic(k) => TraceItem::Fence(k),
+            cf_lsl::FenceSem::C11(o) => TraceItem::CFence(o),
+        };
+        threads[f.thread - 1].push((f.po, item));
     }
     for t in &mut threads {
         t.sort_by_key(|(po, _)| *po);

@@ -17,7 +17,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use cf_lsl::{PrimOp, Value};
-use cf_memmodel::{fence_orders, AccessKind, Mode, ModeSet};
+use cf_memmodel::{sem_orders, AccessKind, Mode, ModeSet};
 use cf_sat::Lit;
 use cf_spec::ModelSpec;
 
@@ -630,7 +630,7 @@ impl Encoding {
                     if f.thread == ex.thread
                         && f.po > ex.po
                         && f.po < ey.po
-                        && fence_orders(f.kind, xk, yk)
+                        && sem_orders(f.sem, xk, yk)
                     {
                         let guard = f.guard;
                         let site = f.site;

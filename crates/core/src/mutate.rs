@@ -236,8 +236,8 @@ fn proc_selected(name: &str, config: &MutationConfig) -> bool {
 /// participate in a swap span (`None` for anything else).
 fn rw_regs(s: &Stmt) -> Option<(Vec<Reg>, Vec<Reg>)> {
     match s {
-        Stmt::Store { addr, value } => Some((vec![], vec![*addr, *value])),
-        Stmt::Load { dst, addr } => Some((vec![*dst], vec![*addr])),
+        Stmt::Store { addr, value, .. } => Some((vec![], vec![*addr, *value])),
+        Stmt::Load { dst, addr, .. } => Some((vec![*dst], vec![*addr])),
         Stmt::Const { dst, .. } => Some((vec![*dst], vec![])),
         Stmt::Alloc { dst, .. } => Some((vec![*dst], vec![])),
         Stmt::Prim { dst, args, .. } => Some((vec![*dst], args.clone())),

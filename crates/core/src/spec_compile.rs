@@ -24,7 +24,8 @@
 //! does not execute is in no relation), so composed relations cannot
 //! smuggle edges through unexecuted intermediates.
 
-use cf_memmodel::{fence_orders, AccessKind};
+use cf_lsl::{FenceSem, MemOrder};
+use cf_memmodel::{sem_orders, AccessKind};
 use cf_sat::Lit;
 use cf_spec::{AxiomKind, BaseRel, RelBackend, SetFilter};
 
@@ -58,24 +59,21 @@ impl SatCtx<'_, '_> {
         }
     }
 
-    fn fence_between(&mut self, x: usize, y: usize, want: Option<cf_lsl::FenceKind>) -> Lit {
+    fn fence_between(&mut self, x: usize, y: usize, pred: impl Fn(FenceSem) -> bool) -> Lit {
         let (ex, ey) = (&self.sx.events[x], &self.sx.events[y]);
         if ex.thread != ey.thread || ex.po >= ey.po {
             return self.enc.cnf.ff();
         }
+        let (thread, xpo, ypo) = (ex.thread, ex.po, ey.po);
         let mut acc = self.enc.cnf.ff();
         for fi in 0..self.sx.fences.len() {
             let f = &self.sx.fences[fi];
-            if f.thread != ex.thread
-                || f.po <= ex.po
-                || f.po >= ey.po
-                || want.is_some_and(|k| f.kind != k)
-                || !fence_orders(f.kind, ex.kind, ey.kind)
-            {
+            if f.thread != thread || f.po <= xpo || f.po >= ypo || !pred(f.sem) {
                 continue;
             }
-            let gf = self.enc.encode_guard(self.sx, f.guard);
-            let act = match f.site {
+            let (guard, site) = (f.guard, f.site);
+            let gf = self.enc.encode_guard(self.sx, guard);
+            let act = match site {
                 Some(s) => self.enc.fence_act(s),
                 None => self.enc.cnf.tt(),
             };
@@ -214,7 +212,51 @@ impl RelBackend for SatCtx<'_, '_> {
             BaseRel::Rf => self.rf(x, y),
             BaseRel::Co => self.co(x, y),
             BaseRel::Fr => self.fr(x, y),
-            BaseRel::Fence(k) => self.fence_between(x, y, k),
+            BaseRel::Fence(k) => {
+                let (xk, yk) = (ex.kind, ey.kind);
+                self.fence_between(x, y, move |sem| match (k, sem) {
+                    // Generic `fence`: any fence whose semantics order
+                    // this pair of access kinds.
+                    (None, sem) => sem_orders(sem, xk, yk),
+                    // `fence_xy`: classic fences of that kind only (the
+                    // pair's kinds must still match the X-Y signature).
+                    (Some(want), FenceSem::Classic(have)) => {
+                        want == have && sem_orders(sem, xk, yk)
+                    }
+                    (Some(_), FenceSem::C11(_)) => false,
+                })
+            }
+            BaseRel::FenceAcq => self.fence_between(
+                x,
+                y,
+                |sem| matches!(sem, FenceSem::C11(o) if o.is_acquire()),
+            ),
+            BaseRel::FenceRel => self.fence_between(
+                x,
+                y,
+                |sem| matches!(sem, FenceSem::C11(o) if o.is_release()),
+            ),
+            BaseRel::FenceSc => {
+                self.fence_between(x, y, |sem| sem == FenceSem::C11(MemOrder::SeqCst))
+            }
+            // Read-modify-write: the load and store halves of one atomic
+            // group targeting the same location (the address-equality
+            // circuit supplies `loc`; CAS pairs share one address term,
+            // making it constant-true there). Mirrors the derived `rmw`
+            // of the explicit oracle.
+            BaseRel::Rmw => {
+                let shape = ex.kind == AccessKind::Load
+                    && ey.kind == AccessKind::Store
+                    && ex.thread == ey.thread
+                    && ex.po < ey.po
+                    && ex.group.is_some()
+                    && ex.group == ey.group;
+                if shape {
+                    self.loc(x, y)
+                } else {
+                    self.enc.cnf.ff()
+                }
+            }
         };
         if self.is_ff(&cond) {
             return cond;
@@ -224,10 +266,16 @@ impl RelBackend for SatCtx<'_, '_> {
     }
 
     fn in_set(&self, set: SetFilter, e: usize) -> bool {
+        let ev = &self.sx.events[e];
         match set {
-            SetFilter::Loads => self.sx.events[e].kind == AccessKind::Load,
-            SetFilter::Stores => self.sx.events[e].kind == AccessKind::Store,
+            SetFilter::Loads => ev.kind == AccessKind::Load,
+            SetFilter::Stores => ev.kind == AccessKind::Store,
             SetFilter::All => true,
+            SetFilter::Relaxed => ev.ord.is_atomic(),
+            SetFilter::Acquire => ev.ord.is_acquire(),
+            SetFilter::Release => ev.ord.is_release(),
+            SetFilter::SeqCst => ev.ord == MemOrder::SeqCst,
+            SetFilter::NonAtomic => ev.ord == MemOrder::Plain,
         }
     }
 }

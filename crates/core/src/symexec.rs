@@ -17,7 +17,10 @@
 
 use std::collections::HashMap;
 
-use cf_lsl::{AddressSpace, BaseDef, BlockTag, MemType, ProcId, Procedure, Reg, Stmt, Value};
+use cf_lsl::{
+    AddressSpace, BaseDef, BlockTag, FenceSem, MemOrder, MemType, PrimOp, ProcId, Procedure, Reg,
+    Stmt, Value,
+};
 use cf_memmodel::AccessKind;
 
 use crate::term::{BTermId, EventId, TermArena, VTerm, VTermId};
@@ -43,6 +46,8 @@ pub struct Event {
     pub value: VTermId,
     /// Atomic block instance, if inside one.
     pub group: Option<u32>,
+    /// C11-style ordering annotation (`Plain` for classic accesses).
+    pub ord: MemOrder,
     /// Operation index this event belongs to.
     pub op: usize,
     /// Human-readable provenance for traces.
@@ -56,8 +61,8 @@ pub struct FenceEvt {
     pub thread: usize,
     /// Program-order position (same counter as events).
     pub po: usize,
-    /// Fence kind.
-    pub kind: cf_lsl::FenceKind,
+    /// Fence semantics (classic two-sided or C11 ordering).
+    pub sem: FenceSem,
     /// Execution guard.
     pub guard: BTermId,
     /// Candidate-site id for session-gated fences
@@ -403,6 +408,53 @@ impl<'h> Execer<'h> {
         Ok((live_out, ret))
     }
 
+    fn emit_load(&mut self, addr: VTermId, guard: BTermId, ord: MemOrder, proc: &str) -> VTermId {
+        let id = EventId(self.events.len() as u32);
+        let result = self.arena.vterm(VTerm::LoadResult(id));
+        self.events.push(Event {
+            id,
+            thread: self.thread,
+            po: self.po,
+            kind: AccessKind::Load,
+            guard,
+            addr,
+            value: result,
+            group: self.group,
+            ord,
+            op: self.op,
+            label: format!("{proc}: load"),
+        });
+        self.po += 1;
+        self.stats.loads += 1;
+        result
+    }
+
+    fn emit_store(
+        &mut self,
+        addr: VTermId,
+        value: VTermId,
+        guard: BTermId,
+        ord: MemOrder,
+        proc: &str,
+    ) {
+        let id = EventId(self.events.len() as u32);
+        self.events.push(Event {
+            id,
+            thread: self.thread,
+            po: self.po,
+            kind: AccessKind::Store,
+            guard,
+            addr,
+            value,
+            group: self.group,
+            ord,
+            op: self.op,
+            label: format!("{proc}: store"),
+        });
+        self.po += 1;
+        self.stats.stores += 1;
+    }
+
     fn set_reg(&mut self, frame: &mut Frame, dst: Reg, live: BTermId, value: VTermId) {
         let old = frame.env[dst.index()];
         frame.env[dst.index()] = self.arena.mux(live, value, old);
@@ -445,50 +497,59 @@ impl<'h> Execer<'h> {
                     let v = self.arena.prim(*op, ts);
                     self.set_reg(frame, *dst, live, v);
                 }
-                Stmt::Load { dst, addr } => {
+                Stmt::Load { dst, addr, ord } => {
                     let a = frame.env[addr.index()];
-                    let id = EventId(self.events.len() as u32);
-                    let result = self.arena.vterm(VTerm::LoadResult(id));
-                    self.events.push(Event {
-                        id,
-                        thread: self.thread,
-                        po: self.po,
-                        kind: AccessKind::Load,
-                        guard: live,
-                        addr: a,
-                        value: result,
-                        group: self.group,
-                        op: self.op,
-                        label: format!("{}: load", frame.proc_name),
-                    });
-                    self.po += 1;
-                    self.stats.loads += 1;
+                    let result = self.emit_load(a, live, *ord, &frame.proc_name);
                     self.set_reg(frame, *dst, live, result);
                 }
-                Stmt::Store { addr, value } => {
+                Stmt::Store { addr, value, ord } => {
                     let a = frame.env[addr.index()];
                     let v = frame.env[value.index()];
-                    let id = EventId(self.events.len() as u32);
-                    self.events.push(Event {
-                        id,
-                        thread: self.thread,
-                        po: self.po,
-                        kind: AccessKind::Store,
-                        guard: live,
-                        addr: a,
-                        value: v,
-                        group: self.group,
-                        op: self.op,
-                        label: format!("{}: store", frame.proc_name),
-                    });
-                    self.po += 1;
-                    self.stats.stores += 1;
+                    self.emit_store(a, v, live, *ord, &frame.proc_name);
+                }
+                Stmt::Cas {
+                    dst,
+                    addr,
+                    expected,
+                    desired,
+                    ord,
+                } => {
+                    // A compare-and-swap is a load plus a success-guarded
+                    // store inside one atomic group: the group makes the
+                    // pair indivisible and (with the shared address)
+                    // identifies it as an `rmw` pair to spec evaluation.
+                    let a = frame.env[addr.index()];
+                    let exp = frame.env[expected.index()];
+                    let des = frame.env[desired.index()];
+                    let saved = self.group;
+                    if saved.is_none() {
+                        self.group = Some(self.next_group);
+                        self.next_group += 1;
+                    }
+                    let (load_ord, store_ord) = ord.rmw_split();
+                    let old = self.emit_load(a, live, load_ord, &frame.proc_name);
+                    let eq = self.arena.prim(PrimOp::Eq, vec![old, exp]);
+                    let hit = self.arena.truthy(eq);
+                    let success = self.arena.and(live, hit);
+                    self.emit_store(a, des, success, store_ord, &frame.proc_name);
+                    self.group = saved;
+                    self.set_reg(frame, *dst, live, old);
                 }
                 Stmt::Fence(kind) => {
                     self.fences.push(FenceEvt {
                         thread: self.thread,
                         po: self.po,
-                        kind: *kind,
+                        sem: FenceSem::Classic(*kind),
+                        guard: live,
+                        site: None,
+                    });
+                    self.po += 1;
+                }
+                Stmt::CFence(ord) => {
+                    self.fences.push(FenceEvt {
+                        thread: self.thread,
+                        po: self.po,
+                        sem: FenceSem::C11(*ord),
                         guard: live,
                         site: None,
                     });
@@ -498,7 +559,7 @@ impl<'h> Execer<'h> {
                     self.fences.push(FenceEvt {
                         thread: self.thread,
                         po: self.po,
-                        kind: *kind,
+                        sem: FenceSem::Classic(*kind),
                         guard: live,
                         site: Some(*site),
                     });

@@ -3,7 +3,7 @@
 use crate::layout::StructId;
 use crate::prim::PrimOp;
 use crate::program::Procedure;
-use crate::stmt::{BlockTag, FenceKind, ProcId, Reg, Stmt};
+use crate::stmt::{BlockTag, FenceKind, MemOrder, ProcId, Reg, Stmt};
 use crate::value::Value;
 
 /// A stack-based builder for [`Procedure`] bodies, used by the mini-C
@@ -135,21 +135,50 @@ impl ProcBuilder {
         self.prim_into(dst, PrimOp::Id, &[src]);
     }
 
-    /// Emits a load into a fresh register.
+    /// Emits an unannotated load into a fresh register.
     pub fn load(&mut self, addr: Reg) -> Reg {
+        self.load_ord(addr, MemOrder::Plain)
+    }
+
+    /// Emits a load with an explicit ordering annotation.
+    pub fn load_ord(&mut self, addr: Reg, ord: MemOrder) -> Reg {
         let dst = self.fresh();
-        self.push(Stmt::Load { dst, addr });
+        self.push(Stmt::Load { dst, addr, ord });
         dst
     }
 
-    /// Emits a store.
+    /// Emits an unannotated store.
     pub fn store(&mut self, addr: Reg, value: Reg) {
-        self.push(Stmt::Store { addr, value });
+        self.store_ord(addr, value, MemOrder::Plain);
+    }
+
+    /// Emits a store with an explicit ordering annotation.
+    pub fn store_ord(&mut self, addr: Reg, value: Reg, ord: MemOrder) {
+        self.push(Stmt::Store { addr, value, ord });
+    }
+
+    /// Emits an atomic compare-and-swap; returns the register receiving
+    /// the old value.
+    pub fn cas(&mut self, addr: Reg, expected: Reg, desired: Reg, ord: MemOrder) -> Reg {
+        let dst = self.fresh();
+        self.push(Stmt::Cas {
+            dst,
+            addr,
+            expected,
+            desired,
+            ord,
+        });
+        dst
     }
 
     /// Emits a fence.
     pub fn fence(&mut self, kind: FenceKind) {
         self.push(Stmt::Fence(kind));
+    }
+
+    /// Emits a C11 ordering fence.
+    pub fn cfence(&mut self, ord: MemOrder) {
+        self.push(Stmt::CFence(ord));
     }
 
     /// Emits a heap allocation of struct `ty` into a fresh register.

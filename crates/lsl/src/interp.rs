@@ -105,6 +105,12 @@ pub struct Machine<'p> {
 
 const DEFAULT_FUEL: u64 = 200_000;
 
+/// How many consecutive spin-loop retries a sequential execution
+/// tolerates before concluding the loop can never exit. Two retries
+/// (not one) keep the check conservative against lowerings whose first
+/// iteration still has visible effects.
+const SPIN_EXIT_BOUND: u32 = 2;
+
 impl<'p> Machine<'p> {
     /// Creates a machine whose address space holds the program's globals.
     /// All memory starts undefined.
@@ -228,17 +234,33 @@ impl<'p> Machine<'p> {
                     }
                 }
             }
-            Stmt::Store { addr, value } => {
+            Stmt::Store { addr, value, .. } => {
                 let path = self.check_addr(&regs[addr.index()])?;
                 self.memory.insert(path, regs[value.index()].clone());
                 Ok(Flow::Normal)
             }
-            Stmt::Load { dst, addr } => {
+            Stmt::Load { dst, addr, .. } => {
                 let path = self.check_addr(&regs[addr.index()])?;
                 regs[dst.index()] = self.read(&path);
                 Ok(Flow::Normal)
             }
-            Stmt::Fence(_) | Stmt::CandidateFence { .. } => Ok(Flow::Normal), // sequential: no effect
+            Stmt::Cas {
+                dst,
+                addr,
+                expected,
+                desired,
+                ..
+            } => {
+                let path = self.check_addr(&regs[addr.index()])?;
+                let old = self.read(&path);
+                if old == regs[expected.index()] {
+                    self.memory.insert(path, regs[desired.index()].clone());
+                }
+                regs[dst.index()] = old;
+                Ok(Flow::Normal)
+            }
+            // Sequential: fences of either family have no effect.
+            Stmt::Fence(_) | Stmt::CFence(_) | Stmt::CandidateFence { .. } => Ok(Flow::Normal),
             // Mutation toggles are a symbolic-analysis device; concretely
             // the program is the original.
             Stmt::Toggle { orig, .. } => self.exec_stmts(orig, regs),
@@ -251,14 +273,33 @@ impl<'p> Machine<'p> {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::Block { tag, body, .. } => loop {
-                match self.exec_stmts(body, regs)? {
-                    Flow::Normal => return Ok(Flow::Normal),
-                    Flow::Break(t) if t == *tag => return Ok(Flow::Normal),
-                    Flow::Continue(t) if t == *tag => continue,
-                    other => return Ok(other),
+            Stmt::Block {
+                tag, body, spin, ..
+            } => {
+                let mut spins = 0u32;
+                loop {
+                    match self.exec_stmts(body, regs)? {
+                        Flow::Normal => return Ok(Flow::Normal),
+                        Flow::Break(t) if t == *tag => return Ok(Flow::Normal),
+                        Flow::Continue(t) if t == *tag => {
+                            // Spin loops carry the paper's exit assumption:
+                            // failing iterations are side-effect free, so a
+                            // sequential execution that retries can never
+                            // make progress — the schedule is infeasible
+                            // (matching the symbolic encoder's bounded
+                            // unrolling + assume-exit), not a livelock.
+                            if *spin {
+                                spins += 1;
+                                if spins >= SPIN_EXIT_BOUND {
+                                    return Err(ExecError::AssumeViolated);
+                                }
+                            }
+                            continue;
+                        }
+                        other => return Ok(other),
+                    }
                 }
-            },
+            }
             Stmt::Break { cond, tag } => {
                 if self.truthy(regs, *cond, "break condition")? {
                     Ok(Flow::Break(*tag))

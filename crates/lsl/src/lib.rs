@@ -57,5 +57,5 @@ pub use interp::{ExecError, ExecResult, Machine};
 pub use layout::{AddressSpace, BaseDef, MemType, StructDef, StructId, TypeTable};
 pub use prim::PrimOp;
 pub use program::{GlobalDef, Procedure, Program};
-pub use stmt::{BlockTag, FenceKind, ProcId, Reg, Stmt};
+pub use stmt::{BlockTag, FenceKind, FenceSem, MemOrder, ProcId, Reg, Stmt};
 pub use value::Value;

@@ -17,9 +17,24 @@ pub fn stmt_line(s: &Stmt) -> String {
                 _ => format!("{dst} = {}({})", op.name(), args.join(", ")),
             }
         }
-        Stmt::Store { addr, value } => format!("*{addr} = {value}"),
-        Stmt::Load { dst, addr } => format!("{dst} = *{addr}"),
+        Stmt::Store { addr, value, ord } => {
+            format!("*{addr} ={} {value}", ord_suffix(*ord))
+        }
+        Stmt::Load { dst, addr, ord } => {
+            format!("{dst} ={} *{addr}", ord_suffix(*ord))
+        }
+        Stmt::Cas {
+            dst,
+            addr,
+            expected,
+            desired,
+            ord,
+        } => format!(
+            "{dst} = cas{}(*{addr}, {expected}, {desired})",
+            ord_suffix(*ord)
+        ),
         Stmt::Fence(kind) => format!("fence {kind}"),
+        Stmt::CFence(ord) => format!("fence {ord}"),
         Stmt::CandidateFence { kind, site } => format!("fence? {kind} [{site}]"),
         Stmt::Toggle { site, .. } => format!("toggle? [{site}] {{"),
         Stmt::Atomic(_) => "atomic {".into(),
@@ -49,6 +64,16 @@ pub fn stmt_line(s: &Stmt) -> String {
         Stmt::Assume { cond } => format!("assume({cond})"),
         Stmt::Alloc { dst, ty } => format!("{dst} = alloc S{}", ty.0),
         Stmt::CommitIf { cond } => format!("commit({cond})"),
+    }
+}
+
+/// Ordering annotation rendered after the access operator: empty for a
+/// plain access, `.acquire` etc. otherwise.
+fn ord_suffix(ord: crate::MemOrder) -> String {
+    if ord == crate::MemOrder::Plain {
+        String::new()
+    } else {
+        format!(".{ord}")
     }
 }
 

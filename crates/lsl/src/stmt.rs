@@ -43,6 +43,117 @@ impl fmt::Display for BlockTag {
     }
 }
 
+/// A C11-style per-access memory ordering annotation.
+///
+/// `Plain` marks an unannotated access (an ordinary mini-C read or
+/// write); the remaining five are the C11 orderings. Built-in hardware
+/// models ignore these tags entirely — they become meaningful through
+/// the `[RLX]`/`[ACQ]`/`[REL]`/`[SC]`/`[NA]` filter sets of declarative
+/// `.cfm` models (see `specs/c11.cfm`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum MemOrder {
+    /// An unannotated (non-atomic) access.
+    Plain,
+    /// `relaxed`: atomic, no ordering.
+    Relaxed,
+    /// `acquire`: loads only.
+    Acquire,
+    /// `release`: stores only.
+    Release,
+    /// `acq_rel`: read-modify-writes and fences.
+    AcqRel,
+    /// `seq_cst`: the default for annotated atomic operations.
+    SeqCst,
+}
+
+impl MemOrder {
+    /// The mini-C spelling, e.g. `"acq_rel"` (`Plain` has no spelling
+    /// and prints as `"plain"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MemOrder::Plain => "plain",
+            MemOrder::Relaxed => "relaxed",
+            MemOrder::Acquire => "acquire",
+            MemOrder::Release => "release",
+            MemOrder::AcqRel => "acq_rel",
+            MemOrder::SeqCst => "seq_cst",
+        }
+    }
+
+    /// Parses the mini-C spelling of the five C11 orderings (`Plain` is
+    /// not writable in source).
+    pub fn parse(s: &str) -> Option<MemOrder> {
+        match s {
+            "relaxed" => Some(MemOrder::Relaxed),
+            "acquire" => Some(MemOrder::Acquire),
+            "release" => Some(MemOrder::Release),
+            "acq_rel" => Some(MemOrder::AcqRel),
+            "seq_cst" => Some(MemOrder::SeqCst),
+            _ => None,
+        }
+    }
+
+    /// Is this an atomic ordering (anything except `Plain`)?
+    pub fn is_atomic(self) -> bool {
+        self != MemOrder::Plain
+    }
+
+    /// Does this ordering include acquire semantics (`acquire`,
+    /// `acq_rel` or `seq_cst`)?
+    pub fn is_acquire(self) -> bool {
+        matches!(
+            self,
+            MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst
+        )
+    }
+
+    /// Does this ordering include release semantics (`release`,
+    /// `acq_rel` or `seq_cst`)?
+    pub fn is_release(self) -> bool {
+        matches!(
+            self,
+            MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst
+        )
+    }
+
+    /// Is this `seq_cst`?
+    pub fn is_seq_cst(self) -> bool {
+        self == MemOrder::SeqCst
+    }
+
+    /// Splits a read-modify-write ordering into the orderings of its
+    /// load and store halves: the load carries the acquire side, the
+    /// store the release side, and `seq_cst` covers both.
+    pub fn rmw_split(self) -> (MemOrder, MemOrder) {
+        match self {
+            MemOrder::Plain => (MemOrder::Plain, MemOrder::Plain),
+            MemOrder::Relaxed => (MemOrder::Relaxed, MemOrder::Relaxed),
+            MemOrder::Acquire => (MemOrder::Acquire, MemOrder::Relaxed),
+            MemOrder::Release => (MemOrder::Relaxed, MemOrder::Release),
+            MemOrder::AcqRel => (MemOrder::Acquire, MemOrder::Release),
+            MemOrder::SeqCst => (MemOrder::SeqCst, MemOrder::SeqCst),
+        }
+    }
+
+    /// All six orderings, weakest first.
+    pub fn all() -> [MemOrder; 6] {
+        [
+            MemOrder::Plain,
+            MemOrder::Relaxed,
+            MemOrder::Acquire,
+            MemOrder::Release,
+            MemOrder::AcqRel,
+            MemOrder::SeqCst,
+        ]
+    }
+}
+
+impl fmt::Display for MemOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The four memory ordering fence kinds of the SPARC RMO model, as used by
 /// the paper (§3.1, "Fences"). An X-Y fence orders all preceding accesses
 /// of kind X before all succeeding accesses of kind Y.
@@ -109,6 +220,29 @@ impl fmt::Display for FenceKind {
     }
 }
 
+/// The semantics of one fence instruction: either a classic SPARC-style
+/// X-Y barrier ([`Stmt::Fence`]) or a C11 ordering fence
+/// ([`Stmt::CFence`]). Symbolic execution tags every fence event with
+/// this so both fence families flow through one encoding path.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FenceSem {
+    /// An X-Y barrier.
+    Classic(FenceKind),
+    /// A C11 `fence(ord)`; the hardware mapping orders prior loads
+    /// (acquire side) and subsequent stores (release side), everything
+    /// for `seq_cst`, nothing for `relaxed`.
+    C11(MemOrder),
+}
+
+impl fmt::Display for FenceSem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FenceSem::Classic(k) => k.fmt(f),
+            FenceSem::C11(o) => o.fmt(f),
+        }
+    }
+}
+
 /// One LSL statement (paper Fig. 4, extended with allocation).
 ///
 /// Control flow is structured: a labeled [`Stmt::Block`] can be exited by
@@ -139,6 +273,9 @@ pub enum Stmt {
         addr: Reg,
         /// Register holding the stored value.
         value: Reg,
+        /// Per-access ordering annotation ([`MemOrder::Plain`] for an
+        /// unannotated store).
+        ord: MemOrder,
     },
     /// `r = *r_addr`
     Load {
@@ -146,9 +283,32 @@ pub enum Stmt {
         dst: Reg,
         /// Register holding the source address.
         addr: Reg,
+        /// Per-access ordering annotation ([`MemOrder::Plain`] for an
+        /// unannotated load).
+        ord: MemOrder,
+    },
+    /// `r = cas(*r_addr, r_exp, r_des)` — an atomic compare-and-swap:
+    /// reads `*r_addr` into `r`, and stores `r_des` iff the old value
+    /// equals `r_exp`. The load and the (conditional) store execute as
+    /// one indivisible read-modify-write; declarative models see the
+    /// pair through the `rmw` base relation.
+    Cas {
+        /// Destination register (receives the old value).
+        dst: Reg,
+        /// Register holding the target address.
+        addr: Reg,
+        /// Register holding the expected value.
+        expected: Reg,
+        /// Register holding the replacement value.
+        desired: Reg,
+        /// Ordering annotation covering both halves (the load half
+        /// carries the acquire side, the store half the release side).
+        ord: MemOrder,
     },
     /// `fence X-Y`
     Fence(FenceKind),
+    /// `fence(ord)` — a C11 ordering fence (see [`FenceSem::C11`]).
+    CFence(MemOrder),
     /// `fence? X-Y [site]` — a *candidate* fence used by the incremental
     /// checking sessions: it encodes like [`Stmt::Fence`] but its ordering
     /// clauses are gated behind a per-`site` activation literal, so a
@@ -251,7 +411,10 @@ pub enum Stmt {
 impl Stmt {
     /// `true` for statements that directly read or write shared memory.
     pub fn is_memory_access(&self) -> bool {
-        matches!(self, Stmt::Load { .. } | Stmt::Store { .. })
+        matches!(
+            self,
+            Stmt::Load { .. } | Stmt::Store { .. } | Stmt::Cas { .. }
+        )
     }
 }
 
@@ -268,6 +431,29 @@ mod tests {
     }
 
     #[test]
+    fn mem_order_roundtrip() {
+        for o in MemOrder::all() {
+            if o == MemOrder::Plain {
+                assert_eq!(MemOrder::parse(o.as_str()), None, "plain is unwritable");
+            } else {
+                assert_eq!(MemOrder::parse(o.as_str()), Some(o));
+            }
+        }
+        assert_eq!(MemOrder::parse("sequential"), None);
+    }
+
+    #[test]
+    fn mem_order_sides() {
+        use MemOrder::*;
+        assert!(Acquire.is_acquire() && !Acquire.is_release());
+        assert!(Release.is_release() && !Release.is_acquire());
+        assert!(AcqRel.is_acquire() && AcqRel.is_release());
+        assert!(SeqCst.is_acquire() && SeqCst.is_release() && SeqCst.is_seq_cst());
+        assert!(!Relaxed.is_acquire() && !Relaxed.is_release());
+        assert!(Relaxed.is_atomic() && !Plain.is_atomic());
+    }
+
+    #[test]
     fn fence_sides() {
         assert_eq!(FenceKind::LoadStore.sides(), (true, false));
         assert_eq!(FenceKind::StoreLoad.sides(), (false, true));
@@ -278,9 +464,18 @@ mod tests {
         let l = Stmt::Load {
             dst: Reg(0),
             addr: Reg(1),
+            ord: MemOrder::Plain,
+        };
+        let c = Stmt::Cas {
+            dst: Reg(0),
+            addr: Reg(1),
+            expected: Reg(2),
+            desired: Reg(3),
+            ord: MemOrder::SeqCst,
         };
         let f = Stmt::Fence(FenceKind::LoadLoad);
         assert!(l.is_memory_access());
+        assert!(c.is_memory_access());
         assert!(!f.is_memory_access());
     }
 }

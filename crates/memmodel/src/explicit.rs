@@ -10,9 +10,9 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use cf_lsl::{FenceKind, Value};
+use cf_lsl::{FenceKind, MemOrder, Value};
 
-use crate::rules::{fence_orders, AccessKind, Mode};
+use crate::rules::{c11_fence_orders, fence_orders, AccessKind, Mode};
 
 /// One item in a thread of a concrete trace.
 #[derive(Clone, PartialEq, Debug)]
@@ -27,9 +27,13 @@ pub enum TraceItem {
         value: Value,
         /// Atomic-block group (scoped to the thread), if any.
         group: Option<u32>,
+        /// C11-style ordering annotation (`Plain` for classic accesses).
+        ord: MemOrder,
     },
-    /// A memory ordering fence.
+    /// A classic two-sided memory ordering fence.
     Fence(FenceKind),
+    /// A C11-style ordering fence.
+    CFence(MemOrder),
 }
 
 /// A complete annotated execution trace `e = (w1, ..., wn)` (§2.3.1).
@@ -62,6 +66,7 @@ impl ConcreteTrace {
                     addr,
                     value,
                     group,
+                    ..
                 } = item
                 {
                     out.push(Access {
@@ -92,11 +97,14 @@ impl ConcreteTrace {
                 // Fences between x and y.
                 if !required {
                     for item in &self.threads[x.thread][x.item_index + 1..y.item_index] {
-                        if let TraceItem::Fence(k) = item {
-                            if fence_orders(*k, x.kind, y.kind) {
-                                required = true;
-                                break;
-                            }
+                        let orders = match item {
+                            TraceItem::Fence(k) => fence_orders(*k, x.kind, y.kind),
+                            TraceItem::CFence(o) => c11_fence_orders(*o, x.kind, y.kind),
+                            TraceItem::Access { .. } => false,
+                        };
+                        if orders {
+                            required = true;
+                            break;
                         }
                     }
                 }
@@ -232,6 +240,8 @@ pub enum LitmusOp {
         addr: u32,
         /// Stored value.
         value: i64,
+        /// C11-style ordering annotation (`Plain` for classic tests).
+        ord: MemOrder,
     },
     /// Load into an observation register.
     Load {
@@ -239,9 +249,13 @@ pub enum LitmusOp {
         addr: u32,
         /// Output register index.
         reg: usize,
+        /// C11-style ordering annotation (`Plain` for classic tests).
+        ord: MemOrder,
     },
-    /// A fence.
+    /// A classic two-sided fence.
     Fence(FenceKind),
+    /// A C11-style ordering fence.
+    CFence(MemOrder),
 }
 
 /// A litmus test: straight-line threads over integer locations
@@ -274,7 +288,7 @@ impl Litmus {
         for (t, ops) in self.threads.iter().enumerate() {
             for (i, op) in ops.iter().enumerate() {
                 match *op {
-                    LitmusOp::Store { addr, value } => accesses.push(A {
+                    LitmusOp::Store { addr, value, .. } => accesses.push(A {
                         thread: t,
                         item_index: i,
                         kind: AccessKind::Store,
@@ -282,7 +296,7 @@ impl Litmus {
                         value,
                         reg: None,
                     }),
-                    LitmusOp::Load { addr, reg } => accesses.push(A {
+                    LitmusOp::Load { addr, reg, .. } => accesses.push(A {
                         thread: t,
                         item_index: i,
                         kind: AccessKind::Load,
@@ -290,7 +304,7 @@ impl Litmus {
                         value: 0,
                         reg: Some(reg),
                     }),
-                    LitmusOp::Fence(_) => {}
+                    LitmusOp::Fence(_) | LitmusOp::CFence(_) => {}
                 }
             }
         }
@@ -309,11 +323,14 @@ impl Litmus {
                 let mut required = mode.po_edge_required(x.kind, y.kind, x.addr == y.addr);
                 if !required {
                     for op in &self.threads[x.thread][x.item_index + 1..y.item_index] {
-                        if let LitmusOp::Fence(k) = op {
-                            if fence_orders(*k, x.kind, y.kind) {
-                                required = true;
-                                break;
-                            }
+                        let orders = match op {
+                            LitmusOp::Fence(k) => fence_orders(*k, x.kind, y.kind),
+                            LitmusOp::CFence(o) => c11_fence_orders(*o, x.kind, y.kind),
+                            _ => false,
+                        };
+                        if orders {
+                            required = true;
+                            break;
                         }
                     }
                 }
@@ -409,8 +426,16 @@ mod tests {
         let t = Litmus {
             name: "sf",
             threads: vec![vec![
-                LitmusOp::Store { addr: 0, value: 1 },
-                LitmusOp::Load { addr: 0, reg: 0 },
+                LitmusOp::Store {
+                    addr: 0,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
+                LitmusOp::Load {
+                    addr: 0,
+                    reg: 0,
+                    ord: MemOrder::Plain,
+                },
             ]],
             num_regs: 1,
         };
@@ -433,6 +458,7 @@ mod tests {
                         addr: vec![0],
                         value: Value::Int(1),
                         group: None,
+                        ord: MemOrder::Plain,
                     },
                     Fence(FenceKind::StoreStore),
                     Access {
@@ -440,6 +466,7 @@ mod tests {
                         addr: vec![1],
                         value: Value::Int(1),
                         group: None,
+                        ord: MemOrder::Plain,
                     },
                 ],
                 vec![
@@ -448,6 +475,7 @@ mod tests {
                         addr: vec![1],
                         value: Value::Int(1),
                         group: None,
+                        ord: MemOrder::Plain,
                     },
                     Fence(FenceKind::LoadLoad),
                     Access {
@@ -455,6 +483,7 @@ mod tests {
                         addr: vec![0],
                         value: Value::Int(data_read),
                         group: None,
+                        ord: MemOrder::Plain,
                     },
                 ],
             ],
@@ -481,12 +510,14 @@ mod tests {
                         addr: vec![0],
                         value: Value::Int(r1),
                         group: Some(0),
+                        ord: MemOrder::Plain,
                     },
                     Access {
                         kind: AccessKind::Store,
                         addr: vec![0],
                         value: Value::Int(1),
                         group: Some(0),
+                        ord: MemOrder::Plain,
                     },
                 ],
                 vec![
@@ -495,12 +526,14 @@ mod tests {
                         addr: vec![0],
                         value: Value::Int(r2),
                         group: Some(0),
+                        ord: MemOrder::Plain,
                     },
                     Access {
                         kind: AccessKind::Store,
                         addr: vec![0],
                         value: Value::Int(1),
                         group: Some(0),
+                        ord: MemOrder::Plain,
                     },
                 ],
             ],

@@ -38,4 +38,4 @@ mod rules;
 pub mod litmus;
 
 pub use explicit::{ConcreteTrace, Litmus, LitmusOp, TraceItem};
-pub use rules::{fence_orders, AccessKind, Mode, ModeSet};
+pub use rules::{c11_fence_orders, fence_orders, sem_orders, AccessKind, Mode, ModeSet};

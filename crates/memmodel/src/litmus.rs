@@ -3,7 +3,7 @@
 //! Each test documents the *distinguishing outcome* — the register vector
 //! whose allowance separates memory models.
 
-use cf_lsl::FenceKind;
+use cf_lsl::{FenceKind, MemOrder};
 
 use crate::explicit::{Litmus, LitmusOp};
 
@@ -15,8 +15,30 @@ pub fn store_buffering() -> Litmus {
     Litmus {
         name: "SB",
         threads: vec![
-            vec![Store { addr: 0, value: 1 }, Load { addr: 1, reg: 0 }],
-            vec![Store { addr: 1, value: 1 }, Load { addr: 0, reg: 1 }],
+            vec![
+                Store {
+                    addr: 0,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
+                Load {
+                    addr: 1,
+                    reg: 0,
+                    ord: MemOrder::Plain,
+                },
+            ],
+            vec![
+                Store {
+                    addr: 1,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
+                Load {
+                    addr: 0,
+                    reg: 1,
+                    ord: MemOrder::Plain,
+                },
+            ],
         ],
         num_regs: 2,
     }
@@ -28,14 +50,30 @@ pub fn store_buffering_fenced() -> Litmus {
         name: "SB+fences",
         threads: vec![
             vec![
-                Store { addr: 0, value: 1 },
+                Store {
+                    addr: 0,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
                 Fence(FenceKind::StoreLoad),
-                Load { addr: 1, reg: 0 },
+                Load {
+                    addr: 1,
+                    reg: 0,
+                    ord: MemOrder::Plain,
+                },
             ],
             vec![
-                Store { addr: 1, value: 1 },
+                Store {
+                    addr: 1,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
                 Fence(FenceKind::StoreLoad),
-                Load { addr: 0, reg: 1 },
+                Load {
+                    addr: 0,
+                    reg: 1,
+                    ord: MemOrder::Plain,
+                },
             ],
         ],
         num_regs: 2,
@@ -48,8 +86,30 @@ pub fn message_passing() -> Litmus {
     Litmus {
         name: "MP",
         threads: vec![
-            vec![Store { addr: 0, value: 1 }, Store { addr: 1, value: 1 }],
-            vec![Load { addr: 1, reg: 0 }, Load { addr: 0, reg: 1 }],
+            vec![
+                Store {
+                    addr: 0,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
+                Store {
+                    addr: 1,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
+            ],
+            vec![
+                Load {
+                    addr: 1,
+                    reg: 0,
+                    ord: MemOrder::Plain,
+                },
+                Load {
+                    addr: 0,
+                    reg: 1,
+                    ord: MemOrder::Plain,
+                },
+            ],
         ],
         num_regs: 2,
     }
@@ -63,14 +123,30 @@ pub fn message_passing_fenced() -> Litmus {
         name: "MP+fences",
         threads: vec![
             vec![
-                Store { addr: 0, value: 1 },
+                Store {
+                    addr: 0,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
                 Fence(FenceKind::StoreStore),
-                Store { addr: 1, value: 1 },
+                Store {
+                    addr: 1,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
             ],
             vec![
-                Load { addr: 1, reg: 0 },
+                Load {
+                    addr: 1,
+                    reg: 0,
+                    ord: MemOrder::Plain,
+                },
                 Fence(FenceKind::LoadLoad),
-                Load { addr: 0, reg: 1 },
+                Load {
+                    addr: 0,
+                    reg: 1,
+                    ord: MemOrder::Plain,
+                },
             ],
         ],
         num_regs: 2,
@@ -85,11 +161,30 @@ pub fn message_passing_ss_fence_only() -> Litmus {
         name: "MP+ss-fence",
         threads: vec![
             vec![
-                Store { addr: 0, value: 1 },
+                Store {
+                    addr: 0,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
                 Fence(FenceKind::StoreStore),
-                Store { addr: 1, value: 1 },
+                Store {
+                    addr: 1,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
             ],
-            vec![Load { addr: 1, reg: 0 }, Load { addr: 0, reg: 1 }],
+            vec![
+                Load {
+                    addr: 1,
+                    reg: 0,
+                    ord: MemOrder::Plain,
+                },
+                Load {
+                    addr: 0,
+                    reg: 1,
+                    ord: MemOrder::Plain,
+                },
+            ],
         ],
         num_regs: 2,
     }
@@ -101,8 +196,30 @@ pub fn load_buffering() -> Litmus {
     Litmus {
         name: "LB",
         threads: vec![
-            vec![Load { addr: 1, reg: 0 }, Store { addr: 0, value: 1 }],
-            vec![Load { addr: 0, reg: 1 }, Store { addr: 1, value: 1 }],
+            vec![
+                Load {
+                    addr: 1,
+                    reg: 0,
+                    ord: MemOrder::Plain,
+                },
+                Store {
+                    addr: 0,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
+            ],
+            vec![
+                Load {
+                    addr: 0,
+                    reg: 1,
+                    ord: MemOrder::Plain,
+                },
+                Store {
+                    addr: 1,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
+            ],
         ],
         num_regs: 2,
     }
@@ -114,14 +231,30 @@ pub fn load_buffering_fenced() -> Litmus {
         name: "LB+fences",
         threads: vec![
             vec![
-                Load { addr: 1, reg: 0 },
+                Load {
+                    addr: 1,
+                    reg: 0,
+                    ord: MemOrder::Plain,
+                },
                 Fence(FenceKind::LoadStore),
-                Store { addr: 0, value: 1 },
+                Store {
+                    addr: 0,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
             ],
             vec![
-                Load { addr: 0, reg: 1 },
+                Load {
+                    addr: 0,
+                    reg: 1,
+                    ord: MemOrder::Plain,
+                },
                 Fence(FenceKind::LoadStore),
-                Store { addr: 1, value: 1 },
+                Store {
+                    addr: 1,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
             ],
         ],
         num_regs: 2,
@@ -135,8 +268,23 @@ pub fn coherence_read_read() -> Litmus {
     Litmus {
         name: "CoRR",
         threads: vec![
-            vec![Store { addr: 0, value: 1 }],
-            vec![Load { addr: 0, reg: 0 }, Load { addr: 0, reg: 1 }],
+            vec![Store {
+                addr: 0,
+                value: 1,
+                ord: MemOrder::Plain,
+            }],
+            vec![
+                Load {
+                    addr: 0,
+                    reg: 0,
+                    ord: MemOrder::Plain,
+                },
+                Load {
+                    addr: 0,
+                    reg: 1,
+                    ord: MemOrder::Plain,
+                },
+            ],
         ],
         num_regs: 2,
     }
@@ -147,11 +295,23 @@ pub fn coherence_read_read_fenced() -> Litmus {
     Litmus {
         name: "CoRR+fence",
         threads: vec![
-            vec![Store { addr: 0, value: 1 }],
+            vec![Store {
+                addr: 0,
+                value: 1,
+                ord: MemOrder::Plain,
+            }],
             vec![
-                Load { addr: 0, reg: 0 },
+                Load {
+                    addr: 0,
+                    reg: 0,
+                    ord: MemOrder::Plain,
+                },
                 Fence(FenceKind::LoadLoad),
-                Load { addr: 0, reg: 1 },
+                Load {
+                    addr: 0,
+                    reg: 1,
+                    ord: MemOrder::Plain,
+                },
             ],
         ],
         num_regs: 2,
@@ -166,17 +326,41 @@ pub fn iriw_fenced() -> Litmus {
     Litmus {
         name: "IRIW+fences (Fig. 2)",
         threads: vec![
-            vec![Store { addr: 0, value: 1 }],
-            vec![Store { addr: 1, value: 1 }],
+            vec![Store {
+                addr: 0,
+                value: 1,
+                ord: MemOrder::Plain,
+            }],
+            vec![Store {
+                addr: 1,
+                value: 1,
+                ord: MemOrder::Plain,
+            }],
             vec![
-                Load { addr: 0, reg: 0 },
+                Load {
+                    addr: 0,
+                    reg: 0,
+                    ord: MemOrder::Plain,
+                },
                 Fence(FenceKind::LoadLoad),
-                Load { addr: 1, reg: 1 },
+                Load {
+                    addr: 1,
+                    reg: 1,
+                    ord: MemOrder::Plain,
+                },
             ],
             vec![
-                Load { addr: 1, reg: 2 },
+                Load {
+                    addr: 1,
+                    reg: 2,
+                    ord: MemOrder::Plain,
+                },
                 Fence(FenceKind::LoadLoad),
-                Load { addr: 0, reg: 3 },
+                Load {
+                    addr: 0,
+                    reg: 3,
+                    ord: MemOrder::Plain,
+                },
             ],
         ],
         num_regs: 4,
@@ -189,10 +373,40 @@ pub fn iriw_unfenced() -> Litmus {
     Litmus {
         name: "IRIW",
         threads: vec![
-            vec![Store { addr: 0, value: 1 }],
-            vec![Store { addr: 1, value: 1 }],
-            vec![Load { addr: 0, reg: 0 }, Load { addr: 1, reg: 1 }],
-            vec![Load { addr: 1, reg: 2 }, Load { addr: 0, reg: 3 }],
+            vec![Store {
+                addr: 0,
+                value: 1,
+                ord: MemOrder::Plain,
+            }],
+            vec![Store {
+                addr: 1,
+                value: 1,
+                ord: MemOrder::Plain,
+            }],
+            vec![
+                Load {
+                    addr: 0,
+                    reg: 0,
+                    ord: MemOrder::Plain,
+                },
+                Load {
+                    addr: 1,
+                    reg: 1,
+                    ord: MemOrder::Plain,
+                },
+            ],
+            vec![
+                Load {
+                    addr: 1,
+                    reg: 2,
+                    ord: MemOrder::Plain,
+                },
+                Load {
+                    addr: 0,
+                    reg: 3,
+                    ord: MemOrder::Plain,
+                },
+            ],
         ],
         num_regs: 4,
     }
@@ -208,14 +422,38 @@ pub fn store_forwarding() -> Litmus {
         name: "SF",
         threads: vec![
             vec![
-                Store { addr: 0, value: 1 },
-                Load { addr: 0, reg: 0 },
-                Load { addr: 1, reg: 1 },
+                Store {
+                    addr: 0,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
+                Load {
+                    addr: 0,
+                    reg: 0,
+                    ord: MemOrder::Plain,
+                },
+                Load {
+                    addr: 1,
+                    reg: 1,
+                    ord: MemOrder::Plain,
+                },
             ],
             vec![
-                Store { addr: 1, value: 1 },
-                Load { addr: 1, reg: 2 },
-                Load { addr: 0, reg: 3 },
+                Store {
+                    addr: 1,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
+                Load {
+                    addr: 1,
+                    reg: 2,
+                    ord: MemOrder::Plain,
+                },
+                Load {
+                    addr: 0,
+                    reg: 3,
+                    ord: MemOrder::Plain,
+                },
             ],
         ],
         num_regs: 4,
@@ -230,11 +468,30 @@ pub fn store_buffering_half_fenced() -> Litmus {
         name: "SB+one-fence",
         threads: vec![
             vec![
-                Store { addr: 0, value: 1 },
+                Store {
+                    addr: 0,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
                 Fence(FenceKind::StoreLoad),
-                Load { addr: 1, reg: 0 },
+                Load {
+                    addr: 1,
+                    reg: 0,
+                    ord: MemOrder::Plain,
+                },
             ],
-            vec![Store { addr: 1, value: 1 }, Load { addr: 0, reg: 1 }],
+            vec![
+                Store {
+                    addr: 1,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
+                Load {
+                    addr: 0,
+                    reg: 1,
+                    ord: MemOrder::Plain,
+                },
+            ],
         ],
         num_regs: 2,
     }
@@ -249,14 +506,41 @@ pub fn iriw_one_fence() -> Litmus {
     Litmus {
         name: "IRIW+one-fence",
         threads: vec![
-            vec![Store { addr: 0, value: 1 }],
-            vec![Store { addr: 1, value: 1 }],
+            vec![Store {
+                addr: 0,
+                value: 1,
+                ord: MemOrder::Plain,
+            }],
+            vec![Store {
+                addr: 1,
+                value: 1,
+                ord: MemOrder::Plain,
+            }],
             vec![
-                Load { addr: 0, reg: 0 },
+                Load {
+                    addr: 0,
+                    reg: 0,
+                    ord: MemOrder::Plain,
+                },
                 Fence(FenceKind::LoadLoad),
-                Load { addr: 1, reg: 1 },
+                Load {
+                    addr: 1,
+                    reg: 1,
+                    ord: MemOrder::Plain,
+                },
             ],
-            vec![Load { addr: 1, reg: 2 }, Load { addr: 0, reg: 3 }],
+            vec![
+                Load {
+                    addr: 1,
+                    reg: 2,
+                    ord: MemOrder::Plain,
+                },
+                Load {
+                    addr: 0,
+                    reg: 3,
+                    ord: MemOrder::Plain,
+                },
+            ],
         ],
         num_regs: 4,
     }
@@ -277,12 +561,42 @@ pub fn write_write_causality() -> Litmus {
     Litmus {
         name: "R",
         threads: vec![
-            vec![Store { addr: 0, value: 1 }, Store { addr: 1, value: 1 }],
-            vec![Store { addr: 1, value: 2 }, Load { addr: 0, reg: 0 }],
             vec![
-                Load { addr: 1, reg: 1 },
+                Store {
+                    addr: 0,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
+                Store {
+                    addr: 1,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
+            ],
+            vec![
+                Store {
+                    addr: 1,
+                    value: 2,
+                    ord: MemOrder::Plain,
+                },
+                Load {
+                    addr: 0,
+                    reg: 0,
+                    ord: MemOrder::Plain,
+                },
+            ],
+            vec![
+                Load {
+                    addr: 1,
+                    reg: 1,
+                    ord: MemOrder::Plain,
+                },
                 Fence(FenceKind::LoadLoad),
-                Load { addr: 1, reg: 2 },
+                Load {
+                    addr: 1,
+                    reg: 2,
+                    ord: MemOrder::Plain,
+                },
             ],
         ],
         num_regs: 3,
@@ -297,16 +611,43 @@ pub fn write_write_causality_sl_fence() -> Litmus {
     Litmus {
         name: "R+sl-fence",
         threads: vec![
-            vec![Store { addr: 0, value: 1 }, Store { addr: 1, value: 1 }],
             vec![
-                Store { addr: 1, value: 2 },
-                Fence(FenceKind::StoreLoad),
-                Load { addr: 0, reg: 0 },
+                Store {
+                    addr: 0,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
+                Store {
+                    addr: 1,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
             ],
             vec![
-                Load { addr: 1, reg: 1 },
+                Store {
+                    addr: 1,
+                    value: 2,
+                    ord: MemOrder::Plain,
+                },
+                Fence(FenceKind::StoreLoad),
+                Load {
+                    addr: 0,
+                    reg: 0,
+                    ord: MemOrder::Plain,
+                },
+            ],
+            vec![
+                Load {
+                    addr: 1,
+                    reg: 1,
+                    ord: MemOrder::Plain,
+                },
                 Fence(FenceKind::LoadLoad),
-                Load { addr: 1, reg: 2 },
+                Load {
+                    addr: 1,
+                    reg: 2,
+                    ord: MemOrder::Plain,
+                },
             ],
         ],
         num_regs: 3,
@@ -321,19 +662,43 @@ pub fn write_write_causality_fenced() -> Litmus {
         name: "R+fences",
         threads: vec![
             vec![
-                Store { addr: 0, value: 1 },
+                Store {
+                    addr: 0,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
                 Fence(FenceKind::StoreStore),
-                Store { addr: 1, value: 1 },
+                Store {
+                    addr: 1,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
             ],
             vec![
-                Store { addr: 1, value: 2 },
+                Store {
+                    addr: 1,
+                    value: 2,
+                    ord: MemOrder::Plain,
+                },
                 Fence(FenceKind::StoreLoad),
-                Load { addr: 0, reg: 0 },
+                Load {
+                    addr: 0,
+                    reg: 0,
+                    ord: MemOrder::Plain,
+                },
             ],
             vec![
-                Load { addr: 1, reg: 1 },
+                Load {
+                    addr: 1,
+                    reg: 1,
+                    ord: MemOrder::Plain,
+                },
                 Fence(FenceKind::LoadLoad),
-                Load { addr: 1, reg: 2 },
+                Load {
+                    addr: 1,
+                    reg: 2,
+                    ord: MemOrder::Plain,
+                },
             ],
         ],
         num_regs: 3,
@@ -349,9 +714,35 @@ pub fn write_read_causality() -> Litmus {
     Litmus {
         name: "WRC",
         threads: vec![
-            vec![Store { addr: 0, value: 1 }],
-            vec![Load { addr: 0, reg: 0 }, Store { addr: 1, value: 1 }],
-            vec![Load { addr: 1, reg: 1 }, Load { addr: 0, reg: 2 }],
+            vec![Store {
+                addr: 0,
+                value: 1,
+                ord: MemOrder::Plain,
+            }],
+            vec![
+                Load {
+                    addr: 0,
+                    reg: 0,
+                    ord: MemOrder::Plain,
+                },
+                Store {
+                    addr: 1,
+                    value: 1,
+                    ord: MemOrder::Plain,
+                },
+            ],
+            vec![
+                Load {
+                    addr: 1,
+                    reg: 1,
+                    ord: MemOrder::Plain,
+                },
+                Load {
+                    addr: 0,
+                    reg: 2,
+                    ord: MemOrder::Plain,
+                },
+            ],
         ],
         num_regs: 3,
     }

@@ -5,7 +5,7 @@
 //! `checkfence`: which program-order pairs the memory order must respect,
 //! and whether store-to-load forwarding is visible.
 
-use cf_lsl::FenceKind;
+use cf_lsl::{FenceKind, FenceSem, MemOrder};
 
 /// Memory access kinds.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -253,6 +253,42 @@ pub fn fence_orders(kind: FenceKind, x: AccessKind, y: AccessKind) -> bool {
     x_matches && y_matches
 }
 
+/// Does a C11 `fence(ord)` order a preceding access of kind `x` before a
+/// succeeding access of kind `y`?
+///
+/// This is the standard hardware mapping of the C11 fences:
+///
+/// * an **acquire** fence keeps preceding *loads* before everything
+///   after it (load-load + load-store);
+/// * a **release** fence keeps everything before it ahead of succeeding
+///   *stores* (load-store + store-store);
+/// * an **acq_rel** fence is both;
+/// * a **seq_cst** fence is a full barrier;
+/// * a **relaxed** fence orders nothing.
+///
+/// Built-in hardware [`Mode`]s interpret C11 fences through exactly this
+/// table; declarative models additionally see them through the
+/// `fence_acq`/`fence_rel`/`fence_sc` pair relations.
+pub fn c11_fence_orders(ord: MemOrder, x: AccessKind, y: AccessKind) -> bool {
+    match ord {
+        MemOrder::Plain | MemOrder::Relaxed => false,
+        MemOrder::Acquire => x == AccessKind::Load,
+        MemOrder::Release => y == AccessKind::Store,
+        MemOrder::AcqRel => x == AccessKind::Load || y == AccessKind::Store,
+        MemOrder::SeqCst => true,
+    }
+}
+
+/// [`fence_orders`]/[`c11_fence_orders`] dispatched on a fence's
+/// [`FenceSem`] — the one predicate both backends use for the
+/// program-order edges a fence instruction preserves.
+pub fn sem_orders(sem: FenceSem, x: AccessKind, y: AccessKind) -> bool {
+    match sem {
+        FenceSem::Classic(kind) => fence_orders(kind, x, y),
+        FenceSem::C11(ord) => c11_fence_orders(ord, x, y),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +330,39 @@ mod tests {
         assert!(fence_orders(FenceKind::StoreLoad, Store, Load));
         assert!(fence_orders(FenceKind::LoadStore, Load, Store));
         assert!(!fence_orders(FenceKind::LoadStore, Store, Store));
+    }
+
+    #[test]
+    fn c11_fence_matrix() {
+        use AccessKind::*;
+        use MemOrder::*;
+        // Acquire: loads before → everything after.
+        assert!(c11_fence_orders(Acquire, Load, Load));
+        assert!(c11_fence_orders(Acquire, Load, Store));
+        assert!(!c11_fence_orders(Acquire, Store, Load));
+        // Release: everything before → stores after.
+        assert!(c11_fence_orders(Release, Load, Store));
+        assert!(c11_fence_orders(Release, Store, Store));
+        assert!(!c11_fence_orders(Release, Store, Load));
+        // AcqRel = union; SeqCst = full barrier; Relaxed = nothing.
+        assert!(c11_fence_orders(AcqRel, Load, Load));
+        assert!(c11_fence_orders(AcqRel, Store, Store));
+        assert!(!c11_fence_orders(AcqRel, Store, Load));
+        for x in [Load, Store] {
+            for y in [Load, Store] {
+                assert!(c11_fence_orders(SeqCst, x, y));
+                assert!(!c11_fence_orders(Relaxed, x, y));
+            }
+        }
+        // Dispatch through FenceSem agrees with both tables.
+        assert_eq!(
+            sem_orders(FenceSem::Classic(FenceKind::StoreLoad), Store, Load),
+            fence_orders(FenceKind::StoreLoad, Store, Load)
+        );
+        assert_eq!(
+            sem_orders(FenceSem::C11(SeqCst), Store, Load),
+            c11_fence_orders(SeqCst, Store, Load)
+        );
     }
 
     #[test]

@@ -7,6 +7,13 @@
 //! `atomic { }`, `fence("...")`, `assert`, `assume`, `malloc(type)`,
 //! `commit(...)` and `spinwhile` map to their LSL counterparts.
 //!
+//! C11-style atomics are builtins taking an optional ordering keyword
+//! (`relaxed`, `acquire`, `release`, `acq_rel`, `seq_cst`; default
+//! `seq_cst` when omitted): `load(x, acquire)`, `store(x, release, v)`,
+//! `cas(x, expected, desired, acq_rel)` and `fence(seq_cst)`. Orderings
+//! invalid for the access direction (a `release` load, an `acquire`
+//! store) are rejected at lowering time.
+//!
 //! Locals whose address is taken (`&v`) are placed in fresh heap cells so
 //! that pointers to them are ordinary LSL pointers; plain locals live in
 //! registers.
@@ -14,8 +21,8 @@
 use std::collections::{HashMap, HashSet};
 
 use cf_lsl::{
-    BlockTag, FenceKind, MemType, PrimOp, ProcBuilder, ProcId, Program, Reg, StructDef, StructId,
-    Value,
+    BlockTag, FenceKind, MemOrder, MemType, PrimOp, ProcBuilder, ProcId, Program, Reg, StructDef,
+    StructId, Value,
 };
 
 use crate::ast::{CBinOp, CExpr, CStmt, CType, Func, Item, StructField, UnOp};
@@ -748,16 +755,108 @@ impl<'a> FnLowerer<'a> {
 
     // --------------------------------------------------------------- calls
 
+    /// Parses a memory-ordering keyword argument of an atomic builtin.
+    /// Ordering names are reserved in these positions; they never refer
+    /// to program variables.
+    fn parse_ord(&self, e: &CExpr, what: &str) -> Result<MemOrder, MinicError> {
+        match e {
+            CExpr::Ident(s) => MemOrder::parse(s).ok_or_else(|| {
+                self.err(format!(
+                    "unknown memory ordering `{s}` in {what}(...) \
+                     (expected relaxed, acquire, release, acq_rel or seq_cst)"
+                ))
+            }),
+            _ => Err(self.err(format!(
+                "{what}(...) ordering must be a keyword \
+                 (relaxed, acquire, release, acq_rel or seq_cst)"
+            ))),
+        }
+    }
+
     fn lower_call(&mut self, name: &str, args: &[CExpr]) -> Result<Option<TypedReg>, MinicError> {
+        // The atomic-access builtins yield to user-defined functions of
+        // the same name (e.g. a hand-written `cas` modelled with an
+        // `atomic { }` block, as in the paper's Fig. 6).
+        let user_defined = self.lx.signatures.contains_key(name);
         match name {
             "fence" => {
-                let kind = match args {
-                    [CExpr::Str(s)] => FenceKind::parse(s)
-                        .ok_or_else(|| self.err(format!("unknown fence kind `{s}`")))?,
-                    _ => return Err(self.err("fence(...) takes one string literal")),
-                };
-                self.b.fence(kind);
+                match args {
+                    [CExpr::Str(s)] => {
+                        let kind = FenceKind::parse(s)
+                            .ok_or_else(|| self.err(format!("unknown fence kind `{s}`")))?;
+                        self.b.fence(kind);
+                    }
+                    [e @ CExpr::Ident(_)] => {
+                        let ord = self.parse_ord(e, "fence")?;
+                        if ord == MemOrder::Relaxed {
+                            return Err(self.err(
+                                "fence(relaxed) has no ordering effect; \
+                                 use acquire, release, acq_rel or seq_cst",
+                            ));
+                        }
+                        self.b.cfence(ord);
+                    }
+                    _ => {
+                        return Err(self.err(
+                            "fence(...) takes one string literal (classic kind) \
+                             or one ordering keyword",
+                        ))
+                    }
+                }
                 Ok(None)
+            }
+            "load" if !user_defined => {
+                let (place, ord) = match args {
+                    [p] => (p, MemOrder::SeqCst),
+                    [p, o] => (p, self.parse_ord(o, "load")?),
+                    _ => return Err(self.err("load(place[, ordering]) takes 1 or 2 arguments")),
+                };
+                if matches!(ord, MemOrder::Release | MemOrder::AcqRel) {
+                    return Err(self.err(format!(
+                        "`{ord}` is not a valid load ordering \
+                         (loads may be relaxed, acquire or seq_cst)"
+                    )));
+                }
+                let addr = self.lower_lvalue(place)?;
+                let reg = self.b.load_ord(addr.reg, ord);
+                Ok(Some(TypedReg { reg, ty: addr.ty }))
+            }
+            "store" if !user_defined => {
+                let (place, ord, value) = match args {
+                    [p, v] => (p, MemOrder::SeqCst, v),
+                    [p, o, v] => (p, self.parse_ord(o, "store")?, v),
+                    _ => {
+                        return Err(
+                            self.err("store(place[, ordering], value) takes 2 or 3 arguments")
+                        )
+                    }
+                };
+                if matches!(ord, MemOrder::Acquire | MemOrder::AcqRel) {
+                    return Err(self.err(format!(
+                        "`{ord}` is not a valid store ordering \
+                         (stores may be relaxed, release or seq_cst)"
+                    )));
+                }
+                let addr = self.lower_lvalue(place)?;
+                let v = self.lower_expr(value)?;
+                self.b.store_ord(addr.reg, v.reg, ord);
+                Ok(None)
+            }
+            "cas" if !user_defined => {
+                let (place, expected, desired, ord) = match args {
+                    [p, e, d] => (p, e, d, MemOrder::SeqCst),
+                    [p, e, d, o] => (p, e, d, self.parse_ord(o, "cas")?),
+                    _ => {
+                        return Err(self.err(
+                            "cas(place, expected, desired[, ordering]) takes 3 or 4 arguments",
+                        ))
+                    }
+                };
+                let addr = self.lower_lvalue(place)?;
+                let exp = self.lower_expr(expected)?;
+                let des = self.lower_expr(desired)?;
+                let reg = self.b.cas(addr.reg, exp.reg, des.reg, ord);
+                Ok(Some(TypedReg { reg, ty: addr.ty }))
             }
             "assert" => {
                 let [e] = args else {

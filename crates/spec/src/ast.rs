@@ -32,9 +32,22 @@ pub enum BaseRel {
     Fr,
     /// Fence-separated pairs. `None` is the generic form: some fence
     /// between `x` and `y` orders their access kinds (paper §3.1 X-Y
-    /// fence semantics). `Some(k)` restricts to fences of kind `k` (the
-    /// pair's kinds must still match the fence's X-Y signature).
+    /// fence semantics, or the C11 fence matrix for ordering fences).
+    /// `Some(k)` restricts to classic fences of kind `k` (the pair's
+    /// kinds must still match the fence's X-Y signature).
     Fence(Option<FenceKind>),
+    /// Read-modify-write pairs: the load and store halves of one atomic
+    /// group targeting the same location (`x` the load, `y` the store).
+    Rmw,
+    /// Pairs separated by a C11 fence with acquire semantics
+    /// (`acquire`, `acq_rel` or `seq_cst`). Purely positional — compose
+    /// with `[R]`/`[W]` filters to restrict the endpoints.
+    FenceAcq,
+    /// Pairs separated by a C11 fence with release semantics
+    /// (`release`, `acq_rel` or `seq_cst`). Purely positional.
+    FenceRel,
+    /// Pairs separated by a `seq_cst` C11 fence. Purely positional.
+    FenceSc,
 }
 
 impl BaseRel {
@@ -55,6 +68,10 @@ impl BaseRel {
             BaseRel::Fence(Some(FenceKind::LoadStore)) => "fence_ls",
             BaseRel::Fence(Some(FenceKind::StoreLoad)) => "fence_sl",
             BaseRel::Fence(Some(FenceKind::StoreStore)) => "fence_ss",
+            BaseRel::Rmw => "rmw",
+            BaseRel::FenceAcq => "fence_acq",
+            BaseRel::FenceRel => "fence_rel",
+            BaseRel::FenceSc => "fence_sc",
         }
     }
 
@@ -65,9 +82,17 @@ impl BaseRel {
     }
 }
 
-/// An event-set filter, written `[R]`, `[W]` or `[M]` and denoting the
-/// identity relation restricted to that set (the cat idiom for
-/// kind-restricting a relation via composition).
+/// An event-set filter, written `[R]`, `[W]`, `[M]`, or — for accesses
+/// carrying C11-style ordering annotations — `[RLX]`, `[ACQ]`, `[REL]`,
+/// `[SC]`, `[NA]`. A filter denotes the identity relation restricted to
+/// that set (the cat idiom for kind-restricting a relation via
+/// composition).
+///
+/// Ordering filters are *at-least* sets: `[ACQ]` matches every access
+/// whose annotation provides acquire semantics (`acquire`, `acq_rel`,
+/// `seq_cst`), `[REL]` the release side, `[RLX]` any atomic access, and
+/// `[SC]` only `seq_cst` accesses. `[NA]` matches non-atomic (plain)
+/// accesses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SetFilter {
     /// Loads.
@@ -76,6 +101,16 @@ pub enum SetFilter {
     Stores,
     /// All memory events.
     All,
+    /// Atomic accesses (`relaxed` or stronger).
+    Relaxed,
+    /// Accesses with acquire semantics.
+    Acquire,
+    /// Accesses with release semantics.
+    Release,
+    /// `seq_cst` accesses.
+    SeqCst,
+    /// Non-atomic (plain) accesses.
+    NonAtomic,
 }
 
 impl SetFilter {
@@ -85,6 +120,11 @@ impl SetFilter {
             SetFilter::Loads => "R",
             SetFilter::Stores => "W",
             SetFilter::All => "M",
+            SetFilter::Relaxed => "RLX",
+            SetFilter::Acquire => "ACQ",
+            SetFilter::Release => "REL",
+            SetFilter::SeqCst => "SC",
+            SetFilter::NonAtomic => "NA",
         }
     }
 }

@@ -18,20 +18,28 @@ pub const TSO: &str = include_str!("../../../specs/tso.cfm");
 pub const PSO: &str = include_str!("../../../specs/pso.cfm");
 /// `specs/relaxed.cfm`.
 pub const RELAXED: &str = include_str!("../../../specs/relaxed.cfm");
+/// `specs/c11.cfm` — per-access C11-style orderings (no enum twin).
+pub const C11: &str = include_str!("../../../specs/c11.cfm");
+/// `specs/rc11.cfm` — `c11` plus the no-thin-air axiom (no enum twin).
+pub const RC11: &str = include_str!("../../../specs/rc11.cfm");
 
-/// Every bundled spec as `(file name, source)`, strongest model first.
-pub fn sources() -> [(&'static str, &'static str); 5] {
+/// Every bundled spec as `(file name, source)`: the five mode twins
+/// strongest first, then the ordering-annotated models (which have no
+/// built-in twin).
+pub fn sources() -> [(&'static str, &'static str); 7] {
     [
         ("serial.cfm", SERIAL),
         ("sc.cfm", SC),
         ("tso.cfm", TSO),
         ("pso.cfm", PSO),
         ("relaxed.cfm", RELAXED),
+        ("c11.cfm", C11),
+        ("rc11.cfm", RC11),
     ]
 }
 
-/// Compiles every bundled spec, strongest model first (the same order
-/// as [`Mode::all`]).
+/// Compiles every bundled spec, in [`sources`] order (the five mode
+/// twins follow [`Mode::all`]; `c11`/`rc11` trail them).
 ///
 /// # Panics
 ///
@@ -74,10 +82,13 @@ mod tests {
     #[test]
     fn bundled_specs_compile_and_name_their_modes() {
         let specs = all();
-        assert_eq!(specs.len(), 5);
-        for (spec, mode) in specs.iter().zip(Mode::all()) {
-            assert_eq!(spec.name, mode.name());
-            assert_eq!(mode_twin(&spec.name), Some(mode));
+        assert_eq!(specs.len(), 7);
+        let mut twinned = 0;
+        for spec in &specs {
+            let Some(mode) = mode_twin(&spec.name) else {
+                continue;
+            };
+            twinned += 1;
             assert_eq!(
                 spec.forwarding,
                 mode.allows_forwarding(),
@@ -90,7 +101,28 @@ mod tests {
                 "{}: atomicity option must match the enum",
                 spec.name
             );
-            assert!(spec.has_static_order_axioms());
         }
+        assert_eq!(twinned, 5, "every built-in mode has a bundled twin");
+        // The mode twins come first, in `Mode::all` order.
+        for (spec, mode) in specs.iter().zip(Mode::all()) {
+            assert_eq!(spec.name, mode.name());
+        }
+        // The mode twins stay on the oracle's static fast path; the
+        // ordering models derive `sw` from `rf` and take the dynamic
+        // per-candidate-order path.
+        for spec in &specs {
+            assert_eq!(
+                spec.has_static_order_axioms(),
+                mode_twin(&spec.name).is_some(),
+                "{}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_models_have_no_mode_twin() {
+        assert_eq!(mode_twin("c11"), None);
+        assert_eq!(mode_twin("rc11"), None);
     }
 }

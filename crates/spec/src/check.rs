@@ -27,6 +27,10 @@ pub fn builtin(name: &str) -> Option<BaseRel> {
         "fence_ls" => BaseRel::Fence(Some(FenceKind::LoadStore)),
         "fence_sl" => BaseRel::Fence(Some(FenceKind::StoreLoad)),
         "fence_ss" => BaseRel::Fence(Some(FenceKind::StoreStore)),
+        "rmw" => BaseRel::Rmw,
+        "fence_acq" => BaseRel::FenceAcq,
+        "fence_rel" => BaseRel::FenceRel,
+        "fence_sc" => BaseRel::FenceSc,
         _ => return None,
     })
 }

@@ -225,11 +225,16 @@ mod tests {
             }
         }
         fn in_set(&self, set: SetFilter, e: usize) -> bool {
-            // Even events are loads, odd are stores.
+            // Even events are loads, odd are stores; all plain.
             match set {
                 SetFilter::Loads => e.is_multiple_of(2),
                 SetFilter::Stores => !e.is_multiple_of(2),
                 SetFilter::All => true,
+                SetFilter::NonAtomic => true,
+                SetFilter::Relaxed
+                | SetFilter::Acquire
+                | SetFilter::Release
+                | SetFilter::SeqCst => false,
             }
         }
     }

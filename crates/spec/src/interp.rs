@@ -20,8 +20,8 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use cf_lsl::{FenceKind, Value};
-use cf_memmodel::{fence_orders, AccessKind, ConcreteTrace, Litmus, LitmusOp, TraceItem};
+use cf_lsl::{FenceSem, MemOrder, Value};
+use cf_memmodel::{sem_orders, AccessKind, ConcreteTrace, Litmus, LitmusOp, TraceItem};
 
 use crate::ast::{Axiom, AxiomKind, BaseRel, ModelSpec, SetFilter};
 use crate::eval::{eval, RelBackend};
@@ -33,12 +33,13 @@ struct PEvent {
     kind: AccessKind,
     addr: Vec<u32>,
     group: Option<u32>,
+    ord: MemOrder,
 }
 
 struct PFence {
     thread: usize,
     pos: usize,
-    kind: FenceKind,
+    sem: FenceSem,
 }
 
 struct Prog {
@@ -47,14 +48,11 @@ struct Prog {
 }
 
 impl Prog {
-    fn fence_between(&self, x: &PEvent, y: &PEvent, want: Option<FenceKind>) -> bool {
-        self.fences.iter().any(|f| {
-            f.thread == x.thread
-                && f.pos > x.pos
-                && f.pos < y.pos
-                && want.is_none_or(|k| f.kind == k)
-                && fence_orders(f.kind, x.kind, y.kind)
-        })
+    /// Some fence between `x` and `y` (same thread) satisfying `pred`.
+    fn fence_between(&self, x: &PEvent, y: &PEvent, pred: impl Fn(FenceSem) -> bool) -> bool {
+        self.fences
+            .iter()
+            .any(|f| f.thread == x.thread && f.pos > x.pos && f.pos < y.pos && pred(f.sem))
     }
 }
 
@@ -74,7 +72,56 @@ fn static_base(prog: &Prog, rel: BaseRel, x: usize, y: usize) -> bool {
         BaseRel::Ext => ex.thread != ey.thread,
         BaseRel::Id => x == y,
         BaseRel::Fence(k) => {
-            ex.thread == ey.thread && ex.pos < ey.pos && prog.fence_between(ex, ey, k)
+            ex.thread == ey.thread
+                && ex.pos < ey.pos
+                && prog.fence_between(ex, ey, |sem| match (k, sem) {
+                    // Generic `fence`: any fence whose semantics order
+                    // this pair of access kinds.
+                    (None, sem) => sem_orders(sem, ex.kind, ey.kind),
+                    // `fence_xy`: classic fences of that kind only (the
+                    // pair's kinds must still match the X-Y signature).
+                    (Some(want), FenceSem::Classic(have)) => {
+                        want == have && sem_orders(sem, ex.kind, ey.kind)
+                    }
+                    (Some(_), FenceSem::C11(_)) => false,
+                })
+        }
+        BaseRel::FenceAcq => {
+            ex.thread == ey.thread
+                && ex.pos < ey.pos
+                && prog.fence_between(
+                    ex,
+                    ey,
+                    |sem| matches!(sem, FenceSem::C11(o) if o.is_acquire()),
+                )
+        }
+        BaseRel::FenceRel => {
+            ex.thread == ey.thread
+                && ex.pos < ey.pos
+                && prog.fence_between(
+                    ex,
+                    ey,
+                    |sem| matches!(sem, FenceSem::C11(o) if o.is_release()),
+                )
+        }
+        BaseRel::FenceSc => {
+            ex.thread == ey.thread
+                && ex.pos < ey.pos
+                && prog.fence_between(ex, ey, |sem| sem == FenceSem::C11(MemOrder::SeqCst))
+        }
+        // Read-modify-write: the load and store halves of one atomic
+        // group targeting the same location. This is a *derived* notion
+        // — an atomic load/store pair to one address is exactly an RMW
+        // in this framework — which keeps it aligned with the CNF
+        // backend without a dedicated event field.
+        BaseRel::Rmw => {
+            ex.kind == AccessKind::Load
+                && ey.kind == AccessKind::Store
+                && ex.thread == ey.thread
+                && ex.pos < ey.pos
+                && ex.group.is_some()
+                && ex.group == ey.group
+                && ex.addr == ey.addr
         }
         BaseRel::Mo | BaseRel::Rf | BaseRel::Co | BaseRel::Fr => {
             panic!("dynamic relation {} in a static context", rel.name())
@@ -83,10 +130,16 @@ fn static_base(prog: &Prog, rel: BaseRel, x: usize, y: usize) -> bool {
 }
 
 fn in_set(prog: &Prog, set: SetFilter, e: usize) -> bool {
+    let ev = &prog.events[e];
     match set {
-        SetFilter::Loads => prog.events[e].kind == AccessKind::Load,
-        SetFilter::Stores => prog.events[e].kind == AccessKind::Store,
+        SetFilter::Loads => ev.kind == AccessKind::Load,
+        SetFilter::Stores => ev.kind == AccessKind::Store,
         SetFilter::All => true,
+        SetFilter::Relaxed => ev.ord.is_atomic(),
+        SetFilter::Acquire => ev.ord.is_acquire(),
+        SetFilter::Release => ev.ord.is_release(),
+        SetFilter::SeqCst => ev.ord == MemOrder::SeqCst,
+        SetFilter::NonAtomic => ev.ord == MemOrder::Plain,
     }
 }
 
@@ -294,6 +347,7 @@ pub fn trace_allowed(trace: &ConcreteTrace, spec: &ModelSpec) -> bool {
                     addr,
                     value,
                     group,
+                    ord,
                 } => {
                     events.push(PEvent {
                         thread: t,
@@ -301,13 +355,19 @@ pub fn trace_allowed(trace: &ConcreteTrace, spec: &ModelSpec) -> bool {
                         kind: *kind,
                         addr: addr.clone(),
                         group: *group,
+                        ord: *ord,
                     });
                     values.push(value.clone());
                 }
                 TraceItem::Fence(k) => fences.push(PFence {
                     thread: t,
                     pos: i,
-                    kind: *k,
+                    sem: FenceSem::Classic(*k),
+                }),
+                TraceItem::CFence(o) => fences.push(PFence {
+                    thread: t,
+                    pos: i,
+                    sem: FenceSem::C11(*o),
                 }),
             }
         }
@@ -513,24 +573,26 @@ pub fn litmus_outcomes(test: &Litmus, spec: &ModelSpec) -> BTreeSet<Vec<i64>> {
     for (t, ops) in test.threads.iter().enumerate() {
         for (i, op) in ops.iter().enumerate() {
             match *op {
-                LitmusOp::Store { addr, value } => {
+                LitmusOp::Store { addr, value, ord } => {
                     events.push(PEvent {
                         thread: t,
                         pos: i,
                         kind: AccessKind::Store,
                         addr: vec![addr],
                         group: None,
+                        ord,
                     });
                     store_val.push(value);
                     load_reg.push(None);
                 }
-                LitmusOp::Load { addr, reg } => {
+                LitmusOp::Load { addr, reg, ord } => {
                     events.push(PEvent {
                         thread: t,
                         pos: i,
                         kind: AccessKind::Load,
                         addr: vec![addr],
                         group: None,
+                        ord,
                     });
                     store_val.push(0);
                     load_reg.push(Some(reg));
@@ -538,7 +600,12 @@ pub fn litmus_outcomes(test: &Litmus, spec: &ModelSpec) -> BTreeSet<Vec<i64>> {
                 LitmusOp::Fence(k) => fences.push(PFence {
                     thread: t,
                     pos: i,
-                    kind: k,
+                    sem: FenceSem::Classic(k),
+                }),
+                LitmusOp::CFence(o) => fences.push(PFence {
+                    thread: t,
+                    pos: i,
+                    sem: FenceSem::C11(o),
                 }),
             }
         }
@@ -642,6 +709,7 @@ fn litmus_rec(
 mod tests {
     use super::*;
     use crate::check::compile;
+    use cf_lsl::FenceKind;
     use cf_memmodel::{litmus, Mode};
 
     #[test]
@@ -720,6 +788,7 @@ mod tests {
                         addr: vec![0],
                         value: Value::Int(1),
                         group: None,
+                        ord: MemOrder::Plain,
                     },
                     TraceItem::Fence(FenceKind::StoreStore),
                     TraceItem::Access {
@@ -727,6 +796,7 @@ mod tests {
                         addr: vec![1],
                         value: Value::Int(1),
                         group: None,
+                        ord: MemOrder::Plain,
                     },
                 ],
                 vec![
@@ -735,6 +805,7 @@ mod tests {
                         addr: vec![1],
                         value: Value::Int(1),
                         group: None,
+                        ord: MemOrder::Plain,
                     },
                     TraceItem::Fence(FenceKind::LoadLoad),
                     TraceItem::Access {
@@ -742,6 +813,7 @@ mod tests {
                         addr: vec![0],
                         value: Value::Int(0),
                         group: None,
+                        ord: MemOrder::Plain,
                     },
                 ],
             ],
@@ -778,6 +850,7 @@ mod tests {
                         addr: vec![0],
                         value: Value::Int(1),
                         group: None,
+                        ord: MemOrder::Plain,
                     },
                     TraceItem::Fence(FenceKind::StoreStore),
                     TraceItem::Access {
@@ -785,6 +858,7 @@ mod tests {
                         addr: vec![1],
                         value: Value::Int(1),
                         group: None,
+                        ord: MemOrder::Plain,
                     },
                 ],
                 vec![
@@ -793,6 +867,7 @@ mod tests {
                         addr: vec![1],
                         value: Value::Int(1),
                         group: None,
+                        ord: MemOrder::Plain,
                     },
                     TraceItem::Fence(FenceKind::LoadLoad),
                     TraceItem::Access {
@@ -800,6 +875,7 @@ mod tests {
                         addr: vec![0],
                         value: Value::Int(data_read),
                         group: None,
+                        ord: MemOrder::Plain,
                     },
                 ],
             ],

@@ -13,6 +13,9 @@
 //! atom    := "(" expr ")" | "[" IDENT "]" | IDENT
 //! ```
 //!
+//! Set names inside brackets: `R`, `W`, `M`, and the C11 ordering sets
+//! `RLX`, `ACQ`, `REL`, `SC`, `NA`.
+//!
 //! `//` starts a line comment. Identifiers are resolved (against `let`
 //! definitions and the built-in relations) by [`crate::check`], not here.
 
@@ -277,15 +280,23 @@ impl Parser {
                 Ok(e)
             }
             Tok::LBracket => {
-                let name = self.ident("a set name (`R`, `W` or `M`)")?;
+                let name = self.ident("a set name (`R`, `W`, `M`, or an ordering set)")?;
                 let set = match name.as_str() {
                     "R" => SetFilter::Loads,
                     "W" => SetFilter::Stores,
                     "M" => SetFilter::All,
+                    "RLX" => SetFilter::Relaxed,
+                    "ACQ" => SetFilter::Acquire,
+                    "REL" => SetFilter::Release,
+                    "SC" => SetFilter::SeqCst,
+                    "NA" => SetFilter::NonAtomic,
                     other => {
                         return Err(SpecError::new(
                             line,
-                            format!("unknown event set `{other}` (expected R, W or M)"),
+                            format!(
+                                "unknown event set `{other}` \
+                                 (expected R, W, M, RLX, ACQ, REL, SC or NA)"
+                            ),
                         ))
                     }
                 };

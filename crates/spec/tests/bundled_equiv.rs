@@ -42,7 +42,12 @@ fn every_file_in_specs_dir_is_bundled_and_compiles() {
 
 #[test]
 fn bundled_specs_match_their_enum_twins_on_the_full_catalog() {
-    for (spec, mode) in bundled::all().into_iter().zip(Mode::all()) {
+    let mut twinned = 0;
+    for spec in bundled::all() {
+        let Some(mode) = bundled::mode_twin(&spec.name) else {
+            continue; // c11/rc11 have no enum twin; covered by c11_equiv.
+        };
+        twinned += 1;
         for test in litmus::all() {
             assert_eq!(
                 interp::litmus_outcomes(&test, &spec),
@@ -53,11 +58,15 @@ fn bundled_specs_match_their_enum_twins_on_the_full_catalog() {
             );
         }
     }
+    assert_eq!(twinned, Mode::all().len(), "every mode twin was exercised");
 }
 
 #[test]
 fn bundled_specs_reproduce_the_expected_outcome_matrix() {
-    for (spec, mode) in bundled::all().into_iter().zip(Mode::all()) {
+    for spec in bundled::all() {
+        let Some(mode) = bundled::mode_twin(&spec.name) else {
+            continue; // c11/rc11 have no enum twin.
+        };
         let Some(col) = Mode::hardware().iter().position(|m| *m == mode) else {
             continue; // serial has no matrix column; covered above.
         };

@@ -117,30 +117,54 @@ pub fn load_file(path: &Path) -> Result<CorpusEntry, CorpusLoadError> {
     let source =
         std::fs::read_to_string(path).map_err(|e| fail(format!("cannot read file: {e}")))?;
 
-    let mut name = None;
-    let mut init = None;
-    let mut ops: Vec<OpSig> = Vec::new();
-    let mut tests: Vec<TestSpec> = Vec::new();
-    let mut expects: Vec<Expect> = Vec::new();
+    // Every directive remembers its 1-based line so validation errors
+    // (including cross-directive ones like duplicates) point at the
+    // offending header line, not just the file.
+    let mut name: Option<(String, usize)> = None;
+    let mut init: Option<(String, usize)> = None;
+    let mut ops: Vec<(OpSig, usize)> = Vec::new();
+    let mut tests: Vec<(TestSpec, usize)> = Vec::new();
+    let mut expects: Vec<(Expect, usize)> = Vec::new();
     for (lineno, line) in source.lines().enumerate() {
         let Some(directive) = line.trim().strip_prefix("// cf:") else {
             continue;
         };
         let directive = directive.trim();
-        let at = |m: String| fail(format!("line {}: {m}", lineno + 1));
+        let line_no = lineno + 1;
+        let at = |m: String| fail(format!("line {line_no}: {m}"));
         let (kind, rest) = directive.split_once(' ').unwrap_or((directive, ""));
         let rest = rest.trim();
         match kind {
-            "name" => name = Some(rest.to_string()),
-            "init" => init = Some(rest.to_string()),
-            "op" => ops.push(parse_op(rest).map_err(at)?),
+            "name" => {
+                if rest.is_empty() {
+                    return Err(at("`name` directive needs a value".into()));
+                }
+                if let Some((_, prev)) = &name {
+                    return Err(at(format!(
+                        "duplicate `name` directive (first on line {prev})"
+                    )));
+                }
+                name = Some((rest.to_string(), line_no));
+            }
+            "init" => {
+                if rest.is_empty() {
+                    return Err(at("`init` directive needs a procedure name".into()));
+                }
+                if let Some((_, prev)) = &init {
+                    return Err(at(format!(
+                        "duplicate `init` directive (first on line {prev})"
+                    )));
+                }
+                init = Some((rest.to_string(), line_no));
+            }
+            "op" => ops.push((parse_op(rest).map_err(at)?, line_no)),
             "test" => {
                 let (tname, text) = rest
                     .split_once('=')
                     .ok_or_else(|| at(format!("test `{rest}`: expected NAME = TEXT")))?;
                 let test =
                     TestSpec::parse(tname.trim(), text.trim()).map_err(|e| at(e.to_string()))?;
-                tests.push(test);
+                tests.push((test, line_no));
             }
             "expect" => {
                 let (target, verdict) = rest.split_once('=').ok_or_else(|| {
@@ -151,56 +175,89 @@ pub fn load_file(path: &Path) -> Result<CorpusEntry, CorpusLoadError> {
                 let (test, model) = target
                     .split_once('@')
                     .ok_or_else(|| at(format!("expect `{rest}`: missing `@ MODEL`")))?;
+                let (test, model) = (test.trim(), model.trim());
+                if test.is_empty() || model.is_empty() {
+                    return Err(at(format!(
+                        "expect `{rest}`: expected TEST @ MODEL = pass|fail"
+                    )));
+                }
                 let pass = match verdict.trim() {
                     "pass" => true,
                     "fail" => false,
+                    "" => return Err(at(format!("expect `{rest}`: missing verdict (pass|fail)"))),
                     other => return Err(at(format!("expect `{rest}`: verdict `{other}`"))),
                 };
-                expects.push(Expect {
-                    test: test.trim().to_string(),
-                    model: model.trim().to_string(),
-                    pass,
-                });
+                expects.push((
+                    Expect {
+                        test: test.to_string(),
+                        model: model.to_string(),
+                        pass,
+                    },
+                    line_no,
+                ));
             }
             other => return Err(at(format!("unknown directive `{other}`"))),
         }
     }
 
-    let name = name.ok_or_else(|| fail("missing `// cf: name` directive".into()))?;
+    let (name, _) = name.ok_or_else(|| fail("missing `// cf: name` directive".into()))?;
+    // Duplicate keys/names would be silently shadowed by first-match
+    // lookups downstream — the author's later declaration would never
+    // be checked. Checked before the emptiness requirements so the
+    // line-specific error wins.
+    for (i, (op, line)) in ops.iter().enumerate() {
+        if let Some((_, prev)) = ops[..i].iter().find(|(o, _)| o.key == op.key) {
+            return Err(fail(format!(
+                "line {line}: duplicate op key `{}` (first on line {prev})",
+                op.key
+            )));
+        }
+    }
+    for (i, (t, line)) in tests.iter().enumerate() {
+        if let Some((_, prev)) = tests[..i].iter().find(|(o, _)| o.name == t.name) {
+            return Err(fail(format!(
+                "line {line}: duplicate test name `{}` (first on line {prev})",
+                t.name
+            )));
+        }
+    }
+    for (i, (e, line)) in expects.iter().enumerate() {
+        if !tests.iter().any(|(t, _)| t.name == e.test) {
+            return Err(fail(format!(
+                "line {line}: expect names unknown test `{}`",
+                e.test
+            )));
+        }
+        if let Some((_, prev)) = expects[..i]
+            .iter()
+            .find(|(o, _)| o.test == e.test && o.model == e.model)
+        {
+            return Err(fail(format!(
+                "line {line}: duplicate expect for `{} @ {}` (first on line {prev})",
+                e.test, e.model
+            )));
+        }
+    }
+    for (t, line) in &tests {
+        for op in t.all_ops() {
+            if !ops.iter().any(|(o, _)| o.key == op.key) {
+                return Err(fail(format!(
+                    "line {line}: test `{}` uses undeclared op key `{}`",
+                    t.name, op.key
+                )));
+            }
+        }
+    }
     if ops.is_empty() {
         return Err(fail("no `// cf: op` directives".into()));
     }
     if tests.is_empty() {
         return Err(fail("no `// cf: test` directives".into()));
     }
-    // Duplicate keys/names would be silently shadowed by first-match
-    // lookups downstream — the author's later declaration would never
-    // be checked.
-    for (i, op) in ops.iter().enumerate() {
-        if ops[..i].iter().any(|o| o.key == op.key) {
-            return Err(fail(format!("duplicate op key `{}`", op.key)));
-        }
-    }
-    for (i, t) in tests.iter().enumerate() {
-        if tests[..i].iter().any(|o| o.name == t.name) {
-            return Err(fail(format!("duplicate test name `{}`", t.name)));
-        }
-    }
-    for e in &expects {
-        if !tests.iter().any(|t| t.name == e.test) {
-            return Err(fail(format!("expect names unknown test `{}`", e.test)));
-        }
-    }
-    for t in &tests {
-        for op in t.all_ops() {
-            if !ops.iter().any(|o| o.key == op.key) {
-                return Err(fail(format!(
-                    "test `{}` uses undeclared op key `{}`",
-                    t.name, op.key
-                )));
-            }
-        }
-    }
+    let ops: Vec<OpSig> = ops.into_iter().map(|(o, _)| o).collect();
+    let tests: Vec<TestSpec> = tests.into_iter().map(|(t, _)| t).collect();
+    let expects: Vec<Expect> = expects.into_iter().map(|(e, _)| e).collect();
+    let init = init.map(|(i, _)| i);
 
     let program = cf_minic::compile(&source).map_err(|e| fail(format!("compile error: {e}")))?;
     for op in &ops {
@@ -326,6 +383,124 @@ int get() { return data; }
         for (name, body) in cases {
             let path = write_temp(name, body);
             assert!(load_file(&path).is_err(), "{name} should fail to load");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    /// Malformed or unknown `// cf:` headers must produce a clean error
+    /// that names the offending file *and* line — never a panic or a
+    /// silent skip.
+    #[test]
+    fn malformed_directives_name_file_and_line() {
+        // (file, body, expected line tag, expected message fragment)
+        let cases: &[(&str, &str, &str, &str)] = &[
+            (
+                "unknowndir.c",
+                "// cf: name x\n// cf: verdicts T = pass\n",
+                "line 2",
+                "unknown directive `verdicts`",
+            ),
+            (
+                "badkey.c",
+                "// cf: name x\n// cf: op pq = put\n",
+                "line 2",
+                "KEY must be one character",
+            ),
+            (
+                "badflag.c",
+                "// cf: name x\n// cf: op p = put:wat\n",
+                "line 2",
+                "unknown flag `wat`",
+            ),
+            (
+                "noverdict.c",
+                "// cf: name x\n// cf: op p = put\n// cf: test T = ( p )\n\
+                 // cf: expect T @ sc =\n",
+                "line 4",
+                "missing verdict",
+            ),
+            (
+                "badverdict.c",
+                "// cf: name x\n// cf: op p = put\n// cf: test T = ( p )\n\
+                 // cf: expect T @ sc = maybe\n",
+                "line 4",
+                "verdict `maybe`",
+            ),
+            (
+                "nomodel.c",
+                "// cf: name x\n// cf: op p = put\n// cf: test T = ( p )\n\
+                 // cf: expect T = pass\n",
+                "line 4",
+                "missing `@ MODEL`",
+            ),
+            (
+                "dupname.c",
+                "// cf: name x\n// cf: name y\n",
+                "line 2",
+                "duplicate `name` directive (first on line 1)",
+            ),
+            (
+                "dupinit.c",
+                "// cf: name x\n// cf: init a\n// cf: init b\n",
+                "line 3",
+                "duplicate `init` directive (first on line 2)",
+            ),
+            (
+                "emptyname.c",
+                "// cf: name\n",
+                "line 1",
+                "`name` directive needs a value",
+            ),
+            (
+                "dupop2.c",
+                "// cf: name x\n// cf: op p = put\n// cf: op p = get\n",
+                "line 3",
+                "duplicate op key `p` (first on line 2)",
+            ),
+            (
+                "duptest2.c",
+                "// cf: name x\n// cf: op p = put\n// cf: test T = ( p )\n\
+                 // cf: test T = ( p | p )\n",
+                "line 4",
+                "duplicate test name `T` (first on line 3)",
+            ),
+            (
+                "dupexpect.c",
+                "// cf: name x\n// cf: op p = put\n// cf: test T = ( p )\n\
+                 // cf: expect T @ sc = pass\n// cf: expect T @ sc = fail\n",
+                "line 5",
+                "duplicate expect for `T @ sc` (first on line 4)",
+            ),
+            (
+                "unknowntest.c",
+                "// cf: name x\n// cf: op p = put\n// cf: test T = ( p )\n\
+                 // cf: expect U @ sc = pass\n",
+                "line 4",
+                "expect names unknown test `U`",
+            ),
+            (
+                "undeclkey.c",
+                "// cf: name x\n// cf: op p = put\n// cf: test T = ( q )\n",
+                "line 3",
+                "undeclared op key `q`",
+            ),
+        ];
+        for (file, body, line_tag, fragment) in cases {
+            let path = write_temp(file, body);
+            let err = load_file(&path).expect_err(file);
+            let msg = err.to_string();
+            assert!(
+                msg.contains(&path.display().to_string()),
+                "{file}: error must name the file, got: {msg}"
+            );
+            assert!(
+                msg.contains(line_tag),
+                "{file}: error must name {line_tag}, got: {msg}"
+            );
+            assert!(
+                msg.contains(fragment),
+                "{file}: error must explain (`{fragment}`), got: {msg}"
+            );
             std::fs::remove_file(&path).ok();
         }
     }

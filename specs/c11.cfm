@@ -1,0 +1,51 @@
+// A C11-style per-access-ordering model over the engine's axiomatic
+// vocabulary. Accesses carry ordering annotations (relaxed, acquire,
+// release, acq_rel, seq_cst; unannotated accesses are non-atomic) and
+// only annotated edges constrain the memory order:
+//
+//   - coherence: program order between same-location accesses,
+//   - acquire loads keep all later accesses after them,
+//   - release stores keep all earlier accesses before them,
+//   - seq_cst accesses are totally ordered among themselves,
+//   - C11 fences act as acquire/release/sc barriers positionally.
+//
+// Synchronizes-with is derived: a release store (or a store after a
+// release fence), extended through its release sequence (same-thread
+// same-location later stores and RMW chains), read by an acquire load
+// (or a relaxed load before an acquire fence). The engine's postulated
+// total memory order must respect every sw edge.
+//
+// Caveat: the engine's single total memory order makes this model
+// multi-copy-atomic (stores become visible to all other threads at one
+// point), so it is *stronger* than the full C11 standard for shapes
+// like IRIW-acq; see docs/guide.md.
+model c11
+
+option forwarding
+
+// Preserved program order, edge family by edge family.
+let ppo_coh = po & loc
+let ppo_acq = [ACQ] ; [R] ; po
+let ppo_rel = po ; [REL] ; [W]
+let ppo_sc = [SC] ; po ; [SC]
+let ppo_facq = [R] ; fence_acq
+let ppo_frel = fence_rel ; [W]
+let ppo_fsc = fence_sc
+
+order ppo_coh | ppo_acq | ppo_rel | ppo_sc | ppo_facq | ppo_frel | ppo_fsc as preserved_program_order
+
+// Release sequences: a release-annotated store, or any store after a
+// release fence, extended by later same-thread same-location stores
+// and by read-modify-write chains.
+let relw = [REL] ; [W]
+let src0 = relw | (fence_rel ; [W])
+let rs = src0 | (src0 ; (po & loc) ; [W])
+let rsrmw = rs | (rs ; (rf ; rmw)+)
+
+// Synchronizes-with: reading from a release sequence with acquire
+// semantics (an acquire load, or a relaxed load before an acquire
+// fence).
+let swr = rsrmw ; rf
+let sw = (swr ; [ACQ] ; [R]) | (swr ; [RLX] ; [R] ; fence_acq)
+
+order sw as synchronizes_with

@@ -1,0 +1,35 @@
+// RC11-style strengthening of `c11.cfm`: identical preserved program
+// order and synchronizes-with, plus the no-thin-air restriction of
+// Lahav et al. (PLDI'17) — `po ∪ rf` must be acyclic, ruling out the
+// load-buffering outcomes that plain C11 admits (and with them all
+// out-of-thin-air executions). Keep the two files in sync except for
+// the extra axiom.
+model rc11
+
+option forwarding
+
+let ppo_coh = po & loc
+let ppo_acq = [ACQ] ; [R] ; po
+let ppo_rel = po ; [REL] ; [W]
+let ppo_sc = [SC] ; po ; [SC]
+let ppo_facq = [R] ; fence_acq
+let ppo_frel = fence_rel ; [W]
+let ppo_fsc = fence_sc
+
+order ppo_coh | ppo_acq | ppo_rel | ppo_sc | ppo_facq | ppo_frel | ppo_fsc as preserved_program_order
+
+let relw = [REL] ; [W]
+let src0 = relw | (fence_rel ; [W])
+let rs = src0 | (src0 ; (po & loc) ; [W])
+let rsrmw = rs | (rs ; (rf ; rmw)+)
+
+let swr = rsrmw ; rf
+let sw = (swr ; [ACQ] ; [R]) | (swr ; [RLX] ; [R] ; fence_acq)
+
+order sw as synchronizes_with
+
+// No thin-air values: program order together with reads-from cannot
+// form a cycle. (`irreflexive` of the transitive closure is true
+// acyclicity — unlike `acyclic`, it does not fold the relation into
+// the postulated memory order.)
+irreflexive (po | rf)+ as no_thin_air

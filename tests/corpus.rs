@@ -12,50 +12,16 @@ fn corpus() -> Vec<CorpusEntry> {
     load_dir(&dir).expect("corpus loads")
 }
 
-#[test]
-fn corpus_holds_the_four_scenarios() {
-    let names: Vec<String> = corpus().into_iter().map(|e| e.name).collect();
-    assert_eq!(names, ["dekker", "mpmc_queue", "seqlock", "spsc_ring"]);
+fn c11_corpus() -> Vec<CorpusEntry> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus/c11");
+    load_dir(&dir).expect("c11 corpus loads")
 }
 
-#[test]
-fn every_entry_declares_checked_expectations() {
-    for entry in corpus() {
-        assert!(
-            entry.expects.len() >= 4,
-            "{}: a corpus entry must pin at least four verdicts",
-            entry.name
-        );
-        // Every entry tells both stories: fenced ops passing across the
-        // lattice, and raw twins pinning at least one failure.
-        for model in ["sc", "tso", "pso", "relaxed"] {
-            assert!(
-                entry.expects.iter().any(|e| e.model == model),
-                "{}: no expectation on {model}",
-                entry.name
-            );
-        }
-        assert!(
-            entry.expects.iter().any(|e| e.pass),
-            "{}: no passing expectation",
-            entry.name
-        );
-        assert!(
-            entry.expects.iter().any(|e| !e.pass),
-            "{}: no failing expectation",
-            entry.name
-        );
-    }
-}
-
-#[test]
-fn declared_verdicts_are_reproduced() {
-    let config = CorpusConfig {
-        jobs: 2,
-        ..CorpusConfig::default()
-    };
-    for entry in corpus() {
-        let report = run_corpus(&entry.harness, &entry.tests, &config);
+/// Runs every entry under `config` and asserts that mining succeeds, no
+/// model column errors out, and every declared verdict is reproduced.
+fn assert_verdicts(entries: &[CorpusEntry], config: &CorpusConfig) {
+    for entry in entries {
+        let report = run_corpus(&entry.harness, &entry.tests, config);
         for row in &report.rows {
             assert!(
                 row.mine_error.is_none(),
@@ -101,4 +67,108 @@ fn declared_verdicts_are_reproduced() {
             );
         }
     }
+}
+
+#[test]
+fn corpus_holds_the_four_scenarios() {
+    let names: Vec<String> = corpus().into_iter().map(|e| e.name).collect();
+    assert_eq!(names, ["dekker", "mpmc_queue", "seqlock", "spsc_ring"]);
+}
+
+#[test]
+fn every_entry_declares_checked_expectations() {
+    for entry in corpus() {
+        assert!(
+            entry.expects.len() >= 4,
+            "{}: a corpus entry must pin at least four verdicts",
+            entry.name
+        );
+        // Every entry tells both stories: fenced ops passing across the
+        // lattice, and raw twins pinning at least one failure.
+        for model in ["sc", "tso", "pso", "relaxed"] {
+            assert!(
+                entry.expects.iter().any(|e| e.model == model),
+                "{}: no expectation on {model}",
+                entry.name
+            );
+        }
+        assert!(
+            entry.expects.iter().any(|e| e.pass),
+            "{}: no passing expectation",
+            entry.name
+        );
+        assert!(
+            entry.expects.iter().any(|e| !e.pass),
+            "{}: no failing expectation",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn declared_verdicts_are_reproduced() {
+    let config = CorpusConfig {
+        jobs: 2,
+        ..CorpusConfig::default()
+    };
+    assert_verdicts(&corpus(), &config);
+}
+
+/// The ported C11 litmus family in `corpus/c11/` — checked against the
+/// hardware lattice *plus* the `c11.cfm` / `rc11.cfm` spec columns.
+fn c11_config() -> CorpusConfig {
+    let specs = vec![
+        cf_spec::compile(cf_spec::bundled::C11).expect("c11.cfm compiles"),
+        cf_spec::compile(cf_spec::bundled::RC11).expect("rc11.cfm compiles"),
+    ];
+    CorpusConfig {
+        specs,
+        jobs: 2,
+        ..CorpusConfig::default()
+    }
+}
+
+#[test]
+fn c11_family_is_ported_in_force() {
+    let entries = c11_corpus();
+    let total_tests: usize = entries.iter().map(|e| e.tests.len()).sum();
+    assert!(
+        total_tests >= 25,
+        "corpus/c11 must port at least 25 litmus tests, found {total_tests}"
+    );
+    // Every litmus test pins its verdict on both ordering specs: the
+    // family exists to exercise c11.cfm and rc11.cfm, so an entry that
+    // only speaks about hardware models has rotted.
+    for entry in &entries {
+        for test in &entry.tests {
+            for spec in ["c11", "rc11"] {
+                assert!(
+                    entry
+                        .expects
+                        .iter()
+                        .any(|e| e.test == test.name && e.model == spec),
+                    "{}/{}: no expectation on {spec}",
+                    entry.name,
+                    test.name
+                );
+            }
+        }
+        // And the family tells both stories per entry: something the
+        // orderings make safe, and something they leave broken.
+        assert!(
+            entry.expects.iter().any(|e| e.pass),
+            "{}: no passing expectation",
+            entry.name
+        );
+        assert!(
+            entry.expects.iter().any(|e| !e.pass),
+            "{}: no failing expectation",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn c11_declared_verdicts_are_reproduced() {
+    assert_verdicts(&c11_corpus(), &c11_config());
 }

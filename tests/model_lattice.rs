@@ -56,11 +56,13 @@ fn to_litmus(threads: &[Vec<Instr>]) -> Litmus {
                 Instr::Store { addr, value } => ops.push(LitmusOp::Store {
                     addr: u32::from(*addr),
                     value: *value,
+                    ord: cf_lsl::MemOrder::Plain,
                 }),
                 Instr::Load { addr } => {
                     ops.push(LitmusOp::Load {
                         addr: u32::from(*addr),
                         reg,
+                        ord: cf_lsl::MemOrder::Plain,
                     });
                     reg += 1;
                 }
