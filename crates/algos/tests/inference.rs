@@ -18,6 +18,7 @@ fn msn_on_pso_needs_exactly_one_store_store_fence() {
     let config = InferConfig {
         kinds: vec![FenceKind::StoreStore],
         procs: Some(vec!["enqueue".into(), "dequeue".into()]),
+        ..InferConfig::default()
     };
     let r = infer(&h, &t0, Mode::Pso, &config).expect("inference succeeds");
     assert_eq!(r.kept.len(), 1, "kept: {:?}", r.kept);
@@ -50,6 +51,7 @@ fn msn_on_tso_needs_no_fences() {
     let config = InferConfig {
         kinds: vec![FenceKind::StoreStore, FenceKind::LoadLoad],
         procs: Some(vec!["enqueue".into(), "dequeue".into()]),
+        ..InferConfig::default()
     };
     let r = infer(&h, &t0, Mode::Tso, &config).expect("inference succeeds");
     assert!(r.kept.is_empty(), "kept: {:?}", r.kept);

@@ -164,6 +164,7 @@ fn treiber_extension() {
     let config = InferConfig {
         kinds: vec![cf_lsl::FenceKind::LoadLoad, cf_lsl::FenceKind::StoreStore],
         procs: Some(vec!["push".into(), "pop".into()]),
+        ..InferConfig::default()
     };
     let t0 = Instant::now();
     let r = infer(&unfenced, &[u0, ui2], Mode::Relaxed, &config).expect("inference");

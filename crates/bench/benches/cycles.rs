@@ -1,0 +1,254 @@
+//! Static critical-cycle analysis benchmark: what the delay-set
+//! analysis buys each of its two consumers.
+//!
+//! * **Candidate pruning** — fence inference with statically-irrelevant
+//!   candidate sites dropped before encoding, against the full
+//!   saturated candidate space. Placements must match exactly; the win
+//!   is the smaller activation-literal space and the wall-clock delta.
+//! * **Sweep triage** — synthesized corpus sweeps with static triage
+//!   (engine discharge + robust-column copying) against the all-solver
+//!   ladder. Tables must match byte for byte; the win is solver cells
+//!   answered for free.
+//!
+//! Run with `cargo bench -p cf-bench --bench cycles`. Writes
+//! `BENCH_cycles.json` at the workspace root (override the path with
+//! `CHECKFENCE_BENCH_OUT`). Plain `main` (criterion is not vendored in
+//! this offline build).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use cf_algos::{lamport, tests, treiber, Variant};
+use cf_memmodel::Mode;
+use cf_synth::corpus::load_dir;
+use cf_synth::{run_corpus, synthesize, CorpusConfig, CorpusReport, SynthBounds};
+use checkfence::infer::{infer, InferConfig};
+use checkfence::{Harness, TestSpec};
+
+struct InferCase {
+    name: String,
+    harness: Harness,
+    tests: Vec<TestSpec>,
+    mode: Mode,
+    config: InferConfig,
+}
+
+/// The candidate-pruning workload mixes both aliasing regimes: the
+/// global-array scenarios (lamport, dekker, seqlock) have precise
+/// abstract locations and prune hard; the heap-based treiber stack
+/// aliases through one abstract heap blob and prunes little — recorded
+/// anyway so the artifact shows the limit, not just the wins.
+fn infer_cases() -> Vec<InferCase> {
+    let scenario = |name: &str| {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+        let entries = load_dir(&dir).expect("corpus loads");
+        let e = entries
+            .into_iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("corpus entry {name}"));
+        (e.harness, vec![e.tests[0].clone()])
+    };
+    let (dekker, dekker_tests) = scenario("dekker");
+    let (seqlock, seqlock_tests) = scenario("seqlock");
+    vec![
+        InferCase {
+            name: "lamport-L0-relaxed".into(),
+            harness: lamport::harness(Variant::Unfenced),
+            tests: vec![tests::by_name("L0").expect("catalog")],
+            mode: Mode::Relaxed,
+            config: InferConfig::default(),
+        },
+        InferCase {
+            name: "treiber-U0-pso".into(),
+            harness: treiber::harness(Variant::Unfenced),
+            tests: vec![tests::by_name("U0").expect("catalog")],
+            mode: Mode::Pso,
+            config: InferConfig {
+                procs: Some(vec!["push".into(), "pop".into()]),
+                ..InferConfig::default()
+            },
+        },
+        InferCase {
+            name: format!("dekker-{}-relaxed", dekker_tests[0].name),
+            harness: dekker,
+            tests: dekker_tests,
+            mode: Mode::Relaxed,
+            config: InferConfig::default(),
+        },
+        InferCase {
+            name: format!("seqlock-{}-relaxed", seqlock_tests[0].name),
+            harness: seqlock,
+            tests: seqlock_tests,
+            mode: Mode::Relaxed,
+            config: InferConfig::default(),
+        },
+    ]
+}
+
+struct CorpusCase {
+    name: String,
+    harness: Harness,
+    tests: Vec<TestSpec>,
+}
+
+/// Two triage sweeps over synthesized lamport corpora. Both builds hold
+/// tests that fail on *every* model while staying robust (two-producer
+/// shapes break the SPSC contract even on SC), which exercises the FAIL
+/// transfer — the verdict copy the model lattice can never make.
+fn corpus_cases() -> Vec<CorpusCase> {
+    [Variant::Fenced, Variant::Unfenced]
+        .into_iter()
+        .map(|variant| {
+            let harness = lamport::harness(variant);
+            let synthesized = synthesize(&harness.ops, &SynthBounds::new(2, 1));
+            CorpusCase {
+                name: format!("{}-2x1", harness.name),
+                harness,
+                tests: synthesized.tests,
+            }
+        })
+        .collect()
+}
+
+fn corpus_side(report: &CorpusReport, wall_ms: f64) -> String {
+    format!(
+        "{{\"wall_ms\": {:.1}, \"encodes\": {}, \"solved\": {}, \"inferred\": {}, \
+         \"triaged\": {}}}",
+        wall_ms, report.encodes, report.queries, report.inferred, report.triaged,
+    )
+}
+
+fn main() {
+    let mut infer_rows = Vec::new();
+    let mut big_reductions = 0usize;
+    for case in infer_cases() {
+        let t0 = Instant::now();
+        let pruned = infer(&case.harness, &case.tests, case.mode, &case.config)
+            .unwrap_or_else(|e| panic!("{} (pruned) fails: {e}", case.name));
+        let pruned_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let full = infer(
+            &case.harness,
+            &case.tests,
+            case.mode,
+            &InferConfig {
+                prune: false,
+                ..case.config.clone()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{} (full) fails: {e}", case.name));
+        let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // The contract the pruning consumer rests on: identical
+        // placements, strictly fewer (or equal) encoded candidates.
+        assert_eq!(
+            pruned.kept, full.kept,
+            "{}: pruning changed the inferred placement",
+            case.name
+        );
+        assert_eq!(pruned.candidates, full.candidates);
+        if full.candidates_encoded >= 2 * pruned.candidates_encoded.max(1) {
+            big_reductions += 1;
+        }
+        let reduction = full.candidates_encoded as f64 / pruned.candidates_encoded.max(1) as f64;
+        let speedup = full_ms / pruned_ms.max(0.001);
+        println!(
+            "{:<16} candidates {:>3} -> encoded {:>3} ({reduction:.1}x fewer literals)  \
+             kept {}  pruned {:>7.1} ms  full {:>7.1} ms  speedup {speedup:.2}x",
+            case.name,
+            full.candidates,
+            pruned.candidates_encoded,
+            pruned.kept.len(),
+            pruned_ms,
+            full_ms,
+        );
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "    {{\"name\": \"{}\", \"mode\": \"{}\", \"candidates\": {}, \
+             \"encoded\": {}, \"literal_reduction\": {:.2}, \"kept\": {}, \
+             \"pruned\": {{\"wall_ms\": {:.1}, \"encodes\": {}}}, \
+             \"full\": {{\"wall_ms\": {:.1}, \"encodes\": {}}}, \"speedup\": {:.3}}}",
+            case.name,
+            case.mode.name(),
+            full.candidates,
+            pruned.candidates_encoded,
+            reduction,
+            pruned.kept.len(),
+            pruned_ms,
+            pruned.encodes,
+            full_ms,
+            full.encodes,
+            speedup,
+        );
+        infer_rows.push(row);
+    }
+    assert!(
+        big_reductions >= 2,
+        "expected >= 2 harnesses with a >= 2x encoded-candidate reduction, got {big_reductions}"
+    );
+
+    let mut corpus_rows = Vec::new();
+    for case in corpus_cases() {
+        let run_with = |static_triage: bool| {
+            let config = CorpusConfig {
+                static_triage,
+                ..CorpusConfig::default()
+            };
+            let t0 = Instant::now();
+            let report = run_corpus(&case.harness, &case.tests, &config);
+            (report, t0.elapsed().as_secs_f64() * 1e3)
+        };
+        let (triage, triage_ms) = run_with(true);
+        let (solver, solver_ms) = run_with(false);
+        assert_eq!(
+            triage.table(),
+            solver.table(),
+            "{}: triage changed a verdict cell",
+            case.name
+        );
+        assert!(
+            triage.triaged > 0,
+            "{}: the triage sweep discharged nothing",
+            case.name
+        );
+        let cells = triage.rows.len() * triage.model_names.len();
+        let speedup = solver_ms / triage_ms.max(0.001);
+        println!(
+            "{:<16} cells {:>3}  triaged {:>3} (solver cells {:>3} -> {:>3})  \
+             triage {:>7.1} ms  solver {:>7.1} ms  speedup {speedup:.2}x",
+            case.name, cells, triage.triaged, solver.queries, triage.queries, triage_ms, solver_ms,
+        );
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "    {{\"name\": \"{}\", \"cells\": {}, \"triage\": {}, \"solver\": {}, \
+             \"speedup\": {:.3}}}",
+            case.name,
+            cells,
+            corpus_side(&triage, triage_ms),
+            corpus_side(&solver, solver_ms),
+            speedup,
+        );
+        corpus_rows.push(row);
+    }
+
+    let json = format!(
+        "{{\n  \"schema_version\": {},\n  \"benchmark\": \"critical_cycle_analysis\",\n  \
+         \"infer_cases\": [\n{}\n  ],\n  \"corpus_cases\": [\n{}\n  ]\n}}\n",
+        cf_trace::SCHEMA_VERSION,
+        infer_rows.join(",\n"),
+        corpus_rows.join(",\n")
+    );
+    let out = std::env::var("CHECKFENCE_BENCH_OUT").map_or_else(
+        |_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_cycles.json")
+        },
+        PathBuf::from,
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+    println!("wrote {}", out.display());
+}

@@ -1,0 +1,35 @@
+//! Bridge from the checker's [`Harness`]/[`TestSpec`] surface to the
+//! static critical-cycle analysis of [`cf_cycles`].
+//!
+//! The analysis itself is execution-free and lives in its own crate;
+//! this module only maps a bounded test's thread structure (operation
+//! keys → procedure ids) into the form [`cf_cycles::analyze`] expects.
+//! Initialization operations are excluded: they happen-before every
+//! thread and cannot sit on a critical cycle.
+
+use cf_cycles::CycleAnalysis;
+use cf_lsl::ProcId;
+
+use crate::{Harness, TestSpec};
+
+/// Runs the static critical-cycle analysis for one bounded test of a
+/// harness.
+///
+/// Unknown operation keys are skipped (the checker rejects them long
+/// before any consumer of this analysis runs), which can only shrink
+/// the event graph of a test that would not check anyway.
+pub fn analyze(harness: &Harness, test: &TestSpec) -> CycleAnalysis {
+    let threads: Vec<Vec<ProcId>> = test
+        .threads
+        .iter()
+        .map(|ops| {
+            ops.iter()
+                .filter_map(|inv| {
+                    let sig = harness.op(inv.key)?;
+                    harness.program.proc_id(&sig.proc_name)
+                })
+                .collect()
+        })
+        .collect();
+    cf_cycles::analyze(&harness.program, &threads)
+}

@@ -89,6 +89,7 @@ mod term;
 mod test_spec;
 
 pub mod commit;
+pub mod cycles;
 pub mod infer;
 pub mod mutate;
 mod obs_text;

@@ -354,6 +354,10 @@ pub struct QueryStats {
     pub wall: Duration,
     /// Budget-escalation retries the engine spent on this query.
     pub retries: u32,
+    /// The query never reached the solver: the static critical-cycle
+    /// analysis discharged it ([`EngineConfig::static_triage`]). All
+    /// solver counters are zero on a discharged query.
+    pub statically_discharged: bool,
 }
 
 impl QueryStats {
@@ -366,6 +370,7 @@ impl QueryStats {
             assumed_literals: delta.assumed_literals,
             wall,
             retries,
+            statically_discharged: false,
         }
     }
 }
@@ -500,6 +505,23 @@ pub struct EngineConfig {
     /// shard (each replica encodes once — parallelism trades redundant
     /// encodings for wall-clock time).
     pub jobs: usize,
+    /// Discharge inclusion checks on built-in models without solving
+    /// when the static critical-cycle analysis ([`crate::cycles`])
+    /// proves the test has **no critical cycle at all**: every
+    /// execution under every built-in model is then
+    /// conflict-serializable, so it reproduces the observations and
+    /// error behavior of some serial execution and the check passes.
+    ///
+    /// **Opt-in**, default `false`: the argument is only sound when the
+    /// query's spec is the *complete* serial observation set of the
+    /// same (harness, test) — exactly what sweep drivers mine — not a
+    /// hand-narrowed spec a serializable execution could still violate.
+    /// A discharged verdict is always `Pass` with
+    /// [`QueryStats::statically_discharged`] set; cells the analysis
+    /// cannot prove robust fall through to the solver unchanged, and
+    /// queries with fence/toggle assumption vectors or declarative
+    /// models are never triaged.
+    pub static_triage: bool,
 }
 
 impl Default for EngineConfig {
@@ -509,6 +531,7 @@ impl Default for EngineConfig {
             specs: Vec::new(),
             check: CheckConfig::default(),
             jobs: 1,
+            static_triage: false,
         }
     }
 }
@@ -531,6 +554,7 @@ impl EngineConfig {
             specs: Vec::new(),
             check: check.clone(),
             jobs: 1,
+            static_triage: false,
         }
     }
 
@@ -545,6 +569,14 @@ impl EngineConfig {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> EngineConfig {
         self.jobs = jobs;
+        self
+    }
+
+    /// Enables static critical-cycle triage (chainable); see
+    /// [`EngineConfig::static_triage`] for the soundness contract.
+    #[must_use]
+    pub fn with_static_triage(mut self, on: bool) -> EngineConfig {
+        self.static_triage = on;
         self
     }
 }
@@ -672,6 +704,68 @@ impl<'h> Engine<'h> {
                 Ok(()) => valid.push(i),
                 Err(e) => results[i] = Some(Err(e)),
             }
+        }
+
+        // Static triage (planning phase, coordinator lane): discharge
+        // inclusion checks whose test has no critical cycle at all —
+        // conflict-serializable under every built-in model, hence PASS
+        // against its mined serial spec. Runs sequentially before any
+        // sharding, so triage decisions and their trace events carry
+        // the same deterministic coordinates at every `--jobs` level.
+        if self.config.static_triage {
+            let mut cache: Vec<(usize, usize, bool)> = Vec::new();
+            valid.retain(|&i| {
+                let q = &queries[i];
+                if !matches!(q.kind, QueryKind::CheckInclusion { .. })
+                    || !matches!(q.model, ModelSel::Builtin(_))
+                    || !q.fences.is_empty()
+                    || !q.toggles.is_empty()
+                {
+                    return true;
+                }
+                let (hkey, tkey) = (
+                    std::ptr::from_ref(q.harness) as usize,
+                    std::ptr::from_ref(q.test) as usize,
+                );
+                let robust = match cache.iter().find(|c| c.0 == hkey && c.1 == tkey) {
+                    Some(c) => c.2,
+                    None => {
+                        let analysis = crate::cycles::analyze(q.harness, q.test);
+                        let robust = analysis.robust_serializable();
+                        cf_trace::emit("cycle_analysis", || {
+                            vec![
+                                ("consumer", cf_trace::s("triage")),
+                                (
+                                    "target",
+                                    cf_trace::s(format!("{}/{}", q.harness.name, q.test.name)),
+                                ),
+                                ("cycles", cf_trace::u(analysis.cycles().len() as u64)),
+                                ("reliable", cf_trace::u(analysis.reliable() as u64)),
+                            ]
+                        });
+                        cache.push((hkey, tkey, robust));
+                        robust
+                    }
+                };
+                if !robust {
+                    return true;
+                }
+                cf_trace::emit("triage", || {
+                    vec![
+                        ("query", cf_trace::u(i as u64 + 1)),
+                        ("outcome", cf_trace::s("pass")),
+                    ]
+                });
+                results[i] = Some(Ok(Verdict {
+                    answer: Answer::Outcome(CheckOutcome::Pass),
+                    phase: PhaseStats::default(),
+                    stats: QueryStats {
+                        statically_discharged: true,
+                        ..QueryStats::default()
+                    },
+                }));
+                false
+            });
         }
 
         // Group by (harness, test) identity; the model universe is

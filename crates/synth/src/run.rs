@@ -57,6 +57,20 @@ pub struct CorpusConfig {
     /// Worker threads for mining and for the engine batch. The report
     /// is identical at any job count; only wall-clock time varies.
     pub jobs: usize,
+    /// Discharge cells statically via the critical-cycle analysis
+    /// before solving (default on; `--no-static-triage` forces the
+    /// solver path). Two sound rules apply, and the verdict grid is
+    /// byte-identical either way:
+    ///
+    /// 1. a test with **no critical cycle** passes on every built-in
+    ///    model (conflict-serializable — the engine-level discharge,
+    ///    [`checkfence::EngineConfig::static_triage`], valid here
+    ///    because corpus specs are freshly mined full serial
+    ///    observation sets);
+    /// 2. two built-in models under which the test is **robust** (no
+    ///    relaxable cycle chord) share one verdict — solve one cell,
+    ///    copy the conclusive result to the others.
+    pub static_triage: bool,
 }
 
 impl Default for CorpusConfig {
@@ -66,6 +80,7 @@ impl Default for CorpusConfig {
             specs: Vec::new(),
             check: CheckConfig::default(),
             jobs: 1,
+            static_triage: true,
         }
     }
 }
@@ -166,6 +181,11 @@ pub struct CorpusReport {
     /// SAT query (a pass on a weaker model implies a pass on every
     /// stronger one).
     pub inferred: usize,
+    /// Built-in cells filled by static critical-cycle triage: verdicts
+    /// copied between models the test is robust under, plus solver
+    /// queries the engine discharged outright
+    /// ([`checkfence::QueryStats::statically_discharged`]).
+    pub triaged: usize,
     /// End-to-end wall-clock time (mining + checking).
     pub elapsed: Duration,
 }
@@ -204,13 +224,6 @@ impl CorpusReport {
             self.rows.len(),
             self.kept(),
             self.pruned(),
-        );
-        let _ = writeln!(
-            out,
-            "  {} cells: {} solved, {} inferred from the model lattice",
-            self.rows.len() * self.model_names.len(),
-            self.queries,
-            self.inferred,
         );
         let _ = writeln!(out, "  {:<10} {:>7} {:>9}", "model", "failing", "diverged");
         let failing = self.failing_per_model();
@@ -254,11 +267,19 @@ impl CorpusReport {
 
     /// The timing/amortization line (deliberately not part of
     /// [`CorpusReport::table`], so tables compare bit for bit across
-    /// job counts).
+    /// job counts *and* across static-triage settings — the triaged
+    /// count varies with `--no-static-triage`, the verdicts do not).
     pub fn summary(&self) -> String {
         format!(
-            "sessions {}  encodes {}  queries {}  wall {:.2?}",
-            self.sessions, self.encodes, self.queries, self.elapsed
+            "{} cells: {} solved, {} inferred from the model lattice, {} triaged; \
+             sessions {}  encodes {}  wall {:.2?}",
+            self.rows.len() * self.model_names.len(),
+            self.queries,
+            self.inferred,
+            self.triaged,
+            self.sessions,
+            self.encodes,
+            self.elapsed
         )
     }
 }
@@ -351,10 +372,44 @@ pub fn run_corpus(harness: &Harness, tests: &[TestSpec], config: &CorpusConfig) 
     let mode_set: ModeSet = config.modes.iter().copied().collect();
     let engine_config = EngineConfig::from_check_config(&config.check, mode_set)
         .with_specs(config.specs.clone())
-        .with_jobs(config.jobs);
+        .with_jobs(config.jobs)
+        // Sound here: every inclusion spec below is the complete serial
+        // observation set just mined for the same (harness, test).
+        .with_static_triage(config.static_triage);
     let mut engine = Engine::new(engine_config);
     let mut grids: Vec<Vec<Option<CorpusVerdict>>> = vec![vec![None; sels.len()]; tests.len()];
     let mut inferred = 0usize;
+    let mut triaged = 0usize;
+
+    // Per-row robustness over the built-in columns (ladder triage,
+    // rule 2): models under which a test has no relaxable cycle chord
+    // all share one verdict, so one conclusive cell decides the rest.
+    // `None` = analysis unreliable or triage disabled; solve normally.
+    let robust: Vec<Option<Vec<bool>>> = tests
+        .iter()
+        .map(|test| {
+            if !config.static_triage {
+                return None;
+            }
+            let analysis = checkfence::cycles::analyze(harness, test);
+            let per_mode = analysis.reliable().then(|| {
+                config
+                    .modes
+                    .iter()
+                    .map(|&m| analysis.robust_under(m))
+                    .collect()
+            });
+            cf_trace::emit("cycle_analysis", || {
+                vec![
+                    ("consumer", cf_trace::s("corpus")),
+                    ("test", cf_trace::s(test.name.clone())),
+                    ("cycles", cf_trace::u(analysis.cycles().len() as u64)),
+                    ("reliable", cf_trace::u(analysis.reliable() as u64)),
+                ]
+            });
+            per_mode
+        })
+        .collect();
     let convert = |verdict: Result<checkfence::Verdict, CheckError>| match verdict {
         Ok(v) => {
             if v.inconclusive().is_some() {
@@ -405,6 +460,11 @@ pub fn run_corpus(harness: &Harness, tests: &[TestSpec], config: &CorpusConfig) 
             ]
         });
         for (row, verdict) in round_rows.into_iter().zip(engine.run_batch(&queries)) {
+            if let Ok(v) = &verdict {
+                if v.stats.statically_discharged {
+                    triaged += 1;
+                }
+            }
             let v = convert(verdict);
             if v == CorpusVerdict::Pass {
                 // Every stronger built-in model admits a subset of this
@@ -413,6 +473,32 @@ pub fn run_corpus(harness: &Harness, tests: &[TestSpec], config: &CorpusConfig) 
                     if grids[row][other].is_none() && mode.at_most_as_strong_as(m) && m != mode {
                         grids[row][other] = Some(CorpusVerdict::Pass);
                         inferred += 1;
+                    }
+                }
+            }
+            // Ladder triage rule 2: a conclusive verdict on a robust
+            // column transfers to every other robust column (their
+            // executions all look sequentially consistent, so every
+            // robust cell shares the SC verdict). Pass cells are
+            // usually already lattice-inferred; the new information is
+            // the FAIL transfer, which the lattice can never make.
+            if let Some(rob) = &robust[row] {
+                if rob[col] && matches!(v, CorpusVerdict::Pass | CorpusVerdict::Fail) {
+                    for other in 0..config.modes.len() {
+                        // `other != col`: this verdict's own cell is
+                        // solved (or engine-discharged), not a copy.
+                        if other != col && rob[other] && grids[row][other].is_none() {
+                            grids[row][other] = Some(v.clone());
+                            triaged += 1;
+                            cf_trace::emit("triage", || {
+                                vec![
+                                    ("test", cf_trace::s(tests[row].name.clone())),
+                                    ("model", cf_trace::s(config.modes[other].name())),
+                                    ("from", cf_trace::s(mode.name())),
+                                    ("verdict", cf_trace::s(v.cell())),
+                                ]
+                            });
+                        }
                     }
                 }
             }
@@ -477,6 +563,7 @@ pub fn run_corpus(harness: &Harness, tests: &[TestSpec], config: &CorpusConfig) 
         vec![
             ("queries", cf_trace::u(u64::from(stats.queries))),
             ("inferred", cf_trace::u(inferred as u64)),
+            ("triaged", cf_trace::u(triaged as u64)),
             ("corpus_us", cf_trace::u(t0.elapsed().as_micros() as u64)),
         ]
     });
@@ -496,6 +583,7 @@ pub fn run_corpus(harness: &Harness, tests: &[TestSpec], config: &CorpusConfig) 
         encodes: stats.encodes,
         queries: stats.queries,
         inferred,
+        triaged,
         elapsed: t0.elapsed(),
     }
 }

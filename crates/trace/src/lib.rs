@@ -68,7 +68,12 @@ use std::time::Instant;
 /// Schema version stamped into every machine-readable artifact this
 /// crate renders (JSONL traces, metrics snapshots) and shared with the
 /// CLI's `--stats-json` document and the `BENCH_*.json` writers.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version 2 added the static critical-cycle analysis vocabulary: the
+/// `cycle_analysis` and `triage` trace events, the
+/// `statically_discharged` per-query stats field, and the
+/// pruned-candidate counters in the inference artifacts.
+pub const SCHEMA_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------
 // Events
@@ -733,7 +738,7 @@ mod tests {
         assert!(stripped.contains("\"ticks\":5,\"n\":2"));
         assert!(!stripped.contains("_us"));
         assert!(!stripped.contains("session_spawn"));
-        assert!(stripped.contains("\"schema_version\":1"));
+        assert!(stripped.contains("\"schema_version\":2"));
         // Stripping is idempotent.
         assert_eq!(strip(&stripped), stripped);
     }

@@ -23,6 +23,7 @@ fn main() {
     let mut dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
     let mut jobs = 2usize;
     let mut with_ordering_specs = false;
+    let mut static_triage = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -32,10 +33,12 @@ fn main() {
                 assert!(jobs > 0, "--jobs expects a positive integer");
             }
             "--with-ordering-specs" => with_ordering_specs = true,
+            "--no-static-triage" => static_triage = false,
             other => {
                 assert!(
                     !other.starts_with('-'),
-                    "unknown flag `{other}` (expected [DIR] [--jobs N] [--with-ordering-specs])"
+                    "unknown flag `{other}` (expected [DIR] [--jobs N] \
+                     [--with-ordering-specs] [--no-static-triage])"
                 );
                 dir = PathBuf::from(other);
             }
@@ -50,6 +53,7 @@ fn main() {
     );
     let mut config = CorpusConfig {
         jobs,
+        static_triage,
         ..CorpusConfig::default()
     };
     if with_ordering_specs {

@@ -24,6 +24,15 @@
 //!   --infer                     infer a minimal fence placement instead
 //!                               of checking
 //!   --infer-procs A,B           restrict inference candidates
+//!   --no-prune                  encode every inference candidate, even
+//!                               sites the static critical-cycle
+//!                               analysis proves irrelevant (the kept
+//!                               placement is identical either way)
+//!   --analyze                   print the static critical-cycle report
+//!                               for each test instead of checking:
+//!                               every cycle with, per leg, the ordering
+//!                               axiom a fence there would defend and
+//!                               the models that relax it
 //!   --ablate                    run a Fig. 11-style mutant matrix: every
 //!                               statement deletion / fence weakening /
 //!                               adjacent-op swap checked under all four
@@ -41,6 +50,10 @@
 //!   --threads T                 synthesis bound: threads per test  [2]
 //!   --ops K                     synthesis bound: operations per
 //!                               thread  [2]
+//!   --no-static-triage          answer every corpus cell from the
+//!                               solver, even cells the critical-cycle
+//!                               analysis discharges statically (the
+//!                               verdict table is identical either way)
 //!   --jobs N                    run checks on N engine workers; shards
 //!                               tests, and with --ablate the mutant ×
 //!                               model matrix itself  [1]
@@ -54,9 +67,10 @@
 //!                               retry multiplies the budgets by 8  [2]
 //!   --stats                     print a per-query solver-statistics
 //!                               table (solves, conflicts, restarts,
-//!                               retries, assumed literals, wall time)
+//!                               retries, assumed literals, wall time,
+//!                               static discharge)
 //!   --stats-json FILE           write the --stats table as versioned
-//!                               JSON (`schema_version` 1)
+//!                               JSON (`schema_version` 2)
 //!   --cx                        print full counterexample traces
 //!   --trace FILE                write a structured JSONL event trace
 //!                               (spans for encodes, solver calls,
@@ -125,6 +139,9 @@ struct Options {
     mine_only: bool,
     run_infer: bool,
     run_ablate: bool,
+    run_analyze: bool,
+    no_prune: bool,
+    no_static_triage: bool,
     infer_procs: Option<Vec<String>>,
     synth: Option<String>,
     threads: usize,
@@ -197,6 +214,10 @@ fn usage() -> &'static str {
      \x20 --mine-only                print the observation set and exit\n\
      \x20 --infer                    infer a minimal fence placement\n\
      \x20 --infer-procs A,B          restrict inference candidates\n\
+     \x20 --no-prune                 encode even statically-irrelevant\n\
+     \x20                            inference candidates\n\
+     \x20 --analyze                  print the static critical-cycle report\n\
+     \x20                            for each test instead of checking\n\
      \x20 --ablate                   run a mutant matrix (Fig. 11 ablations)\n\
      \x20 --synth TYPE               synthesize + batch-check the bounded\n\
      \x20                            test corpus of a bundled data type\n\
@@ -204,6 +225,8 @@ fn usage() -> &'static str {
      \x20                            replaces <SOURCE.c>\n\
      \x20 --threads T                synthesis bound: threads per test [2]\n\
      \x20 --ops K                    synthesis bound: ops per thread [2]\n\
+     \x20 --no-static-triage         answer every corpus cell from the\n\
+     \x20                            solver (skip static triage)\n\
      \x20 --jobs N                   run checks on N engine workers [1]\n\
      \x20                            (shards tests, and with --ablate the\n\
      \x20                            mutant x model matrix itself)\n\
@@ -290,6 +313,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         mine_only: false,
         run_infer: false,
         run_ablate: false,
+        run_analyze: false,
+        no_prune: false,
+        no_static_triage: false,
         infer_procs: None,
         synth: None,
         threads: 2,
@@ -357,6 +383,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--mine-only" => opts.mine_only = true,
             "--infer" => opts.run_infer = true,
             "--ablate" => opts.run_ablate = true,
+            "--analyze" => opts.run_analyze = true,
+            "--no-prune" => opts.no_prune = true,
+            "--no-static-triage" => opts.no_static_triage = true,
             "--infer-procs" => {
                 opts.infer_procs = Some(
                     value("--infer-procs")?
@@ -441,6 +470,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .into(),
             );
         }
+        if opts.run_analyze {
+            return Err("--analyze reports on --op/--test harnesses; drop --synth".into());
+        }
         if !matches!(opts.method, Method::Observation) {
             return Err("--synth uses the observation method; drop --method".into());
         }
@@ -461,6 +493,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.bounds_explicit {
         return Err("--threads/--ops are synthesis bounds; they need --synth".into());
+    }
+    if opts.no_static_triage {
+        return Err("--no-static-triage governs corpus triage; it needs --synth".into());
+    }
+    if opts.no_prune && !opts.run_infer {
+        return Err("--no-prune governs inference candidates; it needs --infer".into());
     }
     opts.source = source.ok_or("missing source file")?;
     if opts.ops.is_empty() {
@@ -577,6 +615,15 @@ fn run_with(opts: &Options) -> Result<RunStatus, String> {
         tests.push(TestSpec::parse(&name, text).map_err(|e| e.to_string())?);
     }
 
+    if opts.run_analyze {
+        if opts.run_infer || opts.run_ablate || opts.mine_only {
+            return Err(
+                "--analyze cannot be combined with --infer, --ablate or --mine-only".into(),
+            );
+        }
+        return run_analyze(&harness, &tests);
+    }
+
     if opts.run_ablate {
         if opts.run_infer || opts.mine_only {
             return Err("--ablate cannot be combined with --infer or --mine-only".into());
@@ -596,14 +643,18 @@ fn run_with(opts: &Options) -> Result<RunStatus, String> {
         };
         let config = InferConfig {
             procs: opts.infer_procs.clone(),
+            prune: !opts.no_prune,
             ..InferConfig::default()
         };
         let r = infer(&harness, &tests, *mode, &config)
             .map_err(|e| format!("inference failed: {e}"))?;
         println!(
-            "inferred {} fence(s) from {} candidates ({} checks, {:.2?}):",
+            "inferred {} fence(s) from {} candidates ({} pruned statically, {} encoded; \
+             {} checks, {:.2?}):",
             r.kept.len(),
             r.candidates,
+            r.candidates_pruned,
+            r.candidates_encoded,
             r.checks,
             r.elapsed
         );
@@ -755,7 +806,7 @@ fn stats_json(rows: &[(String, QueryStats)]) -> String {
             out,
             "    {{\"query\": \"{}\", \"solves\": {}, \"conflicts\": {}, \"restarts\": {}, \
              \"propagations\": {}, \"assumed_literals\": {}, \"retries\": {}, \
-             \"wall_us\": {}}}{comma}",
+             \"wall_us\": {}, \"statically_discharged\": {}}}{comma}",
             escape(label),
             s.solves,
             s.conflicts,
@@ -764,6 +815,7 @@ fn stats_json(rows: &[(String, QueryStats)]) -> String {
             s.assumed_literals,
             s.retries,
             s.wall.as_micros(),
+            s.statically_discharged,
         );
     }
     out.push_str("  ]\n}\n");
@@ -781,22 +833,47 @@ fn stats_table(rows: &[(String, QueryStats)]) -> String {
         .unwrap_or(8);
     let _ = writeln!(
         out,
-        "per-query stats:\n  {:<w$} {:>7} {:>10} {:>9} {:>7} {:>9} {:>10}",
-        "query", "solves", "conflicts", "restarts", "retries", "assumed", "wall"
+        "per-query stats:\n  {:<w$} {:>7} {:>10} {:>9} {:>7} {:>9} {:>10} {:>10}",
+        "query", "solves", "conflicts", "restarts", "retries", "assumed", "wall", "discharged"
     );
     for (label, s) in rows {
         let _ = writeln!(
             out,
-            "  {label:<w$} {:>7} {:>10} {:>9} {:>7} {:>9} {:>8.1}ms",
+            "  {label:<w$} {:>7} {:>10} {:>9} {:>7} {:>9} {:>8.1}ms {:>10}",
             s.solves,
             s.conflicts,
             s.restarts,
             s.retries,
             s.assumed_literals,
             s.wall.as_secs_f64() * 1e3,
+            if s.statically_discharged {
+                "static"
+            } else {
+                "-"
+            },
         );
     }
     out
+}
+
+/// The `--analyze` mode: build the static event/conflict graph of each
+/// test, enumerate its critical cycles and print, for every cycle leg,
+/// the program-order axiom a fence there would defend and the models
+/// that relax it. Purely static — no mining and no solver calls — so it
+/// reports in milliseconds even where checking would take minutes.
+fn run_analyze(harness: &Harness, tests: &[TestSpec]) -> Result<RunStatus, String> {
+    // `hardware()` already spans every built-in mode, and `.cfm` specs
+    // have no static relaxation table, so the report always covers the
+    // full lattice regardless of --model.
+    let modes = Mode::hardware();
+    for test in tests {
+        let analysis = checkfence::cycles::analyze(harness, test);
+        println!("analyze {}/{}:", harness.name, test.name);
+        for line in analysis.report(&modes).lines() {
+            println!("  {line}");
+        }
+    }
+    Ok(RunStatus::pass())
 }
 
 /// The `--ablate` mode: plan statement mutations over the whole
@@ -883,6 +960,7 @@ fn run_synth(opts: &Options, name: &str) -> Result<RunStatus, String> {
     );
     let mut config = CorpusConfig {
         jobs: opts.jobs,
+        static_triage: !opts.no_static_triage,
         ..CorpusConfig::default()
     };
     config.check.order_encoding = opts.encoding;

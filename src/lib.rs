@@ -16,6 +16,10 @@
 //!   analysis, CNF encoding, specification mining, inclusion checking,
 //!   counterexample traces, the commit-point baseline, and automatic
 //!   fence inference;
+//! * [`cycles`] — static critical-cycle analysis (the delay-set view):
+//!   per-model robustness verdicts that prune inference candidates and
+//!   triage corpus cells without touching the solver
+//!   (see `docs/static-analysis.md`);
 //! * [`algos`] — the five studied implementations (two-lock queue,
 //!   nonblocking queue, lazy list set, Harris set, snark deque) plus a
 //!   Treiber-stack extension, with the Fig. 8 test catalog;
@@ -52,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub use cf_algos as algos;
+pub use cf_cycles as cycles;
 pub use cf_lsl as lsl;
 pub use cf_memmodel as memmodel;
 pub use cf_minic as minic;
@@ -80,6 +85,8 @@ mod doc_examples {
     pub struct Robustness;
     #[doc = include_str!("../docs/observability.md")]
     pub struct Observability;
+    #[doc = include_str!("../docs/static-analysis.md")]
+    pub struct StaticAnalysis;
     #[doc = include_str!("../README.md")]
     pub struct Readme;
 }
