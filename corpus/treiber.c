@@ -1,0 +1,134 @@
+// The Treiber stack (the paper's running example): push links a
+// freshly initialized node onto `stack.top` with a CAS, pop unlinks
+// the top node with a CAS after dereferencing its `next` field.
+//
+// The fenced ops carry the 1-minimal placement for U0 on Relaxed: the
+// push-side store-store fence publishes the node's fields before the
+// linking CAS (the §4.3 incomplete-initialization obligation, broken
+// from PSO down), and the pop-side load-load fence orders the
+// `stack.top` load before the `t->next` dereference (broken only on
+// Relaxed). The `*_raw_op` twins drop both fences.
+//
+// The `explain` pins are checked with `--explain` provenance: the
+// minimized proof core of each named cell must report the listed
+// fences as load-bearing (see tests/corpus.rs).
+//
+// cf: name treiber
+// cf: init init_stack
+// cf: op p = push_op:arg
+// cf: op o = pop_op:ret
+// cf: op P = push_raw_op:arg
+// cf: op O = pop_raw_op:ret
+// cf: test U0 = ( p | o )
+// cf: test Uraw = ( P | O )
+// cf: expect U0 @ sc = pass
+// cf: expect U0 @ tso = pass
+// cf: expect U0 @ pso = pass
+// cf: expect U0 @ relaxed = pass
+// cf: expect Uraw @ sc = pass
+// cf: expect Uraw @ tso = pass
+// cf: expect Uraw @ pso = fail
+// cf: expect Uraw @ relaxed = fail
+// cf: explain U0 @ relaxed = push#0 (store-store), pop#0 (load-load)
+
+typedef struct node {
+    int value;
+    struct node *next;
+} node_t;
+
+typedef struct stack {
+    node_t *top;
+} stack_t;
+
+stack_t stack;
+
+bool cas(unsigned *loc, unsigned old, unsigned new) {
+    atomic {
+        if (*loc == old) { *loc = new; return true; }
+        return false;
+    }
+}
+
+void init_stack() {
+    stack.top = 0;
+}
+
+void push(int value) {
+    node_t *n = malloc(node_t);
+    n->value = value;
+    spin while (true) {
+        node_t *t = stack.top;
+        n->next = t;
+        fence("store-store");
+        if (cas(&stack.top, (unsigned) t, (unsigned) n)) {
+            commit(1);
+            break;
+        }
+    }
+}
+
+bool pop(int *pvalue) {
+    spin while (true) {
+        node_t *t = stack.top;
+        if (t == 0) {
+            commit(1);
+            return false;
+        }
+        fence("load-load");
+        node_t *next = t->next;
+        if (cas(&stack.top, (unsigned) t, (unsigned) next)) {
+            commit(1);
+            *pvalue = t->value;
+            break;
+        }
+    }
+    return true;
+}
+
+void push_op(int v) { push(v); }
+
+int pop_op() {
+    int v;
+    bool ok = pop(&v);
+    if (ok) { return v + 1; }
+    return 0;
+}
+
+void push_raw(int value) {
+    node_t *n = malloc(node_t);
+    n->value = value;
+    spin while (true) {
+        node_t *t = stack.top;
+        n->next = t;
+        if (cas(&stack.top, (unsigned) t, (unsigned) n)) {
+            commit(1);
+            break;
+        }
+    }
+}
+
+bool pop_raw(int *pvalue) {
+    spin while (true) {
+        node_t *t = stack.top;
+        if (t == 0) {
+            commit(1);
+            return false;
+        }
+        node_t *next = t->next;
+        if (cas(&stack.top, (unsigned) t, (unsigned) next)) {
+            commit(1);
+            *pvalue = t->value;
+            break;
+        }
+    }
+    return true;
+}
+
+void push_raw_op(int v) { push_raw(v); }
+
+int pop_raw_op() {
+    int v;
+    bool ok = pop_raw(&v);
+    if (ok) { return v + 1; }
+    return 0;
+}

@@ -60,6 +60,21 @@ pub struct CheckConfig {
     /// Unrolling bound for `spin`-marked retry loops (their exit is
     /// assumed within this many iterations; see the spin-loop reduction).
     pub spin_bound: u32,
+    /// When provenance is enabled: greedy deletion-minimization budget
+    /// for extracted assumption cores, in solver ticks. `None` (the
+    /// default) skips minimization entirely — the raw final-conflict
+    /// core is reported. `Some(t)` minimizes within `t` ticks; a
+    /// starved budget degrades to the unminimized core
+    /// ([`Provenance::minimized`](crate::Provenance::minimized) is
+    /// `false`), never to an inconclusive verdict, so minimization can
+    /// never blow a query's resource governance.
+    pub core_minimize_ticks: Option<u64>,
+    /// Testing knob: after extracting a core, re-solve with only the
+    /// core assumptions and panic unless the result is still Unsat (and,
+    /// when minimization completed, probe that dropping any single
+    /// element loses unsatisfiability). Costs extra solves; default
+    /// `false`.
+    pub verify_cores: bool,
     /// Feature toggles of the underlying SAT solver (for the solver
     /// ablation bench; the default enables everything).
     pub solver_config: cf_sat::SolverConfig,
@@ -78,6 +93,8 @@ impl Default for CheckConfig {
             max_retries: 2,
             retry_growth: 8,
             spin_bound: 3,
+            core_minimize_ticks: None,
+            verify_cores: false,
             solver_config: cf_sat::SolverConfig::default(),
         }
     }

@@ -118,7 +118,10 @@ pub struct Encoding {
     pub locations: Vec<Vec<u32>>,
     /// Per-event location selectors (`sel[e][i]` ⇔ event e targets
     /// `locations[i]`); absent entries are statically impossible.
-    pub sel: Vec<HashMap<usize, Lit>>,
+    /// `BTreeMap` so iteration (and thus clause emission) is
+    /// reproducible — a hash map here makes the whole solve
+    /// run-to-run nondeterministic.
+    pub sel: Vec<BTreeMap<usize, Lit>>,
     /// Observation component encodings (parallel to `sx.obs`).
     pub obs: Vec<EncVal>,
     /// `(lit, kind, label)` per potential error.
@@ -145,6 +148,17 @@ pub struct Encoding {
     /// The declarative models encoded alongside the built-in modes,
     /// in selector order ([`ModelSel::Spec`] indexes this list).
     pub(crate) specs: Vec<ModelSpec>,
+    /// Whether this encoding was built for provenance extraction: spec
+    /// axiom clauses are additionally gated per-axiom so unsat cores
+    /// resolve to axiom names. Off by default — a provenance-free
+    /// encoding is clause-for-clause identical to what it always was.
+    pub(crate) provenance: bool,
+    /// Per-spec, per-axiom gate literals `(label, gate)` (parallel to
+    /// `specs[i].axioms`). Empty unless `provenance` is on. A query on
+    /// spec `i` must assume every `axiom_acts[i]` gate positively;
+    /// non-selected specs' gates are free (their clauses are already
+    /// satisfied through the spec selector).
+    pub(crate) axiom_acts: Vec<Vec<(String, Lit)>>,
 
     order: OrderVars,
     /// Cached spec-membership circuits `(spec, no_match lit)` — pure
@@ -219,6 +233,22 @@ impl Encoding {
         specs: &[ModelSpec],
         order_encoding: OrderEncoding,
     ) -> Encoding {
+        Self::build_full(sx, range, modes, specs, order_encoding, false)
+    }
+
+    /// [`Encoding::build_with_specs`] with the full option set: when
+    /// `provenance` is on, every spec axiom's clauses are additionally
+    /// gated behind a fresh per-axiom literal so assumption cores
+    /// resolve to axiom names. With `provenance` off the built formula
+    /// is identical to [`Encoding::build_with_specs`].
+    pub fn build_full(
+        sx: &SymExec,
+        range: &RangeInfo,
+        modes: ModeSet,
+        specs: &[ModelSpec],
+        order_encoding: OrderEncoding,
+        provenance: bool,
+    ) -> Encoding {
         assert!(
             !modes.is_empty() || !specs.is_empty(),
             "encoding needs at least one model"
@@ -258,6 +288,8 @@ impl Encoding {
             fence_acts: BTreeMap::new(),
             toggle_acts: BTreeMap::new(),
             specs: specs.to_vec(),
+            provenance,
+            axiom_acts: Vec::new(),
             order: OrderVars::Pairwise(HashMap::new()),
             spec_cache: Vec::new(),
             mode_sel,
@@ -342,6 +374,22 @@ impl Encoding {
             }
         }));
         asm
+    }
+
+    /// The per-axiom gate literals a query on `model` must assume
+    /// positively (empty unless the encoding was built with provenance
+    /// and the model is a spec). Only the *selected* spec's gates are
+    /// needed: other specs' axiom clauses are already satisfied through
+    /// their negated selectors.
+    pub(crate) fn axiom_assumptions(&self, model: ModelSel) -> Vec<Lit> {
+        match model {
+            ModelSel::Spec(i) if self.provenance => self
+                .axiom_acts
+                .get(i)
+                .map(|gates| gates.iter().map(|&(_, g)| g).collect())
+                .unwrap_or_default(),
+            _ => Vec::new(),
+        }
     }
 
     /// The display name of an encoded model.
@@ -433,7 +481,7 @@ impl Encoding {
         // --- location selectors + address validity
         for (i, e) in sx.events.iter().enumerate() {
             let addr_set = range.set(e.addr);
-            let mut sels = HashMap::new();
+            let mut sels = BTreeMap::new();
             let locations = self.locations.clone();
             for (li, loc) in locations.iter().enumerate() {
                 if !addr_set.may_be_ptr_to(loc) {
@@ -650,8 +698,9 @@ impl Encoding {
                 }
             }
         }
-        // Atomic block contiguity (all modes).
-        let mut groups: HashMap<u32, Vec<usize>> = HashMap::new();
+        // Atomic block contiguity (all modes). Bucketed into a
+        // `BTreeMap` so the contiguity clauses come out in group order.
+        let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
         for (i, e) in sx.events.iter().enumerate() {
             if let Some(g) = e.group {
                 groups.entry(g).or_default().push(i);
@@ -664,7 +713,7 @@ impl Encoding {
     }
 
     fn encode_operation_atomicity(&mut self, sx: &SymExec) {
-        let mut ops: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut ops: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (i, e) in sx.events.iter().enumerate() {
             ops.entry(e.op).or_default().push(i);
         }

@@ -93,6 +93,7 @@ pub mod cycles;
 pub mod infer;
 pub mod mutate;
 mod obs_text;
+pub mod provenance;
 pub mod query;
 
 pub use checker::{
@@ -104,6 +105,7 @@ pub use encode::{EncVal, Encoding, ModelSel, OrderEncoding};
 pub use fxhash::{FxHashMap, FxHasher};
 pub use mine::mine_reference;
 pub use obs_text::ParseObsError;
+pub use provenance::{Provenance, ProvenanceKind};
 pub use query::{Answer, Engine, EngineConfig, EngineStats, Query, QueryKind, QueryStats, Verdict};
 pub use range::{analyze, RangeInfo, ValueSet};
 pub use session::{CheckSession, SessionConfig, SessionStats};

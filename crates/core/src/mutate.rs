@@ -586,6 +586,11 @@ pub struct MatrixConfig {
     /// encodes once). `1` answers the whole matrix from a single
     /// encoding.
     pub jobs: usize,
+    /// Attach verdict provenance to every cell: surviving cells carry a
+    /// proof core, caught cells the witness environment, rendered by
+    /// [`MutationReport::explain`]. Off by default — provenance queries
+    /// run on their own session pool.
+    pub provenance: bool,
 }
 
 impl Default for MatrixConfig {
@@ -595,6 +600,7 @@ impl Default for MatrixConfig {
             specs: Vec::new(),
             check: CheckConfig::default(),
             jobs: 1,
+            provenance: false,
         }
     }
 }
@@ -668,6 +674,10 @@ pub struct MutationRow {
     pub description: String,
     /// Verdicts, parallel to [`MutationReport::models`].
     pub verdicts: Vec<MutantVerdict>,
+    /// Provenance summaries parallel to `verdicts` — `Some` only when
+    /// the matrix ran with [`MatrixConfig::provenance`] and the cell
+    /// was decided (inconclusive and diverged cells carry none).
+    pub explains: Vec<Option<String>>,
 }
 
 /// A Fig. 11-style mutant matrix for one (implementation, test) pair.
@@ -682,6 +692,9 @@ pub struct MutationReport {
     /// Verdicts of the *unmutated* build per model (all should be
     /// `Survived` for a correctly fenced implementation).
     pub baseline: Vec<MutantVerdict>,
+    /// Provenance summaries for the baseline cells, parallel to
+    /// `baseline` (see [`MutationRow::explains`]).
+    pub baseline_explains: Vec<Option<String>>,
     /// One row per planned mutation.
     pub rows: Vec<MutationRow>,
     /// Sessions the engine pooled for this matrix (1 at `jobs == 1`;
@@ -763,6 +776,33 @@ impl MutationReport {
         out
     }
 
+    /// Renders the per-cell provenance report: one line per decided
+    /// cell naming the assumptions its verdict leaned on. Like
+    /// [`MutationReport::table`] this is a pure function of the
+    /// verdicts, so `--explain` output compares bit for bit across
+    /// `jobs` settings. Empty when the matrix ran without
+    /// [`MatrixConfig::provenance`].
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        let mut cell_lines =
+            |label: &str, verdicts: &[MutantVerdict], explains: &[Option<String>]| {
+                for ((model, v), e) in self.models.iter().zip(verdicts).zip(explains) {
+                    if let Some(summary) = e {
+                        let _ = writeln!(out, "  {label} @ {model} [{}]: {summary}", v.cell());
+                    }
+                }
+            };
+        cell_lines("(baseline)", &self.baseline, &self.baseline_explains);
+        for r in &self.rows {
+            let label = format!("#{} {}", r.point, r.description);
+            cell_lines(&label, &r.verdicts, &r.explains);
+        }
+        if out.is_empty() {
+            return out;
+        }
+        format!("provenance — {} / {}\n{out}", self.harness, self.test)
+    }
+
     /// One line of run metadata (wall time and amortization counters) —
     /// everything deliberately kept out of [`MutationReport::table`].
     pub fn summary(&self) -> String {
@@ -791,22 +831,28 @@ fn verdict_of(
     }
 }
 
-/// [`verdict_of`] for engine verdicts.
-fn verdict_of_query(r: Result<Verdict, CheckError>) -> Result<MutantVerdict, CheckError> {
+/// [`verdict_of`] for engine verdicts. Returns the cell verdict plus
+/// the provenance summary (captured *before* the verdict is consumed;
+/// `None` unless the engine ran with provenance and decided the cell).
+fn verdict_of_query(
+    r: Result<Verdict, CheckError>,
+) -> Result<(MutantVerdict, Option<String>), CheckError> {
     match r {
         Ok(v) => {
+            let explain = v.provenance.as_ref().map(|p| p.summary());
             if let Some(reason) = v.inconclusive() {
-                return Ok(MutantVerdict::Inconclusive(reason));
+                return Ok((MutantVerdict::Inconclusive(reason), None));
             }
-            Ok(
+            Ok((
                 match v.into_outcome().expect("inclusion yields an outcome") {
                     CheckOutcome::Pass => MutantVerdict::Survived,
                     CheckOutcome::Fail(cx) => MutantVerdict::Caught(cx.kind),
                 },
-            )
+                explain,
+            ))
         }
-        Err(CheckError::BoundsDiverged { .. }) => Ok(MutantVerdict::Diverged),
-        Err(CheckError::Exhausted(reason)) => Ok(MutantVerdict::Inconclusive(reason)),
+        Err(CheckError::BoundsDiverged { .. }) => Ok((MutantVerdict::Diverged, None)),
+        Err(CheckError::Exhausted(reason)) => Ok((MutantVerdict::Inconclusive(reason), None)),
         Err(e) => Err(e),
     }
 }
@@ -848,7 +894,8 @@ pub fn run_mutation_matrix(
     let mode_set: ModeSet = config.modes.iter().copied().collect();
     let engine_config = EngineConfig::from_check_config(&config.check, mode_set)
         .with_specs(config.specs.clone())
-        .with_jobs(config.jobs);
+        .with_jobs(config.jobs)
+        .with_provenance(config.provenance);
     let mut engine = Engine::new(engine_config);
     let models = config.models();
     // The batch: baseline cells first, then one row of cells per mutant.
@@ -866,19 +913,26 @@ pub fn run_mutation_matrix(
     }
     let mut results = engine.run_batch(&queries).into_iter();
     let mut baseline = Vec::with_capacity(models.len());
+    let mut baseline_explains = Vec::with_capacity(models.len());
     for _ in &models {
-        baseline.push(verdict_of_query(results.next().expect("baseline cell"))?);
+        let (v, e) = verdict_of_query(results.next().expect("baseline cell"))?;
+        baseline.push(v);
+        baseline_explains.push(e);
     }
     let mut rows = Vec::with_capacity(plan.points.len());
     for point in &plan.points {
         let mut verdicts = Vec::with_capacity(models.len());
+        let mut explains = Vec::with_capacity(models.len());
         for _ in &models {
-            verdicts.push(verdict_of_query(results.next().expect("mutant cell"))?);
+            let (v, e) = verdict_of_query(results.next().expect("mutant cell"))?;
+            verdicts.push(v);
+            explains.push(e);
         }
         rows.push(MutationRow {
             point: point.id,
             description: point.description.clone(),
             verdicts,
+            explains,
         });
     }
     let stats = engine.stats();
@@ -902,6 +956,7 @@ pub fn run_mutation_matrix(
         test: test.name.clone(),
         models: models.into_iter().map(|(n, _)| n).collect(),
         baseline,
+        baseline_explains,
         rows,
         sessions: stats.sessions,
         session: SessionStats {
@@ -967,6 +1022,9 @@ pub fn run_mutation_matrix_oneshot(
         rows.push(MutationRow {
             point: point.id,
             description: point.description.clone(),
+            // The one-shot oracle has no assumption layer to extract
+            // cores from; only the engine path explains its cells.
+            explains: vec![None; verdicts.len()],
             verdicts,
         });
     }
@@ -974,6 +1032,7 @@ pub fn run_mutation_matrix_oneshot(
     Ok(MutationReport {
         harness: harness.name.clone(),
         test: test.name.clone(),
+        baseline_explains: vec![None; baseline.len()],
         models: models.into_iter().map(|(n, _)| n).collect(),
         baseline,
         rows,

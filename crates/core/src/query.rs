@@ -88,6 +88,7 @@ use crate::checker::{
 };
 use crate::commit::AbstractType;
 use crate::encode::ModelSel;
+use crate::provenance::{Provenance, ProvenanceKind};
 use crate::session::{CheckSession, SessionConfig, SessionStats};
 use crate::test_spec::{Harness, TestSpec};
 
@@ -146,6 +147,7 @@ pub struct Query<'h> {
     kind: QueryKind,
     budget: Option<u64>,
     deadline: Option<Duration>,
+    provenance: bool,
 }
 
 impl<'h> Query<'h> {
@@ -159,6 +161,7 @@ impl<'h> Query<'h> {
             kind,
             budget: None,
             deadline: None,
+            provenance: false,
         }
     }
 
@@ -247,6 +250,22 @@ impl<'h> Query<'h> {
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> Query<'h> {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Requests verdict [`Provenance`] for this query (chainable).
+    /// Inclusion-check verdicts then carry the assumption core of the
+    /// decisive solve mapped back to named artifacts — which fences,
+    /// axioms, toggles and gates the proof (or witness) leaned on.
+    /// Extraction adds **zero extra solves**; sessions answering
+    /// provenance queries are pooled separately from plain ones, so a
+    /// provenance-free query's verdict and solver statistics never
+    /// change. See also [`EngineConfig::provenance`] for the
+    /// engine-wide switch and [`CheckConfig::core_minimize_ticks`] for
+    /// optional core minimization.
+    #[must_use]
+    pub fn with_provenance(mut self) -> Query<'h> {
+        self.provenance = true;
         self
     }
 
@@ -385,6 +404,13 @@ pub struct Verdict {
     pub phase: PhaseStats,
     /// Per-query solver counters ([`cf_sat::Stats::since`] deltas).
     pub stats: QueryStats,
+    /// What the verdict leaned on, when provenance was requested
+    /// ([`Query::with_provenance`] / [`EngineConfig::provenance`]) and
+    /// the query produced a pass/fail outcome. `None` for
+    /// observation-shaped answers, inconclusive verdicts, statically
+    /// discharged queries (their explanation is the cycle analysis, not
+    /// an assumption core) and whenever provenance is off.
+    pub provenance: Option<Provenance>,
 }
 
 impl Verdict {
@@ -522,6 +548,12 @@ pub struct EngineConfig {
     /// queries with fence/toggle assumption vectors or declarative
     /// models are never triaged.
     pub static_triage: bool,
+    /// Engine-wide provenance: every query behaves as if it had
+    /// [`Query::with_provenance`] set. Off by default; with it off,
+    /// queries that do not individually request provenance run on
+    /// provenance-free sessions with byte-identical verdicts and solver
+    /// statistics.
+    pub provenance: bool,
 }
 
 impl Default for EngineConfig {
@@ -532,6 +564,7 @@ impl Default for EngineConfig {
             check: CheckConfig::default(),
             jobs: 1,
             static_triage: false,
+            provenance: false,
         }
     }
 }
@@ -555,6 +588,7 @@ impl EngineConfig {
             check: check.clone(),
             jobs: 1,
             static_triage: false,
+            provenance: false,
         }
     }
 
@@ -577,6 +611,14 @@ impl EngineConfig {
     #[must_use]
     pub fn with_static_triage(mut self, on: bool) -> EngineConfig {
         self.static_triage = on;
+        self
+    }
+
+    /// Enables engine-wide provenance (chainable); see
+    /// [`EngineConfig::provenance`].
+    #[must_use]
+    pub fn with_provenance(mut self, on: bool) -> EngineConfig {
+        self.provenance = on;
         self
     }
 }
@@ -604,6 +646,11 @@ struct Slot<'h> {
     hkey: usize,
     tkey: usize,
     shard: usize,
+    /// Whether the session was built with provenance instrumentation.
+    /// Part of the pool key: provenance queries must never reuse a
+    /// plain session (no gates to extract) and plain queries must never
+    /// reuse an instrumented one (its formula differs).
+    prov: bool,
     session: CheckSession<'h>,
 }
 
@@ -756,6 +803,21 @@ impl<'h> Engine<'h> {
                         ("outcome", cf_trace::s("pass")),
                     ]
                 });
+                // Discharged queries close the `--profile` ledger: they
+                // appear in the query_done stream as a zero-tick class
+                // of their own instead of silently vanishing from it.
+                cf_trace::emit("query_done", || {
+                    vec![
+                        ("class", cf_trace::s("discharged")),
+                        ("outcome", cf_trace::s("pass")),
+                        ("ticks", cf_trace::u(0)),
+                        ("conflicts", cf_trace::u(0)),
+                        ("propagations", cf_trace::u(0)),
+                        ("solves", cf_trace::u(0)),
+                        ("retries", cf_trace::u(0)),
+                        ("wall_us", cf_trace::u(0)),
+                    ]
+                });
                 results[i] = Some(Ok(Verdict {
                     answer: Answer::Outcome(CheckOutcome::Pass),
                     phase: PhaseStats::default(),
@@ -763,16 +825,21 @@ impl<'h> Engine<'h> {
                         statically_discharged: true,
                         ..QueryStats::default()
                     },
+                    provenance: None,
                 }));
                 false
             });
         }
 
-        // Group by (harness, test) identity; the model universe is
-        // engine-wide, so the pool key reduces to identity + shard.
+        // Group by (harness, test, provenance) identity; the model
+        // universe is engine-wide, so the pool key reduces to identity
+        // + provenance bit + shard. Provenance queries get their own
+        // (instrumented) sessions so plain queries keep byte-identical
+        // formulas and stats.
         struct Group {
             hkey: usize,
             tkey: usize,
+            prov: bool,
             members: Vec<usize>,
         }
         let mut groups: Vec<Group> = Vec::new();
@@ -782,12 +849,17 @@ impl<'h> Engine<'h> {
                 std::ptr::from_ref(q.harness) as usize,
                 std::ptr::from_ref(q.test) as usize,
             );
-            let group = match groups.iter_mut().find(|g| g.hkey == hkey && g.tkey == tkey) {
+            let prov = self.config.provenance || q.provenance;
+            let group = match groups
+                .iter_mut()
+                .find(|g| g.hkey == hkey && g.tkey == tkey && g.prov == prov)
+            {
                 Some(g) => g,
                 None => {
                     groups.push(Group {
                         hkey,
                         tkey,
+                        prov,
                         members: Vec::new(),
                     });
                     groups.last_mut().expect("just pushed")
@@ -806,6 +878,7 @@ impl<'h> Engine<'h> {
             hkey: usize,
             tkey: usize,
             shard: usize,
+            prov: bool,
             /// `None` after a panic discarded the session; the task
             /// loop rebuilds it from the query's key.
             session: Mutex<Option<CheckSession<'h>>>,
@@ -819,7 +892,8 @@ impl<'h> Engine<'h> {
                 .div_ceil(shard_size)
                 .clamp(1, jobs.min(g.members.len().max(1)));
             for shard in 0..shards {
-                let session = self.take_session(g.hkey, g.tkey, shard, &queries[g.members[0]]);
+                let session =
+                    self.take_session(g.hkey, g.tkey, shard, g.prov, &queries[g.members[0]]);
                 let members: Vec<usize> = g
                     .members
                     .iter()
@@ -837,6 +911,7 @@ impl<'h> Engine<'h> {
                     hkey: g.hkey,
                     tkey: g.tkey,
                     shard,
+                    prov: g.prov,
                     session: Mutex::new(Some(session)),
                     members,
                 });
@@ -897,6 +972,7 @@ impl<'h> Engine<'h> {
                     hkey: task.hkey,
                     tkey: task.tkey,
                     shard: task.shard,
+                    prov: task.prov,
                     session,
                 });
             }
@@ -968,12 +1044,13 @@ impl<'h> Engine<'h> {
         hkey: usize,
         tkey: usize,
         shard: usize,
+        prov: bool,
         query: &Query<'h>,
     ) -> CheckSession<'h> {
         if let Some(i) = self
             .pool
             .iter()
-            .position(|s| s.hkey == hkey && s.tkey == tkey && s.shard == shard)
+            .position(|s| s.hkey == hkey && s.tkey == tkey && s.shard == shard && s.prov == prov)
         {
             return self.pool.swap_remove(i).session;
         }
@@ -993,8 +1070,13 @@ fn build_session<'h>(query: &Query<'h>, config: &EngineConfig) -> CheckSession<'
             cf_trace::s(format!("{}/{}", query.harness.name, query.test.name)),
         )]
     });
+    // Recomputing the provenance bit here (instead of threading it in)
+    // keeps the post-panic rebuild path honest: a resubmitted provenance
+    // query gets an instrumented session again, so a shard crash never
+    // silently drops provenance.
     let sc = SessionConfig::from_check_config(&config.check, config.modes)
-        .with_specs(config.specs.clone());
+        .with_specs(config.specs.clone())
+        .with_provenance(config.provenance || query.provenance);
     CheckSession::with_config(query.harness, query.test, sc)
 }
 
@@ -1054,6 +1136,7 @@ fn exec_isolated<'h>(
         },
         phase,
         stats: QueryStats::default(),
+        provenance: None,
     })
 }
 
@@ -1152,6 +1235,9 @@ fn exec(
                     retries,
                     t0.elapsed(),
                 );
+                // Drop any provenance a half-finished attempt left
+                // behind; an inconclusive verdict proves nothing.
+                let _ = session.take_provenance();
                 return Ok(Verdict {
                     answer: Answer::Inconclusive {
                         reason,
@@ -1159,6 +1245,7 @@ fn exec(
                     },
                     phase: phase.clone(),
                     stats: QueryStats::from_delta(delta, t0.elapsed(), retries),
+                    provenance: None,
                 });
             }
             Err(e) => {
@@ -1177,10 +1264,28 @@ fn exec(
                     Answer::Inconclusive { .. } => "inconclusive",
                 };
                 done(delta, outcome, None, retries, t0.elapsed());
+                let provenance = session.take_provenance();
+                if let Some(p) = &provenance {
+                    cf_trace::emit("provenance", || {
+                        vec![
+                            (
+                                "kind",
+                                cf_trace::s(match p.kind {
+                                    ProvenanceKind::Proof => "proof",
+                                    ProvenanceKind::Witness => "witness",
+                                }),
+                            ),
+                            ("core_size", cf_trace::u(p.core_size as u64)),
+                            ("minimized", cf_trace::u(u64::from(p.minimized))),
+                            ("uses", cf_trace::s(p.summary())),
+                        ]
+                    });
+                }
                 return Ok(Verdict {
                     answer,
                     phase: phase.clone(),
                     stats: QueryStats::from_delta(delta, t0.elapsed(), retries),
+                    provenance,
                 });
             }
         }

@@ -31,9 +31,10 @@
 //! and re-encodes at larger bounds (this is the only event that discards
 //! solver state; [`SessionStats`] counts it).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
+use cf_lsl::Stmt;
 use cf_memmodel::{Mode, ModeSet};
 use cf_sat::{Lit, SolveResult};
 use cf_spec::ModelSpec;
@@ -44,6 +45,7 @@ use crate::checker::{
 };
 use crate::commit::{encode_abstract_machine, AbstractType};
 use crate::encode::{Encoding, ModelSel, OrderEncoding};
+use crate::provenance::{Provenance, ProvenanceKind};
 use crate::range::analyze;
 use crate::symexec::{execute, LoopBounds, SymExec};
 use crate::test_spec::{Harness, TestSpec};
@@ -80,6 +82,18 @@ pub struct SessionConfig {
     pub deadline_at: Option<Instant>,
     /// Unrolling bound for `spin`-marked retry loops.
     pub spin_bound: u32,
+    /// Whether inclusion verdicts carry [`Provenance`]: real fences are
+    /// made assumption-addressable (wrapped in synthetic toggle sites)
+    /// and spec axioms are gated per-axiom, so the decisive solve's
+    /// assumption core resolves to named artifacts. Off by default —
+    /// and with it off, the session's formula, verdicts and solver
+    /// statistics are byte-identical to a provenance-free build.
+    pub provenance: bool,
+    /// Core-minimization tick budget (see
+    /// [`CheckConfig::core_minimize_ticks`]).
+    pub core_minimize_ticks: Option<u64>,
+    /// Core re-solving self-check (see [`CheckConfig::verify_cores`]).
+    pub verify_cores: bool,
     /// Feature toggles of the underlying SAT solver.
     pub solver_config: cf_sat::SolverConfig,
 }
@@ -104,6 +118,9 @@ impl SessionConfig {
             tick_budget: config.tick_budget,
             deadline_at: None,
             spin_bound: config.spin_bound,
+            provenance: false,
+            core_minimize_ticks: config.core_minimize_ticks,
+            verify_cores: config.verify_cores,
             solver_config: config.solver_config,
         }
     }
@@ -111,6 +128,14 @@ impl SessionConfig {
     /// Adds declarative models to the session's universe (chainable).
     pub fn with_specs(mut self, specs: Vec<ModelSpec>) -> SessionConfig {
         self.specs = specs;
+        self
+    }
+
+    /// Enables provenance extraction (chainable). Must be set before
+    /// the first query builds the encoding.
+    #[must_use]
+    pub fn with_provenance(mut self, on: bool) -> SessionConfig {
+        self.provenance = on;
         self
     }
 }
@@ -207,6 +232,16 @@ pub struct CheckSession<'h> {
     bounds: LoopBounds,
     state: Option<State>,
     stats: SessionStats,
+    /// The provenance-instrumented copy of the harness (real fences
+    /// wrapped in synthetic toggle sites). Built once, survives bound
+    /// growth. `None` unless [`SessionConfig::provenance`] is on.
+    prov_harness: Option<Box<Harness>>,
+    /// Synthetic toggle site → source coordinate (`proc#index (kind)`)
+    /// of the wrapped fence.
+    fence_coords: BTreeMap<u32, String>,
+    /// Provenance of the most recent inclusion query, taken by the
+    /// engine when it assembles the verdict.
+    last_provenance: Option<Provenance>,
 }
 
 impl<'h> CheckSession<'h> {
@@ -225,7 +260,17 @@ impl<'h> CheckSession<'h> {
             bounds: LoopBounds::new(),
             state: None,
             stats: SessionStats::default(),
+            prov_harness: None,
+            fence_coords: BTreeMap::new(),
+            last_provenance: None,
         }
+    }
+
+    /// Takes (and clears) the provenance of the most recent inclusion
+    /// query. `None` unless provenance is enabled and the last query
+    /// produced a pass/fail outcome.
+    pub(crate) fn take_provenance(&mut self) -> Option<Provenance> {
+        self.last_provenance.take()
     }
 
     /// Amortization counters.
@@ -622,7 +667,17 @@ impl<'h> CheckSession<'h> {
         stats: &mut PhaseStats,
     ) -> Result<CheckOutcome, CheckError> {
         self.stats.queries += 1;
-        self.with_bounds(
+        self.last_provenance = None;
+        let prov = self.config.provenance;
+        let min_ticks = self.config.core_minimize_ticks;
+        let verify = self.config.verify_cores;
+        // Building the state populates `fence_coords` (the fence-wrap
+        // pass runs there); force it before snapshotting the map, or
+        // the very first query would see no coordinates.
+        self.ensure_state(stats)?;
+        let coords = self.fence_coords.clone();
+        let mut prov_out: Option<Provenance> = None;
+        let result = self.with_bounds(
             model,
             active_sites,
             active_toggles,
@@ -639,9 +694,53 @@ impl<'h> CheckSession<'h> {
                 let r = enc.cnf.solver.solve_with(&a);
                 stats.solve_time += t.elapsed();
                 match r {
-                    SolveResult::Unsat => Ok(Round::Bounded(CheckOutcome::Pass)),
+                    SolveResult::Unsat => {
+                        if prov {
+                            // The decisive solve's final-conflict core —
+                            // extraction itself costs zero extra solves.
+                            let raw: Vec<Lit> = enc
+                                .cnf
+                                .solver
+                                .unsat_core()
+                                .map(<[Lit]>::to_vec)
+                                .unwrap_or_default();
+                            let (core, minimized) = match min_ticks {
+                                Some(budget) => {
+                                    let t = Instant::now();
+                                    let out = enc
+                                        .cnf
+                                        .solver
+                                        .minimize_core(Some(budget))
+                                        .unwrap_or((raw, false));
+                                    stats.solve_time += t.elapsed();
+                                    out
+                                }
+                                None => (raw, false),
+                            };
+                            if verify {
+                                verify_core(enc, &core, minimized);
+                            }
+                            prov_out =
+                                Some(classify_core(enc, model, &core, bad, &coords, minimized));
+                        }
+                        Ok(Round::Bounded(CheckOutcome::Pass))
+                    }
                     SolveResult::Unknown => Err(exhausted_err(&enc.cnf.solver)),
                     SolveResult::Sat => {
+                        if prov {
+                            // A witness carries its assumption
+                            // environment: the model, the fences present
+                            // in the program it ran against, and the
+                            // active candidate/toggle vectors.
+                            let mut w = Provenance::witness(enc.model_name(model));
+                            w.fences = coords.values().cloned().collect();
+                            w.candidate_fences = active_sites.to_vec();
+                            w.toggles = active_toggles.to_vec();
+                            w.fences.sort();
+                            w.candidate_fences.sort_unstable();
+                            w.toggles.sort_unstable();
+                            prov_out = Some(w);
+                        }
                         let kind = if enc.cnf.lit_value(enc.error_lit) {
                             FailureKind::RuntimeError
                         } else {
@@ -662,7 +761,11 @@ impl<'h> CheckSession<'h> {
                     }
                 }
             },
-        )
+        );
+        if result.is_ok() {
+            self.last_provenance = prov_out;
+        }
+        result
     }
 
     /// Runs the commit-point method (the Fig. 12 baseline) under `mode`,
@@ -714,21 +817,23 @@ impl<'h> CheckSession<'h> {
     /// Builds (or reuses) the encoding for the current loop bounds.
     fn ensure_state(&mut self, stats: &mut PhaseStats) -> Result<(), CheckError> {
         if self.state.is_none() {
-            let sx = execute(
-                self.harness,
-                self.test,
-                &self.bounds,
-                self.config.spin_bound,
-            )?;
+            if self.config.provenance && self.prov_harness.is_none() {
+                let (wrapped, coords) = wrap_fences(self.harness);
+                self.prov_harness = Some(Box::new(wrapped));
+                self.fence_coords = coords;
+            }
+            let harness: &Harness = self.prov_harness.as_deref().unwrap_or(self.harness);
+            let sx = execute(harness, self.test, &self.bounds, self.config.spin_bound)?;
             self.stats.symexecs += 1;
             let t0 = Instant::now();
             let range = analyze(&sx, self.config.range_analysis);
-            let mut enc = Encoding::build_with_specs(
+            let mut enc = Encoding::build_full(
                 &sx,
                 &range,
                 self.config.modes,
                 &self.config.specs,
                 self.config.order_encoding,
+                self.config.provenance,
             );
             stats.encode_time += t0.elapsed();
             self.stats.encodes += 1;
@@ -807,6 +912,11 @@ impl<'h> CheckSession<'h> {
         active_toggles: &[u32],
     ) -> Vec<Lit> {
         let mut asm = enc.model_assumptions(model);
+        // Provenance-gated spec axioms: the selected spec's per-axiom
+        // gates must be assumed on, or the solver would simply drop an
+        // axiom instead of finding a real counterexample. Empty unless
+        // the encoding was built with provenance.
+        asm.extend(enc.axiom_assumptions(model));
         for (&site, &act) in &enc.fence_acts {
             asm.push(if active_sites.contains(&site) {
                 act
@@ -991,5 +1101,175 @@ impl<'h> CheckSession<'h> {
         }
         enc.spec_cache_insert(spec.clone(), no_match);
         no_match
+    }
+}
+
+/// Base of the synthetic toggle-site numbering that makes real fences
+/// assumption-addressable for provenance — far above anything the
+/// mutation planner or fence-inference driver assigns, so the two site
+/// spaces cannot collide.
+pub(crate) const FENCE_SITE_BASE: u32 = 1_000_000;
+
+/// Returns a copy of the harness with every real fence wrapped in a
+/// synthetic [`Stmt::Toggle`] site (`orig` = the fence, `mutant` =
+/// nothing), plus the site → source-coordinate map. Assuming the site
+/// *inactive* keeps the fence, so a `!act` literal in a PASS core names
+/// that fence as load-bearing. Mirrors the enumeration rules of
+/// `cf-algos::fences::fence_sites`: document order per procedure,
+/// `lock`/`unlock` helpers excluded, no descent into existing toggle
+/// branches (ablation instrumentation already owns those fences).
+fn wrap_fences(harness: &Harness) -> (Harness, BTreeMap<u32, String>) {
+    let mut wrapped = harness.clone();
+    let mut coords = BTreeMap::new();
+    let mut next = FENCE_SITE_BASE;
+    for proc in &mut wrapped.program.procedures {
+        if proc.name.contains("lock") {
+            continue;
+        }
+        let name = proc.name.clone();
+        let (mut classic, mut c11) = (0usize, 0usize);
+        wrap_fences_in(
+            &mut proc.body,
+            &name,
+            &mut classic,
+            &mut c11,
+            &mut next,
+            &mut coords,
+        );
+    }
+    (wrapped, coords)
+}
+
+fn wrap_fences_in(
+    stmts: &mut [Stmt],
+    proc: &str,
+    classic: &mut usize,
+    c11: &mut usize,
+    next: &mut u32,
+    coords: &mut BTreeMap<u32, String>,
+) {
+    for s in stmts.iter_mut() {
+        let coord = match s {
+            // Classic fences share their index space with
+            // `FenceSite::index_in_proc`, so provenance coordinates
+            // line up with the ablation matrix and `--analyze` output.
+            Stmt::Fence(kind) => {
+                let coord = format!("{proc}#{} ({})", *classic, *kind);
+                *classic += 1;
+                coord
+            }
+            Stmt::CFence(ord) => {
+                let coord = format!("{proc}#c{} (fence({}))", *c11, *ord);
+                *c11 += 1;
+                coord
+            }
+            Stmt::Atomic(body) | Stmt::Block { body, .. } => {
+                wrap_fences_in(body, proc, classic, c11, next, coords);
+                continue;
+            }
+            _ => continue,
+        };
+        let site = *next;
+        *next += 1;
+        coords.insert(site, coord);
+        let fence = std::mem::replace(
+            s,
+            Stmt::Toggle {
+                site,
+                orig: Vec::new(),
+                mutant: Vec::new(),
+            },
+        );
+        if let Stmt::Toggle { orig, .. } = s {
+            orig.push(fence);
+        }
+    }
+}
+
+/// Maps a PASS core's literals back to named artifacts. Every entry of
+/// the core is one of the query's assumptions, so classification is a
+/// lookup against the encoding's literal vocabularies; anything not
+/// matched below is a model-selector polarity, covered by the `model`
+/// field.
+fn classify_core(
+    enc: &Encoding,
+    model: ModelSel,
+    core: &[Lit],
+    bad: Lit,
+    fence_coords: &BTreeMap<u32, String>,
+    minimized: bool,
+) -> Provenance {
+    let mut p = Provenance {
+        kind: ProvenanceKind::Proof,
+        model: enc.model_name(model),
+        axioms: Vec::new(),
+        fences: Vec::new(),
+        candidate_fences: Vec::new(),
+        toggles: Vec::new(),
+        bounds_gate: false,
+        spec_gate: false,
+        core_size: core.len(),
+        minimized,
+    };
+    p.spec_gate = core.contains(&bad);
+    p.bounds_gate = enc.exceeded.iter().any(|&(_, l)| core.contains(&!l));
+    for (&site, &act) in &enc.fence_acts {
+        if core.contains(&act) {
+            p.candidate_fences.push(site);
+        }
+    }
+    for (&site, &act) in &enc.toggle_acts {
+        match fence_coords.get(&site) {
+            // A wrapped real fence is assumed *inactive* (fence kept),
+            // so `!act` in the core means the proof leans on it.
+            Some(coord) => {
+                if core.contains(&!act) {
+                    p.fences.push(coord.clone());
+                }
+            }
+            // A mutation toggle in the core with its *active* polarity
+            // means the proof leans on the mutant branch; the inactive
+            // polarity (proof needs the original statements) is not an
+            // artifact we name.
+            None => {
+                if core.contains(&act) {
+                    p.toggles.push(site);
+                }
+            }
+        }
+    }
+    if let ModelSel::Spec(i) = model {
+        if let Some(gates) = enc.axiom_acts.get(i) {
+            for (label, g) in gates {
+                if core.contains(g) {
+                    p.axioms.push(label.clone());
+                }
+            }
+        }
+    }
+    p.fences.sort();
+    p
+}
+
+/// The [`CheckConfig::verify_cores`] self-check: the core alone must
+/// reproduce Unsat, and a completely minimized core must be locally
+/// minimal. Budget exhaustion (Unknown) skips a probe instead of
+/// failing it.
+fn verify_core(enc: &mut Encoding, core: &[Lit], minimized: bool) {
+    let r = enc.cnf.solver.solve_with(core);
+    assert!(
+        !matches!(r, SolveResult::Sat),
+        "provenance core does not reproduce the Unsat verdict"
+    );
+    if minimized {
+        for i in 0..core.len() {
+            let mut probe = core.to_vec();
+            probe.remove(i);
+            let r = enc.cnf.solver.solve_with(&probe);
+            assert!(
+                !matches!(r, SolveResult::Unsat),
+                "minimized provenance core is not locally minimal (element {i} is redundant)"
+            );
+        }
     }
 }

@@ -287,10 +287,32 @@ pub(crate) fn emit_spec_axioms(enc: &mut Encoding, sx: &SymExec, range: &RangeIn
     for i in 0..enc.specs.len() {
         let spec = enc.specs[i].clone();
         let sel = enc.spec_selector(i);
+        let mut gates: Vec<(String, Lit)> = Vec::new();
         for ax in &spec.axioms {
+            // Provenance gating: one extra premise literal per axiom,
+            // so a query assuming the gate positively keeps the axiom,
+            // and the gate's appearance in an unsat core names the
+            // axiom the proof leaned on. With provenance off, the
+            // emitted clauses are exactly the historical ones.
+            let premise: Vec<Lit> = if enc.provenance {
+                let g = enc.cnf.fresh();
+                let label = ax
+                    .label
+                    .clone()
+                    .unwrap_or_else(|| ax.kind.name().to_string());
+                gates.push((label, g));
+                vec![sel, g]
+            } else {
+                vec![sel]
+            };
             let m = {
                 let mut ctx = SatCtx { enc, sx, range };
                 cf_spec::eval(&mut ctx, &ax.rel)
+            };
+            let premise_with = |c: Lit| {
+                let mut p = premise.clone();
+                p.push(c);
+                p
             };
             match ax.kind {
                 AxiomKind::Order | AxiomKind::Acyclic => {
@@ -303,10 +325,10 @@ pub(crate) fn emit_spec_axioms(enc: &mut Encoding, sx: &SymExec, range: &RangeIn
                                 // A self-edge can never lie on a strict
                                 // total order: unsatisfiable under this
                                 // spec's selector.
-                                enc.imply(&[sel, c], enc.cnf.ff());
+                                enc.imply(&premise_with(c), enc.cnf.ff());
                             } else {
                                 let b = enc.before(x, y);
-                                enc.imply(&[sel, c], b);
+                                enc.imply(&premise_with(c), b);
                             }
                         }
                     }
@@ -317,7 +339,7 @@ pub(crate) fn emit_spec_axioms(enc: &mut Encoding, sx: &SymExec, range: &RangeIn
                         if c == enc.cnf.ff() {
                             continue;
                         }
-                        enc.imply(&[sel, c], enc.cnf.ff());
+                        enc.imply(&premise_with(c), enc.cnf.ff());
                     }
                 }
                 AxiomKind::Empty => {
@@ -326,11 +348,12 @@ pub(crate) fn emit_spec_axioms(enc: &mut Encoding, sx: &SymExec, range: &RangeIn
                             if c == enc.cnf.ff() {
                                 continue;
                             }
-                            enc.imply(&[sel, c], enc.cnf.ff());
+                            enc.imply(&premise_with(c), enc.cnf.ff());
                         }
                     }
                 }
             }
         }
+        enc.axiom_acts.push(gates);
     }
 }

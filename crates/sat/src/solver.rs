@@ -148,6 +148,10 @@ pub struct Solver {
     /// Formula already proven unsatisfiable at level 0.
     unsat: bool,
 
+    /// The assumption subset the last Unsat answer depends on (the
+    /// final-conflict analysis result); `None` after Sat/Unknown.
+    last_core: Option<Vec<Lit>>,
+
     // scratch buffer for conflict analysis
     seen: Vec<bool>,
 
@@ -193,6 +197,7 @@ impl Solver {
             saved_phase: Vec::new(),
             cla_inc: 1.0,
             unsat: false,
+            last_core: None,
             seen: Vec::new(),
             max_learnts: 0.0,
             stats: Stats::default(),
@@ -389,12 +394,17 @@ impl Solver {
         self.stats.solves += 1;
         self.stats.assumed_literals += assumptions.len() as u64;
         self.stop_cause = None;
+        // The formula being unsatisfiable without any assumption help is
+        // the empty core: re-solving with no assumptions reproduces it.
+        self.last_core = None;
         if self.unsat {
+            self.last_core = Some(Vec::new());
             return SolveResult::Unsat;
         }
         self.cancel_until(0);
         if self.propagate().is_some() {
             self.unsat = true;
+            self.last_core = Some(Vec::new());
             return SolveResult::Unsat;
         }
         if self.past_deadline() {
@@ -455,6 +465,7 @@ impl Solver {
                 conflicts_here += 1;
                 if self.decision_level() == 0 {
                     self.unsat = true;
+                    self.last_core = Some(Vec::new());
                     return Some(SolveResult::Unsat);
                 }
                 let (learnt, bt_level, lbd) = self.analyze(confl);
@@ -515,7 +526,10 @@ impl Solver {
                             self.trail_lim.push(self.trail.len());
                         }
                         LBool::False => {
-                            // Assumption contradicted.
+                            // Assumption contradicted: run the final-conflict
+                            // analysis before unwinding the trail it walks.
+                            let core = self.analyze_final(a);
+                            self.last_core = Some(core);
                             self.cancel_until(0);
                             return Some(SolveResult::Unsat);
                         }
@@ -794,6 +808,144 @@ impl Solver {
         }
 
         (minimized, bt_level, lbd)
+    }
+
+    /// Final-conflict analysis (MiniSat's `analyzeFinal`): called when
+    /// installing assumption `p` finds it already falsified. Walks the
+    /// implication graph backwards from `¬p` through the trail and
+    /// collects the assumption literals (the decisions above level 0 —
+    /// during installation every decision *is* an assumption) that the
+    /// falsification depends on. Returns them as passed by the caller,
+    /// `p` included, so the result is a subset of the assumption vector.
+    fn analyze_final(&mut self, p: Lit) -> Vec<Lit> {
+        let mut core = vec![p];
+        if self.decision_level() == 0 {
+            // `¬p` is implied by the clause set alone.
+            return core;
+        }
+        self.seen[p.var().index()] = true;
+        let start = self.trail_lim[0];
+        for i in (start..self.trail.len()).rev() {
+            let x = self.trail[i];
+            let v = x.var();
+            if !self.seen[v.index()] {
+                continue;
+            }
+            match self.reason[v.index()] {
+                // A decision: an installed assumption the chain rests on.
+                None => core.push(x),
+                Some(cref) => {
+                    let lits: Vec<Lit> = self.db.get(cref).lits.clone();
+                    for &q in &lits {
+                        if q.var() != v && self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v.index()] = false;
+        }
+        // `¬p` may itself be a level-0 implication (below the walk).
+        self.seen[p.var().index()] = false;
+        core
+    }
+
+    /// The assumption subset the most recent [`Solver::solve_with`]
+    /// call's [`SolveResult::Unsat`] answer depends on, as a subset of
+    /// the literals that were passed (an empty slice when the formula is
+    /// unsatisfiable without any assumptions). `None` if the most recent
+    /// solve did not return Unsat.
+    ///
+    /// Re-solving with only the core literals as assumptions is
+    /// guaranteed to reproduce the Unsat answer. The core is *not*
+    /// guaranteed minimal; see [`Solver::minimize_core`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cf_sat::{Solver, SolveResult};
+    /// let mut s = Solver::new();
+    /// let a = s.new_var().positive();
+    /// let b = s.new_var().positive();
+    /// let c = s.new_var().positive();
+    /// s.add_clause([!a, !b]);
+    /// assert_eq!(s.solve_with(&[a, c, b]), SolveResult::Unsat);
+    /// let core = s.unsat_core().expect("unsat has a core").to_vec();
+    /// assert!(core.contains(&a) && core.contains(&b) && !core.contains(&c));
+    /// assert_eq!(s.solve_with(&core), SolveResult::Unsat);
+    /// ```
+    pub fn unsat_core(&self) -> Option<&[Lit]> {
+        self.last_core.as_deref()
+    }
+
+    /// Greedy deletion minimization of the last unsat core: repeatedly
+    /// re-solves with one element dropped, keeping the drop whenever the
+    /// query stays unsatisfiable (and shrinking to the probe's own core),
+    /// until a full pass deletes nothing — the result is then *locally
+    /// minimal* (dropping any element loses unsatisfiability).
+    ///
+    /// The pass runs under its own deterministic tick budget, separate
+    /// from (and without touching) the solver's configured budgets and
+    /// deadline, so minimization can never blow a query's resource
+    /// governance: on exhaustion it stops early and returns the current
+    /// — possibly only partially minimized — core. `None` for the
+    /// budget means minimize without limit.
+    ///
+    /// Returns `(core, complete)` where `complete` reports whether the
+    /// pass reached local minimality; [`Solver::unsat_core`] is updated
+    /// to the returned core. Returns `None` when there is no core (the
+    /// most recent solve was not Unsat).
+    pub fn minimize_core(&mut self, ticks: Option<u64>) -> Option<(Vec<Lit>, bool)> {
+        let mut core = self.last_core.clone()?;
+        let saved_conflicts = self.conflict_budget;
+        let saved_ticks = self.tick_budget;
+        let saved_deadline = self.deadline;
+        self.conflict_budget = None;
+        self.deadline = None;
+        let mut remaining = ticks;
+        let mut complete = true;
+        'passes: loop {
+            let mut deleted = false;
+            let mut i = 0;
+            while i < core.len() {
+                if remaining == Some(0) {
+                    complete = false;
+                    break 'passes;
+                }
+                let mut probe = core.clone();
+                probe.remove(i);
+                self.tick_budget = remaining;
+                let t0 = self.ticks();
+                let r = self.solve_with(&probe);
+                if let Some(rem) = &mut remaining {
+                    *rem = rem.saturating_sub(self.ticks() - t0);
+                }
+                match r {
+                    SolveResult::Unsat => {
+                        // The element is redundant; adopt the probe's own
+                        // core, which may be smaller still.
+                        core = self.last_core.clone().unwrap_or(probe);
+                        deleted = true;
+                    }
+                    SolveResult::Sat => i += 1,
+                    SolveResult::Unknown => {
+                        complete = false;
+                        break 'passes;
+                    }
+                }
+            }
+            if !deleted {
+                break;
+            }
+        }
+        self.conflict_budget = saved_conflicts;
+        self.tick_budget = saved_ticks;
+        self.deadline = saved_deadline;
+        // The probes are internal: the last *query* answer was Unsat, so
+        // the exposed state must read as such again.
+        self.stop_cause = None;
+        self.last_core = Some(core.clone());
+        Some((core, complete))
     }
 
     /// One-step redundancy: `l` is redundant if it was implied by a clause
@@ -1142,6 +1294,136 @@ mod tests {
         s.set_conflict_budget(Some(1));
         assert_eq!(s.solve(), SolveResult::Unknown);
         assert_eq!(s.stop_cause(), Some(StopCause::ConflictBudget));
+    }
+
+    #[test]
+    fn unsat_core_is_a_reproducing_subset() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        let c = s.new_var().positive();
+        let d = s.new_var().positive();
+        s.add_clause([!a, !b]);
+        assert_eq!(s.solve_with(&[a, c, d, b]), SolveResult::Unsat);
+        let core = s.unsat_core().expect("unsat has a core").to_vec();
+        assert!(core.contains(&a), "a is load-bearing");
+        assert!(core.contains(&b), "b is load-bearing");
+        assert!(!core.contains(&c), "c is irrelevant");
+        assert!(!core.contains(&d), "d is irrelevant");
+        // Soundness: the core alone reproduces the answer.
+        assert_eq!(s.solve_with(&core), SolveResult::Unsat);
+        // A Sat answer clears the core.
+        assert_eq!(s.solve_with(&[a]), SolveResult::Sat);
+        assert!(s.unsat_core().is_none());
+    }
+
+    #[test]
+    fn core_of_directly_contradictory_assumptions() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        let _ = b;
+        assert_eq!(s.solve_with(&[b, a, !a]), SolveResult::Unsat);
+        let core = s.unsat_core().expect("core").to_vec();
+        assert!(core.contains(&a) && core.contains(&!a));
+        assert!(!core.contains(&b));
+        assert_eq!(s.solve_with(&core), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn core_of_a_level_zero_falsified_assumption_is_that_assumption() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        s.add_clause([!a]);
+        assert_eq!(s.solve_with(&[b, a]), SolveResult::Unsat);
+        assert_eq!(s.unsat_core(), Some(&[a][..]));
+    }
+
+    #[test]
+    fn globally_unsat_formula_has_an_empty_core() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        clause(&mut s, &[3]);
+        clause(&mut s, &[-3]);
+        assert_eq!(s.solve_with(&[a, b]), SolveResult::Unsat);
+        assert_eq!(s.unsat_core(), Some(&[][..]));
+        // And so does a search-discovered global conflict.
+        let mut s = Solver::new();
+        pigeonhole_5_into_4(&mut s);
+        let a = s.new_var().positive();
+        assert_eq!(s.solve_with(&[a]), SolveResult::Unsat);
+        assert_eq!(s.unsat_core(), Some(&[][..]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn minimize_core_reaches_the_unique_minimal_core() {
+        // y can be forced by c two ways: through x (which needs a) or
+        // directly. If propagation happens to route through x, the
+        // final-conflict core over-approximates with a; minimization
+        // must land on the unique minimal core {b, c} either way.
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        let c = s.new_var().positive();
+        let x = s.new_var().positive();
+        let y = s.new_var().positive();
+        s.add_clause([!a, x]);
+        s.add_clause([!x, !c, y]);
+        s.add_clause([!c, y]);
+        s.add_clause([!b, !y]);
+        assert_eq!(s.solve_with(&[a, c, b]), SolveResult::Unsat);
+        let raw = s.unsat_core().expect("core").to_vec();
+        let (min, complete) = s.minimize_core(None).expect("core to minimize");
+        assert!(complete, "unbudgeted minimization completes");
+        assert!(min.len() <= raw.len());
+        let mut sorted = min.clone();
+        sorted.sort_unstable();
+        let mut want = vec![b, c];
+        want.sort_unstable();
+        assert_eq!(sorted, want, "unique minimal core");
+        assert_eq!(s.unsat_core(), Some(&min[..]));
+        assert_eq!(s.solve_with(&min), SolveResult::Unsat);
+        // Local minimality: dropping any element loses the answer.
+        let core = s.unsat_core().expect("core").to_vec();
+        for i in 0..core.len() {
+            let mut probe = core.clone();
+            probe.remove(i);
+            assert_eq!(s.solve_with(&probe), SolveResult::Sat);
+        }
+    }
+
+    #[test]
+    fn budget_starved_minimization_degrades_to_the_unminimized_core() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        let c = s.new_var().positive();
+        s.add_clause([!a, !b]);
+        assert_eq!(s.solve_with(&[a, c, b]), SolveResult::Unsat);
+        let raw = s.unsat_core().expect("core").to_vec();
+        let (min, complete) = s.minimize_core(Some(0)).expect("core present");
+        assert!(!complete, "a zero budget cannot finish");
+        assert_eq!(min, raw, "degrades to the unminimized core");
+        // The solver's own governance is untouched by the pass.
+        assert_eq!(s.stop_cause(), None);
+        assert_eq!(s.solve_with(&min), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn minimization_budgets_are_restored_afterwards() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        s.add_clause([!a, !b]);
+        s.set_tick_budget(Some(10_000));
+        s.set_conflict_budget(Some(10_000));
+        assert_eq!(s.solve_with(&[a, b]), SolveResult::Unsat);
+        let _ = s.minimize_core(Some(1_000));
+        assert_eq!(s.tick_budget, Some(10_000));
+        assert_eq!(s.conflict_budget, Some(10_000));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! // cf: op w = write_op:arg    (repeatable; KEY = PROC[:arg][:ret])
 //! // cf: test W0 = ( w | r )    (repeatable; Fig. 8 notation)
 //! // cf: expect W0 @ relaxed = fail   (repeatable; asserted verdicts)
+//! // cf: explain W0 @ pso = write#0 (store-store)   (repeatable; provenance pins)
 //! ```
 //!
 //! The rest of the file is ordinary mini-C, lowered through
@@ -36,6 +37,23 @@ pub struct Expect {
     pub pass: bool,
 }
 
+/// One declared provenance pin: when the named cell is solved with
+/// provenance on, every listed fence coordinate must appear in its
+/// report (the verdict's proof core leans on *at least* these fences —
+/// the pin is a subset requirement, so a core may also name others).
+/// Coordinates use the `cf_algos::fences::FenceSite` rendering, e.g.
+/// `push#0 (store-store)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Explain {
+    /// Name of one of the entry's tests.
+    pub test: String,
+    /// Model display name the pin applies to.
+    pub model: String,
+    /// Fence coordinates the provenance must mention, in declaration
+    /// order. Empty means only "the cell carries provenance".
+    pub fences: Vec<String>,
+}
+
 /// One loaded corpus scenario: the compiled harness, its symbolic
 /// tests, and the verdicts its header declares.
 #[derive(Clone, Debug)]
@@ -50,6 +68,8 @@ pub struct CorpusEntry {
     pub tests: Vec<TestSpec>,
     /// The declared expected verdicts.
     pub expects: Vec<Expect>,
+    /// The declared provenance pins (`// cf: explain` directives).
+    pub explains: Vec<Explain>,
 }
 
 /// Error loading a corpus entry.
@@ -125,6 +145,7 @@ pub fn load_file(path: &Path) -> Result<CorpusEntry, CorpusLoadError> {
     let mut ops: Vec<(OpSig, usize)> = Vec::new();
     let mut tests: Vec<(TestSpec, usize)> = Vec::new();
     let mut expects: Vec<(Expect, usize)> = Vec::new();
+    let mut explains: Vec<(Explain, usize)> = Vec::new();
     for (lineno, line) in source.lines().enumerate() {
         let Some(directive) = line.trim().strip_prefix("// cf:") else {
             continue;
@@ -196,6 +217,41 @@ pub fn load_file(path: &Path) -> Result<CorpusEntry, CorpusLoadError> {
                     line_no,
                 ));
             }
+            "explain" => {
+                let (target, coords) = rest.split_once('=').ok_or_else(|| {
+                    at(format!(
+                        "explain `{rest}`: expected TEST @ MODEL = COORD[, COORD]"
+                    ))
+                })?;
+                let (test, model) = target
+                    .split_once('@')
+                    .ok_or_else(|| at(format!("explain `{rest}`: missing `@ MODEL`")))?;
+                let (test, model) = (test.trim(), model.trim());
+                if test.is_empty() || model.is_empty() {
+                    return Err(at(format!(
+                        "explain `{rest}`: expected TEST @ MODEL = COORD[, COORD]"
+                    )));
+                }
+                let fences: Vec<String> = coords
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|c| !c.is_empty())
+                    .map(String::from)
+                    .collect();
+                if fences.is_empty() {
+                    return Err(at(format!(
+                        "explain `{rest}`: needs at least one fence coordinate"
+                    )));
+                }
+                explains.push((
+                    Explain {
+                        test: test.to_string(),
+                        model: model.to_string(),
+                        fences,
+                    },
+                    line_no,
+                ));
+            }
             other => return Err(at(format!("unknown directive `{other}`"))),
         }
     }
@@ -238,6 +294,23 @@ pub fn load_file(path: &Path) -> Result<CorpusEntry, CorpusLoadError> {
             )));
         }
     }
+    for (i, (e, line)) in explains.iter().enumerate() {
+        if !tests.iter().any(|(t, _)| t.name == e.test) {
+            return Err(fail(format!(
+                "line {line}: explain names unknown test `{}`",
+                e.test
+            )));
+        }
+        if let Some((_, prev)) = explains[..i]
+            .iter()
+            .find(|(o, _)| o.test == e.test && o.model == e.model)
+        {
+            return Err(fail(format!(
+                "line {line}: duplicate explain for `{} @ {}` (first on line {prev})",
+                e.test, e.model
+            )));
+        }
+    }
     for (t, line) in &tests {
         for op in t.all_ops() {
             if !ops.iter().any(|(o, _)| o.key == op.key) {
@@ -257,6 +330,7 @@ pub fn load_file(path: &Path) -> Result<CorpusEntry, CorpusLoadError> {
     let ops: Vec<OpSig> = ops.into_iter().map(|(o, _)| o).collect();
     let tests: Vec<TestSpec> = tests.into_iter().map(|(t, _)| t).collect();
     let expects: Vec<Expect> = expects.into_iter().map(|(e, _)| e).collect();
+    let explains: Vec<Explain> = explains.into_iter().map(|(e, _)| e).collect();
     let init = init.map(|(i, _)| i);
 
     let program = cf_minic::compile(&source).map_err(|e| fail(format!("compile error: {e}")))?;
@@ -281,6 +355,7 @@ pub fn load_file(path: &Path) -> Result<CorpusEntry, CorpusLoadError> {
         },
         tests,
         expects,
+        explains,
     })
 }
 
@@ -340,6 +415,42 @@ int get() { return data; }
                 model: "sc".into(),
                 pass: true
             }]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn explain_directives_round_trip() {
+        let path = write_temp(
+            "explain.c",
+            r#"
+// cf: name mailbox
+// cf: op p = put:arg
+// cf: op g = get:ret
+// cf: test PG = ( p | g )
+// cf: expect PG @ pso = pass
+// cf: explain PG @ pso = put#0 (store-store)
+// cf: explain PG @ relaxed = put#0 (store-store), get#0 (load-load)
+int data; int flag;
+void put(int v) { data = v; fence("store-store"); flag = 1; }
+int get() { fence("load-load"); return data; }
+"#,
+        );
+        let entry = load_file(&path).expect("loads");
+        assert_eq!(
+            entry.explains,
+            vec![
+                Explain {
+                    test: "PG".into(),
+                    model: "pso".into(),
+                    fences: vec!["put#0 (store-store)".into()],
+                },
+                Explain {
+                    test: "PG".into(),
+                    model: "relaxed".into(),
+                    fences: vec!["put#0 (store-store)".into(), "get#0 (load-load)".into()],
+                },
+            ]
         );
         std::fs::remove_file(&path).ok();
     }
@@ -483,6 +594,35 @@ int get() { return data; }
                 "// cf: name x\n// cf: op p = put\n// cf: test T = ( q )\n",
                 "line 3",
                 "undeclared op key `q`",
+            ),
+            (
+                "explainnomodel.c",
+                "// cf: name x\n// cf: op p = put\n// cf: test T = ( p )\n\
+                 // cf: explain T = put#0 (store-store)\n",
+                "line 4",
+                "missing `@ MODEL`",
+            ),
+            (
+                "explainnocoord.c",
+                "// cf: name x\n// cf: op p = put\n// cf: test T = ( p )\n\
+                 // cf: explain T @ pso =\n",
+                "line 4",
+                "needs at least one fence coordinate",
+            ),
+            (
+                "explainunknowntest.c",
+                "// cf: name x\n// cf: op p = put\n// cf: test T = ( p )\n\
+                 // cf: explain U @ pso = put#0 (store-store)\n",
+                "line 4",
+                "explain names unknown test `U`",
+            ),
+            (
+                "dupexplain.c",
+                "// cf: name x\n// cf: op p = put\n// cf: test T = ( p )\n\
+                 // cf: explain T @ pso = put#0 (store-store)\n\
+                 // cf: explain T @ pso = put#1 (load-load)\n",
+                "line 5",
+                "duplicate explain for `T @ pso` (first on line 4)",
             ),
         ];
         for (file, body, line_tag, fragment) in cases {

@@ -71,6 +71,12 @@ pub struct CorpusConfig {
     ///    relaxable cycle chord) share one verdict — solve one cell,
     ///    copy the conclusive result to the others.
     pub static_triage: bool,
+    /// Attach verdict provenance to every *solved* cell (proof cores on
+    /// passes, witness environments on failures), rendered by
+    /// [`CorpusReport::explain`]. Inferred and triaged cells carry no
+    /// provenance — no solve ran for them. Off by default; provenance
+    /// queries run on their own session pool.
+    pub provenance: bool,
 }
 
 impl Default for CorpusConfig {
@@ -81,6 +87,7 @@ impl Default for CorpusConfig {
             check: CheckConfig::default(),
             jobs: 1,
             static_triage: true,
+            provenance: false,
         }
     }
 }
@@ -126,6 +133,11 @@ pub struct CorpusRow {
     pub mine_error: Option<String>,
     /// Per-model verdicts, in [`CorpusReport::model_names`] order.
     pub verdicts: Vec<CorpusVerdict>,
+    /// Provenance summaries parallel to `verdicts` — `Some` only for
+    /// cells a solver actually answered under
+    /// [`CorpusConfig::provenance`] (inferred/triaged cells stay
+    /// `None`).
+    pub explains: Vec<Option<String>>,
     /// `false` when subsumption pruning dropped this test from the
     /// shrunk corpus.
     pub kept: bool,
@@ -265,6 +277,38 @@ impl CorpusReport {
         out
     }
 
+    /// Renders the per-cell provenance report: one line per solved
+    /// cell naming the assumptions its verdict leaned on. Inferred and
+    /// triaged cells are omitted — their verdicts were copied, not
+    /// solved, so they have no core. Like [`CorpusReport::table`] this
+    /// is a pure function of the verdict grid: the ladder schedule is
+    /// deterministic, so `--explain` output compares bit for bit
+    /// across job counts. Empty without [`CorpusConfig::provenance`].
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            for ((model, v), e) in self
+                .model_names
+                .iter()
+                .zip(&row.verdicts)
+                .zip(&row.explains)
+            {
+                if let Some(summary) = e {
+                    let _ = writeln!(
+                        out,
+                        "  {} @ {model} [{}]: {summary}",
+                        row.test.name,
+                        v.cell()
+                    );
+                }
+            }
+        }
+        if out.is_empty() {
+            return out;
+        }
+        format!("provenance — solved cells (inferred/triaged cells carry no core)\n{out}")
+    }
+
     /// The timing/amortization line (deliberately not part of
     /// [`CorpusReport::table`], so tables compare bit for bit across
     /// job counts *and* across static-triage settings — the triaged
@@ -375,9 +419,11 @@ pub fn run_corpus(harness: &Harness, tests: &[TestSpec], config: &CorpusConfig) 
         .with_jobs(config.jobs)
         // Sound here: every inclusion spec below is the complete serial
         // observation set just mined for the same (harness, test).
-        .with_static_triage(config.static_triage);
+        .with_static_triage(config.static_triage)
+        .with_provenance(config.provenance);
     let mut engine = Engine::new(engine_config);
     let mut grids: Vec<Vec<Option<CorpusVerdict>>> = vec![vec![None; sels.len()]; tests.len()];
+    let mut explains: Vec<Vec<Option<String>>> = vec![vec![None; sels.len()]; tests.len()];
     let mut inferred = 0usize;
     let mut triaged = 0usize;
 
@@ -464,6 +510,11 @@ pub fn run_corpus(harness: &Harness, tests: &[TestSpec], config: &CorpusConfig) 
                 if v.stats.statically_discharged {
                     triaged += 1;
                 }
+                // Capture the provenance summary before `convert`
+                // consumes the verdict; copies made below (lattice
+                // inference, robustness transfer) deliberately carry
+                // none — no solve ran for those cells.
+                explains[row][col] = v.provenance.as_ref().map(|p| p.summary());
             }
             let v = convert(verdict);
             if v == CorpusVerdict::Pass {
@@ -520,6 +571,9 @@ pub fn run_corpus(harness: &Harness, tests: &[TestSpec], config: &CorpusConfig) 
         vec![("queries", cf_trace::u(queries.len() as u64))]
     });
     for ((row, col), verdict) in spec_rows.into_iter().zip(engine.run_batch(&queries)) {
+        if let Ok(v) = &verdict {
+            explains[row][col] = v.provenance.as_ref().map(|p| p.summary());
+        }
         grids[row][col] = Some(convert(verdict));
     }
 
@@ -536,12 +590,13 @@ pub fn run_corpus(harness: &Harness, tests: &[TestSpec], config: &CorpusConfig) 
     let mut rows: Vec<CorpusRow> = tests
         .iter()
         .zip(mined)
-        .zip(grids)
-        .map(|((test, spec), verdicts)| CorpusRow {
+        .zip(grids.into_iter().zip(explains))
+        .map(|((test, spec), (verdicts, explains))| CorpusRow {
             test: test.clone(),
             observations: spec.as_ref().map_or(0, ObsSet::len),
             mine_error: spec.err(),
             verdicts,
+            explains,
             kept: true,
         })
         .collect();

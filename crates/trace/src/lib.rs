@@ -73,7 +73,14 @@ use std::time::Instant;
 /// `cycle_analysis` and `triage` trace events, the
 /// `statically_discharged` per-query stats field, and the
 /// pruned-candidate counters in the inference artifacts.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// Version 3 added verdict provenance: the `provenance` trace event,
+/// the `discharged` query class in the `query_done` stream (so the
+/// `--profile` ledger closes at 100% under static triage), the
+/// `checkfence_queries_by_class` and per-reason inconclusive metrics,
+/// and the `cores_extracted`/`core_size` ledger in the metrics,
+/// profile, `--stats-json` and `BENCH_*.json` artifacts.
+pub const SCHEMA_VERSION: u32 = 3;
 
 // ---------------------------------------------------------------------
 // Events
@@ -433,8 +440,11 @@ fn strip_line(line: &str) -> String {
 pub fn render_prom(events: &[Event]) -> String {
     let mut kinds: BTreeMap<&str, u64> = BTreeMap::new();
     let mut outcomes: BTreeMap<String, u64> = BTreeMap::new();
+    let mut by_class: BTreeMap<String, u64> = BTreeMap::new();
+    let mut inconclusive: BTreeMap<String, u64> = BTreeMap::new();
     let mut wall: BTreeMap<&str, u64> = BTreeMap::new();
     let (mut solves, mut conflicts, mut propagations, mut ticks) = (0u64, 0u64, 0u64, 0u64);
+    let (mut cores_extracted, mut core_size) = (0u64, 0u64);
     for e in events {
         *kinds.entry(e.kind).or_default() += 1;
         if e.kind == "sat_solve" {
@@ -446,7 +456,18 @@ pub fn render_prom(events: &[Event]) -> String {
         if e.kind == "query_done" {
             if let Some(outcome) = e.get_str("outcome") {
                 *outcomes.entry(outcome.to_string()).or_default() += 1;
+                if outcome == "inconclusive" {
+                    let reason = e.get_str("reason").unwrap_or("unknown");
+                    *inconclusive.entry(reason.to_string()).or_default() += 1;
+                }
             }
+            if let Some(class) = e.get_str("class") {
+                *by_class.entry(class.to_string()).or_default() += 1;
+            }
+        }
+        if e.kind == "provenance" && e.get_str("kind") == Some("proof") {
+            cores_extracted += 1;
+            core_size += e.get_u64("core_size").unwrap_or(0);
         }
         for (key, value) in &e.fields {
             if let (true, Field::U64(n)) = (key.ends_with("_us"), value) {
@@ -498,6 +519,37 @@ pub fn render_prom(events: &[Event]) -> String {
     for (outcome, n) in &outcomes {
         let _ = writeln!(out, "checkfence_queries_total{{outcome=\"{outcome}\"}} {n}");
     }
+    let _ = writeln!(
+        out,
+        "# HELP checkfence_queries_by_class finished queries, by class (incl. `discharged` for statically triaged queries)"
+    );
+    let _ = writeln!(out, "# TYPE checkfence_queries_by_class counter");
+    for (class, n) in &by_class {
+        let _ = writeln!(out, "checkfence_queries_by_class{{class=\"{class}\"}} {n}");
+    }
+    let _ = writeln!(
+        out,
+        "# HELP checkfence_queries_inconclusive_total inconclusive verdicts, by reason"
+    );
+    let _ = writeln!(out, "# TYPE checkfence_queries_inconclusive_total counter");
+    for (reason, n) in &inconclusive {
+        let _ = writeln!(
+            out,
+            "checkfence_queries_inconclusive_total{{reason=\"{reason}\"}} {n}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP checkfence_cores_extracted_total assumption cores extracted for proof provenance"
+    );
+    let _ = writeln!(out, "# TYPE checkfence_cores_extracted_total counter");
+    let _ = writeln!(out, "checkfence_cores_extracted_total {cores_extracted}");
+    let _ = writeln!(
+        out,
+        "# HELP checkfence_core_size_total summed assumption-core literals across extracted cores"
+    );
+    let _ = writeln!(out, "# TYPE checkfence_core_size_total counter");
+    let _ = writeln!(out, "checkfence_core_size_total {core_size}");
     let _ = writeln!(
         out,
         "# HELP checkfence_wall_microseconds_total wall clock spent, by event kind"
@@ -557,6 +609,13 @@ pub struct Profile {
     pub encode_ticks: u64,
     /// Wall clock spent encoding, microseconds.
     pub encode_wall_us: u64,
+    /// Assumption cores extracted for proof provenance (`provenance`
+    /// events with kind `proof`).
+    pub cores_extracted: u64,
+    /// Summed core literals across the extracted cores.
+    pub core_size: u64,
+    /// How many of the extracted cores completed minimization.
+    pub cores_minimized: u64,
 }
 
 impl Profile {
@@ -614,6 +673,13 @@ impl Profile {
                 self.encode_wall_us as f64 / 1e3,
             );
         }
+        if self.cores_extracted > 0 {
+            let _ = writeln!(
+                out,
+                "  cores: {} extracted, {} literals, {} minimized",
+                self.cores_extracted, self.core_size, self.cores_minimized,
+            );
+        }
         let unattributed = self.total_ticks.saturating_sub(self.attributed_ticks);
         let _ = writeln!(
             out,
@@ -660,6 +726,11 @@ pub fn profile(events: &[Event]) -> Profile {
                 p.attributed_ticks += ticks;
                 row.retries += e.get_u64("retries").unwrap_or(0);
                 row.wall_us += e.get_u64("wall_us").unwrap_or(0);
+            }
+            "provenance" if e.get_str("kind") == Some("proof") => {
+                p.cores_extracted += 1;
+                p.core_size += e.get_u64("core_size").unwrap_or(0);
+                p.cores_minimized += e.get_u64("minimized").unwrap_or(0);
             }
             _ => {}
         }
@@ -738,7 +809,7 @@ mod tests {
         assert!(stripped.contains("\"ticks\":5,\"n\":2"));
         assert!(!stripped.contains("_us"));
         assert!(!stripped.contains("session_spawn"));
-        assert!(stripped.contains("\"schema_version\":2"));
+        assert!(stripped.contains("\"schema_version\":3"));
         // Stripping is idempotent.
         assert_eq!(strip(&stripped), stripped);
     }
@@ -774,5 +845,98 @@ mod tests {
         let prom = render_prom(&events);
         assert!(prom.contains("checkfence_solver_ticks_total 100"));
         assert!(prom.contains("checkfence_queries_total{outcome=\"pass\"} 1"));
+        assert!(prom.contains("checkfence_queries_by_class{class=\"inclusion\"} 1"));
+    }
+
+    #[test]
+    fn discharged_queries_close_the_profile_ledger() {
+        let _g = locked();
+        enable();
+        let b = next_batch();
+        {
+            let _s = scope(b, 1, "q1");
+            emit("sat_solve", || vec![("ticks", u(50))]);
+            emit("query_done", || {
+                vec![
+                    ("class", s("inclusion")),
+                    ("outcome", s("pass")),
+                    ("ticks", u(50)),
+                ]
+            });
+        }
+        {
+            let _s = scope(b, 2, "q2");
+            // A statically discharged query: no solver work at all, but
+            // it must still appear in the ledger as its own class.
+            emit("query_done", || {
+                vec![
+                    ("class", s("discharged")),
+                    ("outcome", s("pass")),
+                    ("ticks", u(0)),
+                ]
+            });
+        }
+        let events = take();
+        disable();
+        let p = profile(&events);
+        assert!(
+            (p.attributed_fraction() - 1.0).abs() < 1e-9,
+            "the ledger closes at 100% even with discharged queries"
+        );
+        let discharged = p
+            .rows
+            .iter()
+            .find(|r| r.class == "discharged")
+            .expect("discharged row present");
+        assert_eq!(discharged.queries, 1);
+        assert_eq!(discharged.ticks, 0);
+        let prom = render_prom(&events);
+        assert!(prom.contains("checkfence_queries_by_class{class=\"discharged\"} 1"));
+    }
+
+    #[test]
+    fn provenance_events_feed_the_core_ledger_and_inconclusive_reasons_are_counted() {
+        let _g = locked();
+        enable();
+        let b = next_batch();
+        {
+            let _s = scope(b, 1, "q1");
+            emit("provenance", || {
+                vec![
+                    ("kind", s("proof")),
+                    ("core_size", u(4)),
+                    ("minimized", u(1)),
+                    ("uses", s("proof uses: fence put#0 (store-store)")),
+                ]
+            });
+            emit("provenance", || {
+                vec![
+                    ("kind", s("witness")),
+                    ("core_size", u(0)),
+                    ("minimized", u(0)),
+                ]
+            });
+            emit("query_done", || {
+                vec![
+                    ("class", s("inclusion")),
+                    ("outcome", s("inconclusive")),
+                    ("reason", s("budget")),
+                    ("ticks", u(0)),
+                ]
+            });
+        }
+        let events = take();
+        disable();
+        let p = profile(&events);
+        assert_eq!(p.cores_extracted, 1, "witnesses carry no core");
+        assert_eq!(p.core_size, 4);
+        assert_eq!(p.cores_minimized, 1);
+        assert!(p
+            .render()
+            .contains("cores: 1 extracted, 4 literals, 1 minimized"));
+        let prom = render_prom(&events);
+        assert!(prom.contains("checkfence_cores_extracted_total 1"));
+        assert!(prom.contains("checkfence_core_size_total 4"));
+        assert!(prom.contains("checkfence_queries_inconclusive_total{reason=\"budget\"} 1"));
     }
 }

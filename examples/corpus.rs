@@ -24,6 +24,7 @@ fn main() {
     let mut jobs = 2usize;
     let mut with_ordering_specs = false;
     let mut static_triage = true;
+    let mut explain = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -34,11 +35,12 @@ fn main() {
             }
             "--with-ordering-specs" => with_ordering_specs = true,
             "--no-static-triage" => static_triage = false,
+            "--explain" => explain = true,
             other => {
                 assert!(
                     !other.starts_with('-'),
                     "unknown flag `{other}` (expected [DIR] [--jobs N] \
-                     [--with-ordering-specs] [--no-static-triage])"
+                     [--with-ordering-specs] [--no-static-triage] [--explain])"
                 );
                 dir = PathBuf::from(other);
             }
@@ -54,6 +56,7 @@ fn main() {
     let mut config = CorpusConfig {
         jobs,
         static_triage,
+        provenance: explain,
         ..CorpusConfig::default()
     };
     if with_ordering_specs {
@@ -67,6 +70,35 @@ fn main() {
         println!("\n== {} ({} tests)", entry.name, entry.tests.len());
         let report = run_corpus(&entry.harness, &entry.tests, &config);
         print!("{}", report.table());
+        if explain {
+            // The explain report is a pure function of the verdict
+            // grid, so it stays byte-comparable across --jobs levels.
+            print!("{}", report.explain());
+            for pin in &entry.explains {
+                let row = report
+                    .rows
+                    .iter()
+                    .find(|r| r.test.name == pin.test)
+                    .expect("explain names a declared test");
+                let col = report
+                    .model_names
+                    .iter()
+                    .position(|m| *m == pin.model)
+                    .expect("explain names a configured model");
+                let explained = row.explains[col]
+                    .as_ref()
+                    .expect("pinned cell carries provenance");
+                for coord in &pin.fences {
+                    assert!(
+                        explained.contains(coord),
+                        "{}: {} @ {} must mention `{coord}`",
+                        entry.name,
+                        pin.test,
+                        pin.model
+                    );
+                }
+            }
+        }
         // The summary carries wall-clock timings; keep it off stdout so
         // the verdict tables stay byte-comparable across runs.
         eprintln!("  {}", report.summary());

@@ -65,12 +65,23 @@
 //!                               (machine-dependent safety net)
 //!   --retries N                 escalating retries per query: each
 //!                               retry multiplies the budgets by 8  [2]
+//!   --explain                   attach verdict provenance: after each
+//!                               PASS print the assumptions its proof
+//!                               leaned on (model, axiom groups, fence
+//!                               sites — the minimized unsat core of the
+//!                               decisive solve), after each FAIL the
+//!                               witness's assumption environment; with
+//!                               --ablate/--synth appends the per-cell
+//!                               provenance report. Deterministic: the
+//!                               report is byte-identical at any --jobs
+//!                               count
 //!   --stats                     print a per-query solver-statistics
 //!                               table (solves, conflicts, restarts,
 //!                               retries, assumed literals, wall time,
 //!                               static discharge)
 //!   --stats-json FILE           write the --stats table as versioned
-//!                               JSON (`schema_version` 2)
+//!                               JSON (`schema_version` 3; includes the
+//!                               cores_extracted/core_size ledger)
 //!   --cx                        print full counterexample traces
 //!   --trace FILE                write a structured JSONL event trace
 //!                               (spans for encodes, solver calls,
@@ -154,6 +165,7 @@ struct Options {
     stats: bool,
     stats_json: Option<PathBuf>,
     cx: bool,
+    explain: bool,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     profile: bool,
@@ -239,6 +251,10 @@ fn usage() -> &'static str {
      \x20 --stats                    print a per-query solver-stats table\n\
      \x20 --stats-json FILE          write the --stats table as versioned JSON\n\
      \x20 --cx                       print full counterexample traces\n\
+     \x20 --explain                  print verdict provenance (proof cores\n\
+     \x20                            and witness environments) per verdict;\n\
+     \x20                            in ablate/synth modes appends the\n\
+     \x20                            per-cell provenance report\n\
      \x20 --trace FILE               write a structured JSONL event trace\n\
      \x20 --metrics FILE             write a Prometheus-style metrics snapshot\n\
      \x20 --profile                  print a per-query-class cost profile\n\
@@ -328,6 +344,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         stats: false,
         stats_json: None,
         cx: false,
+        explain: false,
         trace_out: None,
         metrics_out: None,
         profile: false,
@@ -445,6 +462,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--stats" => opts.stats = true,
             "--stats-json" => opts.stats_json = Some(PathBuf::from(value("--stats-json")?)),
             "--cx" => opts.cx = true,
+            "--explain" => opts.explain = true,
             "--trace" => opts.trace_out = Some(PathBuf::from(value("--trace")?)),
             "--metrics" => opts.metrics_out = Some(PathBuf::from(value("--metrics")?)),
             "--profile" => opts.profile = true,
@@ -500,6 +518,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.no_prune && !opts.run_infer {
         return Err("--no-prune governs inference candidates; it needs --infer".into());
     }
+    // Silently ignoring --explain in modes that never produce verdicts
+    // would misreport what the run did.
+    if opts.explain && (opts.mine_only || opts.run_infer || opts.run_analyze) {
+        return Err(
+            "--explain attaches provenance to check verdicts; it cannot be combined \
+             with --mine-only, --infer or --analyze"
+                .into(),
+        );
+    }
     opts.source = source.ok_or("missing source file")?;
     if opts.ops.is_empty() {
         return Err("at least one --op is required".into());
@@ -553,12 +580,19 @@ fn mined_spec(
 }
 
 /// Applies the `--budget` / `--deadline-ms` / `--retries` resource-
-/// governance flags to a check configuration.
+/// governance flags to a check configuration, and under `--explain`
+/// turns on budgeted proof-core minimization (the budget is solver
+/// ticks, so the cutoff — and therefore the report — is deterministic
+/// and machine-independent; starving it degrades to the raw core, never
+/// to a changed verdict).
 fn apply_budgets(check: &mut CheckConfig, opts: &Options) {
     check.tick_budget = opts.budget;
     check.deadline = opts.deadline_ms.map(std::time::Duration::from_millis);
     if let Some(r) = opts.retries {
         check.max_retries = r;
+    }
+    if opts.explain {
+        check.core_minimize_ticks = Some(2_000_000);
     }
 }
 
@@ -672,6 +706,13 @@ fn run_with(opts: &Options) -> Result<RunStatus, String> {
     if matches!(opts.method, Method::Commit(_)) && matches!(opts.model, ModelArg::Spec(_)) {
         return Err("--method commit-* requires a built-in --model".into());
     }
+    if opts.explain && matches!(opts.method, Method::Commit(_)) {
+        return Err(
+            "--explain extracts assumption cores from inclusion checks; \
+             it requires the observation method"
+                .into(),
+        );
+    }
     let needs_spec = opts.mine_only || matches!(opts.method, Method::Observation);
     let specs: Vec<Option<(ObsSet, &'static str)>> = if needs_spec {
         // Mining fans out across --jobs workers too (reference-
@@ -710,7 +751,11 @@ fn run_with(opts: &Options) -> Result<RunStatus, String> {
         ModelArg::Builtin(mode) => ModelSel::Builtin(*mode),
         ModelArg::Spec(_) => ModelSel::Spec(0),
     };
-    let mut engine = Engine::new(engine_config.with_jobs(opts.jobs));
+    let mut engine = Engine::new(
+        engine_config
+            .with_jobs(opts.jobs)
+            .with_provenance(opts.explain),
+    );
     let queries: Vec<Query> = tests
         .iter()
         .zip(&specs)
@@ -725,17 +770,28 @@ fn run_with(opts: &Options) -> Result<RunStatus, String> {
 
     let mut status = RunStatus::pass();
     let mut stats_rows: Vec<(String, QueryStats)> = Vec::new();
+    // The --stats-json core ledger: proofs extracted and their summed
+    // core size (0/0 unless --explain).
+    let mut cores_extracted = 0u64;
+    let mut core_size = 0u64;
     for ((test, mined), (query, verdict)) in tests
         .iter()
         .zip(&specs)
         .zip(queries.iter().zip(engine.run_batch(&queries)))
     {
-        let verdict = verdict.map_err(|e| format!("check failed: {e}"))?;
+        let mut verdict = verdict.map_err(|e| format!("check failed: {e}"))?;
         let label = match mined {
             Some((spec, how)) => format!("spec {how}, {} observations", spec.len()),
             None => "commit-point method".to_string(),
         };
         stats_rows.push((query.describe(), verdict.stats));
+        let provenance = verdict.provenance.take();
+        if let Some(p) = &provenance {
+            if p.kind == checkfence::ProvenanceKind::Proof {
+                cores_extracted += 1;
+                core_size += p.core_size as u64;
+            }
+        }
         if let Answer::Inconclusive { reason, spent } = &verdict.answer {
             status.inconclusive = true;
             println!(
@@ -749,10 +805,16 @@ fn run_with(opts: &Options) -> Result<RunStatus, String> {
         match verdict.into_outcome().expect("check outcome") {
             CheckOutcome::Pass => {
                 println!("PASS {} on {} ({label})", test.name, opts.model.name());
+                if let Some(p) = &provenance {
+                    println!("  {p}");
+                }
             }
             CheckOutcome::Fail(cx) => {
                 status.failed = true;
                 println!("FAIL {} on {} ({label})", test.name, opts.model.name());
+                if let Some(p) = &provenance {
+                    println!("  {p}");
+                }
                 let text = format!("{cx}");
                 if opts.cx {
                     for line in text.lines() {
@@ -771,17 +833,19 @@ fn run_with(opts: &Options) -> Result<RunStatus, String> {
         print!("{}", stats_table(&stats_rows));
     }
     if let Some(path) = &opts.stats_json {
-        std::fs::write(path, stats_json(&stats_rows))
+        std::fs::write(path, stats_json(&stats_rows, cores_extracted, core_size))
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     }
     Ok(status)
 }
 
 /// Renders the `--stats-json` export: the `--stats` table's rows as
-/// versioned JSON, one object per query in batch order. The
-/// `schema_version` field is shared with the trace/metrics sinks and
-/// the benchmark JSON artifacts.
-fn stats_json(rows: &[(String, QueryStats)]) -> String {
+/// versioned JSON, one object per query in batch order, plus the
+/// schema-v3 core ledger (`cores_extracted`/`core_size` — zero unless
+/// the run asked for `--explain`). The `schema_version` field is
+/// shared with the trace/metrics sinks and the benchmark JSON
+/// artifacts.
+fn stats_json(rows: &[(String, QueryStats)], cores_extracted: u64, core_size: u64) -> String {
     let escape = |s: &str| {
         let mut out = String::with_capacity(s.len());
         for c in s.chars() {
@@ -799,6 +863,8 @@ fn stats_json(rows: &[(String, QueryStats)]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema_version\": {},", cf_trace::SCHEMA_VERSION);
+    let _ = writeln!(out, "  \"cores_extracted\": {cores_extracted},");
+    let _ = writeln!(out, "  \"core_size\": {core_size},");
     out.push_str("  \"queries\": [\n");
     for (i, (label, s)) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
@@ -890,6 +956,7 @@ fn run_ablate(opts: &Options, harness: &Harness, tests: &[TestSpec]) -> Result<R
     let mut config = MatrixConfig {
         modes: Mode::hardware().to_vec(),
         jobs: opts.jobs,
+        provenance: opts.explain,
         ..MatrixConfig::default()
     };
     config.check.order_encoding = opts.encoding;
@@ -906,6 +973,9 @@ fn run_ablate(opts: &Options, harness: &Harness, tests: &[TestSpec]) -> Result<R
         let report = run_mutation_matrix(harness, test, &plan, &config)
             .map_err(|e| format!("ablation failed: {e}"))?;
         print!("{}", report.table());
+        if opts.explain {
+            print!("{}", report.explain());
+        }
         println!("  {}", report.summary());
         let undecided = |v: &MutantVerdict| matches!(v, MutantVerdict::Inconclusive(_));
         status.failed |= report.baseline.iter().any(|v| !undecided(v) && v.caught());
@@ -961,6 +1031,7 @@ fn run_synth(opts: &Options, name: &str) -> Result<RunStatus, String> {
     let mut config = CorpusConfig {
         jobs: opts.jobs,
         static_triage: !opts.no_static_triage,
+        provenance: opts.explain,
         ..CorpusConfig::default()
     };
     config.check.order_encoding = opts.encoding;
@@ -970,6 +1041,9 @@ fn run_synth(opts: &Options, name: &str) -> Result<RunStatus, String> {
     }
     let report = run_corpus(&harness, &corpus.tests, &config);
     print!("{}", report.table());
+    if opts.explain {
+        print!("{}", report.explain());
+    }
     println!("  {}", report.summary());
     // FAIL verdicts are the experiment's data; cells that could not be
     // answered (mining errors, divergence, exhausted budgets, crashed

@@ -87,6 +87,8 @@ mod doc_examples {
     pub struct Observability;
     #[doc = include_str!("../docs/static-analysis.md")]
     pub struct StaticAnalysis;
+    #[doc = include_str!("../docs/provenance.md")]
+    pub struct Provenance;
     #[doc = include_str!("../README.md")]
     pub struct Readme;
 }

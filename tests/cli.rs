@@ -524,7 +524,11 @@ fn stats_json_matches_the_stats_table() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     let json = std::fs::read_to_string(&path).expect("stats json written");
     std::fs::remove_file(&path).ok();
-    assert!(json.contains("\"schema_version\": 2"), "{json}");
+    assert!(json.contains("\"schema_version\": 3"), "{json}");
+    // The schema-v3 core ledger is always present; without --explain no
+    // cores are extracted.
+    assert!(json.contains("\"cores_extracted\": 0"), "{json}");
+    assert!(json.contains("\"core_size\": 0"), "{json}");
     // The text table's row and the JSON export must agree on the
     // per-query counters, not just both exist.
     let row = stdout
@@ -598,8 +602,136 @@ fn observability_sinks_leave_stdout_unchanged() {
     let out = run(mailbox_args(&mut cli()).args(["--model", "tso", "--profile"]));
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("cost profile (schema 2):"), "{stdout}");
+    assert!(stdout.contains("cost profile (schema 3):"), "{stdout}");
     assert!(stdout.contains("attributed"), "{stdout}");
+}
+
+#[test]
+fn explain_prints_provenance_per_verdict() {
+    // The unfenced mailbox passes on tso and fails on relaxed: with
+    // --explain the pass carries a minimized proof core and the failure
+    // its witness environment. Without the flag, neither line appears.
+    let path = std::env::temp_dir().join(format!("cf-cli-explain-{}.json", std::process::id()));
+    let out = run(mailbox_args(&mut cli())
+        .args(["--model", "tso", "--explain", "--stats-json"])
+        .arg(&path));
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PASS PG on tso"), "{stdout}");
+    assert!(stdout.contains("proof uses:"), "{stdout}");
+    assert!(stdout.contains("minimal"), "{stdout}");
+    // The core ledger counts the proof.
+    let json = std::fs::read_to_string(&path).expect("stats json written");
+    std::fs::remove_file(&path).ok();
+    assert!(json.contains("\"cores_extracted\": 1"), "{json}");
+
+    let out = run(mailbox_args(&mut cli()).args(["--model", "relaxed", "--explain"]));
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL PG on relaxed"), "{stdout}");
+    assert!(stdout.contains("witness under:"), "{stdout}");
+
+    let out = run(mailbox_args(&mut cli()).args(["--model", "tso"]));
+    assert!(
+        !String::from_utf8_lossy(&out.stdout).contains("proof uses:"),
+        "provenance is opt-in: {out:?}"
+    );
+}
+
+#[test]
+fn explain_output_is_identical_across_jobs() {
+    // Provenance reports are pure functions of the verdicts: the whole
+    // stdout (verdicts + provenance lines) must be byte-identical at
+    // --jobs 1 and --jobs 4, for plain checks and for --synth.
+    let check_of = |jobs: &str| -> Vec<u8> {
+        let out = run(mailbox_args(&mut cli())
+            .args(["--test", "GG=( p | g g )"])
+            .args(["--model", "tso", "--explain", "--jobs", jobs]));
+        assert!(out.status.success(), "{out:?}");
+        out.stdout
+    };
+    assert_eq!(
+        String::from_utf8_lossy(&check_of("1")),
+        String::from_utf8_lossy(&check_of("4")),
+        "--explain check output must not depend on --jobs"
+    );
+    let synth_of = |jobs: &str| -> Vec<String> {
+        let out = run(cli().args([
+            "--synth",
+            "lamport",
+            "--threads",
+            "2",
+            "--ops",
+            "1",
+            "--explain",
+            "--jobs",
+            jobs,
+        ]));
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| !l.contains("cells:")) // the timing summary line
+            .map(str::to_string)
+            .collect()
+    };
+    let s1 = synth_of("1");
+    assert!(
+        s1.iter().any(|l| l.contains("proof uses:")),
+        "synth --explain must print provenance: {s1:?}"
+    );
+    assert_eq!(
+        s1,
+        synth_of("4"),
+        "--synth --explain output must not depend on --jobs"
+    );
+}
+
+#[test]
+fn metrics_query_classes_cross_check_stats_json() {
+    // Satellite contract: `checkfence_queries_by_class` totals in the
+    // --metrics snapshot must equal the number of per-query rows the
+    // same run exported to --stats-json.
+    let dir = std::env::temp_dir();
+    let prom = dir.join(format!("cf-cli-class-{}.prom", std::process::id()));
+    let json = dir.join(format!("cf-cli-class-{}.json", std::process::id()));
+    let out = run(mailbox_args(&mut cli())
+        .args(["--test", "GG=( p | g g )"])
+        .args(["--model", "tso", "--metrics"])
+        .arg(&prom)
+        .arg("--stats-json")
+        .arg(&json));
+    assert!(out.status.success(), "{out:?}");
+    let prom_text = std::fs::read_to_string(&prom).expect("metrics written");
+    let json_text = std::fs::read_to_string(&json).expect("stats json written");
+    std::fs::remove_file(&prom).ok();
+    std::fs::remove_file(&json).ok();
+    let by_class: u64 = prom_text
+        .lines()
+        .filter(|l| l.starts_with("checkfence_queries_by_class{"))
+        .map(|l| {
+            l.rsplit(' ')
+                .next()
+                .and_then(|n| n.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("unparsable metric line: {l}"))
+        })
+        .sum();
+    let json_rows = json_text.matches("\"query\":").count() as u64;
+    assert!(json_rows >= 2, "{json_text}");
+    assert_eq!(
+        by_class, json_rows,
+        "queries_by_class totals must equal the --stats-json row count:\n{prom_text}\n{json_text}"
+    );
+}
+
+#[test]
+fn explain_conflicts_with_non_checking_modes() {
+    for extra in [["--mine-only"], ["--infer"], ["--analyze"]] {
+        let out = run(mailbox_args(&mut cli()).arg("--explain").args(extra));
+        assert_eq!(out.status.code(), Some(2), "{extra:?}: {out:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--explain"),
+            "{extra:?}: {out:?}"
+        );
+    }
 }
 
 #[test]

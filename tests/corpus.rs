@@ -70,9 +70,12 @@ fn assert_verdicts(entries: &[CorpusEntry], config: &CorpusConfig) {
 }
 
 #[test]
-fn corpus_holds_the_four_scenarios() {
+fn corpus_holds_the_five_scenarios() {
     let names: Vec<String> = corpus().into_iter().map(|e| e.name).collect();
-    assert_eq!(names, ["dekker", "mpmc_queue", "seqlock", "spsc_ring"]);
+    assert_eq!(
+        names,
+        ["dekker", "mpmc_queue", "seqlock", "spsc_ring", "treiber"]
+    );
 }
 
 #[test]
@@ -112,6 +115,59 @@ fn declared_verdicts_are_reproduced() {
         ..CorpusConfig::default()
     };
     assert_verdicts(&corpus(), &config);
+}
+
+/// `// cf: explain` pins are machine-checked too: re-running the entry
+/// with provenance on, every pinned fence coordinate must appear in
+/// the solved cell's provenance report. The pin is a subset
+/// requirement — the core may lean on more fences than the header
+/// names, but never fewer.
+#[test]
+fn declared_explains_are_reproduced() {
+    let entries: Vec<CorpusEntry> = corpus()
+        .into_iter()
+        .filter(|e| !e.explains.is_empty())
+        .collect();
+    assert!(
+        entries.iter().any(|e| e.name == "treiber"),
+        "the treiber entry must pin at least one provenance explain"
+    );
+    let config = CorpusConfig {
+        jobs: 2,
+        provenance: true,
+        ..CorpusConfig::default()
+    };
+    for entry in &entries {
+        let report = run_corpus(&entry.harness, &entry.tests, &config);
+        for pin in &entry.explains {
+            let row = report
+                .rows
+                .iter()
+                .find(|r| r.test.name == pin.test)
+                .expect("explain names a declared test");
+            let col = report
+                .model_names
+                .iter()
+                .position(|m| *m == pin.model)
+                .unwrap_or_else(|| panic!("{}: unknown model {}", entry.name, pin.model));
+            let explain = row.explains[col].as_ref().unwrap_or_else(|| {
+                panic!(
+                    "{}: {} @ {} pinned but the cell carries no provenance \
+                     (was it inferred instead of solved?)",
+                    entry.name, pin.test, pin.model
+                )
+            });
+            for coord in &pin.fences {
+                assert!(
+                    explain.contains(coord),
+                    "{}: {} @ {} provenance must mention `{coord}`, got: {explain}",
+                    entry.name,
+                    pin.test,
+                    pin.model
+                );
+            }
+        }
+    }
 }
 
 /// The ported C11 litmus family in `corpus/c11/` — checked against the

@@ -155,6 +155,39 @@ fn single_worker_panic_is_absorbed_by_rebuild_and_resubmit() {
     );
 }
 
+/// The rebuilt session keeps the provenance instrumentation: a panicked
+/// worker's resubmitted query still answers with a proof core, because
+/// the rebuild path re-derives the provenance bit from the engine
+/// config instead of the (lost) session it replaces.
+#[test]
+fn rebuilt_session_still_extracts_provenance() {
+    let _g = locked();
+    let (h, t) = mailbox();
+    let spec = mine_reference(&h, &t).expect("mines").spec;
+    let queries: Vec<Query> = Mode::hardware()
+        .iter()
+        .map(|&m| Query::check_inclusion(&h, &t, spec.clone()).on(m))
+        .collect();
+    let victim = queries[0].describe();
+
+    faults::install(FaultPlan::new(1).panic_times(format!("worker:{victim}"), 1));
+    let mut engine = Engine::new(EngineConfig::default().with_jobs(2).with_provenance(true));
+    let verdicts = engine.run_batch(&queries);
+    faults::clear();
+
+    for (q, v) in queries.iter().zip(verdicts) {
+        let v = v.expect("verdict");
+        assert!(v.passed(), "{}: fenced mailbox passes", q.describe());
+        let p = v.provenance.as_ref().unwrap_or_else(|| {
+            panic!(
+                "{}: a rebuilt session must stay instrumented for provenance",
+                q.describe()
+            )
+        });
+        assert!(p.core_size > 0, "{}: empty proof core", q.describe());
+    }
+}
+
 /// A *persistent* panic (the rebuilt session dies too) degrades exactly
 /// the in-flight query to `Inconclusive(ShardCrashed)`; every other
 /// query in the batch still gets its verdict.
